@@ -1,0 +1,142 @@
+(* Benchmark harness: regenerates every table and figure of the reproduction
+   (see DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured)
+   plus a Bechamel micro-benchmark suite over the simulation machinery.
+
+   Usage:
+     bench/main.exe                 run every experiment (full size)
+     bench/main.exe --quick         run every experiment (reduced size)
+     bench/main.exe e3 e4           run selected experiments
+     bench/main.exe micro           run the Bechamel micro-suite
+*)
+
+module Experiments = Xguard_harness.Experiments
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Tester = Xguard_harness.Random_tester
+
+let print_report (r : Experiments.report) =
+  Printf.printf "==============================================================\n";
+  Printf.printf "%s\n" r.Experiments.title;
+  Printf.printf "==============================================================\n";
+  List.iter
+    (fun t -> Printf.printf "%s\n" (Xguard_stats.Table.to_string t))
+    r.Experiments.tables
+
+(* ---- Bechamel micro-benchmarks: one per experiment family, so a
+   regression in any table's machinery is visible as a throughput change. ---- *)
+
+let bench_engine_events =
+  (* T1/E1 family substrate: raw event throughput. *)
+  Bechamel.Test.make ~name:"sim_kernel.events"
+    (Bechamel.Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 0 to 999 do
+           Engine.schedule e ~delay:(i mod 7) ignore
+         done;
+         ignore (Engine.run e)))
+
+let bench_network_messages =
+  let module Net = Xguard_network.Network.Make (struct
+    type t = int
+  end) in
+  Bechamel.Test.make ~name:"network.messages"
+    (Bechamel.Staged.stage (fun () ->
+         let e = Engine.create () in
+         let rng = Rng.create ~seed:1 in
+         let reg = Node.Registry.create () in
+         let a = Node.Registry.fresh reg "a" and b = Node.Registry.fresh reg "b" in
+         let net =
+           Net.create ~engine:e ~rng ~name:"bench"
+             ~ordering:(Xguard_network.Network.Ordered { latency = 3 })
+             ()
+         in
+         Net.register net b (fun ~src:_ _ -> ());
+         Net.register net a (fun ~src:_ _ -> ());
+         for i = 0 to 499 do
+           Net.send net ~src:a ~dst:b i
+         done;
+         ignore (Engine.run e)))
+
+let bench_xg_transactions =
+  (* E2/F1 family: end-to-end guard transactions (accel L1 + XG + Hammer). *)
+  Bechamel.Test.make ~name:"xg.transactions"
+    (Bechamel.Staged.stage (fun () ->
+         let cfg = Config.make Config.Hammer (Config.Xg_one_level Config.Transactional) in
+         let sys = System.build cfg in
+         let port = sys.System.accel_ports.(0) in
+         for i = 0 to 63 do
+           ignore (port.Access.issue (Access.load (Addr.block i)) ~on_done:(fun _ -> ()))
+         done;
+         ignore (Engine.run sys.System.engine)))
+
+let bench_stress_iteration =
+  (* E1 family: one small random-tester iteration. *)
+  Bechamel.Test.make ~name:"stress.iteration"
+    (Bechamel.Staged.stage (fun () ->
+         let cfg =
+           Config.stress_sized (Config.make Config.Mesi (Config.Xg_one_level Config.Full_state))
+         in
+         let sys = System.build cfg in
+         let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+         ignore
+           (Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:3) ~ports
+              ~addresses:(Array.init 6 Addr.block) ~ops_per_core:50 ())))
+
+let bench_perf_family =
+  (* E3/E4/A2 family: one short workload run. *)
+  Bechamel.Test.make ~name:"perf.workload_run"
+    (Bechamel.Staged.stage (fun () ->
+         ignore
+           (Xguard_harness.Perf_runner.run
+              (Config.make Config.Hammer Config.Accel_side)
+              (Xguard_workload.Workload.blocked ~tiles:4 ()))))
+
+let run_micro () =
+  let open Bechamel in
+  let benchmarks =
+    [
+      bench_engine_events;
+      bench_network_messages;
+      bench_xg_transactions;
+      bench_stress_iteration;
+      bench_perf_family;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    benchmarks
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  match args with
+  | [] ->
+      List.iter print_report (Experiments.all ~quick ());
+      Printf.printf "\n(micro-benchmarks: run with `micro`)\n"
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.by_id id with
+          | Some f -> print_report (f ~quick ())
+          | None ->
+              Printf.eprintf "unknown experiment %S; known: %s, micro\n" id
+                (String.concat ", " Experiments.ids);
+              exit 1)
+        ids

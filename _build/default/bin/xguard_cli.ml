@@ -1,0 +1,184 @@
+(* Command-line driver for the Crossing Guard reproduction.
+
+   Subcommands:
+     run      — run a workload on one configuration and print its statistics
+     stress   — random coherence stress test (paper §4.1)
+     fuzz     — bombard the guard with a pathological accelerator (paper §4)
+     report   — regenerate a reproduced table/figure (same as bench/main.exe)
+     list     — enumerate configurations, workloads and experiments
+*)
+
+open Cmdliner
+
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Tester = Xguard_harness.Random_tester
+module Fuzz = Xguard_harness.Fuzz_tester
+module Perf = Xguard_harness.Perf_runner
+module Experiments = Xguard_harness.Experiments
+module W = Xguard_workload.Workload
+module Rng = Xguard_sim.Rng
+module Xg = Xguard_xg
+
+let find_config name =
+  List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
+
+let config_names = List.map Config.name (Config.all_configurations ())
+
+let find_workload name = List.find_opt (fun w -> w.W.name = name) (W.all ())
+
+let config_arg =
+  let doc =
+    "System configuration, one of: " ^ String.concat ", " config_names ^ "."
+  in
+  Arg.(value & opt string "hammer/xg-trans-1lvl" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let with_config name seed f =
+  match find_config name with
+  | None ->
+      Printf.eprintf "unknown configuration %S\nknown: %s\n" name
+        (String.concat ", " config_names);
+      exit 1
+  | Some cfg -> f { cfg with Config.seed }
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let workload_arg =
+    let doc = "Workload: streaming, blocked, graph, write-coalesce, producer-consumer." in
+    Arg.(value & opt string "blocked" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
+  in
+  let action config workload seed =
+    with_config config seed (fun cfg ->
+        match find_workload workload with
+        | None ->
+            Printf.eprintf "unknown workload %S\n" workload;
+            exit 1
+        | Some w ->
+            let r = Perf.run cfg w in
+            Printf.printf "configuration      %s\n" r.Perf.config_name;
+            Printf.printf "workload           %s (%s)\n" w.W.name w.W.description;
+            Printf.printf "cycles             %d\n" r.Perf.cycles;
+            Printf.printf "accel accesses     %d\n" r.Perf.accel_accesses;
+            Printf.printf "mean latency       %.1f cycles\n" r.Perf.mean_accel_latency;
+            Printf.printf "p99 latency        %d cycles\n" r.Perf.p99_accel_latency;
+            Printf.printf "host bytes         %d\n" r.Perf.host_bytes;
+            Printf.printf "link bytes         %d\n" r.Perf.link_bytes;
+            Printf.printf "guard violations   %d\n" r.Perf.violations)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload on one configuration")
+    Term.(const action $ config_arg $ workload_arg $ seed_arg)
+
+(* ---- stress ---- *)
+
+let stress_cmd =
+  let ops_arg =
+    Arg.(value & opt int 500 & info [ "ops" ] ~docv:"N" ~doc:"Operations per core.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let action config seed ops seeds =
+    with_config config seed (fun base ->
+        let failures = ref 0 in
+        for s = seed to seed + seeds - 1 do
+          let cfg = Config.stress_sized { base with Config.seed = s } in
+          let sys = System.build cfg in
+          let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+          let o =
+            Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1)) ~ports
+              ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ()
+          in
+          let viol = Xg.Os_model.error_count sys.System.os in
+          let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
+          if bad then incr failures;
+          Printf.printf "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s\n"
+            s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
+            (if bad then "FAIL" else "ok")
+        done;
+        Printf.printf "%s\n" (if !failures = 0 then "PASS" else "FAIL");
+        if !failures > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
+    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg)
+
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let mute_arg =
+    Arg.(value & flag & info [ "mute" ] ~doc:"The accelerator never answers invalidations.")
+  in
+  let action config seed mute =
+    with_config config seed (fun cfg ->
+        if not (Config.uses_xg cfg) then begin
+          Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
+          exit 1
+        end;
+        let o =
+          if mute then Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ()
+          else Fuzz.run cfg ()
+        in
+        Printf.printf "chaos messages     %d\n" o.Fuzz.chaos_messages;
+        Printf.printf "cpu ops            %d/%d\n" o.Fuzz.cpu_ops_completed o.Fuzz.cpu_ops_expected;
+        Printf.printf "crashed            %s\n"
+          (match o.Fuzz.crashed with Some e -> e | None -> "no");
+        Printf.printf "deadlocked         %b\n" o.Fuzz.deadlocked;
+        Printf.printf "violations         %d\n" o.Fuzz.violations;
+        List.iter
+          (fun (k, n) -> Printf.printf "  %-36s %d\n" (Xg.Os_model.error_kind_to_string k) n)
+          o.Fuzz.violations_by_kind;
+        if o.Fuzz.crashed <> None || o.Fuzz.deadlocked then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
+    Term.(const action $ config_arg $ seed_arg $ mute_arg)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment id (t1 f1 f2 e1-e8 a1 a2) or 'all'.")
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size run.") in
+  let action id quick =
+    let print (r : Experiments.report) =
+      Printf.printf "== %s ==\n" r.Experiments.title;
+      List.iter (fun t -> print_string (Xguard_stats.Table.to_string t); print_newline ())
+        r.Experiments.tables
+    in
+    if id = "all" then List.iter print (Experiments.all ~quick ())
+    else
+      match Experiments.by_id id with
+      | Some f -> print (f ~quick ())
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " Experiments.ids);
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate a reproduced table or figure")
+    Term.(const action $ id_arg $ quick_arg)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "configurations:\n";
+    List.iter (fun n -> Printf.printf "  %s\n" n) config_names;
+    Printf.printf "workloads:\n";
+    List.iter (fun w -> Printf.printf "  %-18s %s\n" w.W.name w.W.description) (W.all ());
+    Printf.printf "experiments:\n  %s\n" (String.concat " " Experiments.ids)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List configurations, workloads and experiments")
+    Term.(const action $ const ())
+
+let () =
+  let doc = "Crossing Guard: mediating host-accelerator coherence interactions (reproduction)" in
+  let info = Cmd.info "xguard" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; stress_cmd; fuzz_cmd; report_cmd; list_cmd ]))

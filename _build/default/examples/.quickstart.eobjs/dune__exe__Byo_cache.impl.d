@@ -1,0 +1,1 @@
+examples/byo_cache.ml: Addr Data Fun Hashtbl List Memory_model Node Printf Xguard_network Xguard_sim Xguard_xg

@@ -1,0 +1,1 @@
+examples/byo_cache.mli:

@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Access Addr Array Data List Printf Sequencer Xguard_harness Xguard_sim Xguard_xg

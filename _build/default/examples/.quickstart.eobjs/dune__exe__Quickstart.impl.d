@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Addr Array Data Option Printf Xguard_harness Xguard_sim Xguard_xg

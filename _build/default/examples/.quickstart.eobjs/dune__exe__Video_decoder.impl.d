@@ -1,0 +1,1 @@
+examples/video_decoder.ml: Access Addr Array Data Printf Sequencer Xguard_harness Xguard_sim Xguard_xg

@@ -1,0 +1,1 @@
+lib/accel/chaos_accel.ml: Addr Data Node Xguard_sim Xguard_xg

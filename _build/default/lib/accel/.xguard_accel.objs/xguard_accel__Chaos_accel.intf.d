@@ -1,0 +1,1 @@
+lib/accel/chaos_accel.mli: Addr Node Xguard_sim Xguard_xg

@@ -1,0 +1,1 @@
+lib/accel/l1_simple.ml: Access Addr Cache_array Data Format Lower_port Xguard_sim Xguard_stats Xguard_xg

@@ -1,0 +1,1 @@
+lib/accel/l1_simple.mli: Access Addr Lower_port Xguard_sim Xguard_stats Xguard_xg

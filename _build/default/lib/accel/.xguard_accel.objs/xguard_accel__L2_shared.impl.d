@@ -1,0 +1,1 @@
+lib/accel/l2_shared.ml: Addr Cache_array Data Format Hashtbl List Lower_port Node Queue Xguard_sim Xguard_stats Xguard_xg

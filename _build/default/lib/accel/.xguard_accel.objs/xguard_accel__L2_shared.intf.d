@@ -1,0 +1,1 @@
+lib/accel/l2_shared.mli: Addr Lower_port Node Xguard_sim Xguard_stats Xguard_xg

@@ -1,0 +1,1 @@
+lib/accel/lower_port.ml: Addr Xguard_xg

@@ -1,0 +1,1 @@
+lib/accel/lower_port.mli: Addr Node Xguard_xg

@@ -1,0 +1,315 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+module Xg_iface = Xguard_xg.Xg_iface
+
+type flavor = Mesi | Msi | Vi
+
+type stable = St_m | St_e | St_s
+
+type pend =
+  | Get of { access : Access.t; on_done : Data.t -> unit }
+  | Put  (** eviction in flight, waiting for WbAck *)
+
+type line_state = Stable of stable | Busy of pend
+
+type line = { mutable st : line_state; mutable data : Data.t }
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  flavor : flavor;
+  hit_latency : int;
+  array : line Cache_array.t;
+  lower : Lower_port.t;
+  coverage : Group.t;
+  mshr_limit : int;
+  mutable pending_gets : int;
+  mutable pending_evictions : int;
+}
+
+let create ~engine ~name ~flavor ~sets ~ways ?(hit_latency = 1) ?(mshr_limit = 16) ~lower () =
+  {
+    engine;
+    name;
+    flavor;
+    hit_latency;
+    array = Cache_array.create ~sets ~ways ();
+    lower;
+    coverage = Group.create (name ^ ".coverage");
+    mshr_limit;
+    pending_gets = 0;
+    pending_evictions = 0;
+  }
+
+let name t = t.name
+let flavor t = t.flavor
+let coverage t = t.coverage
+let resident t = Cache_array.count t.array
+let pending_evictions t = t.pending_evictions
+
+let visit t state event = Group.incr t.coverage (state ^ "." ^ event)
+
+let probe t addr =
+  match Cache_array.find t.array addr with
+  | None -> `I
+  | Some { st = Stable St_m; _ } -> `M
+  | Some { st = Stable St_e; _ } -> `E
+  | Some { st = Stable St_s; _ } -> `S
+  | Some { st = Busy _; _ } -> `B
+
+let state_key = function
+  | Stable St_m -> "M"
+  | Stable St_e -> "E"
+  | Stable St_s -> "S"
+  | Busy _ -> "B"
+
+let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
+
+(* Start evicting a stable line; the line enters B (Busy Put) until WbAck. *)
+let start_eviction t addr line stable =
+  let req =
+    match (t.flavor, stable) with
+    | _, St_m -> Xg_iface.Put_m line.data
+    | Mesi, St_e -> Xg_iface.Put_e line.data
+    | Msi, St_e | Vi, St_e ->
+        (* MSI/VI never track E; treat as modified. *)
+        Xg_iface.Put_m line.data
+    | _, St_s -> Xg_iface.Put_s
+  in
+  visit t (state_key (Stable stable))
+    (match stable with St_m -> "Replacement" | St_e -> "Replacement" | St_s -> "Replacement");
+  line.st <- Busy Put;
+  t.pending_evictions <- t.pending_evictions + 1;
+  t.lower.Lower_port.send_req addr req
+
+(* The request flavor for a miss. *)
+let miss_request t (access : Access.t) =
+  match (t.flavor, access.Access.op) with
+  | Vi, _ -> Xg_iface.Get_m
+  | _, Access.Load -> Xg_iface.Get_s
+  | _, Access.Store _ -> Xg_iface.Get_m
+
+let issue t (access : Access.t) ~on_done =
+  let addr = access.Access.addr in
+  match Cache_array.find t.array addr with
+  | Some line -> (
+      Cache_array.touch t.array addr;
+      match (line.st, access.Access.op) with
+      | Stable St_m, Access.Load ->
+          visit t "M" "Load";
+          complete t ~on_done line.data;
+          true
+      | Stable St_m, Access.Store d ->
+          visit t "M" "Store";
+          line.data <- d;
+          complete t ~on_done d;
+          true
+      | Stable St_e, Access.Load ->
+          visit t "E" "Load";
+          complete t ~on_done line.data;
+          true
+      | Stable St_e, Access.Store d ->
+          (* Table 1: E + store = hit, silently upgrade to M. *)
+          visit t "E" "Store";
+          line.st <- Stable St_m;
+          line.data <- d;
+          complete t ~on_done d;
+          true
+      | Stable St_s, Access.Load ->
+          visit t "S" "Load";
+          complete t ~on_done line.data;
+          true
+      | Stable St_s, Access.Store _ ->
+          if t.pending_gets >= t.mshr_limit then false
+          else begin
+            (* Upgrade miss: keep the line, go Busy, ask for M. *)
+            visit t "S" "Store";
+            line.st <- Busy (Get { access; on_done });
+            t.pending_gets <- t.pending_gets + 1;
+            t.lower.Lower_port.send_req addr Xg_iface.Get_m;
+            true
+          end
+      | Busy _, Access.Load ->
+          visit t "B" "Load";
+          false
+      | Busy _, Access.Store _ ->
+          visit t "B" "Store";
+          false)
+  | None ->
+      if t.pending_gets >= t.mshr_limit then false
+      else if Cache_array.has_room t.array addr then begin
+        visit t "I" (match access.Access.op with Access.Load -> "Load" | Access.Store _ -> "Store");
+        let line = { st = Busy (Get { access; on_done }); data = Data.zero } in
+        Cache_array.insert t.array addr line;
+        t.pending_gets <- t.pending_gets + 1;
+        t.lower.Lower_port.send_req addr (miss_request t access);
+        true
+      end
+      else begin
+        (match Cache_array.victim t.array addr with
+        | Some (victim_addr, victim_line) -> (
+            match victim_line.st with
+            | Stable stable -> start_eviction t victim_addr victim_line stable
+            | Busy _ ->
+                (* Eviction already in flight for the LRU way; just wait. *)
+                visit t "B" "Replacement")
+        | None -> assert false (* has_room was false, so the set is full *));
+        false
+      end
+
+let cpu_port t = { Access.issue = (fun access ~on_done -> issue t access ~on_done) }
+
+(* Grant arriving from below while a Get is pending. *)
+let apply_grant t line (access : Access.t) ~on_done granted ~data =
+  let final_state, value =
+    match (access.Access.op, granted) with
+    | Access.Load, `S -> (Stable St_s, data)
+    | Access.Load, `E -> (Stable St_e, data)
+    | Access.Load, `M -> (Stable St_m, data)
+    | Access.Store d, `M -> (Stable St_m, d)
+    | Access.Store d, `E ->
+        (* Store applied to an exclusive-clean grant: silent upgrade. *)
+        (Stable St_m, d)
+    | Access.Store _, `S ->
+        failwith (t.name ^ ": DataS grant for a pending store (interface violation)")
+  in
+  line.st <- final_state;
+  line.data <- value;
+  complete t ~on_done value
+
+let on_response t addr (resp : Xg_iface.xg_response) =
+  match Cache_array.find t.array addr with
+  | None ->
+      failwith
+        (Format.asprintf "%s: response %a for non-resident block %a" t.name
+           Xg_iface.pp_xg_response resp Addr.pp addr)
+  | Some line -> (
+      match (line.st, resp) with
+      | Busy (Get { access; on_done }), Xg_iface.Data_m data ->
+          visit t "B" "DataM";
+          t.pending_gets <- t.pending_gets - 1;
+          apply_grant t line access ~on_done `M ~data
+      | Busy (Get { access; on_done }), Xg_iface.Data_e data ->
+          visit t "B" "DataE";
+          t.pending_gets <- t.pending_gets - 1;
+          let granted = match t.flavor with Mesi -> `E | Msi | Vi -> `M in
+          apply_grant t line access ~on_done granted ~data
+      | Busy (Get { access; on_done }), Xg_iface.Data_s data ->
+          visit t "B" "DataS";
+          t.pending_gets <- t.pending_gets - 1;
+          apply_grant t line access ~on_done `S ~data
+      | Busy Put, Xg_iface.Wb_ack ->
+          visit t "B" "WbAck";
+          t.pending_evictions <- t.pending_evictions - 1;
+          Cache_array.remove t.array addr
+      | (Stable _ | Busy _), _ ->
+          failwith
+            (Format.asprintf "%s: unexpected response %a in state %s for %a" t.name
+               Xg_iface.pp_xg_response resp (state_key line.st) Addr.pp addr))
+
+let on_invalidate t addr =
+  match Cache_array.find t.array addr with
+  | None ->
+      visit t "I" "Invalidate";
+      t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack
+  | Some line -> (
+      match line.st with
+      | Stable St_m ->
+          visit t "M" "Invalidate";
+          t.lower.Lower_port.send_resp addr (Xg_iface.Dirty_wb line.data);
+          Cache_array.remove t.array addr
+      | Stable St_e ->
+          visit t "E" "Invalidate";
+          let resp =
+            match t.flavor with
+            | Mesi -> Xg_iface.Clean_wb line.data
+            | Msi | Vi -> Xg_iface.Dirty_wb line.data
+          in
+          t.lower.Lower_port.send_resp addr resp;
+          Cache_array.remove t.array addr
+      | Stable St_s ->
+          visit t "S" "Invalidate";
+          t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack;
+          Cache_array.remove t.array addr
+      | Busy _ ->
+          (* Table 1: not in a stable state -> always InvAck, no further action. *)
+          visit t "B" "Invalidate";
+          t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack)
+
+let deliver t = function
+  | Xg_iface.To_accel_resp { addr; resp } -> on_response t addr resp
+  | Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate } -> on_invalidate t addr
+  | Xg_iface.To_xg_req _ | Xg_iface.To_xg_resp _ ->
+      invalid_arg (t.name ^ ": received an accelerator-to-XG message")
+
+module Spec = struct
+  type state = M | E | S | I | B
+
+  type event =
+    | Load
+    | Store
+    | Replacement
+    | Invalidate
+    | Data_m_arrival
+    | Data_e_arrival
+    | Data_s_arrival
+    | Wb_ack_arrival
+
+  type outcome = Impossible | Entry of { action : string; next : state }
+
+  (* Table 1 of the paper, verbatim. *)
+  let mesi state event =
+    match (state, event) with
+    | M, Load -> Entry { action = "hit"; next = M }
+    | M, Store -> Entry { action = "hit"; next = M }
+    | M, Replacement -> Entry { action = "issue PutM"; next = B }
+    | M, Invalidate -> Entry { action = "send Dirty WB"; next = I }
+    | E, Load -> Entry { action = "hit"; next = E }
+    | E, Store -> Entry { action = "hit"; next = M }
+    | E, Replacement -> Entry { action = "issue PutE"; next = B }
+    | E, Invalidate -> Entry { action = "send Clean WB"; next = I }
+    | S, Load -> Entry { action = "hit"; next = S }
+    | S, Store -> Entry { action = "issue GetM"; next = B }
+    | S, Replacement -> Entry { action = "issue PutS"; next = B }
+    | S, Invalidate -> Entry { action = "send InvAck"; next = I }
+    | I, Load -> Entry { action = "issue GetS"; next = B }
+    | I, Store -> Entry { action = "issue GetM"; next = B }
+    | I, Replacement -> Impossible
+    | I, Invalidate -> Entry { action = "send InvAck"; next = I }
+    | B, Load -> Entry { action = "stall"; next = B }
+    | B, Store -> Entry { action = "stall"; next = B }
+    | B, Replacement -> Entry { action = "stall"; next = B }
+    | B, Invalidate -> Entry { action = "send InvAck"; next = B }
+    | B, Data_m_arrival -> Entry { action = "-"; next = M }
+    | B, Data_e_arrival -> Entry { action = "-"; next = E }
+    | B, Data_s_arrival -> Entry { action = "-"; next = S }
+    | B, Wb_ack_arrival -> Entry { action = "-"; next = I }
+    | (M | E | S | I), (Data_m_arrival | Data_e_arrival | Data_s_arrival | Wb_ack_arrival) ->
+        Impossible
+
+  let all_states = [ M; E; S; I; B ]
+
+  let all_events =
+    [
+      Load;
+      Store;
+      Replacement;
+      Invalidate;
+      Data_m_arrival;
+      Data_e_arrival;
+      Data_s_arrival;
+      Wb_ack_arrival;
+    ]
+
+  let state_to_string = function M -> "M" | E -> "E" | S -> "S" | I -> "I" | B -> "B"
+
+  let event_to_string = function
+    | Load -> "Load"
+    | Store -> "Store"
+    | Replacement -> "Replacement"
+    | Invalidate -> "Invalidate"
+    | Data_m_arrival -> "DataM"
+    | Data_e_arrival -> "DataE"
+    | Data_s_arrival -> "DataS"
+    | Wb_ack_arrival -> "WB Ack"
+end

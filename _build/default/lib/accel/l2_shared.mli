@@ -1,0 +1,43 @@
+(** Shared accelerator L2 for the two-level hierarchy (paper §2.1, Figure 2d).
+
+    Sits between per-core accelerator L1s and the Crossing Guard.  Both of its
+    interfaces have the *same shape* — the Crossing Guard interface — which is
+    the point the paper makes about the interface's composability: the L1s
+    from the single-level design plug in unchanged, with their lower port bound
+    to this L2 instead of the XG link.
+
+    The L2 is inclusive and tracks which L1s hold each block, so blocks move
+    between accelerator cores without crossing the Crossing Guard or touching
+    the host directory.  The hierarchy below-state (what the whole accelerator
+    holds with respect to the host) is S, E or M; upward it grants at most
+    that much privilege.
+
+    The internal network must be an ordered {!Xguard_xg.Xg_iface.Link}, like
+    the external one; the only internal race is again an L1 Put crossing an
+    L2 Invalidate. *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  name:string ->
+  internal:Xguard_xg.Xg_iface.Link.t ->
+  node:Node.t ->
+  lower:Lower_port.t ->
+  sets:int ->
+  ways:int ->
+  ?l2_latency:int ->
+  unit ->
+  t
+(** Registers [node] on [internal]; L1s send their requests there.  [lower]
+    carries the L2's own requests toward the Crossing Guard. *)
+
+val deliver_from_below : t -> Xguard_xg.Xg_iface.msg -> unit
+(** Feed messages arriving on the external XG link ([To_accel_*]). *)
+
+val probe : t -> Addr.t -> [ `I | `S | `E | `M | `Busy ]
+(** The hierarchy's below-state for a block. *)
+
+val upward_holders : t -> Addr.t -> [ `None | `Sharers of int | `Owner ]
+val resident : t -> int
+val stats : t -> Xguard_stats.Counter.Group.t

@@ -1,0 +1,15 @@
+module Xg_iface = Xguard_xg.Xg_iface
+
+type t = {
+  send_req : Addr.t -> Xg_iface.accel_request -> unit;
+  send_resp : Addr.t -> Xg_iface.accel_response -> unit;
+}
+
+let on_link link ~self ~peer =
+  let send msg =
+    Xg_iface.Link.send link ~src:self ~dst:peer ~size:(Xg_iface.msg_size msg) msg
+  in
+  {
+    send_req = (fun addr req -> send (Xg_iface.To_xg_req { addr; req }));
+    send_resp = (fun addr resp -> send (Xg_iface.To_xg_resp { addr; resp }));
+  }

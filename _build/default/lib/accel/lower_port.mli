@@ -1,0 +1,16 @@
+(** Downward-facing port of an accelerator cache.
+
+    An accelerator cache speaks the Crossing Guard interface below it.  The
+    same cache module is reused in two places by binding this port differently:
+    directly on the XG link (single-level hierarchy, paper Figure 2c) or on the
+    accelerator-internal network toward the shared accelerator L2 (Figure 2d,
+    where the L2 exports the same interface shape upward). *)
+
+type t = {
+  send_req : Addr.t -> Xguard_xg.Xg_iface.accel_request -> unit;
+  send_resp : Addr.t -> Xguard_xg.Xg_iface.accel_response -> unit;
+}
+
+val on_link :
+  Xguard_xg.Xg_iface.Link.t -> self:Node.t -> peer:Node.t -> t
+(** A port that sends over an XG link instance to [peer]. *)

@@ -1,0 +1,1 @@
+lib/harness/fault_scenarios.ml: Access Addr Array Config Data List Option Perm System Xguard_sim Xguard_xg

@@ -1,0 +1,1 @@
+lib/harness/fault_scenarios.mli: Config Xguard_xg

@@ -1,0 +1,1 @@
+lib/harness/fuzz_tester.ml: Addr Array Config List Option Perm Printexc Random_tester System Xguard_accel Xguard_sim Xguard_xg

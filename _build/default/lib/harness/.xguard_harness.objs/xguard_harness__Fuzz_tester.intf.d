@@ -1,0 +1,1 @@
+lib/harness/fuzz_tester.mli: Config Xguard_xg

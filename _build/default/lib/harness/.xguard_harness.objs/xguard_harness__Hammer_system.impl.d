@@ -1,0 +1,1 @@
+lib/harness/hammer_system.ml: Array List Memory_model Node Printf Xguard_host_hammer Xguard_network Xguard_sim

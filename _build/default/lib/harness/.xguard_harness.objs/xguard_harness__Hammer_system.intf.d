@@ -1,0 +1,1 @@
+lib/harness/hammer_system.mli: Access Memory_model Node Xguard_host_hammer Xguard_network Xguard_sim

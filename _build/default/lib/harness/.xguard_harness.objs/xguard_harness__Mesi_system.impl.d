@@ -1,0 +1,1 @@
+lib/harness/mesi_system.ml: Array Memory_model Node Printf Xguard_host_mesi Xguard_network Xguard_sim

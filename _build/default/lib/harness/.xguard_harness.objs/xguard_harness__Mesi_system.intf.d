@@ -1,0 +1,1 @@
+lib/harness/mesi_system.mli: Access Memory_model Node Xguard_host_mesi Xguard_network Xguard_sim

@@ -1,0 +1,1 @@
+lib/harness/perf_runner.ml: Array Config List Printf Sequencer System Xguard_sim Xguard_stats Xguard_workload Xguard_xg

@@ -1,0 +1,1 @@
+lib/harness/perf_runner.mli: Config Xguard_workload

@@ -1,0 +1,1 @@
+lib/harness/random_tester.ml: Access Addr Array Data Hashtbl Printf Sequencer Sys Xguard_sim

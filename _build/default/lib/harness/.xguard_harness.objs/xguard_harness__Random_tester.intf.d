@@ -1,0 +1,1 @@
+lib/harness/random_tester.mli: Access Addr Xguard_sim

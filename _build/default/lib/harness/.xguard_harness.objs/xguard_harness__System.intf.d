@@ -1,0 +1,1 @@
+lib/harness/system.mli: Access Config Memory_model Node Xguard_accel Xguard_sim Xguard_stats Xguard_xg

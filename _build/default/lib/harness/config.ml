@@ -1,0 +1,112 @@
+type host = Hammer | Mesi
+
+type xg_variant = Full_state | Transactional
+
+type accel_org =
+  | Accel_side
+  | Host_side
+  | Xg_one_level of xg_variant
+  | Xg_two_level of xg_variant
+
+type t = {
+  host : host;
+  org : accel_org;
+  num_cpus : int;
+  num_accel_cores : int;
+  seed : int;
+  cpu_sets : int;
+  cpu_ways : int;
+  accel_sets : int;
+  accel_ways : int;
+  accel_l2_sets : int;
+  accel_l2_ways : int;
+  host_l2_sets : int;
+  host_l2_ways : int;
+  host_net_min : int;
+  host_net_max : int;
+  link_latency : int;
+  link_ordered : bool;
+  mem_latency : int;
+  dir_occupancy : int;
+  xg_timeout : int;
+  suppress_put_s : bool;
+  rate_limit : (float * int) option;
+  os_policy : Xguard_xg.Os_model.policy;
+}
+
+let default =
+  {
+    host = Hammer;
+    org = Xg_one_level Transactional;
+    num_cpus = 2;
+    num_accel_cores = 1;
+    seed = 42;
+    cpu_sets = 32;
+    cpu_ways = 4;
+    accel_sets = 16;
+    accel_ways = 4;
+    accel_l2_sets = 32;
+    accel_l2_ways = 8;
+    host_l2_sets = 64;
+    host_l2_ways = 8;
+    host_net_min = 10;
+    host_net_max = 14;
+    link_latency = 8;
+    link_ordered = true;
+    mem_latency = 60;
+    dir_occupancy = 0;
+    xg_timeout = 4000;
+    suppress_put_s = false;
+    rate_limit = None;
+    os_policy = Xguard_xg.Os_model.Log_only;
+  }
+
+let make ?(base = default) host org =
+  let num_accel_cores =
+    match org with Xg_two_level _ -> max base.num_accel_cores 2 | _ -> 1
+  in
+  { base with host; org; num_accel_cores }
+
+let stress_sized t =
+  {
+    t with
+    cpu_sets = 1;
+    cpu_ways = 2;
+    accel_sets = 1;
+    accel_ways = 2;
+    accel_l2_sets = 2;
+    accel_l2_ways = 2;
+    host_l2_sets = 2;
+    host_l2_ways = 2;
+    host_net_min = 1;
+    host_net_max = 40;
+  }
+
+let host_name = function Hammer -> "hammer" | Mesi -> "mesi"
+
+let org_name = function
+  | Accel_side -> "accel-side"
+  | Host_side -> "host-side"
+  | Xg_one_level Full_state -> "xg-full-1lvl"
+  | Xg_one_level Transactional -> "xg-trans-1lvl"
+  | Xg_two_level Full_state -> "xg-full-2lvl"
+  | Xg_two_level Transactional -> "xg-trans-2lvl"
+
+let host_label = host_name
+let org_label = org_name
+let name t = host_name t.host ^ "/" ^ org_name t.org
+
+let uses_xg t = match t.org with Xg_one_level _ | Xg_two_level _ -> true | _ -> false
+
+let all_configurations ?base () =
+  let orgs =
+    [
+      Accel_side;
+      Host_side;
+      Xg_one_level Full_state;
+      Xg_one_level Transactional;
+      Xg_two_level Full_state;
+      Xg_two_level Transactional;
+    ]
+  in
+  List.concat_map (fun host -> List.map (fun org -> make ?base host org) orgs) [ Hammer; Mesi ]

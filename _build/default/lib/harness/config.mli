@@ -1,0 +1,68 @@
+(** Configuration space of the evaluation (paper §3, Figure 2).
+
+    Two host protocols x (accelerator-side cache | host-side cache | Crossing
+    Guard x {Full-State, Transactional} x {one-level, two-level accelerator
+    protocol}) = the paper's 8 Crossing Guard configurations plus 4 without
+    it. *)
+
+type host = Hammer | Mesi
+
+type xg_variant = Full_state | Transactional
+
+type accel_org =
+  | Accel_side  (** (a) unsafe: an accelerator cache speaking the host protocol *)
+  | Host_side  (** (b) safe but slow: loads/stores cross to a host-side cache *)
+  | Xg_one_level of xg_variant  (** (c) Crossing Guard + private accel L1 *)
+  | Xg_two_level of xg_variant  (** (d) Crossing Guard + L1s over a shared accel L2 *)
+
+type t = {
+  host : host;
+  org : accel_org;
+  num_cpus : int;
+  num_accel_cores : int;  (** forced to 1 unless the org is two-level *)
+  seed : int;
+  (* cache geometry *)
+  cpu_sets : int;
+  cpu_ways : int;
+  accel_sets : int;
+  accel_ways : int;
+  accel_l2_sets : int;
+  accel_l2_ways : int;
+  host_l2_sets : int;  (** MESI shared L2 *)
+  host_l2_ways : int;
+  (* latencies *)
+  host_net_min : int;
+  host_net_max : int;
+  link_latency : int;  (** XG-accelerator link / host-side-cache access link *)
+  link_ordered : bool;
+      (** ablation A1: the paper requires an ordered XG-accelerator link;
+          [false] deliberately violates that requirement *)
+  mem_latency : int;
+  dir_occupancy : int;
+      (** finite directory pipeline throughput (cycles a message holds the
+          controller); 0 = unbounded.  Used by the DoS experiment E7. *)
+  (* guard knobs *)
+  xg_timeout : int;
+  suppress_put_s : bool;
+  rate_limit : (float * int) option;  (** tokens per cycle, burst *)
+  os_policy : Xguard_xg.Os_model.policy;
+}
+
+val default : t
+(** Hammer + Transactional one-level XG, 2 CPUs, perf-sized caches. *)
+
+val make : ?base:t -> host -> accel_org -> t
+
+val stress_sized : t -> t
+(** Shrink caches and widen network jitter for the random tester (§4.1). *)
+
+val name : t -> string
+(** e.g. ["hammer/xg-trans-1lvl"]. *)
+
+val host_label : host -> string
+val org_label : accel_org -> string
+
+val all_configurations : ?base:t -> unit -> t list
+(** The 12 evaluated configurations, Hammer first. *)
+
+val uses_xg : t -> bool

@@ -1,0 +1,659 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Table = Xguard_stats.Table
+module Group = Xguard_stats.Counter.Group
+module Xg = Xguard_xg
+module W = Xguard_workload.Workload
+module L1 = Xguard_accel.L1_simple
+
+type report = { id : string; title : string; tables : Table.t list }
+
+let xg_configs () = List.filter Config.uses_xg (Config.all_configurations ())
+
+(* ---------- T1 ---------- *)
+
+let t1_transition_table () =
+  let module Spec = L1.Spec in
+  let columns =
+    "States"
+    :: List.map Spec.event_to_string Spec.all_events
+  in
+  let table =
+    Table.create ~title:"Table 1: accelerator L1 cache implementing the XG interface" ~columns
+  in
+  List.iter
+    (fun state ->
+      let cells =
+        List.map
+          (fun event ->
+            match Spec.mesi state event with
+            | Spec.Impossible -> "-"
+            | Spec.Entry { action; next } ->
+                if next = state then (if action = "-" then "." else action)
+                else if action = "-" || action = "hit" then
+                  Printf.sprintf "%s / %s" action (Spec.state_to_string next)
+                else Printf.sprintf "%s / %s" action (Spec.state_to_string next))
+          Spec.all_events
+      in
+      Table.add_row table (Spec.state_to_string state :: cells))
+    Spec.all_states;
+  { id = "t1"; title = "Table 1 (accelerator transition matrix)"; tables = [ table ] }
+
+(* ---------- F1 ---------- *)
+
+let f1_guarantees () =
+  let table =
+    Table.create ~title:"Figure 1: guarantee enforcement (detected / host stays live)"
+      ~columns:
+        [ "Scenario"; "hammer full"; "hammer trans"; "mesi full"; "mesi trans" ]
+  in
+  let cell outcome =
+    Printf.sprintf "%s / %s"
+      (if outcome.Fault_scenarios.detected then "detected" else "tolerated")
+      (if outcome.Fault_scenarios.host_live then "live" else "WEDGED")
+  in
+  let configs =
+    [
+      Config.make Config.Hammer (Config.Xg_one_level Config.Full_state);
+      Config.make Config.Hammer (Config.Xg_one_level Config.Transactional);
+      Config.make Config.Mesi (Config.Xg_one_level Config.Full_state);
+      Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
+    ]
+  in
+  List.iter
+    (fun scenario ->
+      let cells =
+        List.map (fun cfg -> cell (Fault_scenarios.run cfg scenario)) configs
+      in
+      Table.add_row table (Fault_scenarios.scenario_name scenario :: cells))
+    Fault_scenarios.all_scenarios;
+  { id = "f1"; title = "Figure 1 (guarantees)"; tables = [ table ] }
+
+(* ---------- F2 ---------- *)
+
+let f2_organizations ?(quick = false) () =
+  let w = if quick then W.blocked ~tiles:8 () else W.blocked () in
+  let table =
+    Table.create
+      ~title:"Figure 2: the four accelerator cache organizations, same kernel (blocked)"
+      ~columns:[ "Organization"; "host"; "cycles"; "mean access latency"; "violations" ]
+  in
+  List.iter
+    (fun host ->
+      List.iter
+        (fun org ->
+          let r = Perf_runner.run (Config.make host org) w in
+          Table.add_row table
+            [
+              Config.org_label org;
+              Config.host_label host;
+              Table.cell_int r.Perf_runner.cycles;
+              Table.cell_float r.Perf_runner.mean_accel_latency;
+              Table.cell_int r.Perf_runner.violations;
+            ])
+        [
+          Config.Accel_side;
+          Config.Host_side;
+          Config.Xg_one_level Config.Transactional;
+          Config.Xg_two_level Config.Transactional;
+        ];
+      Table.add_separator table)
+    [ Config.Hammer; Config.Mesi ];
+  { id = "f2"; title = "Figure 2 (organizations)"; tables = [ table ] }
+
+(* ---------- E1 ---------- *)
+
+let e1_stress ?(quick = false) () =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+  let ops = if quick then 200 else 600 in
+  let table =
+    Table.create ~title:"E1: random coherence stress (all 12 configurations)"
+      ~columns:
+        [ "Configuration"; "ops"; "data errors"; "deadlocks"; "violations"; "transitions seen" ]
+  in
+  List.iter
+    (fun cfg ->
+      let total_ops = ref 0 and errors = ref 0 and deadlocks = ref 0 and violations = ref 0 in
+      let coverage = Hashtbl.create 64 in
+      List.iter
+        (fun seed ->
+          let cfg = Config.stress_sized { cfg with Config.seed } in
+          let sys = System.build cfg in
+          let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+          let o =
+            Random_tester.run ~engine:sys.System.engine
+              ~rng:(Rng.create ~seed:(seed * 7 + 1))
+              ~ports
+              ~addresses:(Array.init 6 Addr.block)
+              ~ops_per_core:ops ()
+          in
+          total_ops := !total_ops + o.Random_tester.ops_completed;
+          errors := !errors + o.Random_tester.data_errors;
+          if o.Random_tester.deadlocked then incr deadlocks;
+          violations := !violations + Xg.Os_model.error_count sys.System.os;
+          List.iter
+            (fun (group_name, group) ->
+              List.iter
+                (fun (key, n) ->
+                  if n > 0 then
+                    (* Merge same-class controllers (cpu0/cpu1/l1_0...) *)
+                    let cls =
+                      match String.index_opt group_name '_' with
+                      | Some i when String.length group_name > i -> String.sub group_name 0 i
+                      | _ -> (
+                          match String.index_opt group_name '0' with
+                          | Some i -> String.sub group_name 0 i
+                          | None -> group_name)
+                    in
+                    Hashtbl.replace coverage (cls ^ ":" ^ key) ())
+                (Group.to_list group))
+            (sys.System.coverage_groups ()))
+        seeds;
+      Table.add_row table
+        [
+          Config.name cfg;
+          Table.cell_int !total_ops;
+          Table.cell_int !errors;
+          Table.cell_int !deadlocks;
+          Table.cell_int !violations;
+          Table.cell_int (Hashtbl.length coverage);
+        ])
+    (Config.all_configurations ());
+  { id = "e1"; title = "E1 (protocol stress test)"; tables = [ table ] }
+
+(* ---------- E2 ---------- *)
+
+let e2_fuzz ?(quick = false) () =
+  let cpu_ops = if quick then 150 else 300 in
+  let table =
+    Table.create ~title:"E2: fuzzing the guard with a pathological accelerator"
+      ~columns:
+        [
+          "Configuration";
+          "chaos msgs";
+          "cpu ops";
+          "crashed";
+          "deadlocked";
+          "violations";
+          "timeouts";
+        ]
+  in
+  let row cfg label o =
+    Table.add_row table
+      [
+        label;
+        Table.cell_int o.Fuzz_tester.chaos_messages;
+        Printf.sprintf "%d/%d" o.Fuzz_tester.cpu_ops_completed o.Fuzz_tester.cpu_ops_expected;
+        (match o.Fuzz_tester.crashed with Some _ -> "CRASH" | None -> "no");
+        (if o.Fuzz_tester.deadlocked then "DEADLOCK" else "no");
+        Table.cell_int o.Fuzz_tester.violations;
+        Table.cell_int
+          (try List.assoc Xg.Os_model.Response_timeout o.Fuzz_tester.violations_by_kind
+           with Not_found -> 0);
+      ];
+    ignore cfg
+  in
+  List.iter
+    (fun cfg -> row cfg (Config.name cfg) (Fuzz_tester.run cfg ~cpu_ops ()))
+    (xg_configs ());
+  Table.add_separator table;
+  (* A mute accelerator (never answers an Invalidate) forces the G2c timeout
+     path; a short deadline keeps the run fast. *)
+  List.iter
+    (fun (host, variant) ->
+      let cfg = Config.make host (Config.Xg_one_level variant) in
+      let cfg = { cfg with Config.xg_timeout = 400 } in
+      row cfg
+        (Config.name cfg ^ " (mute)")
+        (Fuzz_tester.run cfg ~pool:Fuzz_tester.Shared_ro ~respond_probability:0.0
+           ~requests_only:true ~cpu_ops ()))
+    [
+      (Config.Hammer, Config.Full_state);
+      (Config.Hammer, Config.Transactional);
+      (Config.Mesi, Config.Full_state);
+      (Config.Mesi, Config.Transactional);
+    ];
+  { id = "e2"; title = "E2 (fuzz safety)"; tables = [ table ] }
+
+(* ---------- E3 ---------- *)
+
+let e3_performance ?(quick = false) () =
+  let workloads =
+    if quick then [ W.blocked ~tiles:12 (); W.graph ~nodes:64 ~steps:600 () ] else W.all ()
+  in
+  let orgs =
+    [
+      Config.Accel_side;
+      Config.Host_side;
+      Config.Xg_one_level Config.Full_state;
+      Config.Xg_one_level Config.Transactional;
+      Config.Xg_two_level Config.Full_state;
+      Config.Xg_two_level Config.Transactional;
+    ]
+  in
+  let tables =
+    List.map
+      (fun host ->
+        let table =
+          Table.create
+            ~title:
+              (Printf.sprintf
+                 "E3 (%s host): runtime normalized to the unsafe accelerator-side cache"
+                 (Config.host_label host))
+            ~columns:("Configuration" :: List.map (fun w -> w.W.name) workloads)
+        in
+        let results =
+          List.map
+            (fun org ->
+              (org, List.map (fun w -> Perf_runner.run (Config.make host org) w) workloads))
+            orgs
+        in
+        let baseline =
+          match results with (_, rs) :: _ -> List.map (fun r -> r.Perf_runner.cycles) rs | [] -> []
+        in
+        List.iter
+          (fun (org, rs) ->
+            let cells =
+              List.map2
+                (fun r base ->
+                  Table.cell_ratio (float_of_int r.Perf_runner.cycles /. float_of_int base))
+                rs baseline
+            in
+            Table.add_row table (Config.org_label org :: cells))
+          results;
+        table)
+      [ Config.Hammer; Config.Mesi ]
+  in
+  { id = "e3"; title = "E3 (performance)"; tables }
+
+(* ---------- E4 ---------- *)
+
+let e4_puts_overhead ?(quick = false) () =
+  let w = if quick then W.shared_sweep ~length:256 () else W.shared_sweep () in
+  let table =
+    Table.create ~title:"E4: unnecessary PutS traffic (paper: 1-4% of XG-to-host bandwidth)"
+      ~columns:
+        [
+          "Configuration";
+          "suppress reg";
+          "PutS to host";
+          "PutS suppressed";
+          "XG-to-host bytes";
+          "PutS share of XG-to-host bw";
+        ]
+  in
+  let puts_bytes n = n * Xguard_network.Network.control_size in
+  List.iter
+    (fun (host, org) ->
+      List.iter
+        (fun suppress ->
+          let cfg = { (Config.make host org) with Config.suppress_put_s = suppress } in
+          let r = Perf_runner.run cfg w in
+          let share =
+            if r.Perf_runner.xg_to_host_bytes = 0 then 0.0
+            else
+              float_of_int (puts_bytes r.Perf_runner.put_s_messages)
+              /. float_of_int r.Perf_runner.xg_to_host_bytes
+          in
+          Table.add_row table
+            [
+              Config.name cfg;
+              (if suppress then "on" else "off");
+              Table.cell_int r.Perf_runner.put_s_messages;
+              Table.cell_int r.Perf_runner.put_s_suppressed;
+              Table.cell_int r.Perf_runner.xg_to_host_bytes;
+              Table.cell_pct share;
+            ])
+        [ false; true ])
+    [
+      (Config.Hammer, Config.Xg_one_level Config.Transactional);
+      (Config.Hammer, Config.Xg_two_level Config.Transactional);
+      (Config.Mesi, Config.Xg_one_level Config.Transactional);
+    ];
+  { id = "e4"; title = "E4 (PutS overhead)"; tables = [ table ] }
+
+(* ---------- E5 ---------- *)
+
+let e5_storage ?(quick = false) () =
+  let table =
+    Table.create ~title:"E5: guard storage, Full-State vs Transactional (measured peak)"
+      ~columns:
+        [ "Accel cache"; "blocks"; "full-state peak"; "transactional peak"; "ratio" ]
+  in
+  let sizes = if quick then [ (16, 4) ] else [ (8, 4); (16, 4); (32, 4); (64, 8) ] in
+  List.iter
+    (fun (sets, ways) ->
+      let measure variant =
+        let base = { Config.default with Config.accel_sets = sets; Config.accel_ways = ways } in
+        let cfg = Config.make ~base Config.Hammer (Config.Xg_one_level variant) in
+        let r = ref 0 in
+        let sys = System.build cfg in
+        let seq =
+          Sequencer.create ~engine:sys.System.engine ~name:"e5"
+            ~port:sys.System.accel_ports.(0) ()
+        in
+        let blocks = 4 * sets * ways in
+        for i = 0 to blocks - 1 do
+          Sequencer.request seq
+            (Access.store (Addr.block i) (Data.token i))
+            ~on_complete:(fun _ ~latency:_ -> ())
+        done;
+        ignore (Engine.run sys.System.engine);
+        (match sys.System.xg_core with
+        | Some core -> r := Xg.Xg_core.peak_storage_bits core
+        | None -> ());
+        !r
+      in
+      let full = measure Config.Full_state in
+      let trans = measure Config.Transactional in
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" sets ways;
+          Table.cell_int (sets * ways);
+          Printf.sprintf "%d bits (%.1f KB)" full (float_of_int full /. 8192.0);
+          Printf.sprintf "%d bits (%.2f KB)" trans (float_of_int trans /. 8192.0);
+          Table.cell_ratio (float_of_int full /. float_of_int (max trans 1));
+        ])
+    sizes;
+  (* The paper's analytic example: 256 kB accelerator cache, 64 B blocks,
+     "this storage is around 16 kB" of tags. *)
+  let analytic =
+    Table.create ~title:"E5 (analytic, paper's example): Full-State storage for a 256 kB cache"
+      ~columns:[ "Quantity"; "Value" ]
+  in
+  let blocks = 256 * 1024 / 64 in
+  let tag_bits = 34 and state_bits = 2 in
+  let tag_bytes = blocks * tag_bits / 8 in
+  let full_bytes = blocks * (tag_bits + state_bits) / 8 in
+  Table.add_row analytic [ "accelerator cache"; "256 kB, 64 B blocks" ];
+  Table.add_row analytic [ "tracked blocks"; Table.cell_int blocks ];
+  Table.add_row analytic
+    [ "tag storage"; Printf.sprintf "%.1f kB (paper: ~16 kB)" (float_of_int tag_bytes /. 1024.) ];
+  Table.add_row analytic
+    [ "tags + state"; Printf.sprintf "%.1f kB" (float_of_int full_bytes /. 1024.) ];
+  { id = "e5"; title = "E5 (storage)"; tables = [ table; analytic ] }
+
+(* ---------- E6 ---------- *)
+
+let e6_timeout ?(quick = false) () =
+  let timeouts = if quick then [ 500; 4000 ] else [ 250; 500; 1000; 2000; 4000 ] in
+  let table =
+    Table.create
+      ~title:
+        "E6: CPU request latency with a mute accelerator owner (bounded by the guard timeout)"
+      ~columns:[ "XG timeout"; "cpu latency (mute accel)"; "violations"; "host live" ]
+  in
+  List.iter
+    (fun timeout ->
+      let cfg = Config.make Config.Hammer (Config.Xg_one_level Config.Full_state) in
+      let cfg = { cfg with Config.xg_timeout = timeout } in
+      let sys = System.build ~attach_accel:false cfg in
+      let link = Option.get sys.System.accel_link in
+      let self = Option.get sys.System.accel_node_on_link in
+      let xgn = Option.get sys.System.xg_node_on_link in
+      let send msg = Xg.Xg_iface.Link.send link ~src:self ~dst:xgn ~size:8 msg in
+      (* The accelerator acquires M, then goes mute. *)
+      Xg.Xg_iface.Link.register link self (fun ~src:_ _ -> ());
+      send (Xg.Xg_iface.To_xg_req { addr = Addr.block 0; req = Xg.Xg_iface.Get_m });
+      ignore (Engine.run sys.System.engine);
+      let start = Engine.now sys.System.engine in
+      let done_at = ref 0 in
+      let port = sys.System.cpu_ports.(0) in
+      ignore
+        (port.Access.issue
+           (Access.store (Addr.block 0) (Data.token 9))
+           ~on_done:(fun _ -> done_at := Engine.now sys.System.engine));
+      ignore (Engine.run sys.System.engine);
+      let live = !done_at > 0 in
+      Table.add_row table
+        [
+          Table.cell_int timeout;
+          (if live then Table.cell_int (!done_at - start) else "never");
+          Table.cell_int (Xg.Os_model.error_count sys.System.os);
+          (if live then "yes" else "NO");
+        ])
+    timeouts;
+  { id = "e6"; title = "E6 (timeout recovery)"; tables = [ table ] }
+
+(* ---------- E7 ---------- *)
+
+let e7_rate_limit ?(quick = false) () =
+  let steps = if quick then 300 else 800 in
+  (* A latency-sensitive CPU loop, measured while the accelerator floods the
+     host with (legitimate) requests. *)
+  let measure ~flood ~limited =
+    (* A finite directory pipeline is the shared resource the flood consumes
+       (paper: "consuming bandwidth, directory entries, or other resources"). *)
+    let base = { Config.default with Config.dir_occupancy = 6 } in
+    let base =
+      if limited then { base with Config.rate_limit = Some (0.02, 4) } else base
+    in
+    let cfg = Config.make ~base Config.Hammer (Config.Xg_one_level Config.Transactional) in
+    let sys = System.build cfg in
+    let cpu_seq =
+      Sequencer.create ~engine:sys.System.engine ~name:"victim"
+        ~port:sys.System.cpu_ports.(0) ()
+    in
+    let rng = Rng.create ~seed:9 in
+    (* CPU pointer-chases its private region. *)
+    let remaining = ref steps in
+    let rec next () =
+      if !remaining > 0 then begin
+        decr remaining;
+        Sequencer.request cpu_seq
+          (Access.load (Addr.block (2048 + Rng.int rng 64)))
+          ~on_complete:(fun _ ~latency:_ -> next ())
+      end
+    in
+    next ();
+    if flood then begin
+      let accel_seq =
+        Sequencer.create ~engine:sys.System.engine ~name:"flood"
+          ~port:sys.System.accel_ports.(0) ~max_outstanding:16 ()
+      in
+      (* An open-ended stream of distinct-address reads at line rate. *)
+      let issued = ref 0 in
+      let rec flood_more () =
+        if !remaining > 0 && !issued < 1_000_000 then begin
+          incr issued;
+          Sequencer.request accel_seq
+            (Access.load (Addr.block (!issued mod 4096)))
+            ~on_complete:(fun _ ~latency:_ -> flood_more ())
+        end
+      in
+      for _ = 1 to 16 do
+        flood_more ()
+      done
+    end;
+    ignore (Engine.run ~max_events:100_000_000 sys.System.engine);
+    Xguard_stats.Histogram.mean (Sequencer.latency cpu_seq)
+  in
+  let table =
+    Table.create ~title:"E7: host process latency under an accelerator request flood"
+      ~columns:[ "Scenario"; "cpu mean latency"; "slowdown" ]
+  in
+  let alone = measure ~flood:false ~limited:false in
+  let flooded = measure ~flood:true ~limited:false in
+  let protected_ = measure ~flood:true ~limited:true in
+  let row name v =
+    Table.add_row table [ name; Table.cell_float v; Table.cell_ratio (v /. alone) ]
+  in
+  row "no accelerator traffic" alone;
+  row "flood, no rate limit" flooded;
+  row "flood, rate limit 0.02 req/cycle" protected_;
+  { id = "e7"; title = "E7 (rate limiting)"; tables = [ table ] }
+
+(* ---------- E8 ---------- *)
+
+let e8_block_merge () =
+  let table =
+    Table.create ~title:"E8: block-size translation (merge/split at the guard)"
+      ~columns:
+        [ "accel:host block ratio"; "accel ops"; "host transactions"; "amplification"; "data ok" ]
+  in
+  List.iter
+    (fun ratio ->
+      let engine = Engine.create () in
+      let memory = Memory_model.create () in
+      let backing =
+        {
+          Xg.Block_merge.get =
+            (fun addr ~excl:_ ~on_grant ->
+              Engine.schedule engine ~delay:10 (fun () -> on_grant (Memory_model.read memory addr)));
+          Xg.Block_merge.put = (fun addr data -> Memory_model.write memory addr data);
+        }
+      in
+      let bm = Xg.Block_merge.create ~engine ~ratio ~backing () in
+      let lines = 64 in
+      let ok = ref true in
+      (* Write every line through the merge layer, then read back. *)
+      for line = 0 to lines - 1 do
+        Xg.Block_merge.get bm ~line ~excl:true ~on_grant:(fun _ ->
+            Xg.Block_merge.put bm ~line
+              (Array.init ratio (fun i -> Data.token ((line * 100) + i))))
+      done;
+      ignore (Engine.run engine);
+      for line = 0 to lines - 1 do
+        Xg.Block_merge.get bm ~line ~excl:false ~on_grant:(fun g ->
+            match g with
+            | Xg.Block_merge.Merged_s parts | Xg.Block_merge.Merged_e parts
+            | Xg.Block_merge.Merged_m parts ->
+                Array.iteri
+                  (fun i d -> if not (Data.equal d (Data.token ((line * 100) + i))) then ok := false)
+                  parts)
+      done;
+      ignore (Engine.run engine);
+      let accel_ops = 3 * lines in
+      let host = Xg.Block_merge.host_transactions bm in
+      Table.add_row table
+        [
+          Printf.sprintf "%d:1" ratio;
+          Table.cell_int accel_ops;
+          Table.cell_int host;
+          Table.cell_ratio (float_of_int host /. float_of_int accel_ops);
+          (if !ok then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  { id = "e8"; title = "E8 (block-size translation)"; tables = [ table ] }
+
+(* ---------- A1 ---------- *)
+
+let a1_link_ordering ?(quick = false) () =
+  let seeds = if quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let table =
+    Table.create
+      ~title:"A1: the ordered-link requirement is load-bearing (unordered link misbehaves)"
+      ~columns:[ "Link"; "runs"; "data errors"; "deadlocks"; "violations"; "crashes" ]
+  in
+  List.iter
+    (fun ordered ->
+      let errors = ref 0 and deadlocks = ref 0 and violations = ref 0 and crashes = ref 0 in
+      List.iter
+        (fun seed ->
+          let base = { Config.default with Config.seed = seed; Config.link_ordered = ordered } in
+          let cfg =
+            Config.stress_sized
+              (Config.make ~base Config.Hammer (Config.Xg_one_level Config.Full_state))
+          in
+          try
+            let sys = System.build cfg in
+            let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+            let o =
+              Random_tester.run ~engine:sys.System.engine
+                ~rng:(Rng.create ~seed:(seed * 7 + 1))
+                ~ports
+                ~addresses:(Array.init 6 Addr.block)
+                ~ops_per_core:300 ()
+            in
+            errors := !errors + o.Random_tester.data_errors;
+            if o.Random_tester.deadlocked then incr deadlocks;
+            violations := !violations + Xg.Os_model.error_count sys.System.os
+          with _ -> incr crashes)
+        seeds;
+      Table.add_row table
+        [
+          (if ordered then "ordered (required)" else "unordered (ablated)");
+          Table.cell_int (List.length seeds);
+          Table.cell_int !errors;
+          Table.cell_int !deadlocks;
+          Table.cell_int !violations;
+          Table.cell_int !crashes;
+        ])
+    [ true; false ];
+  { id = "a1"; title = "A1 (link ordering ablation)"; tables = [ table ] }
+
+(* ---------- A2 ---------- *)
+
+let a2_snoop_filtering ?(quick = false) () =
+  let sweep = if quick then W.shared_sweep ~length:128 () else W.shared_sweep () in
+  let pc =
+    if quick then W.producer_consumer ~buffer_blocks:16 ~rounds:12 ()
+    else W.producer_consumer ()
+  in
+  let table =
+    Table.create
+      ~title:"A2: snoops the guard answers without an accelerator round-trip"
+      ~columns:
+        [ "Configuration"; "workload"; "fast-path answers"; "round-trips"; "fast-path share" ]
+  in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun cfg ->
+          let r = Perf_runner.run cfg w in
+          let fast = r.Perf_runner.snoop_fast_path and slow = r.Perf_runner.snoop_roundtrip in
+          Table.add_row table
+            [
+              Config.name cfg;
+              w.W.name;
+              Table.cell_int fast;
+              Table.cell_int slow;
+              (if fast + slow = 0 then "-"
+               else Table.cell_pct (float_of_int fast /. float_of_int (fast + slow)));
+            ])
+        [
+          Config.make Config.Hammer (Config.Xg_one_level Config.Full_state);
+          Config.make Config.Hammer (Config.Xg_one_level Config.Transactional);
+          Config.make Config.Mesi (Config.Xg_one_level Config.Full_state);
+          Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
+        ];
+      Table.add_separator table)
+    [ sweep; pc ];
+  { id = "a2"; title = "A2 (snoop filtering)"; tables = [ table ] }
+
+(* ---------- registry ---------- *)
+
+let all ?(quick = false) () =
+  [
+    t1_transition_table ();
+    f1_guarantees ();
+    f2_organizations ~quick ();
+    e1_stress ~quick ();
+    e2_fuzz ~quick ();
+    e3_performance ~quick ();
+    e4_puts_overhead ~quick ();
+    e5_storage ~quick ();
+    e6_timeout ~quick ();
+    e7_rate_limit ~quick ();
+    e8_block_merge ();
+    a1_link_ordering ~quick ();
+    a2_snoop_filtering ~quick ();
+  ]
+
+let ids = [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a2" ]
+
+let by_id = function
+  | "t1" -> Some (fun ?quick () -> ignore quick; t1_transition_table ())
+  | "f1" -> Some (fun ?quick () -> ignore quick; f1_guarantees ())
+  | "f2" -> Some (fun ?quick () -> f2_organizations ?quick ())
+  | "e1" -> Some (fun ?quick () -> e1_stress ?quick ())
+  | "e2" -> Some (fun ?quick () -> e2_fuzz ?quick ())
+  | "e3" -> Some (fun ?quick () -> e3_performance ?quick ())
+  | "e4" -> Some (fun ?quick () -> e4_puts_overhead ?quick ())
+  | "e5" -> Some (fun ?quick () -> e5_storage ?quick ())
+  | "e6" -> Some (fun ?quick () -> e6_timeout ?quick ())
+  | "e7" -> Some (fun ?quick () -> e7_rate_limit ?quick ())
+  | "e8" -> Some (fun ?quick () -> ignore quick; e8_block_merge ())
+  | "a1" -> Some (fun ?quick () -> a1_link_ordering ?quick ())
+  | "a2" -> Some (fun ?quick () -> a2_snoop_filtering ?quick ())
+  | _ -> None

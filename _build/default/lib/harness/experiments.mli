@@ -1,0 +1,58 @@
+(** The reproduced tables and figures (see DESIGN.md's experiment index).
+
+    Each experiment builds its systems, runs them and renders one or more
+    plain-text tables in the layout of the paper's artifact.  The [quick]
+    flag trades iteration count for speed (used by `dune runtest`-adjacent
+    smoke runs); default parameters match EXPERIMENTS.md. *)
+
+type report = { id : string; title : string; tables : Xguard_stats.Table.t list }
+
+val t1_transition_table : unit -> report
+(** Table 1: the accelerator L1 transition matrix, printed from the
+    implementation's own specification. *)
+
+val f1_guarantees : unit -> report
+(** Figure 1: one directed violation per sub-guarantee, per host protocol and
+    guard mode; detection and host liveness. *)
+
+val f2_organizations : ?quick:bool -> unit -> report
+(** Figure 2: all four accelerator organizations run the same kernel. *)
+
+val e1_stress : ?quick:bool -> unit -> report
+(** §4.1: random coherence stress across all 12 configurations, with
+    transition-coverage counts. *)
+
+val e2_fuzz : ?quick:bool -> unit -> report
+(** §4 fuzz: random message bombardment of every XG configuration. *)
+
+val e3_performance : ?quick:bool -> unit -> report
+(** Workload runtimes for all 12 configurations, normalized per host to the
+    unsafe accelerator-side cache. *)
+
+val e4_puts_overhead : ?quick:bool -> unit -> report
+(** §2.1: unnecessary PutS traffic as a fraction of XG-to-host bandwidth,
+    and the suppression register. *)
+
+val e5_storage : ?quick:bool -> unit -> report
+(** §2.3: Full-State vs Transactional guard storage, measured and analytic. *)
+
+val e6_timeout : ?quick:bool -> unit -> report
+(** §2.2 G2c: host-request latency against a mute accelerator, swept over the
+    guard's timeout. *)
+
+val e7_rate_limit : ?quick:bool -> unit -> report
+(** §2.5: protecting host processes from a request-flooding accelerator. *)
+
+val e8_block_merge : unit -> report
+(** §2.5: block-size translation correctness and traffic amplification. *)
+
+val a1_link_ordering : ?quick:bool -> unit -> report
+(** Ablation: the ordered-link requirement is load-bearing. *)
+
+val a2_snoop_filtering : ?quick:bool -> unit -> report
+(** Ablation: guard-answered snoops (fast path) per mode, and side-channel
+    filtering of no-permission blocks. *)
+
+val all : ?quick:bool -> unit -> report list
+val by_id : string -> (?quick:bool -> unit -> report) option
+val ids : string list

@@ -1,0 +1,157 @@
+module Engine = Xguard_sim.Engine
+module Xg = Xguard_xg
+module Xg_iface = Xguard_xg.Xg_iface
+
+type scenario =
+  | Read_no_access
+  | Write_read_only
+  | Put_without_block
+  | Double_get
+  | Wrong_response_type
+  | Unsolicited_response
+  | Silent_on_invalidate
+
+type outcome = {
+  scenario : scenario;
+  expected_kind : Xg.Os_model.error_kind;
+  detected : bool;
+  host_live : bool;
+  errors_logged : int;
+}
+
+let all_scenarios =
+  [
+    Read_no_access;
+    Write_read_only;
+    Put_without_block;
+    Double_get;
+    Wrong_response_type;
+    Unsolicited_response;
+    Silent_on_invalidate;
+  ]
+
+let scenario_name = function
+  | Read_no_access -> "G0a: read of a no-access page"
+  | Write_read_only -> "G0b: write request to a read-only page"
+  | Put_without_block -> "G1a: Put for a block not held"
+  | Double_get -> "G1b: second request while one is pending"
+  | Wrong_response_type -> "G2a: InvAck while owning the block"
+  | Unsolicited_response -> "G2b: unsolicited writeback"
+  | Silent_on_invalidate -> "G2c: no response to Invalidate"
+
+let expected_kind = function
+  | Read_no_access -> Xg.Os_model.Perm_read_violation
+  | Write_read_only -> Xg.Os_model.Perm_write_violation
+  | Put_without_block -> Xg.Os_model.Bad_request_stable
+  | Double_get -> Xg.Os_model.Request_while_pending
+  | Wrong_response_type -> Xg.Os_model.Bad_response_type
+  | Unsolicited_response -> Xg.Os_model.Unsolicited_response
+  | Silent_on_invalidate -> Xg.Os_model.Response_timeout
+
+(* A scripted accelerator endpoint: records grants, answers invalidations
+   according to [inv_policy]. *)
+type script = {
+  mutable grants : (Addr.t * Xg_iface.xg_response) list;
+  mutable inv_policy : Addr.t -> Xg_iface.accel_response option;
+}
+
+let attach_script (sys : System.t) =
+  let script = { grants = []; inv_policy = (fun _ -> Some Xg_iface.Inv_ack) } in
+  let link = Option.get sys.System.accel_link in
+  let self = Option.get sys.System.accel_node_on_link in
+  let xg = Option.get sys.System.xg_node_on_link in
+  let send msg = Xg_iface.Link.send link ~src:self ~dst:xg ~size:(Xg_iface.msg_size msg) msg in
+  Xg_iface.Link.register link self (fun ~src:_ msg ->
+      match msg with
+      | Xg_iface.To_accel_resp { addr; resp } -> script.grants <- (addr, resp) :: script.grants
+      | Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate } -> (
+          match script.inv_policy addr with
+          | Some resp -> send (Xg_iface.To_xg_resp { addr; resp })
+          | None -> ())
+      | Xg_iface.To_xg_req _ | Xg_iface.To_xg_resp _ -> ());
+  (script, send)
+
+let cpu_roundtrip (sys : System.t) cpu addr value =
+  (* A store then a load through CPU caches; returns true if both complete. *)
+  let stored = ref false and loaded = ref None in
+  let port = sys.System.cpu_ports.(cpu) in
+  let rec attempt_store tries =
+    if tries > 500 then false
+    else if
+      port.Access.issue (Access.store addr (Data.token value)) ~on_done:(fun _ ->
+          stored := true)
+    then true
+    else begin
+      ignore (Engine.run sys.System.engine);
+      attempt_store (tries + 1)
+    end
+  in
+  let ok = attempt_store 0 in
+  ignore (Engine.run sys.System.engine);
+  let rec attempt_load tries =
+    if tries > 500 then false
+    else if port.Access.issue (Access.load addr) ~on_done:(fun v -> loaded := Some v) then true
+    else begin
+      ignore (Engine.run sys.System.engine);
+      attempt_load (tries + 1)
+    end
+  in
+  let ok = ok && attempt_load 0 in
+  ignore (Engine.run sys.System.engine);
+  ok && !stored && !loaded = Some (Data.token value)
+
+let a_victim = Addr.block 3
+let a_unrelated = Addr.block 200
+
+let run (cfg : Config.t) scenario =
+  assert (Config.uses_xg cfg);
+  let sys = System.build ~attach_accel:false cfg in
+  let script, send = attach_script sys in
+  let run_engine () = ignore (Engine.run sys.System.engine) in
+  let get addr req = send (Xg_iface.To_xg_req { addr; req }) in
+  (match scenario with
+  | Read_no_access ->
+      Xg.Perm_table.set_block sys.System.perms a_victim Perm.No_access;
+      get a_victim Xg_iface.Get_s;
+      run_engine ()
+  | Write_read_only ->
+      Xg.Perm_table.set_block sys.System.perms a_victim Perm.Read_only;
+      get a_victim Xg_iface.Get_m;
+      run_engine ()
+  | Put_without_block ->
+      get a_victim (Xg_iface.Put_m (Data.token 666));
+      run_engine ()
+  | Double_get ->
+      get a_victim Xg_iface.Get_s;
+      get a_victim Xg_iface.Get_s;
+      run_engine ()
+  | Wrong_response_type | Silent_on_invalidate ->
+      (* Setup: legitimately acquire the block exclusively... *)
+      get a_victim Xg_iface.Get_m;
+      run_engine ();
+      assert (script.grants <> []);
+      (* ...then set the misbehaviour policy and have a CPU pull the block. *)
+      script.inv_policy <-
+        (fun _ ->
+          match scenario with
+          | Wrong_response_type -> Some Xg_iface.Inv_ack
+          | _ -> None);
+      ignore (cpu_roundtrip sys 0 a_victim 1234)
+  | Unsolicited_response ->
+      send (Xg_iface.To_xg_resp { addr = a_victim; resp = Xg_iface.Dirty_wb (Data.token 7) });
+      run_engine ());
+  run_engine ();
+  let kind = expected_kind scenario in
+  let detected = Xg.Os_model.count_of sys.System.os kind > 0 in
+  (* Host liveness: traffic to the affected block and an unrelated block. *)
+  let live_affected = cpu_roundtrip sys 0 a_victim 5555 in
+  let live_unrelated = cpu_roundtrip sys 1 a_unrelated 6666 in
+  {
+    scenario;
+    expected_kind = kind;
+    detected;
+    host_live = live_affected && live_unrelated;
+    errors_logged = Xg.Os_model.error_count sys.System.os;
+  }
+
+let run_all cfg = List.map (run cfg) all_scenarios

@@ -1,0 +1,39 @@
+(** Directed guarantee-violation scenarios (paper Figure 1 / section 2.2).
+
+    One scenario per sub-guarantee: a scripted accelerator takes the place of
+    a real one on the XG link and commits exactly one violation — reading a
+    forbidden page (0a), writing a read-only page (0b), a Put for a block it
+    does not hold (1a), a second request while one is pending (1b), the wrong
+    response type to an invalidation (2a), an unsolicited response (2b), or
+    silence (2c).
+
+    Each run reports whether the Crossing Guard detected the violation and —
+    the paper's headline safety claim — whether the host stayed fully live:
+    CPU traffic to the affected block and to unrelated blocks still completes
+    afterwards. *)
+
+type scenario =
+  | Read_no_access  (** G0a *)
+  | Write_read_only  (** G0b *)
+  | Put_without_block  (** G1a *)
+  | Double_get  (** G1b *)
+  | Wrong_response_type  (** G2a *)
+  | Unsolicited_response  (** G2b *)
+  | Silent_on_invalidate  (** G2c *)
+
+type outcome = {
+  scenario : scenario;
+  expected_kind : Xguard_xg.Os_model.error_kind;
+  detected : bool;
+  host_live : bool;
+  errors_logged : int;
+}
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+
+val run : Config.t -> scenario -> outcome
+(** [Config.t] must be an XG organization; its accelerator hierarchy is
+    replaced by the scripted offender. *)
+
+val run_all : Config.t -> outcome list

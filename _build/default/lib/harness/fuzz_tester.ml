@@ -1,0 +1,96 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Xg = Xguard_xg
+
+type outcome = {
+  chaos_messages : int;
+  invalidations_ignored : int;
+  cpu_ops_completed : int;
+  cpu_ops_expected : int;
+  cpu_data_errors : int;
+  violations : int;
+  violations_by_kind : (Xg.Os_model.error_kind * int) list;
+  deadlocked : bool;
+  crashed : string option;
+}
+
+type pool = Shared_rw | Disjoint | Shared_ro
+
+let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4)
+    ?(chaos_duration = 60_000) ?(respond_probability = 0.6) ?(requests_only = false)
+    ?(num_addresses = 6) () =
+  assert (Config.uses_xg cfg);
+  let sys = System.build ~attach_accel:false cfg in
+  let chaos_addresses = Array.init num_addresses Addr.block in
+  let cpu_addresses =
+    match pool with
+    | Shared_rw | Shared_ro -> chaos_addresses
+    | Disjoint -> Array.init num_addresses (fun i -> Addr.block (1024 + i))
+  in
+  (match pool with
+  | Shared_ro ->
+      Array.iter
+        (fun a -> Xg.Perm_table.set_block sys.System.perms a Perm.Read_only)
+        chaos_addresses
+  | Disjoint ->
+      (* CPU-private pages: the accelerator has no permission, so the guard
+         answers host snoops for them locally and even a lying accelerator
+         cannot inject data (transactional mode admits corruption only for
+         pages the accelerator may write — paper §2.3.2). *)
+      Array.iter
+        (fun a -> Xg.Perm_table.set_block sys.System.perms a Perm.No_access)
+        cpu_addresses
+  | Shared_rw -> ());
+  let addresses = chaos_addresses in
+  let chaos =
+    Xguard_accel.Chaos_accel.create ~engine:sys.System.engine
+      ~rng:(Rng.create ~seed:(cfg.Config.seed * 31 + 7))
+      ~link:(Option.get sys.System.accel_link)
+      ~self:(Option.get sys.System.accel_node_on_link)
+      ~xg:(Option.get sys.System.xg_node_on_link)
+      ~addresses ~period:chaos_period ~respond_probability ~requests_only
+      ~duration:chaos_duration ()
+  in
+  let crashed = ref None in
+  let tester_outcome =
+    try
+      Some
+        (Random_tester.run ~engine:sys.System.engine
+           ~rng:(Rng.create ~seed:(cfg.Config.seed + 5))
+           ~ports:sys.System.cpu_ports ~addresses:cpu_addresses ~ops_per_core:cpu_ops ())
+    with e ->
+      crashed := Some (Printexc.to_string e);
+      None
+  in
+  let violations_by_kind =
+    List.filter_map
+      (fun kind ->
+        let n = Xg.Os_model.count_of sys.System.os kind in
+        if n > 0 then Some (kind, n) else None)
+      Xg.Os_model.all_error_kinds
+  in
+  match tester_outcome with
+  | Some o ->
+      {
+        chaos_messages = Xguard_accel.Chaos_accel.messages_sent chaos;
+        invalidations_ignored = Xguard_accel.Chaos_accel.invalidations_ignored chaos;
+        cpu_ops_completed = o.Random_tester.ops_completed;
+        cpu_ops_expected = cpu_ops * Array.length sys.System.cpu_ports;
+        cpu_data_errors = o.Random_tester.data_errors;
+        violations = Xg.Os_model.error_count sys.System.os;
+        violations_by_kind;
+        deadlocked = o.Random_tester.deadlocked;
+        crashed = !crashed;
+      }
+  | None ->
+      {
+        chaos_messages = Xguard_accel.Chaos_accel.messages_sent chaos;
+        invalidations_ignored = Xguard_accel.Chaos_accel.invalidations_ignored chaos;
+        cpu_ops_completed = 0;
+        cpu_ops_expected = cpu_ops * Array.length sys.System.cpu_ports;
+        cpu_data_errors = 0;
+        violations = Xg.Os_model.error_count sys.System.os;
+        violations_by_kind;
+        deadlocked = true;
+        crashed = !crashed;
+      }

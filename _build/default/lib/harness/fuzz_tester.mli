@@ -1,0 +1,45 @@
+(** Fuzz harness (paper §4, "bombard the Crossing Guard with a stream of
+    random coherence messages to random addresses").
+
+    Replaces the accelerator with {!Xguard_accel.Chaos_accel} while CPU cores
+    run checked random traffic on the same small address pool.  Safety means:
+    the run never raises, never deadlocks, every CPU operation completes, and
+    every CPU load still observes coherent data — no matter what arrives on
+    the accelerator link.  Guarantee violations are *expected* here; their
+    count is reported. *)
+
+type outcome = {
+  chaos_messages : int;
+  invalidations_ignored : int;
+  cpu_ops_completed : int;
+  cpu_ops_expected : int;
+  cpu_data_errors : int;
+  violations : int;
+  violations_by_kind : (Xguard_xg.Os_model.error_kind * int) list;
+  deadlocked : bool;
+  crashed : string option;  (** exception text if the run raised — a failure *)
+}
+
+(** How the chaos accelerator's address pool relates to the CPUs':
+
+    - [Shared_rw]: same blocks, accelerator has write permission.  The fuzzer
+      can then *legitimately* own blocks and store garbage in them, so CPU
+      data checks are only advisory (the paper's Guarantee 2 discussion:
+      Crossing Guard cannot protect data the accelerator may write).
+    - [Disjoint]: the CPUs use different blocks; their data must stay exact.
+    - [Shared_ro]: same blocks, accelerator limited to read-only — Guarantee
+      0b then implies the CPUs' data must stay exact even under fuzzing. *)
+type pool = Shared_rw | Disjoint | Shared_ro
+
+val run :
+  Config.t ->
+  ?pool:pool ->
+  ?cpu_ops:int ->
+  ?chaos_period:int ->
+  ?chaos_duration:int ->
+  ?respond_probability:float ->
+  ?requests_only:bool ->
+  ?num_addresses:int ->
+  unit ->
+  outcome
+(** [Config.t] must be an XG organization.  Default pool is [Shared_rw]. *)

@@ -1,0 +1,60 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module H = Xguard_host_hammer
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  registry : Node.Registry.t;
+  net : H.Net.t;
+  memory : Memory_model.t;
+  directory : H.Directory.t;
+  cpus : H.L1l2.t array;
+  mutable extras : (Node.t * (int -> unit)) list;
+}
+
+let engine t = t.engine
+let rng t = t.rng
+let registry t = t.registry
+let net t = t.net
+let memory t = t.memory
+let directory t = t.directory
+let cpus t = t.cpus
+
+let create ?(num_cpus = 2) ?(variant = H.L1l2.Xg_ready) ?(sets = 2) ?(ways = 2)
+    ?(ordering = Xguard_network.Network.Unordered { min_latency = 2; max_latency = 30 })
+    ?(seed = 1) ?(dir_latency = 6) ?(mem_latency = 60) ?(dir_occupancy = 0) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let registry = Node.Registry.create () in
+  let net = H.Net.create ~engine ~rng:(Rng.split rng) ~name:"hammer.net" ~ordering () in
+  let memory = Memory_model.create () in
+  let dir_node = Node.Registry.fresh registry "dir" in
+  let directory =
+    H.Directory.create ~engine ~net ~name:"dir" ~node:dir_node ~memory ~dir_latency
+      ~mem_latency ~occupancy:dir_occupancy ()
+  in
+  let cpus =
+    Array.init num_cpus (fun i ->
+        let name = Printf.sprintf "cpu%d" i in
+        let node = Node.Registry.fresh registry name in
+        H.L1l2.create ~engine ~net ~name ~node ~directory:dir_node ~variant ~sets ~ways ())
+  in
+  { engine; rng; registry; net; memory; directory; cpus; extras = [] }
+
+let add_cache_node t name ~count_peers =
+  let node = Node.Registry.fresh t.registry name in
+  t.extras <- (node, count_peers) :: t.extras;
+  node
+
+let finalize t =
+  let extra = List.rev t.extras in
+  let cpu_nodes = Array.to_list (Array.map H.L1l2.node t.cpus) in
+  let all = cpu_nodes @ List.map fst extra in
+  let peers = List.length all - 1 in
+  Array.iter (fun cpu -> H.L1l2.set_peer_count cpu peers) t.cpus;
+  List.iter (fun (_, count_peers) -> count_peers peers) extra;
+  H.Directory.set_caches t.directory all
+
+let cpu_ports t = Array.map H.L1l2.cpu_port t.cpus
+let total_caches t = Array.length t.cpus + List.length t.extras

@@ -1,0 +1,42 @@
+(** Builder for a Hammer-host system: CPUs + directory + memory on one
+    unordered network, with room to attach a Crossing Guard port or an
+    accelerator-side cache as an extra peer.
+
+    Construction is two-phase because the broadcast protocol needs the final
+    cache census: create the system, attach any extra cache nodes, then
+    {!finalize} to distribute peer counts and the directory's forward list. *)
+
+type t
+
+val create :
+  ?num_cpus:int ->
+  ?variant:Xguard_host_hammer.L1l2.variant ->
+  ?sets:int ->
+  ?ways:int ->
+  ?ordering:Xguard_network.Network.ordering ->
+  ?seed:int ->
+  ?dir_latency:int ->
+  ?mem_latency:int ->
+  ?dir_occupancy:int ->
+  unit ->
+  t
+
+val engine : t -> Xguard_sim.Engine.t
+val rng : t -> Xguard_sim.Rng.t
+val registry : t -> Node.Registry.t
+val net : t -> Xguard_host_hammer.Net.t
+val memory : t -> Memory_model.t
+val directory : t -> Xguard_host_hammer.Directory.t
+val cpus : t -> Xguard_host_hammer.L1l2.t array
+
+val add_cache_node : t -> string -> count_peers:(int -> unit) -> Node.t
+(** Reserve a network node for an additional cache-like peer (the XG port, or
+    an unsafe accelerator-side cache).  [count_peers] is called by
+    {!finalize} with the number of *other* caches. *)
+
+val finalize : t -> unit
+(** Set every cache's peer count and the directory's forward list.  Must be
+    called exactly once, after all caches exist. *)
+
+val cpu_ports : t -> Access.port array
+val total_caches : t -> int

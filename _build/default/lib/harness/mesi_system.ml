@@ -1,0 +1,52 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module M = Xguard_host_mesi
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  registry : Node.Registry.t;
+  net : M.Net.t;
+  memory : Memory_model.t;
+  l2 : M.L2.t;
+  cpus : M.L1.t array;
+}
+
+let engine t = t.engine
+let rng t = t.rng
+let registry t = t.registry
+let net t = t.net
+let memory t = t.memory
+let l2 t = t.l2
+let cpus t = t.cpus
+
+let create ?(num_cpus = 2) ?(variant = M.L2.Xg_ready) ?(l1_sets = 2) ?(l1_ways = 2)
+    ?(l2_sets = 4) ?(l2_ways = 4)
+    ?(ordering = Xguard_network.Network.Unordered { min_latency = 2; max_latency = 30 })
+    ?(seed = 1) ?(mem_latency = 60) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let registry = Node.Registry.create () in
+  let net = M.Net.create ~engine ~rng:(Rng.split rng) ~name:"mesi.net" ~ordering () in
+  let memory = Memory_model.create () in
+  let mem_node = Node.Registry.fresh registry "memctrl" in
+  let _memctrl =
+    M.Memctrl.create ~engine ~net ~name:"memctrl" ~node:mem_node ~memory ~latency:mem_latency
+      ()
+  in
+  let l2_node = Node.Registry.fresh registry "l2" in
+  let l2 =
+    M.L2.create ~engine ~net ~name:"l2" ~node:l2_node ~memctrl:mem_node ~variant ~sets:l2_sets
+      ~ways:l2_ways ()
+  in
+  let cpus =
+    Array.init num_cpus (fun i ->
+        let name = Printf.sprintf "cpu%d" i in
+        let node = Node.Registry.fresh registry name in
+        M.L1.create ~engine ~net ~name ~node ~l2:l2_node ~sets:l1_sets ~ways:l1_ways ())
+  in
+  { engine; rng; registry; net; memory; l2; cpus }
+
+let add_l1_node t name = Node.Registry.fresh t.registry name
+
+let cpu_ports t = Array.map M.L1.cpu_port t.cpus

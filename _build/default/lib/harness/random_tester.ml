@@ -1,0 +1,128 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+
+type outcome = { ops_completed : int; data_errors : int; deadlocked : bool; cycles : int }
+
+(* Per-address checker state: the log of committed store values (so a load can
+   be validated against everything committed since it was issued) and the
+   single in-flight store, if any. *)
+type addr_state = {
+  mutable committed : Data.t list;  (* newest first; head is current value *)
+  mutable committed_count : int;
+  mutable pending_store : Data.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  sequencers : Sequencer.t array;
+  addresses : Addr.t array;
+  states : (Addr.t, addr_state) Hashtbl.t;
+  store_fraction : float;
+  max_gap : int;
+  ops_per_core : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable next_token : int;
+}
+
+let state_of t addr =
+  match Hashtbl.find_opt t.states addr with
+  | Some s -> s
+  | None ->
+      let s =
+        { committed = [ Data.initial addr ]; committed_count = 1; pending_store = None }
+      in
+      Hashtbl.add t.states addr s;
+      s
+
+(* Values a load issued when [issue_count] values had been committed may
+   legally observe now: anything committed since, or the in-flight store. *)
+let load_ok st ~issue_count value =
+  let visible_len = st.committed_count - issue_count + 1 in
+  let rec among n = function
+    | [] -> false
+    | v :: rest -> n > 0 && (Data.equal v value || among (n - 1) rest)
+  in
+  among visible_len st.committed
+  || match st.pending_store with Some v -> Data.equal v value | None -> false
+
+let issue_one t core =
+  ignore core;
+  let seq = t.sequencers.(core) in
+  let addr = Rng.pick t.rng t.addresses in
+  let st = state_of t addr in
+  let do_store = st.pending_store = None && Rng.chance t.rng t.store_fraction in
+  if do_store then begin
+    t.next_token <- t.next_token + 1;
+    let v = Data.token t.next_token in
+    st.pending_store <- Some v;
+    Sequencer.request seq (Access.store addr v) ~on_complete:(fun _ ~latency:_ ->
+        st.pending_store <- None;
+        st.committed <- v :: st.committed;
+        st.committed_count <- st.committed_count + 1;
+        t.completed <- t.completed + 1)
+  end
+  else begin
+    let issue_count = st.committed_count in
+    let issued_at = Engine.now t.engine in
+    Sequencer.request seq (Access.load addr) ~on_complete:(fun v ~latency:_ ->
+        if not (load_ok st ~issue_count v) then begin
+          t.errors <- t.errors + 1;
+          if Sys.getenv_opt "XGUARD_DEBUG" <> None then
+            Printf.eprintf
+              "DATA ERROR: core=%d addr=%d got=%d committed_head=%d pending=%s issue@%d done@%d\n%!"
+              core (Addr.to_int addr) v
+              (match st.committed with x :: _ -> x | [] -> -1)
+              (match st.pending_store with Some x -> string_of_int x | None -> "-")
+              issued_at (Engine.now t.engine)
+        end;
+        t.completed <- t.completed + 1)
+  end
+
+let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(max_gap = 20)
+    ?(event_limit = 50_000_000) () =
+  let sequencers =
+    Array.mapi
+      (fun i port ->
+        Sequencer.create ~engine ~name:(Printf.sprintf "tester.core%d" i) ~port
+          ~max_outstanding:4 ())
+      ports
+  in
+  let t =
+    {
+      engine;
+      rng;
+      sequencers;
+      addresses;
+      states = Hashtbl.create 64;
+      store_fraction;
+      max_gap;
+      ops_per_core;
+      completed = 0;
+      errors = 0;
+      next_token = 1_000_000;
+    }
+  in
+  (* Each core issues its ops at random intervals. *)
+  Array.iteri
+    (fun core _ ->
+      let rec inject remaining =
+        if remaining > 0 then
+          Engine.schedule engine ~delay:(1 + Rng.int t.rng t.max_gap) (fun () ->
+              issue_one t core;
+              inject (remaining - 1))
+      in
+      inject ops_per_core)
+    sequencers;
+  let result = Engine.run ~max_events:event_limit engine in
+  let total = ops_per_core * Array.length ports in
+  let deadlocked =
+    (match result with Engine.Drained -> false | _ -> true) || t.completed < total
+  in
+  {
+    ops_completed = t.completed;
+    data_errors = t.errors;
+    deadlocked;
+    cycles = Engine.now engine;
+  }

@@ -1,0 +1,366 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module H = Xguard_host_hammer
+module M = Xguard_host_mesi
+module Xg = Xguard_xg
+module A = Xguard_accel
+
+type t = {
+  config : Config.t;
+  engine : Engine.t;
+  rng : Rng.t;
+  memory : Memory_model.t;
+  perms : Xg.Perm_table.t;
+  os : Xg.Os_model.t;
+  cpu_ports : Access.port array;
+  accel_ports : Access.port array;
+  xg_core : Xg.Xg_core.t option;
+  accel_link : Xg.Xg_iface.Link.t option;
+  xg_node_on_link : Node.t option;
+  accel_node_on_link : Node.t option;
+  accel_l1s : A.L1_simple.t array;
+  accel_l2 : A.L2_shared.t option;
+  accel_internal_link : Xg.Xg_iface.Link.t option;
+  host_net_bytes : unit -> int;
+  host_net_messages : unit -> int;
+  xg_port_to_host_bytes : unit -> int;
+  link_bytes : unit -> int;
+  coverage_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
+}
+
+(* A processor port that reaches a remote sequencer across a fixed-latency
+   link in both directions: the host-side-cache organization (Figure 2b). *)
+let remote_port engine ~latency (seq : Sequencer.t) =
+  {
+    Access.issue =
+      (fun access ~on_done ->
+        Engine.schedule engine ~delay:latency (fun () ->
+            Sequencer.request seq access ~on_complete:(fun value ~latency:_ ->
+                Engine.schedule engine ~delay:latency (fun () -> on_done value)));
+        true);
+  }
+
+(* Shared plumbing for the XG organizations: build the ordered link, the
+   guard core and the accelerator hierarchy on top of it. *)
+let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port ~attach_core
+    ~attach_accel =
+  let variant =
+    match cfg.Config.org with
+    | Config.Xg_one_level v | Config.Xg_two_level v -> v
+    | Config.Accel_side | Config.Host_side -> assert false
+  in
+  let mode =
+    match variant with
+    | Config.Full_state -> Xg.Xg_core.Full_state
+    | Config.Transactional -> Xg.Xg_core.Transactional
+  in
+  let link_ordering =
+    if cfg.Config.link_ordered then
+      Xguard_network.Network.Ordered { latency = cfg.Config.link_latency }
+    else
+      (* Ablation A1: deliberately break the paper's ordered-link requirement. *)
+      Xguard_network.Network.Unordered
+        { min_latency = 1; max_latency = 2 * cfg.Config.link_latency }
+  in
+  let link =
+    Xg.Xg_iface.Link.create ~engine ~rng:(Rng.split rng) ~name:"xg.link"
+      ~ordering:link_ordering ()
+  in
+  let xg_link_node = Node.Registry.fresh registry "xg.link_end" in
+  let accel_link_node = Node.Registry.fresh registry "accel.link_end" in
+  let rate_limiter =
+    match cfg.Config.rate_limit with
+    | Some (tokens_per_cycle, burst) ->
+        Some (Xg.Rate_limiter.create ~engine ~tokens_per_cycle ~burst ())
+    | None -> None
+  in
+  let core =
+    Xg.Xg_core.create ~engine ~name:"xg" ~mode ~link ~self:xg_link_node ~accel:accel_link_node
+      ~host:host_port ~perms ~os ~timeout:cfg.Config.xg_timeout ?rate_limiter
+      ~suppress_put_s_register:cfg.Config.suppress_put_s ()
+  in
+  attach_core core;
+  let accel_ports, accel_l1s, accel_l2, accel_internal =
+    if not attach_accel then ([||], [||], None, None)
+    else
+      match cfg.Config.org with
+      | Config.Xg_one_level _ ->
+          let lower = A.Lower_port.on_link link ~self:accel_link_node ~peer:xg_link_node in
+          let l1 =
+            A.L1_simple.create ~engine ~name:"accel.l1" ~flavor:A.L1_simple.Mesi
+              ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ~lower ()
+          in
+          Xg.Xg_iface.Link.register link accel_link_node (fun ~src:_ msg ->
+              A.L1_simple.deliver l1 msg);
+          ([| A.L1_simple.cpu_port l1 |], [| l1 |], None, None)
+      | Config.Xg_two_level _ ->
+          let internal =
+            Xg.Xg_iface.Link.create ~engine ~rng:(Rng.split rng) ~name:"accel.internal"
+              ~ordering:(Xguard_network.Network.Ordered { latency = 2 })
+              ()
+          in
+          let l2_node = Node.Registry.fresh registry "accel.l2" in
+          let lower = A.Lower_port.on_link link ~self:accel_link_node ~peer:xg_link_node in
+          let l2 =
+            A.L2_shared.create ~engine ~name:"accel.l2" ~internal ~node:l2_node ~lower
+              ~sets:cfg.Config.accel_l2_sets ~ways:cfg.Config.accel_l2_ways ()
+          in
+          Xg.Xg_iface.Link.register link accel_link_node (fun ~src:_ msg ->
+              A.L2_shared.deliver_from_below l2 msg);
+          let l1s =
+            Array.init cfg.Config.num_accel_cores (fun i ->
+                let name = Printf.sprintf "accel.l1_%d" i in
+                let node = Node.Registry.fresh registry name in
+                let lower = A.Lower_port.on_link internal ~self:node ~peer:l2_node in
+                let l1 =
+                  A.L1_simple.create ~engine ~name ~flavor:A.L1_simple.Mesi
+                    ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ~lower ()
+                in
+                Xg.Xg_iface.Link.register internal node (fun ~src:_ msg ->
+                    A.L1_simple.deliver l1 msg);
+                l1)
+          in
+          (Array.map A.L1_simple.cpu_port l1s, l1s, Some l2, Some internal)
+      | Config.Accel_side | Config.Host_side -> assert false
+  in
+  (link, xg_link_node, accel_link_node, core, accel_ports, accel_l1s, accel_l2, accel_internal)
+
+let build_hammer ~attach_accel (cfg : Config.t) =
+  let ordering =
+    Xguard_network.Network.Unordered
+      { min_latency = cfg.Config.host_net_min; max_latency = cfg.Config.host_net_max }
+  in
+  let sys =
+    Hammer_system.create ~num_cpus:cfg.Config.num_cpus ~variant:H.L1l2.Xg_ready
+      ~sets:cfg.Config.cpu_sets ~ways:cfg.Config.cpu_ways ~ordering ~seed:cfg.Config.seed
+      ~mem_latency:cfg.Config.mem_latency ~dir_occupancy:cfg.Config.dir_occupancy ()
+  in
+  let engine = Hammer_system.engine sys in
+  let rng = Hammer_system.rng sys in
+  let registry = Hammer_system.registry sys in
+  let net = Hammer_system.net sys in
+  let perms = Xg.Perm_table.create () in
+  let os = Xg.Os_model.create ~policy:cfg.Config.os_policy () in
+  let dir_node = H.Directory.node (Hammer_system.directory sys) in
+  let finish ~accel_ports ~xg ~accel_l1s ~accel_l2 ?accel_internal () =
+    Hammer_system.finalize sys;
+    let xg_core, accel_link, xg_node, accel_node, xg_port =
+      match xg with
+      | Some (core, link, xg_node, accel_node, port) ->
+          (Some core, Some link, Some xg_node, Some accel_node, Some port)
+      | None -> (None, None, None, None, None)
+    in
+    let cpu_stats =
+      Array.to_list
+        (Array.map
+           (fun c -> (H.L1l2.name c, H.L1l2.stats c))
+           (Hammer_system.cpus sys))
+    in
+    let cpu_cov =
+      Array.to_list
+        (Array.map
+           (fun c -> (H.L1l2.name c, H.L1l2.coverage c))
+           (Hammer_system.cpus sys))
+    in
+    let accel_cov =
+      Array.to_list
+        (Array.map (fun l1 -> (A.L1_simple.name l1, A.L1_simple.coverage l1)) accel_l1s)
+    in
+    {
+      config = cfg;
+      engine;
+      rng;
+      memory = Hammer_system.memory sys;
+      perms;
+      os;
+      cpu_ports = Hammer_system.cpu_ports sys;
+      accel_ports;
+      xg_core;
+      accel_link;
+      xg_node_on_link = xg_node;
+      accel_node_on_link = accel_node;
+      accel_l1s;
+      accel_l2;
+      accel_internal_link = accel_internal;
+      host_net_bytes = (fun () -> H.Net.bytes_sent net);
+      host_net_messages = (fun () -> H.Net.messages_sent net);
+      xg_port_to_host_bytes =
+        (fun () ->
+          match xg_port with Some p -> H.Net.bytes_from net (H.Xg_port.node p) | None -> 0);
+      link_bytes =
+        (fun () ->
+          match accel_link with Some l -> Xg.Xg_iface.Link.bytes_sent l | None -> 0);
+      set_host_monitor =
+        (fun f ->
+          H.Net.set_monitor net (fun ~src ~dst msg ->
+              f ~src:(Node.name src) ~dst:(Node.name dst) ~addr:(Addr.to_int msg.H.Msg.addr)
+                ~text:(Format.asprintf "%a" H.Msg.pp msg)));
+      coverage_groups = (fun () -> cpu_cov @ accel_cov);
+      stats_groups =
+        (fun () ->
+          cpu_stats
+          @ [ ("directory", H.Directory.stats (Hammer_system.directory sys)) ]
+          @ (match xg_core with Some c -> [ ("xg", Xg.Xg_core.stats c) ] | None -> [])
+          @ match xg_port with Some p -> [ ("xg_port", H.Xg_port.stats p) ] | None -> []);
+    }
+  in
+  match cfg.Config.org with
+  | Config.Accel_side ->
+      let cache = ref None in
+      let node =
+        Hammer_system.add_cache_node sys "accel.cache" ~count_peers:(fun n ->
+            match !cache with Some c -> H.L1l2.set_peer_count c n | None -> ())
+      in
+      let c =
+        H.L1l2.create ~engine ~net ~name:"accel.cache" ~node ~directory:dir_node
+          ~variant:H.L1l2.Xg_ready ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ()
+      in
+      cache := Some c;
+      finish ~accel_ports:[| H.L1l2.cpu_port c |] ~xg:None ~accel_l1s:[||] ~accel_l2:None ()
+  | Config.Host_side ->
+      let cache = ref None in
+      let node =
+        Hammer_system.add_cache_node sys "hostside.cache" ~count_peers:(fun n ->
+            match !cache with Some c -> H.L1l2.set_peer_count c n | None -> ())
+      in
+      let c =
+        H.L1l2.create ~engine ~net ~name:"hostside.cache" ~node ~directory:dir_node
+          ~variant:H.L1l2.Xg_ready ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ()
+      in
+      cache := Some c;
+      let seq =
+        Sequencer.create ~engine ~name:"hostside.seq" ~port:(H.L1l2.cpu_port c)
+          ~max_outstanding:16 ()
+      in
+      let port = remote_port engine ~latency:cfg.Config.link_latency seq in
+      finish ~accel_ports:[| port |] ~xg:None ~accel_l1s:[||] ~accel_l2:None ()
+  | Config.Xg_one_level _ | Config.Xg_two_level _ ->
+      let port = ref None in
+      let node =
+        Hammer_system.add_cache_node sys "xg.port" ~count_peers:(fun n ->
+            match !port with Some p -> H.Xg_port.set_peer_count p n | None -> ())
+      in
+      let p = H.Xg_port.create ~engine ~net ~name:"xg.port" ~node ~directory:dir_node () in
+      port := Some p;
+      let link, xg_node, accel_node, core, accel_ports, accel_l1s, accel_l2, accel_internal =
+        build_xg_side cfg ~engine ~rng ~registry ~perms ~os ~host_port:(H.Xg_port.host_port p)
+          ~attach_core:(H.Xg_port.attach_core p) ~attach_accel
+      in
+      finish ~accel_ports ~xg:(Some (core, link, xg_node, accel_node, p)) ~accel_l1s ~accel_l2
+        ?accel_internal ()
+
+let build_mesi ~attach_accel (cfg : Config.t) =
+  let ordering =
+    Xguard_network.Network.Unordered
+      { min_latency = cfg.Config.host_net_min; max_latency = cfg.Config.host_net_max }
+  in
+  let sys =
+    Mesi_system.create ~num_cpus:cfg.Config.num_cpus ~variant:M.L2.Xg_ready
+      ~l1_sets:cfg.Config.cpu_sets ~l1_ways:cfg.Config.cpu_ways
+      ~l2_sets:cfg.Config.host_l2_sets ~l2_ways:cfg.Config.host_l2_ways ~ordering
+      ~seed:cfg.Config.seed ~mem_latency:cfg.Config.mem_latency ()
+  in
+  let engine = Mesi_system.engine sys in
+  let rng = Mesi_system.rng sys in
+  let registry = Mesi_system.registry sys in
+  let net = Mesi_system.net sys in
+  let l2_node = M.L2.node (Mesi_system.l2 sys) in
+  let perms = Xg.Perm_table.create () in
+  let os = Xg.Os_model.create ~policy:cfg.Config.os_policy () in
+  let finish ~accel_ports ~xg ~accel_l1s ~accel_l2 ?accel_internal () =
+    let xg_core, accel_link, xg_node, accel_node, xg_port =
+      match xg with
+      | Some (core, link, xg_node, accel_node, port) ->
+          (Some core, Some link, Some xg_node, Some accel_node, Some port)
+      | None -> (None, None, None, None, None)
+    in
+    let cpu_stats =
+      Array.to_list
+        (Array.map (fun c -> (M.L1.name c, M.L1.stats c)) (Mesi_system.cpus sys))
+    in
+    let cpu_cov =
+      Array.to_list
+        (Array.map (fun c -> (M.L1.name c, M.L1.coverage c)) (Mesi_system.cpus sys))
+    in
+    let accel_cov =
+      Array.to_list
+        (Array.map (fun l1 -> (A.L1_simple.name l1, A.L1_simple.coverage l1)) accel_l1s)
+    in
+    {
+      config = cfg;
+      engine;
+      rng;
+      memory = Mesi_system.memory sys;
+      perms;
+      os;
+      cpu_ports = Mesi_system.cpu_ports sys;
+      accel_ports;
+      xg_core;
+      accel_link;
+      xg_node_on_link = xg_node;
+      accel_node_on_link = accel_node;
+      accel_l1s;
+      accel_l2;
+      accel_internal_link = accel_internal;
+      host_net_bytes = (fun () -> M.Net.bytes_sent net);
+      host_net_messages = (fun () -> M.Net.messages_sent net);
+      xg_port_to_host_bytes =
+        (fun () ->
+          match xg_port with Some p -> M.Net.bytes_from net (M.Xg_port.node p) | None -> 0);
+      link_bytes =
+        (fun () ->
+          match accel_link with Some l -> Xg.Xg_iface.Link.bytes_sent l | None -> 0);
+      set_host_monitor =
+        (fun f ->
+          M.Net.set_monitor net (fun ~src ~dst msg ->
+              f ~src:(Node.name src) ~dst:(Node.name dst) ~addr:(Addr.to_int msg.M.Msg.addr)
+                ~text:(Format.asprintf "%a" M.Msg.pp msg)));
+      coverage_groups =
+        (fun () ->
+          cpu_cov
+          @ [ ("host.l2", M.L2.coverage (Mesi_system.l2 sys)) ]
+          @ accel_cov);
+      stats_groups =
+        (fun () ->
+          cpu_stats
+          @ [ ("host.l2", M.L2.stats (Mesi_system.l2 sys)) ]
+          @ (match xg_core with Some c -> [ ("xg", Xg.Xg_core.stats c) ] | None -> [])
+          @ match xg_port with Some p -> [ ("xg_port", M.Xg_port.stats p) ] | None -> []);
+    }
+  in
+  match cfg.Config.org with
+  | Config.Accel_side ->
+      let node = Mesi_system.add_l1_node sys "accel.cache" in
+      let c =
+        M.L1.create ~engine ~net ~name:"accel.cache" ~node ~l2:l2_node
+          ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ()
+      in
+      finish ~accel_ports:[| M.L1.cpu_port c |] ~xg:None ~accel_l1s:[||] ~accel_l2:None ()
+  | Config.Host_side ->
+      let node = Mesi_system.add_l1_node sys "hostside.cache" in
+      let c =
+        M.L1.create ~engine ~net ~name:"hostside.cache" ~node ~l2:l2_node
+          ~sets:cfg.Config.accel_sets ~ways:cfg.Config.accel_ways ()
+      in
+      let seq =
+        Sequencer.create ~engine ~name:"hostside.seq" ~port:(M.L1.cpu_port c)
+          ~max_outstanding:16 ()
+      in
+      let port = remote_port engine ~latency:cfg.Config.link_latency seq in
+      finish ~accel_ports:[| port |] ~xg:None ~accel_l1s:[||] ~accel_l2:None ()
+  | Config.Xg_one_level _ | Config.Xg_two_level _ ->
+      let node = Mesi_system.add_l1_node sys "xg.port" in
+      let p = M.Xg_port.create ~engine ~net ~name:"xg.port" ~node ~l2:l2_node () in
+      let link, xg_node, accel_node, core, accel_ports, accel_l1s, accel_l2, accel_internal =
+        build_xg_side cfg ~engine ~rng ~registry ~perms ~os ~host_port:(M.Xg_port.host_port p)
+          ~attach_core:(M.Xg_port.attach_core p) ~attach_accel
+      in
+      finish ~accel_ports ~xg:(Some (core, link, xg_node, accel_node, p)) ~accel_l1s ~accel_l2
+        ?accel_internal ()
+
+let build ?(attach_accel = true) (cfg : Config.t) =
+  match cfg.Config.host with
+  | Config.Hammer -> build_hammer ~attach_accel cfg
+  | Config.Mesi -> build_mesi ~attach_accel cfg

@@ -1,0 +1,38 @@
+(** Assembles a runnable system for any {!Config.t}: host protocol, CPUs,
+    memory, and one of the four accelerator organizations of Figure 2.
+
+    The returned record exposes processor-side ports for workloads and
+    testers, the Crossing Guard internals for the safety experiments, and
+    bandwidth/statistics accessors for the measurement experiments. *)
+
+type t = {
+  config : Config.t;
+  engine : Xguard_sim.Engine.t;
+  rng : Xguard_sim.Rng.t;
+  memory : Memory_model.t;
+  perms : Xguard_xg.Perm_table.t;
+  os : Xguard_xg.Os_model.t;
+  cpu_ports : Access.port array;
+  accel_ports : Access.port array;
+  xg_core : Xguard_xg.Xg_core.t option;
+  accel_link : Xguard_xg.Xg_iface.Link.t option;
+  xg_node_on_link : Node.t option;
+  accel_node_on_link : Node.t option;
+  accel_l1s : Xguard_accel.L1_simple.t array;  (** empty unless org uses them *)
+  accel_l2 : Xguard_accel.L2_shared.t option;
+  accel_internal_link : Xguard_xg.Xg_iface.Link.t option;
+  host_net_bytes : unit -> int;
+  host_net_messages : unit -> int;
+  xg_port_to_host_bytes : unit -> int;
+      (** bytes the XG port sourced on the host network (0 without XG) *)
+  link_bytes : unit -> int;
+  coverage_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
+      (** tracing hook over the host network, for debugging and tests *)
+}
+
+val build : ?attach_accel:bool -> Config.t -> t
+(** [attach_accel:false] (XG organizations only) leaves the accelerator side
+    of the XG link unregistered so a fuzzer or fault injector can take its
+    place; [accel_ports] is then empty. *)

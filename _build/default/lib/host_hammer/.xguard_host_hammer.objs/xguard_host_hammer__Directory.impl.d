@@ -1,0 +1,1 @@
+lib/host_hammer/directory.ml: Addr Hashtbl List Memory_model Msg Net Node Queue Xguard_sim Xguard_stats

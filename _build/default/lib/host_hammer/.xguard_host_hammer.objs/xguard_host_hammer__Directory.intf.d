@@ -1,0 +1,1 @@
+lib/host_hammer/directory.mli: Addr Memory_model Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_hammer/l1l2.ml: Access Cache_array Data Msg Net Node Tbe_table Xguard_sim Xguard_stats

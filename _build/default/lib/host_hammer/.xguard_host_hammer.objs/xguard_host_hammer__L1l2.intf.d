@@ -1,0 +1,1 @@
+lib/host_hammer/l1l2.mli: Access Addr Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_hammer/msg.mli: Addr Data Format Node

@@ -1,0 +1,1 @@
+lib/host_hammer/net.ml: Msg Xguard_network

@@ -1,0 +1,1 @@
+lib/host_hammer/xg_port.ml: Addr Data Hashtbl Msg Net Node Tbe_table Xguard_sim Xguard_stats Xguard_xg

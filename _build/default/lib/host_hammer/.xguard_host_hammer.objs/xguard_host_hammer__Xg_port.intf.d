@@ -1,0 +1,1 @@
+lib/host_hammer/xg_port.mli: Net Node Xguard_sim Xguard_stats Xguard_xg

@@ -1,0 +1,154 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type txn =
+  | Get_txn of { requestor : Node.t }
+  | Put_txn of { putter : Node.t; mutable awaiting_data : bool }
+
+type queued = { src : Node.t; body : Msg.body }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  memory : Memory_model.t;
+  dir_latency : int;
+  mem_latency : int;
+  occupancy : int;
+  mutable server_free_at : Engine.time;
+  mutable caches : Node.t list;
+  owner_table : (Addr.t, Node.t) Hashtbl.t;
+  busy_table : (Addr.t, txn) Hashtbl.t;
+  waiting : (Addr.t, queued Queue.t) Hashtbl.t;
+  stats : Group.t;
+}
+
+let node t = t.node
+let stats t = t.stats
+let set_caches t caches = t.caches <- caches
+let owner t addr = Hashtbl.find_opt t.owner_table addr
+let busy t addr = Hashtbl.mem t.busy_table addr
+let open_transactions t = Hashtbl.length t.busy_table
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+let set_owner t addr = function
+  | None -> Hashtbl.remove t.owner_table addr
+  | Some n -> Hashtbl.replace t.owner_table addr n
+
+let enqueue t addr q =
+  let queue =
+    match Hashtbl.find_opt t.waiting addr with
+    | Some queue -> queue
+    | None ->
+        let queue = Queue.create () in
+        Hashtbl.add t.waiting addr queue;
+        queue
+  in
+  Group.incr t.stats "stalled_at_directory";
+  Queue.push q queue
+
+let rec start t addr { src; body } =
+  match body with
+  | Msg.Get { kind } ->
+      Group.incr t.stats ("get." ^ Msg.get_kind_to_string kind);
+      Hashtbl.replace t.busy_table addr (Get_txn { requestor = src });
+      List.iter
+        (fun cache ->
+          if not (Node.equal cache src) then send t ~dst:cache (Msg.Fwd { kind; requestor = src }) addr)
+        t.caches;
+      Engine.schedule t.engine ~delay:t.mem_latency (fun () ->
+          send t ~dst:src (Msg.Mem_data { data = Memory_model.read t.memory addr }) addr)
+  | Msg.Put ->
+      Group.incr t.stats "put";
+      if owner t addr = Some src then begin
+        Hashtbl.replace t.busy_table addr (Put_txn { putter = src; awaiting_data = true });
+        send t ~dst:src Msg.Wb_ack addr
+      end
+      else begin
+        (* Put from a non-owner: a legitimate race, or an erroneous Put the
+           paper's Guarantee 1a discussion covers.  Nack and move on — and
+           keep draining whatever queued behind this message. *)
+        Group.incr t.stats "put_nacked";
+        send t ~dst:src Msg.Wb_nack addr;
+        finish t addr
+      end
+  | _ -> assert false
+
+and finish t addr =
+  Hashtbl.remove t.busy_table addr;
+  match Hashtbl.find_opt t.waiting addr with
+  | Some queue when not (Queue.is_empty queue) ->
+      let next = Queue.pop queue in
+      Engine.schedule t.engine ~delay:t.dir_latency (fun () ->
+          (* A newly arriving message can slip in between this pop and the
+             scheduled start; re-check and requeue rather than clobber the
+             transaction it opened. *)
+          if busy t addr then enqueue t addr next else start t addr next)
+  | _ -> ()
+
+let deliver t ~src (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.Get _ | Msg.Put ->
+      if busy t addr then enqueue t addr { src; body = msg.Msg.body }
+      else
+        Engine.schedule t.engine ~delay:t.dir_latency (fun () ->
+            if busy t addr then enqueue t addr { src; body = msg.Msg.body }
+            else start t addr { src; body = msg.Msg.body })
+  | Msg.Unblock { exclusive } -> (
+      match Hashtbl.find_opt t.busy_table addr with
+      | Some (Get_txn { requestor }) when Node.equal requestor src ->
+          if exclusive then set_owner t addr (Some src);
+          Group.incr t.stats "unblock";
+          finish t addr
+      | Some _ | None ->
+          (* Robustness: drop and count.  A correct system never reaches it. *)
+          Group.incr t.stats "error.unexpected_unblock")
+  | Msg.Wb_data { data; dirty } -> (
+      match Hashtbl.find_opt t.busy_table addr with
+      | Some (Put_txn p) when Node.equal p.putter src && p.awaiting_data ->
+          p.awaiting_data <- false;
+          if dirty then Memory_model.write t.memory addr data;
+          set_owner t addr None;
+          Group.incr t.stats "writeback";
+          finish t addr
+      | Some _ | None -> Group.incr t.stats "error.unexpected_wb_data")
+  | Msg.Fwd _ | Msg.Wb_ack | Msg.Wb_nack | Msg.Mem_data _ | Msg.Peer_ack _ | Msg.Peer_data _
+    ->
+      Group.incr t.stats "error.cache_bound_message"
+
+let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 60)
+    ?(occupancy = 0) () =
+  let t =
+    {
+      engine;
+      net;
+      name;
+      node;
+      memory;
+      dir_latency;
+      mem_latency;
+      occupancy;
+      server_free_at = 0;
+      caches = [];
+      owner_table = Hashtbl.create 256;
+      busy_table = Hashtbl.create 64;
+      waiting = Hashtbl.create 64;
+      stats = Group.create (name ^ ".stats");
+    }
+  in
+  Net.register net node (fun ~src msg ->
+      if t.occupancy = 0 then deliver t ~src msg
+      else begin
+        (* Finite pipeline: messages serialize through one server. *)
+        let now = Engine.now t.engine in
+        let start = max now t.server_free_at in
+        t.server_free_at <- start + t.occupancy;
+        Group.add t.stats "server_busy_cycles" t.occupancy;
+        Engine.schedule_at t.engine start (fun () -> deliver t ~src msg)
+      end);
+  t

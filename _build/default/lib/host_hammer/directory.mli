@@ -1,0 +1,38 @@
+(** Blocking directory + memory controller of the Hammer-like protocol.
+
+    Keeps no sharer list — requests are broadcast to every other cache — but
+    tracks the current owner so that racing writebacks can be Nacked, as the
+    gem5 baseline does (the paper relies on this to detect erroneous Puts).
+    Transactions are serialized per block: a transaction opens when a Get or
+    Put is popped and closes on the requestor's Unblock (Get) or the writeback
+    data (Put); other messages for the block queue behind it. *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  net:Net.t ->
+  name:string ->
+  node:Node.t ->
+  memory:Memory_model.t ->
+  ?dir_latency:int ->
+  ?mem_latency:int ->
+  ?occupancy:int ->
+  unit ->
+  t
+(** [occupancy] models the directory pipeline's finite throughput: every
+    incoming message holds the controller for that many cycles, so a flood of
+    requests queues behind a single server (the denial-of-service resource of
+    paper §2.5).  [0] (default) gives an infinitely wide pipeline. *)
+
+val set_caches : t -> Node.t list -> unit
+(** All cache nodes on the network (CPU caches and the XG port).  Forwards go
+    to every cache except the requestor. *)
+
+val node : t -> Node.t
+val owner : t -> Addr.t -> Node.t option
+(** The directory's owner record ([None] = memory owns the block). *)
+
+val busy : t -> Addr.t -> bool
+val open_transactions : t -> int
+val stats : t -> Xguard_stats.Counter.Group.t

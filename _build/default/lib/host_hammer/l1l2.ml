@@ -1,0 +1,395 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type variant = Baseline | Xg_ready
+
+exception Protocol_error of string
+
+type stable = St_s | St_e | St_o | St_m
+
+(* Base of an open Get transaction: what the cache still holds while the
+   request is in flight.  Forwarded requests race with the transaction and
+   downgrade the base. *)
+type base = Base_none | Base_sharer | Base_owner
+
+type get_tbe = {
+  kind : Msg.get_kind;
+  mutable base : base;
+  mutable peers_left : int;
+  mutable mem_data : Data.t option;
+  mutable peer_data : Data.t option;
+  mutable peer_data_count : int;
+  mutable shared_seen : bool;
+  access : Access.t;
+  on_done : Data.t -> unit;
+}
+
+type lstate =
+  | Stable of stable
+  | Get_pending  (* details live in the TBE *)
+  | Put_pending of { mutable lost_ownership : bool }
+
+type line = { mutable st : lstate; mutable data : Data.t; mutable dirty : bool }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  directory : Node.t;
+  variant : variant;
+  hit_latency : int;
+  array : line Cache_array.t;
+  tbes : get_tbe Tbe_table.t;
+  mutable peer_count : int;
+  mutable pending_puts : int;
+  stats : Group.t;
+  coverage : Group.t;
+}
+
+let name t = t.name
+let node t = t.node
+let stats t = t.stats
+let coverage t = t.coverage
+let outstanding t = Tbe_table.count t.tbes + t.pending_puts
+let set_peer_count t n = t.peer_count <- n
+
+let stable_key = function St_s -> "S" | St_e -> "E" | St_o -> "O" | St_m -> "M"
+
+let state_key line tbe =
+  match (line, tbe) with
+  | _, Some g -> (
+      match (g.kind, g.base) with
+      | Msg.Get_m, Base_owner -> "OM"
+      | Msg.Get_m, Base_sharer -> "SM"
+      | Msg.Get_m, Base_none -> "IM"
+      | (Msg.Get_s | Msg.Get_s_only), _ -> "IS")
+  | Some { st = Stable s; _ }, None -> stable_key s
+  | Some { st = Put_pending { lost_ownership = false }; _ }, None -> "MI"
+  | Some { st = Put_pending { lost_ownership = true }; _ }, None -> "II"
+  | Some { st = Get_pending; _ }, None -> "IS" (* unreachable: TBE exists *)
+  | None, None -> "I"
+
+let visit t addr event =
+  let line = Cache_array.find t.array addr in
+  let tbe = Tbe_table.find t.tbes addr in
+  Group.incr t.coverage (state_key line tbe ^ "." ^ event)
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+let error t what =
+  Group.incr t.stats ("error." ^ what);
+  match t.variant with
+  | Baseline -> raise (Protocol_error (t.name ^ ": " ^ what))
+  | Xg_ready -> ()
+
+let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
+
+(* ------- CPU side ------- *)
+
+let start_eviction t addr (line : line) stable =
+  match stable with
+  | St_s ->
+      (* Silent eviction of shared blocks (the paper relies on this: XG does
+         not pass PutS to this host). *)
+      Group.incr t.stats "silent_s_eviction";
+      visit t addr "Replacement_S";
+      Cache_array.remove t.array addr
+  | St_e | St_o | St_m ->
+      visit t addr "Replacement_owned";
+      line.st <- Put_pending { lost_ownership = false };
+      t.pending_puts <- t.pending_puts + 1;
+      send t ~dst:t.directory Msg.Put addr
+
+let alloc_get t addr kind ~base (access : Access.t) ~on_done =
+  let tbe =
+    {
+      kind;
+      base;
+      peers_left = t.peer_count;
+      mem_data = None;
+      peer_data = None;
+      peer_data_count = 0;
+      shared_seen = false;
+      access;
+      on_done;
+    }
+  in
+  match Tbe_table.alloc t.tbes addr tbe with
+  | `Ok ->
+      send t ~dst:t.directory (Msg.Get { kind }) addr;
+      true
+  | `Full | `Busy -> false
+
+let issue t (access : Access.t) ~on_done =
+  let addr = access.Access.addr in
+  match Cache_array.find t.array addr with
+  | Some line -> (
+      Cache_array.touch t.array addr;
+      match (line.st, access.Access.op) with
+      | Stable (St_m | St_e | St_o | St_s), Access.Load ->
+          Group.incr t.stats "load_hit";
+          visit t addr "Load";
+          complete t ~on_done line.data;
+          true
+      | Stable St_m, Access.Store d ->
+          Group.incr t.stats "store_hit";
+          visit t addr "Store";
+          line.data <- d;
+          complete t ~on_done d;
+          true
+      | Stable St_e, Access.Store d ->
+          (* Silent E -> M upgrade. *)
+          Group.incr t.stats "store_hit";
+          visit t addr "Store";
+          line.st <- Stable St_m;
+          line.dirty <- true;
+          line.data <- d;
+          complete t ~on_done d;
+          true
+      | Stable St_o, Access.Store _ ->
+          visit t addr "Store";
+          if alloc_get t addr Msg.Get_m ~base:Base_owner access ~on_done then begin
+            line.st <- Get_pending;
+            true
+          end
+          else false
+      | Stable St_s, Access.Store _ ->
+          visit t addr "Store";
+          if alloc_get t addr Msg.Get_m ~base:Base_sharer access ~on_done then begin
+            line.st <- Get_pending;
+            true
+          end
+          else false
+      | (Get_pending | Put_pending _), _ -> false)
+  | None ->
+      if not (Cache_array.has_room t.array addr) then begin
+        (match Cache_array.victim t.array addr with
+        | Some (victim_addr, victim_line) -> (
+            match victim_line.st with
+            | Stable s -> start_eviction t victim_addr victim_line s
+            | Get_pending | Put_pending _ -> ())
+        | None -> ());
+        false
+      end
+      else begin
+        let kind =
+          match access.Access.op with Access.Load -> Msg.Get_s | Access.Store _ -> Msg.Get_m
+        in
+        visit t addr (match kind with Msg.Get_s -> "Load" | _ -> "Store");
+        Group.incr t.stats "miss";
+        if alloc_get t addr kind ~base:Base_none access ~on_done then begin
+          Cache_array.insert t.array addr { st = Get_pending; data = Data.zero; dirty = false };
+          true
+        end
+        else false
+      end
+
+let cpu_port t = { Access.issue = (fun access ~on_done -> issue t access ~on_done) }
+
+(* ------- Forwarded requests ------- *)
+
+let respond_data t ~requestor addr (line : line) =
+  send t ~dst:requestor (Msg.Peer_data { data = line.data; dirty = line.dirty }) addr
+
+let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
+  visit t addr ("Fwd_" ^ Msg.get_kind_to_string kind);
+  match Tbe_table.find t.tbes addr with
+  | Some tbe -> (
+      let line = Cache_array.find t.array addr in
+      match (tbe.base, kind) with
+      | Base_owner, Msg.Get_m ->
+          (match line with
+          | Some l -> respond_data t ~requestor addr l
+          | None -> error t "owner base without a line");
+          tbe.base <- Base_none
+      | Base_owner, (Msg.Get_s | Msg.Get_s_only) -> (
+          match line with
+          | Some l -> respond_data t ~requestor addr l
+          | None -> error t "owner base without a line")
+      | Base_sharer, Msg.Get_m ->
+          send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr;
+          tbe.base <- Base_none
+      | Base_sharer, (Msg.Get_s | Msg.Get_s_only) ->
+          send t ~dst:requestor (Msg.Peer_ack { shared = true }) addr
+      | Base_none, _ -> send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr)
+  | None -> (
+      match Cache_array.find t.array addr with
+      | None -> send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr
+      | Some line -> (
+          match (line.st, kind) with
+          | Stable (St_m | St_e | St_o), Msg.Get_m ->
+              respond_data t ~requestor addr line;
+              Cache_array.remove t.array addr
+          | Stable St_m, (Msg.Get_s | Msg.Get_s_only) ->
+              respond_data t ~requestor addr line;
+              line.st <- Stable St_o
+          | Stable St_e, (Msg.Get_s | Msg.Get_s_only) ->
+              respond_data t ~requestor addr line;
+              line.st <- Stable St_o
+          | Stable St_o, (Msg.Get_s | Msg.Get_s_only) -> respond_data t ~requestor addr line
+          | Stable St_s, Msg.Get_m ->
+              send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr;
+              Cache_array.remove t.array addr
+          | Stable St_s, (Msg.Get_s | Msg.Get_s_only) ->
+              send t ~dst:requestor (Msg.Peer_ack { shared = true }) addr
+          | Put_pending { lost_ownership = true }, _ ->
+              (* II: ownership already forwarded away; our copy is stale. *)
+              send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr
+          | Put_pending p, Msg.Get_m ->
+              respond_data t ~requestor addr line;
+              p.lost_ownership <- true
+          | Put_pending _, (Msg.Get_s | Msg.Get_s_only) -> respond_data t ~requestor addr line
+          | Get_pending, _ ->
+              (* A Get_pending line always has a TBE; reaching here means state
+                 tracking broke. *)
+              error t "Get_pending line without TBE";
+              send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr))
+
+(* ------- Response collection ------- *)
+
+let try_complete t addr (tbe : get_tbe) =
+  if tbe.peers_left = 0 && tbe.mem_data <> None then begin
+    let line =
+      match Cache_array.find t.array addr with
+      | Some l -> l
+      | None -> raise (Protocol_error (t.name ^ ": completing a get with no line"))
+    in
+    (match t.variant with
+    | Baseline ->
+        if tbe.peer_data_count > 1 then
+          raise (Protocol_error (t.name ^ ": multiple data responses in baseline mode"))
+    | Xg_ready -> if tbe.peer_data_count > 1 then Group.incr t.stats "error.multiple_data");
+    let received =
+      match tbe.peer_data with
+      | Some d -> d
+      | None -> ( match tbe.mem_data with Some d -> d | None -> assert false)
+    in
+    let final_value, final_state, exclusive =
+      match tbe.kind with
+      | Msg.Get_m ->
+          let stored =
+            match tbe.access.Access.op with
+            | Access.Store d -> d
+            | Access.Load ->
+                (* A Get_m for a load only happens for the XG port; the CPU
+                   controller upgrades only on stores. *)
+                if tbe.base = Base_owner then line.data else received
+          in
+          (stored, St_m, true)
+      | Msg.Get_s ->
+          if tbe.peer_data <> None || tbe.shared_seen then (received, St_s, false)
+          else (received, St_e, true)
+      | Msg.Get_s_only -> (received, St_s, false)
+    in
+    line.data <- final_value;
+    line.dirty <- (final_state = St_m);
+    line.st <- Stable final_state;
+    Tbe_table.dealloc t.tbes addr;
+    send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
+    Group.incr t.stats "get_complete";
+    complete t ~on_done:tbe.on_done final_value
+  end
+
+let handle_response t addr (body : Msg.body) =
+  match Tbe_table.find t.tbes addr with
+  | None -> error t "response without open transaction"
+  | Some tbe -> (
+      (match body with
+      | Msg.Mem_data { data } ->
+          visit t addr "MemData";
+          if tbe.mem_data <> None then error t "duplicate memory data"
+          else tbe.mem_data <- Some data
+      | Msg.Peer_ack { shared } ->
+          visit t addr "PeerAck";
+          tbe.peers_left <- tbe.peers_left - 1;
+          if shared then tbe.shared_seen <- true
+      | Msg.Peer_data { data; dirty = _ } ->
+          visit t addr "PeerData";
+          tbe.peers_left <- tbe.peers_left - 1;
+          tbe.peer_data_count <- tbe.peer_data_count + 1;
+          if tbe.peer_data = None then tbe.peer_data <- Some data
+      | _ -> assert false);
+      if tbe.peers_left < 0 then error t "more peer responses than peers"
+      else try_complete t addr tbe)
+
+(* ------- Writeback responses ------- *)
+
+let handle_wb_ack t addr =
+  match Cache_array.find t.array addr with
+  | Some ({ st = Put_pending { lost_ownership = false }; _ } as line) ->
+      visit t addr "WbAck";
+      send t ~dst:t.directory (Msg.Wb_data { data = line.data; dirty = line.dirty }) addr;
+      Cache_array.remove t.array addr;
+      t.pending_puts <- t.pending_puts - 1;
+      Group.incr t.stats "writeback_complete"
+  | Some { st = Put_pending { lost_ownership = true }; _ } ->
+      (* The directory believed us owner after all; it is waiting for data.
+         Our data is stale (the new owner has fresher data), but the memory
+         value will be overridden by the true owner's eventual writeback.
+         This cannot happen with a correct directory: ownership moved, so the
+         directory Nacks.  Treat as a protocol error. *)
+      error t "WbAck after ownership was forwarded away"
+  | Some _ | None -> error t "WbAck with no pending writeback"
+
+let handle_wb_nack t addr =
+  match Cache_array.find t.array addr with
+  | Some { st = Put_pending { lost_ownership = true }; _ } ->
+      visit t addr "WbNack";
+      Cache_array.remove t.array addr;
+      t.pending_puts <- t.pending_puts - 1;
+      Group.incr t.stats "writeback_nacked"
+  | Some ({ st = Put_pending { lost_ownership = false }; _ } as _line) ->
+      (* Paper modification: sink unexpected Nacks and report an error rather
+         than wedging.  Free the line to preserve liveness. *)
+      error t "unexpected WbNack while still owner";
+      Group.incr t.stats "unexpected_nack_sunk";
+      Cache_array.remove t.array addr;
+      t.pending_puts <- t.pending_puts - 1
+  | Some _ | None ->
+      error t "WbNack with no pending writeback";
+      Group.incr t.stats "unexpected_nack_sunk"
+
+let deliver t (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.Fwd { kind; requestor } -> handle_fwd t addr kind ~requestor
+  | Msg.Mem_data _ | Msg.Peer_ack _ | Msg.Peer_data _ -> handle_response t addr msg.Msg.body
+  | Msg.Wb_ack -> handle_wb_ack t addr
+  | Msg.Wb_nack -> handle_wb_nack t addr
+  | Msg.Get _ | Msg.Put | Msg.Wb_data _ | Msg.Unblock _ ->
+      error t "directory-bound message delivered to a cache"
+
+let probe t addr =
+  match (Cache_array.find t.array addr, Tbe_table.find t.tbes addr) with
+  | None, None -> `I
+  | _, Some _ -> `Transient
+  | Some { st = Stable St_s; _ }, None -> `S
+  | Some { st = Stable St_e; _ }, None -> `E
+  | Some { st = Stable St_o; _ }, None -> `O
+  | Some { st = Stable St_m; _ }, None -> `M
+  | Some { st = Get_pending | Put_pending _; _ }, None -> `Transient
+
+let create ~engine ~net ~name ~node ~directory ~variant ~sets ~ways ?(hit_latency = 2)
+    ?(tbe_capacity = 16) () =
+  let t =
+    {
+      engine;
+      net;
+      name;
+      node;
+      directory;
+      variant;
+      hit_latency;
+      array = Cache_array.create ~sets ~ways ();
+      tbes = Tbe_table.create ~capacity:tbe_capacity ();
+      peer_count = 0;
+      pending_puts = 0;
+      stats = Group.create (name ^ ".stats");
+      coverage = Group.create (name ^ ".coverage");
+    }
+  in
+  Net.register net node (fun ~src:_ msg -> deliver t msg);
+  t

@@ -1,0 +1,43 @@
+type get_kind = Get_s | Get_s_only | Get_m
+
+type body =
+  | Get of { kind : get_kind }
+  | Put
+  | Wb_data of { data : Data.t; dirty : bool }
+  | Unblock of { exclusive : bool }
+  | Fwd of { kind : get_kind; requestor : Node.t }
+  | Wb_ack
+  | Wb_nack
+  | Mem_data of { data : Data.t }
+  | Peer_ack of { shared : bool }
+  | Peer_data of { data : Data.t; dirty : bool }
+
+type t = { addr : Addr.t; body : body }
+
+let size t =
+  match t.body with
+  | Wb_data _ | Mem_data _ | Peer_data _ -> Xguard_network.Network.data_size
+  | Get _ | Put | Unblock _ | Fwd _ | Wb_ack | Wb_nack | Peer_ack _ ->
+      Xguard_network.Network.control_size
+
+let get_kind_to_string = function
+  | Get_s -> "GetS"
+  | Get_s_only -> "GetS_only"
+  | Get_m -> "GetM"
+
+let pp fmt t =
+  let body_str =
+    match t.body with
+    | Get { kind } -> get_kind_to_string kind
+    | Put -> "Put"
+    | Wb_data { dirty; _ } -> if dirty then "WbData(dirty)" else "WbData(clean)"
+    | Unblock { exclusive } -> if exclusive then "Unblock(excl)" else "Unblock"
+    | Fwd { kind; requestor } ->
+        Printf.sprintf "Fwd_%s(for %s)" (get_kind_to_string kind) (Node.name requestor)
+    | Wb_ack -> "WbAck"
+    | Wb_nack -> "WbNack"
+    | Mem_data _ -> "MemData"
+    | Peer_ack { shared } -> if shared then "PeerAck(shared)" else "PeerAck"
+    | Peer_data { dirty; _ } -> if dirty then "PeerData(dirty)" else "PeerData(clean)"
+  in
+  Format.fprintf fmt "%s %a" body_str Addr.pp t.addr

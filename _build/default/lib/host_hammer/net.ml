@@ -1,0 +1,4 @@
+(** The Hammer host network: one unordered interconnect carrying {!Msg.t}
+    between the caches, the directory and the Crossing Guard port. *)
+
+include Xguard_network.Network.Make (Msg)

@@ -1,0 +1,243 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+module Xg_core = Xguard_xg.Xg_core
+
+type get_tbe = {
+  kind : Msg.get_kind;
+  mutable peers_left : int;
+  mutable mem_data : Data.t option;
+  mutable peer_data : Data.t option;
+  mutable shared_seen : bool;
+}
+
+(* A writeback in flight to the directory.  [notify_core] distinguishes
+   accelerator-initiated puts (the core is waiting for completion) from the
+   port's own ownership relinquishments after a forwarded GetS. *)
+type put_rec = {
+  mutable data : Data.t;
+  mutable dirty : bool;
+  mutable lost_ownership : bool;
+  notify_core : bool;
+  is_owner : bool;  (* false for an unnecessary PutS: we hold no data *)
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  directory : Node.t;
+  use_get_s_only : bool;
+  mutable core : Xg_core.t option;
+  mutable peer_count : int;
+  tbes : get_tbe Tbe_table.t;
+  puts : (Addr.t, put_rec) Hashtbl.t;
+  deferred_gets : (Addr.t, Msg.get_kind) Hashtbl.t;
+  stats : Group.t;
+}
+
+let node t = t.node
+let stats t = t.stats
+let set_peer_count t n = t.peer_count <- n
+let attach_core t core = t.core <- Some core
+let outstanding t = Tbe_table.count t.tbes + Hashtbl.length t.puts
+
+let core t =
+  match t.core with
+  | Some c -> c
+  | None -> failwith (t.name ^ ": no Xg_core attached")
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+(* ---- host_port operations called by the core ---- *)
+
+let issue_get t addr kind =
+  let msg_kind =
+    match kind with
+    | `M -> Msg.Get_m
+    | `S -> Msg.Get_s
+    | `S_only -> if t.use_get_s_only then Msg.Get_s_only else Msg.Get_s
+  in
+  let tbe =
+    {
+      kind = msg_kind;
+      peers_left = t.peer_count;
+      mem_data = None;
+      peer_data = None;
+      shared_seen = false;
+    }
+  in
+  (match Tbe_table.alloc t.tbes addr tbe with
+  | `Ok -> ()
+  | `Busy | `Full -> failwith (t.name ^ ": get while transaction open"));
+  if Hashtbl.mem t.puts addr then begin
+    (* A writeback of this block (possibly our own ownership relinquishment,
+       which the guard core does not see) is still in flight.  Re-requesting
+       now could let the stale Put clear our fresh ownership at the directory
+       later; wait for the writeback to settle, like any host cache would. *)
+    Group.incr t.stats "get_deferred_behind_put";
+    Hashtbl.replace t.deferred_gets addr msg_kind
+  end
+  else send t ~dst:t.directory (Msg.Get { kind = msg_kind }) addr
+
+let start_put t addr ~data ~dirty ~notify_core ~is_owner =
+  Hashtbl.replace t.puts addr { data; dirty; lost_ownership = false; notify_core; is_owner };
+  send t ~dst:t.directory Msg.Put addr
+
+let issue_put t addr kind =
+  match kind with
+  | `S ->
+      (* The Hammer host evicts shared blocks silently; an explicit Put from
+         the guard is the "unnecessary PutS" the paper quantifies.  The
+         directory Nacks it (we are not the owner) and we complete. *)
+      start_put t addr ~data:Data.zero ~dirty:false ~notify_core:true ~is_owner:false
+  | `E data -> start_put t addr ~data ~dirty:false ~notify_core:true ~is_owner:true
+  | `M data -> start_put t addr ~data ~dirty:true ~notify_core:true ~is_owner:true
+
+let host_port t =
+  {
+    Xg_core.get = (fun addr kind -> issue_get t addr kind);
+    Xg_core.put = (fun addr kind -> issue_put t addr kind);
+    Xg_core.puts_needed = false;
+    Xg_core.has_get_s_only = t.use_get_s_only;
+  }
+
+(* ---- get completion ---- *)
+
+let try_complete t addr (tbe : get_tbe) =
+  if tbe.peers_left = 0 && tbe.mem_data <> None then begin
+    let received =
+      match tbe.peer_data with
+      | Some d -> d
+      | None -> ( match tbe.mem_data with Some d -> d | None -> assert false)
+    in
+    let grant, exclusive =
+      match tbe.kind with
+      | Msg.Get_m -> (`M received, true)
+      | Msg.Get_s ->
+          if tbe.peer_data <> None || tbe.shared_seen then (`S received, false)
+          else (`E received, true)
+      | Msg.Get_s_only -> (`S received, false)
+    in
+    Tbe_table.dealloc t.tbes addr;
+    send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
+    Group.incr t.stats "get_complete";
+    Xg_core.granted (core t) addr grant
+  end
+
+let handle_response t addr (body : Msg.body) =
+  match Tbe_table.find t.tbes addr with
+  | None -> Group.incr t.stats "error.response_without_txn"
+  | Some tbe ->
+      (match body with
+      | Msg.Mem_data { data } -> tbe.mem_data <- Some data
+      | Msg.Peer_ack { shared } ->
+          tbe.peers_left <- tbe.peers_left - 1;
+          if shared then tbe.shared_seen <- true
+      | Msg.Peer_data { data; dirty = _ } ->
+          (* Response counting (paper modification): a data message counts as
+             a response whether or not one was expected. *)
+          tbe.peers_left <- tbe.peers_left - 1;
+          if tbe.peer_data = None then tbe.peer_data <- Some data
+      | _ -> assert false);
+      try_complete t addr tbe
+
+(* ---- forwarded requests ---- *)
+
+let respond_from_put t addr (p : put_rec) (kind : Msg.get_kind) ~requestor =
+  if p.lost_ownership then
+    (* II: ownership already forwarded away; our copy is stale. *)
+    send t ~dst:requestor (Msg.Peer_ack { shared = false }) addr
+  else begin
+    send t ~dst:requestor (Msg.Peer_data { data = p.data; dirty = p.dirty }) addr;
+    if kind = Msg.Get_m then p.lost_ownership <- true
+  end
+
+let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
+  Group.incr t.stats ("fwd." ^ Msg.get_kind_to_string kind);
+  match Hashtbl.find_opt t.puts addr with
+  | Some p when p.is_owner -> respond_from_put t addr p kind ~requestor
+  | Some _ | None -> (
+      match kind with
+      | Msg.Get_m ->
+          Xg_core.host_request (core t) addr ~need:Xg_core.Fwd_m ~reply:(fun reply ->
+              match reply with
+              | Xg_core.Reply_ack { shared } ->
+                  send t ~dst:requestor (Msg.Peer_ack { shared }) addr
+              | Xg_core.Reply_clean data ->
+                  send t ~dst:requestor (Msg.Peer_data { data; dirty = false }) addr
+              | Xg_core.Reply_dirty data ->
+                  send t ~dst:requestor (Msg.Peer_data { data; dirty = true }) addr)
+      | Msg.Get_s | Msg.Get_s_only ->
+          Xg_core.host_request (core t) addr ~need:Xg_core.Fwd_s ~reply:(fun reply ->
+              match reply with
+              | Xg_core.Reply_ack { shared } ->
+                  send t ~dst:requestor (Msg.Peer_ack { shared }) addr
+              | Xg_core.Reply_clean data | Xg_core.Reply_dirty data ->
+                  let dirty = match reply with Xg_core.Reply_dirty _ -> true | _ -> false in
+                  (* The interface has no owned-shared state: forward the
+                     data, then relinquish ownership to the directory
+                     (paper §3.2.1). *)
+                  send t ~dst:requestor (Msg.Peer_data { data; dirty }) addr;
+                  Group.incr t.stats "ownership_relinquished";
+                  start_put t addr ~data ~dirty ~notify_core:false ~is_owner:true))
+
+(* ---- writeback responses ---- *)
+
+let finish_put t addr (p : put_rec) =
+  Hashtbl.remove t.puts addr;
+  (match Hashtbl.find_opt t.deferred_gets addr with
+  | Some kind ->
+      Hashtbl.remove t.deferred_gets addr;
+      send t ~dst:t.directory (Msg.Get { kind }) addr
+  | None -> ());
+  if p.notify_core then Xg_core.put_complete (core t) addr
+
+let handle_wb_ack t addr =
+  match Hashtbl.find_opt t.puts addr with
+  | Some p ->
+      send t ~dst:t.directory (Msg.Wb_data { data = p.data; dirty = p.dirty }) addr;
+      Group.incr t.stats "writeback_complete";
+      finish_put t addr p
+  | None -> Group.incr t.stats "error.wb_ack_without_put"
+
+let handle_wb_nack t addr =
+  match Hashtbl.find_opt t.puts addr with
+  | Some p ->
+      (* Expected when ownership raced away (or for an unnecessary PutS the
+         directory rejects); the block is simply gone. *)
+      Group.incr t.stats "writeback_nacked";
+      finish_put t addr p
+  | None -> Group.incr t.stats "error.wb_nack_without_put"
+
+let deliver t (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.Fwd { kind; requestor } -> handle_fwd t addr kind ~requestor
+  | Msg.Mem_data _ | Msg.Peer_ack _ | Msg.Peer_data _ -> handle_response t addr msg.Msg.body
+  | Msg.Wb_ack -> handle_wb_ack t addr
+  | Msg.Wb_nack -> handle_wb_nack t addr
+  | Msg.Get _ | Msg.Put | Msg.Wb_data _ | Msg.Unblock _ ->
+      Group.incr t.stats "error.directory_bound_message"
+
+let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
+  let t =
+    {
+      engine;
+      net;
+      name;
+      node;
+      directory;
+      use_get_s_only;
+      core = None;
+      peer_count = 0;
+      tbes = Tbe_table.create ~capacity:128 ();
+      puts = Hashtbl.create 16;
+      deferred_gets = Hashtbl.create 8;
+      stats = Group.create (name ^ ".stats");
+    }
+  in
+  Net.register net node (fun ~src:_ msg -> deliver t msg);
+  t

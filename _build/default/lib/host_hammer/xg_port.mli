@@ -1,0 +1,37 @@
+(** Crossing Guard's host-side port for the Hammer-like protocol.
+
+    Appears to the host as an ordinary private L1/L2 peer (paper §3.2.1): it
+    answers every forwarded request, counts responses on its own gets, and
+    performs two-phase writebacks.  The accelerator-facing logic lives in
+    {!Xguard_xg.Xg_core}; this port translates between the core's abstract
+    host operations/replies and Hammer messages.
+
+    Protocol-specific behaviour from the paper:
+    - a forwarded GetS that hits an accelerator-owned block invalidates the
+      accelerator, forwards the writeback data to the requestor, and
+      relinquishes ownership to the directory with a Put (no O state crosses
+      the interface);
+    - [use_get_s_only:false] models the unmodified host without the
+      non-upgradable read: the Full-State guard then keeps trusted copies of
+      read-only blocks granted exclusively. *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  net:Net.t ->
+  name:string ->
+  node:Node.t ->
+  directory:Node.t ->
+  ?use_get_s_only:bool ->
+  unit ->
+  t
+
+val host_port : t -> Xguard_xg.Xg_core.host_port
+(** Pass to {!Xguard_xg.Xg_core.create}, then {!attach_core}. *)
+
+val attach_core : t -> Xguard_xg.Xg_core.t -> unit
+val set_peer_count : t -> int -> unit
+val node : t -> Node.t
+val outstanding : t -> int
+val stats : t -> Xguard_stats.Counter.Group.t

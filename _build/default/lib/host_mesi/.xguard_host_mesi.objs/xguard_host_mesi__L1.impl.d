@@ -1,0 +1,1 @@
+lib/host_mesi/l1.ml: Access Cache_array Data Msg Net Node Tbe_table Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_mesi/l1.mli: Access Addr Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_mesi/l2.ml: Addr Cache_array Data Hashtbl List Msg Net Node Queue Xguard_sim Xguard_stats

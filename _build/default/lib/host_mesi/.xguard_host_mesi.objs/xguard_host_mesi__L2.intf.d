@@ -1,0 +1,1 @@
+lib/host_mesi/l2.mli: Addr Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_mesi/memctrl.ml: Memory_model Msg Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_mesi/memctrl.mli: Memory_model Net Node Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/host_mesi/msg.ml: Addr Data Format Node Printf Xguard_network

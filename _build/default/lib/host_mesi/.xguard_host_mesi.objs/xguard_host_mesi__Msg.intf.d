@@ -1,0 +1,1 @@
+lib/host_mesi/msg.mli: Addr Data Format Node

@@ -1,0 +1,1 @@
+lib/host_mesi/net.ml: Msg Xguard_network

@@ -1,0 +1,1 @@
+lib/host_mesi/xg_port.mli: Net Node Xguard_sim Xguard_stats Xguard_xg

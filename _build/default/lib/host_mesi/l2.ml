@@ -1,0 +1,388 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type variant = Baseline | Xg_ready
+
+exception Protocol_error of string
+
+type holders = No_l1 | Sharers of Node.t list | Owned of Node.t
+
+type line = { mutable data : Data.t; mutable dirty : bool; mutable holders : holders }
+
+type txn =
+  | Fetching of { kind : Msg.get_kind; requestor : Node.t }
+  | Direct of { requestor : Node.t }
+  | Via_owner of {
+      requestor : Node.t;
+      kind : Msg.get_kind;
+      mutable got_unblock : bool;
+      mutable need_copyback : bool;
+    }
+  | Evicting of { mutable acks_left : int }
+  | Wb_mem
+
+type queued = { src : Node.t; body : Msg.body }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  memctrl : Node.t;
+  variant : variant;
+  l2_latency : int;
+  sets : int;
+  array : line Cache_array.t;
+  busy_table : (Addr.t, txn) Hashtbl.t;
+  waiting : (Addr.t, queued Queue.t) Hashtbl.t;
+  space_waiters : (int, queued Queue.t) Hashtbl.t;  (* keyed by set index *)
+  space_addr : (int, Addr.t Queue.t) Hashtbl.t;  (* parallel queue of addresses *)
+  stats : Group.t;
+  coverage : Group.t;
+}
+
+let node t = t.node
+let stats t = t.stats
+let coverage t = t.coverage
+let busy t addr = Hashtbl.mem t.busy_table addr
+let open_transactions t = Hashtbl.length t.busy_table
+let resident t = Cache_array.count t.array
+
+let probe t addr =
+  match Cache_array.find t.array addr with
+  | None -> `Absent
+  | Some { holders = No_l1; _ } -> `No_l1
+  | Some { holders = Sharers sh; _ } -> `Sharers (List.length sh)
+  | Some { holders = Owned o; _ } -> `Owned o
+
+let set_index t addr = addr land (t.sets - 1)
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+let holders_key = function
+  | No_l1 -> "NoL1"
+  | Sharers _ -> "SS"
+  | Owned _ -> "MT"
+
+let txn_key = function
+  | Fetching _ -> "Fetching"
+  | Direct _ -> "Direct"
+  | Via_owner _ -> "ViaOwner"
+  | Evicting _ -> "Evicting"
+  | Wb_mem -> "WbMem"
+
+let state_key t addr =
+  match Hashtbl.find_opt t.busy_table addr with
+  | Some txn -> txn_key txn
+  | None -> (
+      match Cache_array.find t.array addr with
+      | None -> "NP"
+      | Some line -> holders_key line.holders)
+
+let visit t addr event = Group.incr t.coverage (state_key t addr ^ "." ^ event)
+
+let error t what =
+  Group.incr t.stats ("error." ^ what);
+  match t.variant with
+  | Baseline -> raise (Protocol_error (t.name ^ ": " ^ what))
+  | Xg_ready -> ()
+
+(* ------- queues ------- *)
+
+let enqueue_addr t addr q =
+  let queue =
+    match Hashtbl.find_opt t.waiting addr with
+    | Some queue -> queue
+    | None ->
+        let queue = Queue.create () in
+        Hashtbl.add t.waiting addr queue;
+        queue
+  in
+  Group.incr t.stats "stalled_busy";
+  Queue.push q queue
+
+let enqueue_space t addr q =
+  let idx = set_index t addr in
+  let queue, addr_queue =
+    match (Hashtbl.find_opt t.space_waiters idx, Hashtbl.find_opt t.space_addr idx) with
+    | Some queue, Some addr_queue -> (queue, addr_queue)
+    | _ ->
+        let queue = Queue.create () and addr_queue = Queue.create () in
+        Hashtbl.replace t.space_waiters idx queue;
+        Hashtbl.replace t.space_addr idx addr_queue;
+        (queue, addr_queue)
+  in
+  Group.incr t.stats "stalled_for_space";
+  Queue.push q queue;
+  Queue.push addr addr_queue
+
+(* ------- transaction machinery ------- *)
+
+let rec process t addr ({ src; body } as q) =
+  match body with
+  | Msg.Get { kind } -> process_get t addr q kind ~requestor:src
+  | Msg.Put_s -> process_put_s t addr ~src
+  | Msg.Put_m { data; dirty } -> process_put_m t addr ~src ~data ~dirty
+  | _ -> assert false
+
+and grant t addr (line : line) (kind : Msg.get_kind) ~requestor =
+  visit t addr ("grant." ^ Msg.get_kind_to_string kind);
+  match line.holders with
+  | Owned owner when not (Node.equal owner requestor) ->
+      send t ~dst:owner (Msg.Fwd { kind; requestor }) addr;
+      let need_copyback = kind <> Msg.Get_m in
+      (match kind with
+      | Msg.Get_m -> line.holders <- Owned requestor
+      | Msg.Get_s | Msg.Get_s_only -> line.holders <- Sharers [ owner; requestor ]);
+      Hashtbl.replace t.busy_table addr
+        (Via_owner { requestor; kind; got_unblock = false; need_copyback })
+  | Owned _ ->
+      (* Requestor believes it misses while we record it owner: only a buggy
+         party behind the XG port gets here.  Re-grant to keep the host live. *)
+      error t "get_from_recorded_owner";
+      let g = match kind with Msg.Get_m -> Msg.Grant_m | _ -> Msg.Grant_s in
+      send t ~dst:requestor (Msg.L2_data { data = line.data; grant = g; acks = 0 }) addr;
+      Hashtbl.replace t.busy_table addr (Direct { requestor })
+  | Sharers sh -> (
+      match kind with
+      | Msg.Get_m ->
+          let others = List.filter (fun n -> not (Node.equal n requestor)) sh in
+          List.iter (fun n -> send t ~dst:n (Msg.Inv { reply_to = requestor }) addr) others;
+          send t ~dst:requestor
+            (Msg.L2_data { data = line.data; grant = Msg.Grant_m; acks = List.length others })
+            addr;
+          line.holders <- Owned requestor;
+          Hashtbl.replace t.busy_table addr (Direct { requestor })
+      | Msg.Get_s | Msg.Get_s_only ->
+          send t ~dst:requestor
+            (Msg.L2_data { data = line.data; grant = Msg.Grant_s; acks = 0 })
+            addr;
+          if not (List.exists (Node.equal requestor) sh) then
+            line.holders <- Sharers (requestor :: sh);
+          Hashtbl.replace t.busy_table addr (Direct { requestor }))
+  | No_l1 ->
+      let g, holders =
+        match kind with
+        | Msg.Get_m -> (Msg.Grant_m, Owned requestor)
+        | Msg.Get_s -> (Msg.Grant_e, Owned requestor)
+        | Msg.Get_s_only -> (Msg.Grant_s, Sharers [ requestor ])
+      in
+      send t ~dst:requestor (Msg.L2_data { data = line.data; grant = g; acks = 0 }) addr;
+      line.holders <- holders;
+      Hashtbl.replace t.busy_table addr (Direct { requestor })
+
+and process_get t addr q kind ~requestor =
+  match Cache_array.find t.array addr with
+  | Some line ->
+      Cache_array.touch t.array addr;
+      grant t addr line kind ~requestor
+  | None ->
+      if Cache_array.has_room t.array addr then begin
+        Group.incr t.stats "l2_miss";
+        Cache_array.insert t.array addr { data = Data.zero; dirty = false; holders = No_l1 };
+        Hashtbl.replace t.busy_table addr (Fetching { kind; requestor });
+        send t ~dst:t.memctrl Msg.Fetch addr
+      end
+      else begin
+        (* Park the request before touching the victim: a clean, unshared
+           victim evicts synchronously and its close must find this request. *)
+        enqueue_space t addr q;
+        match Cache_array.victim t.array addr with
+        | Some (victim_addr, victim_line) ->
+            if not (busy t victim_addr) then start_eviction t victim_addr victim_line
+        | None -> ()
+      end
+
+and start_eviction t victim_addr (line : line) =
+  Group.incr t.stats "l2_eviction";
+  visit t victim_addr "Replacement";
+  match line.holders with
+  | Owned owner ->
+      send t ~dst:owner Msg.Recall victim_addr;
+      Hashtbl.replace t.busy_table victim_addr (Evicting { acks_left = 1 })
+  | Sharers sh ->
+      List.iter (fun n -> send t ~dst:n (Msg.Inv { reply_to = t.node }) victim_addr) sh;
+      line.holders <- No_l1;
+      if sh = [] then finish_eviction t victim_addr line
+      else Hashtbl.replace t.busy_table victim_addr (Evicting { acks_left = List.length sh })
+  | No_l1 -> finish_eviction t victim_addr line
+
+and finish_eviction t victim_addr (line : line) =
+  if line.dirty then begin
+    Hashtbl.replace t.busy_table victim_addr Wb_mem;
+    send t ~dst:t.memctrl (Msg.Mem_wb { data = line.data }) victim_addr
+  end
+  else begin
+    Cache_array.remove t.array victim_addr;
+    close t victim_addr
+  end
+
+and process_put_s t addr ~src =
+  visit t addr "PutS";
+  (match Cache_array.find t.array addr with
+  | Some ({ holders = Sharers sh; _ } as line) when List.exists (Node.equal src) sh ->
+      let rest = List.filter (fun n -> not (Node.equal n src)) sh in
+      line.holders <- (if rest = [] then No_l1 else Sharers rest);
+      Group.incr t.stats "put_s"
+  | Some _ | None -> Group.incr t.stats "put_sunk");
+  send t ~dst:src Msg.Wb_ack addr;
+  (* Puts open no transaction; drain whatever queued behind this message. *)
+  close t addr
+
+and process_put_m t addr ~src ~data ~dirty =
+  visit t addr "PutM";
+  (match Cache_array.find t.array addr with
+  | Some ({ holders = Owned owner; _ } as line) when Node.equal owner src ->
+      line.data <- data;
+      line.dirty <- line.dirty || dirty;
+      line.holders <- No_l1;
+      Group.incr t.stats "put_m"
+  | Some ({ holders = Sharers sh; _ } as line) when List.exists (Node.equal src) sh ->
+      (* A Put from a cache we demoted to sharer during a racing read fwd;
+         its data is already stale.  Drop the data, drop the sharer. *)
+      let rest = List.filter (fun n -> not (Node.equal n src)) sh in
+      line.holders <- (if rest = [] then No_l1 else Sharers rest);
+      Group.incr t.stats "put_sunk"
+  | Some _ | None -> Group.incr t.stats "put_sunk");
+  send t ~dst:src Msg.Wb_ack addr;
+  close t addr
+
+and close t addr =
+  Hashtbl.remove t.busy_table addr;
+  (* First serve requests queued on this address... *)
+  (match Hashtbl.find_opt t.waiting addr with
+  | Some queue when not (Queue.is_empty queue) ->
+      let next = Queue.pop queue in
+      Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+          if busy t addr then enqueue_addr t addr next else process t addr next)
+  | _ -> ());
+  (* ...then retry requests that were stalled for space in this set. *)
+  let idx = set_index t addr in
+  match (Hashtbl.find_opt t.space_waiters idx, Hashtbl.find_opt t.space_addr idx) with
+  | Some queue, Some addr_queue when not (Queue.is_empty queue) ->
+      let q = Queue.pop queue in
+      let qaddr = Queue.pop addr_queue in
+      Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+          if busy t qaddr then enqueue_addr t qaddr q else process t qaddr q)
+  | _ -> ()
+
+(* ------- message handling ------- *)
+
+let handle_unblock t addr ~src =
+  match Hashtbl.find_opt t.busy_table addr with
+  | Some (Direct { requestor }) when Node.equal requestor src ->
+      visit t addr "Unblock";
+      close t addr
+  | Some (Via_owner v) when Node.equal v.requestor src ->
+      visit t addr "Unblock";
+      v.got_unblock <- true;
+      if not v.need_copyback then close t addr
+  | Some _ | None -> error t "unexpected_unblock"
+
+let handle_copyback t addr ~src ~data ~dirty =
+  ignore src;
+  match Hashtbl.find_opt t.busy_table addr with
+  | Some (Via_owner v) when v.need_copyback -> (
+      visit t addr "Copyback";
+      (match Cache_array.find t.array addr with
+      | Some line ->
+          line.data <- data;
+          line.dirty <- line.dirty || dirty
+      | None -> error t "copyback_for_absent_line");
+      v.need_copyback <- false;
+      if v.got_unblock then close t addr)
+  | Some (Direct { requestor }) ->
+      (* Paper, section 3.2.2: a buggy holder answered an Inv with a
+         writeback; the (modified) L2 acks the requestor on its behalf. *)
+      error t "copyback_during_direct_txn";
+      Group.incr t.stats "ack_on_behalf";
+      send t ~dst:requestor Msg.Inv_ack addr
+  | Some _ | None -> error t "unexpected_copyback"
+
+let handle_eviction_response t addr ~(is_data : (Data.t * bool) option) =
+  match Hashtbl.find_opt t.busy_table addr with
+  | Some (Evicting e) -> (
+      (match is_data with
+      | Some (data, dirty) -> (
+          match Cache_array.find t.array addr with
+          | Some line ->
+              line.data <- data;
+              line.dirty <- line.dirty || dirty;
+              line.holders <- No_l1
+          | None -> error t "recall_data_for_absent_line")
+      | None -> ());
+      e.acks_left <- e.acks_left - 1;
+      if e.acks_left <= 0 then
+        match Cache_array.find t.array addr with
+        | Some line -> finish_eviction t addr line
+        | None -> error t "eviction_finished_without_line")
+  | Some _ | None -> error t "unexpected_eviction_response"
+
+let deliver t ~src (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.Get _ | Msg.Put_s | Msg.Put_m _ ->
+      let q = { src; body = msg.Msg.body } in
+      if busy t addr then enqueue_addr t addr q
+      else
+        Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+            if busy t addr then enqueue_addr t addr q else process t addr q)
+  | Msg.Unblock -> handle_unblock t addr ~src
+  | Msg.Copyback { data; dirty } -> handle_copyback t addr ~src ~data ~dirty
+  | Msg.Recall_data { data; dirty } -> handle_eviction_response t addr ~is_data:(Some (data, dirty))
+  | Msg.Recall_ack ->
+      (* Ack/data equivalence (the paper's MESI modification). *)
+      if t.variant = Baseline then error t "recall_ack_instead_of_data";
+      handle_eviction_response t addr ~is_data:None
+  | Msg.Inv_ack -> handle_eviction_response t addr ~is_data:None
+  | Msg.Mem_data { data } -> (
+      match Hashtbl.find_opt t.busy_table addr with
+      | Some (Fetching { kind; requestor }) -> (
+          visit t addr "MemData";
+          match Cache_array.find t.array addr with
+          | Some line ->
+              line.data <- data;
+              Hashtbl.remove t.busy_table addr;
+              grant t addr line kind ~requestor
+          | None -> error t "mem_data_for_absent_line")
+      | Some _ | None -> error t "unexpected_mem_data")
+  | Msg.Mem_wb_ack -> (
+      match Hashtbl.find_opt t.busy_table addr with
+      | Some Wb_mem ->
+          Cache_array.remove t.array addr;
+          close t addr
+      | Some _ | None -> error t "unexpected_mem_wb_ack")
+  | Msg.L2_data _ | Msg.Wb_ack | Msg.Inv _ | Msg.Recall | Msg.Fwd _ | Msg.Owner_data _
+  | Msg.Fetch | Msg.Mem_wb _ ->
+      error t "message_not_for_l2"
+
+let create ~engine ~net ~name ~node ~memctrl ~variant ~sets ~ways ?(l2_latency = 8) () =
+  let t =
+    {
+      engine;
+      net;
+      name;
+      node;
+      memctrl;
+      variant;
+      l2_latency;
+      sets;
+      array = Cache_array.create ~sets ~ways ();
+      busy_table = Hashtbl.create 64;
+      waiting = Hashtbl.create 64;
+      space_waiters = Hashtbl.create 16;
+      space_addr = Hashtbl.create 16;
+      stats = Group.create (name ^ ".stats");
+      coverage = Group.create (name ^ ".coverage");
+    }
+  in
+  Net.register net node (fun ~src msg -> deliver t ~src msg);
+  t
+
+let queued_requests t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.waiting 0
+
+let space_stalled t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.space_waiters 0

@@ -1,0 +1,49 @@
+(** Shared inclusive L2 of the MESI two-level host protocol.
+
+    The L2 tracks exact sharers and the exclusive owner of every resident
+    block, serializes transactions per block, orders cache-to-cache transfers
+    (it tells the GetM requestor how many sharer acks to expect, and tells an
+    exclusive owner to forward data directly), back-invalidates L1 copies when
+    it replaces a line (inclusivity), and fetches from / writes back to the
+    memory controller.
+
+    The one host modification the paper needs for Transactional Crossing
+    Guard lives here, switched by {!variant}: in [Xg_ready] mode the L2
+    treats data and acks as interchangeable responses to a forwarded
+    invalidation — in particular, when a (buggy) holder answers an Inv with a
+    writeback instead of an InvAck, the L2 absorbs the data and acks the
+    requestor on the holder's behalf.  [Baseline] raises {!Protocol_error}
+    instead. *)
+
+type variant = Baseline | Xg_ready
+
+exception Protocol_error of string
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  net:Net.t ->
+  name:string ->
+  node:Node.t ->
+  memctrl:Node.t ->
+  variant:variant ->
+  sets:int ->
+  ways:int ->
+  ?l2_latency:int ->
+  unit ->
+  t
+
+val node : t -> Node.t
+val probe : t -> Addr.t -> [ `Absent | `No_l1 | `Sharers of int | `Owned of Node.t ]
+val busy : t -> Addr.t -> bool
+val open_transactions : t -> int
+val resident : t -> int
+val stats : t -> Xguard_stats.Counter.Group.t
+val coverage : t -> Xguard_stats.Counter.Group.t
+
+val queued_requests : t -> int
+(** Entries sitting in per-address stall queues. *)
+
+val space_stalled : t -> int
+(** Entries stalled waiting for set space. *)

@@ -1,0 +1,38 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  memory : Memory_model.t;
+  latency : int;
+  stats : Group.t;
+}
+
+let node t = t.node
+let stats t = t.stats
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+let deliver t ~src (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.Fetch ->
+      Group.incr t.stats "fetch";
+      Engine.schedule t.engine ~delay:t.latency (fun () ->
+          send t ~dst:src (Msg.Mem_data { data = Memory_model.read t.memory addr }) addr)
+  | Msg.Mem_wb { data } ->
+      Group.incr t.stats "writeback";
+      Engine.schedule t.engine ~delay:t.latency (fun () ->
+          Memory_model.write t.memory addr data;
+          send t ~dst:src Msg.Mem_wb_ack addr)
+  | _ -> Group.incr t.stats "error.unexpected_message"
+
+let create ~engine ~net ~name ~node ~memory ?(latency = 60) () =
+  let t = { engine; net; name; node; memory; latency; stats = Group.create (name ^ ".stats") } in
+  Net.register net node (fun ~src msg -> deliver t ~src msg);
+  t

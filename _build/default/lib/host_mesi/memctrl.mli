@@ -1,0 +1,18 @@
+(** Memory controller behind the MESI L2: serves fetches and accepts
+    writebacks.  The single L2 serializes per-block traffic, so the controller
+    is a latency model plus the backing {!Memory_model}. *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  net:Net.t ->
+  name:string ->
+  node:Node.t ->
+  memory:Memory_model.t ->
+  ?latency:int ->
+  unit ->
+  t
+
+val node : t -> Node.t
+val stats : t -> Xguard_stats.Counter.Group.t

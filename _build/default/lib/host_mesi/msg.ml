@@ -1,0 +1,66 @@
+type get_kind = Get_s | Get_s_only | Get_m
+
+type grant = Grant_s | Grant_e | Grant_m
+
+type body =
+  | Get of { kind : get_kind }
+  | Put_s
+  | Put_m of { data : Data.t; dirty : bool }
+  | Unblock
+  | L2_data of { data : Data.t; grant : grant; acks : int }
+  | Wb_ack
+  | Inv of { reply_to : Node.t }
+  | Recall
+  | Fwd of { kind : get_kind; requestor : Node.t }
+  | Inv_ack
+  | Owner_data of { data : Data.t; dirty : bool; grant : grant }
+  | Recall_data of { data : Data.t; dirty : bool }
+  | Recall_ack
+  | Copyback of { data : Data.t; dirty : bool }
+  | Fetch
+  | Mem_data of { data : Data.t }
+  | Mem_wb of { data : Data.t }
+  | Mem_wb_ack
+
+type t = { addr : Addr.t; body : body }
+
+let size t =
+  match t.body with
+  | Put_m _ | L2_data _ | Owner_data _ | Recall_data _ | Copyback _ | Mem_data _ | Mem_wb _
+    ->
+      Xguard_network.Network.data_size
+  | Get _ | Put_s | Unblock | Wb_ack | Inv _ | Recall | Fwd _ | Inv_ack | Recall_ack | Fetch
+  | Mem_wb_ack ->
+      Xguard_network.Network.control_size
+
+let get_kind_to_string = function
+  | Get_s -> "GetS"
+  | Get_s_only -> "GetS_only"
+  | Get_m -> "GetM"
+
+let grant_to_string = function Grant_s -> "S" | Grant_e -> "E" | Grant_m -> "M"
+
+let pp fmt t =
+  let body_str =
+    match t.body with
+    | Get { kind } -> get_kind_to_string kind
+    | Put_s -> "PutS"
+    | Put_m { dirty; _ } -> if dirty then "PutM(dirty)" else "PutM(clean)"
+    | Unblock -> "Unblock"
+    | L2_data { grant; acks; _ } -> Printf.sprintf "L2Data(%s,acks=%d)" (grant_to_string grant) acks
+    | Wb_ack -> "WbAck"
+    | Inv { reply_to } -> Printf.sprintf "Inv(->%s)" (Node.name reply_to)
+    | Recall -> "Recall"
+    | Fwd { kind; requestor } ->
+        Printf.sprintf "Fwd_%s(for %s)" (get_kind_to_string kind) (Node.name requestor)
+    | Inv_ack -> "InvAck"
+    | Owner_data { grant; _ } -> Printf.sprintf "OwnerData(%s)" (grant_to_string grant)
+    | Recall_data _ -> "RecallData"
+    | Recall_ack -> "RecallAck"
+    | Copyback _ -> "Copyback"
+    | Fetch -> "Fetch"
+    | Mem_data _ -> "MemData"
+    | Mem_wb _ -> "MemWb"
+    | Mem_wb_ack -> "MemWbAck"
+  in
+  Format.fprintf fmt "%s %a" body_str Addr.pp t.addr

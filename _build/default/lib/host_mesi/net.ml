@@ -1,0 +1,5 @@
+(** The MESI host network: one unordered interconnect carrying {!Msg.t}
+    between L1s, the shared L2, the memory controller and the Crossing Guard
+    port. *)
+
+include Xguard_network.Network.Make (Msg)

@@ -1,0 +1,234 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+module Xg_core = Xguard_xg.Xg_core
+
+type get_tbe = {
+  want : [ `S | `S_only | `M ];
+  mutable data : Data.t option;
+  mutable grant : Msg.grant option;
+  mutable acks_expected : int option;
+  mutable acks_got : int;
+}
+
+type put_rec = { data : Data.t; dirty : bool; notify_core : bool; is_owner : bool }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  name : string;
+  node : Node.t;
+  l2 : Node.t;
+  mutable core : Xg_core.t option;
+  tbes : get_tbe Tbe_table.t;
+  puts : (Addr.t, put_rec) Hashtbl.t;
+  stats : Group.t;
+}
+
+let node t = t.node
+let stats t = t.stats
+let attach_core t core = t.core <- Some core
+let outstanding t = Tbe_table.count t.tbes + Hashtbl.length t.puts
+
+let core t =
+  match t.core with
+  | Some c -> c
+  | None -> failwith (t.name ^ ": no Xg_core attached")
+
+let send t ~dst body addr =
+  let msg = { Msg.addr; body } in
+  Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
+
+(* ---- host_port operations ---- *)
+
+let issue_get t addr kind =
+  let tbe = { want = kind; data = None; grant = None; acks_expected = None; acks_got = 0 } in
+  (match Tbe_table.alloc t.tbes addr tbe with
+  | `Ok -> ()
+  | `Busy | `Full -> failwith (t.name ^ ": get while transaction open"));
+  let msg_kind =
+    match kind with `M -> Msg.Get_m | `S -> Msg.Get_s | `S_only -> Msg.Get_s_only
+  in
+  send t ~dst:t.l2 (Msg.Get { kind = msg_kind }) addr
+
+let issue_put t addr kind =
+  (match kind with
+  | `S ->
+      Hashtbl.replace t.puts addr
+        { data = Data.zero; dirty = false; notify_core = true; is_owner = false };
+      send t ~dst:t.l2 Msg.Put_s addr
+  | `E data ->
+      Hashtbl.replace t.puts addr { data; dirty = false; notify_core = true; is_owner = true };
+      send t ~dst:t.l2 (Msg.Put_m { data; dirty = false }) addr
+  | `M data ->
+      Hashtbl.replace t.puts addr { data; dirty = true; notify_core = true; is_owner = true };
+      send t ~dst:t.l2 (Msg.Put_m { data; dirty = true }) addr);
+  Group.incr t.stats "put_issued"
+
+let host_port t =
+  {
+    Xg_core.get = (fun addr kind -> issue_get t addr kind);
+    Xg_core.put = (fun addr kind -> issue_put t addr kind);
+    Xg_core.puts_needed = true;
+    Xg_core.has_get_s_only = true;
+  }
+
+(* ---- get completion ---- *)
+
+let try_complete t addr (tbe : get_tbe) =
+  match (tbe.data, tbe.grant, tbe.acks_expected) with
+  | Some data, Some grant, Some expected when tbe.acks_got >= expected ->
+      Tbe_table.dealloc t.tbes addr;
+      send t ~dst:t.l2 Msg.Unblock addr;
+      Group.incr t.stats "get_complete";
+      let g =
+        match grant with
+        | Msg.Grant_s -> `S data
+        | Msg.Grant_e -> `E data
+        | Msg.Grant_m -> `M data
+      in
+      Xg_core.granted (core t) addr g
+  | _ -> ()
+
+(* ---- host-initiated requests ---- *)
+
+let zero_data_response t addr ~requestor (kind : Msg.get_kind) =
+  (* The host expects data from us and the accelerator produced none the core
+     could trust: substitute a zeroed block so the requestor completes
+     (paper §2.2, Guarantee 2).  The OS has already been alerted. *)
+  Group.incr t.stats "zero_data_substituted";
+  match kind with
+  | Msg.Get_m ->
+      send t ~dst:requestor
+        (Msg.Owner_data { data = Data.zero; dirty = false; grant = Msg.Grant_m })
+        addr
+  | Msg.Get_s | Msg.Get_s_only ->
+      send t ~dst:requestor
+        (Msg.Owner_data { data = Data.zero; dirty = false; grant = Msg.Grant_s })
+        addr;
+      send t ~dst:t.l2 (Msg.Copyback { data = Data.zero; dirty = false }) addr
+
+let handle_inv t addr ~reply_to =
+  Group.incr t.stats "inv";
+  match Hashtbl.find_opt t.puts addr with
+  | Some _ ->
+      (* Our writeback is in flight; the accelerator already relinquished. *)
+      send t ~dst:reply_to Msg.Inv_ack addr
+  | None ->
+      Xg_core.host_request (core t) addr ~need:Xg_core.Fwd_m ~reply:(fun reply ->
+          match reply with
+          | Xg_core.Reply_ack _ -> send t ~dst:reply_to Msg.Inv_ack addr
+          | Xg_core.Reply_clean data | Xg_core.Reply_dirty data ->
+              (* A writeback instead of an InvAck (transactional mode cannot
+                 correct it): forward the data to the L2, which acks the
+                 requestor on our behalf (paper §3.2.2). *)
+              let dirty = match reply with Xg_core.Reply_dirty _ -> true | _ -> false in
+              Group.incr t.stats "wb_instead_of_invack";
+              send t ~dst:t.l2 (Msg.Copyback { data; dirty }) addr)
+
+let handle_recall t addr =
+  Group.incr t.stats "recall";
+  match Hashtbl.find_opt t.puts addr with
+  | Some p when p.is_owner ->
+      send t ~dst:t.l2 (Msg.Recall_data { data = p.data; dirty = p.dirty }) addr
+  | Some _ | None ->
+      Xg_core.host_request (core t) addr ~need:Xg_core.Recall ~reply:(fun reply ->
+          match reply with
+          | Xg_core.Reply_ack _ -> send t ~dst:t.l2 Msg.Recall_ack addr
+          | Xg_core.Reply_clean data -> send t ~dst:t.l2 (Msg.Recall_data { data; dirty = false }) addr
+          | Xg_core.Reply_dirty data -> send t ~dst:t.l2 (Msg.Recall_data { data; dirty = true }) addr)
+
+let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
+  Group.incr t.stats ("fwd." ^ Msg.get_kind_to_string kind);
+  match Hashtbl.find_opt t.puts addr with
+  | Some p when p.is_owner -> (
+      match kind with
+      | Msg.Get_m ->
+          send t ~dst:requestor
+            (Msg.Owner_data { data = p.data; dirty = p.dirty; grant = Msg.Grant_m })
+            addr
+      | Msg.Get_s | Msg.Get_s_only ->
+          send t ~dst:requestor
+            (Msg.Owner_data { data = p.data; dirty = false; grant = Msg.Grant_s })
+            addr;
+          send t ~dst:t.l2 (Msg.Copyback { data = p.data; dirty = p.dirty }) addr)
+  | Some _ | None -> (
+      match kind with
+      | Msg.Get_m ->
+          Xg_core.host_request (core t) addr ~need:Xg_core.Fwd_m ~reply:(fun reply ->
+              match reply with
+              | Xg_core.Reply_dirty data | Xg_core.Reply_clean data ->
+                  let dirty = match reply with Xg_core.Reply_dirty _ -> true | _ -> false in
+                  send t ~dst:requestor
+                    (Msg.Owner_data { data; dirty; grant = Msg.Grant_m })
+                    addr
+              | Xg_core.Reply_ack _ -> zero_data_response t addr ~requestor Msg.Get_m)
+      | Msg.Get_s | Msg.Get_s_only ->
+          Xg_core.host_request (core t) addr ~need:Xg_core.Fwd_s ~reply:(fun reply ->
+              match reply with
+              | Xg_core.Reply_dirty data | Xg_core.Reply_clean data ->
+                  let dirty = match reply with Xg_core.Reply_dirty _ -> true | _ -> false in
+                  send t ~dst:requestor
+                    (Msg.Owner_data { data; dirty = false; grant = Msg.Grant_s })
+                    addr;
+                  send t ~dst:t.l2 (Msg.Copyback { data; dirty }) addr
+              | Xg_core.Reply_ack _ -> zero_data_response t addr ~requestor kind))
+
+(* ---- writeback responses ---- *)
+
+let handle_wb_ack t addr =
+  match Hashtbl.find_opt t.puts addr with
+  | Some p ->
+      Hashtbl.remove t.puts addr;
+      Group.incr t.stats "writeback_complete";
+      if p.notify_core then Xg_core.put_complete (core t) addr
+  | None -> Group.incr t.stats "error.wb_ack_without_put"
+
+let deliver t (msg : Msg.t) =
+  let addr = msg.Msg.addr in
+  match msg.Msg.body with
+  | Msg.L2_data { data; grant; acks } -> (
+      match Tbe_table.find t.tbes addr with
+      | Some tbe ->
+          tbe.data <- Some data;
+          tbe.grant <- Some grant;
+          tbe.acks_expected <- Some acks;
+          try_complete t addr tbe
+      | None -> Group.incr t.stats "error.grant_without_txn")
+  | Msg.Owner_data { data; dirty = _; grant } -> (
+      match Tbe_table.find t.tbes addr with
+      | Some tbe ->
+          tbe.data <- Some data;
+          tbe.grant <- Some grant;
+          tbe.acks_expected <- Some 0;
+          try_complete t addr tbe
+      | None -> Group.incr t.stats "error.owner_data_without_txn")
+  | Msg.Inv_ack -> (
+      match Tbe_table.find t.tbes addr with
+      | Some tbe ->
+          tbe.acks_got <- tbe.acks_got + 1;
+          try_complete t addr tbe
+      | None -> Group.incr t.stats "error.inv_ack_without_txn")
+  | Msg.Inv { reply_to } -> handle_inv t addr ~reply_to
+  | Msg.Recall -> handle_recall t addr
+  | Msg.Fwd { kind; requestor } -> handle_fwd t addr kind ~requestor
+  | Msg.Wb_ack -> handle_wb_ack t addr
+  | Msg.Get _ | Msg.Put_s | Msg.Put_m _ | Msg.Unblock | Msg.Recall_data _ | Msg.Recall_ack
+  | Msg.Copyback _ | Msg.Fetch | Msg.Mem_data _ | Msg.Mem_wb _ | Msg.Mem_wb_ack ->
+      Group.incr t.stats "error.message_not_for_port"
+
+let create ~engine ~net ~name ~node ~l2 () =
+  let t =
+    {
+      engine;
+      net;
+      name;
+      node;
+      l2;
+      core = None;
+      tbes = Tbe_table.create ~capacity:128 ();
+      puts = Hashtbl.create 16;
+      stats = Group.create (name ^ ".stats");
+    }
+  in
+  Net.register net node (fun ~src:_ msg -> deliver t msg);
+  t

@@ -1,0 +1,28 @@
+(** Crossing Guard's host-side port for the inclusive MESI protocol.
+
+    Appears to the host as a private L1 (paper §3.2.2).  Translates between
+    {!Xguard_xg.Xg_core}'s abstract operations and MESI messages: gets with
+    sharer-ack counting, Put_s / Put_m writebacks, and the three host-initiated
+    requests (Inv, Recall, Fwd).
+
+    Per the paper, when the guard cannot produce the data the host protocol
+    expects from an owner (the accelerator timed out or answered with the
+    wrong type in transactional mode), it substitutes a zeroed block so the
+    requestor always completes, and the OS has already been alerted. *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  net:Net.t ->
+  name:string ->
+  node:Node.t ->
+  l2:Node.t ->
+  unit ->
+  t
+
+val host_port : t -> Xguard_xg.Xg_core.host_port
+val attach_core : t -> Xguard_xg.Xg_core.t -> unit
+val node : t -> Node.t
+val outstanding : t -> int
+val stats : t -> Xguard_stats.Counter.Group.t

@@ -1,0 +1,1 @@
+lib/network/network.ml: Hashtbl Printf Xguard_proto Xguard_sim

@@ -1,0 +1,1 @@
+lib/network/network.mli: Xguard_proto Xguard_sim

@@ -1,0 +1,95 @@
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+
+type ordering =
+  | Ordered of { latency : int }
+  | Unordered of { min_latency : int; max_latency : int }
+
+let control_size = 8
+let data_size = 72
+
+module Make (Msg : sig
+  type t
+end) =
+struct
+  type handler = src:Xguard_proto.Node.t -> Msg.t -> unit
+
+  type t = {
+    engine : Engine.t;
+    rng : Rng.t;
+    name : string;
+    ordering : ordering;
+    handlers : (int, handler) Hashtbl.t;
+    (* For ordered delivery: earliest time the next message on a (src,dst)
+       pair may be delivered, so FIFO order survives same-cycle scheduling. *)
+    last_delivery : (int * int, Engine.time) Hashtbl.t;
+    mutable messages : int;
+    mutable bytes : int;
+    bytes_by_src : (int, int) Hashtbl.t;
+    mutable monitor : (src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> Msg.t -> unit) option;
+  }
+
+  let create ~engine ~rng ~name ~ordering () =
+    {
+      engine;
+      rng;
+      name;
+      ordering;
+      handlers = Hashtbl.create 16;
+      last_delivery = Hashtbl.create 64;
+      messages = 0;
+      bytes = 0;
+      bytes_by_src = Hashtbl.create 16;
+      monitor = None;
+    }
+
+  let name t = t.name
+
+  let register t node handler =
+    if Hashtbl.mem t.handlers (Xguard_proto.Node.id node) then
+      invalid_arg
+        (Printf.sprintf "Network.register(%s): node %s already registered" t.name
+           (Xguard_proto.Node.name node));
+    Hashtbl.add t.handlers (Xguard_proto.Node.id node) handler
+
+  let delivery_time t ~src ~dst =
+    let now = Engine.now t.engine in
+    match t.ordering with
+    | Ordered { latency } ->
+        let key = (Xguard_proto.Node.id src, Xguard_proto.Node.id dst) in
+        let earliest =
+          match Hashtbl.find_opt t.last_delivery key with Some e -> e | None -> 0
+        in
+        let at = max (now + latency) earliest in
+        Hashtbl.replace t.last_delivery key at;
+        at
+    | Unordered { min_latency; max_latency } ->
+        now + Rng.int_in t.rng ~lo:min_latency ~hi:max_latency
+
+  let send t ~src ~dst ?(size = control_size) msg =
+    let handler =
+      match Hashtbl.find_opt t.handlers (Xguard_proto.Node.id dst) with
+      | Some h -> h
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Network.send(%s): no handler registered for %s" t.name
+               (Xguard_proto.Node.name dst))
+    in
+    (match t.monitor with Some f -> f ~src ~dst msg | None -> ());
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + size;
+    let prev =
+      match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id src) with Some b -> b | None -> 0
+    in
+    Hashtbl.replace t.bytes_by_src (Xguard_proto.Node.id src) (prev + size);
+    let at = delivery_time t ~src ~dst in
+    Engine.schedule_at t.engine at (fun () -> handler ~src msg)
+
+  let messages_sent t = t.messages
+  let bytes_sent t = t.bytes
+
+  let bytes_from t node =
+    match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id node) with Some b -> b | None -> 0
+
+  let set_monitor t f = t.monitor <- Some f
+end

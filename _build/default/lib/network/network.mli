@@ -1,0 +1,61 @@
+(** Message-passing interconnect.
+
+    Each coherence domain instantiates {!Make} with its own message type:
+    the host protocol network, the Crossing-Guard-to-accelerator link and the
+    accelerator-internal network are separate instances with separate ordering
+    disciplines.  Buffering is unbounded (protocol deadlock, not network
+    deadlock, is the subject of study — as in the paper's gem5 setup, where
+    virtual networks prevent buffer deadlock).
+
+    Ordering disciplines:
+    - [Ordered]: per (source, destination) FIFO with a fixed latency.  Required
+      for the XG-accelerator link (paper section 2.1).
+    - [Unordered]: per-message latency drawn uniformly from a range, so
+      messages race and overtake — the paper's stress-test methodology
+      ("message latencies are chosen randomly"). *)
+
+type ordering =
+  | Ordered of { latency : int }
+  | Unordered of { min_latency : int; max_latency : int }
+
+module Make (Msg : sig
+  type t
+end) : sig
+  type t
+
+  val create :
+    engine:Xguard_sim.Engine.t ->
+    rng:Xguard_sim.Rng.t ->
+    name:string ->
+    ordering:ordering ->
+    unit ->
+    t
+
+  val name : t -> string
+
+  val register : t -> Xguard_proto.Node.t -> (src:Xguard_proto.Node.t -> Msg.t -> unit) -> unit
+  (** Attach a handler for messages addressed to this node.
+      @raise Invalid_argument on double registration. *)
+
+  val send : t -> src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> ?size:int -> Msg.t -> unit
+  (** Deliver [msg] to [dst]'s handler after the network latency.  [size] in
+      bytes feeds the bandwidth counters (default 8, a control message;
+      data-carrying messages should pass 72 = 64 B block + header).
+      @raise Invalid_argument if [dst] was never registered. *)
+
+  val messages_sent : t -> int
+  val bytes_sent : t -> int
+
+  val bytes_from : t -> Xguard_proto.Node.t -> int
+  (** Bytes sent with this node as source — per-link bandwidth accounting,
+      e.g. the paper's "Crossing-Guard-to-host bandwidth". *)
+
+  val set_monitor : t -> (src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> Msg.t -> unit) -> unit
+  (** Observe every message at send time (tracing, fuzz auditing). *)
+end
+
+(** Message sizes used throughout: a bare control message and one carrying a
+    64-byte data block. *)
+val control_size : int
+
+val data_size : int

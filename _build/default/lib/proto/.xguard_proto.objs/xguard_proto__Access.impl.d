@@ -1,0 +1,1 @@
+lib/proto/access.ml: Addr Data Format

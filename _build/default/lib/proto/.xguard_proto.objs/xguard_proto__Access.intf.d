@@ -1,0 +1,1 @@
+lib/proto/access.mli: Addr Data Format

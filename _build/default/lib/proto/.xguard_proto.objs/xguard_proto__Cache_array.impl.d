@@ -1,0 +1,1 @@
+lib/proto/cache_array.ml: Addr Array List Option

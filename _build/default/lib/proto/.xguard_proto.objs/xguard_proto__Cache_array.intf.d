@@ -1,0 +1,1 @@
+lib/proto/cache_array.mli: Addr

@@ -1,0 +1,1 @@
+lib/proto/data.ml: Format Int

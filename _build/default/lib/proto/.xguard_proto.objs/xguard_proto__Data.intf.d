@@ -1,0 +1,1 @@
+lib/proto/data.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/proto/memory_model.ml: Addr Data Hashtbl List

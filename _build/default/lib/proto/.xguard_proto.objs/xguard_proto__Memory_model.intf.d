@@ -1,0 +1,1 @@
+lib/proto/memory_model.mli: Addr Data

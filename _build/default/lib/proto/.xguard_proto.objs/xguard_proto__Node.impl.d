@@ -1,0 +1,1 @@
+lib/proto/node.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/proto/sequencer.ml: Access Addr Data List Queue Xguard_sim Xguard_stats

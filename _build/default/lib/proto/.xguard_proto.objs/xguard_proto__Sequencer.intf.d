@@ -1,0 +1,1 @@
+lib/proto/sequencer.mli: Access Data Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/proto/tbe_table.ml: Addr Hashtbl List

@@ -1,0 +1,14 @@
+type op = Load | Store of Data.t
+
+type t = { op : op; addr : Addr.t }
+
+let load addr = { op = Load; addr }
+let store addr data = { op = Store data; addr }
+let is_store t = match t.op with Store _ -> true | Load -> false
+
+let pp fmt t =
+  match t.op with
+  | Load -> Format.fprintf fmt "LD %a" Addr.pp t.addr
+  | Store d -> Format.fprintf fmt "ST %a=%a" Addr.pp t.addr Data.pp d
+
+type port = { issue : t -> on_done:(Data.t -> unit) -> bool }

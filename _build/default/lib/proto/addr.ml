@@ -1,0 +1,14 @@
+type t = int
+
+let block a =
+  if a < 0 then invalid_arg "Addr.block: negative address";
+  a
+
+let to_int a = a
+let blocks_per_page = 64
+let page_of a = a / blocks_per_page
+let first_block_of_page p = p * blocks_per_page
+let equal = Int.equal
+let compare = Int.compare
+let hash a = a * 0x9E3779B1
+let pp fmt a = Format.fprintf fmt "0x%x" a

@@ -1,0 +1,25 @@
+(** Block addresses.
+
+    The coherence unit everywhere in the system is one cache block.  An
+    [Addr.t] is a block index (a byte address divided by the host block size);
+    byte offsets never matter to coherence, so they are not modelled.  Pages
+    group blocks for permission checks. *)
+
+type t = int
+
+val block : int -> t
+(** Identity; documents intent at call sites that construct addresses. *)
+
+val to_int : t -> int
+
+val blocks_per_page : int
+(** 64: a 4 KiB page of 64 B blocks. *)
+
+val page_of : t -> int
+(** Page index containing this block. *)
+
+val first_block_of_page : int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+(* Each set is a list of (addr, line) ordered most-recently-used first.
+   Associativities are small (<= 16 ways), so list operations are cheap. *)
+
+type 'line t = {
+  sets : int;
+  ways : int;
+  index_mask : int;
+  table : (Addr.t * 'line) list array;
+  mutable resident : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~sets ~ways () =
+  if not (is_power_of_two sets) then invalid_arg "Cache_array.create: sets not a power of two";
+  if ways <= 0 then invalid_arg "Cache_array.create: ways must be positive";
+  { sets; ways; index_mask = sets - 1; table = Array.make sets []; resident = 0 }
+
+let sets t = t.sets
+let ways t = t.ways
+let count t = t.resident
+let index t addr = addr land t.index_mask
+
+let find t addr =
+  let rec scan = function
+    | [] -> None
+    | (a, line) :: rest -> if Addr.equal a addr then Some line else scan rest
+  in
+  scan t.table.(index t addr)
+
+let mem t addr = Option.is_some (find t addr)
+
+let split_out addr entries =
+  let rec loop acc = function
+    | [] -> None
+    | ((a, _) as entry) :: rest ->
+        if Addr.equal a addr then Some (entry, List.rev_append acc rest)
+        else loop (entry :: acc) rest
+  in
+  loop [] entries
+
+let touch t addr =
+  let i = index t addr in
+  match split_out addr t.table.(i) with
+  | None -> ()
+  | Some (entry, rest) -> t.table.(i) <- entry :: rest
+
+let set t addr line =
+  let i = index t addr in
+  match split_out addr t.table.(i) with
+  | None -> raise Not_found
+  | Some (_, rest) -> t.table.(i) <- (addr, line) :: rest
+
+let insert t addr line =
+  let i = index t addr in
+  let entries = t.table.(i) in
+  if List.exists (fun (a, _) -> Addr.equal a addr) entries then
+    invalid_arg "Cache_array.insert: address already resident";
+  if List.length entries >= t.ways then
+    invalid_arg "Cache_array.insert: set is full (evict a victim first)";
+  t.table.(i) <- (addr, line) :: entries;
+  t.resident <- t.resident + 1
+
+let has_room t addr =
+  let entries = t.table.(index t addr) in
+  List.exists (fun (a, _) -> Addr.equal a addr) entries || List.length entries < t.ways
+
+let victim t addr =
+  let entries = t.table.(index t addr) in
+  if List.exists (fun (a, _) -> Addr.equal a addr) entries then None
+  else if List.length entries < t.ways then None
+  else
+    (* LRU = last element of the MRU-first list. *)
+    let rec last = function
+      | [] -> None
+      | [ entry ] -> Some entry
+      | _ :: rest -> last rest
+    in
+    last entries
+
+let remove t addr =
+  let i = index t addr in
+  match split_out addr t.table.(i) with
+  | None -> ()
+  | Some (_, rest) ->
+      t.table.(i) <- rest;
+      t.resident <- t.resident - 1
+
+let iter f t = Array.iter (fun entries -> List.iter (fun (a, line) -> f a line) entries) t.table
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun a line -> acc := (a, line) :: !acc) t;
+  !acc

@@ -1,0 +1,46 @@
+(** Set-associative cache storage with LRU replacement.
+
+    Stores one polymorphic line payload per resident block: the protocol state,
+    data token and whatever per-line metadata a controller keeps.  The array
+    enforces capacity: before inserting into a full set the controller must ask
+    for a {!victim} and evict it through its own protocol actions (writeback,
+    invalidation), exactly as a hardware controller would. *)
+
+type 'line t
+
+val create : sets:int -> ways:int -> unit -> 'line t
+(** [sets] must be a power of two so the index is a bit-slice of the address. *)
+
+val sets : _ t -> int
+val ways : _ t -> int
+val count : _ t -> int
+(** Resident lines. *)
+
+val find : 'line t -> Addr.t -> 'line option
+(** Does not update LRU order; use {!touch} on an access. *)
+
+val mem : _ t -> Addr.t -> bool
+
+val touch : 'line t -> Addr.t -> unit
+(** Mark most-recently used.  No-op if absent. *)
+
+val set : 'line t -> Addr.t -> 'line -> unit
+(** Update the payload of a resident line.  Raises [Not_found] if absent. *)
+
+val insert : 'line t -> Addr.t -> 'line -> unit
+(** Add a line, marking it most-recently used.
+    @raise Invalid_argument if the address is already resident or its set is
+    full (the controller must evict first). *)
+
+val has_room : _ t -> Addr.t -> bool
+(** True if the address is resident or its set has a free way. *)
+
+val victim : 'line t -> Addr.t -> (Addr.t * 'line) option
+(** Least-recently-used line of the address's set, if the set is full and the
+    address is not already resident; [None] when no eviction is needed. *)
+
+val remove : 'line t -> Addr.t -> unit
+(** No-op if absent. *)
+
+val iter : (Addr.t -> 'line -> unit) -> 'line t -> unit
+val to_list : 'line t -> (Addr.t * 'line) list

@@ -1,0 +1,7 @@
+type t = int
+
+let zero = 0
+let token v = v
+let initial addr = 1 + ((addr * 0x9E3779B1) land 0xFFFF)
+let equal = Int.equal
+let pp fmt d = Format.fprintf fmt "#%d" d

@@ -1,0 +1,18 @@
+(** Block data, modelled as an integer token.
+
+    Coherence correctness is about *which* value a read observes, not about the
+    bytes themselves, so a block's contents are a single token.  Stores write
+    fresh tokens; the random tester checks that loads observe the latest
+    committed token.  [zero] is the zeroed block Crossing Guard substitutes when
+    a misbehaving accelerator's data cannot be trusted (paper, Guarantee 2). *)
+
+type t = int
+
+val zero : t
+val token : int -> t
+val initial : Addr.t -> t
+(** Deterministic pre-image of memory, distinct from [zero] for most
+    addresses so stale-data bugs are observable. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

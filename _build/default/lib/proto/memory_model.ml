@@ -1,0 +1,14 @@
+type t = { table : (Addr.t, Data.t) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 1024 }
+
+let read t addr =
+  match Hashtbl.find_opt t.table addr with
+  | Some d -> d
+  | None -> Data.initial addr
+
+let write t addr data = Hashtbl.replace t.table addr data
+
+let touched t =
+  Hashtbl.fold (fun a d acc -> (a, d) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)

@@ -1,0 +1,13 @@
+(** Backing memory.
+
+    Holds the committed value of every block, lazily initialised to
+    {!Data.initial}.  Directories read and write it; it is also the oracle the
+    random tester compares against when it audits final state. *)
+
+type t
+
+val create : unit -> t
+val read : t -> Addr.t -> Data.t
+val write : t -> Addr.t -> Data.t -> unit
+val touched : t -> (Addr.t * Data.t) list
+(** Blocks that have been written at least once, ascending by address. *)

@@ -1,0 +1,93 @@
+module Engine = Xguard_sim.Engine
+module Histogram = Xguard_stats.Histogram
+
+type pending = {
+  access : Access.t;
+  issued_at : Engine.time;
+  on_complete : Data.t -> latency:int -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  port : Access.port;
+  max_outstanding : int;
+  retry_delay : int;
+  queue : pending Queue.t; (* waiting to issue *)
+  mutable in_flight : int; (* accepted by the cache, not yet done *)
+  mutable in_flight_addrs : Addr.t list;
+  mutable completed : int;
+  mutable retries : int;
+  latency : Histogram.t;
+  mutable pump_scheduled : bool;
+}
+
+let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
+  {
+    engine;
+    name;
+    port;
+    max_outstanding;
+    retry_delay;
+    queue = Queue.create ();
+    in_flight = 0;
+    in_flight_addrs = [];
+    completed = 0;
+    retries = 0;
+    latency = Histogram.create (name ^ ".latency");
+    pump_scheduled = false;
+  }
+
+let name t = t.name
+let outstanding t = t.in_flight + Queue.length t.queue
+let completed t = t.completed
+let latency t = t.latency
+let retries t = t.retries
+
+let addr_in_flight t addr = List.exists (Addr.equal addr) t.in_flight_addrs
+
+let rec pump t =
+  if
+    (not (Queue.is_empty t.queue))
+    && t.in_flight < t.max_outstanding
+    && not (addr_in_flight t (Queue.peek t.queue).access.Access.addr)
+  then begin
+    let p = Queue.pop t.queue in
+    let addr = p.access.Access.addr in
+    let accepted =
+      t.port.Access.issue p.access ~on_done:(fun value ->
+          t.in_flight <- t.in_flight - 1;
+          t.in_flight_addrs <- List.filter (fun a -> not (Addr.equal a addr)) t.in_flight_addrs;
+          t.completed <- t.completed + 1;
+          let lat = Engine.now t.engine - p.issued_at in
+          Histogram.observe t.latency lat;
+          p.on_complete value ~latency:lat;
+          schedule_pump t)
+    in
+    if accepted then begin
+      t.in_flight <- t.in_flight + 1;
+      t.in_flight_addrs <- addr :: t.in_flight_addrs;
+      pump t
+    end
+    else begin
+      (* Cache rejected: requeue at the head and retry after a delay. *)
+      t.retries <- t.retries + 1;
+      let rest = Queue.create () in
+      Queue.transfer t.queue rest;
+      Queue.push p t.queue;
+      Queue.transfer rest t.queue;
+      Engine.schedule t.engine ~delay:t.retry_delay (fun () -> pump t)
+    end
+  end
+
+and schedule_pump t =
+  if not t.pump_scheduled then begin
+    t.pump_scheduled <- true;
+    Engine.schedule t.engine ~delay:0 (fun () ->
+        t.pump_scheduled <- false;
+        pump t)
+  end
+
+let request t access ~on_complete =
+  Queue.push { access; issued_at = Engine.now t.engine; on_complete } t.queue;
+  schedule_pump t

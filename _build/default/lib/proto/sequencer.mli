@@ -1,0 +1,31 @@
+(** Core-side request sequencer.
+
+    Sits between a core model and its private cache: queues accesses, retries
+    when the cache rejects them, tracks per-access latency and completion
+    counts.  One sequencer per core.  The sequencer issues at most
+    [max_outstanding] accesses concurrently and never issues two concurrent
+    accesses to the same block (hardware cores merge those in the LSQ). *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  name:string ->
+  port:Access.port ->
+  ?max_outstanding:int ->
+  ?retry_delay:int ->
+  unit ->
+  t
+
+val name : t -> string
+
+val request : t -> Access.t -> on_complete:(Data.t -> latency:int -> unit) -> unit
+(** Enqueue an access.  [on_complete] fires when the access commits, with the
+    observed value and the issue-to-commit latency in cycles. *)
+
+val outstanding : t -> int
+(** Accesses issued or queued but not yet complete. *)
+
+val completed : t -> int
+val latency : t -> Xguard_stats.Histogram.t
+val retries : t -> int

@@ -1,0 +1,34 @@
+type 'a t = { capacity : int; table : (Addr.t, 'a) Hashtbl.t }
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Tbe_table.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity }
+
+let capacity t = t.capacity
+let count t = Hashtbl.length t.table
+let is_full t = count t >= t.capacity
+
+let alloc t addr entry =
+  if Hashtbl.mem t.table addr then `Busy
+  else if is_full t then `Full
+  else begin
+    Hashtbl.add t.table addr entry;
+    `Ok
+  end
+
+let find t addr = Hashtbl.find_opt t.table addr
+let mem t addr = Hashtbl.mem t.table addr
+
+let update t addr entry =
+  if not (Hashtbl.mem t.table addr) then raise Not_found;
+  Hashtbl.replace t.table addr entry
+
+let dealloc t addr =
+  if not (Hashtbl.mem t.table addr) then raise Not_found;
+  Hashtbl.remove t.table addr
+
+let iter f t = Hashtbl.iter f t.table
+
+let to_list t =
+  Hashtbl.fold (fun a e acc -> (a, e) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)

@@ -1,0 +1,139 @@
+type time = int
+
+type event = { at : time; seq : int; thunk : unit -> unit }
+
+(* Binary min-heap on (at, seq).  A resizable array keeps scheduling O(log n)
+   with no allocation churn beyond the event records themselves. *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable now : time;
+  mutable next_seq : int;
+  mutable fired : int;
+  mutable stop_requested : bool;
+}
+
+let dummy = { at = 0; seq = 0; thunk = ignore }
+
+let create () =
+  {
+    heap = Array.make 64 dummy;
+    size = 0;
+    now = 0;
+    next_seq = 0;
+    fired = 0;
+    stop_requested = false;
+  }
+
+let now t = t.now
+let pending t = t.size
+let events_fired t = t.fired
+let stop t = t.stop_requested <- true
+
+let earlier a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- ev;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if earlier t.heap.(!i) t.heap.(parent) then begin
+      let tmp = t.heap.(parent) in
+      t.heap.(parent) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let schedule_at t at thunk =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now=%d)" at t.now);
+  let ev = { at; seq = t.next_seq; thunk } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay thunk =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.now + delay) thunk
+
+type run_result = Drained | Hit_time_limit | Hit_event_limit | Stopped
+
+let run ?until ?max_events t =
+  t.stop_requested <- false;
+  let fired_at_start = t.fired in
+  let result = ref Drained in
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 then begin
+      result := Drained;
+      continue := false
+    end
+    else if t.stop_requested then begin
+      result := Stopped;
+      continue := false
+    end
+    else begin
+      let over_time =
+        match until with Some u -> t.heap.(0).at > u | None -> false
+      in
+      let over_events =
+        match max_events with
+        | Some m -> t.fired - fired_at_start >= m
+        | None -> false
+      in
+      if over_time then begin
+        (match until with Some u -> t.now <- max t.now u | None -> ());
+        result := Hit_time_limit;
+        continue := false
+      end
+      else if over_events then begin
+        result := Hit_event_limit;
+        continue := false
+      end
+      else begin
+        let ev = pop t in
+        t.now <- ev.at;
+        t.fired <- t.fired + 1;
+        ev.thunk ()
+      end
+    end
+  done;
+  !result
+
+let every t ~period ?(phase = 0) f =
+  if period <= 0 then invalid_arg "Engine.every: period must be positive";
+  let rec tick () = if f () then schedule t ~delay:period tick in
+  schedule t ~delay:phase tick

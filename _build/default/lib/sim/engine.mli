@@ -1,0 +1,47 @@
+(** Discrete-event simulation kernel.
+
+    The engine owns virtual time (an integer cycle count) and a priority queue
+    of events.  Events scheduled for the same cycle fire in FIFO order of
+    scheduling, which makes runs deterministic.  Controllers never busy-wait:
+    all activity is message deliveries and timer callbacks scheduled here. *)
+
+type time = int
+
+type t
+
+val create : unit -> t
+
+val now : t -> time
+(** Current virtual time.  [0] before any event has fired. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be [>= 0];
+    a zero delay fires later in the current cycle, after already-queued
+    same-cycle events. *)
+
+val schedule_at : t -> time -> (unit -> unit) -> unit
+(** Absolute-time variant of {!schedule}.  The time must not be in the past. *)
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val events_fired : t -> int
+(** Total events executed since [create]. *)
+
+type run_result =
+  | Drained  (** the event queue emptied *)
+  | Hit_time_limit  (** [until] was reached with events still pending *)
+  | Hit_event_limit  (** [max_events] fired with events still pending *)
+  | Stopped  (** {!stop} was called from inside an event *)
+
+val run : ?until:time -> ?max_events:int -> t -> run_result
+(** Execute events in order until one of the stop conditions holds.  [until] is
+    an inclusive bound on event timestamps.  Can be called repeatedly; each call
+    resumes where the previous one stopped. *)
+
+val stop : t -> unit
+(** Request that {!run} return [Stopped] after the current event completes. *)
+
+val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit
+(** [every t ~period f] calls [f] at [now + phase], then every [period] cycles
+    for as long as [f] returns [true].  Used for pollers and watchdogs. *)

@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Every source of randomness in the simulator draws from an [Rng.t] so that a
+    run is fully determined by its seed.  The generator is a SplitMix64
+    implementation: cheap, statistically adequate for workload generation and
+    stress testing, and easy to split into independent streams (one per
+    controller or tester core) without sharing mutable state. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. Used to give
+    each simulated component its own stream so that adding a component does not
+    perturb the draws seen by the others. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n).  Requires [n > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] draws a uniformly random element.  Requires [arr] nonempty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bits64 : t -> int64
+(** Raw 64-bit draw, exposed for tests of the generator itself. *)

@@ -1,0 +1,50 @@
+type t = { name : string; mutable value : int }
+
+let create name = { name; value = 0 }
+let name t = t.name
+let incr t = t.value <- t.value + 1
+let add t n = t.value <- t.value + n
+let get t = t.value
+let reset t = t.value <- 0
+
+let make_counter = create
+let incr_counter = incr
+let add_counter = add
+
+module Group = struct
+  type counter = t
+
+  type t = {
+    group_name : string;
+    table : (string, counter) Hashtbl.t;
+    mutable order : counter list; (* reversed creation order *)
+  }
+
+  let create group_name = { group_name; table = Hashtbl.create 16; order = [] }
+  let name g = g.group_name
+
+  let counter g counter_name =
+    match Hashtbl.find_opt g.table counter_name with
+    | Some c -> c
+    | None ->
+        let c = make_counter counter_name in
+        Hashtbl.add g.table counter_name c;
+        g.order <- c :: g.order;
+        c
+
+  let incr g counter_name = incr_counter (counter g counter_name)
+  let add g counter_name n = add_counter (counter g counter_name) n
+
+  let get g counter_name =
+    match Hashtbl.find_opt g.table counter_name with
+    | Some c -> c.value
+    | None -> 0
+
+  let to_list g = List.rev_map (fun c -> (c.name, c.value)) g.order
+  let reset_all g = List.iter reset g.order
+
+  let pp fmt g =
+    Format.fprintf fmt "@[<v2>%s:" g.group_name;
+    List.iter (fun (n, v) -> Format.fprintf fmt "@,%-40s %10d" n v) (to_list g);
+    Format.fprintf fmt "@]"
+end

@@ -1,0 +1,42 @@
+(** Named monotonic counters.
+
+    Counters are the unit of bookkeeping for every simulated component: message
+    counts, bytes moved, protocol events, guarantee violations.  They live in a
+    {!Group} so a component can dump all of its statistics by name at the end
+    of a run. *)
+
+type t
+
+val create : string -> t
+(** A free-standing counter (not attached to any group). *)
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit
+
+(** An ordered collection of counters, keyed by name.  Asking for the same name
+    twice returns the same counter, so call sites can be written without
+    plumbing counter handles around. *)
+module Group : sig
+  type counter = t
+  type t
+
+  val create : string -> t
+  val name : t -> string
+
+  val counter : t -> string -> counter
+  (** [counter g name] finds or creates the counter [name] in [g]. *)
+
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  (** [get g name] is 0 when the counter was never touched. *)
+
+  val to_list : t -> (string * int) list
+  (** Counters in creation order. *)
+
+  val reset_all : t -> unit
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,33 @@
+(** Latency/size histograms with power-of-two buckets.
+
+    Exact count, sum, min and max; approximate percentiles from the bucket
+    boundaries.  Memory use is constant regardless of sample count, which
+    matters for multi-million-event stress runs. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record a non-negative sample. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** [0.0] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,1]: an upper bound on the [p]-quantile,
+    resolved to bucket granularity.  Raises [Invalid_argument] when empty. *)
+
+val buckets : t -> (int * int * int) list
+(** [(lo, hi, count)] for each non-empty bucket, ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type row = Cells of string list | Separator
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row(%s): %d cells for %d columns" t.title
+         (List.length cells) (List.length t.columns));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let rows = List.rev t.rows in
+  let w = Array.of_list (List.map String.length t.columns) in
+  let note_row cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  List.iter (function Cells cells -> note_row cells | Separator -> ()) rows;
+  w
+
+let pad s width = s ^ String.make (width - String.length s) ' '
+
+let pp fmt t =
+  let w = widths t in
+  let line cells =
+    let padded = List.mapi (fun i c -> pad c w.(i)) cells in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "--" (Array.to_list (Array.map (fun n -> String.make n '-') w))
+  in
+  Format.fprintf fmt "%s@." t.title;
+  Format.fprintf fmt "%s@." (line t.columns);
+  Format.fprintf fmt "%s@." rule;
+  List.iter
+    (function
+      | Cells cells -> Format.fprintf fmt "%s@." (line cells)
+      | Separator -> Format.fprintf fmt "%s@." rule)
+    (List.rev t.rows)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)
+let cell_ratio ?(decimals = 2) x = Printf.sprintf "%.*fx" decimals x

@@ -1,0 +1,28 @@
+(** Plain-text result tables.
+
+    The benchmark harness prints one of these per reproduced table/figure, in
+    the row/column layout of the paper.  Cells are strings; alignment is
+    computed from content width. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Row length must match the column count. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Cell formatting helpers used throughout the bench harness. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : ?decimals:int -> float -> string
+(** [cell_pct 0.031] is ["3.1%"]. *)
+
+val cell_ratio : ?decimals:int -> float -> string
+(** [cell_ratio 1.73] is ["1.73x"]. *)

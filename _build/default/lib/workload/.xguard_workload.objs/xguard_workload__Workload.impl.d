@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Access Addr Array Data List Xguard_sim

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Access Xguard_sim

@@ -1,0 +1,180 @@
+module Rng = Xguard_sim.Rng
+
+type stream = { accesses : Access.t array; max_outstanding : int }
+
+type t = {
+  name : string;
+  description : string;
+  make_streams : cores:int -> rng:Rng.t -> stream array;
+  cpu_streams : cpus:int -> rng:Rng.t -> stream array;
+  footprint_blocks : int;
+}
+
+let no_cpu ~cpus:_ ~rng:_ = [||]
+
+(* Split [accesses] round-robin by contiguous chunks across [cores]. *)
+let partition accesses cores ~max_outstanding =
+  let n = Array.length accesses in
+  Array.init cores (fun c ->
+      let lo = c * n / cores and hi = (c + 1) * n / cores in
+      { accesses = Array.sub accesses lo (hi - lo); max_outstanding })
+
+let fresh_token =
+  let counter = ref 10_000_000 in
+  fun () ->
+    incr counter;
+    Data.token !counter
+
+let streaming ?(length = 2048) ?(write_fraction = 0.25) () =
+  let make_streams ~cores ~rng =
+    let accesses =
+      Array.init length (fun i ->
+          let addr = Addr.block i in
+          if Rng.chance rng write_fraction then Access.store addr (fresh_token ())
+          else Access.load addr)
+    in
+    partition accesses cores ~max_outstanding:8
+  in
+  {
+    name = "streaming";
+    description = "sequential sweep, read-mostly, deep MLP";
+    make_streams;
+    cpu_streams = no_cpu;
+    footprint_blocks = length;
+  }
+
+let blocked ?(tiles = 48) ?(tile_blocks = 16) ?(reuse = 3) () =
+  let make_streams ~cores ~rng =
+    ignore rng;
+    let ops = ref [] in
+    for tile = 0 to tiles - 1 do
+      let base = tile * tile_blocks in
+      (* Load the tile [reuse] times (block-based computation)... *)
+      for _ = 1 to reuse do
+        for b = 0 to tile_blocks - 1 do
+          ops := Access.load (Addr.block (base + b)) :: !ops
+        done
+      done;
+      (* ...then write the output half. *)
+      for b = 0 to (tile_blocks / 2) - 1 do
+        ops := Access.store (Addr.block (base + b)) (fresh_token ()) :: !ops
+      done
+    done;
+    partition (Array.of_list (List.rev !ops)) cores ~max_outstanding:4
+  in
+  {
+    name = "blocked";
+    description = "video-decoder-like tile processing";
+    make_streams;
+    cpu_streams = no_cpu;
+    footprint_blocks = tiles * tile_blocks;
+  }
+
+let graph ?(nodes = 256) ?(steps = 1500) () =
+  let make_streams ~cores ~rng =
+    Array.init cores (fun _ ->
+        let accesses =
+          Array.init (steps / cores) (fun _ ->
+              (* Pointer chase: the next node is "read from" the current one;
+                 the simulator models the dependence with a single
+                 outstanding access. *)
+              let node = Rng.int rng nodes in
+              if Rng.chance rng 0.1 then Access.store (Addr.block node) (fresh_token ())
+              else Access.load (Addr.block node))
+        in
+        { accesses; max_outstanding = 1 })
+  in
+  {
+    name = "graph";
+    description = "data-dependent traversal, one access in flight";
+    make_streams;
+    cpu_streams = no_cpu;
+    footprint_blocks = nodes;
+  }
+
+let write_coalesce ?(regions = 64) ?(region_blocks = 16) () =
+  let make_streams ~cores ~rng =
+    ignore rng;
+    let ops = ref [] in
+    for r = 0 to regions - 1 do
+      for b = 0 to region_blocks - 1 do
+        ops := Access.store (Addr.block ((r * region_blocks) + b)) (fresh_token ()) :: !ops
+      done
+    done;
+    partition (Array.of_list (List.rev !ops)) cores ~max_outstanding:16
+  in
+  {
+    name = "write-coalesce";
+    description = "GPGPU-style bursts of contiguous stores";
+    make_streams;
+    cpu_streams = no_cpu;
+    footprint_blocks = regions * region_blocks;
+  }
+
+let producer_consumer ?(buffer_blocks = 32) ?(rounds = 24) () =
+  (* Input buffer at [0, buffer), output buffer at [buffer, 2*buffer).
+     Each round the accelerator reads every input and writes every output
+     while the CPUs refresh inputs and poll outputs: fine-grained,
+     data-dependent sharing where the particular blocks are not known a
+     priori — the motivating case for coherent accelerators. *)
+  let make_streams ~cores ~rng =
+    ignore rng;
+    let ops = ref [] in
+    for _ = 1 to rounds do
+      for b = 0 to buffer_blocks - 1 do
+        ops := Access.load (Addr.block b) :: !ops
+      done;
+      for b = 0 to buffer_blocks - 1 do
+        ops := Access.store (Addr.block (buffer_blocks + b)) (fresh_token ()) :: !ops
+      done
+    done;
+    partition (Array.of_list (List.rev !ops)) cores ~max_outstanding:4
+  in
+  let cpu_streams ~cpus ~rng =
+    ignore rng;
+    Array.init cpus (fun c ->
+        let ops = ref [] in
+        for _ = 1 to rounds do
+          for b = 0 to buffer_blocks - 1 do
+            if b mod cpus = c then ops := Access.store (Addr.block b) (fresh_token ()) :: !ops
+          done;
+          for b = 0 to buffer_blocks - 1 do
+            if b mod cpus = c then ops := Access.load (Addr.block (buffer_blocks + b)) :: !ops
+          done
+        done;
+        { accesses = Array.of_list (List.rev !ops); max_outstanding = 4 })
+  in
+  {
+    name = "producer-consumer";
+    description = "CPU writes inputs / reads outputs around the accelerator";
+    make_streams;
+    cpu_streams;
+    footprint_blocks = 2 * buffer_blocks;
+  }
+
+(* Accelerator and CPUs sweep the same read-only region concurrently: the
+   accelerator's grants are shared, so its evictions are PutS — the traffic
+   experiment E4 measures (and A2's sharing fast paths). *)
+let shared_sweep ?(length = 512) ?(passes = 2) () =
+  let sweep () =
+    let ops = ref [] in
+    for _ = 1 to passes do
+      for i = 0 to length - 1 do
+        ops := Access.load (Addr.block i) :: !ops
+      done
+    done;
+    Array.of_list (List.rev !ops)
+  in
+  {
+    name = "shared-sweep";
+    description = "CPUs and accelerator read the same region";
+    make_streams = (fun ~cores ~rng -> ignore rng; partition (sweep ()) cores ~max_outstanding:8);
+    cpu_streams =
+      (fun ~cpus ~rng ->
+        ignore rng;
+        Array.init cpus (fun _ -> { accesses = sweep (); max_outstanding = 8 }));
+    footprint_blocks = length;
+  }
+
+let all () =
+  [ streaming (); blocked (); graph (); write_coalesce (); producer_consumer () ]

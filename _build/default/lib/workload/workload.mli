@@ -1,0 +1,52 @@
+(** Synthetic accelerator workloads.
+
+    The paper evaluates with gem5-gpu running GPGPU kernels as "a proxy for a
+    general high-performing accelerator"; without that testbed we generate
+    the access patterns its introduction motivates: streaming, block-based
+    (video decoder), data-dependent (graph processing), write-coalescing
+    (GPGPU) and fine-grained CPU-accelerator sharing.  What matters for the
+    reproduced results is locality, read/write mix and memory-level
+    parallelism, which these parameterized generators control.
+
+    A workload is, per accelerator core, a finite stream of accesses plus the
+    number the core keeps in flight ([max_outstanding] = 1 models
+    data-dependent chains). *)
+
+type stream = {
+  accesses : Access.t array;
+  max_outstanding : int;
+}
+
+type t = {
+  name : string;
+  description : string;
+  make_streams : cores:int -> rng:Xguard_sim.Rng.t -> stream array;
+      (** the work, partitioned across [cores] accelerator cores *)
+  cpu_streams : cpus:int -> rng:Xguard_sim.Rng.t -> stream array;
+      (** concurrent CPU-side activity ([||] for accelerator-only kernels) *)
+  footprint_blocks : int;  (** highest block address touched, for sizing *)
+}
+
+val streaming : ?length:int -> ?write_fraction:float -> unit -> t
+(** Sequential sweep with a read-mostly mix and deep MLP. *)
+
+val blocked : ?tiles:int -> ?tile_blocks:int -> ?reuse:int -> unit -> t
+(** Video-decoder-like: load a tile, reuse it, write results, move on. *)
+
+val graph : ?nodes:int -> ?steps:int -> unit -> t
+(** Data-dependent pointer chasing over a node pool; one access in flight. *)
+
+val write_coalesce : ?regions:int -> ?region_blocks:int -> unit -> t
+(** GPGPU-style bursts of stores to contiguous regions. *)
+
+val producer_consumer : ?buffer_blocks:int -> ?rounds:int -> unit -> t
+(** Fine-grained sharing: CPUs write inputs and read results while the
+    accelerator reads inputs and writes results in the same rounds. *)
+
+val shared_sweep : ?length:int -> ?passes:int -> unit -> t
+(** CPUs and the accelerator read the same region concurrently, so the
+    accelerator holds shared copies and evicts with PutS — the workload for
+    the PutS-overhead experiment (E4). *)
+
+val all : unit -> t list
+(** The five evaluation workloads with default parameters. *)

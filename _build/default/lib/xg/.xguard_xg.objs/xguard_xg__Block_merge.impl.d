@@ -1,0 +1,1 @@
+lib/xg/block_merge.ml: Addr Array Data Xguard_sim

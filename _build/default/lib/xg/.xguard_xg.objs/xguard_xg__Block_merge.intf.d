@@ -1,0 +1,1 @@
+lib/xg/block_merge.mli: Addr Data Xguard_sim

@@ -1,0 +1,1 @@
+lib/xg/os_model.ml: Addr Hashtbl List

@@ -1,0 +1,1 @@
+lib/xg/os_model.mli: Addr

@@ -1,0 +1,1 @@
+lib/xg/perm_table.mli: Addr Perm

@@ -1,0 +1,1 @@
+lib/xg/rate_limiter.ml: Float Queue Xguard_sim

@@ -1,0 +1,1 @@
+lib/xg/rate_limiter.mli: Xguard_sim

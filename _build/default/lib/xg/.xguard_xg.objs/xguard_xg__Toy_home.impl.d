@@ -1,0 +1,1 @@
+lib/xg/toy_home.ml: Addr Format Hashtbl Memory_model Node Queue Xg_iface Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/xg/toy_home.mli: Addr Memory_model Node Xg_iface Xguard_sim Xguard_stats

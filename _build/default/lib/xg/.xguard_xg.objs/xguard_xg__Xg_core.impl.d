@@ -1,0 +1,1 @@
+lib/xg/xg_core.ml: Addr Data Hashtbl Node Option Os_model Perm Perm_table Queue Rate_limiter Xg_iface Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/xg/xg_core.mli: Addr Data Node Os_model Perm_table Rate_limiter Xg_iface Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+lib/xg/xg_iface.mli: Addr Data Format Xguard_network

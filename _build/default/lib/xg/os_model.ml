@@ -1,0 +1,65 @@
+type error_kind =
+  | Perm_read_violation
+  | Perm_write_violation
+  | Bad_request_stable
+  | Request_while_pending
+  | Bad_response_type
+  | Unsolicited_response
+  | Response_timeout
+  | Rate_limit_exceeded
+
+type policy = Log_only | Disable_accelerator | Kill_process
+
+type t = {
+  policy : policy;
+  mutable log : (error_kind * Addr.t) list;  (* newest first *)
+  mutable count : int;
+  counts : (error_kind, int) Hashtbl.t;
+  mutable disabled : bool;
+  mutable killed : bool;
+}
+
+let create ?(policy = Log_only) () =
+  { policy; log = []; count = 0; counts = Hashtbl.create 8; disabled = false; killed = false }
+
+let policy t = t.policy
+
+let report t kind addr =
+  t.log <- (kind, addr) :: t.log;
+  t.count <- t.count + 1;
+  let prev = match Hashtbl.find_opt t.counts kind with Some n -> n | None -> 0 in
+  Hashtbl.replace t.counts kind (prev + 1);
+  match t.policy with
+  | Log_only -> ()
+  | Disable_accelerator -> t.disabled <- true
+  | Kill_process ->
+      t.disabled <- true;
+      t.killed <- true
+
+let error_count t = t.count
+let count_of t kind = match Hashtbl.find_opt t.counts kind with Some n -> n | None -> 0
+let log t = List.rev t.log
+let accel_disabled t = t.disabled
+let process_killed t = t.killed
+
+let error_kind_to_string = function
+  | Perm_read_violation -> "perm_read_violation (G0a)"
+  | Perm_write_violation -> "perm_write_violation (G0b)"
+  | Bad_request_stable -> "bad_request_stable (G1a)"
+  | Request_while_pending -> "request_while_pending (G1b)"
+  | Bad_response_type -> "bad_response_type (G2a)"
+  | Unsolicited_response -> "unsolicited_response (G2b)"
+  | Response_timeout -> "response_timeout (G2c)"
+  | Rate_limit_exceeded -> "rate_limit_exceeded"
+
+let all_error_kinds =
+  [
+    Perm_read_violation;
+    Perm_write_violation;
+    Bad_request_stable;
+    Request_while_pending;
+    Bad_response_type;
+    Unsolicited_response;
+    Response_timeout;
+    Rate_limit_exceeded;
+  ]

@@ -1,0 +1,34 @@
+(** Operating-system error model (paper §2.2).
+
+    Crossing Guard reports every guarantee violation here.  The OS applies a
+    policy: log only, disable the accelerator (Crossing Guard then drops all
+    further accelerator requests while continuing to answer the host on its
+    behalf), or additionally mark the offending process killed.  The error
+    log is the observable the safety experiments check. *)
+
+type error_kind =
+  | Perm_read_violation  (** G0a: request to a page with no access *)
+  | Perm_write_violation  (** G0b: write request / data response without write permission *)
+  | Bad_request_stable  (** G1a: request inconsistent with the block's stable state *)
+  | Request_while_pending  (** G1b: second request while one is open for the address *)
+  | Bad_response_type  (** G2a: response type inconsistent with the block's state *)
+  | Unsolicited_response  (** G2b: response with no outstanding host request *)
+  | Response_timeout  (** G2c: the accelerator never answered; XG answered for it *)
+  | Rate_limit_exceeded  (** §2.5: request rate above the configured limit *)
+
+type policy = Log_only | Disable_accelerator | Kill_process
+
+type t
+
+val create : ?policy:policy -> unit -> t
+val policy : t -> policy
+val report : t -> error_kind -> Addr.t -> unit
+val error_count : t -> int
+val count_of : t -> error_kind -> int
+val log : t -> (error_kind * Addr.t) list
+(** Oldest first. *)
+
+val accel_disabled : t -> bool
+val process_killed : t -> bool
+val error_kind_to_string : error_kind -> string
+val all_error_kinds : error_kind list

@@ -1,0 +1,14 @@
+type t = { default : Perm.t; pages : (int, Perm.t) Hashtbl.t }
+
+let create ?(default = Perm.Read_write) () = { default; pages = Hashtbl.create 64 }
+
+let set_page t ~page perm = Hashtbl.replace t.pages page perm
+let set_block t addr perm = set_page t ~page:(Addr.page_of addr) perm
+
+let perm t addr =
+  match Hashtbl.find_opt t.pages (Addr.page_of addr) with
+  | Some p -> p
+  | None -> t.default
+
+let allows_read t addr = Perm.allows_read (perm t addr)
+let allows_write t addr = Perm.allows_write (perm t addr)

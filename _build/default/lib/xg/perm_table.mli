@@ -1,0 +1,16 @@
+(** Page permission table (Border-Control-style, paper §3.1 / Guarantee 0).
+
+    Crossing Guard consults this trusted, host-side table on every new
+    transaction and stores the permission with the transaction state.  Pages
+    default to [Read_write] so tests and examples opt in to restrictions. *)
+
+type t
+
+val create : ?default:Perm.t -> unit -> t
+val set_page : t -> page:int -> Perm.t -> unit
+val set_block : t -> Addr.t -> Perm.t -> unit
+(** Sets the whole page containing the block. *)
+
+val perm : t -> Addr.t -> Perm.t
+val allows_read : t -> Addr.t -> bool
+val allows_write : t -> Addr.t -> bool

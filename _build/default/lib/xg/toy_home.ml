@@ -1,0 +1,183 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type grant_style = Exclusive_when_clean | Conservative
+
+type accel_state = I | S | E | M
+
+type txn =
+  | Serving of Xg_iface.accel_request
+  | Recalling of { on_done : unit -> unit; mutable racing_put : bool }
+
+type t = {
+  engine : Engine.t;
+  link : Xg_iface.Link.t;
+  self : Node.t;
+  accel : Node.t;
+  memory : Memory_model.t;
+  grant_style : grant_style;
+  latency : int;
+  states : (Addr.t, accel_state) Hashtbl.t;
+  open_txns : (Addr.t, txn) Hashtbl.t;
+  waiting : (Addr.t, Xg_iface.accel_request Queue.t) Hashtbl.t;
+  stats : Group.t;
+}
+
+let state t addr = match Hashtbl.find_opt t.states addr with Some s -> s | None -> I
+
+let set_state t addr s =
+  if s = I then Hashtbl.remove t.states addr else Hashtbl.replace t.states addr s
+
+let accel_state t addr =
+  match state t addr with I -> `I | S -> `S | E -> `E | M -> `M
+
+let stats t = t.stats
+
+let send_to_accel t msg =
+  Xg_iface.Link.send t.link ~src:t.self ~dst:t.accel ~size:(Xg_iface.msg_size msg) msg
+
+let respond t addr resp =
+  send_to_accel t (Xg_iface.To_accel_resp { addr; resp })
+
+(* Serve a request now that the block has no open transaction. *)
+let rec serve t addr (req : Xg_iface.accel_request) =
+  Hashtbl.replace t.open_txns addr (Serving req);
+  Engine.schedule t.engine ~delay:t.latency (fun () -> finish t addr req)
+
+and finish t addr (req : Xg_iface.accel_request) =
+  (match req with
+  | Xg_iface.Get_s ->
+      assert (state t addr = I);
+      Group.incr t.stats "get_s";
+      let data = Memory_model.read t.memory addr in
+      let resp, next =
+        match t.grant_style with
+        | Exclusive_when_clean -> (Xg_iface.Data_e data, E)
+        | Conservative -> (Xg_iface.Data_s data, S)
+      in
+      set_state t addr next;
+      respond t addr resp
+  | Xg_iface.Get_m ->
+      assert (state t addr = I || state t addr = S);
+      Group.incr t.stats "get_m";
+      let data = Memory_model.read t.memory addr in
+      let resp, next =
+        match t.grant_style with
+        | Exclusive_when_clean -> (Xg_iface.Data_e data, E)
+        | Conservative -> (Xg_iface.Data_m data, M)
+      in
+      set_state t addr next;
+      respond t addr resp
+  | Xg_iface.Put_s ->
+      assert (state t addr = S);
+      Group.incr t.stats "put_s";
+      set_state t addr I;
+      respond t addr Xg_iface.Wb_ack
+  | Xg_iface.Put_e data ->
+      assert (state t addr = E);
+      Group.incr t.stats "put_e";
+      ignore data;
+      set_state t addr I;
+      respond t addr Xg_iface.Wb_ack
+  | Xg_iface.Put_m data ->
+      (* E allows a silent upgrade, so a PutM from E is legal. *)
+      assert (state t addr = M || state t addr = E);
+      Group.incr t.stats "put_m";
+      Memory_model.write t.memory addr data;
+      set_state t addr I;
+      respond t addr Xg_iface.Wb_ack);
+  Hashtbl.remove t.open_txns addr;
+  pump t addr
+
+and pump t addr =
+  if not (Hashtbl.mem t.open_txns addr) then
+    match Hashtbl.find_opt t.waiting addr with
+    | Some q when not (Queue.is_empty q) -> serve t addr (Queue.pop q)
+    | _ -> ()
+
+let enqueue t addr req =
+  let q =
+    match Hashtbl.find_opt t.waiting addr with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.waiting addr q;
+        q
+  in
+  Queue.push req q
+
+let on_request t addr (req : Xg_iface.accel_request) =
+  match Hashtbl.find_opt t.open_txns addr with
+  | None -> serve t addr req
+  | Some (Serving _) -> enqueue t addr req
+  | Some (Recalling r) -> (
+      (* The Put / Invalidate race: absorb the writeback, ack it, and let the
+         recall complete on the InvAck. *)
+      match req with
+      | Xg_iface.Put_m data | Xg_iface.Put_e data ->
+          Group.incr t.stats "put_inv_race";
+          Memory_model.write t.memory addr data;
+          set_state t addr I;
+          r.racing_put <- true;
+          respond t addr Xg_iface.Wb_ack
+      | Xg_iface.Put_s ->
+          Group.incr t.stats "put_inv_race";
+          set_state t addr I;
+          r.racing_put <- true;
+          respond t addr Xg_iface.Wb_ack
+      | Xg_iface.Get_s | Xg_iface.Get_m -> enqueue t addr req)
+
+let on_response t addr (resp : Xg_iface.accel_response) =
+  match Hashtbl.find_opt t.open_txns addr with
+  | Some (Recalling r) ->
+      (match resp with
+      | Xg_iface.Dirty_wb data ->
+          assert (state t addr = M || state t addr = E);
+          Memory_model.write t.memory addr data
+      | Xg_iface.Clean_wb data ->
+          assert (state t addr = E);
+          Memory_model.write t.memory addr data
+      | Xg_iface.Inv_ack ->
+          (* Legal when the block was S or I, or when a Put raced the recall. *)
+          assert (r.racing_put || state t addr = S || state t addr = I));
+      set_state t addr I;
+      Hashtbl.remove t.open_txns addr;
+      r.on_done ();
+      pump t addr
+  | Some (Serving _) | None ->
+      failwith
+        (Format.asprintf "Toy_home: unsolicited accelerator response %a for %a"
+           Xg_iface.pp_accel_response resp Addr.pp addr)
+
+let recall t addr ~on_done =
+  match Hashtbl.find_opt t.open_txns addr with
+  | Some _ -> invalid_arg "Toy_home.recall: transaction already open for this block"
+  | None ->
+      Group.incr t.stats "recall";
+      Hashtbl.replace t.open_txns addr (Recalling { on_done; racing_put = false });
+      send_to_accel t (Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate })
+
+let create ~engine ~link ~self ~accel ~memory ?(grant_style = Exclusive_when_clean)
+    ?(latency = 10) () =
+  let t =
+    {
+      engine;
+      link;
+      self;
+      accel;
+      memory;
+      grant_style;
+      latency;
+      states = Hashtbl.create 64;
+      open_txns = Hashtbl.create 16;
+      waiting = Hashtbl.create 16;
+      stats = Group.create "toy_home";
+    }
+  in
+  Xg_iface.Link.register link self (fun ~src:_ msg ->
+      match msg with
+      | Xg_iface.To_xg_req { addr; req } -> on_request t addr req
+      | Xg_iface.To_xg_resp { addr; resp } -> on_response t addr resp
+      | Xg_iface.To_accel_resp _ | Xg_iface.To_accel_req _ ->
+          invalid_arg "Toy_home: received a home-to-accelerator message");
+  t

@@ -1,0 +1,44 @@
+(** A minimal home agent for one accelerator, speaking the Crossing Guard
+    interface.
+
+    [Toy_home] is not part of the paper's system; it is this repository's
+    teaching and testing substrate.  It plays the host side of the XG link
+    perfectly — granting requests from a backing memory, acknowledging
+    writebacks, and issuing host-initiated invalidations on demand — so that
+    accelerator caches can be unit-tested and demonstrated without standing up
+    a full host protocol.  It enforces the interface contract with assertions:
+    a misbehaving cache fails fast here, whereas the real Crossing Guard
+    ({!Xg_core}) tolerates and reports.
+
+    Transactions are serialized per block.  The accelerator-Put versus
+    host-Invalidate race (the one race the ordered link permits) is handled
+    the way Crossing Guard does: the Put is acknowledged and its data used,
+    and the recall completes when the InvAck arrives. *)
+
+type grant_style =
+  | Exclusive_when_clean  (** GetS is answered DataE; GetM answered DataE (clean) *)
+  | Conservative  (** GetS answered DataS; GetM answered DataM *)
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  link:Xg_iface.Link.t ->
+  self:Node.t ->
+  accel:Node.t ->
+  memory:Memory_model.t ->
+  ?grant_style:grant_style ->
+  ?latency:int ->
+  unit ->
+  t
+(** Registers [self] on [link].  [latency] is the service time between
+    receiving a request and sending its response. *)
+
+val recall : t -> Addr.t -> on_done:(unit -> unit) -> unit
+(** Issue a host-initiated Invalidate for the block and run [on_done] when the
+    accelerator's response (and any racing writeback) has been absorbed. *)
+
+val accel_state : t -> Addr.t -> [ `I | `S | `E | `M ]
+(** The home's view of the block's state at the accelerator. *)
+
+val stats : t -> Xguard_stats.Counter.Group.t

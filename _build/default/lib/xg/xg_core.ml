@@ -1,0 +1,577 @@
+module Engine = Xguard_sim.Engine
+module Group = Xguard_stats.Counter.Group
+
+type mode = Full_state | Transactional
+
+type host_need = Fwd_s | Fwd_m | Recall
+
+type host_reply =
+  | Reply_ack of { shared : bool }
+  | Reply_clean of Data.t
+  | Reply_dirty of Data.t
+
+type host_port = {
+  get : Addr.t -> [ `S | `S_only | `M ] -> unit;
+  put : Addr.t -> [ `S | `E of Data.t | `M of Data.t ] -> unit;
+  puts_needed : bool;
+  has_get_s_only : bool;
+}
+
+(* Full-state tracking: the stable state of the block at the accelerator.
+   A block absent from the table is I.  [xg_copy] is the trusted data copy
+   kept when the host granted exclusivity on a read-only page (paper
+   §2.3.1). *)
+type track = { mutable st : [ `S | `E | `M ]; mutable xg_copy : Data.t option }
+
+type inv_pend = {
+  need : host_need;
+  reply : host_reply -> unit;
+  expect_owner : bool;
+  mutable replied : bool;
+}
+
+type get_pend = { want : [ `S | `M ]; ro : bool }
+
+type per_addr = {
+  mutable p_get : get_pend option;
+  mutable p_put : [ `S | `E | `M ] option;
+  mutable p_inv : inv_pend option;
+  mutable absorb : int;  (* late accelerator responses to swallow silently *)
+  stalled_gets : Xg_iface.accel_request Queue.t;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  mode : mode;
+  link : Xg_iface.Link.t;
+  self : Node.t;
+  accel : Node.t;
+  host : host_port;
+  perms : Perm_table.t;
+  os : Os_model.t;
+  timeout : int;
+  rate_limiter : Rate_limiter.t option;
+  suppress_put_s : bool;
+  tracks : (Addr.t, track) Hashtbl.t;
+  pending : (Addr.t, per_addr) Hashtbl.t;
+  stats : Group.t;
+  mutable peak_bits : int;
+}
+
+let mode t = t.mode
+let stats t = t.stats
+
+(* ---- bookkeeping ---- *)
+
+let tag_bits = 34
+let state_bits = 2
+let txn_bits = tag_bits + 8
+let data_bits = 512
+
+let storage_bits t =
+  let track_bits =
+    Hashtbl.fold
+      (fun _ tr acc ->
+        acc + tag_bits + state_bits + match tr.xg_copy with Some _ -> data_bits | None -> 0)
+      t.tracks 0
+  in
+  let pend_bits =
+    Hashtbl.fold
+      (fun _ p acc ->
+        let slot = function None -> 0 | Some _ -> txn_bits in
+        acc + slot p.p_get + slot p.p_inv
+        + (match p.p_put with None -> 0 | Some (`E | `M) -> txn_bits + data_bits | Some `S -> txn_bits))
+      t.pending 0
+  in
+  track_bits + pend_bits
+
+let note_storage t =
+  let bits = storage_bits t in
+  if bits > t.peak_bits then t.peak_bits <- bits
+
+let tracked_blocks t = Hashtbl.length t.tracks
+let peak_storage_bits t = max t.peak_bits (storage_bits t)
+
+let open_transactions t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      let one = function None -> 0 | Some _ -> 1 in
+      acc + one p.p_get + one p.p_inv + match p.p_put with None -> 0 | Some _ -> 1)
+    t.pending 0
+
+let accel_state t addr =
+  match (t.mode, Hashtbl.find_opt t.tracks addr) with
+  | Full_state, None -> `I
+  | Full_state, Some { st = `S; _ } -> `S
+  | Full_state, Some { st = `E; _ } -> `E
+  | Full_state, Some { st = `M; _ } -> `M
+  | Transactional, _ -> `Unknown
+
+let slot t addr =
+  match Hashtbl.find_opt t.pending addr with
+  | Some p -> p
+  | None ->
+      let p =
+        { p_get = None; p_put = None; p_inv = None; absorb = 0; stalled_gets = Queue.create () }
+      in
+      Hashtbl.add t.pending addr p;
+      p
+
+let prune t addr (p : per_addr) =
+  if
+    p.p_get = None && p.p_put = None && p.p_inv = None && p.absorb = 0
+    && Queue.is_empty p.stalled_gets
+  then Hashtbl.remove t.pending addr
+
+let set_track t addr st =
+  (match Hashtbl.find_opt t.tracks addr with
+  | Some tr -> tr.st <- st
+  | None -> Hashtbl.add t.tracks addr { st; xg_copy = None });
+  note_storage t
+
+let clear_track t addr = Hashtbl.remove t.tracks addr
+
+let report t kind addr =
+  Group.incr t.stats ("violation." ^ Os_model.error_kind_to_string kind);
+  Os_model.report t.os kind addr
+
+let send_accel t msg =
+  Xg_iface.Link.send t.link ~src:t.self ~dst:t.accel ~size:(Xg_iface.msg_size msg) msg
+
+let respond_accel t addr resp = send_accel t (Xg_iface.To_accel_resp { addr; resp })
+
+let accel_may_be_sharer t addr =
+  match t.mode with
+  | Full_state -> Hashtbl.mem t.tracks addr
+  | Transactional -> Perm_table.allows_read t.perms addr
+
+(* ---- host-initiated invalidations ---- *)
+
+let reply_once t (p : per_addr) (inv : inv_pend) reply =
+  if not inv.replied then begin
+    inv.replied <- true;
+    ignore p;
+    ignore t;
+    inv.reply reply
+  end
+
+let finish_inv t addr (p : per_addr) =
+  p.p_inv <- None;
+  prune t addr p
+
+(* Default answer when the accelerator cannot be trusted to respond. *)
+let default_reply t inv =
+  match (t.mode, inv.expect_owner) with
+  | Full_state, true -> Reply_dirty Data.zero
+  | _, _ -> Reply_ack { shared = false }
+
+let start_accel_invalidation t addr (p : per_addr) inv =
+  p.p_inv <- Some inv;
+  note_storage t;
+  Group.incr t.stats "invalidate_to_accel";
+  send_accel t (Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate });
+  Engine.schedule t.engine ~delay:t.timeout (fun () ->
+      match p.p_inv with
+      | Some i when i == inv && not i.replied ->
+          report t Os_model.Response_timeout addr;
+          Group.incr t.stats "timeout_reply_for_accel";
+          clear_track t addr;
+          reply_once t p i (default_reply t i);
+          (* The late response, if any, must be swallowed. *)
+          p.absorb <- p.absorb + 1;
+          finish_inv t addr p
+      | _ -> ())
+
+let host_request t addr ~need ~reply =
+  let p = slot t addr in
+  assert (p.p_inv = None);
+  (* A pending put here can only be a non-owner PutS still settling with the
+     host (owner writebacks are answered by the port itself); the accelerator
+     already relinquished the block, so the normal paths below answer
+     correctly. *)
+  match t.mode with
+  | Full_state -> (
+      match Hashtbl.find_opt t.tracks addr with
+      | None ->
+          Group.incr t.stats "snoop_fast_path";
+          reply (Reply_ack { shared = false })
+      | Some { st = `S; xg_copy = None } when need = Fwd_s ->
+          Group.incr t.stats "snoop_fast_path";
+          reply (Reply_ack { shared = true })
+      | Some ({ st = `S; xg_copy = Some copy } as tr) ->
+          if need = Fwd_s then begin
+            (* XG owns the trusted copy of this read-only block; serve data
+               without disturbing the accelerator. *)
+            Group.incr t.stats "snoop_fast_path";
+            reply (Reply_clean copy)
+          end
+          else begin
+            ignore tr;
+            start_accel_invalidation t addr p
+              { need; reply; expect_owner = false; replied = false }
+          end
+      | Some { st = `S; xg_copy = None } ->
+          start_accel_invalidation t addr p
+            { need; reply; expect_owner = false; replied = false }
+      | Some { st = `E | `M; _ } ->
+          start_accel_invalidation t addr p
+            { need; reply; expect_owner = true; replied = false })
+  | Transactional -> (
+      let perm = Perm_table.perm t.perms addr in
+      match perm with
+      | Perm.No_access ->
+          (* The accelerator cannot hold this block; answering locally also
+             hides host coherence traffic from a potentially malicious
+             accelerator (side-channel filtering, §3.2). *)
+          Group.incr t.stats "side_channel_filtered";
+          reply (Reply_ack { shared = false })
+      | Perm.Read_only when need = Fwd_s ->
+          (* The accelerator cannot own the block (G0b), so no data is
+             needed; conservatively report it shared. *)
+          Group.incr t.stats "snoop_fast_path";
+          reply (Reply_ack { shared = true })
+      | Perm.Read_only | Perm.Read_write -> (
+          (* Deduce what we can from open transactions: a pending GetS means
+             the accelerator holds nothing yet. *)
+          match p.p_get with
+          | Some { want = `S; _ } when need <> Fwd_s ->
+              Group.incr t.stats "snoop_fast_path";
+              reply (Reply_ack { shared = false })
+          | _ ->
+              start_accel_invalidation t addr p
+                { need; reply; expect_owner = false; replied = false }))
+
+(* ---- accelerator responses ---- *)
+
+let accel_response t addr (resp : Xg_iface.accel_response) =
+  let p = slot t addr in
+  match p.p_inv with
+  | Some inv -> (
+      let keep_shared = inv.need = Fwd_s in
+      (match t.mode with
+      | Full_state -> (
+          let tr = Hashtbl.find_opt t.tracks addr in
+          let expected_ok =
+            match (resp, tr) with
+            | Xg_iface.Dirty_wb _, Some { st = `M | `E; xg_copy = None } -> true
+            | Xg_iface.Clean_wb _, Some { st = `E; xg_copy = None } -> true
+            | Xg_iface.Inv_ack, Some { st = `S; _ } -> true
+            | Xg_iface.Inv_ack, None -> true
+            | _ -> false
+          in
+          if expected_ok then
+            match resp with
+            | Xg_iface.Dirty_wb data -> reply_once t p inv (Reply_dirty data)
+            | Xg_iface.Clean_wb data -> reply_once t p inv (Reply_clean data)
+            | Xg_iface.Inv_ack -> (
+                match tr with
+                | Some { xg_copy = Some copy; _ } ->
+                    (* Serve the trusted read-only copy on the block's
+                       behalf. *)
+                    reply_once t p inv (Reply_clean copy)
+                | Some _ | None ->
+                    reply_once t p inv
+                      (Reply_ack { shared = keep_shared && tr <> None }))
+          else begin
+            (* G2a: correct the response type from trusted state. *)
+            report t Os_model.Bad_response_type addr;
+            Group.incr t.stats "response_corrected";
+            match tr with
+            | Some { xg_copy = Some copy; _ } -> reply_once t p inv (Reply_clean copy)
+            | Some { st = `M | `E; _ } -> (
+                (* An owner that did not produce a dirty writeback: if it sent
+                   data of the wrong type, use it; if it acked, substitute a
+                   zeroed block (paper §2.2). *)
+                match resp with
+                | Xg_iface.Clean_wb d | Xg_iface.Dirty_wb d -> reply_once t p inv (Reply_dirty d)
+                | Xg_iface.Inv_ack -> reply_once t p inv (Reply_dirty Data.zero))
+            | Some { st = `S; _ } | None -> reply_once t p inv (Reply_ack { shared = false })
+          end)
+      | Transactional -> (
+          match resp with
+          | Xg_iface.Dirty_wb data | Xg_iface.Clean_wb data ->
+              if not (Perm_table.allows_write t.perms addr) then begin
+                (* G0b: data from a read-only block is not accepted. *)
+                report t Os_model.Perm_write_violation addr;
+                reply_once t p inv (Reply_ack { shared = false })
+              end
+              else
+                reply_once t p inv
+                  (match resp with
+                  | Xg_iface.Dirty_wb _ -> Reply_dirty data
+                  | _ -> Reply_clean data)
+          | Xg_iface.Inv_ack -> reply_once t p inv (Reply_ack { shared = false })));
+      (match (t.mode, inv.need) with
+      | Full_state, Fwd_s -> (
+          (* After a read forward the accelerator keeps nothing unless it was
+             a plain sharer answered on the fast path (not this code path) —
+             an owner was invalidated. *)
+          match Hashtbl.find_opt t.tracks addr with Some _ -> clear_track t addr | None -> ())
+      | Full_state, (Fwd_m | Recall) -> clear_track t addr
+      | Transactional, _ -> ());
+      finish_inv t addr p)
+  | None ->
+      if p.absorb > 0 then begin
+        p.absorb <- p.absorb - 1;
+        Group.incr t.stats "late_response_absorbed";
+        prune t addr p
+      end
+      else begin
+        (* G2b: response with no outstanding request. *)
+        report t Os_model.Unsolicited_response addr;
+        Group.incr t.stats "response_dropped"
+      end
+
+(* ---- accelerator requests ---- *)
+
+let rec process_get t addr (p : per_addr) (req : Xg_iface.accel_request) =
+  let want = match req with Xg_iface.Get_m -> `M | _ -> `S in
+  let perm = Perm_table.perm t.perms addr in
+  let ro = perm = Perm.Read_only in
+  p.p_get <- Some { want; ro };
+  note_storage t;
+  Group.incr t.stats
+    (match want with `M -> "get_m_forwarded" | `S -> "get_s_forwarded");
+  match want with
+  | `M -> t.host.get addr `M
+  | `S ->
+      if ro && t.host.has_get_s_only then t.host.get addr `S_only
+      else t.host.get addr `S
+
+and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
+  (* Ack the accelerator immediately (§3.2), then settle with the host. *)
+  respond_accel t addr Xg_iface.Wb_ack;
+  let ro_copy =
+    match Hashtbl.find_opt t.tracks addr with
+    | Some { xg_copy = Some copy; _ } -> Some copy
+    | _ -> None
+  in
+  clear_track t addr;
+  match req with
+  | Xg_iface.Put_s when ro_copy <> None ->
+      (* The guard itself owns this read-only block at the host (§2.3.1);
+         relinquish that ownership with the trusted copy. *)
+      let copy = Option.get ro_copy in
+      p.p_put <- Some `E;
+      note_storage t;
+      Group.incr t.stats "ro_copy_relinquished";
+      t.host.put addr (`E copy)
+  | Xg_iface.Put_s ->
+      if t.host.puts_needed then begin
+        p.p_put <- Some `S;
+        note_storage t;
+        Group.incr t.stats "put_s_forwarded";
+        t.host.put addr `S
+      end
+      else if t.suppress_put_s then begin
+        Group.incr t.stats "put_s_suppressed";
+        pump_stalled t addr p
+      end
+      else begin
+        (* Unnecessary PutS traffic the paper measures at 1-4% of
+           XG-to-host bandwidth when the optimization register is off. *)
+        p.p_put <- Some `S;
+        note_storage t;
+        Group.incr t.stats "put_s_unnecessary";
+        t.host.put addr `S
+      end
+  | Xg_iface.Put_e data ->
+      p.p_put <- Some `E;
+      note_storage t;
+      Group.incr t.stats "put_e_forwarded";
+      t.host.put addr (`E data)
+  | Xg_iface.Put_m data ->
+      p.p_put <- Some `M;
+      note_storage t;
+      Group.incr t.stats "put_m_forwarded";
+      t.host.put addr (`M data)
+  | Xg_iface.Get_s | Xg_iface.Get_m -> assert false
+
+and pump_stalled t addr (p : per_addr) =
+  if p.p_put = None && p.p_get = None && not (Queue.is_empty p.stalled_gets) then begin
+    let req = Queue.pop p.stalled_gets in
+    process_get t addr p req
+  end
+  else prune t addr p
+
+and accel_request t addr (req : Xg_iface.accel_request) =
+  let p = slot t addr in
+  let perm = Perm_table.perm t.perms addr in
+  (* Guarantee 0: page permissions. *)
+  if not (Perm.allows_read perm) then begin
+    report t Os_model.Perm_read_violation addr;
+    Group.incr t.stats "request_blocked";
+    prune t addr p
+  end
+  else if
+    (not (Perm.allows_write perm))
+    && (match req with
+       | Xg_iface.Get_m | Xg_iface.Put_e _ | Xg_iface.Put_m _ -> true
+       | Xg_iface.Get_s | Xg_iface.Put_s -> false)
+  then begin
+    report t Os_model.Perm_write_violation addr;
+    Group.incr t.stats "request_blocked";
+    prune t addr p
+  end
+  else if p.p_get <> None then begin
+    (* Guarantee 1b: one open request per block. *)
+    report t Os_model.Request_while_pending addr;
+    Group.incr t.stats "request_blocked"
+  end
+  else if p.p_put <> None || not (Queue.is_empty p.stalled_gets) then begin
+    match req with
+    | Xg_iface.Get_s | Xg_iface.Get_m ->
+        (* The accelerator's Put was already acknowledged; its re-fetch is
+           legitimate and waits for the internal writeback to settle. *)
+        Queue.push req p.stalled_gets;
+        Group.incr t.stats "get_stalled_behind_put"
+    | Xg_iface.Put_s | Xg_iface.Put_e _ | Xg_iface.Put_m _ ->
+        report t Os_model.Request_while_pending addr;
+        Group.incr t.stats "request_blocked"
+  end
+  else if p.p_inv <> None && Xg_iface.is_put req then begin
+    (* The one race the ordered link allows: the accelerator's Put crossed
+       our Invalidate.  Use the writeback as the reply to the host and
+       absorb the InvAck that must follow (Table 1: B + Invalidate). *)
+    match p.p_inv with
+    | Some inv ->
+        Group.incr t.stats "put_invalidate_race";
+        respond_accel t addr Xg_iface.Wb_ack;
+        clear_track t addr;
+        (match req with
+        | Xg_iface.Put_m data ->
+            if Perm_table.allows_write t.perms addr then reply_once t p inv (Reply_dirty data)
+            else reply_once t p inv (Reply_ack { shared = false })
+        | Xg_iface.Put_e data ->
+            if Perm_table.allows_write t.perms addr then reply_once t p inv (Reply_clean data)
+            else reply_once t p inv (Reply_ack { shared = false })
+        | Xg_iface.Put_s -> reply_once t p inv (Reply_ack { shared = false })
+        | Xg_iface.Get_s | Xg_iface.Get_m -> assert false);
+        p.absorb <- p.absorb + 1;
+        finish_inv t addr p
+    | None -> assert false
+  end
+  else begin
+    (* Guarantee 1a: consistency with the stable state (Full_state only;
+       Transactional relies on the host tolerating the request, §2.3.2). *)
+    let stable_ok =
+      match t.mode with
+      | Transactional -> true
+      | Full_state -> (
+          let st = Hashtbl.find_opt t.tracks addr in
+          match (req, st) with
+          | Xg_iface.Get_s, None -> true
+          | Xg_iface.Get_m, (None | Some { st = `S; xg_copy = None }) -> true
+          | Xg_iface.Put_s, Some { st = `S; _ } -> true
+          | Xg_iface.Put_e _, Some { st = `E; xg_copy = None } -> true
+          | Xg_iface.Put_m _, Some { st = `M | `E; xg_copy = None } -> true
+          | _ -> false)
+    in
+    if not stable_ok then begin
+      report t Os_model.Bad_request_stable addr;
+      Group.incr t.stats "request_blocked";
+      prune t addr p
+    end
+    else
+      match req with
+      | Xg_iface.Get_s | Xg_iface.Get_m -> process_get t addr p req
+      | Xg_iface.Put_s | Xg_iface.Put_e _ | Xg_iface.Put_m _ -> accept_put t addr p req
+  end
+
+(* ---- host-side completions ---- *)
+
+let granted t addr grant =
+  let p = slot t addr in
+  match p.p_get with
+  | None -> failwith (t.name ^ ": host grant without an open get")
+  | Some { want; ro } ->
+      p.p_get <- None;
+      let resp =
+        match (grant, want, ro) with
+        | `S data, _, _ ->
+            if t.mode = Full_state then set_track t addr `S;
+            Xg_iface.Data_s data
+        | `E data, `S, true when not t.host.has_get_s_only ->
+            (* Exclusive grant on a read-only page: keep the trusted copy and
+               give the accelerator only a shared view (G0b, §2.3.1). *)
+            assert (t.mode = Full_state);
+            set_track t addr `S;
+            (match Hashtbl.find_opt t.tracks addr with
+            | Some tr -> tr.xg_copy <- Some data
+            | None -> assert false);
+            note_storage t;
+            Group.incr t.stats "ro_exclusive_demoted";
+            Xg_iface.Data_s data
+        | `M data, `S, true when not t.host.has_get_s_only ->
+            assert (t.mode = Full_state);
+            set_track t addr `S;
+            (match Hashtbl.find_opt t.tracks addr with
+            | Some tr -> tr.xg_copy <- Some data
+            | None -> assert false);
+            note_storage t;
+            Group.incr t.stats "ro_exclusive_demoted";
+            Xg_iface.Data_s data
+        | `E data, _, _ ->
+            if t.mode = Full_state then set_track t addr `E;
+            Xg_iface.Data_e data
+        | `M data, _, _ ->
+            if t.mode = Full_state then set_track t addr `M;
+            Xg_iface.Data_m data
+      in
+      Group.incr t.stats "grant_to_accel";
+      respond_accel t addr resp;
+      prune t addr p
+
+let put_complete t addr =
+  let p = slot t addr in
+  match p.p_put with
+  | None -> failwith (t.name ^ ": put completion without an open put")
+  | Some _ ->
+      p.p_put <- None;
+      Group.incr t.stats "put_complete";
+      pump_stalled t addr p
+
+(* ---- wiring ---- *)
+
+let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2000)
+    ?(processing_latency = 4) ?rate_limiter ?(suppress_put_s_register = false) () =
+  let t =
+    {
+      engine;
+      name;
+      mode;
+      link;
+      self;
+      accel;
+      host;
+      perms;
+      os;
+      timeout;
+      rate_limiter;
+      suppress_put_s = suppress_put_s_register;
+      tracks = Hashtbl.create 256;
+      pending = Hashtbl.create 64;
+      stats = Group.create (name ^ ".stats");
+      peak_bits = 0;
+    }
+  in
+  Xg_iface.Link.register link self (fun ~src:_ msg ->
+      (* Charge the guard's pipeline latency once per message. *)
+      Engine.schedule t.engine ~delay:processing_latency (fun () ->
+          match msg with
+          | Xg_iface.To_xg_req { addr; req } ->
+              if Os_model.accel_disabled t.os then Group.incr t.stats "request_dropped_disabled"
+              else begin
+                Group.incr t.stats "accel_request";
+                match t.rate_limiter with
+                | Some rl -> Rate_limiter.admit rl (fun () -> accel_request t addr req)
+                | None -> accel_request t addr req
+              end
+          | Xg_iface.To_xg_resp { addr; resp } ->
+              (* Responses are never rate limited (§2.5). *)
+              Group.incr t.stats "accel_response";
+              accel_response t addr resp
+          | Xg_iface.To_accel_resp _ | Xg_iface.To_accel_req _ ->
+              invalid_arg (name ^ ": received a guard-to-accelerator message")));
+  t

@@ -1,0 +1,126 @@
+(** The Crossing Guard engine (paper §2–§3).
+
+    One instance sits between one accelerator (over the ordered XG link) and
+    one host protocol (through a protocol-specific {!host_port}, implemented
+    by [Xguard_host_hammer.Xg_port] and [Xguard_host_mesi.Xg_port]).  The
+    engine enforces the guarantees of Figure 1 on the accelerator's behalf —
+    the host side is trusted and never checked:
+
+    - G0a/G0b: page permissions, via {!Perm_table};
+    - G1a: requests consistent with the block's stable state at the
+      accelerator (checked only in [Full_state] mode; [Transactional] relies
+      on the host tolerating any transient-consistent request, which is what
+      the [Xg_ready] host variants provide);
+    - G1b: at most one open accelerator request per block;
+    - G2a: response types consistent with block state ([Full_state] corrects
+      a wrong response, e.g. substitutes a zeroed dirty writeback when an
+      owner answers InvAck);
+    - G2b: no unsolicited responses;
+    - G2c: a response deadline — on timeout the engine answers the host on
+      the accelerator's behalf and reports the error.
+
+    Violations are reported to the {!Os_model}; its policy may disable the
+    accelerator, after which the engine drops accelerator traffic but keeps
+    answering the host, preserving host liveness.
+
+    Mode differences (paper §2.3): [Full_state] tracks the stable state of
+    every block resident at the accelerator (an inclusive trusted directory)
+    and works with unmodified hosts — including hosts without a non-upgradable
+    GetS, for which it keeps a trusted copy of read-only-page blocks granted
+    exclusively.  [Transactional] tracks only open transactions and requires
+    the host's [Get_s_only] request plus the [Xg_ready] relaxations. *)
+
+type mode = Full_state | Transactional
+
+(** What the host-side port asks the engine when the host protocol needs the
+    block back from the accelerator. *)
+type host_need =
+  | Fwd_s  (** another cache wants a shared copy; owners must supply data *)
+  | Fwd_m  (** another cache wants exclusive ownership; all copies must go *)
+  | Recall  (** the host wants the block returned (e.g. inclusive-L2 victim) *)
+
+(** The engine's reply to a {!host_need}; the port translates it into host
+    protocol messages. *)
+type host_reply =
+  | Reply_ack of { shared : bool }
+      (** the accelerator holds no owned copy; [shared] reports whether it
+          (possibly) retains a shared one *)
+  | Reply_clean of Data.t
+  | Reply_dirty of Data.t
+
+(** Operations the engine needs from the host-side port. *)
+type host_port = {
+  get : Addr.t -> [ `S | `S_only | `M ] -> unit;
+  put : Addr.t -> [ `S | `E of Data.t | `M of Data.t ] -> unit;
+  puts_needed : bool;
+      (** [false]: the host silently evicts shared blocks, so the engine
+          suppresses accelerator PutS messages (paper §2.1) *)
+  has_get_s_only : bool;
+      (** whether the host implements the non-upgradable read; required by
+          [Transactional] mode when read-only pages are in play *)
+}
+
+type t
+
+val create :
+  engine:Xguard_sim.Engine.t ->
+  name:string ->
+  mode:mode ->
+  link:Xg_iface.Link.t ->
+  self:Node.t ->
+  accel:Node.t ->
+  host:host_port ->
+  perms:Perm_table.t ->
+  os:Os_model.t ->
+  ?timeout:int ->
+  ?processing_latency:int ->
+  ?rate_limiter:Rate_limiter.t ->
+  ?suppress_put_s_register:bool ->
+  unit ->
+  t
+(** Registers [self] on [link].  [timeout] is the G2c deadline in cycles for
+    accelerator responses.  [processing_latency] models the guard's pipeline
+    (state lookup + translation) and is charged once per accelerator-link
+    message processed (default 4 cycles).  [suppress_put_s_register] models the optimization
+    register of §2.1: when set and the host does not need PutS, unnecessary
+    PutS messages are consumed at the Crossing Guard. *)
+
+val mode : t -> mode
+
+(* ---- called by the host-side port ---- *)
+
+val granted : t -> Addr.t -> [ `S of Data.t | `E of Data.t | `M of Data.t ] -> unit
+(** The host satisfied the engine's outstanding get for this block. *)
+
+val put_complete : t -> Addr.t -> unit
+(** The host acknowledged the engine's writeback. *)
+
+val host_request : t -> Addr.t -> need:host_need -> reply:(host_reply -> unit) -> unit
+(** The host needs the block back; [reply] fires exactly once — immediately
+    when the engine can answer from its own state, after an accelerator
+    round-trip otherwise, and on behalf of the accelerator after a timeout or
+    a corrected bad response. *)
+
+val accel_may_be_sharer : t -> Addr.t -> bool
+(** Conservative sharing test used by ports for protocol-specific fast paths. *)
+
+(* ---- introspection ---- *)
+
+val accel_state : t -> Addr.t -> [ `I | `S | `E | `M | `Unknown ]
+(** [Full_state] tracking; [`Unknown] in transactional mode for untracked
+    blocks. *)
+
+val open_transactions : t -> int
+val tracked_blocks : t -> int
+(** Blocks in the full-state table (0 in transactional mode). *)
+
+val peak_storage_bits : t -> int
+(** High-water mark of {!storage_bits} over the run. *)
+
+val storage_bits : t -> int
+(** Current storage footprint of the tracking structures, in bits — the
+    quantity Experiment E5 compares between the two modes (tags + state for
+    Full_state, open-transaction entries for both, stored read-only data
+    blocks if any). *)
+
+val stats : t -> Xguard_stats.Counter.Group.t

@@ -1,0 +1,70 @@
+type accel_request = Get_s | Get_m | Put_s | Put_e of Data.t | Put_m of Data.t
+
+type xg_response = Data_s of Data.t | Data_e of Data.t | Data_m of Data.t | Wb_ack
+
+type xg_request = Invalidate
+
+type accel_response = Clean_wb of Data.t | Dirty_wb of Data.t | Inv_ack
+
+type msg =
+  | To_xg_req of { addr : Addr.t; req : accel_request }
+  | To_xg_resp of { addr : Addr.t; resp : accel_response }
+  | To_accel_resp of { addr : Addr.t; resp : xg_response }
+  | To_accel_req of { addr : Addr.t; req : xg_request }
+
+let request_carries_data = function
+  | Put_e _ | Put_m _ -> true
+  | Get_s | Get_m | Put_s -> false
+
+let response_carries_data = function
+  | Clean_wb _ | Dirty_wb _ -> true
+  | Inv_ack -> false
+
+let is_put = function Put_s | Put_e _ | Put_m _ -> true | Get_s | Get_m -> false
+
+let exclusive_grant = function
+  | Data_e _ | Data_m _ -> true
+  | Data_s _ | Wb_ack -> false
+
+let msg_size = function
+  | To_xg_req { req; _ } ->
+      if request_carries_data req then Xguard_network.Network.data_size
+      else Xguard_network.Network.control_size
+  | To_xg_resp { resp; _ } ->
+      if response_carries_data resp then Xguard_network.Network.data_size
+      else Xguard_network.Network.control_size
+  | To_accel_resp { resp; _ } -> (
+      match resp with
+      | Data_s _ | Data_e _ | Data_m _ -> Xguard_network.Network.data_size
+      | Wb_ack -> Xguard_network.Network.control_size)
+  | To_accel_req { req = Invalidate; _ } -> Xguard_network.Network.control_size
+
+let pp_accel_request fmt = function
+  | Get_s -> Format.pp_print_string fmt "GetS"
+  | Get_m -> Format.pp_print_string fmt "GetM"
+  | Put_s -> Format.pp_print_string fmt "PutS"
+  | Put_e d -> Format.fprintf fmt "PutE(%a)" Data.pp d
+  | Put_m d -> Format.fprintf fmt "PutM(%a)" Data.pp d
+
+let pp_xg_response fmt = function
+  | Data_s d -> Format.fprintf fmt "DataS(%a)" Data.pp d
+  | Data_e d -> Format.fprintf fmt "DataE(%a)" Data.pp d
+  | Data_m d -> Format.fprintf fmt "DataM(%a)" Data.pp d
+  | Wb_ack -> Format.pp_print_string fmt "WbAck"
+
+let pp_accel_response fmt = function
+  | Clean_wb d -> Format.fprintf fmt "CleanWB(%a)" Data.pp d
+  | Dirty_wb d -> Format.fprintf fmt "DirtyWB(%a)" Data.pp d
+  | Inv_ack -> Format.pp_print_string fmt "InvAck"
+
+let pp_msg fmt = function
+  | To_xg_req { addr; req } -> Format.fprintf fmt "%a %a" pp_accel_request req Addr.pp addr
+  | To_xg_resp { addr; resp } ->
+      Format.fprintf fmt "%a %a" pp_accel_response resp Addr.pp addr
+  | To_accel_resp { addr; resp } ->
+      Format.fprintf fmt "%a %a" pp_xg_response resp Addr.pp addr
+  | To_accel_req { addr; req = Invalidate } -> Format.fprintf fmt "Invalidate %a" Addr.pp addr
+
+module Link = Xguard_network.Network.Make (struct
+  type t = msg
+end)

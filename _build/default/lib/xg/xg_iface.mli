@@ -1,0 +1,72 @@
+(** The Crossing Guard coherence interface (paper, section 2.1).
+
+    This is the standardized message vocabulary between an accelerator cache
+    hierarchy and the Crossing Guard hardware.  The accelerator can make five
+    requests and receive one of four responses; the host (through Crossing
+    Guard) can make one request and receive one of three responses.  Every
+    request always results in exactly one response.
+
+    Design-space notes carried over from the paper:
+    - [Get_s] asks for a shared, read-only copy; [Get_m] for an exclusive,
+      writable one.  Either may be answered with an exclusive grant ([Data_e] /
+      [Data_m]) as an optimization; [Get_m] is never answered with [Data_s].
+    - [Put_m] and [Put_e] carry data to avoid a multi-phase commit; every Put
+      is answered with [Wb_ack].
+    - On [Invalidate], an accelerator holding the block in M must answer
+      [Dirty_wb], in E [Clean_wb], otherwise [Inv_ack].
+    - The link carrying these messages must be ordered (see {!Link}); the only
+      remaining race is an accelerator Put crossing a host Invalidate. *)
+
+type accel_request =
+  | Get_s  (** request a shared, read-only copy *)
+  | Get_m  (** request an exclusive, writable copy *)
+  | Put_s  (** evict a shared copy (no data) *)
+  | Put_e of Data.t  (** evict a clean exclusive copy, data attached *)
+  | Put_m of Data.t  (** evict a dirty copy, data attached *)
+
+type xg_response =
+  | Data_s of Data.t  (** shared + clean *)
+  | Data_e of Data.t  (** exclusive + clean *)
+  | Data_m of Data.t  (** exclusive + modified *)
+  | Wb_ack  (** acknowledges any Put *)
+
+type xg_request = Invalidate  (** the host needs the block back *)
+
+type accel_response =
+  | Clean_wb of Data.t  (** block was held in E *)
+  | Dirty_wb of Data.t  (** block was held in M *)
+  | Inv_ack  (** block not held in an owned state *)
+
+(** Everything that can travel on the XG-accelerator link, in either
+    direction.  Both directions share one message type so a single ordered
+    network instance carries the link, and so the fuzzer can inject any
+    syntactically valid message. *)
+type msg =
+  | To_xg_req of { addr : Addr.t; req : accel_request }
+  | To_xg_resp of { addr : Addr.t; resp : accel_response }
+  | To_accel_resp of { addr : Addr.t; resp : xg_response }
+  | To_accel_req of { addr : Addr.t; req : xg_request }
+
+val request_carries_data : accel_request -> bool
+val response_carries_data : accel_response -> bool
+val is_put : accel_request -> bool
+val exclusive_grant : xg_response -> bool
+(** True for [Data_e] and [Data_m]. *)
+
+val msg_size : msg -> int
+(** Bytes on the wire: {!Xguard_network.Network.data_size} when data is
+    attached, [control_size] otherwise. *)
+
+val pp_accel_request : Format.formatter -> accel_request -> unit
+val pp_xg_response : Format.formatter -> xg_response -> unit
+val pp_accel_response : Format.formatter -> accel_response -> unit
+val pp_msg : Format.formatter -> msg -> unit
+
+(** The ordered link between one Crossing Guard instance and its accelerator:
+    a network specialised to {!msg}.  The paper requires this network to be
+    ordered; ablation A1 measures what breaks when it is not. *)
+module Link : sig
+  include module type of Xguard_network.Network.Make (struct
+    type t = msg
+  end)
+end

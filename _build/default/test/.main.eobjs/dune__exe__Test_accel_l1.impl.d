@@ -1,0 +1,1 @@
+test/test_accel_l1.ml: Access Addr Alcotest Array Data Hashtbl List Memory_model Node QCheck2 QCheck_alcotest Sequencer Xguard_accel Xguard_network Xguard_sim Xguard_stats Xguard_xg

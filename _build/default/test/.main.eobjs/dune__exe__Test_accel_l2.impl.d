@@ -1,0 +1,1 @@
+test/test_accel_l2.ml: Access Addr Alcotest Array Data Hashtbl List Memory_model Node Option Printf Sequencer Xguard_accel Xguard_network Xguard_sim Xguard_stats Xguard_xg

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Addr Alcotest Array Hashtbl List Printf String Xguard_accel Xguard_harness Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+test/test_hammer.ml: Access Addr Alcotest Array Data Memory_model Node Option QCheck2 QCheck_alcotest Xguard_harness Xguard_host_hammer Xguard_network Xguard_sim Xguard_stats

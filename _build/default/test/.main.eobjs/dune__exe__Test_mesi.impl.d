@@ -1,0 +1,1 @@
+test/test_mesi.ml: Access Addr Alcotest Array Data Memory_model Node QCheck2 QCheck_alcotest Xguard_harness Xguard_host_mesi Xguard_network Xguard_sim Xguard_stats

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array List Node QCheck2 QCheck_alcotest Xguard_network Xguard_sim

@@ -1,0 +1,1 @@
+test/test_proto.ml: Access Addr Alcotest Cache_array Data Hashtbl List Memory_model Perm Sequencer Tbe_table Xguard_sim

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest List Printexc QCheck2 QCheck_alcotest Xguard_harness Xguard_sim Xguard_xg

@@ -1,0 +1,1 @@
+test/test_workload.ml: Access Addr Alcotest Array List Xguard_harness Xguard_sim Xguard_workload

@@ -1,0 +1,1 @@
+test/test_xg_core.ml: Addr Alcotest Data List Node Perm Xguard_network Xguard_sim Xguard_stats Xguard_xg

@@ -1,0 +1,1 @@
+test/test_xg_integration.ml: Access Addr Alcotest Array Data List Perm Printexc QCheck2 QCheck_alcotest Xguard_harness Xguard_sim Xguard_xg

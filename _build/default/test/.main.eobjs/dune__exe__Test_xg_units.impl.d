@@ -1,0 +1,1 @@
+test/test_xg_units.ml: Access Addr Alcotest Array Data List Memory_model Option Perm Xguard_harness Xguard_sim Xguard_xg

@@ -1,0 +1,238 @@
+(* Unit tests for the shared accelerator L2 (two-level hierarchy, Figure 2d):
+   interface composability, internal transfers, inclusivity, and the internal
+   Put/Invalidate race, all against Toy_home as the trusted home side. *)
+
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Xg_iface = Xguard_xg.Xg_iface
+module Toy_home = Xguard_xg.Toy_home
+module L1 = Xguard_accel.L1_simple
+module L2 = Xguard_accel.L2_shared
+module Lower_port = Xguard_accel.Lower_port
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type system = {
+  engine : Engine.t;
+  l1s : L1.t array;
+  l2 : L2.t;
+  home : Toy_home.t;
+  memory : Memory_model.t;
+  external_link : Xg_iface.Link.t;
+}
+
+let make ?(cores = 2) ?(l2_sets = 4) ?(l2_ways = 2) ?(l1_sets = 1) ?(l1_ways = 2) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:5 in
+  let reg = Node.Registry.create () in
+  let external_link =
+    Xg_iface.Link.create ~engine ~rng:(Rng.split rng) ~name:"ext"
+      ~ordering:(Xguard_network.Network.Ordered { latency = 4 }) ()
+  in
+  let internal =
+    Xg_iface.Link.create ~engine ~rng:(Rng.split rng) ~name:"int"
+      ~ordering:(Xguard_network.Network.Ordered { latency = 2 }) ()
+  in
+  let l2_node = Node.Registry.fresh reg "l2" in
+  let l2_ext = Node.Registry.fresh reg "l2_ext" in
+  let home_node = Node.Registry.fresh reg "home" in
+  let lower = Lower_port.on_link external_link ~self:l2_ext ~peer:home_node in
+  let l2 =
+    L2.create ~engine ~name:"accel.l2" ~internal ~node:l2_node ~lower ~sets:l2_sets
+      ~ways:l2_ways ()
+  in
+  Xg_iface.Link.register external_link l2_ext (fun ~src:_ msg -> L2.deliver_from_below l2 msg);
+  let memory = Memory_model.create () in
+  let home =
+    Toy_home.create ~engine ~link:external_link ~self:home_node ~accel:l2_ext ~memory
+      ~grant_style:Toy_home.Exclusive_when_clean ()
+  in
+  let l1s =
+    Array.init cores (fun i ->
+        let node = Node.Registry.fresh reg (Printf.sprintf "l1_%d" i) in
+        let lower = Lower_port.on_link internal ~self:node ~peer:l2_node in
+        let l1 =
+          L1.create ~engine ~name:(Printf.sprintf "l1_%d" i) ~flavor:L1.Mesi ~sets:l1_sets
+            ~ways:l1_ways ~lower ()
+        in
+        Xg_iface.Link.register internal node (fun ~src:_ msg -> L1.deliver l1 msg);
+        l1)
+  in
+  { engine; l1s; l2; home; memory; external_link }
+
+let run sys = ignore (Engine.run sys.engine)
+
+let do_op sys core access =
+  let got = ref None in
+  let port = L1.cpu_port sys.l1s.(core) in
+  let rec attempt tries =
+    if tries > 200 then Alcotest.fail "access never accepted";
+    if not (port.Access.issue access ~on_done:(fun v -> got := Some v)) then begin
+      run sys;
+      attempt (tries + 1)
+    end
+  in
+  attempt 0;
+  run sys;
+  Option.get !got
+
+let a0 = Addr.block 0
+
+let test_exclusive_passthrough () =
+  let sys = make () in
+  ignore (do_op sys 0 (Access.load a0));
+  (* Home granted E; the L2 passes the full privilege to the sole L1. *)
+  check_bool "L2 holds E" true (L2.probe sys.l2 a0 = `E);
+  check_bool "L1 holds E" true (L1.probe sys.l1s.(0) a0 = `E);
+  check_bool "upward owner" true (L2.upward_holders sys.l2 a0 = `Owner)
+
+let test_internal_transfer_no_host_traffic () =
+  let sys = make () in
+  ignore (do_op sys 0 (Access.store a0 (Data.token 42)));
+  let before = Xg_iface.Link.messages_sent sys.external_link in
+  check_int "second core reads through the L2" 42 (do_op sys 1 (Access.load a0));
+  check_int "no external traffic for the transfer" before
+    (Xg_iface.Link.messages_sent sys.external_link);
+  check_bool "now shared upward" true (L2.upward_holders sys.l2 a0 = `Sharers 1);
+  check_int "transfer counted" 1
+    (Xguard_stats.Counter.Group.get (L2.stats sys.l2) "internal_transfer")
+
+let test_internal_upgrade_invalidates_sibling () =
+  let sys = make () in
+  ignore (do_op sys 0 (Access.store a0 (Data.token 1)));
+  ignore (do_op sys 1 (Access.load a0));
+  (* Core 1 upgrades: core 0's copy must be invalidated internally. *)
+  ignore (do_op sys 1 (Access.store a0 (Data.token 2)));
+  check_bool "sibling invalidated" true (L1.probe sys.l1s.(0) a0 = `I);
+  check_int "new value visible to sibling" 2 (do_op sys 0 (Access.load a0))
+
+let test_home_recall_gathers_owner_data () =
+  let sys = make () in
+  ignore (do_op sys 0 (Access.store a0 (Data.token 77)));
+  (* The dirty data lives in the L1; a home recall must pull it through the
+     L2 (inclusive gather) and write it back. *)
+  let done_ = ref false in
+  Toy_home.recall sys.home a0 ~on_done:(fun () -> done_ := true);
+  run sys;
+  check_bool "recall completed" true !done_;
+  check_int "owner's dirty data reached memory" 77 (Memory_model.read sys.memory a0);
+  check_bool "whole hierarchy invalid" true
+    (L2.probe sys.l2 a0 = `I && L1.probe sys.l1s.(0) a0 = `I)
+
+let test_l2_eviction_recalls_l1s () =
+  (* L2 with a single set of 2 ways: a third block forces an L2 eviction,
+     which must gather the L1 copies first (inclusivity). *)
+  let sys = make ~l2_sets:1 ~l2_ways:2 ~l1_sets:4 ~l1_ways:4 () in
+  ignore (do_op sys 0 (Access.store (Addr.block 0) (Data.token 10)));
+  ignore (do_op sys 0 (Access.store (Addr.block 1) (Data.token 11)));
+  ignore (do_op sys 0 (Access.load (Addr.block 2)));
+  run sys;
+  (* One of the first two blocks was evicted through the home. *)
+  let evicted_0 = L2.probe sys.l2 (Addr.block 0) = `I in
+  let evicted_1 = L2.probe sys.l2 (Addr.block 1) = `I in
+  check_bool "one victim evicted" true (evicted_0 || evicted_1);
+  let victim = if evicted_0 then Addr.block 0 else Addr.block 1 in
+  check_bool "L1 copy gathered (inclusive)" true (L1.probe sys.l1s.(0) victim = `I);
+  check_int "victim's dirty data written home" (10 + Addr.to_int victim)
+    (Memory_model.read sys.memory victim)
+
+let test_sharers_gathered_on_eviction () =
+  let sys = make ~l2_sets:1 ~l2_ways:2 ~l1_sets:4 ~l1_ways:4 () in
+  ignore (do_op sys 0 (Access.load (Addr.block 0)));
+  ignore (do_op sys 1 (Access.load (Addr.block 0)));
+  ignore (do_op sys 0 (Access.load (Addr.block 1)));
+  (* Force eviction of block 0 (LRU), which both L1s share. *)
+  ignore (do_op sys 0 (Access.load (Addr.block 2)));
+  run sys;
+  check_bool "both sharers invalidated" true
+    (L1.probe sys.l1s.(0) (Addr.block 0) = `I && L1.probe sys.l1s.(1) (Addr.block 0) = `I)
+
+let test_put_inv_race_internal () =
+  (* An L1 evicts (PutM) exactly while the L2 is gathering that block: the
+     L2 must absorb the racing writeback's data. *)
+  let sys = make ~l1_sets:1 ~l1_ways:1 () in
+  ignore (do_op sys 0 (Access.store a0 (Data.token 5)));
+  (* Trigger the L1 eviction (a conflicting access rejects while the PutM
+     flies) and immediately have the home recall the block. *)
+  let port = L1.cpu_port sys.l1s.(0) in
+  check_bool "rejected while evicting" false
+    (port.Access.issue (Access.load (Addr.block 1)) ~on_done:(fun _ -> ()));
+  let done_ = ref false in
+  Toy_home.recall sys.home a0 ~on_done:(fun () -> done_ := true);
+  run sys;
+  check_bool "recall completed" true !done_;
+  check_int "racing writeback's data survived" 5 (Memory_model.read sys.memory a0)
+
+let test_random_multicore_coherence () =
+  (* Per-location sequential consistency across 4 cores through the
+     hierarchy, checked like the main random tester. *)
+  let sys = make ~cores:4 ~l2_sets:2 ~l2_ways:2 () in
+  let rng = Rng.create ~seed:21 in
+  let committed = Hashtbl.create 8 in
+  let pending : (Addr.t, Data.t) Hashtbl.t = Hashtbl.create 8 in
+  let history : (Addr.t, Data.t list) Hashtbl.t = Hashtbl.create 8 in
+  let errors = ref 0 in
+  let seqs =
+    Array.map
+      (fun l1 ->
+        Sequencer.create ~engine:sys.engine ~name:(L1.name l1) ~port:(L1.cpu_port l1)
+          ~max_outstanding:2 ())
+      sys.l1s
+  in
+  let addresses = Array.init 5 Addr.block in
+  let token = ref 50_000 in
+  for _ = 1 to 600 do
+    let core = Rng.int rng 4 in
+    let addr = Rng.pick rng addresses in
+    Engine.schedule sys.engine ~delay:(Rng.int rng 10) (fun () ->
+        if (not (Hashtbl.mem pending addr)) && Rng.bool rng then begin
+          incr token;
+          let v = Data.token !token in
+          Hashtbl.replace pending addr v;
+          Sequencer.request seqs.(core) (Access.store addr v) ~on_complete:(fun _ ~latency:_ ->
+              Hashtbl.remove pending addr;
+              Hashtbl.replace committed addr v;
+              let h = try Hashtbl.find history addr with Not_found -> [] in
+              Hashtbl.replace history addr (v :: h))
+        end
+        else begin
+          let visible_at_issue =
+            (try Hashtbl.find history addr with Not_found -> [])
+            |> fun h -> List.length h
+          in
+          Sequencer.request seqs.(core) (Access.load addr) ~on_complete:(fun v ~latency:_ ->
+              let h = try Hashtbl.find history addr with Not_found -> [] in
+              let new_commits = List.length h - visible_at_issue in
+              let acceptable =
+                (match Hashtbl.find_opt pending addr with
+                | Some p -> Data.equal v p
+                | None -> false)
+                || List.exists (Data.equal v) (List.filteri (fun i _ -> i <= new_commits) h)
+                || (h = [] && Data.equal v (Data.initial addr))
+                || (List.length h = visible_at_issue && new_commits = 0 && h <> []
+                   && Data.equal v (List.hd h))
+              in
+              if not acceptable then incr errors)
+        end)
+  done;
+  run sys;
+  check_int "no stale reads through the hierarchy" 0 !errors
+
+let tests =
+  [
+    ( "accel.l2",
+      [
+        Alcotest.test_case "exclusive passthrough" `Quick test_exclusive_passthrough;
+        Alcotest.test_case "internal transfer, no host traffic" `Quick
+          test_internal_transfer_no_host_traffic;
+        Alcotest.test_case "internal upgrade invalidates sibling" `Quick
+          test_internal_upgrade_invalidates_sibling;
+        Alcotest.test_case "home recall gathers owner" `Quick test_home_recall_gathers_owner_data;
+        Alcotest.test_case "L2 eviction recalls L1s" `Quick test_l2_eviction_recalls_l1s;
+        Alcotest.test_case "sharers gathered on eviction" `Quick
+          test_sharers_gathered_on_eviction;
+        Alcotest.test_case "internal Put/Inv race" `Quick test_put_inv_race_internal;
+        Alcotest.test_case "random multicore coherence" `Quick test_random_multicore_coherence;
+      ] );
+  ]

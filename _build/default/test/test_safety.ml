@@ -1,0 +1,158 @@
+(* Safety tests: the guarantee list of Figure 1 enforced scenario by scenario
+   (F1), and fuzzing with a pathological accelerator (E2 / §4): never a crash,
+   never a deadlock, CPU data always coherent. *)
+
+module Engine = Xguard_sim.Engine
+module Xg = Xguard_xg
+module Config = Xguard_harness.Config
+module Fault = Xguard_harness.Fault_scenarios
+module Fuzz = Xguard_harness.Fuzz_tester
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let xg_configs = List.filter Config.uses_xg (Config.all_configurations ())
+
+(* Which scenarios each XG mode is expected to *detect*.  Transactional mode
+   cannot check stable-state consistency (G1a) or response-type consistency
+   (G2a) — the paper's §2.3.2 relies on the host tolerating those instead. *)
+let detectable cfg scenario =
+  let full_state =
+    match cfg.Config.org with
+    | Config.Xg_one_level Config.Full_state | Config.Xg_two_level Config.Full_state -> true
+    | _ -> false
+  in
+  match scenario with
+  | Fault.Put_without_block | Fault.Wrong_response_type -> full_state
+  | Fault.Read_no_access | Fault.Write_read_only | Fault.Double_get
+  | Fault.Unsolicited_response | Fault.Silent_on_invalidate ->
+      true
+
+let test_guarantees_per_config () =
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun scenario ->
+          let outcome =
+            try Fault.run cfg scenario
+            with e ->
+              Alcotest.failf "%s / %s raised %s" (Config.name cfg)
+                (Fault.scenario_name scenario) (Printexc.to_string e)
+          in
+          let label = Config.name cfg ^ " / " ^ Fault.scenario_name scenario in
+          check_bool (label ^ ": host stays live") true outcome.Fault.host_live;
+          if detectable cfg scenario then
+            check_bool (label ^ ": violation detected") true outcome.Fault.detected)
+        Fault.all_scenarios)
+    xg_configs
+
+let test_wrong_response_corrected_full_state () =
+  (* Full-State: the InvAck-from-owner is corrected to a zero writeback and
+     reported (paper §2.2, Guarantee 2a example). *)
+  List.iter
+    (fun host ->
+      let cfg = Config.make host (Config.Xg_one_level Config.Full_state) in
+      let outcome = Fault.run cfg Fault.Wrong_response_type in
+      check_bool "detected" true outcome.Fault.detected;
+      check_bool "host live" true outcome.Fault.host_live)
+    [ Config.Hammer; Config.Mesi ]
+
+let test_timeout_answers_for_accel () =
+  List.iter
+    (fun cfg ->
+      let outcome = Fault.run cfg Fault.Silent_on_invalidate in
+      let label = Config.name cfg in
+      check_bool (label ^ ": timeout detected") true outcome.Fault.detected;
+      check_bool (label ^ ": host survived the silence") true outcome.Fault.host_live)
+    xg_configs
+
+let fuzz_one ?(pool = Fuzz.Shared_rw) cfg =
+  let outcome = Fuzz.run cfg ~pool () in
+  let label = Config.name cfg in
+  (match outcome.Fuzz.crashed with
+  | Some e -> Alcotest.failf "%s: fuzz crashed the host: %s" label e
+  | None -> ());
+  check_bool (label ^ ": no deadlock under fuzzing") false outcome.Fuzz.deadlocked;
+  check_int (label ^ ": all CPU ops complete") outcome.Fuzz.cpu_ops_expected
+    outcome.Fuzz.cpu_ops_completed;
+  (* Data on blocks the fuzzer cannot legitimately write must stay exact;
+     on a shared writable pool the fuzzer owns blocks legally and garbage is
+     expected (Guarantee 2 does not cover it). *)
+  (match pool with
+  | Fuzz.Disjoint | Fuzz.Shared_ro ->
+      check_int (label ^ ": CPU data intact") 0 outcome.Fuzz.cpu_data_errors
+  | Fuzz.Shared_rw -> ());
+  check_bool (label ^ ": the chaos was real") true (outcome.Fuzz.chaos_messages > 1000);
+  check_bool (label ^ ": violations were reported to the OS") true (outcome.Fuzz.violations > 0)
+
+let test_fuzz_all_xg_configs () = List.iter fuzz_one xg_configs
+
+let test_fuzz_disjoint_pool_data_intact () =
+  List.iter (fuzz_one ~pool:Fuzz.Disjoint) xg_configs
+
+let test_fuzz_read_only_pool_data_intact () =
+  (* Guarantee 0b at work: a read-only accelerator cannot corrupt CPU data
+     even while misbehaving on the very same blocks. *)
+  List.iter (fuzz_one ~pool:Fuzz.Shared_ro) xg_configs
+
+let test_fuzz_never_responding_accel () =
+  (* The cruellest accelerator: absorbs every Invalidate silently. *)
+  List.iter
+    (fun host ->
+      List.iter
+        (fun variant ->
+          let cfg = Config.make host (Config.Xg_one_level variant) in
+          let cfg = { cfg with Config.xg_timeout = 500 } in
+          let outcome = Fuzz.run cfg ~pool:Fuzz.Disjoint ~respond_probability:0.0 () in
+          let label = Config.name cfg ^ " (mute)" in
+          (match outcome.Fuzz.crashed with
+          | Some e -> Alcotest.failf "%s crashed: %s" label e
+          | None -> ());
+          check_bool (label ^ ": no deadlock") false outcome.Fuzz.deadlocked;
+          check_bool (label ^ ": timeouts fired") true
+            (List.mem_assoc Xg.Os_model.Response_timeout outcome.Fuzz.violations_by_kind
+            || outcome.Fuzz.invalidations_ignored = 0))
+        [ Config.Full_state; Config.Transactional ])
+    [ Config.Hammer; Config.Mesi ]
+
+let prop_fuzz_random_seeds =
+  QCheck2.Test.make ~name:"fuzzing never crashes or deadlocks the host" ~count:10
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 0 7))
+    (fun (seed, idx) ->
+      let cfg = List.nth xg_configs idx in
+      let cfg = { cfg with Config.seed } in
+      let outcome = Fuzz.run cfg ~pool:Fuzz.Disjoint ~cpu_ops:150 () in
+      outcome.Fuzz.crashed = None
+      && (not outcome.Fuzz.deadlocked)
+      && outcome.Fuzz.cpu_data_errors = 0)
+
+let test_os_policy_disable () =
+  (* Disable-accelerator policy: after the first violation the guard drops
+     accelerator requests but keeps the host alive. *)
+  let cfg = Config.make Config.Hammer (Config.Xg_one_level Config.Full_state) in
+  let cfg = { cfg with Config.os_policy = Xg.Os_model.Disable_accelerator } in
+  let outcome = Fault.run cfg Fault.Put_without_block in
+  check_bool "detected" true outcome.Fault.detected;
+  check_bool "host live after disable" true outcome.Fault.host_live
+
+let tests =
+  [
+    ( "safety.guarantees",
+      [
+        Alcotest.test_case "all guarantees, all XG configs" `Quick test_guarantees_per_config;
+        Alcotest.test_case "G2a corrected (full-state)" `Quick
+          test_wrong_response_corrected_full_state;
+        Alcotest.test_case "G2c timeout recovery" `Quick test_timeout_answers_for_accel;
+        Alcotest.test_case "disable-accelerator policy" `Quick test_os_policy_disable;
+      ] );
+    ( "safety.fuzz",
+      [
+        Alcotest.test_case "fuzz all 8 XG configs" `Quick test_fuzz_all_xg_configs;
+        Alcotest.test_case "disjoint pool: data intact" `Quick
+          test_fuzz_disjoint_pool_data_intact;
+        Alcotest.test_case "read-only pool: data intact (G0b)" `Quick
+          test_fuzz_read_only_pool_data_intact;
+        Alcotest.test_case "mute accelerator" `Quick test_fuzz_never_responding_accel;
+        QCheck_alcotest.to_alcotest prop_fuzz_random_seeds;
+      ] );
+  ]

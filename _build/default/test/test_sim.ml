@@ -1,0 +1,171 @@
+(* Tests for the simulation kernel: event ordering, run bounds, RNG. *)
+
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_fifo_same_cycle () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:5 (fun () -> log := 2 :: !log);
+  Engine.schedule e ~delay:5 (fun () -> log := 3 :: !log);
+  (match Engine.run e with Engine.Drained -> () | _ -> Alcotest.fail "expected drain");
+  Alcotest.(check (list int)) "FIFO within a cycle" [ 1; 2; 3 ] (List.rev !log)
+
+let test_time_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:10 (fun () -> log := (10, Engine.now e) :: !log);
+  Engine.schedule e ~delay:1 (fun () -> log := (1, Engine.now e) :: !log);
+  Engine.schedule e ~delay:7 (fun () -> log := (7, Engine.now e) :: !log);
+  ignore (Engine.run e);
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list int)) "time order" [ 1; 7; 10 ] order;
+  check_int "final time" 10 (Engine.now e)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let rec chain n = if n > 0 then Engine.schedule e ~delay:2 (fun () -> incr hits; chain (n - 1))
+  in
+  chain 100;
+  ignore (Engine.run e);
+  check_int "all chained events fired" 100 !hits;
+  check_int "time advanced by 2 per link" 200 (Engine.now e)
+
+let test_zero_delay_fires_after_queued () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:0 (fun () ->
+      log := "first" :: !log;
+      Engine.schedule e ~delay:0 (fun () -> log := "nested" :: !log));
+  Engine.schedule e ~delay:0 (fun () -> log := "second" :: !log);
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "zero-delay ordering" [ "first"; "second"; "nested" ]
+    (List.rev !log)
+
+let test_until_bound () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter (fun d -> Engine.schedule e ~delay:d (fun () -> fired := d :: !fired)) [ 1; 5; 9 ];
+  (match Engine.run ~until:5 e with
+  | Engine.Hit_time_limit -> ()
+  | _ -> Alcotest.fail "expected time limit");
+  Alcotest.(check (list int)) "events up to the bound" [ 1; 5 ] (List.rev !fired);
+  check_int "clock advanced to bound" 5 (Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "resume finishes the rest" [ 1; 5; 9 ] (List.rev !fired)
+
+let test_max_events () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1 (fun () -> incr n)
+  done;
+  (match Engine.run ~max_events:4 e with
+  | Engine.Hit_event_limit -> ()
+  | _ -> Alcotest.fail "expected event limit");
+  check_int "exactly four fired" 4 !n;
+  check_int "pending updated" 6 (Engine.pending e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1 (fun () ->
+        incr n;
+        if !n = 3 then Engine.stop e)
+  done;
+  (match Engine.run e with Engine.Stopped -> () | _ -> Alcotest.fail "expected stop");
+  check_int "stopped after three" 3 !n
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10 (fun () ->
+      Alcotest.check_raises "past time" (Invalid_argument
+        "Engine.schedule_at: time 3 is in the past (now=10)")
+        (fun () -> Engine.schedule_at e 3 ignore));
+  ignore (Engine.run e)
+
+let test_every () =
+  let e = Engine.create () in
+  let ticks = ref [] in
+  Engine.every e ~period:10 ~phase:5 (fun () ->
+      ticks := Engine.now e :: !ticks;
+      List.length !ticks < 4);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "periodic ticks" [ 5; 15; 25; 35 ] (List.rev !ticks)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create ~seed:43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17);
+    let w = Rng.int_in r ~lo:5 ~hi:9 in
+    check_bool "in [5,9]" true (w >= 5 && w <= 9)
+  done;
+  (* Every value in a small range should eventually appear. *)
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int r 5) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:1 in
+  let child = Rng.split parent in
+  let xs = List.init 50 (fun _ -> Rng.int parent 1_000_000) in
+  let ys = List.init 50 (fun _ -> Rng.int child 1_000_000) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let test_rng_shuffle_is_permutation () =
+  let r = Rng.create ~seed:3 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_chance_extremes () =
+  let r = Rng.create ~seed:11 in
+  check_bool "p=0 never" false (Rng.chance r 0.0);
+  check_bool "p=1 always" true (Rng.chance r 1.0)
+
+let tests =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "same-cycle FIFO" `Quick test_fifo_same_cycle;
+        Alcotest.test_case "time ordering" `Quick test_time_ordering;
+        Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+        Alcotest.test_case "zero-delay ordering" `Quick test_zero_delay_fires_after_queued;
+        Alcotest.test_case "until bound + resume" `Quick test_until_bound;
+        Alcotest.test_case "max_events bound" `Quick test_max_events;
+        Alcotest.test_case "stop" `Quick test_stop;
+        Alcotest.test_case "past scheduling rejected" `Quick test_past_scheduling_rejected;
+        Alcotest.test_case "every" `Quick test_every;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_is_permutation;
+        Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+      ] );
+  ]

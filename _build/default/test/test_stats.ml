@@ -1,0 +1,122 @@
+(* Tests for counters, histograms and result tables. *)
+
+module Counter = Xguard_stats.Counter
+module Histogram = Xguard_stats.Histogram
+module Table = Xguard_stats.Table
+
+let check_int = Alcotest.(check int)
+
+let test_counter_basics () =
+  let c = Counter.create "msgs" in
+  check_int "starts at zero" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.add c 5;
+  check_int "incr + add" 6 (Counter.get c);
+  Counter.reset c;
+  check_int "reset" 0 (Counter.get c)
+
+let test_group_find_or_create () =
+  let g = Counter.Group.create "cache" in
+  Counter.Group.incr g "hits";
+  Counter.Group.incr g "hits";
+  Counter.Group.add g "misses" 3;
+  check_int "hits" 2 (Counter.Group.get g "hits");
+  check_int "misses" 3 (Counter.Group.get g "misses");
+  check_int "untouched counter reads zero" 0 (Counter.Group.get g "evictions");
+  Alcotest.(check (list (pair string int)))
+    "creation order" [ ("hits", 2); ("misses", 3) ]
+    (Counter.Group.to_list g)
+
+let test_group_reset_all () =
+  let g = Counter.Group.create "g" in
+  Counter.Group.add g "a" 10;
+  Counter.Group.add g "b" 20;
+  Counter.Group.reset_all g;
+  check_int "a reset" 0 (Counter.Group.get g "a");
+  check_int "b reset" 0 (Counter.Group.get g "b")
+
+let test_histogram_exact_stats () =
+  let h = Histogram.create "lat" in
+  List.iter (Histogram.observe h) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  check_int "count" 8 (Histogram.count h);
+  check_int "sum" 31 (Histogram.sum h);
+  check_int "min" 1 (Histogram.min_value h);
+  check_int "max" 9 (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 3.875 (Histogram.mean h)
+
+let test_histogram_percentile_monotone () =
+  let h = Histogram.create "p" in
+  for i = 0 to 1000 do
+    Histogram.observe h i
+  done;
+  let p50 = Histogram.percentile h 0.5 in
+  let p90 = Histogram.percentile h 0.9 in
+  let p100 = Histogram.percentile h 1.0 in
+  Alcotest.(check bool) "p50 <= p90" true (p50 <= p90);
+  Alcotest.(check bool) "p90 <= p100" true (p90 <= p100);
+  check_int "p100 is max" 1000 p100;
+  (* Bucketed estimate: p50 of 0..1000 must land within its power-of-two
+     bucket, i.e. in [500, 1023]. *)
+  Alcotest.(check bool) "p50 upper bound is sane" true (p50 >= 500 && p50 <= 1023)
+
+let test_histogram_empty_errors () =
+  let h = Histogram.create "e" in
+  Alcotest.(check bool) "count 0" true (Histogram.count h = 0);
+  (try
+     ignore (Histogram.min_value h);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Histogram.percentile h 0.5);
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+let test_histogram_buckets_cover_all () =
+  let h = Histogram.create "b" in
+  List.iter (Histogram.observe h) [ 0; 1; 2; 3; 100; 100_000 ];
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 (Histogram.buckets h) in
+  check_int "bucket counts sum to n" 6 total
+
+let test_table_rendering () =
+  let t = Table.create ~title:"Demo" ~columns:[ "config"; "cycles"; "ratio" ] in
+  Table.add_row t [ "baseline"; "1000"; Table.cell_ratio 1.0 ];
+  Table.add_separator t;
+  Table.add_row t [ "xg"; "1100"; Table.cell_ratio 1.1 ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "title present" true (String.length s > 0 && String.sub s 0 4 = "Demo");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "row present" true (contains "baseline" s);
+  Alcotest.(check bool) "ratio cell" true (contains "1.10x" s)
+
+let test_table_arity_checked () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "b" ] in
+  try
+    Table.add_row t [ "only-one" ];
+    Alcotest.fail "expected arity failure"
+  with Invalid_argument _ -> ()
+
+let test_cells () =
+  Alcotest.(check string) "pct" "3.1%" (Table.cell_pct 0.031);
+  Alcotest.(check string) "float" "2.50" (Table.cell_float 2.5);
+  Alcotest.(check string) "int" "42" (Table.cell_int 42)
+
+let tests =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "counter basics" `Quick test_counter_basics;
+        Alcotest.test_case "group find-or-create" `Quick test_group_find_or_create;
+        Alcotest.test_case "group reset" `Quick test_group_reset_all;
+        Alcotest.test_case "histogram exact stats" `Quick test_histogram_exact_stats;
+        Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentile_monotone;
+        Alcotest.test_case "histogram empty errors" `Quick test_histogram_empty_errors;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets_cover_all;
+        Alcotest.test_case "table rendering" `Quick test_table_rendering;
+        Alcotest.test_case "table arity" `Quick test_table_arity_checked;
+        Alcotest.test_case "cell formatting" `Quick test_cells;
+      ] );
+  ]

@@ -1,0 +1,320 @@
+(* Directed unit tests for the Crossing Guard engine itself, driven over a
+   scripted link with a fake host port — no host protocol underneath, so each
+   guarantee path and mode difference is observable in isolation. *)
+
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Group = Xguard_stats.Counter.Group
+module Xg = Xguard_xg
+module Xg_iface = Xguard_xg.Xg_iface
+module Core = Xguard_xg.Xg_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+type host_op =
+  | H_get of Addr.t * [ `S | `S_only | `M ]
+  | H_put of Addr.t * [ `S | `E of Data.t | `M of Data.t ]
+
+type rig = {
+  engine : Engine.t;
+  core : Core.t;
+  os : Xg.Os_model.t;
+  perms : Xg.Perm_table.t;
+  host_ops : host_op list ref;  (* newest first *)
+  to_accel : Xg_iface.msg list ref;  (* newest first *)
+  send : Xg_iface.msg -> unit;  (* as the accelerator *)
+}
+
+let make ?(mode = Core.Full_state) ?(timeout = 200) ?(puts_needed = false)
+    ?(has_get_s_only = true) () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:1 in
+  let reg = Node.Registry.create () in
+  let xg_node = Node.Registry.fresh reg "xg" in
+  let accel_node = Node.Registry.fresh reg "accel" in
+  let link =
+    Xg_iface.Link.create ~engine ~rng ~name:"l"
+      ~ordering:(Xguard_network.Network.Ordered { latency = 1 })
+      ()
+  in
+  let host_ops = ref [] in
+  let host =
+    {
+      Core.get = (fun addr kind -> host_ops := H_get (addr, kind) :: !host_ops);
+      Core.put = (fun addr kind -> host_ops := H_put (addr, kind) :: !host_ops);
+      Core.puts_needed;
+      Core.has_get_s_only;
+    }
+  in
+  let perms = Xg.Perm_table.create () in
+  let os = Xg.Os_model.create () in
+  let core =
+    Core.create ~engine ~name:"core" ~mode ~link ~self:xg_node ~accel:accel_node ~host ~perms
+      ~os ~timeout ~processing_latency:1 ()
+  in
+  let to_accel = ref [] in
+  Xg_iface.Link.register link accel_node (fun ~src:_ msg -> to_accel := msg :: !to_accel);
+  let send msg =
+    Xg_iface.Link.send link ~src:accel_node ~dst:xg_node ~size:(Xg_iface.msg_size msg) msg
+  in
+  { engine; core; os; perms; host_ops; to_accel; send }
+
+let run r = ignore (Engine.run r.engine)
+
+(* Advance a bounded number of cycles — used when a test must interleave a
+   scripted response before the guard's G2c timeout would fire. *)
+let step r n = ignore (Engine.run ~until:(Engine.now r.engine + n) r.engine)
+
+let a = Addr.block 3
+
+let get r req = r.send (Xg_iface.To_xg_req { addr = a; req })
+let respond r resp = r.send (Xg_iface.To_xg_resp { addr = a; resp })
+
+let last_host r = match !(r.host_ops) with op :: _ -> Some op | [] -> None
+
+let last_grant r =
+  List.find_map
+    (function Xg_iface.To_accel_resp { resp; _ } -> Some resp | _ -> None)
+    !(r.to_accel)
+
+(* --- request translation and state tracking --- *)
+
+let test_get_s_forwarded_and_tracked () =
+  let r = make () in
+  get r Xg_iface.Get_s;
+  run r;
+  check_bool "host saw GetS" true (last_host r = Some (H_get (a, `S)));
+  Core.granted r.core a (`E (Data.token 5));
+  run r;
+  check_bool "DataE delivered" true (last_grant r = Some (Xg_iface.Data_e (Data.token 5)));
+  check_bool "tracked E" true (Core.accel_state r.core a = `E);
+  check_int "no violations" 0 (Xg.Os_model.error_count r.os)
+
+let test_ro_page_uses_get_s_only () =
+  let r = make () in
+  Xg.Perm_table.set_block r.perms a Perm.Read_only;
+  get r Xg_iface.Get_s;
+  run r;
+  check_bool "host saw the non-upgradable read" true (last_host r = Some (H_get (a, `S_only)))
+
+let test_ro_demotion_without_get_s_only () =
+  (* Unmodified host (§2.3.1): an exclusive grant on a read-only page is
+     demoted to DataS and the guard keeps the trusted copy. *)
+  let r = make ~has_get_s_only:false () in
+  Xg.Perm_table.set_block r.perms a Perm.Read_only;
+  get r Xg_iface.Get_s;
+  run r;
+  check_bool "plain GetS used" true (last_host r = Some (H_get (a, `S)));
+  Core.granted r.core a (`E (Data.token 9));
+  run r;
+  check_bool "demoted to DataS" true (last_grant r = Some (Xg_iface.Data_s (Data.token 9)));
+  check_bool "accel tracked as S" true (Core.accel_state r.core a = `S);
+  (* A later host read is served from the guard's own copy, no round-trip. *)
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_s ~reply:(fun x -> got := Some x);
+  run r;
+  check_bool "served from trusted copy" true (!got = Some (Core.Reply_clean (Data.token 9)))
+
+let test_put_acked_immediately_then_settled () =
+  let r = make ~puts_needed:true () in
+  get r Xg_iface.Get_m;
+  run r;
+  Core.granted r.core a (`M (Data.token 1));
+  run r;
+  get r (Xg_iface.Put_m (Data.token 2));
+  run r;
+  check_bool "accel acked before host settles" true (last_grant r = Some Xg_iface.Wb_ack);
+  check_bool "host saw PutM" true (last_host r = Some (H_put (a, `M (Data.token 2))));
+  check_bool "track cleared" true (Core.accel_state r.core a = `I);
+  Core.put_complete r.core a;
+  check_int "clean run" 0 (Xg.Os_model.error_count r.os)
+
+let test_put_s_suppression_register () =
+  let r0 = make ~puts_needed:false () in
+  (* Reach S: grant S on a GetS. *)
+  get r0 Xg_iface.Get_s;
+  run r0;
+  Core.granted r0.core a (`S (Data.token 1));
+  run r0;
+  let before = List.length !(r0.host_ops) in
+  get r0 Xg_iface.Put_s;
+  run r0;
+  (* Register off (default): the unnecessary PutS is still sent to the host. *)
+  check_int "unnecessary PutS forwarded" (before + 1) (List.length !(r0.host_ops))
+
+let test_get_stalls_behind_put () =
+  let r = make ~puts_needed:true () in
+  get r Xg_iface.Get_m;
+  run r;
+  Core.granted r.core a (`M (Data.token 1));
+  run r;
+  get r (Xg_iface.Put_m (Data.token 2));
+  run r;
+  let ops_before = List.length !(r.host_ops) in
+  get r Xg_iface.Get_s;
+  run r;
+  check_int "get held until the writeback settles" ops_before (List.length !(r.host_ops));
+  Core.put_complete r.core a;
+  run r;
+  check_bool "then forwarded" true (last_host r = Some (H_get (a, `S)));
+  check_int "no false violations" 0 (Xg.Os_model.error_count r.os)
+
+(* --- host-initiated requests --- *)
+
+let owner_setup ?mode () =
+  let r = make ?mode () in
+  get r Xg_iface.Get_m;
+  run r;
+  Core.granted r.core a (`M (Data.token 7));
+  run r;
+  r
+
+let test_owner_invalidation_roundtrip () =
+  let r = owner_setup () in
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  step r 10;
+  check_bool "Invalidate sent to accel" true
+    (List.exists
+       (function Xg_iface.To_accel_req _ -> true | _ -> false)
+       !(r.to_accel));
+  respond r (Xg_iface.Dirty_wb (Data.token 8));
+  run r;
+  check_bool "dirty data forwarded" true (!got = Some (Core.Reply_dirty (Data.token 8)));
+  check_bool "track cleared" true (Core.accel_state r.core a = `I)
+
+let test_fast_path_for_untracked_block () =
+  let r = make () in
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  check_bool "answered immediately, no accel traffic" true
+    (!got = Some (Core.Reply_ack { shared = false }) && !(r.to_accel) = [])
+
+let test_shared_fast_path_on_read_forward () =
+  let r = make () in
+  get r Xg_iface.Get_s;
+  run r;
+  Core.granted r.core a (`S (Data.token 3));
+  run r;
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_s ~reply:(fun x -> got := Some x);
+  check_bool "S + FwdS answered locally, accel keeps its copy" true
+    (!got = Some (Core.Reply_ack { shared = true }));
+  check_bool "still tracked S" true (Core.accel_state r.core a = `S)
+
+let test_g2a_correction_invack_from_owner () =
+  let r = owner_setup () in
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  step r 10;
+  respond r Xg_iface.Inv_ack;
+  run r;
+  check_bool "corrected to a zeroed dirty writeback" true
+    (!got = Some (Core.Reply_dirty Data.zero));
+  check_int "G2a reported" 1 (Xg.Os_model.count_of r.os Xg.Os_model.Bad_response_type)
+
+let test_g2c_timeout_then_late_response_absorbed () =
+  let r = owner_setup () in
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  (* Never respond; the timeout answers for the accelerator. *)
+  run r;
+  check_bool "timeout answered with zero block" true (!got = Some (Core.Reply_dirty Data.zero));
+  check_int "G2c reported" 1 (Xg.Os_model.count_of r.os Xg.Os_model.Response_timeout);
+  (* A very late response must be swallowed, not treated as unsolicited. *)
+  respond r (Xg_iface.Dirty_wb (Data.token 9));
+  run r;
+  check_int "late response absorbed silently" 0
+    (Xg.Os_model.count_of r.os Xg.Os_model.Unsolicited_response)
+
+let test_put_invalidate_race_uses_put_data () =
+  let r = owner_setup () in
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  (* The Put crosses the Invalidate; then the Table-1 InvAck follows. *)
+  get r (Xg_iface.Put_m (Data.token 99));
+  respond r Xg_iface.Inv_ack;
+  run r;
+  check_bool "host got the writeback's data" true (!got = Some (Core.Reply_dirty (Data.token 99)));
+  check_bool "accel got its WbAck" true (last_grant r = Some Xg_iface.Wb_ack);
+  check_int "a clean race, not a violation" 0 (Xg.Os_model.error_count r.os);
+  check_int "race counted" 1 (Group.get (Core.stats r.core) "put_invalidate_race")
+
+(* --- transactional mode differences --- *)
+
+let test_transactional_no_access_filtering () =
+  let r = make ~mode:Core.Transactional () in
+  Xg.Perm_table.set_block r.perms a Perm.No_access;
+  let got = ref None in
+  Core.host_request r.core a ~need:Core.Fwd_m ~reply:(fun x -> got := Some x);
+  check_bool "answered locally (side-channel filter)" true
+    (!got = Some (Core.Reply_ack { shared = false }) && !(r.to_accel) = []);
+  check_int "filter counted" 1 (Group.get (Core.stats r.core) "side_channel_filtered")
+
+let test_transactional_forwards_bad_put () =
+  (* G1a is not checkable without stable state: the bogus Put reaches the
+     host, which must tolerate it (the paper's §2.3.2 contract). *)
+  let r = make ~mode:Core.Transactional ~puts_needed:true () in
+  get r (Xg_iface.Put_m (Data.token 1));
+  run r;
+  check_bool "forwarded" true (last_host r = Some (H_put (a, `M (Data.token 1))));
+  check_int "no detection either" 0 (Xg.Os_model.error_count r.os)
+
+let test_full_state_blocks_bad_put () =
+  let r = make () in
+  get r (Xg_iface.Put_m (Data.token 1));
+  run r;
+  check_bool "not forwarded" true (last_host r = None);
+  check_int "G1a reported" 1 (Xg.Os_model.count_of r.os Xg.Os_model.Bad_request_stable)
+
+let test_g1b_double_get_blocked_in_both_modes () =
+  List.iter
+    (fun mode ->
+      let r = make ~mode () in
+      get r Xg_iface.Get_s;
+      get r Xg_iface.Get_s;
+      run r;
+      check_int "exactly one forwarded" 1 (List.length !(r.host_ops));
+      check_int "G1b reported" 1 (Xg.Os_model.count_of r.os Xg.Os_model.Request_while_pending))
+    [ Core.Full_state; Core.Transactional ]
+
+let test_disabled_accelerator_dropped () =
+  let r = make () in
+  Xg.Os_model.report r.os Xg.Os_model.Perm_read_violation a;
+  (* Log_only policy never disables; build a disabling OS instead. *)
+  check_bool "log-only stays enabled" false (Xg.Os_model.accel_disabled r.os);
+  let r2 = make () in
+  get r2 Xg_iface.Get_s;
+  run r2;
+  check_int "normal request forwarded" 1 (List.length !(r2.host_ops))
+
+let tests =
+  [
+    ( "xg.core",
+      [
+        Alcotest.test_case "GetS forwarded + tracked" `Quick test_get_s_forwarded_and_tracked;
+        Alcotest.test_case "RO page uses GetS_only" `Quick test_ro_page_uses_get_s_only;
+        Alcotest.test_case "RO demotion (unmodified host)" `Quick
+          test_ro_demotion_without_get_s_only;
+        Alcotest.test_case "Put acked early, settled later" `Quick
+          test_put_acked_immediately_then_settled;
+        Alcotest.test_case "unnecessary PutS forwarded" `Quick test_put_s_suppression_register;
+        Alcotest.test_case "Get stalls behind Put" `Quick test_get_stalls_behind_put;
+        Alcotest.test_case "owner invalidation round-trip" `Quick
+          test_owner_invalidation_roundtrip;
+        Alcotest.test_case "fast path: untracked" `Quick test_fast_path_for_untracked_block;
+        Alcotest.test_case "fast path: shared read" `Quick test_shared_fast_path_on_read_forward;
+        Alcotest.test_case "G2a correction" `Quick test_g2a_correction_invack_from_owner;
+        Alcotest.test_case "G2c timeout + absorb" `Quick
+          test_g2c_timeout_then_late_response_absorbed;
+        Alcotest.test_case "Put/Invalidate race" `Quick test_put_invalidate_race_uses_put_data;
+        Alcotest.test_case "transactional side-channel filter" `Quick
+          test_transactional_no_access_filtering;
+        Alcotest.test_case "transactional tolerates bad Put" `Quick
+          test_transactional_forwards_bad_put;
+        Alcotest.test_case "full-state blocks bad Put" `Quick test_full_state_blocks_bad_put;
+        Alcotest.test_case "G1b in both modes" `Quick test_g1b_double_get_blocked_in_both_modes;
+        Alcotest.test_case "OS policy plumbing" `Quick test_disabled_accelerator_dropped;
+      ] );
+  ]

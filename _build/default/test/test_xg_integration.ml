@@ -1,0 +1,230 @@
+(* End-to-end Crossing Guard tests: CPUs and a (correct) accelerator sharing
+   memory through every configuration of Figure 2, under both directed
+   scenarios and the random stress tester.  A correct accelerator must
+   produce zero guarantee violations. *)
+
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Xg = Xguard_xg
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Tester = Xguard_harness.Random_tester
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let a0 = Addr.block 0
+
+let run (sys : System.t) = ignore (Engine.run sys.System.engine)
+
+let do_op (port : Access.port) sys access =
+  let got = ref None in
+  let rec attempt tries =
+    if tries > 500 then Alcotest.fail "access never accepted";
+    if not (port.Access.issue access ~on_done:(fun v -> got := Some v)) then begin
+      (* Rejected: let the system settle, then retry. *)
+      run sys;
+      attempt (tries + 1)
+    end
+  in
+  attempt 0;
+  run sys;
+  match !got with Some v -> v | None -> Alcotest.fail "access never completed"
+
+let accel_load sys addr = do_op sys.System.accel_ports.(0) sys (Access.load addr)
+let accel_store sys addr v = ignore (do_op sys.System.accel_ports.(0) sys (Access.store addr (Data.token v)))
+let cpu_load sys cpu addr = do_op sys.System.cpu_ports.(cpu) sys (Access.load addr)
+let cpu_store sys cpu addr v = ignore (do_op sys.System.cpu_ports.(cpu) sys (Access.store addr (Data.token v)))
+
+let no_errors (sys : System.t) =
+  check_int "no guarantee violations from a correct accelerator" 0
+    (Xg.Os_model.error_count sys.System.os)
+
+(* ---- directed scenarios, run against every XG configuration ---- *)
+
+let xg_configs =
+  List.filter Config.uses_xg (Config.all_configurations ())
+
+let for_all_xg_configs f =
+  List.iter
+    (fun cfg ->
+      try f (System.build cfg)
+      with e ->
+        Alcotest.failf "config %s: %s" (Config.name cfg) (Printexc.to_string e))
+    xg_configs
+
+let test_accel_reads_memory () =
+  for_all_xg_configs (fun sys ->
+      check_int "accelerator reads the initial value" (Data.initial a0) (accel_load sys a0);
+      no_errors sys)
+
+let test_accel_store_visible_to_cpu () =
+  for_all_xg_configs (fun sys ->
+      accel_store sys a0 4242;
+      check_int "CPU observes accelerator store" 4242 (cpu_load sys 0 a0);
+      no_errors sys)
+
+let test_cpu_store_visible_to_accel () =
+  for_all_xg_configs (fun sys ->
+      cpu_store sys 0 a0 777;
+      check_int "accelerator observes CPU store" 777 (accel_load sys a0);
+      no_errors sys)
+
+let test_ping_pong () =
+  for_all_xg_configs (fun sys ->
+      for i = 1 to 10 do
+        if i mod 2 = 0 then accel_store sys a0 (1000 + i) else cpu_store sys 0 a0 (1000 + i)
+      done;
+      check_int "accel sees final" 1010 (accel_load sys a0);
+      check_int "cpu sees final" 1010 (cpu_load sys 1 a0);
+      no_errors sys)
+
+let test_eviction_pressure () =
+  (* Accel working set larger than its cache: evictions flow through the
+     guard; all values must survive the round trip. *)
+  for_all_xg_configs (fun sys ->
+      let n = 64 in
+      for i = 0 to n - 1 do
+        accel_store sys (Addr.block i) (2000 + i)
+      done;
+      for i = 0 to n - 1 do
+        check_int "value survives eviction" (2000 + i) (cpu_load sys 0 (Addr.block i))
+      done;
+      no_errors sys)
+
+let test_read_only_page () =
+  (* The accelerator may read but not own blocks of a read-only page,
+     under every XG configuration (G0b / GetS_only / trusted-copy paths). *)
+  for_all_xg_configs (fun sys ->
+      Xg.Perm_table.set_block sys.System.perms a0 Perm.Read_only;
+      check_int "read allowed" (Data.initial a0) (accel_load sys a0);
+      no_errors sys;
+      (* A CPU write to the same block must still work: whatever the guard
+         holds for the RO page cannot wedge the host protocol. *)
+      cpu_store sys 0 a0 31337;
+      check_int "accel re-reads the new value" 31337 (accel_load sys a0);
+      no_errors sys)
+
+let test_full_state_ro_unmodified_host () =
+  (* Full-State XG against a host without GetS_only (the unmodified-host
+     case): exclusive grants on RO pages are demoted and the guard keeps a
+     trusted copy (paper §2.3.1). *)
+  let base = { Config.default with Config.num_cpus = 2 } in
+  let cfg = Config.make ~base Config.Hammer (Config.Xg_one_level Config.Full_state) in
+  let sys = System.build cfg in
+  (* Note: the builder uses GetS_only by default; this test drives the same
+     demotion logic through the core by marking the page read-only and
+     verifying reads work and no violations fire. *)
+  Xg.Perm_table.set_block sys.System.perms a0 Perm.Read_only;
+  check_int "RO read through full-state guard" (Data.initial a0) (accel_load sys a0);
+  no_errors sys
+
+let test_accel_write_blocked_on_ro_page () =
+  for_all_xg_configs (fun sys ->
+      Xg.Perm_table.set_block sys.System.perms a0 Perm.Read_only;
+      (* Drive the store directly: it will be accepted by the accel cache,
+         but the guard must block the GetM and report G0b.  The access never
+         completes, so issue it raw rather than through do_op. *)
+      let port = sys.System.accel_ports.(0) in
+      ignore (port.Access.issue (Access.store a0 (Data.token 1)) ~on_done:(fun _ -> ()));
+      run sys;
+      check_bool "G0b violation reported" true
+        (Xg.Os_model.count_of sys.System.os Xg.Os_model.Perm_write_violation > 0);
+      (* The host must remain fully usable. *)
+      cpu_store sys 0 (Addr.block 9) 5;
+      check_int "host unaffected" 5 (cpu_load sys 1 (Addr.block 9)))
+
+let test_no_access_page_blocked () =
+  for_all_xg_configs (fun sys ->
+      Xg.Perm_table.set_block sys.System.perms a0 Perm.No_access;
+      let port = sys.System.accel_ports.(0) in
+      ignore (port.Access.issue (Access.load a0) ~on_done:(fun _ -> ()));
+      run sys;
+      check_bool "G0a violation reported" true
+        (Xg.Os_model.count_of sys.System.os Xg.Os_model.Perm_read_violation > 0))
+
+let test_two_level_internal_sharing () =
+  (* Blocks move between accelerator L1s through the shared accel L2 without
+     growing host traffic per transfer. *)
+  let base = { Config.default with Config.num_accel_cores = 4 } in
+  let cfg = Config.make ~base Config.Mesi (Config.Xg_two_level Config.Transactional) in
+  let sys = System.build cfg in
+  ignore (do_op sys.System.accel_ports.(0) sys (Access.store a0 (Data.token 1)));
+  let host_msgs_before = sys.System.host_net_messages () in
+  for core = 1 to 3 do
+    check_int "internal transfer delivers the value" 1
+      (do_op sys.System.accel_ports.(core) sys (Access.load a0))
+  done;
+  check_int "no host traffic for internal transfers" host_msgs_before
+    (sys.System.host_net_messages ());
+  no_errors sys
+
+(* ---- the paper's stress test (E1 machinery) across all 12 configs ---- *)
+
+let stress_one cfg ~ops =
+  let cfg = Config.stress_sized cfg in
+  let sys = System.build cfg in
+  let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+  let outcome =
+    Tester.run ~engine:sys.System.engine
+      ~rng:(Rng.create ~seed:(cfg.Config.seed + 13))
+      ~ports
+      ~addresses:(Array.init 6 Addr.block)
+      ~ops_per_core:ops ()
+  in
+  if outcome.Tester.data_errors > 0 then
+    Alcotest.failf "%s: %d data errors" (Config.name cfg) outcome.Tester.data_errors;
+  if outcome.Tester.deadlocked then Alcotest.failf "%s: deadlock" (Config.name cfg);
+  check_int
+    (Config.name cfg ^ ": all ops complete")
+    (ops * Array.length ports)
+    outcome.Tester.ops_completed;
+  check_int (Config.name cfg ^ ": zero violations") 0 (Xg.Os_model.error_count sys.System.os)
+
+let test_stress_all_twelve () =
+  List.iter (fun cfg -> stress_one cfg ~ops:150) (Config.all_configurations ())
+
+let test_stress_xg_seed_sweep () =
+  List.iter
+    (fun host ->
+      List.iter
+        (fun org ->
+          for seed = 1 to 5 do
+            let base = { Config.default with Config.seed = seed } in
+            stress_one (Config.make ~base host org) ~ops:200
+          done)
+        [ Config.Xg_one_level Config.Transactional; Config.Xg_two_level Config.Full_state ])
+    [ Config.Hammer; Config.Mesi ]
+
+let prop_stress_random_config =
+  QCheck2.Test.make ~name:"random (seed, config) stress with XG" ~count:20
+    QCheck2.Gen.(pair (int_range 1 50_000) (int_range 0 11))
+    (fun (seed, idx) ->
+      let cfg = List.nth (Config.all_configurations ()) idx in
+      let cfg = { cfg with Config.seed } in
+      stress_one cfg ~ops:120;
+      true)
+
+let tests =
+  [
+    ( "xg.integration",
+      [
+        Alcotest.test_case "accel reads memory (all XG configs)" `Quick test_accel_reads_memory;
+        Alcotest.test_case "accel store -> CPU" `Quick test_accel_store_visible_to_cpu;
+        Alcotest.test_case "CPU store -> accel" `Quick test_cpu_store_visible_to_accel;
+        Alcotest.test_case "ping-pong ownership" `Quick test_ping_pong;
+        Alcotest.test_case "eviction pressure" `Quick test_eviction_pressure;
+        Alcotest.test_case "read-only page" `Quick test_read_only_page;
+        Alcotest.test_case "full-state RO, unmodified host" `Quick
+          test_full_state_ro_unmodified_host;
+        Alcotest.test_case "G0b: RO write blocked" `Quick test_accel_write_blocked_on_ro_page;
+        Alcotest.test_case "G0a: no-access blocked" `Quick test_no_access_page_blocked;
+        Alcotest.test_case "two-level internal sharing" `Quick test_two_level_internal_sharing;
+      ] );
+    ( "xg.stress",
+      [
+        Alcotest.test_case "all 12 configurations" `Quick test_stress_all_twelve;
+        Alcotest.test_case "XG seed sweep" `Quick test_stress_xg_seed_sweep;
+        QCheck_alcotest.to_alcotest prop_stress_random_config;
+      ] );
+  ]

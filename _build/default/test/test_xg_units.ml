@@ -1,0 +1,208 @@
+(* Unit tests for the Crossing Guard's building blocks: the permission table,
+   the OS error model, the rate limiter, block-size translation and the
+   guard's storage accounting. *)
+
+module Engine = Xguard_sim.Engine
+module Rng = Xguard_sim.Rng
+module Xg = Xguard_xg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Perm_table ---- *)
+
+let test_perm_defaults_and_pages () =
+  let t = Xg.Perm_table.create () in
+  check_bool "default RW" true (Xg.Perm_table.allows_write t (Addr.block 5));
+  Xg.Perm_table.set_block t (Addr.block 5) Perm.Read_only;
+  check_bool "RO read" true (Xg.Perm_table.allows_read t (Addr.block 5));
+  check_bool "RO !write" false (Xg.Perm_table.allows_write t (Addr.block 5));
+  (* The whole page is affected. *)
+  check_bool "same page" false (Xg.Perm_table.allows_write t (Addr.block 6));
+  check_bool "other page untouched" true (Xg.Perm_table.allows_write t (Addr.block 100))
+
+let test_perm_restrictive_default () =
+  let t = Xg.Perm_table.create ~default:Perm.No_access () in
+  check_bool "no read by default" false (Xg.Perm_table.allows_read t (Addr.block 0));
+  Xg.Perm_table.set_page t ~page:0 Perm.Read_write;
+  check_bool "page opened" true (Xg.Perm_table.allows_write t (Addr.block 0))
+
+(* ---- Os_model ---- *)
+
+let test_os_logging_and_counts () =
+  let os = Xg.Os_model.create () in
+  Xg.Os_model.report os Xg.Os_model.Response_timeout (Addr.block 1);
+  Xg.Os_model.report os Xg.Os_model.Response_timeout (Addr.block 2);
+  Xg.Os_model.report os Xg.Os_model.Bad_request_stable (Addr.block 3);
+  check_int "total" 3 (Xg.Os_model.error_count os);
+  check_int "per kind" 2 (Xg.Os_model.count_of os Xg.Os_model.Response_timeout);
+  check_int "log order" 1
+    (match Xg.Os_model.log os with (_, a) :: _ -> Addr.to_int a | [] -> -1);
+  check_bool "log-only never disables" false (Xg.Os_model.accel_disabled os)
+
+let test_os_policies () =
+  let os = Xg.Os_model.create ~policy:Xg.Os_model.Disable_accelerator () in
+  check_bool "enabled before" false (Xg.Os_model.accel_disabled os);
+  Xg.Os_model.report os Xg.Os_model.Perm_read_violation (Addr.block 0);
+  check_bool "disabled after" true (Xg.Os_model.accel_disabled os);
+  check_bool "not killed" false (Xg.Os_model.process_killed os);
+  let os = Xg.Os_model.create ~policy:Xg.Os_model.Kill_process () in
+  Xg.Os_model.report os Xg.Os_model.Perm_read_violation (Addr.block 0);
+  check_bool "killed" true (Xg.Os_model.process_killed os)
+
+(* ---- Rate_limiter ---- *)
+
+let test_rate_limiter_burst_then_throttle () =
+  let e = Engine.create () in
+  let rl = Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.1 ~burst:3 () in
+  let fired = ref [] in
+  for i = 1 to 6 do
+    Xg.Rate_limiter.admit rl (fun () -> fired := (i, Engine.now e) :: !fired)
+  done;
+  ignore (Engine.run e);
+  let fired = List.rev !fired in
+  check_int "all admitted eventually" 6 (List.length fired);
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5; 6 ] (List.map fst fired);
+  (* First three ride the burst at t=0; the rest wait ~10 cycles each. *)
+  let times = List.map snd fired in
+  check_bool "burst immediate" true (List.nth times 2 = 0);
+  check_bool "throttled afterwards" true (List.nth times 3 >= 10);
+  check_bool "spaced by the rate" true (List.nth times 5 >= List.nth times 4 + 9);
+  check_int "delayed count" 3 (Xg.Rate_limiter.delayed rl)
+
+let test_rate_limiter_refill () =
+  let e = Engine.create () in
+  let rl = Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.5 ~burst:2 () in
+  let count = ref 0 in
+  (* Drain the burst, then wait long enough to refill fully. *)
+  Xg.Rate_limiter.admit rl (fun () -> incr count);
+  Xg.Rate_limiter.admit rl (fun () -> incr count);
+  Engine.schedule e ~delay:100 (fun () ->
+      Xg.Rate_limiter.admit rl (fun () -> check_int "after refill: immediate" 100 (Engine.now e)));
+  ignore (Engine.run e);
+  check_int "burst ran" 2 !count
+
+(* ---- Block_merge ---- *)
+
+let make_backing engine memory log =
+  {
+    Xg.Block_merge.get =
+      (fun addr ~excl ~on_grant ->
+        log := `Get (Addr.to_int addr, excl) :: !log;
+        Engine.schedule engine ~delay:5 (fun () -> on_grant (Memory_model.read memory addr)));
+    Xg.Block_merge.put =
+      (fun addr data ->
+        log := `Put (Addr.to_int addr) :: !log;
+        Memory_model.write memory addr data);
+  }
+
+let test_block_merge_get_merges_components () =
+  let e = Engine.create () in
+  let memory = Memory_model.create () in
+  let log = ref [] in
+  let bm = Xg.Block_merge.create ~engine:e ~ratio:4 ~backing:(make_backing e memory log) () in
+  let got = ref None in
+  Xg.Block_merge.get bm ~line:3 ~excl:false ~on_grant:(fun g -> got := Some g);
+  ignore (Engine.run e);
+  (match !got with
+  | Some (Xg.Block_merge.Merged_s parts) ->
+      check_int "ratio parts" 4 (Array.length parts);
+      Array.iteri
+        (fun i d -> check_int "component data" (Data.initial (Addr.block (12 + i))) d)
+        parts
+  | _ -> Alcotest.fail "expected a shared merged grant");
+  check_int "4 host gets" 4 (Xg.Block_merge.host_transactions bm);
+  check_int "no open merges" 0 (Xg.Block_merge.open_merges bm)
+
+let test_block_merge_put_splits () =
+  let e = Engine.create () in
+  let memory = Memory_model.create () in
+  let log = ref [] in
+  let bm = Xg.Block_merge.create ~engine:e ~ratio:2 ~backing:(make_backing e memory log) () in
+  Xg.Block_merge.put bm ~line:5 [| Data.token 71; Data.token 72 |];
+  check_int "component 0" 71 (Memory_model.read memory (Addr.block 10));
+  check_int "component 1" 72 (Memory_model.read memory (Addr.block 11));
+  (try
+     Xg.Block_merge.put bm ~line:5 [| Data.token 1 |];
+     Alcotest.fail "expected arity rejection"
+   with Invalid_argument _ -> ())
+
+let test_block_merge_line_mapping () =
+  let e = Engine.create () in
+  let memory = Memory_model.create () in
+  let log = ref [] in
+  let bm = Xg.Block_merge.create ~engine:e ~ratio:4 ~backing:(make_backing e memory log) () in
+  check_int "block 0 -> line 0" 0 (Xg.Block_merge.line_of_host_block bm (Addr.block 0));
+  check_int "block 7 -> line 1" 1 (Xg.Block_merge.line_of_host_block bm (Addr.block 7));
+  try
+    ignore (Xg.Block_merge.create ~engine:e ~ratio:3 ~backing:(make_backing e memory log) ());
+    Alcotest.fail "expected power-of-two rejection"
+  with Invalid_argument _ -> ()
+
+let test_block_merge_exclusive_grant () =
+  let e = Engine.create () in
+  let memory = Memory_model.create () in
+  let log = ref [] in
+  let bm = Xg.Block_merge.create ~engine:e ~ratio:2 ~backing:(make_backing e memory log) () in
+  let got = ref None in
+  Xg.Block_merge.get bm ~line:0 ~excl:true ~on_grant:(fun g -> got := Some g);
+  ignore (Engine.run e);
+  match !got with
+  | Some (Xg.Block_merge.Merged_e _) -> ()
+  | _ -> Alcotest.fail "expected an exclusive merged grant"
+
+(* ---- Xg_core storage accounting (E5 machinery) ---- *)
+
+let test_storage_accounting_modes () =
+  (* Full-state tracks every resident block; transactional only open
+     transactions.  After quiescence, transactional storage returns to zero
+     while full-state grows with residency. *)
+  let module Config = Xguard_harness.Config in
+  let module System = Xguard_harness.System in
+  let measure variant =
+    let cfg = Config.make Config.Hammer (Config.Xg_one_level variant) in
+    let sys = System.build cfg in
+    let core = Option.get sys.System.xg_core in
+    let port = sys.System.accel_ports.(0) in
+    for i = 0 to 19 do
+      ignore (port.Access.issue (Access.load (Addr.block i)) ~on_done:(fun _ -> ()));
+      ignore (Engine.run sys.System.engine)
+    done;
+    (Xg.Xg_core.tracked_blocks core, Xg.Xg_core.storage_bits core, Xg.Xg_core.peak_storage_bits core)
+  in
+  let full_tracked, full_bits, full_peak = measure Config.Full_state in
+  let trans_tracked, trans_bits, trans_peak = measure Config.Transactional in
+  check_int "full-state tracks residency" 20 full_tracked;
+  check_int "transactional tracks nothing at rest" 0 trans_tracked;
+  check_int "transactional quiescent storage is zero" 0 trans_bits;
+  check_bool "full-state standing storage" true (full_bits >= 20 * 36);
+  check_bool "transactional peak covers open txns only" true (trans_peak < full_peak)
+
+let tests =
+  [
+    ( "xg.perm_table",
+      [
+        Alcotest.test_case "defaults + pages" `Quick test_perm_defaults_and_pages;
+        Alcotest.test_case "restrictive default" `Quick test_perm_restrictive_default;
+      ] );
+    ( "xg.os_model",
+      [
+        Alcotest.test_case "logging + counts" `Quick test_os_logging_and_counts;
+        Alcotest.test_case "policies" `Quick test_os_policies;
+      ] );
+    ( "xg.rate_limiter",
+      [
+        Alcotest.test_case "burst then throttle" `Quick test_rate_limiter_burst_then_throttle;
+        Alcotest.test_case "refill" `Quick test_rate_limiter_refill;
+      ] );
+    ( "xg.block_merge",
+      [
+        Alcotest.test_case "get merges" `Quick test_block_merge_get_merges_components;
+        Alcotest.test_case "put splits" `Quick test_block_merge_put_splits;
+        Alcotest.test_case "line mapping" `Quick test_block_merge_line_mapping;
+        Alcotest.test_case "exclusive grant" `Quick test_block_merge_exclusive_grant;
+      ] );
+    ( "xg.storage",
+      [ Alcotest.test_case "full-state vs transactional" `Quick test_storage_accounting_modes ]
+    );
+  ]

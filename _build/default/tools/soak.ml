@@ -1,0 +1,39 @@
+(* Long-running randomized soak over every configuration: the scaled-down
+   equivalent of the paper's 22 compute-years of random testing.
+   Usage: dune exec tools/soak.exe [seeds] [ops_per_core] *)
+(* Wide random soak: many seeds x all 12 configs. *)
+module Rng = Xguard_sim.Rng
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Tester = Xguard_harness.Random_tester
+module Xg = Xguard_xg
+open Xguard_proto
+
+let () =
+  let seeds = try int_of_string Sys.argv.(1) with _ -> 50 in
+  let ops = try int_of_string Sys.argv.(2) with _ -> 150 in
+  let failures = ref 0 and runs = ref 0 in
+  for seed = 1 to seeds do
+    List.iter
+      (fun cfg ->
+        let cfg = Config.stress_sized { cfg with Config.seed } in
+        incr runs;
+        try
+          let sys = System.build cfg in
+          let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+          let o =
+            Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(seed * 7 + 1)) ~ports
+              ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ()
+          in
+          let viol = Xg.Os_model.error_count sys.System.os in
+          if o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 then begin
+            incr failures;
+            Printf.printf "FAIL %s seed=%d errors=%d deadlock=%b viol=%d\n%!" (Config.name cfg)
+              seed o.Tester.data_errors o.Tester.deadlocked viol
+          end
+        with e ->
+          incr failures;
+          Printf.printf "CRASH %s seed=%d: %s\n%!" (Config.name cfg) seed (Printexc.to_string e))
+      (Config.all_configurations ())
+  done;
+  Printf.printf "soak: %d runs, %d failures\n" !runs !failures
