@@ -5,6 +5,8 @@
    Usage:
      bench/main.exe                 run every experiment (full size)
      bench/main.exe --quick         run every experiment (reduced size)
+     bench/main.exe --trace ...     arm the event ring buffer; if an
+                                    experiment crashes, dump the trail
      bench/main.exe e3 e4           run selected experiments
      bench/main.exe micro           run the Bechamel micro-suite
 *)
@@ -121,20 +123,35 @@ let run_micro () =
         results)
     benchmarks
 
+(* With --trace, run [f] with an armed ring buffer and dump its tail if the
+   experiment machinery raises — the forensics path of lib/trace. *)
+let with_tracing ~traced f =
+  if not traced then f ()
+  else begin
+    let module Trace = Xguard_trace.Trace in
+    let tr = Trace.create ~capacity:8192 () in
+    try Trace.with_armed tr f
+    with e ->
+      let tail = Trace.dump ~last:60 tr in
+      if tail <> "" then Printf.eprintf "-- event trail (last 60 events) --\n%s\n" tail;
+      raise e
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let traced = List.mem "--trace" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--trace") args in
   match args with
   | [] ->
-      List.iter print_report (Experiments.all ~quick ());
+      with_tracing ~traced (fun () -> List.iter print_report (Experiments.all ~quick ()));
       Printf.printf "\n(micro-benchmarks: run with `micro`)\n"
   | [ "micro" ] -> run_micro ()
   | ids ->
       List.iter
         (fun id ->
           match Experiments.by_id id with
-          | Some f -> print_report (f ~quick ())
+          | Some f -> with_tracing ~traced (fun () -> print_report (f ~quick ()))
           | None ->
               Printf.eprintf "unknown experiment %S; known: %s, micro\n" id
                 (String.concat ", " Experiments.ids);

@@ -6,6 +6,11 @@
      fuzz     — bombard the guard with a pathological accelerator (paper §4)
      report   — regenerate a reproduced table/figure (same as bench/main.exe)
      list     — enumerate configurations, workloads and experiments
+
+   run/stress/fuzz accept --trace (arm the protocol event ring buffer and
+   dump the per-address trail plus replay seed on failure), --trace-out FILE
+   (write that trail to a file) and, for stress/fuzz, --coverage (print the
+   per-controller state x event transition-coverage matrices).
 *)
 
 open Cmdliner
@@ -19,6 +24,8 @@ module Experiments = Xguard_harness.Experiments
 module W = Xguard_workload.Workload
 module Rng = Xguard_sim.Rng
 module Xg = Xguard_xg
+module Trace = Xguard_trace.Trace
+module Coverage = Xguard_trace.Coverage
 
 let find_config name =
   List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
@@ -44,6 +51,49 @@ let with_config name seed f =
       exit 1
   | Some cfg -> f { cfg with Config.seed }
 
+(* ---- tracing & coverage plumbing ---- *)
+
+let trace_flag =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Arm the protocol event ring buffer; on failure the event trail \
+                 (and the seed that replays it) is dumped.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write dumped event trails to $(docv) instead of stdout (implies $(b,--trace)).")
+
+let coverage_flag =
+  Arg.(value & flag
+       & info [ "coverage" ]
+           ~doc:"Print per-controller (state x event) transition-coverage matrices.")
+
+let make_trace ~trace ~trace_out =
+  if trace || trace_out <> None then Some (Trace.create ~capacity:8192 ()) else None
+
+let maybe_armed tr f = match tr with None -> f () | Some tr -> Trace.with_armed tr f
+
+let tail_events = 60
+
+(* Print a dumped trail, or write it to --trace-out. *)
+let emit_trail ~trace_out ~header text =
+  if text <> "" then
+    match trace_out with
+    | None -> Printf.printf "%s\n%s\n" header text
+    | Some file ->
+        let oc = open_out file in
+        Printf.fprintf oc "%s\n%s\n" header text;
+        close_out oc;
+        Printf.printf "event trail written to %s\n" file
+
+let print_coverage_sets sets =
+  List.iter
+    (fun (_, space, groups) ->
+      print_string (Coverage.to_string (Coverage.analyze space groups));
+      print_newline ())
+    sets
+
 (* ---- run ---- *)
 
 let run_cmd =
@@ -51,27 +101,40 @@ let run_cmd =
     let doc = "Workload: streaming, blocked, graph, write-coalesce, producer-consumer." in
     Arg.(value & opt string "blocked" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
   in
-  let action config workload seed =
+  let action config workload seed trace trace_out =
     with_config config seed (fun cfg ->
         match find_workload workload with
         | None ->
             Printf.eprintf "unknown workload %S\n" workload;
             exit 1
         | Some w ->
-            let r = Perf.run cfg w in
-            Printf.printf "configuration      %s\n" r.Perf.config_name;
-            Printf.printf "workload           %s (%s)\n" w.W.name w.W.description;
-            Printf.printf "cycles             %d\n" r.Perf.cycles;
-            Printf.printf "accel accesses     %d\n" r.Perf.accel_accesses;
-            Printf.printf "mean latency       %.1f cycles\n" r.Perf.mean_accel_latency;
-            Printf.printf "p99 latency        %d cycles\n" r.Perf.p99_accel_latency;
-            Printf.printf "host bytes         %d\n" r.Perf.host_bytes;
-            Printf.printf "link bytes         %d\n" r.Perf.link_bytes;
-            Printf.printf "guard violations   %d\n" r.Perf.violations)
+            let tr = make_trace ~trace ~trace_out in
+            (try
+               let r = Perf.run ?trace:tr cfg w in
+               Printf.printf "configuration      %s\n" r.Perf.config_name;
+               Printf.printf "workload           %s (%s)\n" w.W.name w.W.description;
+               Printf.printf "cycles             %d\n" r.Perf.cycles;
+               Printf.printf "accel accesses     %d\n" r.Perf.accel_accesses;
+               Printf.printf "mean latency       %.1f cycles\n" r.Perf.mean_accel_latency;
+               Printf.printf "p99 latency        %d cycles\n" r.Perf.p99_accel_latency;
+               Printf.printf "host bytes         %d\n" r.Perf.host_bytes;
+               Printf.printf "link bytes         %d\n" r.Perf.link_bytes;
+               Printf.printf "guard violations   %d\n" r.Perf.violations
+             with e ->
+               Option.iter
+                 (fun tr ->
+                   emit_trail ~trace_out
+                     ~header:
+                       (Printf.sprintf "-- event trail, last %d events (replay with --seed %d) --"
+                          tail_events cfg.Config.seed)
+                     (Trace.dump ~last:tail_events tr))
+                 tr;
+               Printf.eprintf "run failed: %s\n" (Printexc.to_string e);
+               exit 1))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on one configuration")
-    Term.(const action $ config_arg $ workload_arg $ seed_arg)
+    Term.(const action $ config_arg $ workload_arg $ seed_arg $ trace_flag $ trace_out_arg)
 
 (* ---- stress ---- *)
 
@@ -82,30 +145,66 @@ let stress_cmd =
   let seeds_arg =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
-  let action config seed ops seeds =
+  let action config seed ops seeds trace trace_out coverage =
     with_config config seed (fun base ->
+        let tr = make_trace ~trace ~trace_out in
         let failures = ref 0 in
+        let cov_runs = ref [] in
         for s = seed to seed + seeds - 1 do
           let cfg = Config.stress_sized { base with Config.seed = s } in
           let sys = System.build cfg in
           let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+          Option.iter Trace.clear tr;
           let o =
-            Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1)) ~ports
-              ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ()
+            maybe_armed tr (fun () ->
+                Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1)) ~ports
+                  ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ())
           in
           let viol = Xg.Os_model.error_count sys.System.os in
           let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
           if bad then incr failures;
+          if coverage then cov_runs := sys.System.coverage_sets () :: !cov_runs;
           Printf.printf "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s\n"
             s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
-            (if bad then "FAIL" else "ok")
+            (if bad then "FAIL" else "ok");
+          if bad then
+            Option.iter
+              (fun tr ->
+                let addr = o.Tester.first_error_addr in
+                emit_trail ~trace_out
+                  ~header:
+                    (Printf.sprintf "-- seed %d event trail%s (replay with --seed %d --seeds 1) --"
+                       s
+                       (match addr with
+                       | Some a -> Printf.sprintf " for block 0x%x" a
+                       | None -> "")
+                       s)
+                  (Trace.dump ?addr ~last:tail_events tr))
+              tr
         done;
+        if coverage then begin
+          match List.rev !cov_runs with
+          | [] -> ()
+          | first :: _ as runs ->
+              List.iter
+                (fun (name, space, _) ->
+                  let groups =
+                    List.concat_map
+                      (fun run ->
+                        List.concat_map (fun (n, _, gs) -> if n = name then gs else []) run)
+                      runs
+                  in
+                  print_string (Coverage.to_string (Coverage.analyze space groups));
+                  print_newline ())
+                first
+        end;
         Printf.printf "%s\n" (if !failures = 0 then "PASS" else "FAIL");
         if !failures > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
-    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg)
+    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ trace_flag
+          $ trace_out_arg $ coverage_flag)
 
 (* ---- fuzz ---- *)
 
@@ -113,30 +212,57 @@ let fuzz_cmd =
   let mute_arg =
     Arg.(value & flag & info [ "mute" ] ~doc:"The accelerator never answers invalidations.")
   in
-  let action config seed mute =
+  let timeout_arg =
+    Arg.(value & opt (some int) None
+         & info [ "timeout" ] ~docv:"CYCLES"
+             ~doc:"Override the guard's invalidation timeout.  A huge value with \
+                   $(b,--mute) disables the paper's timeout defense and forces a \
+                   deadlock, to exercise the $(b,--trace) forensics path.")
+  in
+  let action config seed mute timeout trace trace_out coverage =
     with_config config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
           exit 1
         end;
+        let cfg =
+          match timeout with None -> cfg | Some t -> { cfg with Config.xg_timeout = t }
+        in
+        let tr = make_trace ~trace ~trace_out in
         let o =
-          if mute then Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ()
-          else Fuzz.run cfg ()
+          if mute then Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
+          else Fuzz.run cfg ?trace:tr ()
         in
         Printf.printf "chaos messages     %d\n" o.Fuzz.chaos_messages;
         Printf.printf "cpu ops            %d/%d\n" o.Fuzz.cpu_ops_completed o.Fuzz.cpu_ops_expected;
         Printf.printf "crashed            %s\n"
-          (match o.Fuzz.crashed with Some e -> e | None -> "no");
+          (match o.Fuzz.crashed with Some c -> c.Fuzz.exn_text | None -> "no");
         Printf.printf "deadlocked         %b\n" o.Fuzz.deadlocked;
         Printf.printf "violations         %d\n" o.Fuzz.violations;
         List.iter
           (fun (k, n) -> Printf.printf "  %-36s %d\n" (Xg.Os_model.error_kind_to_string k) n)
           o.Fuzz.violations_by_kind;
+        if coverage then print_coverage_sets o.Fuzz.coverage_sets;
+        let tail =
+          match o.Fuzz.crashed with
+          | Some c -> c.Fuzz.trace_tail
+          | None -> o.Fuzz.trace_tail
+        in
+        if tail <> [] then
+          emit_trail ~trace_out
+            ~header:
+              (Printf.sprintf "-- failure event trail%s (replay with --seed %d) --"
+                 (match o.Fuzz.first_error_addr with
+                 | Some a -> Printf.sprintf " for block 0x%x" a
+                 | None -> "")
+                 o.Fuzz.seed)
+            (String.concat "\n" (List.map Trace.format_event tail));
         if o.Fuzz.crashed <> None || o.Fuzz.deadlocked then exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
-    Term.(const action $ config_arg $ seed_arg $ mute_arg)
+    Term.(const action $ config_arg $ seed_arg $ mute_arg $ timeout_arg $ trace_flag
+          $ trace_out_arg $ coverage_flag)
 
 (* ---- report ---- *)
 

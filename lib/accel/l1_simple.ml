@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Xg_iface = Xguard_xg.Xg_iface
+module Trace = Xguard_trace.Trace
 
 type flavor = Mesi | Msi | Vi
 
@@ -47,7 +48,11 @@ let coverage t = t.coverage
 let resident t = Cache_array.count t.array
 let pending_evictions t = t.pending_evictions
 
-let visit t state event = Group.incr t.coverage (state ^ "." ^ event)
+let visit t addr state event =
+  Group.incr t.coverage (state ^ "." ^ event);
+  if Trace.on () then
+    Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
+      ~addr:(Addr.to_int addr) ~state ~event ()
 
 let probe t addr =
   match Cache_array.find t.array addr with
@@ -76,7 +81,7 @@ let start_eviction t addr line stable =
         Xg_iface.Put_m line.data
     | _, St_s -> Xg_iface.Put_s
   in
-  visit t (state_key (Stable stable))
+  visit t addr (state_key (Stable stable))
     (match stable with St_m -> "Replacement" | St_e -> "Replacement" | St_s -> "Replacement");
   line.st <- Busy Put;
   t.pending_evictions <- t.pending_evictions + 1;
@@ -96,49 +101,49 @@ let issue t (access : Access.t) ~on_done =
       Cache_array.touch t.array addr;
       match (line.st, access.Access.op) with
       | Stable St_m, Access.Load ->
-          visit t "M" "Load";
+          visit t addr "M" "Load";
           complete t ~on_done line.data;
           true
       | Stable St_m, Access.Store d ->
-          visit t "M" "Store";
+          visit t addr "M" "Store";
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_e, Access.Load ->
-          visit t "E" "Load";
+          visit t addr "E" "Load";
           complete t ~on_done line.data;
           true
       | Stable St_e, Access.Store d ->
           (* Table 1: E + store = hit, silently upgrade to M. *)
-          visit t "E" "Store";
+          visit t addr "E" "Store";
           line.st <- Stable St_m;
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_s, Access.Load ->
-          visit t "S" "Load";
+          visit t addr "S" "Load";
           complete t ~on_done line.data;
           true
       | Stable St_s, Access.Store _ ->
           if t.pending_gets >= t.mshr_limit then false
           else begin
             (* Upgrade miss: keep the line, go Busy, ask for M. *)
-            visit t "S" "Store";
+            visit t addr "S" "Store";
             line.st <- Busy (Get { access; on_done });
             t.pending_gets <- t.pending_gets + 1;
             t.lower.Lower_port.send_req addr Xg_iface.Get_m;
             true
           end
       | Busy _, Access.Load ->
-          visit t "B" "Load";
+          visit t addr "B" "Load";
           false
       | Busy _, Access.Store _ ->
-          visit t "B" "Store";
+          visit t addr "B" "Store";
           false)
   | None ->
       if t.pending_gets >= t.mshr_limit then false
       else if Cache_array.has_room t.array addr then begin
-        visit t "I" (match access.Access.op with Access.Load -> "Load" | Access.Store _ -> "Store");
+        visit t addr "I" (match access.Access.op with Access.Load -> "Load" | Access.Store _ -> "Store");
         let line = { st = Busy (Get { access; on_done }); data = Data.zero } in
         Cache_array.insert t.array addr line;
         t.pending_gets <- t.pending_gets + 1;
@@ -152,7 +157,7 @@ let issue t (access : Access.t) ~on_done =
             | Stable stable -> start_eviction t victim_addr victim_line stable
             | Busy _ ->
                 (* Eviction already in flight for the LRU way; just wait. *)
-                visit t "B" "Replacement")
+                visit t victim_addr "B" "Replacement")
         | None -> assert false (* has_room was false, so the set is full *));
         false
       end
@@ -186,20 +191,20 @@ let on_response t addr (resp : Xg_iface.xg_response) =
   | Some line -> (
       match (line.st, resp) with
       | Busy (Get { access; on_done }), Xg_iface.Data_m data ->
-          visit t "B" "DataM";
+          visit t addr "B" "DataM";
           t.pending_gets <- t.pending_gets - 1;
           apply_grant t line access ~on_done `M ~data
       | Busy (Get { access; on_done }), Xg_iface.Data_e data ->
-          visit t "B" "DataE";
+          visit t addr "B" "DataE";
           t.pending_gets <- t.pending_gets - 1;
           let granted = match t.flavor with Mesi -> `E | Msi | Vi -> `M in
           apply_grant t line access ~on_done granted ~data
       | Busy (Get { access; on_done }), Xg_iface.Data_s data ->
-          visit t "B" "DataS";
+          visit t addr "B" "DataS";
           t.pending_gets <- t.pending_gets - 1;
           apply_grant t line access ~on_done `S ~data
       | Busy Put, Xg_iface.Wb_ack ->
-          visit t "B" "WbAck";
+          visit t addr "B" "WbAck";
           t.pending_evictions <- t.pending_evictions - 1;
           Cache_array.remove t.array addr
       | (Stable _ | Busy _), _ ->
@@ -210,16 +215,16 @@ let on_response t addr (resp : Xg_iface.xg_response) =
 let on_invalidate t addr =
   match Cache_array.find t.array addr with
   | None ->
-      visit t "I" "Invalidate";
+      visit t addr "I" "Invalidate";
       t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack
   | Some line -> (
       match line.st with
       | Stable St_m ->
-          visit t "M" "Invalidate";
+          visit t addr "M" "Invalidate";
           t.lower.Lower_port.send_resp addr (Xg_iface.Dirty_wb line.data);
           Cache_array.remove t.array addr
       | Stable St_e ->
-          visit t "E" "Invalidate";
+          visit t addr "E" "Invalidate";
           let resp =
             match t.flavor with
             | Mesi -> Xg_iface.Clean_wb line.data
@@ -228,12 +233,12 @@ let on_invalidate t addr =
           t.lower.Lower_port.send_resp addr resp;
           Cache_array.remove t.array addr
       | Stable St_s ->
-          visit t "S" "Invalidate";
+          visit t addr "S" "Invalidate";
           t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack;
           Cache_array.remove t.array addr
       | Busy _ ->
           (* Table 1: not in a stable state -> always InvAck, no further action. *)
-          visit t "B" "Invalidate";
+          visit t addr "B" "Invalidate";
           t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack)
 
 let deliver t = function
@@ -313,3 +318,27 @@ module Spec = struct
     | Data_s_arrival -> "DataS"
     | Wb_ack_arrival -> "WB Ack"
 end
+
+let coverage_space =
+  (* The {!visit} vocabulary differs from the table rendering in one place:
+     WB Ack is counted as "WbAck" (keys may not contain spaces portably). *)
+  let coverage_event = function
+    | Spec.Wb_ack_arrival -> "WbAck"
+    | e -> Spec.event_to_string e
+  in
+  let possible_pairs =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun e ->
+            match Spec.mesi s e with
+            | Spec.Impossible -> None
+            | Spec.Entry _ -> Some (Spec.state_to_string s, coverage_event e))
+          Spec.all_events)
+      Spec.all_states
+  in
+  Xguard_trace.Coverage.space ~name:"accel.l1"
+    ~states:(List.map Spec.state_to_string Spec.all_states)
+    ~events:(List.map coverage_event Spec.all_events)
+    ~possible:(fun s e -> List.mem (s, e) possible_pairs)
+    ()

@@ -80,3 +80,8 @@ module Spec : sig
   val state_to_string : state -> string
   val event_to_string : event -> string
 end
+
+val coverage_space : Xguard_trace.Coverage.space
+(** {!Spec.mesi} as a coverage space: possible pairs are exactly the non-
+    [Impossible] Table 1 entries ([WB Ack] spelled ["WbAck"] to match the
+    {!coverage} keys). *)

@@ -1,6 +1,9 @@
 module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
 module Xg = Xguard_xg
+module Trace = Xguard_trace.Trace
+
+type crash_info = { exn_text : string; seed : int; trace_tail : Trace.event list }
 
 type outcome = {
   chaos_messages : int;
@@ -11,14 +14,34 @@ type outcome = {
   violations : int;
   violations_by_kind : (Xg.Os_model.error_kind * int) list;
   deadlocked : bool;
-  crashed : string option;
+  crashed : crash_info option;
+  seed : int;
+  first_error_addr : int option;
+  trace_tail : Trace.event list;
+  coverage_sets :
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
 }
 
 type pool = Shared_rw | Disjoint | Shared_ro
 
+let tail_limit = 60
+
+let tail_of trace ~addr_hint =
+  match trace with
+  | None -> []
+  | Some tr ->
+      let events =
+        match addr_hint with
+        | Some a -> Trace.events_for tr ~addr:a
+        | None -> Trace.to_list tr
+      in
+      let n = List.length events in
+      if n <= tail_limit then events
+      else List.filteri (fun i _ -> i >= n - tail_limit) events
+
 let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4)
     ?(chaos_duration = 60_000) ?(respond_probability = 0.6) ?(requests_only = false)
-    ?(num_addresses = 6) () =
+    ?(num_addresses = 6) ?trace () =
   assert (Config.uses_xg cfg);
   let sys = System.build ~attach_accel:false cfg in
   let chaos_addresses = Array.init num_addresses Addr.block in
@@ -51,15 +74,25 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
       ~addresses ~period:chaos_period ~respond_probability ~requests_only
       ~duration:chaos_duration ()
   in
+  let maybe_armed f =
+    match trace with None -> f () | Some tr -> Trace.with_armed tr f
+  in
   let crashed = ref None in
   let tester_outcome =
     try
       Some
-        (Random_tester.run ~engine:sys.System.engine
-           ~rng:(Rng.create ~seed:(cfg.Config.seed + 5))
-           ~ports:sys.System.cpu_ports ~addresses:cpu_addresses ~ops_per_core:cpu_ops ())
+        (maybe_armed (fun () ->
+             Random_tester.run ~engine:sys.System.engine
+               ~rng:(Rng.create ~seed:(cfg.Config.seed + 5))
+               ~ports:sys.System.cpu_ports ~addresses:cpu_addresses ~ops_per_core:cpu_ops ()))
     with e ->
-      crashed := Some (Printexc.to_string e);
+      crashed :=
+        Some
+          {
+            exn_text = Printexc.to_string e;
+            seed = cfg.Config.seed;
+            trace_tail = tail_of trace ~addr_hint:None;
+          };
       None
   in
   let violations_by_kind =
@@ -69,8 +102,13 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         if n > 0 then Some (kind, n) else None)
       Xg.Os_model.all_error_kinds
   in
+  let coverage_sets = sys.System.coverage_sets () in
   match tester_outcome with
   | Some o ->
+      let first_error_addr = o.Random_tester.first_error_addr in
+      let failed =
+        o.Random_tester.data_errors > 0 || o.Random_tester.deadlocked
+      in
       {
         chaos_messages = Xguard_accel.Chaos_accel.messages_sent chaos;
         invalidations_ignored = Xguard_accel.Chaos_accel.invalidations_ignored chaos;
@@ -80,7 +118,11 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         violations = Xg.Os_model.error_count sys.System.os;
         violations_by_kind;
         deadlocked = o.Random_tester.deadlocked;
-        crashed = !crashed;
+        crashed = None;
+        seed = cfg.Config.seed;
+        first_error_addr;
+        trace_tail = (if failed then tail_of trace ~addr_hint:first_error_addr else []);
+        coverage_sets;
       }
   | None ->
       {
@@ -93,4 +135,8 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         violations_by_kind;
         deadlocked = true;
         crashed = !crashed;
+        seed = cfg.Config.seed;
+        first_error_addr = None;
+        trace_tail = tail_of trace ~addr_hint:None;
+        coverage_sets;
       }

@@ -8,6 +8,14 @@
     the accelerator link.  Guarantee violations are *expected* here; their
     count is reported. *)
 
+type crash_info = {
+  exn_text : string;  (** the exception that escaped the run — a failure *)
+  seed : int;  (** [cfg.seed]; rerun with it to replay the interleaving *)
+  trace_tail : Xguard_trace.Trace.event list;
+      (** last events of the armed trace buffer, oldest first (empty when the
+          run was not traced) *)
+}
+
 type outcome = {
   chaos_messages : int;
   invalidations_ignored : int;
@@ -17,7 +25,15 @@ type outcome = {
   violations : int;
   violations_by_kind : (Xguard_xg.Os_model.error_kind * int) list;
   deadlocked : bool;
-  crashed : string option;  (** exception text if the run raised — a failure *)
+  crashed : crash_info option;
+  seed : int;  (** the config seed that reproduces this run *)
+  first_error_addr : int option;  (** block of the first CPU data error *)
+  trace_tail : Xguard_trace.Trace.event list;
+      (** on any failure (crash, deadlock or data error): the last armed-trace
+          events, restricted to [first_error_addr] when one is known *)
+  coverage_sets :
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
+      (** the system's transition-coverage groups, for cross-run merging *)
 }
 
 (** How the chaos accelerator's address pool relates to the CPUs':
@@ -40,6 +56,9 @@ val run :
   ?respond_probability:float ->
   ?requests_only:bool ->
   ?num_addresses:int ->
+  ?trace:Xguard_trace.Trace.t ->
   unit ->
   outcome
-(** [Config.t] must be an XG organization.  Default pool is [Shared_rw]. *)
+(** [Config.t] must be an XG organization.  Default pool is [Shared_rw].
+    [trace] arms the given ring buffer for the duration of the run (restoring
+    whatever was armed before); on failure the outcome carries its tail. *)

@@ -41,7 +41,11 @@ let drive (seq : Sequencer.t) (stream : Workload.stream) ~on_all_done =
     top_up ()
   end
 
-let run (cfg : Config.t) (workload : Workload.t) =
+let run ?trace (cfg : Config.t) (workload : Workload.t) =
+  let maybe_armed f =
+    match trace with None -> f () | Some tr -> Xguard_trace.Trace.with_armed tr f
+  in
+  maybe_armed @@ fun () ->
   let sys = System.build cfg in
   let rng = Rng.create ~seed:(cfg.Config.seed * 131 + 17) in
   let accel_streams =

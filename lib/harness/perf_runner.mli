@@ -24,7 +24,9 @@ type result = {
   violations : int;
 }
 
-val run : Config.t -> Xguard_workload.Workload.t -> result
+val run : ?trace:Xguard_trace.Trace.t -> Config.t -> Xguard_workload.Workload.t -> result
 (** Builds the system, drives the accelerator stream(s) and any CPU-side
-    streams concurrently, and runs to quiescence.
+    streams concurrently, and runs to quiescence.  [trace] arms the given
+    ring buffer for the duration of the run, so a failure's event trail can
+    be dumped by the caller.
     @raise Failure on deadlock (incomplete streams with a drained queue). *)

@@ -1,7 +1,14 @@
 module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
+module Trace = Xguard_trace.Trace
 
-type outcome = { ops_completed : int; data_errors : int; deadlocked : bool; cycles : int }
+type outcome = {
+  ops_completed : int;
+  data_errors : int;
+  deadlocked : bool;
+  cycles : int;
+  first_error_addr : int option;
+}
 
 (* Per-address checker state: the log of committed store values (so a load can
    be validated against everything committed since it was issued) and the
@@ -23,6 +30,7 @@ type t = {
   ops_per_core : int;
   mutable completed : int;
   mutable errors : int;
+  mutable first_error_addr : int option;
   mutable next_token : int;
 }
 
@@ -69,6 +77,18 @@ let issue_one t core =
     Sequencer.request seq (Access.load addr) ~on_complete:(fun v ~latency:_ ->
         if not (load_ok st ~issue_count v) then begin
           t.errors <- t.errors + 1;
+          if t.first_error_addr = None then t.first_error_addr <- Some (Addr.to_int addr);
+          if Trace.on () then
+            Trace.note ~cycle:(Engine.now t.engine)
+              ~controller:(Sequencer.name seq) ~addr:(Addr.to_int addr)
+              ~text:
+                (Printf.sprintf
+                   "DATA ERROR: core=%d got=%d committed_head=%d pending=%s issued@%d" core
+                   v
+                   (match st.committed with x :: _ -> x | [] -> -1)
+                   (match st.pending_store with Some x -> string_of_int x | None -> "-")
+                   issued_at)
+              ();
           if Sys.getenv_opt "XGUARD_DEBUG" <> None then
             Printf.eprintf
               "DATA ERROR: core=%d addr=%d got=%d committed_head=%d pending=%s issue@%d done@%d\n%!"
@@ -101,6 +121,7 @@ let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(m
       ops_per_core;
       completed = 0;
       errors = 0;
+      first_error_addr = None;
       next_token = 1_000_000;
     }
   in
@@ -125,4 +146,5 @@ let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(m
     data_errors = t.errors;
     deadlocked;
     cycles = Engine.now engine;
+    first_error_addr = t.first_error_addr;
   }

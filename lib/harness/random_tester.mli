@@ -22,6 +22,9 @@ type outcome = {
   data_errors : int;
   deadlocked : bool;
   cycles : int;
+  first_error_addr : int option;
+      (** the block of the first data error, for pulling its event trail out
+          of an armed {!Xguard_trace.Trace} buffer *)
 }
 
 val run :

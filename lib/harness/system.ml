@@ -26,9 +26,22 @@ type t = {
   xg_port_to_host_bytes : unit -> int;
   link_bytes : unit -> int;
   coverage_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  coverage_sets :
+    unit ->
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
   stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
 }
+
+let coverage_reports t =
+  List.map
+    (fun (_, space, groups) -> Xguard_trace.Coverage.analyze space groups)
+    (t.coverage_sets ())
+
+(* Trace adapter for the XG link message vocabulary (both the guard link and
+   the accelerator-internal network speak it). *)
+let link_tracer msg =
+  (Addr.to_int (Xg.Xg_iface.msg_addr msg), Format.asprintf "%a" Xg.Xg_iface.pp_msg msg)
 
 (* A processor port that reaches a remote sequencer across a fixed-latency
    link in both directions: the host-side-cache organization (Figure 2b). *)
@@ -68,6 +81,7 @@ let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port 
     Xg.Xg_iface.Link.create ~engine ~rng:(Rng.split rng) ~name:"xg.link"
       ~ordering:link_ordering ()
   in
+  Xg.Xg_iface.Link.set_tracer link link_tracer;
   let xg_link_node = Node.Registry.fresh registry "xg.link_end" in
   let accel_link_node = Node.Registry.fresh registry "accel.link_end" in
   let rate_limiter =
@@ -101,6 +115,7 @@ let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port 
               ~ordering:(Xguard_network.Network.Ordered { latency = 2 })
               ()
           in
+          Xg.Xg_iface.Link.set_tracer internal link_tracer;
           let l2_node = Node.Registry.fresh registry "accel.l2" in
           let lower = A.Lower_port.on_link link ~self:accel_link_node ~peer:xg_link_node in
           let l2 =
@@ -141,6 +156,8 @@ let build_hammer ~attach_accel (cfg : Config.t) =
   let rng = Hammer_system.rng sys in
   let registry = Hammer_system.registry sys in
   let net = Hammer_system.net sys in
+  H.Net.set_tracer net (fun msg ->
+      (Addr.to_int msg.H.Msg.addr, Format.asprintf "%a" H.Msg.pp msg));
   let perms = Xg.Perm_table.create () in
   let os = Xg.Os_model.create ~policy:cfg.Config.os_policy () in
   let dir_node = H.Directory.node (Hammer_system.directory sys) in
@@ -197,7 +214,20 @@ let build_hammer ~attach_accel (cfg : Config.t) =
           H.Net.set_monitor net (fun ~src ~dst msg ->
               f ~src:(Node.name src) ~dst:(Node.name dst) ~addr:(Addr.to_int msg.H.Msg.addr)
                 ~text:(Format.asprintf "%a" H.Msg.pp msg)));
-      coverage_groups = (fun () -> cpu_cov @ accel_cov);
+      coverage_groups =
+        (fun () ->
+          cpu_cov @ accel_cov
+          @ match xg_core with Some c -> [ ("xg", Xg.Xg_core.coverage c) ] | None -> []);
+      coverage_sets =
+        (fun () ->
+          [ ("hammer.l1l2", H.L1l2.coverage_space, List.map snd cpu_cov) ]
+          @ (match accel_cov with
+            | [] -> []
+            | _ -> [ ("accel.l1", A.L1_simple.coverage_space, List.map snd accel_cov) ])
+          @
+          match xg_core with
+          | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
+          | None -> []);
       stats_groups =
         (fun () ->
           cpu_stats
@@ -266,6 +296,8 @@ let build_mesi ~attach_accel (cfg : Config.t) =
   let rng = Mesi_system.rng sys in
   let registry = Mesi_system.registry sys in
   let net = Mesi_system.net sys in
+  M.Net.set_tracer net (fun msg ->
+      (Addr.to_int msg.M.Msg.addr, Format.asprintf "%a" M.Msg.pp msg));
   let l2_node = M.L2.node (Mesi_system.l2 sys) in
   let perms = Xg.Perm_table.create () in
   let os = Xg.Os_model.create ~policy:cfg.Config.os_policy () in
@@ -321,7 +353,21 @@ let build_mesi ~attach_accel (cfg : Config.t) =
         (fun () ->
           cpu_cov
           @ [ ("host.l2", M.L2.coverage (Mesi_system.l2 sys)) ]
-          @ accel_cov);
+          @ accel_cov
+          @ match xg_core with Some c -> [ ("xg", Xg.Xg_core.coverage c) ] | None -> []);
+      coverage_sets =
+        (fun () ->
+          [
+            ("mesi.l1", M.L1.coverage_space, List.map snd cpu_cov);
+            ("mesi.l2", M.L2.coverage_space, [ M.L2.coverage (Mesi_system.l2 sys) ]);
+          ]
+          @ (match accel_cov with
+            | [] -> []
+            | _ -> [ ("accel.l1", A.L1_simple.coverage_space, List.map snd accel_cov) ])
+          @
+          match xg_core with
+          | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
+          | None -> []);
       stats_groups =
         (fun () ->
           cpu_stats

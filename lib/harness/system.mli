@@ -27,10 +27,20 @@ type t = {
       (** bytes the XG port sourced on the host network (0 without XG) *)
   link_bytes : unit -> int;
   coverage_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
+  coverage_sets :
+    unit ->
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
+      (** per-controller-kind transition spaces with every live coverage group
+          of that kind, ready for {!Xguard_trace.Coverage.analyze} (or
+          {!coverage_reports}); merge across systems/runs by matching the
+          leading name *)
   stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
-      (** tracing hook over the host network, for debugging and tests *)
+      (** monitoring hook over the host network, for debugging and tests *)
 }
+
+val coverage_reports : t -> Xguard_trace.Coverage.report list
+(** One report per entry of [coverage_sets], in order. *)
 
 val build : ?attach_accel:bool -> Config.t -> t
 (** [attach_accel:false] (XG organizations only) leaves the accelerator side

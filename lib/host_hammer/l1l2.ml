@@ -1,5 +1,6 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
+module Trace = Xguard_trace.Trace
 
 type variant = Baseline | Xg_ready
 
@@ -73,7 +74,31 @@ let state_key line tbe =
 let visit t addr event =
   let line = Cache_array.find t.array addr in
   let tbe = Tbe_table.find t.tbes addr in
-  Group.incr t.coverage (state_key line tbe ^ "." ^ event)
+  let state = state_key line tbe in
+  Group.incr t.coverage (state ^ "." ^ event);
+  if Trace.on () then
+    Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
+      ~addr:(Addr.to_int addr) ~state ~event ()
+
+let coverage_space =
+  let states = [ "I"; "IS"; "IM"; "SM"; "OM"; "S"; "E"; "O"; "M"; "MI"; "II" ] in
+  let transient = [ "IS"; "IM"; "SM"; "OM" ] in
+  let possible state event =
+    match event with
+    | "Load" | "Store" -> List.mem state [ "I"; "S"; "E"; "O"; "M" ]
+    | "Replacement_S" -> state = "S"
+    | "Replacement_owned" -> List.mem state [ "E"; "O"; "M" ]
+    | "Fwd_GetS" | "Fwd_GetS_only" | "Fwd_GetM" -> true
+    | "MemData" | "PeerAck" | "PeerData" -> List.mem state transient
+    | "WbAck" -> state = "MI"
+    | "WbNack" -> state = "II"
+    | _ -> false
+  in
+  Xguard_trace.Coverage.space ~name:"hammer.l1l2" ~states
+    ~events:
+      [ "Load"; "Store"; "Replacement_S"; "Replacement_owned"; "Fwd_GetS"; "Fwd_GetS_only";
+        "Fwd_GetM"; "MemData"; "PeerAck"; "PeerData"; "WbAck"; "WbNack" ]
+    ~possible ()
 
 let send t ~dst body addr =
   let msg = { Msg.addr; body } in
@@ -119,6 +144,9 @@ let alloc_get t addr kind ~base (access : Access.t) ~on_done =
   in
   match Tbe_table.alloc t.tbes addr tbe with
   | `Ok ->
+      if Trace.on () then
+        Trace.tbe_alloc ~cycle:(Engine.now t.engine) ~controller:t.name
+          ~addr:(Addr.to_int addr);
       send t ~dst:t.directory (Msg.Get { kind }) addr;
       true
   | `Full | `Busy -> false
@@ -288,6 +316,9 @@ let try_complete t addr (tbe : get_tbe) =
     line.dirty <- (final_state = St_m);
     line.st <- Stable final_state;
     Tbe_table.dealloc t.tbes addr;
+    if Trace.on () then
+      Trace.tbe_free ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~addr:(Addr.to_int addr);
     send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
     Group.incr t.stats "get_complete";
     complete t ~on_done:tbe.on_done final_value

@@ -49,5 +49,12 @@ val cpu_port : t -> Access.port
 val probe : t -> Addr.t -> [ `I | `S | `E | `O | `M | `Transient ]
 val stats : t -> Xguard_stats.Counter.Group.t
 val coverage : t -> Xguard_stats.Counter.Group.t
+
+val coverage_space : Xguard_trace.Coverage.space
+(** The (state × event) vocabulary {!coverage} counters live in: stable MOESI
+    states plus the get transients (IS/IM/SM/OM keyed by TBE kind and base)
+    and writeback transients (MI, and II after ownership was forwarded
+    away). *)
+
 val outstanding : t -> int
 (** Open transactions (get TBEs plus pending writebacks). *)

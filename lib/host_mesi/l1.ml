@@ -1,5 +1,6 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
+module Trace = Xguard_trace.Trace
 
 exception Protocol_error of string
 
@@ -67,7 +68,32 @@ let state_key t addr =
   | Some { st = Get_pending; _ }, None -> "IS"
   | None, None -> "I"
 
-let visit t addr event = Group.incr t.coverage (state_key t addr ^ "." ^ event)
+let visit t addr event =
+  let state = state_key t addr in
+  Group.incr t.coverage (state ^ "." ^ event);
+  if Trace.on () then
+    Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
+      ~addr:(Addr.to_int addr) ~state ~event ()
+
+let coverage_space =
+  let states = [ "I"; "IS"; "IS_I"; "IM"; "SM"; "S"; "E"; "M"; "M_I"; "SINK_WB_ACK" ] in
+  let transient = [ "IS"; "IS_I"; "IM"; "SM" ] in
+  let possible state event =
+    match event with
+    | "Load" | "Store" -> List.mem state [ "I"; "S"; "E"; "M" ]
+    | "Replacement" -> List.mem state [ "S"; "E"; "M" ]
+    | "Inv" -> not (List.mem state [ "E"; "M" ]) (* owners are Recalled, never Inv'd *)
+    | "Recall" -> true
+    | "Fwd_GetS" | "Fwd_GetS_only" | "Fwd_GetM" -> List.mem state [ "E"; "M"; "M_I" ]
+    | "WbAck" -> List.mem state [ "M_I"; "SINK_WB_ACK" ]
+    | "L2Data" | "OwnerData" | "InvAck" -> List.mem state transient
+    | _ -> false
+  in
+  Xguard_trace.Coverage.space ~name:"mesi.l1" ~states
+    ~events:
+      [ "Load"; "Store"; "Replacement"; "Inv"; "Recall"; "Fwd_GetS"; "Fwd_GetS_only";
+        "Fwd_GetM"; "WbAck"; "L2Data"; "OwnerData"; "InvAck" ]
+    ~possible ()
 
 let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
 
@@ -100,6 +126,9 @@ let alloc_get t addr kind ~base_valid (access : Access.t) ~on_done =
   in
   match Tbe_table.alloc t.tbes addr tbe with
   | `Ok ->
+      if Trace.on () then
+        Trace.tbe_alloc ~cycle:(Engine.now t.engine) ~controller:t.name
+          ~addr:(Addr.to_int addr);
       send t ~dst:t.l2 (Msg.Get { kind }) addr;
       true
   | `Full | `Busy -> false
@@ -175,6 +204,9 @@ let try_complete t addr (tbe : get_tbe) =
         | None -> raise (Protocol_error (t.name ^ ": completing a get with no line"))
       in
       Tbe_table.dealloc t.tbes addr;
+      if Trace.on () then
+        Trace.tbe_free ~cycle:(Engine.now t.engine) ~controller:t.name
+          ~addr:(Addr.to_int addr);
       send t ~dst:t.l2 Msg.Unblock addr;
       Group.incr t.stats "get_complete";
       if tbe.invalidated then begin

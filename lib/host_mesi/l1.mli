@@ -30,4 +30,8 @@ val cpu_port : t -> Access.port
 val probe : t -> Addr.t -> [ `I | `S | `E | `M | `Transient ]
 val stats : t -> Xguard_stats.Counter.Group.t
 val coverage : t -> Xguard_stats.Counter.Group.t
+
+val coverage_space : Xguard_trace.Coverage.space
+(** The (state × event) vocabulary the {!coverage} counters live in. *)
+
 val outstanding : t -> int

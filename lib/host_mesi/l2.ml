@@ -1,5 +1,6 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
+module Trace = Xguard_trace.Trace
 
 type variant = Baseline | Xg_ready
 
@@ -81,7 +82,31 @@ let state_key t addr =
       | None -> "NP"
       | Some line -> holders_key line.holders)
 
-let visit t addr event = Group.incr t.coverage (state_key t addr ^ "." ^ event)
+let visit t addr event =
+  let state = state_key t addr in
+  Group.incr t.coverage (state ^ "." ^ event);
+  if Trace.on () then
+    Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
+      ~addr:(Addr.to_int addr) ~state ~event ()
+
+let coverage_space =
+  let resident = [ "NoL1"; "SS"; "MT" ] in
+  let possible state event =
+    match event with
+    | "grant.GetS" | "grant.GetS_only" | "grant.GetM" | "Replacement" ->
+        List.mem state resident
+    | "PutS" | "PutM" -> state = "NP" || List.mem state resident
+    | "Unblock" -> state = "Direct" || state = "ViaOwner"
+    | "Copyback" -> state = "ViaOwner"
+    | "MemData" -> state = "Fetching"
+    | _ -> false
+  in
+  Xguard_trace.Coverage.space ~name:"mesi.l2"
+    ~states:[ "NP"; "NoL1"; "SS"; "MT"; "Fetching"; "Direct"; "ViaOwner"; "Evicting"; "WbMem" ]
+    ~events:
+      [ "grant.GetS"; "grant.GetS_only"; "grant.GetM"; "Replacement"; "PutS"; "PutM";
+        "Unblock"; "Copyback"; "MemData" ]
+    ~possible ()
 
 let error t what =
   Group.incr t.stats ("error." ^ what);

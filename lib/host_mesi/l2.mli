@@ -42,6 +42,9 @@ val resident : t -> int
 val stats : t -> Xguard_stats.Counter.Group.t
 val coverage : t -> Xguard_stats.Counter.Group.t
 
+val coverage_space : Xguard_trace.Coverage.space
+(** The (state × event) vocabulary the {!coverage} counters live in. *)
+
 val queued_requests : t -> int
 (** Entries sitting in per-address stall queues. *)
 

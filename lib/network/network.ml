@@ -1,5 +1,6 @@
 module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
+module Trace = Xguard_trace.Trace
 
 type ordering =
   | Ordered of { latency : int }
@@ -27,6 +28,9 @@ struct
     mutable bytes : int;
     bytes_by_src : (int, int) Hashtbl.t;
     mutable monitor : (src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> Msg.t -> unit) option;
+    (* How to describe a message to the tracer: block address plus text.
+       Consulted only when a trace buffer is armed. *)
+    mutable tracer : (Msg.t -> int * string) option;
   }
 
   let create ~engine ~rng ~name ~ordering () =
@@ -41,6 +45,7 @@ struct
       bytes = 0;
       bytes_by_src = Hashtbl.create 16;
       monitor = None;
+      tracer = None;
     }
 
   let name t = t.name
@@ -76,6 +81,13 @@ struct
                (Xguard_proto.Node.name dst))
     in
     (match t.monitor with Some f -> f ~src ~dst msg | None -> ());
+    (if Trace.on () then
+       match t.tracer with
+       | Some describe ->
+           let addr, text = describe msg in
+           Trace.send ~cycle:(Engine.now t.engine) ~net:t.name
+             ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr ~text
+       | None -> ());
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + size;
     let prev =
@@ -83,7 +95,16 @@ struct
     in
     Hashtbl.replace t.bytes_by_src (Xguard_proto.Node.id src) (prev + size);
     let at = delivery_time t ~src ~dst in
-    Engine.schedule_at t.engine at (fun () -> handler ~src msg)
+    Engine.schedule_at t.engine at (fun () ->
+        (if Trace.on () then
+           match t.tracer with
+           | Some describe ->
+               let addr, text = describe msg in
+               Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
+                 ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
+                 ~text
+           | None -> ());
+        handler ~src msg)
 
   let messages_sent t = t.messages
   let bytes_sent t = t.bytes
@@ -92,4 +113,5 @@ struct
     match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id node) with Some b -> b | None -> 0
 
   let set_monitor t f = t.monitor <- Some f
+  let set_tracer t f = t.tracer <- Some f
 end

@@ -51,7 +51,14 @@ end) : sig
       e.g. the paper's "Crossing-Guard-to-host bandwidth". *)
 
   val set_monitor : t -> (src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> Msg.t -> unit) -> unit
-  (** Observe every message at send time (tracing, fuzz auditing). *)
+  (** Observe every message at send time (fuzz auditing, invariant checks). *)
+
+  val set_tracer : t -> (Msg.t -> int * string) -> unit
+  (** Teach the network how to describe a message to the armed
+      {!Xguard_trace.Trace} buffer: the block address it concerns (or
+      {!Xguard_trace.Trace.no_addr}) and a short rendering.  Consulted only
+      while a trace buffer is armed; send and delivery of every message then
+      produce [Msg_send]/[Msg_recv] events. *)
 end
 
 (** Message sizes used throughout: a bare control message and one carrying a

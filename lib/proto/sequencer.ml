@@ -1,5 +1,9 @@
 module Engine = Xguard_sim.Engine
 module Histogram = Xguard_stats.Histogram
+module Trace = Xguard_trace.Trace
+
+let access_text access =
+  Format.asprintf "%a" Access.pp access
 
 type pending = {
   access : Access.t;
@@ -61,17 +65,32 @@ let rec pump t =
           t.completed <- t.completed + 1;
           let lat = Engine.now t.engine - p.issued_at in
           Histogram.observe t.latency lat;
+          if Trace.on () then
+            Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+              ~addr:(Addr.to_int addr)
+              ~text:(Printf.sprintf "done %s (latency %d)" (access_text p.access) lat)
+              ();
           p.on_complete value ~latency:lat;
           schedule_pump t)
     in
     if accepted then begin
       t.in_flight <- t.in_flight + 1;
       t.in_flight_addrs <- addr :: t.in_flight_addrs;
+      if Trace.on () then
+        Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+          ~addr:(Addr.to_int addr)
+          ~text:(Printf.sprintf "issue %s" (access_text p.access))
+          ();
       pump t
     end
     else begin
       (* Cache rejected: requeue at the head and retry after a delay. *)
       t.retries <- t.retries + 1;
+      if Trace.on () then
+        Trace.stall ~cycle:(Engine.now t.engine) ~controller:t.name
+          ~addr:(Addr.to_int addr)
+          ~why:(Printf.sprintf "cache rejected %s; retry in %d" (access_text p.access)
+                  t.retry_delay);
       let rest = Queue.create () in
       Queue.transfer t.queue rest;
       Queue.push p t.queue;

@@ -1,0 +1,63 @@
+(** Transition-coverage matrices.
+
+    A controller registers its (state × event) space once; its per-run
+    coverage counters (keys of the form ["STATE.Event"], as accumulated by
+    every controller's [visit] function into an
+    {!Xguard_stats.Counter.Group.t}) are then analyzed against that space:
+    which possible transitions were hit how often, which were never reached,
+    and whether any visited key falls outside the registered vocabulary.
+
+    This is the honest "we stressed the protocol" metric of the paper's §4.1
+    methodology: the tests assert floors on {!fraction} and print
+    {!uncovered} entries so blind spots in the suite stay visible. *)
+
+type space = {
+  name : string;  (** controller kind, e.g. ["xg"], ["hammer.l1l2"] *)
+  states : string list;
+  events : string list;
+  possible : string -> string -> bool;
+      (** [possible state event] — whether the pair is reachable at all.
+          Impossible entries are excluded from the coverage denominator and
+          rendered as ["."] in the matrix. *)
+}
+
+val space :
+  name:string ->
+  states:string list ->
+  events:string list ->
+  ?possible:(string -> string -> bool) ->
+  unit ->
+  space
+(** [possible] defaults to every pair being reachable. *)
+
+type report = {
+  about : space;
+  count : string -> string -> int;  (** hits for a (state, event) pair *)
+  covered : int;  (** possible pairs with at least one hit *)
+  total : int;  (** possible pairs *)
+  uncovered : (string * string) list;  (** possible pairs never hit *)
+  stray : (string * int) list;
+      (** visited coverage keys outside the registered space — either an
+          impossible pair that actually fired or vocabulary drift between the
+          controller and its registration; both deserve a look *)
+}
+
+val analyze : space -> Xguard_stats.Counter.Group.t list -> report
+(** Sums the ["STATE.Event"] counters of all [groups] (several controllers of
+    the same kind, or the same controller across runs) and scores them
+    against the space.  Keys are split at the first ['.']. *)
+
+val fraction : report -> float
+(** [covered / total]; [1.0] for an empty space. *)
+
+val to_table : report -> Xguard_stats.Table.t
+(** The matrix: one row per state, one column per event.  Cells: hit count,
+    ["-"] for a possible-but-unvisited pair, ["."] for an impossible one. *)
+
+val pp : Format.formatter -> report -> unit
+(** The matrix followed by a one-line summary and any stray keys. *)
+
+val pp_uncovered : Format.formatter -> report -> unit
+(** One ["state.event"] per line; nothing when fully covered. *)
+
+val to_string : report -> string

@@ -1,0 +1,123 @@
+type kind = Msg_send | Msg_recv | Transition | Stall | Tbe_alloc | Tbe_free | Note
+
+type event = {
+  cycle : int;
+  kind : kind;
+  controller : string;
+  addr : int;
+  a : string;
+  b : string;
+  c : string;
+}
+
+let no_addr = -1
+
+let dummy =
+  { cycle = 0; kind = Note; controller = ""; addr = no_addr; a = ""; b = ""; c = "" }
+
+type t = { buf : event array; mutable total : int }
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; total = 0 }
+
+let capacity t = Array.length t.buf
+let recorded t = t.total
+let length t = min t.total (Array.length t.buf)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) dummy;
+  t.total <- 0
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let n = length t in
+  let first = if t.total <= cap then 0 else t.total mod cap in
+  List.init n (fun i -> t.buf.((first + i) mod cap))
+
+let matches ~addr ev = ev.addr = addr || (ev.kind = Note && ev.addr = no_addr)
+
+let events_for t ~addr = List.filter (matches ~addr) (to_list t)
+
+(* ---- arming ---- *)
+
+(* The flag duplicates [current <> None] so the disabled-path check is a
+   single load with no option allocation or match. *)
+let enabled = ref false
+let current : t option ref = ref None
+
+let arm t =
+  current := Some t;
+  enabled := true
+
+let disarm () =
+  current := None;
+  enabled := false
+
+let armed () = !current
+let on () = !enabled
+
+let with_armed t f =
+  let previous = !current in
+  arm t;
+  Fun.protect
+    ~finally:(fun () -> match previous with Some p -> arm p | None -> disarm ())
+    f
+
+(* ---- emission ---- *)
+
+let record t ev =
+  t.buf.(t.total mod Array.length t.buf) <- ev;
+  t.total <- t.total + 1
+
+let emit cycle kind controller addr a b c =
+  match !current with
+  | None -> ()
+  | Some t -> record t { cycle; kind; controller; addr; a; b; c }
+
+let send ~cycle ~net ~src ~dst ~addr ~text = emit cycle Msg_send net addr src dst text
+let recv ~cycle ~net ~src ~dst ~addr ~text = emit cycle Msg_recv net addr src dst text
+
+let transition ~cycle ~controller ~addr ~state ~event ?(next = "") () =
+  emit cycle Transition controller addr state event next
+
+let stall ~cycle ~controller ~addr ~why = emit cycle Stall controller addr why "" ""
+let tbe_alloc ~cycle ~controller ~addr = emit cycle Tbe_alloc controller addr "" "" ""
+let tbe_free ~cycle ~controller ~addr = emit cycle Tbe_free controller addr "" "" ""
+let note ~cycle ~controller ?(addr = no_addr) ~text () =
+  emit cycle Note controller addr text "" ""
+
+(* ---- rendering ---- *)
+
+let addr_text addr = if addr = no_addr then "-" else Printf.sprintf "0x%x" addr
+
+let detail ev =
+  match ev.kind with
+  | Msg_send -> Printf.sprintf "send %s -> %s: %s" ev.a ev.b ev.c
+  | Msg_recv -> Printf.sprintf "recv %s -> %s: %s" ev.a ev.b ev.c
+  | Transition ->
+      if ev.c = "" then Printf.sprintf "[%s] %s" ev.a ev.b
+      else Printf.sprintf "[%s] %s -> [%s]" ev.a ev.b ev.c
+  | Stall -> Printf.sprintf "stall: %s" ev.a
+  | Tbe_alloc -> "tbe alloc"
+  | Tbe_free -> "tbe free"
+  | Note -> ev.a
+
+let format_event ev =
+  Printf.sprintf "@%7d %-16s %-5s %s" ev.cycle ev.controller (addr_text ev.addr) (detail ev)
+
+let pp_event fmt ev = Format.pp_print_string fmt (format_event ev)
+
+let dump ?addr ?last t =
+  let events = to_list t in
+  let events =
+    match addr with None -> events | Some a -> List.filter (matches ~addr:a) events
+  in
+  let events =
+    match last with
+    | None -> events
+    | Some n ->
+        let len = List.length events in
+        if len <= n then events else List.filteri (fun i _ -> i >= len - n) events
+  in
+  String.concat "\n" (List.map format_event events)

@@ -1,0 +1,107 @@
+(** Structured protocol tracing (ring buffer).
+
+    Controllers emit typed events — message send/receive, state transitions,
+    stalls, TBE alloc/free — into a bounded ring buffer armed for the current
+    run.  When no buffer is armed every emission is a no-op and the hot path
+    pays one mutable-bool load, so simulation results are identical with
+    tracing compiled in; when armed, recording never schedules events, never
+    draws random numbers and never grows memory past the ring's capacity, so
+    traced runs are cycle-for-cycle identical to untraced ones.
+
+    The intended call-site pattern guards any formatting work:
+
+    {[ if Trace.on () then
+         Trace.transition ~cycle ~controller:t.name ~addr ~state ~event ~next ]}
+
+    Arming is global (one recorder per process), matching the one-engine-per-
+    run structure of the harness; {!with_armed} nests and restores. *)
+
+type kind =
+  | Msg_send  (** a message entered a network/link *)
+  | Msg_recv  (** a message was delivered to its handler *)
+  | Transition  (** a controller saw [event] in [state] *)
+  | Stall  (** progress was deferred (queue, retry, MSHR full) *)
+  | Tbe_alloc  (** a transaction buffer entry was allocated *)
+  | Tbe_free  (** a transaction buffer entry was released *)
+  | Note  (** free-form annotation (testers, checkers) *)
+
+type event = {
+  cycle : int;
+  kind : kind;
+  controller : string;  (** emitting component (controller or network) name *)
+  addr : int;  (** block address, or {!no_addr} *)
+  a : string;  (** kind-dependent: src / state / reason / text *)
+  b : string;  (** kind-dependent: dst / protocol event *)
+  c : string;  (** kind-dependent: payload text / next state *)
+}
+
+val no_addr : int
+(** Address value meaning "not address-specific" (-1). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh ring buffer (default capacity 1024 events). *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val length : t -> int
+(** Events currently held: [min (recorded t) (capacity t)]. *)
+
+val clear : t -> unit
+
+val to_list : t -> event list
+(** Held events, oldest first. *)
+
+val events_for : t -> addr:int -> event list
+(** Held events touching [addr] (plus address-less [Note] events), oldest
+    first. *)
+
+(** {2 Arming} *)
+
+val arm : t -> unit
+val disarm : unit -> unit
+val armed : unit -> t option
+
+val on : unit -> bool
+(** [true] iff a buffer is armed.  Guard any event-text formatting with this
+    so disabled tracing allocates nothing. *)
+
+val with_armed : t -> (unit -> 'a) -> 'a
+(** Run with [t] armed, restoring the previously armed buffer (if any) on
+    exit, including on exceptions. *)
+
+(** {2 Emission} — all are no-ops when nothing is armed. *)
+
+val send :
+  cycle:int -> net:string -> src:string -> dst:string -> addr:int -> text:string -> unit
+
+val recv :
+  cycle:int -> net:string -> src:string -> dst:string -> addr:int -> text:string -> unit
+
+val transition :
+  cycle:int -> controller:string -> addr:int -> state:string -> event:string ->
+  ?next:string -> unit -> unit
+(** [next] may be omitted when the resulting state is not cheaply known at the
+    emission point; the dump then shows only [state] and [event]. *)
+
+val stall : cycle:int -> controller:string -> addr:int -> why:string -> unit
+val tbe_alloc : cycle:int -> controller:string -> addr:int -> unit
+val tbe_free : cycle:int -> controller:string -> addr:int -> unit
+val note : cycle:int -> controller:string -> ?addr:int -> text:string -> unit -> unit
+
+(** {2 Rendering} *)
+
+val format_event : event -> string
+(** One line, no trailing newline, e.g.
+    ["@    482 xg.link          0x3   send xg.link_end -> accel.link_end: Invalidate 0x3"]. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : ?addr:int -> ?last:int -> t -> string
+(** Human-readable rendering of the held events, oldest first.  [addr]
+    restricts to one block (as {!events_for}); [last] keeps only the final
+    [n] matching events.  Empty string when nothing matches. *)

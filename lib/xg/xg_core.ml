@@ -1,5 +1,6 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
+module Trace = Xguard_trace.Trace
 
 type mode = Full_state | Transactional
 
@@ -56,11 +57,13 @@ type t = {
   tracks : (Addr.t, track) Hashtbl.t;
   pending : (Addr.t, per_addr) Hashtbl.t;
   stats : Group.t;
+  coverage : Group.t;
   mutable peak_bits : int;
 }
 
 let mode t = t.mode
 let stats t = t.stats
+let coverage t = t.coverage
 
 (* ---- bookkeeping ---- *)
 
@@ -134,6 +137,10 @@ let clear_track t addr = Hashtbl.remove t.tracks addr
 
 let report t kind addr =
   Group.incr t.stats ("violation." ^ Os_model.error_kind_to_string kind);
+  if Trace.on () then
+    Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name ~addr:(Addr.to_int addr)
+      ~text:("violation: " ^ Os_model.error_kind_to_string kind)
+      ();
   Os_model.report t.os kind addr
 
 let send_accel t msg =
@@ -145,6 +152,86 @@ let accel_may_be_sharer t addr =
   match t.mode with
   | Full_state -> Hashtbl.mem t.tracks addr
   | Transactional -> Perm_table.allows_read t.perms addr
+
+(* ---- transition coverage & tracing ----
+
+   The guard has no spelled-out state machine; its per-block "state" is the
+   combination of pending transaction slots, the trusted full-state table and
+   (transactionally) the page permission.  [state_key] collapses that into a
+   small vocabulary so (state x event) coverage is meaningful:
+   B_inv/B_get/B_put while a transaction is open, I/S/S_RO/E/M from the
+   full-state table, T_NA/T_RO/T_RW from permissions in transactional mode. *)
+
+let state_key t addr =
+  match Hashtbl.find_opt t.pending addr with
+  | Some { p_inv = Some _; _ } -> "B_inv"
+  | Some { p_get = Some _; _ } -> "B_get"
+  | Some { p_put = Some _; _ } -> "B_put"
+  | _ -> (
+      match t.mode with
+      | Transactional -> (
+          match Perm_table.perm t.perms addr with
+          | Perm.No_access -> "T_NA"
+          | Perm.Read_only -> "T_RO"
+          | Perm.Read_write -> "T_RW")
+      | Full_state -> (
+          match Hashtbl.find_opt t.tracks addr with
+          | None -> "I"
+          | Some { st = `S; xg_copy = Some _ } -> "S_RO"
+          | Some { st = `S; xg_copy = None } -> "S"
+          | Some { st = `E; _ } -> "E"
+          | Some { st = `M; _ } -> "M"))
+
+let visit t addr event f =
+  let before = state_key t addr in
+  Group.incr t.coverage (before ^ "." ^ event);
+  f ();
+  if Trace.on () then
+    Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
+      ~addr:(Addr.to_int addr) ~state:before ~event ~next:(state_key t addr) ()
+
+let event_of_accel_request = function
+  | Xg_iface.Get_s -> "GetS"
+  | Xg_iface.Get_m -> "GetM"
+  | Xg_iface.Put_s -> "PutS"
+  | Xg_iface.Put_e _ -> "PutE"
+  | Xg_iface.Put_m _ -> "PutM"
+
+let event_of_accel_response = function
+  | Xg_iface.Clean_wb _ -> "CleanWB"
+  | Xg_iface.Dirty_wb _ -> "DirtyWB"
+  | Xg_iface.Inv_ack -> "InvAck"
+
+let event_of_host_need = function
+  | Fwd_s -> "Fwd_S"
+  | Fwd_m -> "Fwd_M"
+  | Recall -> "Recall"
+
+let coverage_space =
+  let requests = [ "GetS"; "GetM"; "PutS"; "PutE"; "PutM" ] in
+  let responses = [ "CleanWB"; "DirtyWB"; "InvAck" ] in
+  let host_needs = [ "Fwd_S"; "Fwd_M"; "Recall" ] in
+  let states =
+    [ "I"; "S"; "S_RO"; "E"; "M"; "B_get"; "B_put"; "B_inv"; "T_NA"; "T_RO"; "T_RW" ]
+  in
+  let possible state event =
+    if List.mem event requests || List.mem event responses then true
+    else if List.mem event host_needs then
+      (* [host_request] asserts no invalidation is already pending. *)
+      state <> "B_inv"
+    else
+      (* A pending invalidation masks the busy-get/busy-put facets in
+         [state_key] (it is checked first), so a host grant or put
+         completion can also arrive while the guard reads as B_inv. *)
+      match event with
+      | "Grant" -> state = "B_get" || state = "B_inv"
+      | "PutDone" -> state = "B_put" || state = "B_inv"
+      | "Timeout" -> state = "B_inv"
+      | _ -> false
+  in
+  Xguard_trace.Coverage.space ~name:"xg" ~states
+    ~events:(requests @ responses @ host_needs @ [ "Grant"; "PutDone"; "Timeout" ])
+    ~possible ()
 
 (* ---- host-initiated invalidations ---- *)
 
@@ -174,16 +261,18 @@ let start_accel_invalidation t addr (p : per_addr) inv =
   Engine.schedule t.engine ~delay:t.timeout (fun () ->
       match p.p_inv with
       | Some i when i == inv && not i.replied ->
-          report t Os_model.Response_timeout addr;
-          Group.incr t.stats "timeout_reply_for_accel";
-          clear_track t addr;
-          reply_once t p i (default_reply t i);
-          (* The late response, if any, must be swallowed. *)
-          p.absorb <- p.absorb + 1;
-          finish_inv t addr p
+          visit t addr "Timeout" (fun () ->
+              report t Os_model.Response_timeout addr;
+              Group.incr t.stats "timeout_reply_for_accel";
+              clear_track t addr;
+              reply_once t p i (default_reply t i);
+              (* The late response, if any, must be swallowed. *)
+              p.absorb <- p.absorb + 1;
+              finish_inv t addr p)
       | _ -> ())
 
 let host_request t addr ~need ~reply =
+  visit t addr (event_of_host_need need) @@ fun () ->
   let p = slot t addr in
   assert (p.p_inv = None);
   (* A pending put here can only be a non-owner PutS still settling with the
@@ -245,6 +334,7 @@ let host_request t addr ~need ~reply =
 (* ---- accelerator responses ---- *)
 
 let accel_response t addr (resp : Xg_iface.accel_response) =
+  visit t addr (event_of_accel_response resp) @@ fun () ->
   let p = slot t addr in
   match p.p_inv with
   | Some inv -> (
@@ -482,6 +572,7 @@ and accel_request t addr (req : Xg_iface.accel_request) =
 (* ---- host-side completions ---- *)
 
 let granted t addr grant =
+  visit t addr "Grant" @@ fun () ->
   let p = slot t addr in
   match p.p_get with
   | None -> failwith (t.name ^ ": host grant without an open get")
@@ -524,6 +615,7 @@ let granted t addr grant =
       prune t addr p
 
 let put_complete t addr =
+  visit t addr "PutDone" @@ fun () ->
   let p = slot t addr in
   match p.p_put with
   | None -> failwith (t.name ^ ": put completion without an open put")
@@ -553,6 +645,7 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
       tracks = Hashtbl.create 256;
       pending = Hashtbl.create 64;
       stats = Group.create (name ^ ".stats");
+      coverage = Group.create (name ^ ".coverage");
       peak_bits = 0;
     }
   in
@@ -564,9 +657,13 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
               if Os_model.accel_disabled t.os then Group.incr t.stats "request_dropped_disabled"
               else begin
                 Group.incr t.stats "accel_request";
+                let visited () =
+                  visit t addr (event_of_accel_request req) (fun () ->
+                      accel_request t addr req)
+                in
                 match t.rate_limiter with
-                | Some rl -> Rate_limiter.admit rl (fun () -> accel_request t addr req)
-                | None -> accel_request t addr req
+                | Some rl -> Rate_limiter.admit rl visited
+                | None -> visited ()
               end
           | Xg_iface.To_xg_resp { addr; resp } ->
               (* Responses are never rate limited (§2.5). *)

@@ -124,3 +124,16 @@ val storage_bits : t -> int
     blocks if any). *)
 
 val stats : t -> Xguard_stats.Counter.Group.t
+
+val coverage : t -> Xguard_stats.Counter.Group.t
+(** Per-engine (state × event) visit counters, keyed ["STATE.Event"], scored
+    against {!coverage_space}. *)
+
+val coverage_space : Xguard_trace.Coverage.space
+(** The guard's transition vocabulary.  States: the trusted stable states
+    ([I]/[S]/[S_RO]/[E]/[M], full-state mode), permission classes
+    ([T_NA]/[T_RO]/[T_RW], transactional mode) and the busy states
+    ([B_get]/[B_put]/[B_inv]) while a transaction is open.  Events:
+    accelerator requests and responses, host needs, host completions and the
+    G2c timeout.  A single space spans both modes; merge coverage groups from
+    runs of each mode to fill it. *)

@@ -57,6 +57,13 @@ let pp_accel_response fmt = function
   | Dirty_wb d -> Format.fprintf fmt "DirtyWB(%a)" Data.pp d
   | Inv_ack -> Format.pp_print_string fmt "InvAck"
 
+let msg_addr = function
+  | To_xg_req { addr; _ }
+  | To_xg_resp { addr; _ }
+  | To_accel_resp { addr; _ }
+  | To_accel_req { addr; _ } ->
+      addr
+
 let pp_msg fmt = function
   | To_xg_req { addr; req } -> Format.fprintf fmt "%a %a" pp_accel_request req Addr.pp addr
   | To_xg_resp { addr; resp } ->

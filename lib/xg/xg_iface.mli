@@ -57,6 +57,9 @@ val msg_size : msg -> int
 (** Bytes on the wire: {!Xguard_network.Network.data_size} when data is
     attached, [control_size] otherwise. *)
 
+val msg_addr : msg -> Addr.t
+(** The block address a message concerns (every link message names one). *)
+
 val pp_accel_request : Format.formatter -> accel_request -> unit
 val pp_xg_response : Format.formatter -> xg_response -> unit
 val pp_accel_response : Format.formatter -> accel_response -> unit

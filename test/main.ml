@@ -16,4 +16,7 @@ let () =
          Test_conformance.tests;
          Test_accel_l2.tests;
          Test_xg_core.tests;
+         Test_trace.tests;
+         Test_regression_seeds.tests;
+         Test_coverage_floor.tests;
        ])

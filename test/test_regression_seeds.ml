@@ -1,0 +1,101 @@
+(* Seeded regression suite: fixed seeds replayed through the random tester and
+   the fuzzer on representative configurations.  Any failure is reproducible
+   by construction — the assertion message carries the seed and the armed
+   trace buffer's per-address event trail, which is exactly the forensics
+   workflow ("--trace" on the CLI) exercised end to end. *)
+
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Tester = Xguard_harness.Random_tester
+module Fuzz = Xguard_harness.Fuzz_tester
+module Trace = Xguard_trace.Trace
+module Rng = Xguard_sim.Rng
+module Xg = Xguard_xg
+
+let seeds = [ 1; 7; 1234 ]
+
+let stress_configs =
+  [
+    Config.make Config.Hammer (Config.Xg_one_level Config.Full_state);
+    Config.make Config.Hammer (Config.Xg_one_level Config.Transactional);
+    Config.make Config.Mesi (Config.Xg_one_level Config.Full_state);
+    Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
+    Config.make Config.Hammer (Config.Xg_two_level Config.Transactional);
+    Config.make Config.Mesi (Config.Xg_two_level Config.Full_state);
+  ]
+
+let fuzz_configs =
+  [
+    Config.make Config.Hammer (Config.Xg_one_level Config.Full_state);
+    Config.make Config.Hammer (Config.Xg_one_level Config.Transactional);
+    Config.make Config.Mesi (Config.Xg_one_level Config.Full_state);
+    Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
+  ]
+
+let trail ?addr tr =
+  let d = Trace.dump ?addr ~last:40 tr in
+  if d = "" then "(no trace events)" else d
+
+let stress_one cfg seed =
+  let cfg = Config.stress_sized { cfg with Config.seed = seed } in
+  let label = Config.name cfg in
+  let sys = System.build cfg in
+  let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+  let tr = Trace.create ~capacity:4096 () in
+  let o =
+    Trace.with_armed tr (fun () ->
+        Tester.run ~engine:sys.System.engine
+          ~rng:(Rng.create ~seed:(seed * 7 + 1))
+          ~ports ~addresses:(Array.init 6 Addr.block) ~ops_per_core:300 ())
+  in
+  if o.Tester.deadlocked then
+    Alcotest.failf "%s seed %d: deadlocked after %d ops; trail:\n%s" label seed
+      o.Tester.ops_completed (trail tr);
+  if o.Tester.data_errors > 0 then
+    Alcotest.failf "%s seed %d: %d data errors (first at %s); trail:\n%s" label seed
+      o.Tester.data_errors
+      (match o.Tester.first_error_addr with
+      | Some a -> Printf.sprintf "0x%x" a
+      | None -> "?")
+      (trail ?addr:o.Tester.first_error_addr tr);
+  let viol = Xg.Os_model.error_count sys.System.os in
+  if viol > 0 then
+    Alcotest.failf "%s seed %d: %d guard violations from legitimate caches; trail:\n%s" label
+      seed viol (trail tr)
+
+let fuzz_one cfg seed =
+  let cfg = Config.stress_sized { cfg with Config.seed = seed } in
+  let label = Config.name cfg in
+  let tr = Trace.create ~capacity:4096 () in
+  let o =
+    Fuzz.run cfg ~pool:Fuzz.Disjoint ~cpu_ops:150 ~chaos_duration:20_000 ~trace:tr ()
+  in
+  (match o.Fuzz.crashed with
+  | Some c ->
+      Alcotest.failf "%s seed %d: crashed: %s; trail:\n%s" label c.Fuzz.seed c.Fuzz.exn_text
+        (String.concat "\n" (List.map Trace.format_event c.Fuzz.trace_tail))
+  | None -> ());
+  if o.Fuzz.deadlocked then
+    Alcotest.failf "%s seed %d: deadlocked; trail:\n%s" label o.Fuzz.seed
+      (String.concat "\n" (List.map Trace.format_event o.Fuzz.trace_tail));
+  if o.Fuzz.cpu_data_errors > 0 then
+    Alcotest.failf "%s seed %d: %d CPU data errors on a disjoint pool; trail:\n%s" label
+      o.Fuzz.seed o.Fuzz.cpu_data_errors
+      (String.concat "\n" (List.map Trace.format_event o.Fuzz.trace_tail))
+
+let test_stress_seeds () =
+  List.iter (fun cfg -> List.iter (stress_one cfg) seeds) stress_configs
+
+let test_fuzz_seeds () =
+  List.iter (fun cfg -> List.iter (fuzz_one cfg) seeds) fuzz_configs
+
+let tests =
+  [
+    ( "regression-seeds",
+      [
+        Alcotest.test_case "random tester, fixed seeds, all XG organizations" `Quick
+          test_stress_seeds;
+        Alcotest.test_case "fuzzer, fixed seeds, one-level XG organizations" `Quick
+          test_fuzz_seeds;
+      ] );
+  ]

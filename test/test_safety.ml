@@ -70,7 +70,7 @@ let fuzz_one ?(pool = Fuzz.Shared_rw) cfg =
   let outcome = Fuzz.run cfg ~pool () in
   let label = Config.name cfg in
   (match outcome.Fuzz.crashed with
-  | Some e -> Alcotest.failf "%s: fuzz crashed the host: %s" label e
+  | Some c -> Alcotest.failf "%s: fuzz crashed the host: %s" label c.Fuzz.exn_text
   | None -> ());
   check_bool (label ^ ": no deadlock under fuzzing") false outcome.Fuzz.deadlocked;
   check_int (label ^ ": all CPU ops complete") outcome.Fuzz.cpu_ops_expected
@@ -106,7 +106,7 @@ let test_fuzz_never_responding_accel () =
           let outcome = Fuzz.run cfg ~pool:Fuzz.Disjoint ~respond_probability:0.0 () in
           let label = Config.name cfg ^ " (mute)" in
           (match outcome.Fuzz.crashed with
-          | Some e -> Alcotest.failf "%s crashed: %s" label e
+          | Some c -> Alcotest.failf "%s crashed: %s" label c.Fuzz.exn_text
           | None -> ());
           check_bool (label ^ ": no deadlock") false outcome.Fuzz.deadlocked;
           check_bool (label ^ ": timeouts fired") true

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Build the project and run the transition-coverage floor suite.
+#
+# The suite drives the random tester and the fuzzer over both hosts and both
+# Crossing Guard modes, merges every controller's (state x event) coverage
+# counters, and fails if any controller drops below its registered floor
+# (test/test_coverage_floor.ml), printing the uncovered transitions.
+#
+# Usage: tools/check_coverage.sh
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+exec dune exec test/main.exe -- test coverage-floor -v
