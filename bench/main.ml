@@ -7,6 +7,10 @@
      bench/main.exe --quick         run every experiment (reduced size)
      bench/main.exe --trace ...     arm the event ring buffer; if an
                                     experiment crashes, dump the trail
+                                    (requires -j 1)
+     bench/main.exe -j 4            run experiments on 4 domains
+     bench/main.exe --json OUT      also write tables + wall times as JSON
+                                    (the BENCH_*.json trajectory files)
      bench/main.exe e3 e4           run selected experiments
      bench/main.exe micro           run the Bechamel micro-suite
 *)
@@ -17,6 +21,8 @@ module Rng = Xguard_sim.Rng
 module Config = Xguard_harness.Config
 module System = Xguard_harness.System
 module Tester = Xguard_harness.Random_tester
+module Pool = Xguard_parallel.Pool
+module Table = Xguard_stats.Table
 
 let print_report (r : Experiments.report) =
   Printf.printf "==============================================================\n";
@@ -95,6 +101,8 @@ let bench_perf_family =
               (Config.make Config.Hammer Config.Accel_side)
               (Xguard_workload.Workload.blocked ~tiles:4 ()))))
 
+(* Returns [(name, ns_per_run option)] so the JSON emitter can record the
+   micro trajectory alongside the experiment tables. *)
 let run_micro () =
   let open Bechamel in
   let benchmarks =
@@ -108,19 +116,25 @@ let run_micro () =
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let results =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
           Toolkit.Instance.monotonic_clock results
       in
-      Hashtbl.iter
-        (fun name result ->
-          match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n%!" name est
-          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
-        results)
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | _ -> None
+          in
+          (match est with
+          | Some e -> Printf.printf "%-28s %12.1f ns/run\n%!" name e
+          | None -> Printf.printf "%-28s (no estimate)\n%!" name);
+          (name, est) :: acc)
+        results [])
     benchmarks
 
 (* With --trace, run [f] with an armed ring buffer and dump its tail if the
@@ -137,23 +151,159 @@ let with_tracing ~traced f =
       raise e
   end
 
+(* ---- hand-rolled JSON (the container carries no yojson) ---- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_list buf add items =
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_char buf ',';
+      add buf x)
+    items;
+  Buffer.add_char buf ']'
+
+let add_json_table buf t =
+  Buffer.add_string buf "{\"title\":";
+  add_json_string buf (Table.title t);
+  Buffer.add_string buf ",\"columns\":";
+  add_json_list buf add_json_string (Table.columns t);
+  Buffer.add_string buf ",\"rows\":";
+  add_json_list buf (fun buf row -> add_json_list buf add_json_string row) (Table.rows t);
+  Buffer.add_char buf '}'
+
+(* One trajectory file per run: experiment tables (deterministic) plus wall
+   times (not).  Perf regressions show up as drift in [wall_s] across the
+   committed BENCH_*.json sequence; result regressions as diffs in [tables]. *)
+let emit_json ~path ~quick ~experiments ~micro =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"schema\":\"xguard-bench-v1\"";
+  Printf.bprintf buf ",\"quick\":%b" quick;
+  (match experiments with
+  | [] -> ()
+  | _ ->
+      Buffer.add_string buf ",\"experiments\":";
+      add_json_list buf
+        (fun buf (r, wall_s) ->
+          Buffer.add_string buf "{\"id\":";
+          add_json_string buf r.Experiments.id;
+          Buffer.add_string buf ",\"title\":";
+          add_json_string buf r.Experiments.title;
+          Printf.bprintf buf ",\"wall_s\":%.3f" wall_s;
+          Buffer.add_string buf ",\"tables\":";
+          add_json_list buf add_json_table r.Experiments.tables;
+          Buffer.add_char buf '}')
+        experiments);
+  (match micro with
+  | [] -> ()
+  | _ ->
+      Buffer.add_string buf ",\"micro\":";
+      add_json_list buf
+        (fun buf (name, est) ->
+          Buffer.add_string buf "{\"name\":";
+          add_json_string buf name;
+          (match est with
+          | Some ns -> Printf.bprintf buf ",\"ns_per_run\":%.1f" ns
+          | None -> ());
+          Buffer.add_char buf '}')
+        micro);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let usage () =
+  Printf.eprintf
+    "usage: bench/main.exe [--quick] [--trace] [-j N] [--json OUT] [EXPERIMENT...|micro]\n";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let traced = List.mem "--trace" args in
-  let args = List.filter (fun a -> a <> "--quick" && a <> "--trace") args in
-  match args with
-  | [] ->
-      with_tracing ~traced (fun () -> List.iter print_report (Experiments.all ~quick ()));
-      Printf.printf "\n(micro-benchmarks: run with `micro`)\n"
-  | [ "micro" ] -> run_micro ()
+  let jobs = ref 1 in
+  let json = ref None in
+  let quick = ref false in
+  let traced = ref false in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: tl -> quick := true; parse tl
+    | "--trace" :: tl -> traced := true; parse tl
+    | ("-j" | "--jobs") :: n :: tl -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 -> jobs := v; parse tl
+        | _ -> Printf.eprintf "-j expects a positive integer, got %S\n" n; exit 2)
+    | "--json" :: path :: tl -> json := Some path; parse tl
+    | [ ("-j" | "--jobs" | "--json") ] -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "unknown option %S\n" a;
+        usage ()
+    | a :: tl -> selected := !selected @ [ a ]; parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick and traced = !traced and jobs = !jobs in
+  if traced && jobs > 1 then begin
+    (* The trace ring's arming state is process-global — see Trace. *)
+    Printf.eprintf "--trace requires -j 1\n";
+    exit 2
+  end;
+  match !selected with
+  | [ "micro" ] ->
+      let micro = run_micro () in
+      Option.iter (fun path -> emit_json ~path ~quick ~experiments:[] ~micro) !json
   | ids ->
-      List.iter
-        (fun id ->
-          match Experiments.by_id id with
-          | Some f -> with_tracing ~traced (fun () -> print_report (f ~quick ()))
-          | None ->
-              Printf.eprintf "unknown experiment %S; known: %s, micro\n" id
-                (String.concat ", " Experiments.ids);
-              exit 1)
-        ids
+      let ids = if ids = [] then Experiments.ids else ids in
+      let runs =
+        Array.of_list
+          (List.map
+             (fun id ->
+               match Experiments.by_id id with
+               | Some f -> (id, f)
+               | None ->
+                   Printf.eprintf "unknown experiment %S; known: %s, micro\n" id
+                     (String.concat ", " Experiments.ids);
+                   exit 1)
+             ids)
+      in
+      (* Experiments are independent simulations; fan them out over domains.
+         Results are printed in selection order afterwards, so output is
+         byte-identical for any -j (wall times in --json excepted). *)
+      let results =
+        Pool.map ~workers:jobs ~jobs:(Array.length runs) (fun i ->
+            let _, f = runs.(i) in
+            let t0 = Unix.gettimeofday () in
+            let r = with_tracing ~traced (fun () -> f ~quick ()) in
+            (r, Unix.gettimeofday () -. t0))
+      in
+      let ok = ref [] in
+      let failed = ref false in
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | Pool.Done ((r, _) as run) ->
+              print_report r;
+              ok := run :: !ok
+          | Pool.Failed msg ->
+              failed := true;
+              Printf.eprintf "experiment %s FAILED: %s\n" (fst runs.(i)) msg)
+        results;
+      Option.iter
+        (fun path -> emit_json ~path ~quick ~experiments:(List.rev !ok) ~micro:[])
+        !json;
+      if ids = Experiments.ids && !json = None then
+        Printf.printf "\n(micro-benchmarks: run with `micro`)\n";
+      if !failed then exit 1

@@ -4,13 +4,19 @@
      run      — run a workload on one configuration and print its statistics
      stress   — random coherence stress test (paper §4.1)
      fuzz     — bombard the guard with a pathological accelerator (paper §4)
+     campaign — sharded stress/fuzz sweep over configurations × seeds
      report   — regenerate a reproduced table/figure (same as bench/main.exe)
      list     — enumerate configurations, workloads and experiments
 
    run/stress/fuzz accept --trace (arm the protocol event ring buffer and
    dump the per-address trail plus replay seed on failure), --trace-out FILE
-   (write that trail to a file) and, for stress/fuzz, --coverage (print the
-   per-controller state x event transition-coverage matrices).
+   (write that trail to a file) and, for stress/fuzz/campaign, --coverage
+   (print the per-controller state x event transition-coverage matrices).
+
+   stress, fuzz and campaign accept -j N to fan their independent runs out
+   over N domains (Xguard_parallel.Pool).  Results are merged in job order,
+   so the output is byte-identical for any -j; only wall-clock changes.
+   --trace requires -j 1 (the trace ring buffer is armed process-wide).
 *)
 
 open Cmdliner
@@ -26,6 +32,8 @@ module Rng = Xguard_sim.Rng
 module Xg = Xguard_xg
 module Trace = Xguard_trace.Trace
 module Coverage = Xguard_trace.Coverage
+module Pool = Xguard_parallel.Pool
+module Campaign = Xguard_harness.Campaign
 
 let find_config name =
   List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
@@ -71,6 +79,21 @@ let coverage_flag =
 
 let make_trace ~trace ~trace_out =
   if trace || trace_out <> None then Some (Trace.create ~capacity:8192 ()) else None
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Fan independent runs out over $(docv) worker domains (1 = serial). \
+                 Results are merged in job order, so output is byte-identical for \
+                 any $(docv).")
+
+(* The trace ring buffer is armed process-wide (Trace.with_armed), so traced
+   sweeps must stay on one domain. *)
+let check_trace_jobs ~jobs tr =
+  if jobs > 1 && tr <> None then begin
+    Printf.eprintf "--trace/--trace-out require -j 1\n";
+    exit 1
+  end
 
 let maybe_armed tr f = match tr with None -> f () | Some tr -> Trace.with_armed tr f
 
@@ -145,43 +168,67 @@ let stress_cmd =
   let seeds_arg =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
-  let action config seed ops seeds trace trace_out coverage =
+  let action config seed ops seeds jobs trace trace_out coverage =
     with_config config seed (fun base ->
         let tr = make_trace ~trace ~trace_out in
+        check_trace_jobs ~jobs tr;
+        (* Each seed is one pool job producing its report line, optional
+           failure trail and coverage groups; printing happens afterwards in
+           seed order, so -j N output is byte-identical to -j 1. *)
+        let results =
+          Pool.map ~workers:jobs ~jobs:seeds (fun i ->
+              let s = seed + i in
+              let cfg = Config.stress_sized { base with Config.seed = s } in
+              let sys = System.build cfg in
+              let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+              Option.iter Trace.clear tr;
+              let o =
+                maybe_armed tr (fun () ->
+                    Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1))
+                      ~ports ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ())
+              in
+              let viol = Xg.Os_model.error_count sys.System.os in
+              let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
+              let line =
+                Printf.sprintf
+                  "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s"
+                  s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
+                  (if bad then "FAIL" else "ok")
+              in
+              let trail =
+                if bad then
+                  Option.map
+                    (fun tr ->
+                      let addr = o.Tester.first_error_addr in
+                      ( Printf.sprintf
+                          "-- seed %d event trail%s (replay with --seed %d --seeds 1) --" s
+                          (match addr with
+                          | Some a -> Printf.sprintf " for block 0x%x" a
+                          | None -> "")
+                          s,
+                        Trace.dump ?addr ~last:tail_events tr ))
+                    tr
+                else None
+              in
+              let cov = if coverage then Some (sys.System.coverage_sets ()) else None in
+              (line, bad, trail, cov))
+        in
         let failures = ref 0 in
         let cov_runs = ref [] in
-        for s = seed to seed + seeds - 1 do
-          let cfg = Config.stress_sized { base with Config.seed = s } in
-          let sys = System.build cfg in
-          let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
-          Option.iter Trace.clear tr;
-          let o =
-            maybe_armed tr (fun () ->
-                Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1)) ~ports
-                  ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ())
-          in
-          let viol = Xg.Os_model.error_count sys.System.os in
-          let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
-          if bad then incr failures;
-          if coverage then cov_runs := sys.System.coverage_sets () :: !cov_runs;
-          Printf.printf "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s\n"
-            s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
-            (if bad then "FAIL" else "ok");
-          if bad then
-            Option.iter
-              (fun tr ->
-                let addr = o.Tester.first_error_addr in
-                emit_trail ~trace_out
-                  ~header:
-                    (Printf.sprintf "-- seed %d event trail%s (replay with --seed %d --seeds 1) --"
-                       s
-                       (match addr with
-                       | Some a -> Printf.sprintf " for block 0x%x" a
-                       | None -> "")
-                       s)
-                  (Trace.dump ?addr ~last:tail_events tr))
-              tr
-        done;
+        Array.iteri
+          (fun i result ->
+            match result with
+            | Pool.Failed e ->
+                (* Crash isolation: the wedged seed reports as a failure
+                   instead of killing the sweep. *)
+                incr failures;
+                Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
+            | Pool.Done (line, bad, trail, cov) ->
+                if bad then incr failures;
+                Option.iter (fun c -> cov_runs := c :: !cov_runs) cov;
+                Printf.printf "%s\n" line;
+                Option.iter (fun (header, text) -> emit_trail ~trace_out ~header text) trail)
+          results;
         if coverage then begin
           match List.rev !cov_runs with
           | [] -> ()
@@ -203,8 +250,8 @@ let stress_cmd =
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
-    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ trace_flag
-          $ trace_out_arg $ coverage_flag)
+    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ jobs_arg
+          $ trace_flag $ trace_out_arg $ coverage_flag)
 
 (* ---- fuzz ---- *)
 
@@ -219,7 +266,13 @@ let fuzz_cmd =
                    $(b,--mute) disables the paper's timeout defense and forces a \
                    deadlock, to exercise the $(b,--trace) forensics path.")
   in
-  let action config seed mute timeout trace trace_out coverage =
+  let seeds_arg =
+    Arg.(value & opt int 1
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Sweep $(docv) consecutive seeds; outcomes are merged \
+                   (Fuzz_tester.merge) into one report.")
+  in
+  let action config seed seeds jobs mute timeout trace trace_out coverage =
     with_config config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
@@ -229,10 +282,36 @@ let fuzz_cmd =
           match timeout with None -> cfg | Some t -> { cfg with Config.xg_timeout = t }
         in
         let tr = make_trace ~trace ~trace_out in
-        let o =
-          if mute then Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
-          else Fuzz.run cfg ?trace:tr ()
+        check_trace_jobs ~jobs tr;
+        let results =
+          Pool.map ~workers:jobs ~jobs:seeds (fun i ->
+              let cfg = { cfg with Config.seed = seed + i } in
+              Option.iter Trace.clear tr;
+              if mute then
+                Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
+              else Fuzz.run cfg ?trace:tr ())
         in
+        let pool_crashes = ref 0 in
+        let merged = ref None in
+        Array.iteri
+          (fun i result ->
+            match result with
+            | Pool.Failed e ->
+                incr pool_crashes;
+                Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
+            | Pool.Done o ->
+                if seeds > 1 then
+                  Printf.printf
+                    "seed %-6d chaos=%-6d ops=%d/%d crashed=%-3s deadlock=%-5b violations=%-4d %s\n"
+                    o.Fuzz.seed o.Fuzz.chaos_messages o.Fuzz.cpu_ops_completed
+                    o.Fuzz.cpu_ops_expected
+                    (match o.Fuzz.crashed with Some _ -> "yes" | None -> "no")
+                    o.Fuzz.deadlocked o.Fuzz.violations
+                    (if o.Fuzz.crashed <> None || o.Fuzz.deadlocked then "FAIL" else "ok");
+                merged := Some (match !merged with None -> o | Some m -> Fuzz.merge m o))
+          results;
+        (match !merged with None -> Printf.printf "no run completed\n"; exit 1 | Some _ -> ());
+        let o = Option.get !merged in
         Printf.printf "chaos messages     %d\n" o.Fuzz.chaos_messages;
         Printf.printf "cpu ops            %d/%d\n" o.Fuzz.cpu_ops_completed o.Fuzz.cpu_ops_expected;
         Printf.printf "crashed            %s\n"
@@ -257,12 +336,77 @@ let fuzz_cmd =
                  | None -> "")
                  o.Fuzz.seed)
             (String.concat "\n" (List.map Trace.format_event tail));
-        if o.Fuzz.crashed <> None || o.Fuzz.deadlocked then exit 1)
+        if o.Fuzz.crashed <> None || o.Fuzz.deadlocked || !pool_crashes > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
-    Term.(const action $ config_arg $ seed_arg $ mute_arg $ timeout_arg $ trace_flag
-          $ trace_out_arg $ coverage_flag)
+    Term.(const action $ config_arg $ seed_arg $ seeds_arg $ jobs_arg $ mute_arg
+          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag)
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let config_arg =
+    let doc =
+      "Configuration to sweep, or $(b,all) for the full 12-configuration matrix. \
+       Known: " ^ String.concat ", " config_names ^ "."
+    in
+    Arg.(value & opt string "all" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+  in
+  let seeds_arg =
+    Arg.(value & opt int 20
+         & info [ "seeds" ] ~docv:"N" ~doc:"Runs per configuration per campaign kind.")
+  in
+  let kind_arg =
+    let kinds = [ ("stress", Campaign.Stress); ("fuzz", Campaign.Fuzz); ("both", Campaign.Both) ] in
+    Arg.(value & opt (enum kinds) Campaign.Both
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"$(b,stress) (random coherence tester, every configuration), \
+                   $(b,fuzz) (chaos accelerator, XG configurations) or $(b,both).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 500
+         & info [ "ops" ] ~docv:"N" ~doc:"Stress operations per core per run.")
+  in
+  let cpu_ops_arg =
+    Arg.(value & opt int 300
+         & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
+  in
+  let action config seeds jobs kind ops cpu_ops seed coverage =
+    let configs =
+      if config = "all" then Config.all_configurations ()
+      else
+        match find_config config with
+        | Some c -> [ c ]
+        | None ->
+            Printf.eprintf "unknown configuration %S\nknown: all, %s\n" config
+              (String.concat ", " config_names);
+            exit 1
+    in
+    let result =
+      Campaign.run ~workers:jobs ~collect_coverage:coverage ~stress_ops:ops
+        ~fuzz_cpu_ops:cpu_ops ~base_seed:seed kind ~configs ~seeds ()
+    in
+    print_string (Campaign.render result);
+    if not (Campaign.passed result) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Sharded stress/fuzz sweep over configurations x seeds (paper section 4)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Shards the paper's evaluation matrix — configurations x seeds, for \
+               the random coherence tester and the guard fuzzer — into independent \
+               jobs executed by a fixed pool of worker domains.  Each job's seed is \
+               derived deterministically from the base seed and the job's position, \
+               outcomes are merged in job order with the pure merge functions of \
+               the stats/coverage/harness layers, and the rendered report is \
+               byte-identical for any $(b,-j).  A crashing job is isolated and \
+               reported as a failed run for its configuration.";
+         ])
+    Term.(const action $ config_arg $ seeds_arg $ jobs_arg $ kind_arg $ ops_arg
+          $ cpu_ops_arg $ seed_arg $ coverage_flag)
 
 (* ---- report ---- *)
 
@@ -307,4 +451,6 @@ let list_cmd =
 let () =
   let doc = "Crossing Guard: mediating host-accelerator coherence interactions (reproduction)" in
   let info = Cmd.info "xguard" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; stress_cmd; fuzz_cmd; report_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; stress_cmd; fuzz_cmd; campaign_cmd; report_cmd; list_cmd ]))

@@ -1,0 +1,252 @@
+module Rng = Xguard_sim.Rng
+module Table = Xguard_stats.Table
+module Coverage = Xguard_trace.Coverage
+module Pool = Xguard_parallel.Pool
+module Xg = Xguard_xg
+
+type kind = Stress | Fuzz | Both
+
+type t = {
+  tables : Table.t list;
+  coverage : Coverage.report list;
+  jobs : int;
+  failures : int;
+  crashes : int;
+}
+
+type coverage_sets =
+  (string * Coverage.space * Xguard_stats.Counter.Group.t list) list
+
+(* One job = one self-contained simulator run.  The result carries everything
+   the fold needs so no job ever touches shared state. *)
+type job_result =
+  | Stress_r of Random_tester.outcome * int (* guard violations *) * coverage_sets
+  | Fuzz_r of Fuzz_tester.outcome * coverage_sets
+
+let stress_configs kind configs =
+  match kind with Stress | Both -> configs | Fuzz -> []
+
+let fuzz_configs kind configs =
+  match kind with
+  | Fuzz | Both -> List.filter Config.uses_xg configs
+  | Stress -> []
+
+let job_count kind ~configs ~seeds =
+  seeds * (List.length (stress_configs kind configs) + List.length (fuzz_configs kind configs))
+
+let run_stress ~collect_coverage ~ops cfg seed =
+  let cfg = Config.stress_sized { cfg with Config.seed = seed } in
+  let sys = System.build cfg in
+  let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+  let o =
+    Random_tester.run ~engine:sys.System.engine
+      ~rng:(Rng.create ~seed:(seed + 1))
+      ~ports
+      ~addresses:(Array.init 6 Addr.block)
+      ~ops_per_core:ops ()
+  in
+  let violations = Xg.Os_model.error_count sys.System.os in
+  let cov = if collect_coverage then sys.System.coverage_sets () else [] in
+  Stress_r (o, violations, cov)
+
+let run_fuzz ~collect_coverage ~cpu_ops cfg seed =
+  let o = Fuzz_tester.run { cfg with Config.seed } ~cpu_ops () in
+  let cov = if collect_coverage then o.Fuzz_tester.coverage_sets else [] in
+  Fuzz_r (o, cov)
+
+(* Per-configuration accumulator for the summary tables. *)
+type acc = {
+  mutable runs : int;
+  mutable ops : int;
+  mutable chaos : int;
+  mutable ops_expected : int;
+  mutable data_errors : int;
+  mutable deadlocks : int;
+  mutable violations : int;
+  mutable crashes : int;
+  mutable failed_runs : int;
+}
+
+let fresh_acc () =
+  {
+    runs = 0;
+    ops = 0;
+    chaos = 0;
+    ops_expected = 0;
+    data_errors = 0;
+    deadlocks = 0;
+    violations = 0;
+    crashes = 0;
+    failed_runs = 0;
+  }
+
+let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
+    ?(fuzz_cpu_ops = 300) ?(base_seed = 42) kind ~configs ~seeds () =
+  if seeds < 0 then invalid_arg "Campaign.run: negative seed count";
+  let s_configs = Array.of_list (stress_configs kind configs) in
+  let f_configs = Array.of_list (fuzz_configs kind configs) in
+  let n_stress = Array.length s_configs * seeds in
+  let n_fuzz = Array.length f_configs * seeds in
+  let jobs = n_stress + n_fuzz in
+  let job_seeds = Pool.Seed.derive_all ~base:base_seed ~count:jobs in
+  let job i =
+    let seed = job_seeds.(i) in
+    if i < n_stress then
+      run_stress ~collect_coverage ~ops:stress_ops s_configs.(i / seeds) seed
+    else run_fuzz ~collect_coverage ~cpu_ops:fuzz_cpu_ops f_configs.((i - n_stress) / seeds) seed
+  in
+  let results = Pool.map ~workers ~jobs job in
+  (* Fold per configuration, in job order: byte-identical for any [workers]. *)
+  let cov_order : string list ref = ref [] in
+  let cov_tbl :
+      (string, Coverage.space * Xguard_stats.Counter.Group.t list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let note_coverage sets =
+    List.iter
+      (fun (name, space, groups) ->
+        match Hashtbl.find_opt cov_tbl name with
+        | Some (_, acc) -> acc := !acc @ groups
+        | None ->
+            cov_order := name :: !cov_order;
+            Hashtbl.add cov_tbl name (space, ref groups))
+      sets
+  in
+  let fold_block configs offset fail_of =
+    Array.mapi
+      (fun c cfg ->
+        let acc = fresh_acc () in
+        for s = 0 to seeds - 1 do
+          acc.runs <- acc.runs + 1;
+          match results.(offset + (c * seeds) + s) with
+          | Pool.Failed _ ->
+              acc.crashes <- acc.crashes + 1;
+              acc.failed_runs <- acc.failed_runs + 1
+          | Pool.Done r ->
+              let failed = fail_of acc r in
+              if failed then acc.failed_runs <- acc.failed_runs + 1
+        done;
+        (cfg, acc))
+      configs
+  in
+  let stress_rows =
+    fold_block s_configs 0 (fun acc r ->
+        match r with
+        | Stress_r (o, viol, cov) ->
+            acc.ops <- acc.ops + o.Random_tester.ops_completed;
+            acc.data_errors <- acc.data_errors + o.Random_tester.data_errors;
+            if o.Random_tester.deadlocked then acc.deadlocks <- acc.deadlocks + 1;
+            acc.violations <- acc.violations + viol;
+            note_coverage cov;
+            o.Random_tester.data_errors > 0 || o.Random_tester.deadlocked || viol > 0
+        | Fuzz_r _ -> assert false)
+  in
+  let fuzz_rows =
+    fold_block f_configs n_stress (fun acc r ->
+        match r with
+        | Fuzz_r (o, cov) ->
+            acc.chaos <- acc.chaos + o.Fuzz_tester.chaos_messages;
+            acc.ops <- acc.ops + o.Fuzz_tester.cpu_ops_completed;
+            acc.ops_expected <- acc.ops_expected + o.Fuzz_tester.cpu_ops_expected;
+            acc.data_errors <- acc.data_errors + o.Fuzz_tester.cpu_data_errors;
+            if o.Fuzz_tester.deadlocked then acc.deadlocks <- acc.deadlocks + 1;
+            acc.violations <- acc.violations + o.Fuzz_tester.violations;
+            (match o.Fuzz_tester.crashed with
+            | Some _ -> acc.crashes <- acc.crashes + 1
+            | None -> ());
+            note_coverage cov;
+            (* Guard violations are the fuzzer's *purpose*, and under the
+               default shared-rw pool the accelerator may legitimately write
+               the checked blocks, so data checks are advisory (paper §2.3.2);
+               only a crash or deadlock fails a fuzz run. *)
+            o.Fuzz_tester.crashed <> None || o.Fuzz_tester.deadlocked
+        | Stress_r _ -> assert false)
+  in
+  let status acc = if acc.failed_runs = 0 then "ok" else "FAIL" in
+  let tables = ref [] in
+  if Array.length s_configs > 0 then begin
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "Campaign: random coherence stress (%d seeds/config)" seeds)
+        ~columns:
+          [ "Configuration"; "runs"; "ops"; "data errors"; "deadlocks"; "violations";
+            "crashes"; "result" ]
+    in
+    Array.iter
+      (fun (cfg, acc) ->
+        Table.add_row table
+          [
+            Config.name cfg;
+            Table.cell_int acc.runs;
+            Table.cell_int acc.ops;
+            Table.cell_int acc.data_errors;
+            Table.cell_int acc.deadlocks;
+            Table.cell_int acc.violations;
+            Table.cell_int acc.crashes;
+            status acc;
+          ])
+      stress_rows;
+    tables := [ table ]
+  end;
+  if Array.length f_configs > 0 then begin
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "Campaign: guard fuzzing (%d seeds/config)" seeds)
+        ~columns:
+          [ "Configuration"; "runs"; "chaos msgs"; "cpu ops"; "data errors";
+            "deadlocks"; "violations"; "crashes"; "result" ]
+    in
+    Array.iter
+      (fun (cfg, acc) ->
+        Table.add_row table
+          [
+            Config.name cfg;
+            Table.cell_int acc.runs;
+            Table.cell_int acc.chaos;
+            Printf.sprintf "%d/%d" acc.ops acc.ops_expected;
+            Table.cell_int acc.data_errors;
+            Table.cell_int acc.deadlocks;
+            Table.cell_int acc.violations;
+            Table.cell_int acc.crashes;
+            status acc;
+          ])
+      fuzz_rows;
+    tables := !tables @ [ table ]
+  end;
+  let coverage =
+    List.rev_map
+      (fun name ->
+        let space, groups = Hashtbl.find cov_tbl name in
+        Coverage.analyze space !groups)
+      !cov_order
+    (* [cov_order] is built last-seen-first; rev_map restores first-seen order. *)
+  in
+  let failures =
+    Array.fold_left (fun n (_, a) -> n + a.failed_runs) 0 stress_rows
+    + Array.fold_left (fun n (_, a) -> n + a.failed_runs) 0 fuzz_rows
+  in
+  let crashes =
+    Array.fold_left
+      (fun n -> function Pool.Failed _ -> n + 1 | Pool.Done _ -> n)
+      0 results
+  in
+  { tables = !tables; coverage; jobs; failures; crashes }
+
+let passed t = t.failures = 0
+
+let render t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun table ->
+      Buffer.add_string buf (Table.to_string table);
+      Buffer.add_char buf '\n')
+    t.tables;
+  List.iter
+    (fun report ->
+      Buffer.add_string buf (Coverage.to_string report);
+      Buffer.add_char buf '\n')
+    t.coverage;
+  Printf.bprintf buf "jobs %d  failures %d  crashes %d\n%s\n" t.jobs t.failures
+    t.crashes
+    (if t.failures = 0 then "PASS" else "FAIL");
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Parallel stress/fuzz campaigns over configurations × seeds.
+
+    The paper's evaluation (§4) is a sweep: the random coherence tester and
+    the fuzzer, run across the 12 configurations of Figure 2 under many
+    seeds.  A campaign shards that matrix into independent jobs — one
+    (kind, configuration, derived seed) triple each — fans them out over an
+    {!Xguard_parallel.Pool} of domains, and folds the per-job outcomes back
+    into one report using the pure [merge] functions of
+    {!Random_tester}, {!Fuzz_tester}, {!Xguard_stats.Table} and
+    {!Xguard_trace.Coverage}.
+
+    {b Determinism invariant}: the rendered report is byte-identical for any
+    worker count.  Jobs are enumerated in a fixed order (stress before fuzz,
+    configuration-major, seed-minor), each job's seed is derived from the
+    campaign base seed by position ({!Xguard_parallel.Pool.Seed}), every job
+    is a self-contained deterministic simulation, and merging happens in job
+    order regardless of completion order.  [-j N] may only change wall-clock
+    time, never output — this is asserted by [test/test_campaign.ml] and
+    [tools/check_campaign.sh].
+
+    {b Crash isolation}: a job whose harness raises is reported as a crashed
+    run for its configuration; the rest of the sweep is unaffected. *)
+
+type kind =
+  | Stress  (** random coherence tester on every selected configuration *)
+  | Fuzz  (** chaos accelerator on every selected XG configuration *)
+  | Both
+
+type t = {
+  tables : Xguard_stats.Table.t list;
+      (** one summary table per campaign kind actually run *)
+  coverage : Xguard_trace.Coverage.report list;
+      (** per-controller-kind transition coverage merged over every run;
+          empty unless requested *)
+  jobs : int;
+  failures : int;
+      (** failed jobs.  A stress run fails on data errors, deadlock or guard
+          violations; a fuzz run fails only on crash or deadlock (violations
+          are what the fuzzer exists to provoke, and data checks are advisory
+          under its shared-rw pool — paper §2.3.2) *)
+  crashes : int;  (** jobs whose harness raised (isolated by the pool) *)
+}
+
+val job_count : kind -> configs:Config.t list -> seeds:int -> int
+(** Number of jobs [run] will execute for this selection (fuzz jobs exist
+    only for configurations with a Crossing Guard). *)
+
+val run :
+  ?workers:int ->
+  ?collect_coverage:bool ->
+  ?stress_ops:int ->
+  ?fuzz_cpu_ops:int ->
+  ?base_seed:int ->
+  kind ->
+  configs:Config.t list ->
+  seeds:int ->
+  unit ->
+  t
+(** [run kind ~configs ~seeds ()] executes [seeds] runs of every selected
+    configuration.  [workers] defaults to 1 (serial); [stress_ops] is
+    operations per core per stress run (default 500, matching the CLI);
+    [fuzz_cpu_ops] is checked CPU operations per core per fuzz run (default
+    300); [base_seed] roots the job→seed derivation (default 42).
+    [collect_coverage] (default false) merges every run's transition-coverage
+    groups into {!t.coverage}. *)
+
+val render : t -> string
+(** The full merged report: tables, coverage matrices (when collected) and a
+    [PASS]/[FAIL] summary line.  Byte-identical for any [workers]. *)
+
+val passed : t -> bool
+(** No job failed. *)

@@ -24,6 +24,45 @@ type outcome = {
 
 type pool = Shared_rw | Disjoint | Shared_ro
 
+let merge a b =
+  let first_some x y = match x with Some _ -> x | None -> y in
+  let violations_by_kind =
+    (* Re-derive from the canonical kind order so the merged list is
+       deterministic regardless of which runs saw which kinds first. *)
+    List.filter_map
+      (fun kind ->
+        let of_run o = Option.value ~default:0 (List.assoc_opt kind o.violations_by_kind) in
+        let n = of_run a + of_run b in
+        if n > 0 then Some (kind, n) else None)
+      Xg.Os_model.all_error_kinds
+  in
+  let coverage_sets =
+    let groups_of name o =
+      List.concat_map (fun (n, _, gs) -> if n = name then gs else []) o.coverage_sets
+    in
+    List.map
+      (fun (name, space, _) -> (name, space, groups_of name a @ groups_of name b))
+      a.coverage_sets
+    @ List.filter
+        (fun (name, _, _) -> not (List.exists (fun (n, _, _) -> n = name) a.coverage_sets))
+        b.coverage_sets
+  in
+  {
+    chaos_messages = a.chaos_messages + b.chaos_messages;
+    invalidations_ignored = a.invalidations_ignored + b.invalidations_ignored;
+    cpu_ops_completed = a.cpu_ops_completed + b.cpu_ops_completed;
+    cpu_ops_expected = a.cpu_ops_expected + b.cpu_ops_expected;
+    cpu_data_errors = a.cpu_data_errors + b.cpu_data_errors;
+    violations = a.violations + b.violations;
+    violations_by_kind;
+    deadlocked = a.deadlocked || b.deadlocked;
+    crashed = first_some a.crashed b.crashed;
+    seed = a.seed;
+    first_error_addr = first_some a.first_error_addr b.first_error_addr;
+    trace_tail = (if a.trace_tail <> [] then a.trace_tail else b.trace_tail);
+    coverage_sets;
+  }
+
 let tail_limit = 60
 
 let tail_of trace ~addr_hint =

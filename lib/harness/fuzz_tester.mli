@@ -47,6 +47,16 @@ type outcome = {
       0b then implies the CPUs' data must stay exact even under fuzzing. *)
 type pool = Shared_rw | Disjoint | Shared_ro
 
+val merge : outcome -> outcome -> outcome
+(** Pure aggregation for sharded fuzz sweeps.  Counts add;
+    [violations_by_kind] is re-derived in the canonical
+    {!Xguard_xg.Os_model.all_error_kinds} order; [deadlocked] ORs; [crashed],
+    [first_error_addr] and [trace_tail] keep the leftmost failure; [seed]
+    keeps the left run's seed (the replay handle for that first failure);
+    coverage groups concatenate per controller kind.  Associative, so N
+    workers' outcomes fold in job order into the outcome of the equivalent
+    serial sweep. *)
+
 val run :
   Config.t ->
   ?pool:pool ->

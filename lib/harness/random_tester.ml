@@ -10,6 +10,16 @@ type outcome = {
   first_error_addr : int option;
 }
 
+let merge a b =
+  {
+    ops_completed = a.ops_completed + b.ops_completed;
+    data_errors = a.data_errors + b.data_errors;
+    deadlocked = a.deadlocked || b.deadlocked;
+    cycles = a.cycles + b.cycles;
+    first_error_addr =
+      (match a.first_error_addr with Some _ as x -> x | None -> b.first_error_addr);
+  }
+
 (* Per-address checker state: the log of committed store values (so a load can
    be validated against everything committed since it was issued) and the
    single in-flight store, if any. *)

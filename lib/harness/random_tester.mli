@@ -27,6 +27,12 @@ type outcome = {
           of an armed {!Xguard_trace.Trace} buffer *)
 }
 
+val merge : outcome -> outcome -> outcome
+(** Pure aggregation for sharded sweeps: operation, error and cycle counts
+    add, [deadlocked] ORs, and [first_error_addr] keeps the leftmost reported
+    address.  Associative, so per-seed outcomes fold in job order into
+    exactly the totals a serial sweep would have accumulated. *)
+
 val run :
   engine:Xguard_sim.Engine.t ->
   rng:Xguard_sim.Rng.t ->

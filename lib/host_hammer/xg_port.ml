@@ -32,6 +32,7 @@ type t = {
   mutable peer_count : int;
   tbes : get_tbe Tbe_table.t;
   puts : (Addr.t, put_rec) Hashtbl.t;
+  deferred_puts : (Addr.t, put_rec) Hashtbl.t;
   deferred_gets : (Addr.t, Msg.get_kind) Hashtbl.t;
   stats : Group.t;
 }
@@ -83,8 +84,23 @@ let issue_get t addr kind =
   else send t ~dst:t.directory (Msg.Get { kind = msg_kind }) addr
 
 let start_put t addr ~data ~dirty ~notify_core ~is_owner =
-  Hashtbl.replace t.puts addr { data; dirty; lost_ownership = false; notify_core; is_owner };
-  send t ~dst:t.directory Msg.Put addr
+  let p = { data; dirty; lost_ownership = false; notify_core; is_owner } in
+  if Hashtbl.mem t.puts addr then begin
+    (* A Put handshake for this block is already open.  This happens when a
+       core-initiated put and an ownership relinquishment (handle_fwd) race
+       on one address.  Issuing a second Put would send two handshakes but
+       leave only one record: the first directory response consumes the
+       overwritten record — losing its [notify_core] bit, wedging the guard
+       core in B_put — and the second response finds no record at all.
+       Defer instead, like [issue_get] defers gets behind puts, and promote
+       in [finish_put]. *)
+    Group.incr t.stats "put_deferred_behind_put";
+    Hashtbl.replace t.deferred_puts addr p
+  end
+  else begin
+    Hashtbl.replace t.puts addr p;
+    send t ~dst:t.directory Msg.Put addr
+  end
 
 let issue_put t addr kind =
   match kind with
@@ -188,11 +204,19 @@ let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
 
 let finish_put t addr (p : put_rec) =
   Hashtbl.remove t.puts addr;
-  (match Hashtbl.find_opt t.deferred_gets addr with
-  | Some kind ->
-      Hashtbl.remove t.deferred_gets addr;
-      send t ~dst:t.directory (Msg.Get { kind }) addr
-  | None -> ());
+  (* A deferred put takes the slot first; a deferred get stays parked behind
+     it (and is re-checked when that put in turn finishes). *)
+  (match Hashtbl.find_opt t.deferred_puts addr with
+  | Some d ->
+      Hashtbl.remove t.deferred_puts addr;
+      start_put t addr ~data:d.data ~dirty:d.dirty ~notify_core:d.notify_core
+        ~is_owner:d.is_owner
+  | None -> (
+      match Hashtbl.find_opt t.deferred_gets addr with
+      | Some kind ->
+          Hashtbl.remove t.deferred_gets addr;
+          send t ~dst:t.directory (Msg.Get { kind }) addr
+      | None -> ()));
   if p.notify_core then Xg_core.put_complete (core t) addr
 
 let handle_wb_ack t addr =
@@ -235,6 +259,7 @@ let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
       peer_count = 0;
       tbes = Tbe_table.create ~capacity:128 ();
       puts = Hashtbl.create 16;
+      deferred_puts = Hashtbl.create 8;
       deferred_gets = Hashtbl.create 8;
       stats = Group.create (name ^ ".stats");
     }

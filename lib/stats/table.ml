@@ -13,6 +13,20 @@ let add_row t cells =
 
 let add_separator t = t.rows <- Separator :: t.rows
 
+let title t = t.title
+let columns t = t.columns
+
+let rows t =
+  List.filter_map (function Cells cells -> Some cells | Separator -> None)
+    (List.rev t.rows)
+
+let merge a b =
+  if a.title <> b.title || a.columns <> b.columns then
+    invalid_arg
+      (Printf.sprintf "Table.merge: %S/%S differ in title or columns" a.title b.title);
+  (* [rows] is kept reversed, so b-then-a concatenation displays a's first. *)
+  { title = a.title; columns = a.columns; rows = b.rows @ a.rows }
+
 let widths t =
   let rows = List.rev t.rows in
   let w = Array.of_list (List.map String.length t.columns) in

@@ -14,6 +14,20 @@ val add_row : t -> string list -> unit
 val add_separator : t -> unit
 (** A horizontal rule between row groups. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Cell rows in display order; separators are omitted.  Used by the bench
+    harness's JSON emission. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a new table with [a]'s rows followed by [b]'s, neither
+    input mutated.  The two tables must have equal titles and columns
+    ([Invalid_argument] otherwise).  Merge is associative, so a parallel
+    campaign can fold per-worker tables in job order and obtain exactly the
+    table a serial run would have accumulated. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

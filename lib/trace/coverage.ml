@@ -73,6 +73,47 @@ let analyze space groups =
     stray;
   }
 
+let merge a b =
+  if
+    a.about.name <> b.about.name
+    || a.about.states <> b.about.states
+    || a.about.events <> b.about.events
+  then
+    invalid_arg
+      (Printf.sprintf "Coverage.merge: reports describe different spaces (%s vs %s)"
+         a.about.name b.about.name);
+  let space = a.about in
+  let count state event = a.count state event + b.count state event in
+  let covered = ref 0 and total = ref 0 and uncovered = ref [] in
+  List.iter
+    (fun state ->
+      List.iter
+        (fun event ->
+          if space.possible state event then begin
+            incr total;
+            if count state event > 0 then incr covered
+            else uncovered := (state, event) :: !uncovered
+          end)
+        space.events)
+    space.states;
+  let stray_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (k, n) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt stray_tbl k) in
+      Hashtbl.replace stray_tbl k (prev + n))
+    (a.stray @ b.stray);
+  let stray =
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) stray_tbl [])
+  in
+  {
+    about = space;
+    count;
+    covered = !covered;
+    total = !total;
+    uncovered = List.rev !uncovered;
+    stray;
+  }
+
 let fraction r = if r.total = 0 then 1.0 else float_of_int r.covered /. float_of_int r.total
 
 let to_table r =

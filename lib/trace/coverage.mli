@@ -47,6 +47,14 @@ val analyze : space -> Xguard_stats.Counter.Group.t list -> report
     the same kind, or the same controller across runs) and scores them
     against the space.  Keys are split at the first ['.']. *)
 
+val merge : report -> report -> report
+(** [merge a b] scores the summed hit counts of both reports against [a]'s
+    space: per-pair counts add, [covered]/[uncovered] are recomputed, stray
+    keys are summed by key.  Pure (neither input is changed) and associative,
+    so N workers' per-run reports fold into the report a single [analyze]
+    over all their groups would produce.  The two reports must describe the
+    same space ([Invalid_argument] if names, states or events differ). *)
+
 val fraction : report -> float
 (** [covered / total]; [1.0] for an empty space. *)
 

@@ -7,10 +7,23 @@
 type t
 
 val create : ?default:Perm.t -> unit -> t
+(** [default] (default [Perm.Read_write]) is the permission of every page
+    without an explicit entry. *)
+
 val set_page : t -> page:int -> Perm.t -> unit
+(** Grants or restricts one page.  In the paper this is the OS updating the
+    trusted table at map/unmap time; the guard itself never writes it. *)
+
 val set_block : t -> Addr.t -> Perm.t -> unit
 (** Sets the whole page containing the block. *)
 
 val perm : t -> Addr.t -> Perm.t
+(** The permission the guard stores with a new transaction (Guarantee 0:
+    checked once per transaction, not per message). *)
+
 val allows_read : t -> Addr.t -> bool
+(** [No_access] pages fail this check: a GetS to one is a G0a violation. *)
+
 val allows_write : t -> Addr.t -> bool
+(** Only [Read_write] pages pass: a GetM to a read-only page is the G0b
+    violation the guard answers without ever granting M. *)

@@ -86,6 +86,7 @@ val create :
     PutS messages are consumed at the Crossing Guard. *)
 
 val mode : t -> mode
+(** Which §2.3 tracking discipline this instance runs. *)
 
 (* ---- called by the host-side port ---- *)
 
@@ -111,6 +112,9 @@ val accel_state : t -> Addr.t -> [ `I | `S | `E | `M | `Unknown ]
     blocks. *)
 
 val open_transactions : t -> int
+(** Accelerator transactions currently awaiting a host grant or writeback
+    completion — the only state [Transactional] mode keeps. *)
+
 val tracked_blocks : t -> int
 (** Blocks in the full-state table (0 in transactional mode). *)
 
@@ -124,6 +128,8 @@ val storage_bits : t -> int
     blocks if any). *)
 
 val stats : t -> Xguard_stats.Counter.Group.t
+(** Operational counters (grants, writebacks, suppressed PutS, timeouts,
+    corrected responses, …) — the raw material of Experiments E2/E4/A2. *)
 
 val coverage : t -> Xguard_stats.Counter.Group.t
 (** Per-engine (state × event) visit counters, keyed ["STATE.Event"], scored

@@ -48,8 +48,16 @@ type msg =
   | To_accel_req of { addr : Addr.t; req : xg_request }
 
 val request_carries_data : accel_request -> bool
+(** True for [Put_e] and [Put_m] — the single-phase writebacks of §2.1 that
+    attach data to the eviction request itself. *)
+
 val response_carries_data : accel_response -> bool
+(** True for [Clean_wb] and [Dirty_wb]; an [Inv_ack] is control-only. *)
+
 val is_put : accel_request -> bool
+(** True for every eviction request ([Put_s]/[Put_e]/[Put_m]); these are the
+    messages a [puts_needed = false] host lets the guard suppress. *)
+
 val exclusive_grant : xg_response -> bool
 (** True for [Data_e] and [Data_m]. *)
 
@@ -59,6 +67,9 @@ val msg_size : msg -> int
 
 val msg_addr : msg -> Addr.t
 (** The block address a message concerns (every link message names one). *)
+
+(** Printers in the paper's message names ([GetS], [DataE], [DirtyWB], …);
+    used by the trace layer and the fuzzer's failure reports. *)
 
 val pp_accel_request : Format.formatter -> accel_request -> unit
 val pp_xg_response : Format.formatter -> xg_response -> unit

@@ -19,4 +19,5 @@ let () =
          Test_trace.tests;
          Test_regression_seeds.tests;
          Test_coverage_floor.tests;
+         Test_campaign.tests;
        ])
