@@ -79,6 +79,23 @@ let bench_xg_transactions =
          done;
          ignore (Engine.run sys.System.engine)))
 
+let bench_xg_transactions_reliable =
+  (* PR 3 overhead check: the same transaction batch with the link's
+     seq+checksum reliability layer on and fault injection off.  Compare
+     against xg.transactions for the pure framing/ack cost. *)
+  Bechamel.Test.make ~name:"xg.transactions_reliable"
+    (Bechamel.Staged.stage (fun () ->
+         let cfg = Config.make Config.Hammer (Config.Xg_one_level Config.Transactional) in
+         let cfg =
+           { cfg with Config.link_faults = Some Xguard_network.Network.Fault.zero }
+         in
+         let sys = System.build cfg in
+         let port = sys.System.accel_ports.(0) in
+         for i = 0 to 63 do
+           ignore (port.Access.issue (Access.load (Addr.block i)) ~on_done:(fun _ -> ()))
+         done;
+         ignore (Engine.run sys.System.engine)))
+
 let bench_stress_iteration =
   (* E1 family: one small random-tester iteration. *)
   Bechamel.Test.make ~name:"stress.iteration"
@@ -110,6 +127,7 @@ let run_micro () =
       bench_engine_events;
       bench_network_messages;
       bench_xg_transactions;
+      bench_xg_transactions_reliable;
       bench_stress_iteration;
       bench_perf_family;
     ]

@@ -34,6 +34,7 @@ module Trace = Xguard_trace.Trace
 module Coverage = Xguard_trace.Coverage
 module Pool = Xguard_parallel.Pool
 module Campaign = Xguard_harness.Campaign
+module Network = Xguard_network.Network
 
 let find_config name =
   List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
@@ -86,6 +87,70 @@ let jobs_arg =
            ~doc:"Fan independent runs out over $(docv) worker domains (1 = serial). \
                  Results are merged in job order, so output is byte-identical for \
                  any $(docv).")
+
+(* ---- lossy-link fault injection (stress/fuzz/campaign) ---- *)
+
+let fault_drop_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-drop" ] ~docv:"P"
+           ~doc:"Drop each XG-link message with probability $(docv); any non-zero \
+                 fault probability also enables the link reliability layer.")
+
+let fault_dup_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-dup" ] ~docv:"P"
+           ~doc:"Duplicate each XG-link message with probability $(docv).")
+
+let fault_corrupt_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-corrupt" ] ~docv:"P"
+           ~doc:"Corrupt each XG-link message's payload with probability $(docv).")
+
+let fault_delay_arg =
+  Arg.(value & opt float 0.0
+       & info [ "fault-delay" ] ~docv:"P"
+           ~doc:"Delay each XG-link message by a random 1..32 extra cycles with \
+                 probability $(docv).")
+
+let fault_script_arg =
+  Arg.(value & opt_all string []
+       & info [ "fault-script" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault $(b,KIND:N[:NEEDLE]) — hit the Nth link message \
+                 whose trace text contains NEEDLE with KIND \
+                 (drop|dup|corrupt|kill|delay@CYCLES).  Repeatable; implies the \
+                 reliability layer.")
+
+let reliable_link_flag =
+  Arg.(value & flag
+       & info [ "reliable-link" ]
+           ~doc:"Run the link's seq+checksum reliability layer even with no \
+                 injected faults (for overhead measurements).")
+
+let apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable cfg =
+  let scripts =
+    List.map
+      (fun s ->
+        match Network.Fault.script_of_string s with
+        | Ok sc -> sc
+        | Error e ->
+            Printf.eprintf "bad --fault-script %S: %s\n" s e;
+            exit 1)
+      scripts
+  in
+  let f =
+    { Network.Fault.drop; duplicate = dup; corrupt; delay; max_delay = 32 }
+  in
+  if reliable || scripts <> [] || Network.Fault.active f then
+    { cfg with Config.link_faults = Some f; Config.link_fault_scripts = scripts }
+  else cfg
+
+let injected_total counts =
+  List.fold_left
+    (fun n (k, v) ->
+      if String.length k > 9 && String.sub k 0 9 = "injected." then n + v else n)
+    0 counts
+
+let count_of counts label = Option.value ~default:0 (List.assoc_opt label counts)
 
 (* The trace ring buffer is armed process-wide (Trace.with_armed), so traced
    sweeps must stay on one domain. *)
@@ -168,8 +233,12 @@ let stress_cmd =
   let seeds_arg =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
-  let action config seed ops seeds jobs trace trace_out coverage =
+  let action config seed ops seeds jobs trace trace_out coverage drop dup corrupt
+      delay scripts reliable =
     with_config config seed (fun base ->
+        let base =
+          apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable base
+        in
         let tr = make_trace ~trace ~trace_out in
         check_trace_jobs ~jobs tr;
         (* Each seed is one pool job producing its report line, optional
@@ -189,11 +258,22 @@ let stress_cmd =
               in
               let viol = Xg.Os_model.error_count sys.System.os in
               let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
+              let link = sys.System.link_stats () in
+              let link_part =
+                (* Empty when the link cannot fault, so fault-free output is
+                   byte-identical to the historical report. *)
+                if link = [] then ""
+                else
+                  Printf.sprintf " link[inj=%d retx=%d q=%b]" (injected_total link)
+                    (count_of link "retransmit_frames")
+                    (sys.System.quarantined ())
+              in
               let line =
                 Printf.sprintf
-                  "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s"
+                  "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s%s"
                   s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
                   (if bad then "FAIL" else "ok")
+                  link_part
               in
               let trail =
                 if bad then
@@ -251,7 +331,8 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
     Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ jobs_arg
-          $ trace_flag $ trace_out_arg $ coverage_flag)
+          $ trace_flag $ trace_out_arg $ coverage_flag $ fault_drop_arg $ fault_dup_arg
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- fuzz ---- *)
 
@@ -272,12 +353,16 @@ let fuzz_cmd =
              ~doc:"Sweep $(docv) consecutive seeds; outcomes are merged \
                    (Fuzz_tester.merge) into one report.")
   in
-  let action config seed seeds jobs mute timeout trace trace_out coverage =
+  let action config seed seeds jobs mute timeout trace trace_out coverage drop dup
+      corrupt delay scripts reliable =
     with_config config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
           exit 1
         end;
+        let cfg =
+          apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable cfg
+        in
         let cfg =
           match timeout with None -> cfg | Some t -> { cfg with Config.xg_timeout = t }
         in
@@ -312,7 +397,8 @@ let fuzz_cmd =
           results;
         (match !merged with None -> Printf.printf "no run completed\n"; exit 1 | Some _ -> ());
         let o = Option.get !merged in
-        Printf.printf "chaos messages     %d\n" o.Fuzz.chaos_messages;
+        Printf.printf "chaos msgs sent    %d\n" o.Fuzz.chaos_messages;
+        Printf.printf "invals ignored     %d\n" o.Fuzz.invalidations_ignored;
         Printf.printf "cpu ops            %d/%d\n" o.Fuzz.cpu_ops_completed o.Fuzz.cpu_ops_expected;
         Printf.printf "crashed            %s\n"
           (match o.Fuzz.crashed with Some c -> c.Fuzz.exn_text | None -> "no");
@@ -321,6 +407,12 @@ let fuzz_cmd =
         List.iter
           (fun (k, n) -> Printf.printf "  %-36s %d\n" (Xg.Os_model.error_kind_to_string k) n)
           o.Fuzz.violations_by_kind;
+        if o.Fuzz.link_faults <> [] then begin
+          Printf.printf "link quarantined   %b\n" o.Fuzz.quarantined;
+          List.iter
+            (fun (k, n) -> Printf.printf "  link.%-32s %d\n" k n)
+            o.Fuzz.link_faults
+        end;
         if coverage then print_coverage_sets o.Fuzz.coverage_sets;
         let tail =
           match o.Fuzz.crashed with
@@ -341,7 +433,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
     Term.(const action $ config_arg $ seed_arg $ seeds_arg $ jobs_arg $ mute_arg
-          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag)
+          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag $ fault_drop_arg
+          $ fault_dup_arg $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg
+          $ reliable_link_flag)
 
 (* ---- campaign ---- *)
 
@@ -372,7 +466,8 @@ let campaign_cmd =
     Arg.(value & opt int 300
          & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
   in
-  let action config seeds jobs kind ops cpu_ops seed coverage =
+  let action config seeds jobs kind ops cpu_ops seed coverage drop dup corrupt delay
+      scripts reliable =
     let configs =
       if config = "all" then Config.all_configurations ()
       else
@@ -382,6 +477,9 @@ let campaign_cmd =
             Printf.eprintf "unknown configuration %S\nknown: all, %s\n" config
               (String.concat ", " config_names);
             exit 1
+    in
+    let configs =
+      List.map (apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable) configs
     in
     let result =
       Campaign.run ~workers:jobs ~collect_coverage:coverage ~stress_ops:ops
@@ -406,7 +504,8 @@ let campaign_cmd =
                reported as a failed run for its configuration.";
          ])
     Term.(const action $ config_arg $ seeds_arg $ jobs_arg $ kind_arg $ ops_arg
-          $ cpu_ops_arg $ seed_arg $ coverage_flag)
+          $ cpu_ops_arg $ seed_arg $ coverage_flag $ fault_drop_arg $ fault_dup_arg
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- report ---- *)
 

@@ -19,8 +19,13 @@ type coverage_sets =
 
 (* One job = one self-contained simulator run.  The result carries everything
    the fold needs so no job ever touches shared state. *)
+(* Reliability-layer counters for the XG link; [faults = []] whenever the
+   link could never fault, so fault-free reports keep their historical shape. *)
+type link_info = { faults : (string * int) list; l_quarantined : bool }
+
 type job_result =
-  | Stress_r of Random_tester.outcome * int (* guard violations *) * coverage_sets
+  | Stress_r of
+      Random_tester.outcome * int (* guard violations *) * coverage_sets * link_info
   | Fuzz_r of Fuzz_tester.outcome * coverage_sets
 
 let stress_configs kind configs =
@@ -47,7 +52,10 @@ let run_stress ~collect_coverage ~ops cfg seed =
   in
   let violations = Xg.Os_model.error_count sys.System.os in
   let cov = if collect_coverage then sys.System.coverage_sets () else [] in
-  Stress_r (o, violations, cov)
+  let link =
+    { faults = sys.System.link_stats (); l_quarantined = sys.System.quarantined () }
+  in
+  Stress_r (o, violations, cov, link)
 
 let run_fuzz ~collect_coverage ~cpu_ops cfg seed =
   let o = Fuzz_tester.run { cfg with Config.seed } ~cpu_ops () in
@@ -65,6 +73,8 @@ type acc = {
   mutable violations : int;
   mutable crashes : int;
   mutable failed_runs : int;
+  mutable link_faults : (string * int) list;
+  mutable quarantines : int;
 }
 
 let fresh_acc () =
@@ -78,7 +88,27 @@ let fresh_acc () =
     violations = 0;
     crashes = 0;
     failed_runs = 0;
+    link_faults = [];
+    quarantines = 0;
   }
+
+(* Sum two counter assoc lists, keeping [a]'s label order then [b]-only
+   labels, so merged tables are stable for any worker count. *)
+let merge_counts a b =
+  List.map (fun (k, n) -> (k, n + Option.value ~default:0 (List.assoc_opt k b))) a
+  @ List.filter (fun (k, _) -> not (List.mem_assoc k a)) b
+
+let note_link acc ~faults ~quarantined =
+  if faults <> [] then acc.link_faults <- merge_counts acc.link_faults faults;
+  if quarantined then acc.quarantines <- acc.quarantines + 1
+
+let injected_total counts =
+  List.fold_left
+    (fun n (k, v) ->
+      if String.length k > 9 && String.sub k 0 9 = "injected." then n + v else n)
+    0 counts
+
+let count_of counts label = Option.value ~default:0 (List.assoc_opt label counts)
 
 let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
     ?(fuzz_cpu_ops = 300) ?(base_seed = 42) kind ~configs ~seeds () =
@@ -132,11 +162,12 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
   let stress_rows =
     fold_block s_configs 0 (fun acc r ->
         match r with
-        | Stress_r (o, viol, cov) ->
+        | Stress_r (o, viol, cov, link) ->
             acc.ops <- acc.ops + o.Random_tester.ops_completed;
             acc.data_errors <- acc.data_errors + o.Random_tester.data_errors;
             if o.Random_tester.deadlocked then acc.deadlocks <- acc.deadlocks + 1;
             acc.violations <- acc.violations + viol;
+            note_link acc ~faults:link.faults ~quarantined:link.l_quarantined;
             note_coverage cov;
             o.Random_tester.data_errors > 0 || o.Random_tester.deadlocked || viol > 0
         | Fuzz_r _ -> assert false)
@@ -154,6 +185,8 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
             (match o.Fuzz_tester.crashed with
             | Some _ -> acc.crashes <- acc.crashes + 1
             | None -> ());
+            note_link acc ~faults:o.Fuzz_tester.link_faults
+              ~quarantined:o.Fuzz_tester.quarantined;
             note_coverage cov;
             (* Guard violations are the fuzzer's *purpose*, and under the
                default shared-rw pool the accelerator may legitimately write
@@ -163,53 +196,70 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
         | Stress_r _ -> assert false)
   in
   let status acc = if acc.failed_runs = 0 then "ok" else "FAIL" in
+  let lossy rows = Array.exists (fun (_, acc) -> acc.link_faults <> []) rows in
+  let fault_columns = [ "injected"; "retx"; "quarantines" ] in
+  let fault_cells acc =
+    [
+      Table.cell_int (injected_total acc.link_faults);
+      Table.cell_int (count_of acc.link_faults "retransmit_frames");
+      Table.cell_int acc.quarantines;
+    ]
+  in
   let tables = ref [] in
   if Array.length s_configs > 0 then begin
+    let faulty = lossy stress_rows in
     let table =
       Table.create
         ~title:(Printf.sprintf "Campaign: random coherence stress (%d seeds/config)" seeds)
         ~columns:
-          [ "Configuration"; "runs"; "ops"; "data errors"; "deadlocks"; "violations";
-            "crashes"; "result" ]
+          ([ "Configuration"; "runs"; "ops"; "data errors"; "deadlocks"; "violations";
+             "crashes" ]
+          @ (if faulty then fault_columns else [])
+          @ [ "result" ])
     in
     Array.iter
       (fun (cfg, acc) ->
         Table.add_row table
-          [
-            Config.name cfg;
-            Table.cell_int acc.runs;
-            Table.cell_int acc.ops;
-            Table.cell_int acc.data_errors;
-            Table.cell_int acc.deadlocks;
-            Table.cell_int acc.violations;
-            Table.cell_int acc.crashes;
-            status acc;
-          ])
+          ([
+             Config.name cfg;
+             Table.cell_int acc.runs;
+             Table.cell_int acc.ops;
+             Table.cell_int acc.data_errors;
+             Table.cell_int acc.deadlocks;
+             Table.cell_int acc.violations;
+             Table.cell_int acc.crashes;
+           ]
+          @ (if faulty then fault_cells acc else [])
+          @ [ status acc ]))
       stress_rows;
     tables := [ table ]
   end;
   if Array.length f_configs > 0 then begin
+    let faulty = lossy fuzz_rows in
     let table =
       Table.create
         ~title:(Printf.sprintf "Campaign: guard fuzzing (%d seeds/config)" seeds)
         ~columns:
-          [ "Configuration"; "runs"; "chaos msgs"; "cpu ops"; "data errors";
-            "deadlocks"; "violations"; "crashes"; "result" ]
+          ([ "Configuration"; "runs"; "chaos msgs"; "cpu ops"; "data errors";
+             "deadlocks"; "violations"; "crashes" ]
+          @ (if faulty then fault_columns else [])
+          @ [ "result" ])
     in
     Array.iter
       (fun (cfg, acc) ->
         Table.add_row table
-          [
-            Config.name cfg;
-            Table.cell_int acc.runs;
-            Table.cell_int acc.chaos;
-            Printf.sprintf "%d/%d" acc.ops acc.ops_expected;
-            Table.cell_int acc.data_errors;
-            Table.cell_int acc.deadlocks;
-            Table.cell_int acc.violations;
-            Table.cell_int acc.crashes;
-            status acc;
-          ])
+          ([
+             Config.name cfg;
+             Table.cell_int acc.runs;
+             Table.cell_int acc.chaos;
+             Printf.sprintf "%d/%d" acc.ops acc.ops_expected;
+             Table.cell_int acc.data_errors;
+             Table.cell_int acc.deadlocks;
+             Table.cell_int acc.violations;
+             Table.cell_int acc.crashes;
+           ]
+          @ (if faulty then fault_cells acc else [])
+          @ [ status acc ]))
       fuzz_rows;
     tables := !tables @ [ table ]
   end;

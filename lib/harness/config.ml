@@ -32,6 +32,11 @@ type t = {
   suppress_put_s : bool;
   rate_limit : (float * int) option;
   os_policy : Xguard_xg.Os_model.policy;
+  link_faults : Xguard_network.Network.Fault.config option;
+  link_fault_scripts : Xguard_network.Network.Fault.script list;
+  link_retry_timeout : int;
+  link_max_retries : int;
+  quarantine_after : int;
 }
 
 let default =
@@ -59,6 +64,11 @@ let default =
     suppress_put_s = false;
     rate_limit = None;
     os_policy = Xguard_xg.Os_model.Log_only;
+    link_faults = None;
+    link_fault_scripts = [];
+    link_retry_timeout = 32;
+    link_max_retries = 6;
+    quarantine_after = 3;
   }
 
 let make ?(base = default) host org =
@@ -97,6 +107,14 @@ let org_label = org_name
 let name t = host_name t.host ^ "/" ^ org_name t.org
 
 let uses_xg t = match t.org with Xg_one_level _ | Xg_two_level _ -> true | _ -> false
+
+let reliable_link t = t.link_faults <> None || t.link_fault_scripts <> []
+
+let faults_active t =
+  t.link_fault_scripts <> []
+  || match t.link_faults with
+     | Some f -> Xguard_network.Network.Fault.active f
+     | None -> false
 
 let all_configurations ?base () =
   let orgs =

@@ -46,6 +46,18 @@ type t = {
   suppress_put_s : bool;
   rate_limit : (float * int) option;  (** tokens per cycle, burst *)
   os_policy : Xguard_xg.Os_model.policy;
+  (* lossy XG-accelerator link (PR 3) *)
+  link_faults : Xguard_network.Network.Fault.config option;
+      (** [None]: the historical perfectly-reliable link, byte-for-byte.
+          [Some f]: the link runs the seq+checksum reliability layer and
+          injects faults per [f] ([Fault.zero] = reliability on, injection
+          off). *)
+  link_fault_scripts : Xguard_network.Network.Fault.script list;
+      (** deterministic Nth-message faults; any script also turns the
+          reliability layer on *)
+  link_retry_timeout : int;  (** initial retransmission timeout, cycles *)
+  link_max_retries : int;  (** silent rounds before a fault is escalated *)
+  quarantine_after : int;  (** consecutive faults before quarantine *)
 }
 
 val default : t
@@ -66,3 +78,11 @@ val all_configurations : ?base:t -> unit -> t list
 (** The 12 evaluated configurations, Hammer first. *)
 
 val uses_xg : t -> bool
+
+val reliable_link : t -> bool
+(** Whether the XG-accelerator link runs the reliability layer (a fault model
+    is installed or scripts are present). *)
+
+val faults_active : t -> bool
+(** Whether any fault can actually be injected — [Some Fault.zero] with no
+    scripts is reliable but fault-free. *)

@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
 module Table = Xguard_stats.Table
+module Coverage = Xguard_trace.Coverage
 module Group = Xguard_stats.Counter.Group
 module Xg = Xguard_xg
 module W = Xguard_workload.Workload
@@ -60,14 +61,45 @@ let f1_guarantees () =
       Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
     ]
   in
+  (* Every scenario run also surfaces its guard coverage; the merged XG
+     matrices below show which (state x event) pairs the directed faults
+     actually exercised, alongside the verdict table. *)
+  let cov_order : string list ref = ref [] in
+  let cov_tbl : (string, Coverage.space * Xguard_stats.Counter.Group.t list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let is_xg name = String.length name >= 2 && String.sub name 0 2 = "xg" in
+  let note_coverage sets =
+    List.iter
+      (fun (name, space, groups) ->
+        if is_xg name then
+          match Hashtbl.find_opt cov_tbl name with
+          | Some (_, acc) -> acc := !acc @ groups
+          | None ->
+              cov_order := name :: !cov_order;
+              Hashtbl.add cov_tbl name (space, ref groups))
+      sets
+  in
   List.iter
     (fun scenario ->
       let cells =
-        List.map (fun cfg -> cell (Fault_scenarios.run cfg scenario)) configs
+        List.map
+          (fun cfg ->
+            let outcome = Fault_scenarios.run cfg scenario in
+            note_coverage outcome.Fault_scenarios.coverage_sets;
+            cell outcome)
+          configs
       in
       Table.add_row table (Fault_scenarios.scenario_name scenario :: cells))
     Fault_scenarios.all_scenarios;
-  { id = "f1"; title = "Figure 1 (guarantees)"; tables = [ table ] }
+  let cov_tables =
+    List.rev_map
+      (fun name ->
+        let space, groups = Hashtbl.find cov_tbl name in
+        Coverage.to_table (Coverage.analyze space !groups))
+      !cov_order
+  in
+  { id = "f1"; title = "Figure 1 (guarantees)"; tables = table :: cov_tables }
 
 (* ---------- F2 ---------- *)
 

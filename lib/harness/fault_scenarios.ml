@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Xg = Xguard_xg
 module Xg_iface = Xguard_xg.Xg_iface
+module Network = Xguard_network.Network
 
 type scenario =
   | Read_no_access
@@ -10,6 +11,7 @@ type scenario =
   | Wrong_response_type
   | Unsolicited_response
   | Silent_on_invalidate
+  | Link_dead
 
 type outcome = {
   scenario : scenario;
@@ -17,6 +19,9 @@ type outcome = {
   detected : bool;
   host_live : bool;
   errors_logged : int;
+  quarantined : bool;
+  coverage_sets :
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
 }
 
 let all_scenarios =
@@ -28,6 +33,7 @@ let all_scenarios =
     Wrong_response_type;
     Unsolicited_response;
     Silent_on_invalidate;
+    Link_dead;
   ]
 
 let scenario_name = function
@@ -38,6 +44,7 @@ let scenario_name = function
   | Wrong_response_type -> "G2a: InvAck while owning the block"
   | Unsolicited_response -> "G2b: unsolicited writeback"
   | Silent_on_invalidate -> "G2c: no response to Invalidate"
+  | Link_dead -> "Link: link goes dark mid-transaction"
 
 let expected_kind = function
   | Read_no_access -> Xg.Os_model.Perm_read_violation
@@ -47,6 +54,7 @@ let expected_kind = function
   | Wrong_response_type -> Xg.Os_model.Bad_response_type
   | Unsolicited_response -> Xg.Os_model.Unsolicited_response
   | Silent_on_invalidate -> Xg.Os_model.Response_timeout
+  | Link_dead -> Xg.Os_model.Link_fault
 
 (* A scripted accelerator endpoint: records grants, answers invalidations
    according to [inv_policy]. *)
@@ -105,6 +113,20 @@ let a_unrelated = Addr.block 200
 
 let run (cfg : Config.t) scenario =
   assert (Config.uses_xg cfg);
+  let cfg =
+    match scenario with
+    | Link_dead ->
+        (* Reliability on (no probabilistic injection), with a short backoff
+           ladder and a low quarantine threshold so the run stays quick. *)
+        {
+          cfg with
+          Config.link_faults = Some Network.Fault.zero;
+          link_retry_timeout = 16;
+          link_max_retries = 2;
+          quarantine_after = 2;
+        }
+    | _ -> cfg
+  in
   let sys = System.build ~attach_accel:false cfg in
   let script, send = attach_script sys in
   let run_engine () = ignore (Engine.run sys.System.engine) in
@@ -139,7 +161,17 @@ let run (cfg : Config.t) scenario =
       ignore (cpu_roundtrip sys 0 a_victim 1234)
   | Unsolicited_response ->
       send (Xg_iface.To_xg_resp { addr = a_victim; resp = Xg_iface.Dirty_wb (Data.token 7) });
-      run_engine ());
+      run_engine ()
+  | Link_dead ->
+      (* Acquire the block exclusively, then the wire goes dark: the guard's
+         Invalidate is lost on every retransmission round, faults escalate
+         and the accelerator is quarantined; the CPU's store completes from
+         the quarantine drain (zeroed-writeback substitution). *)
+      get a_victim Xg_iface.Get_m;
+      run_engine ();
+      assert (script.grants <> []);
+      Xg_iface.Link.cut_wire (Option.get sys.System.accel_link);
+      ignore (cpu_roundtrip sys 0 a_victim 1234));
   run_engine ();
   let kind = expected_kind scenario in
   let detected = Xg.Os_model.count_of sys.System.os kind > 0 in
@@ -152,6 +184,8 @@ let run (cfg : Config.t) scenario =
     detected;
     host_live = live_affected && live_unrelated;
     errors_logged = Xg.Os_model.error_count sys.System.os;
+    quarantined = sys.System.quarantined ();
+    coverage_sets = sys.System.coverage_sets ();
   }
 
 let run_all cfg = List.map (run cfg) all_scenarios

@@ -20,6 +20,10 @@ type scenario =
   | Wrong_response_type  (** G2a *)
   | Unsolicited_response  (** G2b *)
   | Silent_on_invalidate  (** G2c *)
+  | Link_dead
+      (** the XG-accelerator wire goes dark mid-transaction; the guard must
+          escalate through retransmission faults to quarantine while the
+          host stays live *)
 
 type outcome = {
   scenario : scenario;
@@ -27,6 +31,11 @@ type outcome = {
   detected : bool;
   host_live : bool;
   errors_logged : int;
+  quarantined : bool;  (** whether the guard quarantined the accelerator *)
+  coverage_sets :
+    (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
+      (** the run's transition coverage, so directed scenarios count toward
+          the suite's coverage floors and reports can render the matrices *)
 }
 
 val all_scenarios : scenario list

@@ -20,6 +20,8 @@ type outcome = {
   trace_tail : Trace.event list;
   coverage_sets :
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
+  link_faults : (string * int) list;
+  quarantined : bool;
 }
 
 type pool = Shared_rw | Disjoint | Shared_ro
@@ -47,6 +49,14 @@ let merge a b =
         (fun (name, _, _) -> not (List.exists (fun (n, _, _) -> n = name) a.coverage_sets))
         b.coverage_sets
   in
+  let link_faults =
+    (* Keys in [a]'s order, then [b]-only keys, so merged reports are stable
+       whichever runs contributed. *)
+    List.map
+      (fun (k, n) -> (k, n + Option.value ~default:0 (List.assoc_opt k b.link_faults)))
+      a.link_faults
+    @ List.filter (fun (k, _) -> not (List.mem_assoc k a.link_faults)) b.link_faults
+  in
   {
     chaos_messages = a.chaos_messages + b.chaos_messages;
     invalidations_ignored = a.invalidations_ignored + b.invalidations_ignored;
@@ -61,6 +71,8 @@ let merge a b =
     first_error_addr = first_some a.first_error_addr b.first_error_addr;
     trace_tail = (if a.trace_tail <> [] then a.trace_tail else b.trace_tail);
     coverage_sets;
+    link_faults;
+    quarantined = a.quarantined || b.quarantined;
   }
 
 let tail_limit = 60
@@ -142,6 +154,8 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
       Xg.Os_model.all_error_kinds
   in
   let coverage_sets = sys.System.coverage_sets () in
+  let link_faults = sys.System.link_stats () in
+  let quarantined = sys.System.quarantined () in
   match tester_outcome with
   | Some o ->
       let first_error_addr = o.Random_tester.first_error_addr in
@@ -162,6 +176,8 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         first_error_addr;
         trace_tail = (if failed then tail_of trace ~addr_hint:first_error_addr else []);
         coverage_sets;
+        link_faults;
+        quarantined;
       }
   | None ->
       {
@@ -178,4 +194,6 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         first_error_addr = None;
         trace_tail = tail_of trace ~addr_hint:None;
         coverage_sets;
+        link_faults;
+        quarantined;
       }

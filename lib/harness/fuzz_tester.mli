@@ -34,6 +34,11 @@ type outcome = {
   coverage_sets :
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
       (** the system's transition-coverage groups, for cross-run merging *)
+  link_faults : (string * int) list;
+      (** reliability-layer counters and injected-fault tallies for the XG
+          link ([System.link_stats]); [[]] when the link cannot fault *)
+  quarantined : bool;
+      (** the guard escalated link faults all the way to quarantine *)
 }
 
 (** How the chaos accelerator's address pool relates to the CPUs':
@@ -53,9 +58,10 @@ val merge : outcome -> outcome -> outcome
     {!Xguard_xg.Os_model.all_error_kinds} order; [deadlocked] ORs; [crashed],
     [first_error_addr] and [trace_tail] keep the leftmost failure; [seed]
     keeps the left run's seed (the replay handle for that first failure);
-    coverage groups concatenate per controller kind.  Associative, so N
-    workers' outcomes fold in job order into the outcome of the equivalent
-    serial sweep. *)
+    coverage groups concatenate per controller kind; [link_faults] sums by
+    label (left order first); [quarantined] ORs.  Associative, so N workers'
+    outcomes fold in job order into the outcome of the equivalent serial
+    sweep. *)
 
 val run :
   Config.t ->

@@ -31,6 +31,8 @@ type t = {
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
   stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
+  link_stats : unit -> (string * int) list;
+  quarantined : unit -> bool;
 }
 
 let coverage_reports t =
@@ -42,6 +44,29 @@ let coverage_reports t =
    the accelerator-internal network speak it). *)
 let link_tracer msg =
   (Addr.to_int (Xg.Xg_iface.msg_addr msg), Format.asprintf "%a" Xg.Xg_iface.pp_msg msg)
+
+(* Fault-layer reporting, gated on injection actually being possible on this
+   link (wire cut, scripts, or a live probability) so fault-free runs render
+   byte-for-byte like pre-fault builds. *)
+let fault_coverage_sets ~xg_core ~accel_link () =
+  match accel_link with
+  | Some l when Xg.Xg_iface.Link.faults_active l ->
+      ("xg.link", Xg.Xg_iface.Link.coverage_space, [ Xg.Xg_iface.Link.coverage l ])
+      :: (match xg_core with
+         | Some c ->
+             [ ("xg.fault", Xg.Xg_core.fault_coverage_space, [ Xg.Xg_core.fault_coverage c ]) ]
+         | None -> [])
+  | _ -> []
+
+let fault_link_stats ~accel_link () =
+  match accel_link with
+  | Some l when Xg.Xg_iface.Link.faults_active l ->
+      Xguard_stats.Counter.Group.to_list (Xg.Xg_iface.Link.link_stats l)
+      @ Xguard_network.Network.Fault.counts_to_list (Xg.Xg_iface.Link.fault_counts l)
+  | _ -> []
+
+let xg_quarantined ~xg_core () =
+  match xg_core with Some c -> Xg.Xg_core.quarantined c | None -> false
 
 (* A processor port that reaches a remote sequencer across a fixed-latency
    link in both directions: the host-side-cache organization (Figure 2b). *)
@@ -93,9 +118,27 @@ let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port 
   let core =
     Xg.Xg_core.create ~engine ~name:"xg" ~mode ~link ~self:xg_link_node ~accel:accel_link_node
       ~host:host_port ~perms ~os ~timeout:cfg.Config.xg_timeout ?rate_limiter
-      ~suppress_put_s_register:cfg.Config.suppress_put_s ()
+      ~suppress_put_s_register:cfg.Config.suppress_put_s
+      ~quarantine_after:cfg.Config.quarantine_after ()
   in
   attach_core core;
+  if Config.reliable_link cfg then begin
+    Xg.Xg_iface.Link.enable_reliability link ~retry_timeout:cfg.Config.link_retry_timeout
+      ~max_retries:cfg.Config.link_max_retries ();
+    (match cfg.Config.link_faults with
+    | Some faults ->
+        (* A standalone stream (not split from the system rng), so installing
+           the fault model cannot perturb any component's randomness. *)
+        Xg.Xg_iface.Link.set_faults link
+          ~rng:(Rng.create ~seed:((cfg.Config.seed * 1000003) + 77))
+          faults
+    | None -> ());
+    List.iter (Xg.Xg_iface.Link.add_fault_script link) cfg.Config.link_fault_scripts;
+    Xg.Xg_iface.Link.set_fault_handler link
+      ~on_fault:(fun () -> Xg.Xg_core.link_fault core)
+      ~on_recover:(fun () -> Xg.Xg_core.link_recovered core);
+    Xg.Xg_core.set_on_quarantine core (fun () -> Xg.Xg_iface.Link.kill link)
+  end;
   let accel_ports, accel_l1s, accel_l2, accel_internal =
     if not attach_accel then ([||], [||], None, None)
     else
@@ -224,16 +267,18 @@ let build_hammer ~attach_accel (cfg : Config.t) =
           @ (match accel_cov with
             | [] -> []
             | _ -> [ ("accel.l1", A.L1_simple.coverage_space, List.map snd accel_cov) ])
-          @
-          match xg_core with
-          | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
-          | None -> []);
+          @ (match xg_core with
+            | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
+            | None -> [])
+          @ fault_coverage_sets ~xg_core ~accel_link ());
       stats_groups =
         (fun () ->
           cpu_stats
           @ [ ("directory", H.Directory.stats (Hammer_system.directory sys)) ]
           @ (match xg_core with Some c -> [ ("xg", Xg.Xg_core.stats c) ] | None -> [])
           @ match xg_port with Some p -> [ ("xg_port", H.Xg_port.stats p) ] | None -> []);
+      link_stats = fault_link_stats ~accel_link;
+      quarantined = xg_quarantined ~xg_core;
     }
   in
   match cfg.Config.org with
@@ -364,16 +409,18 @@ let build_mesi ~attach_accel (cfg : Config.t) =
           @ (match accel_cov with
             | [] -> []
             | _ -> [ ("accel.l1", A.L1_simple.coverage_space, List.map snd accel_cov) ])
-          @
-          match xg_core with
-          | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
-          | None -> []);
+          @ (match xg_core with
+            | Some c -> [ ("xg", Xg.Xg_core.coverage_space, [ Xg.Xg_core.coverage c ]) ]
+            | None -> [])
+          @ fault_coverage_sets ~xg_core ~accel_link ());
       stats_groups =
         (fun () ->
           cpu_stats
           @ [ ("host.l2", M.L2.stats (Mesi_system.l2 sys)) ]
           @ (match xg_core with Some c -> [ ("xg", Xg.Xg_core.stats c) ] | None -> [])
           @ match xg_port with Some p -> [ ("xg_port", M.Xg_port.stats p) ] | None -> []);
+      link_stats = fault_link_stats ~accel_link;
+      quarantined = xg_quarantined ~xg_core;
     }
   in
   match cfg.Config.org with

@@ -37,6 +37,12 @@ type t = {
   stats_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
       (** monitoring hook over the host network, for debugging and tests *)
+  link_stats : unit -> (string * int) list;
+      (** reliability-layer counters plus injected-fault tallies for the XG
+          link; [[]] when no fault could ever fire, so fault-free reports are
+          unchanged *)
+  quarantined : unit -> bool;
+      (** whether the guard quarantined its accelerator *)
 }
 
 val coverage_reports : t -> Xguard_trace.Coverage.report list

@@ -9,6 +9,97 @@ type ordering =
 let control_size = 8
 let data_size = 72
 
+module Fault = struct
+  type kind = Drop | Duplicate | Corrupt | Delay of int | Kill
+
+  type config = {
+    drop : float;
+    duplicate : float;
+    corrupt : float;
+    delay : float;
+    max_delay : int;
+  }
+
+  let zero = { drop = 0.0; duplicate = 0.0; corrupt = 0.0; delay = 0.0; max_delay = 0 }
+
+  let active c =
+    c.drop > 0.0 || c.duplicate > 0.0 || c.corrupt > 0.0
+    || (c.delay > 0.0 && c.max_delay > 0)
+
+  type script = { nth : int; needle : string option; kind : kind }
+
+  let kind_to_string = function
+    | Drop -> "drop"
+    | Duplicate -> "dup"
+    | Corrupt -> "corrupt"
+    | Delay d -> Printf.sprintf "delay@%d" d
+    | Kill -> "kill"
+
+  let script_to_string s =
+    kind_to_string s.kind ^ ":" ^ string_of_int s.nth
+    ^ match s.needle with None -> "" | Some n -> ":" ^ n
+
+  let kind_of_string s =
+    match String.index_opt s '@' with
+    | Some i when String.sub s 0 i = "delay" -> (
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some d when d > 0 -> Ok (Delay d)
+        | _ -> Error (Printf.sprintf "bad delay cycles in %S" s))
+    | _ -> (
+        match s with
+        | "drop" -> Ok Drop
+        | "dup" | "duplicate" -> Ok Duplicate
+        | "corrupt" -> Ok Corrupt
+        | "kill" -> Ok Kill
+        | _ -> Error (Printf.sprintf "unknown fault kind %S" s))
+
+  let script_of_string spec =
+    match String.split_on_char ':' spec with
+    | kind_s :: nth_s :: rest -> (
+        match kind_of_string kind_s with
+        | Error _ as e -> e
+        | Ok kind -> (
+            match int_of_string_opt nth_s with
+            | Some nth when nth >= 1 ->
+                let needle =
+                  match rest with [] -> None | parts -> Some (String.concat ":" parts)
+                in
+                Ok { nth; needle; kind }
+            | _ -> Error (Printf.sprintf "bad message index in %S (expected >= 1)" spec)))
+    | _ ->
+        Error
+          (Printf.sprintf
+             "bad fault script %S (expected KIND:N[:NEEDLE], kind one of \
+              drop|dup|corrupt|kill|delay@CYCLES)"
+             spec)
+
+  type counts = {
+    mutable drops : int;
+    mutable duplicates : int;
+    mutable corrupts : int;
+    mutable delays : int;
+  }
+
+  let fresh_counts () = { drops = 0; duplicates = 0; corrupts = 0; delays = 0 }
+
+  let counts_to_list c =
+    [
+      ("injected.drop", c.drops);
+      ("injected.dup", c.duplicates);
+      ("injected.corrupt", c.corrupts);
+      ("injected.delay", c.delays);
+    ]
+end
+
+(* Naive substring search; needles are short CLI-supplied fragments. *)
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then true
+  else begin
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  end
+
 module Make (Msg : sig
   type t
 end) =
@@ -31,6 +122,17 @@ struct
     (* How to describe a message to the tracer: block address plus text.
        Consulted only when a trace buffer is armed. *)
     mutable tracer : (Msg.t -> int * string) option;
+    (* Fault injection.  [faults]/[fault_rng] drive the probabilistic model;
+       [scripts] fire deterministically on the Nth message whose tracer text
+       contains the needle.  All are [None]/empty by default, in which case
+       [send] takes exactly the historical path (no extra draws, no extra
+       allocation), preserving byte-identical runs. *)
+    mutable faults : Fault.config option;
+    mutable fault_rng : Rng.t option;
+    mutable scripts : (Fault.script * int ref) list;
+    mutable wire_cut : bool;
+    mutable corruptor : (Msg.t -> Msg.t) option;
+    fault_counts : Fault.counts;
   }
 
   let create ~engine ~rng ~name ~ordering () =
@@ -46,6 +148,12 @@ struct
       bytes_by_src = Hashtbl.create 16;
       monitor = None;
       tracer = None;
+      faults = None;
+      fault_rng = None;
+      scripts = [];
+      wire_cut = false;
+      corruptor = None;
+      fault_counts = Fault.fresh_counts ();
     }
 
   let name t = t.name
@@ -71,6 +179,143 @@ struct
     | Unordered { min_latency; max_latency } ->
         now + Rng.int_in t.rng ~lo:min_latency ~hi:max_latency
 
+  (* ---- fault injection ---- *)
+
+  let set_faults t ~rng config =
+    t.faults <- Some config;
+    t.fault_rng <- Some rng
+
+  let add_fault_script t script = t.scripts <- t.scripts @ [ (script, ref 0) ]
+  let set_corruptor t f = t.corruptor <- Some f
+  let cut_wire t = t.wire_cut <- true
+  let wire_cut t = t.wire_cut
+  let fault_counts t = t.fault_counts
+
+  let faults_active t =
+    t.wire_cut || t.scripts <> []
+    || match t.faults with Some c -> Fault.active c | None -> false
+
+  let fault_note t text =
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name ~text ()
+
+  (* The Nth-matching-message scripts.  Every script's match counter advances
+     on a matching message; the first script whose counter reaches its index
+     supplies the fault kind.  Matching consults the tracer's text rendering
+     (no tracer: only needle-less scripts can match). *)
+  let script_kind t msg =
+    if t.scripts = [] then None
+    else begin
+      let text =
+        lazy (match t.tracer with Some describe -> snd (describe msg) | None -> "")
+      in
+      List.fold_left
+        (fun acc (s, seen) ->
+          let matches =
+            match s.Fault.needle with
+            | None -> true
+            | Some needle -> contains ~needle (Lazy.force text)
+          in
+          if matches then begin
+            incr seen;
+            match acc with
+            | Some _ -> acc
+            | None -> if !seen = s.Fault.nth then Some s.Fault.kind else None
+          end
+          else acc)
+        None t.scripts
+    end
+
+  (* What to do with one message: lose it, or deliver [copies] of [payload],
+     the second copy one cycle behind, everything [extra] cycles late. *)
+  type plan = Lose | Deliver of { payload : Msg.t; copies : int; extra : int }
+
+  let corrupted t msg =
+    t.fault_counts.Fault.corrupts <- t.fault_counts.Fault.corrupts + 1;
+    match t.corruptor with
+    | Some f -> Some (f msg)
+    | None ->
+        (* No payload mutator registered: model the corruption as a loss (the
+           message is damaged beyond parsing). *)
+        None
+
+  let plan_of_kind t msg = function
+    | Fault.Kill ->
+        t.wire_cut <- true;
+        t.fault_counts.Fault.drops <- t.fault_counts.Fault.drops + 1;
+        fault_note t "fault: wire cut";
+        Lose
+    | Fault.Drop ->
+        t.fault_counts.Fault.drops <- t.fault_counts.Fault.drops + 1;
+        fault_note t "fault: drop";
+        Lose
+    | Fault.Duplicate ->
+        t.fault_counts.Fault.duplicates <- t.fault_counts.Fault.duplicates + 1;
+        fault_note t "fault: duplicate";
+        Deliver { payload = msg; copies = 2; extra = 0 }
+    | Fault.Corrupt -> (
+        fault_note t "fault: corrupt";
+        match corrupted t msg with
+        | Some payload -> Deliver { payload; copies = 1; extra = 0 }
+        | None -> Lose)
+    | Fault.Delay d ->
+        t.fault_counts.Fault.delays <- t.fault_counts.Fault.delays + 1;
+        fault_note t "fault: delay";
+        Deliver { payload = msg; copies = 1; extra = d }
+
+  let fault_plan t msg =
+    if t.wire_cut then begin
+      t.fault_counts.Fault.drops <- t.fault_counts.Fault.drops + 1;
+      Lose
+    end
+    else
+      match script_kind t msg with
+      | Some kind -> plan_of_kind t msg kind
+      | None -> (
+          match (t.faults, t.fault_rng) with
+          | Some cfg, Some rng when Fault.active cfg ->
+              if cfg.Fault.drop > 0.0 && Rng.chance rng cfg.Fault.drop then begin
+                t.fault_counts.Fault.drops <- t.fault_counts.Fault.drops + 1;
+                fault_note t "fault: drop";
+                Lose
+              end
+              else begin
+                let corrupt =
+                  cfg.Fault.corrupt > 0.0 && Rng.chance rng cfg.Fault.corrupt
+                in
+                let dup =
+                  cfg.Fault.duplicate > 0.0 && Rng.chance rng cfg.Fault.duplicate
+                in
+                let extra =
+                  if
+                    cfg.Fault.delay > 0.0 && cfg.Fault.max_delay > 0
+                    && Rng.chance rng cfg.Fault.delay
+                  then begin
+                    t.fault_counts.Fault.delays <- t.fault_counts.Fault.delays + 1;
+                    fault_note t "fault: delay";
+                    1 + Rng.int rng cfg.Fault.max_delay
+                  end
+                  else 0
+                in
+                let payload =
+                  if corrupt then begin
+                    fault_note t "fault: corrupt";
+                    corrupted t msg
+                  end
+                  else Some msg
+                in
+                match payload with
+                | None -> Lose
+                | Some payload ->
+                    if dup then begin
+                      t.fault_counts.Fault.duplicates <-
+                        t.fault_counts.Fault.duplicates + 1;
+                      fault_note t "fault: duplicate"
+                    end;
+                    Deliver { payload; copies = (if dup then 2 else 1); extra }
+              end
+          | _ -> Deliver { payload = msg; copies = 1; extra = 0 })
+
   let send t ~src ~dst ?(size = control_size) msg =
     let handler =
       match Hashtbl.find_opt t.handlers (Xguard_proto.Node.id dst) with
@@ -88,23 +333,32 @@ struct
            Trace.send ~cycle:(Engine.now t.engine) ~net:t.name
              ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr ~text
        | None -> ());
+    (* Offered traffic is counted at send time, injected faults or not. *)
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + size;
     let prev =
       match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id src) with Some b -> b | None -> 0
     in
     Hashtbl.replace t.bytes_by_src (Xguard_proto.Node.id src) (prev + size);
-    let at = delivery_time t ~src ~dst in
-    Engine.schedule_at t.engine at (fun () ->
-        (if Trace.on () then
-           match t.tracer with
-           | Some describe ->
-               let addr, text = describe msg in
-               Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
-                 ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
-                 ~text
-           | None -> ());
-        handler ~src msg)
+    match fault_plan t msg with
+    | Lose -> ()
+    | Deliver { payload; copies; extra } ->
+        (* [delivery_time] keeps its FIFO bookkeeping on the base time; an
+           injected extra delay is applied to the schedule only, so a jittered
+           message can be overtaken — that is the modelled misbehaviour. *)
+        let at = delivery_time t ~src ~dst + extra in
+        for copy = 0 to copies - 1 do
+          Engine.schedule_at t.engine (at + copy) (fun () ->
+              (if Trace.on () then
+                 match t.tracer with
+                 | Some describe ->
+                     let addr, text = describe payload in
+                     Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
+                       ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
+                       ~text
+                 | None -> ());
+              handler ~src payload)
+        done
 
   let messages_sent t = t.messages
   let bytes_sent t = t.bytes

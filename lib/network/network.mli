@@ -12,11 +12,70 @@
       for the XG-accelerator link (paper section 2.1).
     - [Unordered]: per-message latency drawn uniformly from a range, so
       messages race and overtake — the paper's stress-test methodology
-      ("message latencies are chosen randomly"). *)
+      ("message latencies are chosen randomly").
+
+    A network can additionally run a lossy-link fault model (see {!Fault}):
+    seeded probabilistic drop/duplicate/corrupt/delay injection plus
+    deterministic scripts that target the Nth message matching a predicate.
+    With no fault model installed, the send path is byte-for-byte the
+    historical one (no extra RNG draws), so fault-free runs stay reproducible
+    against pre-fault builds. *)
 
 type ordering =
   | Ordered of { latency : int }
   | Unordered of { min_latency : int; max_latency : int }
+
+(** Lossy-link fault model: what can happen to a message in flight. *)
+module Fault : sig
+  type kind =
+    | Drop  (** message lost *)
+    | Duplicate  (** delivered twice, second copy one cycle behind *)
+    | Corrupt  (** payload mutated via the network's corruptor *)
+    | Delay of int  (** delivered late by the given number of cycles *)
+    | Kill  (** cuts the wire: this and every later message is lost *)
+
+  (** Per-message probabilities for the seeded model.  [drop] is drawn first
+      and excludes the others; [corrupt], [duplicate] and [delay] draws are
+      independent.  A delayed message is late by 1..[max_delay] cycles. *)
+  type config = {
+    drop : float;
+    duplicate : float;
+    corrupt : float;
+    delay : float;
+    max_delay : int;
+  }
+
+  val zero : config
+  (** All probabilities 0.0 — a fault model that never fires.  Installing it
+      still leaves the send path untouched (no draws are made). *)
+
+  val active : config -> bool
+  (** Whether any probability can ever fire. *)
+
+  (** A deterministic fault: hit the [nth] (1-based) message whose trace text
+      contains [needle] ([None] matches every message) with [kind].  Scripts
+      make "lose exactly the first DataM" experiments reproducible without
+      probability sweeps. *)
+  type script = { nth : int; needle : string option; kind : kind }
+
+  val script_of_string : string -> (script, string) result
+  (** Parses ["KIND:N[:NEEDLE]"] where KIND is
+      [drop|dup|corrupt|kill|delay@CYCLES] — the CLI [--fault-script]
+      syntax. *)
+
+  val script_to_string : script -> string
+
+  (** Injection tally, by kind. *)
+  type counts = {
+    mutable drops : int;
+    mutable duplicates : int;
+    mutable corrupts : int;
+    mutable delays : int;
+  }
+
+  val counts_to_list : counts -> (string * int) list
+  (** Stable [(label, count)] rendering for reports. *)
+end
 
 module Make (Msg : sig
   type t
@@ -58,7 +117,36 @@ end) : sig
       {!Xguard_trace.Trace} buffer: the block address it concerns (or
       {!Xguard_trace.Trace.no_addr}) and a short rendering.  Consulted only
       while a trace buffer is armed; send and delivery of every message then
-      produce [Msg_send]/[Msg_recv] events. *)
+      produce [Msg_send]/[Msg_recv] events.  Also consulted by fault scripts
+      to match needles (regardless of trace arming). *)
+
+  (* ---- fault injection ---- *)
+
+  val set_faults : t -> rng:Xguard_sim.Rng.t -> Fault.config -> unit
+  (** Installs the probabilistic fault model.  [rng] must be a standalone
+      stream (not split from a component stream) so enabling faults does not
+      perturb the rest of the simulation. *)
+
+  val add_fault_script : t -> Fault.script -> unit
+  (** Adds a deterministic script; scripts are checked before the
+      probabilistic model, in the order added. *)
+
+  val set_corruptor : t -> (Msg.t -> Msg.t) -> unit
+  (** How [Corrupt] mutates a payload.  Without a corruptor, a corrupted
+      message is modelled as lost (damaged beyond parsing). *)
+
+  val cut_wire : t -> unit
+  (** Silently discards this and every subsequent message — the directed
+      kill-the-link fault. *)
+
+  val wire_cut : t -> bool
+
+  val faults_active : t -> bool
+  (** Whether any injection can occur (wire cut, scripts pending, or an
+      installed model with a nonzero probability). *)
+
+  val fault_counts : t -> Fault.counts
+  (** Injection tally; all zeros when no fault ever fired. *)
 end
 
 (** Message sizes used throughout: a bare control message and one carrying a

@@ -7,6 +7,7 @@ type error_kind =
   | Unsolicited_response
   | Response_timeout
   | Rate_limit_exceeded
+  | Link_fault
 
 type policy = Log_only | Disable_accelerator | Kill_process
 
@@ -17,10 +18,19 @@ type t = {
   counts : (error_kind, int) Hashtbl.t;
   mutable disabled : bool;
   mutable killed : bool;
+  mutable quarantined : bool;
 }
 
 let create ?(policy = Log_only) () =
-  { policy; log = []; count = 0; counts = Hashtbl.create 8; disabled = false; killed = false }
+  {
+    policy;
+    log = [];
+    count = 0;
+    counts = Hashtbl.create 8;
+    disabled = false;
+    killed = false;
+    quarantined = false;
+  }
 
 let policy t = t.policy
 
@@ -42,6 +52,14 @@ let log t = List.rev t.log
 let accel_disabled t = t.disabled
 let process_killed t = t.killed
 
+let quarantine t =
+  (* Quarantine always takes the accelerator offline, whatever the policy:
+     the link below it is gone, so there is nothing to keep serving. *)
+  t.quarantined <- true;
+  t.disabled <- true
+
+let quarantined t = t.quarantined
+
 let error_kind_to_string = function
   | Perm_read_violation -> "perm_read_violation (G0a)"
   | Perm_write_violation -> "perm_write_violation (G0b)"
@@ -51,6 +69,7 @@ let error_kind_to_string = function
   | Unsolicited_response -> "unsolicited_response (G2b)"
   | Response_timeout -> "response_timeout (G2c)"
   | Rate_limit_exceeded -> "rate_limit_exceeded"
+  | Link_fault -> "link_fault (lossy link)"
 
 let all_error_kinds =
   [
@@ -62,4 +81,5 @@ let all_error_kinds =
     Unsolicited_response;
     Response_timeout;
     Rate_limit_exceeded;
+    Link_fault;
   ]

@@ -15,6 +15,7 @@ type error_kind =
   | Unsolicited_response  (** G2b: response with no outstanding host request *)
   | Response_timeout  (** G2c: the accelerator never answered; XG answered for it *)
   | Rate_limit_exceeded  (** §2.5: request rate above the configured limit *)
+  | Link_fault  (** the XG-accelerator link lost a retransmission round *)
 
 type policy = Log_only | Disable_accelerator | Kill_process
 
@@ -30,5 +31,12 @@ val log : t -> (error_kind * Addr.t) list
 
 val accel_disabled : t -> bool
 val process_killed : t -> bool
+
+val quarantine : t -> unit
+(** The guard gave up on the accelerator's link: record the quarantine and
+    take the accelerator offline regardless of policy (the host keeps
+    running; there is simply no device behind the guard any more). *)
+
+val quarantined : t -> bool
 val error_kind_to_string : error_kind -> string
 val all_error_kinds : error_kind list

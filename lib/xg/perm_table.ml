@@ -1,4 +1,4 @@
-type t = { default : Perm.t; pages : (int, Perm.t) Hashtbl.t }
+type t = { mutable default : Perm.t; pages : (int, Perm.t) Hashtbl.t }
 
 let create ?(default = Perm.Read_write) () = { default; pages = Hashtbl.create 64 }
 
@@ -12,3 +12,7 @@ let perm t addr =
 
 let allows_read t addr = Perm.allows_read (perm t addr)
 let allows_write t addr = Perm.allows_write (perm t addr)
+
+let revoke_all t =
+  Hashtbl.reset t.pages;
+  t.default <- Perm.No_access

@@ -27,3 +27,8 @@ val allows_read : t -> Addr.t -> bool
 val allows_write : t -> Addr.t -> bool
 (** Only [Read_write] pages pass: a GetM to a read-only page is the G0b
     violation the guard answers without ever granting M. *)
+
+val revoke_all : t -> unit
+(** Drops every page grant and makes [No_access] the default — the OS pulling
+    all of a quarantined accelerator's mappings at once.  Later [set_page]
+    calls can re-grant. *)

@@ -59,11 +59,21 @@ type t = {
   stats : Group.t;
   coverage : Group.t;
   mutable peak_bits : int;
+  (* Lossy-link degradation (PR 3): consecutive unrecoverable link faults,
+     and whether the accelerator has been quarantined. *)
+  quarantine_after : int;
+  mutable link_faults : int;
+  mutable quarantined : bool;
+  fault_cov : Group.t;
+  mutable on_quarantine : unit -> unit;
 }
 
 let mode t = t.mode
 let stats t = t.stats
 let coverage t = t.coverage
+let fault_coverage t = t.fault_cov
+let quarantined t = t.quarantined
+let set_on_quarantine t f = t.on_quarantine <- f
 
 (* ---- bookkeeping ---- *)
 
@@ -163,7 +173,9 @@ let accel_may_be_sharer t addr =
    full-state table, T_NA/T_RO/T_RW from permissions in transactional mode. *)
 
 let state_key t addr =
-  match Hashtbl.find_opt t.pending addr with
+  if t.quarantined then "Q"
+  else
+    match Hashtbl.find_opt t.pending addr with
   | Some { p_inv = Some _; _ } -> "B_inv"
   | Some { p_get = Some _; _ } -> "B_get"
   | Some { p_put = Some _; _ } -> "B_put"
@@ -212,10 +224,16 @@ let coverage_space =
   let responses = [ "CleanWB"; "DirtyWB"; "InvAck" ] in
   let host_needs = [ "Fwd_S"; "Fwd_M"; "Recall" ] in
   let states =
-    [ "I"; "S"; "S_RO"; "E"; "M"; "B_get"; "B_put"; "B_inv"; "T_NA"; "T_RO"; "T_RW" ]
+    [ "I"; "S"; "S_RO"; "E"; "M"; "B_get"; "B_put"; "B_inv"; "T_NA"; "T_RO"; "T_RW"; "Q" ]
   in
   let possible state event =
-    if List.mem event requests || List.mem event responses then true
+    (* [Q] is the quarantined terminal: accelerator traffic is dropped before
+       it is visited, so only host-side events (and the quarantine drain
+       itself) can be observed there. *)
+    if event = "Quarantine" then state = "Q"
+    else if state = "Q" then
+      List.mem event host_needs || event = "Grant" || event = "PutDone"
+    else if List.mem event requests || List.mem event responses then true
     else if List.mem event host_needs then
       (* [host_request] asserts no invalidation is already pending. *)
       state <> "B_inv"
@@ -230,8 +248,33 @@ let coverage_space =
       | _ -> false
   in
   Xguard_trace.Coverage.space ~name:"xg" ~states
-    ~events:(requests @ responses @ host_needs @ [ "Grant"; "PutDone"; "Timeout" ])
+    ~events:(requests @ responses @ host_needs @ [ "Grant"; "PutDone"; "Timeout"; "Quarantine" ])
     ~possible ()
+
+(* ---- link-fault degradation coverage ----
+
+   A much smaller machine tracks the guard's overall health: armed (no
+   outstanding fault), degraded (the link reported unrecoverable faults but
+   the quarantine threshold has not been reached) and quarantined. *)
+
+let fault_state t =
+  if t.quarantined then "F_quarantined"
+  else if t.link_faults > 0 then "F_degraded"
+  else "F_armed"
+
+let fvisit t event = Group.incr t.fault_cov (fault_state t ^ "." ^ event)
+
+let fault_coverage_space =
+  Xguard_trace.Coverage.space ~name:"xg.fault"
+    ~states:[ "F_armed"; "F_degraded"; "F_quarantined" ]
+    ~events:[ "LinkFault"; "Recover"; "Quarantine"; "HostAnswered"; "AccelDropped" ]
+    ~possible:(fun state event ->
+      match event with
+      | "LinkFault" -> state <> "F_quarantined"
+      | "Recover" | "Quarantine" -> state = "F_degraded"
+      | "HostAnswered" | "AccelDropped" -> state = "F_quarantined"
+      | _ -> false)
+    ()
 
 (* ---- host-initiated invalidations ---- *)
 
@@ -272,6 +315,7 @@ let start_accel_invalidation t addr (p : per_addr) inv =
       | _ -> ())
 
 let host_request t addr ~need ~reply =
+  if t.quarantined then fvisit t "HostAnswered";
   visit t addr (event_of_host_need need) @@ fun () ->
   let p = slot t addr in
   assert (p.p_inv = None);
@@ -576,6 +620,25 @@ let granted t addr grant =
   let p = slot t addr in
   match p.p_get with
   | None -> failwith (t.name ^ ": host grant without an open get")
+  | Some _ when t.quarantined ->
+      (* The get was open when the link died; the accelerator will never see
+         this grant.  Hand the block straight back so the host's directory
+         does not record a dead owner. *)
+      p.p_get <- None;
+      Group.incr t.stats "quarantine_grant_returned";
+      (match grant with
+      | `S _ ->
+          if t.host.puts_needed then begin
+            p.p_put <- Some `S;
+            t.host.put addr `S
+          end
+          else prune t addr p
+      | `E data ->
+          p.p_put <- Some `E;
+          t.host.put addr (`E data)
+      | `M data ->
+          p.p_put <- Some `M;
+          t.host.put addr (`M data))
   | Some { want; ro } ->
       p.p_get <- None;
       let resp =
@@ -624,10 +687,97 @@ let put_complete t addr =
       Group.incr t.stats "put_complete";
       pump_stalled t addr p
 
+(* ---- lossy-link degradation (PR 3) ---- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+(* The accelerator's link is gone for good: answer everything outstanding
+   from trusted state (the same answer-on-behalf machinery as G2c), hand
+   tracked blocks back to the host, revoke the accelerator's pages and tell
+   the OS.  The host side keeps running; the guard becomes a terminal that
+   answers every future host need locally. *)
+let quarantine t =
+  if not t.quarantined then begin
+    fvisit t "Quarantine";
+    t.quarantined <- true;
+    Group.incr t.stats "quarantined";
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"quarantine: draining outstanding transactions" ();
+    (* Open host invalidations first: reply from trusted state, exactly the
+       G2c substitution.  Deterministic address order keeps runs stable. *)
+    List.iter
+      (fun (addr, p) ->
+        visit t addr "Quarantine" (fun () ->
+            (match p.p_inv with
+            | Some inv ->
+                (match Hashtbl.find_opt t.tracks addr with
+                | Some { xg_copy = Some copy; _ } -> reply_once t p inv (Reply_clean copy)
+                | Some { st = `E | `M; _ } ->
+                    Group.incr t.stats "quarantine_zeroed_wb";
+                    reply_once t p inv (Reply_dirty Data.zero)
+                | Some { st = `S; _ } | None -> reply_once t p inv (default_reply t inv));
+                clear_track t addr;
+                finish_inv t addr p
+            | None -> ());
+            Queue.clear p.stalled_gets;
+            prune t addr p))
+      (sorted_bindings t.pending);
+    (* Tracked blocks with no transaction in flight: relinquish them so the
+       host directory never records the dead accelerator as a sharer/owner.
+       Blocks with an open get settle when [granted] fires; open puts when
+       [put_complete] does. *)
+    List.iter
+      (fun (addr, tr) ->
+        let p = slot t addr in
+        if p.p_get = None && p.p_put = None then
+          visit t addr "Quarantine" (fun () ->
+              (match (tr.st, tr.xg_copy) with
+              | _, Some copy ->
+                  p.p_put <- Some `E;
+                  Group.incr t.stats "ro_copy_relinquished";
+                  t.host.put addr (`E copy)
+              | (`E | `M), None ->
+                  p.p_put <- Some `M;
+                  Group.incr t.stats "quarantine_zeroed_wb";
+                  t.host.put addr (`M Data.zero)
+              | `S, None ->
+                  if t.host.puts_needed then begin
+                    p.p_put <- Some `S;
+                    t.host.put addr `S
+                  end);
+              clear_track t addr;
+              prune t addr p)
+        else clear_track t addr)
+      (sorted_bindings t.tracks);
+    Perm_table.revoke_all t.perms;
+    Os_model.quarantine t.os;
+    t.on_quarantine ()
+  end
+
+let link_fault t =
+  if not t.quarantined then begin
+    fvisit t "LinkFault";
+    t.link_faults <- t.link_faults + 1;
+    Group.incr t.stats "link_faults";
+    report t Os_model.Link_fault (Addr.block 0);
+    if t.link_faults >= t.quarantine_after then quarantine t
+  end
+
+let link_recovered t =
+  if (not t.quarantined) && t.link_faults > 0 then begin
+    fvisit t "Recover";
+    t.link_faults <- 0;
+    Group.incr t.stats "link_recoveries"
+  end
+
 (* ---- wiring ---- *)
 
 let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2000)
-    ?(processing_latency = 4) ?rate_limiter ?(suppress_put_s_register = false) () =
+    ?(processing_latency = 4) ?rate_limiter ?(suppress_put_s_register = false)
+    ?(quarantine_after = 3) () =
   let t =
     {
       engine;
@@ -647,12 +797,24 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
       stats = Group.create (name ^ ".stats");
       coverage = Group.create (name ^ ".coverage");
       peak_bits = 0;
+      quarantine_after = max 1 quarantine_after;
+      link_faults = 0;
+      quarantined = false;
+      fault_cov = Group.create (name ^ ".fault_cov");
+      on_quarantine = (fun () -> ());
     }
   in
   Xg_iface.Link.register link self (fun ~src:_ msg ->
       (* Charge the guard's pipeline latency once per message. *)
       Engine.schedule t.engine ~delay:processing_latency (fun () ->
-          match msg with
+          if t.quarantined then begin
+            (* The device is quarantined: whatever still trickles out of the
+               link (or was already in the pipeline) is dead traffic. *)
+            fvisit t "AccelDropped";
+            Group.incr t.stats "dropped_quarantined"
+          end
+          else
+            match msg with
           | Xg_iface.To_xg_req { addr; req } ->
               if Os_model.accel_disabled t.os then Group.incr t.stats "request_dropped_disabled"
               else begin

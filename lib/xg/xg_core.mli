@@ -76,6 +76,7 @@ val create :
   ?processing_latency:int ->
   ?rate_limiter:Rate_limiter.t ->
   ?suppress_put_s_register:bool ->
+  ?quarantine_after:int ->
   unit ->
   t
 (** Registers [self] on [link].  [timeout] is the G2c deadline in cycles for
@@ -83,7 +84,9 @@ val create :
     (state lookup + translation) and is charged once per accelerator-link
     message processed (default 4 cycles).  [suppress_put_s_register] models the optimization
     register of §2.1: when set and the host does not need PutS, unnecessary
-    PutS messages are consumed at the Crossing Guard. *)
+    PutS messages are consumed at the Crossing Guard.  [quarantine_after]
+    (default 3) is how many consecutive unrecoverable link faults the engine
+    tolerates before quarantining the accelerator. *)
 
 val mode : t -> mode
 (** Which §2.3 tracking discipline this instance runs. *)
@@ -104,6 +107,32 @@ val host_request : t -> Addr.t -> need:host_need -> reply:(host_reply -> unit) -
 
 val accel_may_be_sharer : t -> Addr.t -> bool
 (** Conservative sharing test used by ports for protocol-specific fast paths. *)
+
+(* ---- lossy-link degradation ---- *)
+
+val link_fault : t -> unit
+(** The reliability layer lost a full retransmission round on the
+    accelerator link.  Reports {!Os_model.Link_fault}; after
+    [quarantine_after] consecutive faults without {!link_recovered}, the
+    engine calls {!quarantine}.  Wired to [Link.set_fault_handler]. *)
+
+val link_recovered : t -> unit
+(** Acknowledgement progress resumed after one or more faults: the
+    consecutive-fault counter resets. *)
+
+val quarantine : t -> unit
+(** Give up on the accelerator (idempotent): answer every outstanding host
+    invalidation from trusted state (the G2c substitution), hand tracked
+    blocks back to the host (zeroed writebacks for untrusted dirty data),
+    revoke the accelerator's pages in the permission table, mark the OS
+    model quarantined and fire the [on_quarantine] hook (the harness kills
+    the link there).  The host side stays fully live; all later accelerator
+    traffic is dropped and all later host needs are answered locally. *)
+
+val quarantined : t -> bool
+
+val set_on_quarantine : t -> (unit -> unit) -> unit
+(** Ran once, at the end of {!quarantine}. *)
 
 (* ---- introspection ---- *)
 
@@ -142,4 +171,12 @@ val coverage_space : Xguard_trace.Coverage.space
     ([B_get]/[B_put]/[B_inv]) while a transaction is open.  Events:
     accelerator requests and responses, host needs, host completions and the
     G2c timeout.  A single space spans both modes; merge coverage groups from
-    runs of each mode to fill it. *)
+    runs of each mode to fill it.  The quarantined terminal adds state [Q]
+    (only host-side events and the [Quarantine] drain are possible there). *)
+
+val fault_coverage : t -> Xguard_stats.Counter.Group.t
+(** Degradation-machine visits, scored against {!fault_coverage_space}. *)
+
+val fault_coverage_space : Xguard_trace.Coverage.space
+(** Space ["xg.fault"]: armed/degraded/quarantined × link-fault, recovery and
+    quarantine events. *)

@@ -72,6 +72,404 @@ let pp_msg fmt = function
       Format.fprintf fmt "%a %a" pp_xg_response resp Addr.pp addr
   | To_accel_req { addr; req = Invalidate } -> Format.fprintf fmt "Invalidate %a" Addr.pp addr
 
-module Link = Xguard_network.Network.Make (struct
-  type t = msg
-end)
+(* A plausible single-event corruption of a link message: flip the message
+   into a near-miss of itself (wrong request/response flavor, damaged data
+   token).  Installed as the network's corruptor so injected [Corrupt] faults
+   produce messages the guard must actually mis-handle — unless the
+   reliability layer's checksum catches them first. *)
+let corrupt_data d = Data.token (1000 + (Hashtbl.hash d mod 997))
+
+let corrupt_msg = function
+  | To_xg_req { addr; req } ->
+      let req =
+        match req with
+        | Get_s -> Get_m
+        | Get_m -> Get_s
+        | Put_s -> Put_e Data.zero
+        | Put_e d -> Put_m (corrupt_data d)
+        | Put_m d -> Put_e (corrupt_data d)
+      in
+      To_xg_req { addr; req }
+  | To_xg_resp { addr; resp } ->
+      let resp =
+        match resp with
+        | Clean_wb d -> Dirty_wb (corrupt_data d)
+        | Dirty_wb d -> Clean_wb (corrupt_data d)
+        | Inv_ack -> Clean_wb Data.zero
+      in
+      To_xg_resp { addr; resp }
+  | To_accel_resp { addr; resp } ->
+      let resp =
+        match resp with
+        | Data_s d -> Data_m (corrupt_data d)
+        | Data_e d -> Data_s (corrupt_data d)
+        | Data_m d -> Data_e (corrupt_data d)
+        | Wb_ack -> Data_s Data.zero
+      in
+      To_accel_resp { addr; resp }
+  | To_accel_req { addr; req = Invalidate } ->
+      (* An invalidation damaged into an unsolicited grant-looking response. *)
+      To_accel_resp { addr; resp = Wb_ack }
+
+module Link = struct
+  module Engine = Xguard_sim.Engine
+  module Trace = Xguard_trace.Trace
+  module Counter = Xguard_stats.Counter
+  module Coverage = Xguard_trace.Coverage
+  module Network = Xguard_network.Network
+
+  (* What actually travels on the wire.  Without reliability every payload is
+     [Plain] — byte-for-byte the historical link.  With reliability payloads
+     ride in [Frame]s carrying a per-directed-channel sequence number and a
+     payload checksum; [Ack]/[Nack] are the receiver's cumulative
+     acknowledgement and go-back-N retransmission request. *)
+  type wire =
+    | Plain of msg
+    | Frame of { seq : int; check : int; payload : msg }
+    | Ack of { next : int }
+    | Nack of { expect : int }
+
+  module Raw = Network.Make (struct
+    type t = wire
+  end)
+
+  let frame_header = 8
+  let checksum (m : msg) = Hashtbl.hash m
+
+  (* Per-directed-(src,dst) reliability state.  The tx fields belong to the
+     channel's source, the rx fields to its destination; both live in one
+     record because the link object sees both ends. *)
+  type channel = {
+    c_src : Node.t;
+    c_dst : Node.t;
+    (* tx *)
+    mutable next_seq : int;
+    outstanding : (int * msg * int) Queue.t;  (** (seq, payload, size) unacked *)
+    mutable retries : int;  (** consecutive watchdog retransmission rounds *)
+    mutable backoff : int;  (** current retransmission timeout *)
+    mutable last_attempt : Engine.time;
+    mutable last_retx : Engine.time;
+    mutable reported : bool;  (** a fault round was escalated and not yet recovered *)
+    mutable watchdog_on : bool;
+    mutable dead : bool;
+    (* rx *)
+    mutable rx_next : int;  (** next sequence number expected *)
+  }
+
+  type t = {
+    raw : Raw.t;
+    engine : Engine.t;
+    lname : string;
+    mutable reliable : bool;
+    mutable retry_timeout : int;
+    mutable max_retries : int;
+    channels : (int * int, channel) Hashtbl.t;
+    mutable killed : bool;
+    mutable monitor : (src:Node.t -> dst:Node.t -> msg -> unit) option;
+    mutable ptracer : (msg -> int * string) option;
+    mutable on_fault : unit -> unit;
+    mutable on_recover : unit -> unit;
+    stats : Counter.Group.t;
+    cov : Counter.Group.t;
+  }
+
+  let create ~engine ~rng ~name ~ordering () =
+    let t =
+      {
+        raw = Raw.create ~engine ~rng ~name ~ordering ();
+        engine;
+        lname = name;
+        reliable = false;
+        retry_timeout = 32;
+        max_retries = 6;
+        channels = Hashtbl.create 8;
+        killed = false;
+        monitor = None;
+        ptracer = None;
+        on_fault = (fun () -> ());
+        on_recover = (fun () -> ());
+        stats = Counter.Group.create (name ^ ".link");
+        cov = Counter.Group.create (name ^ ".link.cov");
+      }
+    in
+    Raw.set_corruptor t.raw (function
+      | Plain m -> Plain (corrupt_msg m)
+      (* The checksum is computed before corruption and kept, which is the
+         point: the damaged payload no longer matches it. *)
+      | Frame { seq; check; payload } -> Frame { seq; check; payload = corrupt_msg payload }
+      | (Ack _ | Nack _) as w -> w);
+    t
+
+  let name t = t.lname
+
+  let channel t ~src ~dst =
+    let key = (Node.id src, Node.id dst) in
+    match Hashtbl.find_opt t.channels key with
+    | Some ch -> ch
+    | None ->
+        let ch =
+          {
+            c_src = src;
+            c_dst = dst;
+            next_seq = 0;
+            outstanding = Queue.create ();
+            retries = 0;
+            backoff = t.retry_timeout;
+            last_attempt = 0;
+            last_retx = -1;
+            reported = false;
+            watchdog_on = false;
+            dead = false;
+            rx_next = 0;
+          }
+        in
+        Hashtbl.add t.channels key ch;
+        ch
+
+  (* tx-side condition of a directed channel, for coverage keys. *)
+  let ch_state t ch =
+    if t.killed || ch.dead then "Dead"
+    else if ch.reported then "Failing"
+    else if ch.retries > 0 then "Retry"
+    else if not (Queue.is_empty ch.outstanding) then "Await"
+    else "Idle"
+
+  let visit t ch event =
+    Counter.Group.incr t.cov (ch_state t ch ^ "." ^ event)
+
+  let note t text =
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:(t.lname ^ ".link") ~text ()
+
+  let coverage_space =
+    Coverage.space ~name:"xg.link"
+      ~states:[ "Idle"; "Await"; "Retry"; "Failing"; "Dead" ]
+      ~events:
+        [
+          "Send"; "SendDead"; "Deliver"; "Dup"; "Gap"; "Corrupt"; "Ack"; "AckStale";
+          "Nack"; "Retry"; "Fault"; "Recover"; "Kill";
+        ]
+      ()
+
+  (* ---- tx ---- *)
+
+  let send_frame t ch (seq, payload, size) =
+    Raw.send t.raw ~src:ch.c_src ~dst:ch.c_dst ~size:(size + frame_header)
+      (Frame { seq; check = checksum payload; payload })
+
+  let retransmit t ch ~why =
+    if not (Queue.is_empty ch.outstanding) then begin
+      let now = Engine.now t.engine in
+      if now > ch.last_retx then begin
+        ch.last_retx <- now;
+        ch.last_attempt <- now;
+        visit t ch "Retry";
+        Counter.Group.incr t.stats "retransmit_rounds";
+        Counter.Group.add t.stats "retransmit_frames" (Queue.length ch.outstanding);
+        note t
+          (Printf.sprintf "retransmit (%s) %d frame(s) from #%d" why
+             (Queue.length ch.outstanding)
+             (match Queue.peek_opt ch.outstanding with Some (s, _, _) -> s | None -> 0));
+        Queue.iter (fun f -> send_frame t ch f) ch.outstanding
+      end
+    end
+
+  let watchdog_tick t ch () =
+    if t.killed || ch.dead || Queue.is_empty ch.outstanding then begin
+      ch.watchdog_on <- false;
+      false
+    end
+    else begin
+      let now = Engine.now t.engine in
+      if now - ch.last_attempt >= ch.backoff then begin
+        ch.retries <- ch.retries + 1;
+        if ch.retries > t.max_retries then begin
+          (* A full backoff ladder burned with no acknowledgement progress:
+             escalate.  Every further silent round escalates again, so the
+             guard can count consecutive unrecoverable faults. *)
+          visit t ch "Fault";
+          Counter.Group.incr t.stats "faults_escalated";
+          ch.reported <- true;
+          note t (Printf.sprintf "link fault: %d silent rounds" ch.retries);
+          t.on_fault ()
+        end;
+        if not (t.killed || ch.dead) then begin
+          retransmit t ch ~why:"timeout";
+          ch.backoff <- min (ch.backoff * 2) (t.retry_timeout * 16)
+        end
+      end;
+      if t.killed || ch.dead || Queue.is_empty ch.outstanding then begin
+        ch.watchdog_on <- false;
+        false
+      end
+      else true
+    end
+
+  let arm_watchdog t ch =
+    if not ch.watchdog_on then begin
+      ch.watchdog_on <- true;
+      Engine.every t.engine ~period:t.retry_timeout (watchdog_tick t ch)
+    end
+
+  (* Pop outstanding frames the receiver has cumulatively acknowledged below
+     [next]; returns how many were retired. *)
+  let absorb_ack t ch ~next =
+    let retired = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt ch.outstanding with
+      | Some (seq, _, _) when seq < next ->
+          ignore (Queue.pop ch.outstanding);
+          incr retired
+      | _ -> continue := false
+    done;
+    if !retired > 0 then begin
+      ch.retries <- 0;
+      ch.backoff <- t.retry_timeout;
+      ch.last_attempt <- Engine.now t.engine;
+      if ch.reported then begin
+        ch.reported <- false;
+        visit t ch "Recover";
+        Counter.Group.incr t.stats "recoveries";
+        note t "link recovered";
+        t.on_recover ()
+      end
+    end;
+    !retired
+
+  (* ---- rx ---- *)
+
+  let handle_frame t ~self ~src handler ~seq ~check ~payload =
+    let ch = channel t ~src ~dst:self in
+    if t.killed || ch.dead then ()
+    else if check <> checksum payload then begin
+      visit t ch "Corrupt";
+      Counter.Group.incr t.stats "corrupt_detected";
+      note t (Printf.sprintf "checksum mismatch on #%d" seq);
+      Raw.send t.raw ~src:self ~dst:src (Nack { expect = ch.rx_next })
+    end
+    else if seq = ch.rx_next then begin
+      ch.rx_next <- ch.rx_next + 1;
+      visit t ch "Deliver";
+      Counter.Group.incr t.stats "delivered";
+      Raw.send t.raw ~src:self ~dst:src (Ack { next = ch.rx_next });
+      handler ~src payload
+    end
+    else if seq < ch.rx_next then begin
+      (* Already delivered once: suppress, but re-ack so a lost Ack does not
+         leave the sender retransmitting forever. *)
+      visit t ch "Dup";
+      Counter.Group.incr t.stats "dups_suppressed";
+      note t (Printf.sprintf "duplicate #%d suppressed (expect #%d)" seq ch.rx_next);
+      Raw.send t.raw ~src:self ~dst:src (Ack { next = ch.rx_next })
+    end
+    else begin
+      (* Gap: go-back-N keeps no out-of-order buffer; ask for a resend. *)
+      visit t ch "Gap";
+      Counter.Group.incr t.stats "gaps_detected";
+      note t (Printf.sprintf "gap: got #%d, expected #%d" seq ch.rx_next);
+      Raw.send t.raw ~src:self ~dst:src (Nack { expect = ch.rx_next })
+    end
+
+  let handle_control t ~self ~src wire =
+    (* Acks and Nacks received at [self] concern the channel self->src. *)
+    let ch = channel t ~src:self ~dst:src in
+    if t.killed || ch.dead then ()
+    else
+      match wire with
+      | Ack { next } ->
+          if absorb_ack t ch ~next > 0 then begin
+            visit t ch "Ack";
+            Counter.Group.incr t.stats "acks_absorbed"
+          end
+          else visit t ch "AckStale"
+      | Nack { expect } ->
+          ignore (absorb_ack t ch ~next:expect);
+          visit t ch "Nack";
+          Counter.Group.incr t.stats "nacks_received";
+          retransmit t ch ~why:"nack"
+      | Plain _ | Frame _ -> assert false
+
+  let register t node handler =
+    Raw.register t.raw node (fun ~src wire ->
+        match wire with
+        | Plain m -> handler ~src m
+        | Frame { seq; check; payload } ->
+            handle_frame t ~self:node ~src handler ~seq ~check ~payload
+        | Ack _ | Nack _ -> handle_control t ~self:node ~src wire)
+
+  let send t ~src ~dst ?(size = Network.control_size) msg =
+    (match t.monitor with Some f -> f ~src ~dst msg | None -> ());
+    if not t.reliable then Raw.send t.raw ~src ~dst ~size (Plain msg)
+    else begin
+      let ch = channel t ~src ~dst in
+      if t.killed || ch.dead then begin
+        visit t ch "SendDead";
+        Counter.Group.incr t.stats "sends_on_dead_link"
+      end
+      else begin
+        let seq = ch.next_seq in
+        ch.next_seq <- seq + 1;
+        if Queue.is_empty ch.outstanding then ch.last_attempt <- Engine.now t.engine;
+        Queue.add (seq, msg, size) ch.outstanding;
+        visit t ch "Send";
+        Counter.Group.incr t.stats "frames_sent";
+        send_frame t ch (seq, msg, size);
+        arm_watchdog t ch
+      end
+    end
+
+  (* ---- reliability control ---- *)
+
+  let enable_reliability t ?(retry_timeout = 32) ?(max_retries = 6) () =
+    t.reliable <- true;
+    t.retry_timeout <- max 1 retry_timeout;
+    t.max_retries <- max 0 max_retries
+
+  let reliable t = t.reliable
+
+  let set_fault_handler t ~on_fault ~on_recover =
+    t.on_fault <- on_fault;
+    t.on_recover <- on_recover
+
+  let kill t =
+    if not t.killed then begin
+      t.killed <- true;
+      Counter.Group.incr t.stats "killed";
+      Hashtbl.iter
+        (fun _ ch ->
+          ch.dead <- true;
+          Queue.clear ch.outstanding)
+        t.channels;
+      Counter.Group.incr t.cov "Dead.Kill";
+      note t "link killed";
+      Raw.cut_wire t.raw
+    end
+
+  let killed t = t.killed
+
+  (* ---- passthrough ---- *)
+
+  let messages_sent t = Raw.messages_sent t.raw
+  let bytes_sent t = Raw.bytes_sent t.raw
+  let bytes_from t node = Raw.bytes_from t.raw node
+  let set_monitor t f = t.monitor <- Some f
+
+  let set_tracer t describe =
+    t.ptracer <- Some describe;
+    Raw.set_tracer t.raw (function
+        | Plain m -> describe m
+        | Frame { seq; payload; _ } ->
+            let addr, text = describe payload in
+            (addr, Printf.sprintf "#%d %s" seq text)
+        | Ack { next } -> (Trace.no_addr, Printf.sprintf "LinkAck(%d)" next)
+        | Nack { expect } -> (Trace.no_addr, Printf.sprintf "LinkNack(%d)" expect))
+
+  let set_faults t ~rng config = Raw.set_faults t.raw ~rng config
+  let add_fault_script t s = Raw.add_fault_script t.raw s
+  let cut_wire t = Raw.cut_wire t.raw
+  let faults_active t = Raw.faults_active t.raw
+  let fault_counts t = Raw.fault_counts t.raw
+  let link_stats t = t.stats
+  let coverage t = t.cov
+end

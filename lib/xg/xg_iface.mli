@@ -76,11 +76,107 @@ val pp_xg_response : Format.formatter -> xg_response -> unit
 val pp_accel_response : Format.formatter -> accel_response -> unit
 val pp_msg : Format.formatter -> msg -> unit
 
+val corrupt_msg : msg -> msg
+(** What one injected bit-flip does to a message: the nearest plausible
+    wrong message (request/response flavor flipped, data token damaged).
+    Installed as the link's payload corruptor; exposed for tests. *)
+
 (** The ordered link between one Crossing Guard instance and its accelerator:
     a network specialised to {!msg}.  The paper requires this network to be
-    ordered; ablation A1 measures what breaks when it is not. *)
+    ordered; ablation A1 measures what breaks when it is not.
+
+    Beyond the plain network the link optionally runs a reliability layer
+    ({!Link.enable_reliability}): every payload then travels in a frame with a
+    per-directed-channel sequence number and checksum; the receiver delivers
+    in order exactly once, suppresses duplicates, and Nacks gaps and
+    corruption; the sender retransmits go-back-N style with capped exponential
+    backoff, and escalates through [on_fault] after [max_retries] silent
+    rounds so the guard can quarantine a dead link.  With reliability off the
+    wire format and behavior are byte-for-byte the historical link. *)
 module Link : sig
-  include module type of Xguard_network.Network.Make (struct
-    type t = msg
-  end)
+  type t
+
+  val create :
+    engine:Xguard_sim.Engine.t ->
+    rng:Xguard_sim.Rng.t ->
+    name:string ->
+    ordering:Xguard_network.Network.ordering ->
+    unit ->
+    t
+
+  val name : t -> string
+
+  val register : t -> Node.t -> (src:Node.t -> msg -> unit) -> unit
+  (** Attach a handler for payload messages addressed to this node; the
+      reliability layer's frames and acks are consumed internally.
+      @raise Invalid_argument on double registration. *)
+
+  val send : t -> src:Node.t -> dst:Node.t -> ?size:int -> msg -> unit
+  (** Deliver [msg] to [dst]'s handler after the link latency.  In reliable
+      mode the payload is framed (+8 bytes of header) and retransmitted until
+      acknowledged; on a dead or killed channel the send is counted and
+      dropped. *)
+
+  val messages_sent : t -> int
+  (** Wire messages, including frames, retransmissions, acks and nacks. *)
+
+  val bytes_sent : t -> int
+  val bytes_from : t -> Node.t -> int
+
+  val set_monitor : t -> (src:Node.t -> dst:Node.t -> msg -> unit) -> unit
+  (** Observe every payload once at send time (never retransmissions). *)
+
+  val set_tracer : t -> (msg -> int * string) -> unit
+  (** Payload description for the trace buffer; frames render as
+      ["#seq <payload>"], acks and nacks as [LinkAck]/[LinkNack]. *)
+
+  (* ---- reliability ---- *)
+
+  val enable_reliability : t -> ?retry_timeout:int -> ?max_retries:int -> unit -> unit
+  (** Switch the link to framed, exactly-once delivery.  [retry_timeout]
+      (default 32 cycles) is the initial retransmission timeout, doubled per
+      silent round up to 16×; after [max_retries] (default 6) silent rounds
+      every further round calls [on_fault]. *)
+
+  val reliable : t -> bool
+
+  val set_fault_handler : t -> on_fault:(unit -> unit) -> on_recover:(unit -> unit) -> unit
+  (** [on_fault] fires once per unrecoverable retransmission round;
+      [on_recover] when acknowledgement progress resumes afterwards. *)
+
+  val kill : t -> unit
+  (** The recovery endpoint: marks every channel dead, clears retransmission
+      queues (so the simulation drains) and cuts the underlying wire.
+      Idempotent. *)
+
+  val killed : t -> bool
+
+  (* ---- fault injection (see {!Xguard_network.Network.Fault}) ---- *)
+
+  val set_faults : t -> rng:Xguard_sim.Rng.t -> Xguard_network.Network.Fault.config -> unit
+  val add_fault_script : t -> Xguard_network.Network.Fault.script -> unit
+
+  val cut_wire : t -> unit
+  (** Lossy-link injection: every message in both directions is silently
+      dropped from now on.  Unlike {!kill}, the protocol machinery keeps
+      trying — this is the directed "link went dark" fault. *)
+
+  val faults_active : t -> bool
+  val fault_counts : t -> Xguard_network.Network.Fault.counts
+
+  (* ---- introspection ---- *)
+
+  val link_stats : t -> Xguard_stats.Counter.Group.t
+  (** Reliability-layer counters: frames sent/delivered, retransmission
+      rounds, duplicates suppressed, corruption and gaps detected, faults
+      escalated, recoveries. *)
+
+  val coverage : t -> Xguard_stats.Counter.Group.t
+  (** (channel condition × link event) visit counters scored against
+      {!coverage_space}. *)
+
+  val coverage_space : Xguard_trace.Coverage.space
+  (** Space ["xg.link"]: states [Idle]/[Await]/[Retry]/[Failing]/[Dead] ×
+      events [Send]/[Deliver]/[Dup]/[Gap]/[Corrupt]/[Ack]/[Nack]/[Retry]/
+      [Fault]/[Recover]/[Kill]/…. *)
 end

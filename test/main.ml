@@ -20,4 +20,5 @@ let () =
          Test_regression_seeds.tests;
          Test_coverage_floor.tests;
          Test_campaign.tests;
+         Test_faults.tests;
        ])

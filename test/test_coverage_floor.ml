@@ -15,6 +15,7 @@ module Config = Xguard_harness.Config
 module System = Xguard_harness.System
 module Tester = Xguard_harness.Random_tester
 module Fuzz = Xguard_harness.Fuzz_tester
+module Fault = Xguard_harness.Fault_scenarios
 module Coverage = Xguard_trace.Coverage
 module Rng = Xguard_sim.Rng
 
@@ -63,6 +64,17 @@ let collect_runs () =
           let o = Fuzz.run cfg ~pool ~cpu_ops:150 ~chaos_duration:20_000 () in
           runs := o.Fuzz.coverage_sets :: !runs)
         [ Fuzz.Shared_rw; Fuzz.Shared_ro; Fuzz.Disjoint ])
+    fuzz_configs;
+  (* Directed fault scenarios contribute too: they reach guard transitions
+     random traffic cannot (forced timeouts, wrong-type corrections, and the
+     quarantine rows behind a dead link). *)
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun scenario ->
+          let o = Fault.run cfg scenario in
+          runs := o.Fault.coverage_sets :: !runs)
+        Fault.all_scenarios)
     fuzz_configs;
   List.rev !runs
 

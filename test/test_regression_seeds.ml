@@ -11,6 +11,8 @@ module Fuzz = Xguard_harness.Fuzz_tester
 module Trace = Xguard_trace.Trace
 module Rng = Xguard_sim.Rng
 module Xg = Xguard_xg
+module Network = Xguard_network.Network
+module Fault = Network.Fault
 
 let seeds = [ 1; 7; 1234 ]
 
@@ -89,6 +91,68 @@ let test_stress_seeds () =
 let test_fuzz_seeds () =
   List.iter (fun cfg -> List.iter (fuzz_one cfg) seeds) fuzz_configs
 
+(* ---- lossy-link regression seeds (PR 3) ----
+
+   Pinned from a tools/fault_sweep.exe run over seeds 1..8: each seed/fault
+   pair below demonstrably exercises one recovery path of the reliability
+   layer while the run stays safe on a disjoint pool.  If a change stops the
+   path from firing — or makes the faulty run unsafe — the assertion names
+   the seed that replays it. *)
+
+let lossy_base = Config.make Config.Hammer (Config.Xg_one_level Config.Transactional)
+
+let lossy_cfg ~seed faults scripts =
+  {
+    (Config.stress_sized { lossy_base with Config.seed }) with
+    Config.link_faults = Some faults;
+    link_fault_scripts = scripts;
+    link_retry_timeout = 16;
+    link_max_retries = 2;
+    quarantine_after = 2;
+  }
+
+let lossy_one ~label ~path cfg check_path =
+  let o = Fuzz.run cfg ~pool:Fuzz.Disjoint ~cpu_ops:100 ~chaos_duration:15_000 () in
+  (match o.Fuzz.crashed with
+  | Some c -> Alcotest.failf "%s seed %d: crashed: %s" label o.Fuzz.seed c.Fuzz.exn_text
+  | None -> ());
+  if o.Fuzz.deadlocked then Alcotest.failf "%s seed %d: deadlocked" label o.Fuzz.seed;
+  if o.Fuzz.cpu_data_errors > 0 then
+    Alcotest.failf "%s seed %d: %d CPU data errors on a disjoint pool" label o.Fuzz.seed
+      o.Fuzz.cpu_data_errors;
+  if o.Fuzz.cpu_ops_completed <> o.Fuzz.cpu_ops_expected then
+    Alcotest.failf "%s seed %d: only %d/%d CPU ops completed" label o.Fuzz.seed
+      o.Fuzz.cpu_ops_completed o.Fuzz.cpu_ops_expected;
+  if not (check_path o) then
+    Alcotest.failf "%s seed %d: the %s path no longer fires" label o.Fuzz.seed path
+
+let link_count o label = Option.value ~default:0 (List.assoc_opt label o.Fuzz.link_faults)
+
+let test_lossy_retransmit_seed () =
+  (* Sweep: seed=2 drop2% -> retx=2298, safe. *)
+  lossy_one ~label:"drop 2%" ~path:"retransmission"
+    (lossy_cfg ~seed:2 { Fault.zero with Fault.drop = 0.02 } [])
+    (fun o -> link_count o "retransmit_frames" > 0 && not o.Fuzz.quarantined)
+
+let test_lossy_dup_suppression_seed () =
+  (* Sweep: seed=1 dup2% -> dups=338, safe. *)
+  lossy_one ~label:"dup 2%" ~path:"duplicate-suppression"
+    (lossy_cfg ~seed:1 { Fault.zero with Fault.duplicate = 0.02 } [])
+    (fun o -> link_count o "dups_suppressed" > 0 && not o.Fuzz.quarantined)
+
+let test_lossy_corruption_seed () =
+  (* Sweep: seed=5 corrupt2% -> corrupt=134, safe. *)
+  lossy_one ~label:"corrupt 2%" ~path:"corruption-detection"
+    (lossy_cfg ~seed:5 { Fault.zero with Fault.corrupt = 0.02 } [])
+    (fun o -> link_count o "corrupt_detected" > 0 && not o.Fuzz.quarantined)
+
+let test_lossy_quarantine_seed () =
+  (* Sweep: seed=3 kill@120 -> escal=2, quarantined, safe. *)
+  lossy_one ~label:"kill@120" ~path:"quarantine"
+    (lossy_cfg ~seed:3 Fault.zero
+       [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ])
+    (fun o -> link_count o "faults_escalated" > 0 && o.Fuzz.quarantined)
+
 let tests =
   [
     ( "regression-seeds",
@@ -97,5 +161,13 @@ let tests =
           test_stress_seeds;
         Alcotest.test_case "fuzzer, fixed seeds, one-level XG organizations" `Quick
           test_fuzz_seeds;
+        Alcotest.test_case "lossy link: retransmission seed" `Quick
+          test_lossy_retransmit_seed;
+        Alcotest.test_case "lossy link: duplicate-suppression seed" `Quick
+          test_lossy_dup_suppression_seed;
+        Alcotest.test_case "lossy link: corruption-detection seed" `Quick
+          test_lossy_corruption_seed;
+        Alcotest.test_case "lossy link: quarantine seed" `Quick
+          test_lossy_quarantine_seed;
       ] );
   ]

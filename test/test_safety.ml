@@ -25,7 +25,7 @@ let detectable cfg scenario =
   match scenario with
   | Fault.Put_without_block | Fault.Wrong_response_type -> full_state
   | Fault.Read_no_access | Fault.Write_read_only | Fault.Double_get
-  | Fault.Unsolicited_response | Fault.Silent_on_invalidate ->
+  | Fault.Unsolicited_response | Fault.Silent_on_invalidate | Fault.Link_dead ->
       true
 
 let test_guarantees_per_config () =
@@ -126,6 +126,23 @@ let prop_fuzz_random_seeds =
       && (not outcome.Fuzz.deadlocked)
       && outcome.Fuzz.cpu_data_errors = 0)
 
+let test_link_dead_quarantine () =
+  (* The acceptance shape of the recovery layer: kill the wire mid-transaction
+     in every XG config; the guard must escalate to quarantine and the host
+     must stay fully live. *)
+  List.iter
+    (fun cfg ->
+      let outcome = Fault.run cfg Fault.Link_dead in
+      let label = Config.name cfg ^ " / link-dead" in
+      check_bool (label ^ ": link faults reported") true outcome.Fault.detected;
+      check_bool (label ^ ": accelerator quarantined") true outcome.Fault.quarantined;
+      check_bool (label ^ ": host stays live") true outcome.Fault.host_live;
+      check_bool
+        (label ^ ": link coverage present")
+        true
+        (List.exists (fun (n, _, _) -> n = "xg.link") outcome.Fault.coverage_sets))
+    xg_configs
+
 let test_os_policy_disable () =
   (* Disable-accelerator policy: after the first violation the guard drops
      accelerator requests but keeps the host alive. *)
@@ -143,6 +160,7 @@ let tests =
         Alcotest.test_case "G2a corrected (full-state)" `Quick
           test_wrong_response_corrected_full_state;
         Alcotest.test_case "G2c timeout recovery" `Quick test_timeout_answers_for_accel;
+        Alcotest.test_case "link-dead quarantine" `Quick test_link_dead_quarantine;
         Alcotest.test_case "disable-accelerator policy" `Quick test_os_policy_disable;
       ] );
     ( "safety.fuzz",

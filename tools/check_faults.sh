@@ -1,0 +1,76 @@
+#!/bin/sh
+# Lossy-link fault matrix (PR 3).
+#
+# Sweeps the fault-injection campaign over drop probabilities x both hosts
+# and asserts the recovery layer holds the line:
+#   - drop=0    with --reliable-link must be byte-identical to the plain run
+#     (the seq+checksum layer and its reporting are invisible at fault rate 0);
+#   - drop>0    campaigns must still PASS (zero data errors, deadlocks or
+#     guard violations — every lost frame recovered by retransmission);
+#   - a directed kill script must quarantine the accelerator while the fuzz
+#     run completes safely.
+#
+# Usage: tools/check_faults.sh [drop probabilities...]   (default: 0 0.01 0.05)
+set -eu
+cd "$(dirname "$0")/.."
+
+drops=${*:-"0 0.01 0.05"}
+jobs=2
+
+dune build
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "== fault-rate 0 byte-identity (hammer + mesi, one config each) =="
+for c in hammer/xg-trans-1lvl mesi/xg-full-1lvl; do
+  tag=$(echo "$c" | tr '/' '_')
+  dune exec bin/xguard_cli.exe -- campaign -c "$c" --seeds 2 -j $jobs \
+    > "$out/plain_$tag.txt"
+  dune exec bin/xguard_cli.exe -- campaign -c "$c" --seeds 2 -j $jobs --reliable-link \
+    > "$out/reliable_$tag.txt"
+  if ! diff -u "$out/plain_$tag.txt" "$out/reliable_$tag.txt"; then
+    echo "FAIL: --reliable-link at fault rate 0 changed the $c report" >&2
+    exit 1
+  fi
+  echo "$c: byte-identical with the reliability layer on"
+done
+
+echo "== fault matrix: drop in {$drops} x both hosts, -j $jobs =="
+for drop in $drops; do
+  for host in hammer mesi; do
+    for mode in xg-trans-1lvl xg-full-1lvl; do
+      c="$host/$mode"
+      tag=$(echo "${c}_drop${drop}" | tr '/.' '__')
+      if ! dune exec bin/xguard_cli.exe -- campaign -c "$c" --seeds 2 -j $jobs \
+          --fault-drop "$drop" > "$out/m_$tag.txt"; then
+        echo "FAIL: campaign $c --fault-drop $drop" >&2
+        cat "$out/m_$tag.txt" >&2
+        exit 1
+      fi
+      if ! grep -q '^PASS$' "$out/m_$tag.txt"; then
+        echo "FAIL: campaign $c --fault-drop $drop did not report PASS" >&2
+        cat "$out/m_$tag.txt" >&2
+        exit 1
+      fi
+      echo "$c drop=$drop: PASS"
+    done
+  done
+done
+
+echo "== directed kill script: quarantine fires, host completes =="
+dune exec bin/xguard_cli.exe -- fuzz -c hammer/xg-trans-1lvl --fault-script kill:200 \
+  > "$out/kill.txt"
+if ! grep -q '^link quarantined   true$' "$out/kill.txt"; then
+  echo "FAIL: kill script did not quarantine the accelerator" >&2
+  cat "$out/kill.txt" >&2
+  exit 1
+fi
+if ! grep -q '^deadlocked         false$' "$out/kill.txt"; then
+  echo "FAIL: kill-the-link run deadlocked" >&2
+  cat "$out/kill.txt" >&2
+  exit 1
+fi
+echo "quarantine fired; host stayed live"
+
+echo "check_faults: OK"

@@ -1,0 +1,59 @@
+(* Lossy-link fuzz sweep: run the fuzzer over a seed range with a fault model
+   installed and print, per seed, which recovery paths fired (retransmission,
+   duplicate suppression, corruption detection, escalation, quarantine) and
+   whether the run stayed safe.  Used to pick the pinned seeds of
+   test/test_regression_seeds.ml.
+
+   Usage: dune exec tools/fault_sweep.exe [first_seed] [last_seed] *)
+
+module Config = Xguard_harness.Config
+module Fuzz = Xguard_harness.Fuzz_tester
+module Network = Xguard_network.Network
+module Fault = Network.Fault
+
+let count stats label = Option.value ~default:0 (List.assoc_opt label stats)
+
+let sweep_cfg base faults scripts =
+  {
+    (Config.stress_sized base) with
+    Config.link_faults = Some faults;
+    link_fault_scripts = scripts;
+    link_retry_timeout = 16;
+    link_max_retries = 2;
+    quarantine_after = 2;
+  }
+
+let () =
+  let first = try int_of_string Sys.argv.(1) with _ -> 1 in
+  let last = try int_of_string Sys.argv.(2) with _ -> 20 in
+  let base = Config.make Config.Hammer (Config.Xg_one_level Config.Transactional) in
+  let variants =
+    [
+      ("drop2%", sweep_cfg base { Fault.zero with Fault.drop = 0.02 } []);
+      ("dup2%", sweep_cfg base { Fault.zero with Fault.duplicate = 0.02 } []);
+      ("corrupt2%", sweep_cfg base { Fault.zero with Fault.corrupt = 0.02 } []);
+      ( "kill@120",
+        sweep_cfg base Fault.zero
+          [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ] );
+    ]
+  in
+  for seed = first to last do
+    List.iter
+      (fun (label, cfg) ->
+        let cfg = { cfg with Config.seed } in
+        let o = Fuzz.run cfg ~pool:Fuzz.Disjoint ~cpu_ops:100 ~chaos_duration:15_000 () in
+        let s = o.Fuzz.link_faults in
+        let safe =
+          o.Fuzz.crashed = None && (not o.Fuzz.deadlocked) && o.Fuzz.cpu_data_errors = 0
+          && o.Fuzz.cpu_ops_completed = o.Fuzz.cpu_ops_expected
+        in
+        Printf.printf
+          "seed=%-4d %-10s safe=%-5b retx=%-5d dups=%-4d corrupt=%-3d escal=%-3d q=%b\n%!"
+          seed label safe
+          (count s "retransmit_frames")
+          (count s "dups_suppressed")
+          (count s "corrupt_detected")
+          (count s "faults_escalated")
+          o.Fuzz.quarantined)
+      variants
+  done
