@@ -206,8 +206,9 @@ let add_json_table buf t =
   Buffer.add_char buf '}'
 
 (* One trajectory file per run: experiment tables (deterministic) plus wall
-   times (not).  Perf regressions show up as drift in [wall_s] across the
-   committed BENCH_*.json sequence; result regressions as diffs in [tables]. *)
+   times and events/sec throughput (not).  Perf regressions show up as drift
+   in [wall_s]/[events_per_s] across the committed BENCH_*.json sequence and
+   trip tools/check_bench.sh; result regressions as diffs in [tables]. *)
 let emit_json ~path ~quick ~experiments ~micro =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"schema\":\"xguard-bench-v1\"";
@@ -217,12 +218,15 @@ let emit_json ~path ~quick ~experiments ~micro =
   | _ ->
       Buffer.add_string buf ",\"experiments\":";
       add_json_list buf
-        (fun buf (r, wall_s) ->
+        (fun buf (r, wall_s, events) ->
           Buffer.add_string buf "{\"id\":";
           add_json_string buf r.Experiments.id;
           Buffer.add_string buf ",\"title\":";
           add_json_string buf r.Experiments.title;
           Printf.bprintf buf ",\"wall_s\":%.3f" wall_s;
+          Printf.bprintf buf ",\"events\":%d" events;
+          if wall_s > 0. then
+            Printf.bprintf buf ",\"events_per_s\":%.0f" (float_of_int events /. wall_s);
           Buffer.add_string buf ",\"tables\":";
           add_json_list buf add_json_table r.Experiments.tables;
           Buffer.add_char buf '}')
@@ -236,7 +240,9 @@ let emit_json ~path ~quick ~experiments ~micro =
           Buffer.add_string buf "{\"name\":";
           add_json_string buf name;
           (match est with
-          | Some ns -> Printf.bprintf buf ",\"ns_per_run\":%.1f" ns
+          | Some ns ->
+              Printf.bprintf buf ",\"ns_per_run\":%.1f" ns;
+              if ns > 0. then Printf.bprintf buf ",\"ops_per_s\":%.1f" (1e9 /. ns)
           | None -> ());
           Buffer.add_char buf '}')
         micro);
@@ -303,16 +309,18 @@ let () =
       let results =
         Pool.map ~workers:jobs ~jobs:(Array.length runs) (fun i ->
             let _, f = runs.(i) in
+            let ev0 = Engine.events_fired_here () in
             let t0 = Unix.gettimeofday () in
             let r = with_tracing ~traced (fun () -> f ~quick ()) in
-            (r, Unix.gettimeofday () -. t0))
+            let wall = Unix.gettimeofday () -. t0 in
+            (r, wall, Engine.events_fired_here () - ev0))
       in
       let ok = ref [] in
       let failed = ref false in
       Array.iteri
         (fun i outcome ->
           match outcome with
-          | Pool.Done ((r, _) as run) ->
+          | Pool.Done ((r, _, _) as run) ->
               print_report r;
               ok := run :: !ok
           | Pool.Failed msg ->

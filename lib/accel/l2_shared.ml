@@ -27,6 +27,14 @@ type txn = Fetch_below of { requestor : Node.t; want : [ `S | `M ] } | Gather of
 
 type queued = { src : Node.t; req : Xg_iface.accel_request }
 
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats =
+  [|
+    "stalled_busy"; "stalled_for_space"; "miss_below"; "internal_transfer"; "share_hit";
+    "exclusive_passthrough"; "upgrade_below"; "put_sunk"; "put_s_up"; "put_owner_up";
+    "put_during_gather"; "l2_eviction"; "eviction_complete"; "invalidate_from_below";
+  |]
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -40,6 +48,7 @@ type t = {
   space_waiters : (int, (Addr.t * queued) Queue.t) Hashtbl.t;
   l2_latency : int;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
 }
 
 let stats t = t.stats
@@ -95,7 +104,7 @@ let enqueue_addr t addr q =
         Hashtbl.add t.waiting addr queue;
         queue
   in
-  Group.incr t.stats "stalled_busy";
+  Group.incr_id t.stats t.sid.(0) (* stalled_busy *);
   Queue.push q queue
 
 let enqueue_space t addr q =
@@ -108,7 +117,7 @@ let enqueue_space t addr q =
         Hashtbl.replace t.space_waiters idx queue;
         queue
   in
-  Group.incr t.stats "stalled_for_space";
+  Group.incr_id t.stats t.sid.(1) (* stalled_for_space *);
   Queue.push (addr, q) queue
 
 let rec process t addr ({ src; req } : queued) =
@@ -154,7 +163,7 @@ and process_get t addr ~src (req : Xg_iface.accel_request) =
   match Cache_array.find t.array addr with
   | None ->
       if Cache_array.has_room t.array addr then begin
-        Group.incr t.stats "miss_below";
+        Group.incr_id t.stats t.sid.(2) (* miss_below *);
         Cache_array.insert t.array addr
           { below = B_s; up = U_none; data = Data.zero; dirty = false; below_gone = false };
         Hashtbl.replace t.busy_table addr (Fetch_below { requestor = src; want });
@@ -175,7 +184,7 @@ and process_get t addr ~src (req : Xg_iface.accel_request) =
           | U_owner o when not (Node.equal o src) ->
               (* Pull the block back from the owning L1, then share it:
                  L1-to-L1 transfer without crossing the guard. *)
-              Group.incr t.stats "internal_transfer";
+              Group.incr_id t.stats t.sid.(3) (* internal_transfer *);
               line.up <- U_none;
               gather_up t addr [ o ] ~original:(Some (src, req)) ~on_done:(fun () ->
                   line.up <- U_sharers [ src ];
@@ -183,14 +192,14 @@ and process_get t addr ~src (req : Xg_iface.accel_request) =
                   close t addr)
           | U_owner _ -> failwith (t.name ^ ": GetS from the L1 that owns the block")
           | U_sharers sh ->
-              Group.incr t.stats "share_hit";
+              Group.incr_id t.stats t.sid.(4) (* share_hit *);
               if not (List.exists (Node.equal src) sh) then line.up <- U_sharers (src :: sh);
               grant_up_resp t ~dst:src addr (Xg_iface.Data_s line.data);
               Hashtbl.remove t.busy_table addr;
               close t addr
           | U_none ->
               (* Sole requestor: pass through the full privilege we hold. *)
-              Group.incr t.stats "exclusive_passthrough";
+              Group.incr_id t.stats t.sid.(5) (* exclusive_passthrough *);
               let resp =
                 match line.below with
                 | B_s -> Xg_iface.Data_s line.data
@@ -228,13 +237,13 @@ and process_get t addr ~src (req : Xg_iface.accel_request) =
               line.up <- U_none;
               gather_up t addr holders_except_src ~original:(Some (src, req))
                 ~on_done:(fun () ->
-                  Group.incr t.stats "upgrade_below";
+                  Group.incr_id t.stats t.sid.(6) (* upgrade_below *);
                   Hashtbl.replace t.busy_table addr (Fetch_below { requestor = src; want = `M });
                   t.lower.Lower_port.send_req addr Xg_iface.Get_m)))
 
 and process_put t addr ~src (req : Xg_iface.accel_request) =
   (match Cache_array.find t.array addr with
-  | None -> Group.incr t.stats "put_sunk"
+  | None -> Group.incr_id t.stats t.sid.(7) (* put_sunk *)
   | Some line -> (
       match req with
       | Xg_iface.Put_s -> (
@@ -242,8 +251,8 @@ and process_put t addr ~src (req : Xg_iface.accel_request) =
           | U_sharers sh when List.exists (Node.equal src) sh ->
               let rest = List.filter (fun n -> not (Node.equal n src)) sh in
               line.up <- (if rest = [] then U_none else U_sharers rest);
-              Group.incr t.stats "put_s_up"
-          | _ -> Group.incr t.stats "put_sunk")
+              Group.incr_id t.stats t.sid.(8) (* put_s_up *)
+          | _ -> Group.incr_id t.stats t.sid.(7) (* put_sunk *))
       | Xg_iface.Put_e data | Xg_iface.Put_m data -> (
           let dirty = match req with Xg_iface.Put_m _ -> true | _ -> false in
           match line.up with
@@ -251,18 +260,18 @@ and process_put t addr ~src (req : Xg_iface.accel_request) =
               line.data <- data;
               line.dirty <- line.dirty || dirty;
               line.up <- U_none;
-              Group.incr t.stats "put_owner_up"
+              Group.incr_id t.stats t.sid.(9) (* put_owner_up *)
           | _ ->
               (* Raced with a gather for this block: the data is absorbed and
                  the InvAck that follows settles the gather. *)
               line.data <- data;
               line.dirty <- line.dirty || dirty;
-              Group.incr t.stats "put_during_gather")
+              Group.incr_id t.stats t.sid.(10) (* put_during_gather *))
       | Xg_iface.Get_s | Xg_iface.Get_m -> assert false));
   grant_up_resp t ~dst:src addr Xg_iface.Wb_ack
 
 and start_eviction t victim_addr (line : line) =
-  Group.incr t.stats "l2_eviction";
+  Group.incr_id t.stats t.sid.(11) (* l2_eviction *);
   line.up <-
     (match line.up with
     | U_none -> U_none
@@ -382,14 +391,14 @@ let deliver_from_below t (msg : Xg_iface.msg) =
               close t addr)
       | Some Put_below, Xg_iface.Wb_ack ->
           Cache_array.remove t.array addr;
-          Group.incr t.stats "eviction_complete";
+          Group.incr_id t.stats t.sid.(12) (* eviction_complete *);
           close t addr
       | Some _, _ | None, _ ->
           failwith
             (Format.asprintf "%s: unexpected response from below: %a" t.name
                Xg_iface.pp_xg_response resp))
   | Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate } -> (
-      Group.incr t.stats "invalidate_from_below";
+      Group.incr_id t.stats t.sid.(13) (* invalidate_from_below *);
       match Hashtbl.find_opt t.busy_table addr with
       | Some (Gather g) -> (
           match Cache_array.find t.array addr with
@@ -433,6 +442,7 @@ let deliver_from_below t (msg : Xg_iface.msg) =
       invalid_arg (t.name ^ ": accelerator-to-guard message from below")
 
 let create ~engine ~name ~internal ~node ~lower ~sets ~ways ?(l2_latency = 2) () =
+  let stats = Group.create (name ^ ".stats") in
   let t =
     {
       engine;
@@ -446,7 +456,8 @@ let create ~engine ~name ~internal ~node ~lower ~sets ~ways ?(l2_latency = 2) ()
       waiting = Hashtbl.create 64;
       space_waiters = Hashtbl.create 16;
       l2_latency;
-      stats = Group.create (name ^ ".stats");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
     }
   in
   Xg_iface.Link.register internal node (fun ~src msg -> on_internal t ~src msg);

@@ -22,11 +22,19 @@ type t = {
   busy_table : (Addr.t, txn) Hashtbl.t;
   waiting : (Addr.t, queued Queue.t) Hashtbl.t;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
 }
 
 let node t = t.node
 let stats t = t.stats
 let set_caches t caches = t.caches <- caches
+(* Hot per-message stat counters, interned once at creation (PR 4). *)
+let hot_stats =
+  [|
+    "stalled_at_directory"; "get.GetS"; "get.GetS_only"; "get.GetM"; "put"; "unblock";
+    "writeback"; "server_busy_cycles";
+  |]
+
 let owner t addr = Hashtbl.find_opt t.owner_table addr
 let busy t addr = Hashtbl.mem t.busy_table addr
 let open_transactions t = Hashtbl.length t.busy_table
@@ -48,13 +56,14 @@ let enqueue t addr q =
         Hashtbl.add t.waiting addr queue;
         queue
   in
-  Group.incr t.stats "stalled_at_directory";
+  Group.incr_id t.stats t.sid.(0) (* stalled_at_directory *);
   Queue.push q queue
 
 let rec start t addr { src; body } =
   match body with
   | Msg.Get { kind } ->
-      Group.incr t.stats ("get." ^ Msg.get_kind_to_string kind);
+      Group.incr_id t.stats
+        t.sid.(match kind with Msg.Get_s -> 1 | Msg.Get_s_only -> 2 | Msg.Get_m -> 3);
       Hashtbl.replace t.busy_table addr (Get_txn { requestor = src });
       List.iter
         (fun cache ->
@@ -63,7 +72,7 @@ let rec start t addr { src; body } =
       Engine.schedule t.engine ~delay:t.mem_latency (fun () ->
           send t ~dst:src (Msg.Mem_data { data = Memory_model.read t.memory addr }) addr)
   | Msg.Put ->
-      Group.incr t.stats "put";
+      Group.incr_id t.stats t.sid.(4) (* put *);
       if owner t addr = Some src then begin
         Hashtbl.replace t.busy_table addr (Put_txn { putter = src; awaiting_data = true });
         send t ~dst:src Msg.Wb_ack addr
@@ -103,7 +112,7 @@ let deliver t ~src (msg : Msg.t) =
       match Hashtbl.find_opt t.busy_table addr with
       | Some (Get_txn { requestor }) when Node.equal requestor src ->
           if exclusive then set_owner t addr (Some src);
-          Group.incr t.stats "unblock";
+          Group.incr_id t.stats t.sid.(5) (* unblock *);
           finish t addr
       | Some _ | None ->
           (* Robustness: drop and count.  A correct system never reaches it. *)
@@ -114,7 +123,7 @@ let deliver t ~src (msg : Msg.t) =
           p.awaiting_data <- false;
           if dirty then Memory_model.write t.memory addr data;
           set_owner t addr None;
-          Group.incr t.stats "writeback";
+          Group.incr_id t.stats t.sid.(6) (* writeback *);
           finish t addr
       | Some _ | None -> Group.incr t.stats "error.unexpected_wb_data")
   | Msg.Fwd _ | Msg.Wb_ack | Msg.Wb_nack | Msg.Mem_data _ | Msg.Peer_ack _ | Msg.Peer_data _
@@ -123,6 +132,7 @@ let deliver t ~src (msg : Msg.t) =
 
 let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 60)
     ?(occupancy = 0) () =
+  let stats = Group.create (name ^ ".stats") in
   let t =
     {
       engine;
@@ -138,7 +148,8 @@ let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 6
       owner_table = Hashtbl.create 256;
       busy_table = Hashtbl.create 64;
       waiting = Hashtbl.create 64;
-      stats = Group.create (name ^ ".stats");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
     }
   in
   Net.register net node (fun ~src msg ->
@@ -148,7 +159,7 @@ let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 6
         let now = Engine.now t.engine in
         let start = max now t.server_free_at in
         t.server_free_at <- start + t.occupancy;
-        Group.add t.stats "server_busy_cycles" t.occupancy;
+        Group.add_id t.stats t.sid.(7) t.occupancy (* server_busy_cycles *);
         Engine.schedule_at t.engine start (fun () -> deliver t ~src msg)
       end);
   t

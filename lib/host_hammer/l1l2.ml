@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Trace = Xguard_trace.Trace
+module Coverage = Xguard_trace.Coverage
 
 type variant = Baseline | Xg_ready
 
@@ -45,8 +46,14 @@ type t = {
   mutable peer_count : int;
   mutable pending_puts : int;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
   coverage : Group.t;
+  covm : Coverage.matrix;
 }
+
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats =
+  [| "load_hit"; "store_hit"; "miss"; "get_complete"; "writeback_complete"; "silent_s_eviction" |]
 
 let name t = t.name
 let node t = t.node
@@ -55,30 +62,49 @@ let coverage t = t.coverage
 let outstanding t = Tbe_table.count t.tbes + t.pending_puts
 let set_peer_count t n = t.peer_count <- n
 
-let stable_key = function St_s -> "S" | St_e -> "E" | St_o -> "O" | St_m -> "M"
+(* State/event indices into [coverage_space]'s lists (PR 4). *)
+let state_names = [| "I"; "IS"; "IM"; "SM"; "OM"; "S"; "E"; "O"; "M"; "MI"; "II" |]
 
-let state_key line tbe =
+let state_idx line tbe =
   match (line, tbe) with
   | _, Some g -> (
       match (g.kind, g.base) with
-      | Msg.Get_m, Base_owner -> "OM"
-      | Msg.Get_m, Base_sharer -> "SM"
-      | Msg.Get_m, Base_none -> "IM"
-      | (Msg.Get_s | Msg.Get_s_only), _ -> "IS")
-  | Some { st = Stable s; _ }, None -> stable_key s
-  | Some { st = Put_pending { lost_ownership = false }; _ }, None -> "MI"
-  | Some { st = Put_pending { lost_ownership = true }; _ }, None -> "II"
-  | Some { st = Get_pending; _ }, None -> "IS" (* unreachable: TBE exists *)
-  | None, None -> "I"
+      | Msg.Get_m, Base_owner -> 4 (* OM *)
+      | Msg.Get_m, Base_sharer -> 3 (* SM *)
+      | Msg.Get_m, Base_none -> 2 (* IM *)
+      | (Msg.Get_s | Msg.Get_s_only), _ -> 1 (* IS *))
+  | Some { st = Stable s; _ }, None -> (
+      match s with St_s -> 5 | St_e -> 6 | St_o -> 7 | St_m -> 8)
+  | Some { st = Put_pending { lost_ownership = false }; _ }, None -> 9 (* MI *)
+  | Some { st = Put_pending { lost_ownership = true }; _ }, None -> 10 (* II *)
+  | Some { st = Get_pending; _ }, None -> 1 (* IS; unreachable: TBE exists *)
+  | None, None -> 0 (* I *)
+
+let event_names =
+  [|
+    "Load"; "Store"; "Replacement_S"; "Replacement_owned"; "Fwd_GetS"; "Fwd_GetS_only";
+    "Fwd_GetM"; "MemData"; "PeerAck"; "PeerData"; "WbAck"; "WbNack";
+  |]
+
+let e_load = 0
+let e_store = 1
+let e_repl_s = 2
+let e_repl_owned = 3
+let e_mem_data = 7
+let e_peer_ack = 8
+let e_peer_data = 9
+let e_wb_ack = 10
+let e_wb_nack = 11
+let event_of_fwd = function Msg.Get_s -> 4 | Msg.Get_s_only -> 5 | Msg.Get_m -> 6
 
 let visit t addr event =
   let line = Cache_array.find t.array addr in
   let tbe = Tbe_table.find t.tbes addr in
-  let state = state_key line tbe in
-  Group.incr t.coverage (state ^ "." ^ event);
+  let state = state_idx line tbe in
+  Coverage.hit t.covm ~state ~event;
   if Trace.on () then
     Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
-      ~addr:(Addr.to_int addr) ~state ~event ()
+      ~addr:(Addr.to_int addr) ~state:state_names.(state) ~event:event_names.(event) ()
 
 let coverage_space =
   let states = [ "I"; "IS"; "IM"; "SM"; "OM"; "S"; "E"; "O"; "M"; "MI"; "II" ] in
@@ -119,11 +145,11 @@ let start_eviction t addr (line : line) stable =
   | St_s ->
       (* Silent eviction of shared blocks (the paper relies on this: XG does
          not pass PutS to this host). *)
-      Group.incr t.stats "silent_s_eviction";
-      visit t addr "Replacement_S";
+      Group.incr_id t.stats t.sid.(5) (* silent_s_eviction *);
+      visit t addr e_repl_s;
       Cache_array.remove t.array addr
   | St_e | St_o | St_m ->
-      visit t addr "Replacement_owned";
+      visit t addr e_repl_owned;
       line.st <- Put_pending { lost_ownership = false };
       t.pending_puts <- t.pending_puts + 1;
       send t ~dst:t.directory Msg.Put addr
@@ -158,34 +184,34 @@ let issue t (access : Access.t) ~on_done =
       Cache_array.touch t.array addr;
       match (line.st, access.Access.op) with
       | Stable (St_m | St_e | St_o | St_s), Access.Load ->
-          Group.incr t.stats "load_hit";
-          visit t addr "Load";
+          Group.incr_id t.stats t.sid.(0) (* load_hit *);
+          visit t addr e_load;
           complete t ~on_done line.data;
           true
       | Stable St_m, Access.Store d ->
-          Group.incr t.stats "store_hit";
-          visit t addr "Store";
+          Group.incr_id t.stats t.sid.(1) (* store_hit *);
+          visit t addr e_store;
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_e, Access.Store d ->
           (* Silent E -> M upgrade. *)
-          Group.incr t.stats "store_hit";
-          visit t addr "Store";
+          Group.incr_id t.stats t.sid.(1) (* store_hit *);
+          visit t addr e_store;
           line.st <- Stable St_m;
           line.dirty <- true;
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_o, Access.Store _ ->
-          visit t addr "Store";
+          visit t addr e_store;
           if alloc_get t addr Msg.Get_m ~base:Base_owner access ~on_done then begin
             line.st <- Get_pending;
             true
           end
           else false
       | Stable St_s, Access.Store _ ->
-          visit t addr "Store";
+          visit t addr e_store;
           if alloc_get t addr Msg.Get_m ~base:Base_sharer access ~on_done then begin
             line.st <- Get_pending;
             true
@@ -206,8 +232,8 @@ let issue t (access : Access.t) ~on_done =
         let kind =
           match access.Access.op with Access.Load -> Msg.Get_s | Access.Store _ -> Msg.Get_m
         in
-        visit t addr (match kind with Msg.Get_s -> "Load" | _ -> "Store");
-        Group.incr t.stats "miss";
+        visit t addr (match kind with Msg.Get_s -> e_load | _ -> e_store);
+        Group.incr_id t.stats t.sid.(2) (* miss *);
         if alloc_get t addr kind ~base:Base_none access ~on_done then begin
           Cache_array.insert t.array addr { st = Get_pending; data = Data.zero; dirty = false };
           true
@@ -223,7 +249,7 @@ let respond_data t ~requestor addr (line : line) =
   send t ~dst:requestor (Msg.Peer_data { data = line.data; dirty = line.dirty }) addr
 
 let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
-  visit t addr ("Fwd_" ^ Msg.get_kind_to_string kind);
+  visit t addr (event_of_fwd kind);
   match Tbe_table.find t.tbes addr with
   | Some tbe -> (
       let line = Cache_array.find t.array addr in
@@ -320,7 +346,7 @@ let try_complete t addr (tbe : get_tbe) =
       Trace.tbe_free ~cycle:(Engine.now t.engine) ~controller:t.name
         ~addr:(Addr.to_int addr);
     send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
-    Group.incr t.stats "get_complete";
+    Group.incr_id t.stats t.sid.(3) (* get_complete *);
     complete t ~on_done:tbe.on_done final_value
   end
 
@@ -330,15 +356,15 @@ let handle_response t addr (body : Msg.body) =
   | Some tbe -> (
       (match body with
       | Msg.Mem_data { data } ->
-          visit t addr "MemData";
+          visit t addr e_mem_data;
           if tbe.mem_data <> None then error t "duplicate memory data"
           else tbe.mem_data <- Some data
       | Msg.Peer_ack { shared } ->
-          visit t addr "PeerAck";
+          visit t addr e_peer_ack;
           tbe.peers_left <- tbe.peers_left - 1;
           if shared then tbe.shared_seen <- true
       | Msg.Peer_data { data; dirty = _ } ->
-          visit t addr "PeerData";
+          visit t addr e_peer_data;
           tbe.peers_left <- tbe.peers_left - 1;
           tbe.peer_data_count <- tbe.peer_data_count + 1;
           if tbe.peer_data = None then tbe.peer_data <- Some data
@@ -351,11 +377,11 @@ let handle_response t addr (body : Msg.body) =
 let handle_wb_ack t addr =
   match Cache_array.find t.array addr with
   | Some ({ st = Put_pending { lost_ownership = false }; _ } as line) ->
-      visit t addr "WbAck";
+      visit t addr e_wb_ack;
       send t ~dst:t.directory (Msg.Wb_data { data = line.data; dirty = line.dirty }) addr;
       Cache_array.remove t.array addr;
       t.pending_puts <- t.pending_puts - 1;
-      Group.incr t.stats "writeback_complete"
+      Group.incr_id t.stats t.sid.(4) (* writeback_complete *)
   | Some { st = Put_pending { lost_ownership = true }; _ } ->
       (* The directory believed us owner after all; it is waiting for data.
          Our data is stale (the new owner has fresher data), but the memory
@@ -368,7 +394,7 @@ let handle_wb_ack t addr =
 let handle_wb_nack t addr =
   match Cache_array.find t.array addr with
   | Some { st = Put_pending { lost_ownership = true }; _ } ->
-      visit t addr "WbNack";
+      visit t addr e_wb_nack;
       Cache_array.remove t.array addr;
       t.pending_puts <- t.pending_puts - 1;
       Group.incr t.stats "writeback_nacked"
@@ -405,6 +431,8 @@ let probe t addr =
 
 let create ~engine ~net ~name ~node ~directory ~variant ~sets ~ways ?(hit_latency = 2)
     ?(tbe_capacity = 16) () =
+  let stats = Group.create (name ^ ".stats") in
+  let coverage = Group.create (name ^ ".coverage") in
   let t =
     {
       engine;
@@ -418,8 +446,10 @@ let create ~engine ~net ~name ~node ~directory ~variant ~sets ~ways ?(hit_latenc
       tbes = Tbe_table.create ~capacity:tbe_capacity ();
       peer_count = 0;
       pending_puts = 0;
-      stats = Group.create (name ^ ".stats");
-      coverage = Group.create (name ^ ".coverage");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
+      coverage;
+      covm = Coverage.intern_matrix coverage_space coverage;
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);

@@ -35,7 +35,11 @@ type t = {
   deferred_puts : (Addr.t, put_rec) Hashtbl.t;
   deferred_gets : (Addr.t, Msg.get_kind) Hashtbl.t;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
 }
+
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats = [| "get_complete"; "fwd.GetS"; "fwd.GetS_only"; "fwd.GetM"; "writeback_complete" |]
 
 let node t = t.node
 let stats t = t.stats
@@ -139,7 +143,7 @@ let try_complete t addr (tbe : get_tbe) =
     in
     Tbe_table.dealloc t.tbes addr;
     send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
-    Group.incr t.stats "get_complete";
+    Group.incr_id t.stats t.sid.(0) (* get_complete *);
     Xg_core.granted (core t) addr grant
   end
 
@@ -172,7 +176,8 @@ let respond_from_put t addr (p : put_rec) (kind : Msg.get_kind) ~requestor =
   end
 
 let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
-  Group.incr t.stats ("fwd." ^ Msg.get_kind_to_string kind);
+  Group.incr_id t.stats
+    t.sid.(match kind with Msg.Get_s -> 1 | Msg.Get_s_only -> 2 | Msg.Get_m -> 3);
   match Hashtbl.find_opt t.puts addr with
   | Some p when p.is_owner -> respond_from_put t addr p kind ~requestor
   | Some _ | None -> (
@@ -223,7 +228,7 @@ let handle_wb_ack t addr =
   match Hashtbl.find_opt t.puts addr with
   | Some p ->
       send t ~dst:t.directory (Msg.Wb_data { data = p.data; dirty = p.dirty }) addr;
-      Group.incr t.stats "writeback_complete";
+      Group.incr_id t.stats t.sid.(4) (* writeback_complete *);
       finish_put t addr p
   | None -> Group.incr t.stats "error.wb_ack_without_put"
 
@@ -247,6 +252,7 @@ let deliver t (msg : Msg.t) =
       Group.incr t.stats "error.directory_bound_message"
 
 let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
+  let stats = Group.create (name ^ ".stats") in
   let t =
     {
       engine;
@@ -261,7 +267,8 @@ let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
       puts = Hashtbl.create 16;
       deferred_puts = Hashtbl.create 8;
       deferred_gets = Hashtbl.create 8;
-      stats = Group.create (name ^ ".stats");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);

@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Trace = Xguard_trace.Trace
+module Coverage = Xguard_trace.Coverage
 
 exception Protocol_error of string
 
@@ -39,8 +40,13 @@ type t = {
   tbes : get_tbe Tbe_table.t;
   mutable pending_puts : int;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
   coverage : Group.t;
+  covm : Coverage.matrix;
 }
+
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats = [| "load_hit"; "store_hit"; "miss"; "get_complete"; "writeback_complete" |]
 
 let name t = t.name
 let node t = t.node
@@ -52,28 +58,48 @@ let send t ~dst body addr =
   let msg = { Msg.addr; body } in
   Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
 
-let state_key t addr =
+(* State/event indices into [coverage_space]'s lists (PR 4). *)
+let state_names = [| "I"; "IS"; "IS_I"; "IM"; "SM"; "S"; "E"; "M"; "M_I"; "SINK_WB_ACK" |]
+
+let state_idx t addr =
   match (Cache_array.find t.array addr, Tbe_table.find t.tbes addr) with
   | _, Some g -> (
       match (g.kind, g.base_valid, g.invalidated) with
-      | Msg.Get_m, true, _ -> "SM"
-      | Msg.Get_m, false, _ -> "IM"
-      | _, _, true -> "IS_I"
-      | _, _, false -> "IS")
-  | Some { st = Stable St_s; _ }, None -> "S"
-  | Some { st = Stable St_e; _ }, None -> "E"
-  | Some { st = Stable St_m; _ }, None -> "M"
-  | Some { st = M_i _; _ }, None -> "M_I"
-  | Some { st = Si_wb; _ }, None -> "SINK_WB_ACK"
-  | Some { st = Get_pending; _ }, None -> "IS"
-  | None, None -> "I"
+      | Msg.Get_m, true, _ -> 4 (* SM *)
+      | Msg.Get_m, false, _ -> 3 (* IM *)
+      | _, _, true -> 2 (* IS_I *)
+      | _, _, false -> 1 (* IS *))
+  | Some { st = Stable St_s; _ }, None -> 5 (* S *)
+  | Some { st = Stable St_e; _ }, None -> 6 (* E *)
+  | Some { st = Stable St_m; _ }, None -> 7 (* M *)
+  | Some { st = M_i _; _ }, None -> 8 (* M_I *)
+  | Some { st = Si_wb; _ }, None -> 9 (* SINK_WB_ACK *)
+  | Some { st = Get_pending; _ }, None -> 1 (* IS *)
+  | None, None -> 0 (* I *)
+
+let event_names =
+  [|
+    "Load"; "Store"; "Replacement"; "Inv"; "Recall"; "Fwd_GetS"; "Fwd_GetS_only";
+    "Fwd_GetM"; "WbAck"; "L2Data"; "OwnerData"; "InvAck";
+  |]
+
+let e_load = 0
+let e_store = 1
+let e_repl = 2
+let e_inv = 3
+let e_recall = 4
+let e_wb_ack = 8
+let e_l2_data = 9
+let e_owner_data = 10
+let e_inv_ack = 11
+let event_of_fwd = function Msg.Get_s -> 5 | Msg.Get_s_only -> 6 | Msg.Get_m -> 7
 
 let visit t addr event =
-  let state = state_key t addr in
-  Group.incr t.coverage (state ^ "." ^ event);
+  let state = state_idx t addr in
+  Coverage.hit t.covm ~state ~event;
   if Trace.on () then
     Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
-      ~addr:(Addr.to_int addr) ~state ~event ()
+      ~addr:(Addr.to_int addr) ~state:state_names.(state) ~event:event_names.(event) ()
 
 let coverage_space =
   let states = [ "I"; "IS"; "IS_I"; "IM"; "SM"; "S"; "E"; "M"; "M_I"; "SINK_WB_ACK" ] in
@@ -100,7 +126,7 @@ let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (f
 (* ------- CPU side ------- *)
 
 let start_eviction t addr (line : line) stable =
-  visit t addr "Replacement";
+  visit t addr e_repl;
   (match stable with
   | St_s ->
       line.st <- Si_wb;
@@ -140,26 +166,26 @@ let issue t (access : Access.t) ~on_done =
       Cache_array.touch t.array addr;
       match (line.st, access.Access.op) with
       | Stable _, Access.Load ->
-          Group.incr t.stats "load_hit";
-          visit t addr "Load";
+          Group.incr_id t.stats t.sid.(0) (* load_hit *);
+          visit t addr e_load;
           complete t ~on_done line.data;
           true
       | Stable St_m, Access.Store d ->
-          Group.incr t.stats "store_hit";
-          visit t addr "Store";
+          Group.incr_id t.stats t.sid.(1) (* store_hit *);
+          visit t addr e_store;
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_e, Access.Store d ->
-          Group.incr t.stats "store_hit";
-          visit t addr "Store";
+          Group.incr_id t.stats t.sid.(1) (* store_hit *);
+          visit t addr e_store;
           line.st <- Stable St_m;
           line.dirty <- true;
           line.data <- d;
           complete t ~on_done d;
           true
       | Stable St_s, Access.Store _ ->
-          visit t addr "Store";
+          visit t addr e_store;
           if alloc_get t addr Msg.Get_m ~base_valid:true access ~on_done then begin
             line.st <- Get_pending;
             true
@@ -180,8 +206,8 @@ let issue t (access : Access.t) ~on_done =
         let kind =
           match access.Access.op with Access.Load -> Msg.Get_s | Access.Store _ -> Msg.Get_m
         in
-        visit t addr (match access.Access.op with Access.Load -> "Load" | _ -> "Store");
-        Group.incr t.stats "miss";
+        visit t addr (match access.Access.op with Access.Load -> e_load | _ -> e_store);
+        Group.incr_id t.stats t.sid.(2) (* miss *);
         if alloc_get t addr kind ~base_valid:false access ~on_done then begin
           Cache_array.insert t.array addr { st = Get_pending; data = Data.zero; dirty = false };
           true
@@ -208,7 +234,7 @@ let try_complete t addr (tbe : get_tbe) =
         Trace.tbe_free ~cycle:(Engine.now t.engine) ~controller:t.name
           ~addr:(Addr.to_int addr);
       send t ~dst:t.l2 Msg.Unblock addr;
-      Group.incr t.stats "get_complete";
+      Group.incr_id t.stats t.sid.(3) (* get_complete *);
       if tbe.invalidated then begin
         (* IS_I: use the value once, do not cache it. *)
         Group.incr t.stats "is_i_single_use";
@@ -242,7 +268,7 @@ let record_grant t addr (tbe : get_tbe) ~data ~grant ~acks =
 (* ------- Host-side requests ------- *)
 
 let handle_inv t addr ~reply_to =
-  visit t addr "Inv";
+  visit t addr e_inv;
   (match Tbe_table.find t.tbes addr with
   | Some tbe ->
       (* Invalidation racing an open request: drop the base copy.  For a
@@ -261,7 +287,7 @@ let handle_inv t addr ~reply_to =
   send t ~dst:reply_to Msg.Inv_ack addr
 
 let handle_recall t addr =
-  visit t addr "Recall";
+  visit t addr e_recall;
   match Cache_array.find t.array addr with
   | Some ({ st = Stable (St_e | St_m); _ } as line) ->
       send t ~dst:t.l2 (Msg.Recall_data { data = line.data; dirty = line.dirty }) addr;
@@ -275,7 +301,7 @@ let handle_recall t addr =
       send t ~dst:t.l2 Msg.Recall_ack addr
 
 let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
-  visit t addr ("Fwd_" ^ Msg.get_kind_to_string kind);
+  visit t addr (event_of_fwd kind);
   let respond (line : line) =
     match kind with
     | Msg.Get_m ->
@@ -304,27 +330,27 @@ let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
 let handle_wb_ack t addr =
   match Cache_array.find t.array addr with
   | Some { st = M_i _; _ } | Some { st = Si_wb; _ } ->
-      visit t addr "WbAck";
+      visit t addr e_wb_ack;
       Cache_array.remove t.array addr;
       t.pending_puts <- t.pending_puts - 1;
-      Group.incr t.stats "writeback_complete"
+      Group.incr_id t.stats t.sid.(4) (* writeback_complete *)
   | Some _ | None -> raise (Protocol_error (t.name ^ ": WbAck with no writeback pending"))
 
 let deliver t (msg : Msg.t) =
   let addr = msg.Msg.addr in
   match msg.Msg.body with
   | Msg.L2_data { data; grant; acks } -> (
-      visit t addr "L2Data";
+      visit t addr e_l2_data;
       match Tbe_table.find t.tbes addr with
       | Some tbe -> record_grant t addr tbe ~data ~grant ~acks
       | None -> raise (Protocol_error (t.name ^ ": data grant without transaction")))
   | Msg.Owner_data { data; dirty = _; grant } -> (
-      visit t addr "OwnerData";
+      visit t addr e_owner_data;
       match Tbe_table.find t.tbes addr with
       | Some tbe -> record_grant t addr tbe ~data ~grant ~acks:0
       | None -> raise (Protocol_error (t.name ^ ": owner data without transaction")))
   | Msg.Inv_ack -> (
-      visit t addr "InvAck";
+      visit t addr e_inv_ack;
       match Tbe_table.find t.tbes addr with
       | Some tbe ->
           tbe.acks_got <- tbe.acks_got + 1;
@@ -349,6 +375,8 @@ let probe t addr =
 
 let create ~engine ~net ~name ~node ~l2 ~sets ~ways ?(hit_latency = 1) ?(tbe_capacity = 16)
     () =
+  let stats = Group.create (name ^ ".stats") in
+  let coverage = Group.create (name ^ ".coverage") in
   let t =
     {
       engine;
@@ -360,8 +388,10 @@ let create ~engine ~net ~name ~node ~l2 ~sets ~ways ?(hit_latency = 1) ?(tbe_cap
       array = Cache_array.create ~sets ~ways ();
       tbes = Tbe_table.create ~capacity:tbe_capacity ();
       pending_puts = 0;
-      stats = Group.create (name ^ ".stats");
-      coverage = Group.create (name ^ ".coverage");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
+      coverage;
+      covm = Coverage.intern_matrix coverage_space coverage;
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);

@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Trace = Xguard_trace.Trace
+module Coverage = Xguard_trace.Coverage
 
 type variant = Baseline | Xg_ready
 
@@ -39,7 +40,9 @@ type t = {
   space_waiters : (int, queued Queue.t) Hashtbl.t;  (* keyed by set index *)
   space_addr : (int, Addr.t Queue.t) Hashtbl.t;  (* parallel queue of addresses *)
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
   coverage : Group.t;
+  covm : Coverage.matrix;
 }
 
 let node t = t.node
@@ -62,32 +65,49 @@ let send t ~dst body addr =
   let msg = { Msg.addr; body } in
   Net.send t.net ~src:t.node ~dst ~size:(Msg.size msg) msg
 
-let holders_key = function
-  | No_l1 -> "NoL1"
-  | Sharers _ -> "SS"
-  | Owned _ -> "MT"
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats =
+  [| "stalled_busy"; "stalled_for_space"; "l2_miss"; "l2_eviction"; "put_s"; "put_m"; "put_sunk" |]
 
-let txn_key = function
-  | Fetching _ -> "Fetching"
-  | Direct _ -> "Direct"
-  | Via_owner _ -> "ViaOwner"
-  | Evicting _ -> "Evicting"
-  | Wb_mem -> "WbMem"
+(* State/event indices into [coverage_space]'s lists (PR 4). *)
+let state_names =
+  [| "NP"; "NoL1"; "SS"; "MT"; "Fetching"; "Direct"; "ViaOwner"; "Evicting"; "WbMem" |]
 
-let state_key t addr =
+let state_idx t addr =
   match Hashtbl.find_opt t.busy_table addr with
-  | Some txn -> txn_key txn
+  | Some txn -> (
+      match txn with
+      | Fetching _ -> 4
+      | Direct _ -> 5
+      | Via_owner _ -> 6
+      | Evicting _ -> 7
+      | Wb_mem -> 8)
   | None -> (
       match Cache_array.find t.array addr with
-      | None -> "NP"
-      | Some line -> holders_key line.holders)
+      | None -> 0 (* NP *)
+      | Some line -> (
+          match line.holders with No_l1 -> 1 | Sharers _ -> 2 | Owned _ -> 3))
+
+let event_names =
+  [|
+    "grant.GetS"; "grant.GetS_only"; "grant.GetM"; "Replacement"; "PutS"; "PutM";
+    "Unblock"; "Copyback"; "MemData";
+  |]
+
+let e_repl = 3
+let e_put_s = 4
+let e_put_m = 5
+let e_unblock = 6
+let e_copyback = 7
+let e_mem_data = 8
+let event_of_grant = function Msg.Get_s -> 0 | Msg.Get_s_only -> 1 | Msg.Get_m -> 2
 
 let visit t addr event =
-  let state = state_key t addr in
-  Group.incr t.coverage (state ^ "." ^ event);
+  let state = state_idx t addr in
+  Coverage.hit t.covm ~state ~event;
   if Trace.on () then
     Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
-      ~addr:(Addr.to_int addr) ~state ~event ()
+      ~addr:(Addr.to_int addr) ~state:state_names.(state) ~event:event_names.(event) ()
 
 let coverage_space =
   let resident = [ "NoL1"; "SS"; "MT" ] in
@@ -125,7 +145,7 @@ let enqueue_addr t addr q =
         Hashtbl.add t.waiting addr queue;
         queue
   in
-  Group.incr t.stats "stalled_busy";
+  Group.incr_id t.stats t.sid.(0) (* stalled_busy *);
   Queue.push q queue
 
 let enqueue_space t addr q =
@@ -139,7 +159,7 @@ let enqueue_space t addr q =
         Hashtbl.replace t.space_addr idx addr_queue;
         (queue, addr_queue)
   in
-  Group.incr t.stats "stalled_for_space";
+  Group.incr_id t.stats t.sid.(1) (* stalled_for_space *);
   Queue.push q queue;
   Queue.push addr addr_queue
 
@@ -153,7 +173,7 @@ let rec process t addr ({ src; body } as q) =
   | _ -> assert false
 
 and grant t addr (line : line) (kind : Msg.get_kind) ~requestor =
-  visit t addr ("grant." ^ Msg.get_kind_to_string kind);
+  visit t addr (event_of_grant kind);
   match line.holders with
   | Owned owner when not (Node.equal owner requestor) ->
       send t ~dst:owner (Msg.Fwd { kind; requestor }) addr;
@@ -205,7 +225,7 @@ and process_get t addr q kind ~requestor =
       grant t addr line kind ~requestor
   | None ->
       if Cache_array.has_room t.array addr then begin
-        Group.incr t.stats "l2_miss";
+        Group.incr_id t.stats t.sid.(2) (* l2_miss *);
         Cache_array.insert t.array addr { data = Data.zero; dirty = false; holders = No_l1 };
         Hashtbl.replace t.busy_table addr (Fetching { kind; requestor });
         send t ~dst:t.memctrl Msg.Fetch addr
@@ -221,8 +241,8 @@ and process_get t addr q kind ~requestor =
       end
 
 and start_eviction t victim_addr (line : line) =
-  Group.incr t.stats "l2_eviction";
-  visit t victim_addr "Replacement";
+  Group.incr_id t.stats t.sid.(3) (* l2_eviction *);
+  visit t victim_addr e_repl;
   match line.holders with
   | Owned owner ->
       send t ~dst:owner Msg.Recall victim_addr;
@@ -245,32 +265,32 @@ and finish_eviction t victim_addr (line : line) =
   end
 
 and process_put_s t addr ~src =
-  visit t addr "PutS";
+  visit t addr e_put_s;
   (match Cache_array.find t.array addr with
   | Some ({ holders = Sharers sh; _ } as line) when List.exists (Node.equal src) sh ->
       let rest = List.filter (fun n -> not (Node.equal n src)) sh in
       line.holders <- (if rest = [] then No_l1 else Sharers rest);
-      Group.incr t.stats "put_s"
-  | Some _ | None -> Group.incr t.stats "put_sunk");
+      Group.incr_id t.stats t.sid.(4) (* put_s *)
+  | Some _ | None -> Group.incr_id t.stats t.sid.(6) (* put_sunk *));
   send t ~dst:src Msg.Wb_ack addr;
   (* Puts open no transaction; drain whatever queued behind this message. *)
   close t addr
 
 and process_put_m t addr ~src ~data ~dirty =
-  visit t addr "PutM";
+  visit t addr e_put_m;
   (match Cache_array.find t.array addr with
   | Some ({ holders = Owned owner; _ } as line) when Node.equal owner src ->
       line.data <- data;
       line.dirty <- line.dirty || dirty;
       line.holders <- No_l1;
-      Group.incr t.stats "put_m"
+      Group.incr_id t.stats t.sid.(5) (* put_m *)
   | Some ({ holders = Sharers sh; _ } as line) when List.exists (Node.equal src) sh ->
       (* A Put from a cache we demoted to sharer during a racing read fwd;
          its data is already stale.  Drop the data, drop the sharer. *)
       let rest = List.filter (fun n -> not (Node.equal n src)) sh in
       line.holders <- (if rest = [] then No_l1 else Sharers rest);
-      Group.incr t.stats "put_sunk"
-  | Some _ | None -> Group.incr t.stats "put_sunk");
+      Group.incr_id t.stats t.sid.(6) (* put_sunk *)
+  | Some _ | None -> Group.incr_id t.stats t.sid.(6) (* put_sunk *));
   send t ~dst:src Msg.Wb_ack addr;
   close t addr
 
@@ -298,10 +318,10 @@ and close t addr =
 let handle_unblock t addr ~src =
   match Hashtbl.find_opt t.busy_table addr with
   | Some (Direct { requestor }) when Node.equal requestor src ->
-      visit t addr "Unblock";
+      visit t addr e_unblock;
       close t addr
   | Some (Via_owner v) when Node.equal v.requestor src ->
-      visit t addr "Unblock";
+      visit t addr e_unblock;
       v.got_unblock <- true;
       if not v.need_copyback then close t addr
   | Some _ | None -> error t "unexpected_unblock"
@@ -310,7 +330,7 @@ let handle_copyback t addr ~src ~data ~dirty =
   ignore src;
   match Hashtbl.find_opt t.busy_table addr with
   | Some (Via_owner v) when v.need_copyback -> (
-      visit t addr "Copyback";
+      visit t addr e_copyback;
       (match Cache_array.find t.array addr with
       | Some line ->
           line.data <- data;
@@ -365,7 +385,7 @@ let deliver t ~src (msg : Msg.t) =
   | Msg.Mem_data { data } -> (
       match Hashtbl.find_opt t.busy_table addr with
       | Some (Fetching { kind; requestor }) -> (
-          visit t addr "MemData";
+          visit t addr e_mem_data;
           match Cache_array.find t.array addr with
           | Some line ->
               line.data <- data;
@@ -384,6 +404,8 @@ let deliver t ~src (msg : Msg.t) =
       error t "message_not_for_l2"
 
 let create ~engine ~net ~name ~node ~memctrl ~variant ~sets ~ways ?(l2_latency = 8) () =
+  let stats = Group.create (name ^ ".stats") in
+  let coverage = Group.create (name ^ ".coverage") in
   let t =
     {
       engine;
@@ -399,8 +421,10 @@ let create ~engine ~net ~name ~node ~memctrl ~variant ~sets ~ways ?(l2_latency =
       waiting = Hashtbl.create 64;
       space_waiters = Hashtbl.create 16;
       space_addr = Hashtbl.create 16;
-      stats = Group.create (name ^ ".stats");
-      coverage = Group.create (name ^ ".coverage");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
+      coverage;
+      covm = Coverage.intern_matrix coverage_space coverage;
     }
   in
   Net.register net node (fun ~src msg -> deliver t ~src msg);

@@ -22,7 +22,11 @@ type t = {
   tbes : get_tbe Tbe_table.t;
   puts : (Addr.t, put_rec) Hashtbl.t;
   stats : Group.t;
+  sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
 }
+
+(* Hot per-event stat counters, interned once at creation (PR 4). *)
+let hot_stats = [| "get_complete"; "fwd.GetS"; "fwd.GetS_only"; "fwd.GetM"; "writeback_complete"; "put_issued"; "inv"; "recall" |]
 
 let node t = t.node
 let stats t = t.stats
@@ -62,7 +66,7 @@ let issue_put t addr kind =
   | `M data ->
       Hashtbl.replace t.puts addr { data; dirty = true; notify_core = true; is_owner = true };
       send t ~dst:t.l2 (Msg.Put_m { data; dirty = true }) addr);
-  Group.incr t.stats "put_issued"
+  Group.incr_id t.stats t.sid.(5) (* put_issued *)
 
 let host_port t =
   {
@@ -79,7 +83,7 @@ let try_complete t addr (tbe : get_tbe) =
   | Some data, Some grant, Some expected when tbe.acks_got >= expected ->
       Tbe_table.dealloc t.tbes addr;
       send t ~dst:t.l2 Msg.Unblock addr;
-      Group.incr t.stats "get_complete";
+      Group.incr_id t.stats t.sid.(0) (* get_complete *);
       let g =
         match grant with
         | Msg.Grant_s -> `S data
@@ -108,7 +112,7 @@ let zero_data_response t addr ~requestor (kind : Msg.get_kind) =
       send t ~dst:t.l2 (Msg.Copyback { data = Data.zero; dirty = false }) addr
 
 let handle_inv t addr ~reply_to =
-  Group.incr t.stats "inv";
+  Group.incr_id t.stats t.sid.(6) (* inv *);
   match Hashtbl.find_opt t.puts addr with
   | Some _ ->
       (* Our writeback is in flight; the accelerator already relinquished. *)
@@ -126,7 +130,7 @@ let handle_inv t addr ~reply_to =
               send t ~dst:t.l2 (Msg.Copyback { data; dirty }) addr)
 
 let handle_recall t addr =
-  Group.incr t.stats "recall";
+  Group.incr_id t.stats t.sid.(7) (* recall *);
   match Hashtbl.find_opt t.puts addr with
   | Some p when p.is_owner ->
       send t ~dst:t.l2 (Msg.Recall_data { data = p.data; dirty = p.dirty }) addr
@@ -138,7 +142,8 @@ let handle_recall t addr =
           | Xg_core.Reply_dirty data -> send t ~dst:t.l2 (Msg.Recall_data { data; dirty = true }) addr)
 
 let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
-  Group.incr t.stats ("fwd." ^ Msg.get_kind_to_string kind);
+  Group.incr_id t.stats
+    t.sid.(match kind with Msg.Get_s -> 1 | Msg.Get_s_only -> 2 | Msg.Get_m -> 3);
   match Hashtbl.find_opt t.puts addr with
   | Some p when p.is_owner -> (
       match kind with
@@ -179,7 +184,7 @@ let handle_wb_ack t addr =
   match Hashtbl.find_opt t.puts addr with
   | Some p ->
       Hashtbl.remove t.puts addr;
-      Group.incr t.stats "writeback_complete";
+      Group.incr_id t.stats t.sid.(4) (* writeback_complete *);
       if p.notify_core then Xg_core.put_complete (core t) addr
   | None -> Group.incr t.stats "error.wb_ack_without_put"
 
@@ -217,6 +222,7 @@ let deliver t (msg : Msg.t) =
       Group.incr t.stats "error.message_not_for_port"
 
 let create ~engine ~net ~name ~node ~l2 () =
+  let stats = Group.create (name ^ ".stats") in
   let t =
     {
       engine;
@@ -227,7 +233,8 @@ let create ~engine ~net ~name ~node ~l2 () =
       core = None;
       tbes = Tbe_table.create ~capacity:128 ();
       puts = Hashtbl.create 16;
-      stats = Group.create (name ^ ".stats");
+      stats;
+      sid = Array.map (Group.intern stats) hot_stats;
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);

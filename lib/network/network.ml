@@ -113,11 +113,15 @@ struct
     ordering : ordering;
     handlers : (int, handler) Hashtbl.t;
     (* For ordered delivery: earliest time the next message on a (src,dst)
-       pair may be delivered, so FIFO order survives same-cycle scheduling. *)
-    last_delivery : (int * int, Engine.time) Hashtbl.t;
+       pair may be delivered, so FIFO order survives same-cycle scheduling.
+       Keyed by the packed int [src_id * fifo_stride + dst_id] so the per-send
+       bookkeeping allocates no tuple (PR 4). *)
+    last_delivery : (int, Engine.time) Hashtbl.t;
     mutable messages : int;
     mutable bytes : int;
-    bytes_by_src : (int, int) Hashtbl.t;
+    (* Per-source byte counters, indexed by node id; grown on demand.  A flat
+       array instead of a Hashtbl: two fewer probes per message (PR 4). *)
+    mutable bytes_by_src : int array;
     mutable monitor : (src:Xguard_proto.Node.t -> dst:Xguard_proto.Node.t -> Msg.t -> unit) option;
     (* How to describe a message to the tracer: block address plus text.
        Consulted only when a trace buffer is armed. *)
@@ -129,10 +133,14 @@ struct
        allocation), preserving byte-identical runs. *)
     mutable faults : Fault.config option;
     mutable fault_rng : Rng.t option;
-    mutable scripts : (Fault.script * int ref) list;
+    scripts : (Fault.script * int ref) Queue.t;
     mutable wire_cut : bool;
     mutable corruptor : (Msg.t -> Msg.t) option;
     fault_counts : Fault.counts;
+    (* Cached [faults_active]: true iff any injector, script or wire cut is
+       installed.  When false, [send] takes an allocation-free fast path that
+       never consults the fault machinery (PR 4). *)
+    mutable fault_path : bool;
   }
 
   let create ~engine ~rng ~name ~ordering () =
@@ -145,15 +153,16 @@ struct
       last_delivery = Hashtbl.create 64;
       messages = 0;
       bytes = 0;
-      bytes_by_src = Hashtbl.create 16;
+      bytes_by_src = [||];
       monitor = None;
       tracer = None;
       faults = None;
       fault_rng = None;
-      scripts = [];
+      scripts = Queue.create ();
       wire_cut = false;
       corruptor = None;
       fault_counts = Fault.fresh_counts ();
+      fault_path = false;
     }
 
   let name t = t.name
@@ -165,11 +174,14 @@ struct
            (Xguard_proto.Node.name node));
     Hashtbl.add t.handlers (Xguard_proto.Node.id node) handler
 
+  (* Node-id packing for the FIFO map; ids are small dense ints. *)
+  let fifo_stride = 1 lsl 16
+
   let delivery_time t ~src ~dst =
     let now = Engine.now t.engine in
     match t.ordering with
     | Ordered { latency } ->
-        let key = (Xguard_proto.Node.id src, Xguard_proto.Node.id dst) in
+        let key = (Xguard_proto.Node.id src * fifo_stride) + Xguard_proto.Node.id dst in
         let earliest =
           match Hashtbl.find_opt t.last_delivery key with Some e -> e | None -> 0
         in
@@ -181,19 +193,31 @@ struct
 
   (* ---- fault injection ---- *)
 
+  let refresh_fault_path t =
+    t.fault_path <-
+      (t.wire_cut
+      || (not (Queue.is_empty t.scripts))
+      || match t.faults with Some c -> Fault.active c | None -> false)
+
   let set_faults t ~rng config =
     t.faults <- Some config;
-    t.fault_rng <- Some rng
+    t.fault_rng <- Some rng;
+    refresh_fault_path t
 
-  let add_fault_script t script = t.scripts <- t.scripts @ [ (script, ref 0) ]
+  let add_fault_script t script =
+    (* O(1): scripts live in a queue, iterated in registration order. *)
+    Queue.add (script, ref 0) t.scripts;
+    refresh_fault_path t
+
   let set_corruptor t f = t.corruptor <- Some f
-  let cut_wire t = t.wire_cut <- true
+
+  let cut_wire t =
+    t.wire_cut <- true;
+    refresh_fault_path t
+
   let wire_cut t = t.wire_cut
   let fault_counts t = t.fault_counts
-
-  let faults_active t =
-    t.wire_cut || t.scripts <> []
-    || match t.faults with Some c -> Fault.active c | None -> false
+  let faults_active t = t.fault_path
 
   let fault_note t text =
     if Trace.on () then
@@ -204,12 +228,12 @@ struct
      supplies the fault kind.  Matching consults the tracer's text rendering
      (no tracer: only needle-less scripts can match). *)
   let script_kind t msg =
-    if t.scripts = [] then None
+    if Queue.is_empty t.scripts then None
     else begin
       let text =
         lazy (match t.tracer with Some describe -> snd (describe msg) | None -> "")
       in
-      List.fold_left
+      Queue.fold
         (fun acc (s, seen) ->
           let matches =
             match s.Fault.needle with
@@ -242,6 +266,7 @@ struct
   let plan_of_kind t msg = function
     | Fault.Kill ->
         t.wire_cut <- true;
+        t.fault_path <- true;
         t.fault_counts.Fault.drops <- t.fault_counts.Fault.drops + 1;
         fault_note t "fault: wire cut";
         Lose
@@ -336,35 +361,55 @@ struct
     (* Offered traffic is counted at send time, injected faults or not. *)
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + size;
-    let prev =
-      match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id src) with Some b -> b | None -> 0
-    in
-    Hashtbl.replace t.bytes_by_src (Xguard_proto.Node.id src) (prev + size);
-    match fault_plan t msg with
-    | Lose -> ()
-    | Deliver { payload; copies; extra } ->
-        (* [delivery_time] keeps its FIFO bookkeeping on the base time; an
-           injected extra delay is applied to the schedule only, so a jittered
-           message can be overtaken — that is the modelled misbehaviour. *)
-        let at = delivery_time t ~src ~dst + extra in
-        for copy = 0 to copies - 1 do
-          Engine.schedule_at t.engine (at + copy) (fun () ->
-              (if Trace.on () then
-                 match t.tracer with
-                 | Some describe ->
-                     let addr, text = describe payload in
-                     Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
-                       ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
-                       ~text
-                 | None -> ());
-              handler ~src payload)
-        done
+    let src_id = Xguard_proto.Node.id src in
+    (if src_id >= Array.length t.bytes_by_src then begin
+       let grown = Array.make (max 16 (2 * (src_id + 1))) 0 in
+       Array.blit t.bytes_by_src 0 grown 0 (Array.length t.bytes_by_src);
+       t.bytes_by_src <- grown
+     end);
+    t.bytes_by_src.(src_id) <- t.bytes_by_src.(src_id) + size;
+    if not t.fault_path then
+      (* Fast path: no injector, script or wire cut installed — skip the
+         fault plan entirely; one schedule, no [plan] allocation (PR 4). *)
+      Engine.schedule_at t.engine
+        (delivery_time t ~src ~dst)
+        (fun () ->
+          (if Trace.on () then
+             match t.tracer with
+             | Some describe ->
+                 let addr, text = describe msg in
+                 Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
+                   ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
+                   ~text
+             | None -> ());
+          handler ~src msg)
+    else
+      match fault_plan t msg with
+      | Lose -> ()
+      | Deliver { payload; copies; extra } ->
+          (* [delivery_time] keeps its FIFO bookkeeping on the base time; an
+             injected extra delay is applied to the schedule only, so a jittered
+             message can be overtaken — that is the modelled misbehaviour. *)
+          let at = delivery_time t ~src ~dst + extra in
+          for copy = 0 to copies - 1 do
+            Engine.schedule_at t.engine (at + copy) (fun () ->
+                (if Trace.on () then
+                   match t.tracer with
+                   | Some describe ->
+                       let addr, text = describe payload in
+                       Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
+                         ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
+                         ~text
+                   | None -> ());
+                handler ~src payload)
+          done
 
   let messages_sent t = t.messages
   let bytes_sent t = t.bytes
 
   let bytes_from t node =
-    match Hashtbl.find_opt t.bytes_by_src (Xguard_proto.Node.id node) with Some b -> b | None -> 0
+    let id = Xguard_proto.Node.id node in
+    if id < Array.length t.bytes_by_src then t.bytes_by_src.(id) else 0
 
   let set_monitor t f = t.monitor <- Some f
   let set_tracer t f = t.tracer <- Some f

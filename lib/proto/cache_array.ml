@@ -51,32 +51,42 @@ let set t addr line =
   | None -> raise Not_found
   | Some (_, rest) -> t.table.(i) <- (addr, line) :: rest
 
+(* The three set-occupancy queries below walk the set exactly once
+   (resident? + length + LRU entry in one pass) instead of chaining
+   [List.exists] + [List.length] + a last-element walk (PR 4). *)
+
 let insert t addr line =
   let i = index t addr in
   let entries = t.table.(i) in
-  if List.exists (fun (a, _) -> Addr.equal a addr) entries then
-    invalid_arg "Cache_array.insert: address already resident";
-  if List.length entries >= t.ways then
-    invalid_arg "Cache_array.insert: set is full (evict a victim first)";
+  let rec check n = function
+    | [] ->
+        if n >= t.ways then
+          invalid_arg "Cache_array.insert: set is full (evict a victim first)"
+    | (a, _) :: rest ->
+        if Addr.equal a addr then
+          invalid_arg "Cache_array.insert: address already resident"
+        else check (n + 1) rest
+  in
+  check 0 entries;
   t.table.(i) <- (addr, line) :: entries;
   t.resident <- t.resident + 1
 
 let has_room t addr =
-  let entries = t.table.(index t addr) in
-  List.exists (fun (a, _) -> Addr.equal a addr) entries || List.length entries < t.ways
+  let rec scan n = function
+    | [] -> n < t.ways
+    | (a, _) :: rest -> Addr.equal a addr || scan (n + 1) rest
+  in
+  scan 0 t.table.(index t addr)
 
 let victim t addr =
-  let entries = t.table.(index t addr) in
-  if List.exists (fun (a, _) -> Addr.equal a addr) entries then None
-  else if List.length entries < t.ways then None
-  else
-    (* LRU = last element of the MRU-first list. *)
-    let rec last = function
-      | [] -> None
-      | [ entry ] -> Some entry
-      | _ :: rest -> last rest
-    in
-    last entries
+  (* LRU = last element of the MRU-first list; no victim when the block is
+     already resident or the set still has room. *)
+  let rec scan n lru = function
+    | [] -> if n >= t.ways then lru else None
+    | ((a, _) as entry) :: rest ->
+        if Addr.equal a addr then None else scan (n + 1) (Some entry) rest
+  in
+  scan 0 None t.table.(index t addr)
 
 let remove t addr =
   let i = index t addr in

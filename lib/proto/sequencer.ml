@@ -11,15 +11,26 @@ type pending = {
   on_complete : Data.t -> latency:int -> unit;
 }
 
+let dummy_pending =
+  {
+    access = Access.load (Addr.block 0);
+    issued_at = 0;
+    on_complete = (fun _ ~latency:_ -> ());
+  }
+
 type t = {
   engine : Engine.t;
   name : string;
   port : Access.port;
   max_outstanding : int;
   retry_delay : int;
-  queue : pending Queue.t; (* waiting to issue *)
+  (* Waiting to issue: a growable ring buffer.  The retry path requeues at the
+     head, so both ends push in O(1) with no per-element allocation. *)
+  mutable pend : pending array;
+  mutable head : int;
+  mutable queued : int;
   mutable in_flight : int; (* accepted by the cache, not yet done *)
-  mutable in_flight_addrs : Addr.t list;
+  flight_addrs : Addr.t array; (* first [in_flight] entries are live *)
   mutable completed : int;
   mutable retries : int;
   latency : Histogram.t;
@@ -33,9 +44,11 @@ let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
     port;
     max_outstanding;
     retry_delay;
-    queue = Queue.create ();
+    pend = Array.make 16 dummy_pending;
+    head = 0;
+    queued = 0;
     in_flight = 0;
-    in_flight_addrs = [];
+    flight_addrs = Array.make (max max_outstanding 1) (Addr.block 0);
     completed = 0;
     retries = 0;
     latency = Histogram.create (name ^ ".latency");
@@ -43,25 +56,69 @@ let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
   }
 
 let name t = t.name
-let outstanding t = t.in_flight + Queue.length t.queue
+let outstanding t = t.in_flight + t.queued
 let completed t = t.completed
 let latency t = t.latency
 let retries t = t.retries
 
-let addr_in_flight t addr = List.exists (Addr.equal addr) t.in_flight_addrs
+let grow_pend t =
+  let cap = Array.length t.pend in
+  let bigger = Array.make (2 * cap) dummy_pending in
+  for k = 0 to t.queued - 1 do
+    bigger.(k) <- t.pend.((t.head + k) mod cap)
+  done;
+  t.pend <- bigger;
+  t.head <- 0
+
+let push_back t p =
+  if t.queued = Array.length t.pend then grow_pend t;
+  t.pend.((t.head + t.queued) mod Array.length t.pend) <- p;
+  t.queued <- t.queued + 1
+
+let push_front t p =
+  if t.queued = Array.length t.pend then grow_pend t;
+  let cap = Array.length t.pend in
+  t.head <- (t.head + cap - 1) mod cap;
+  t.pend.(t.head) <- p;
+  t.queued <- t.queued + 1
+
+let pop_front t =
+  let p = t.pend.(t.head) in
+  t.pend.(t.head) <- dummy_pending;
+  t.head <- (t.head + 1) mod Array.length t.pend;
+  t.queued <- t.queued - 1;
+  p
+
+let addr_in_flight t addr =
+  let rec go i =
+    i < t.in_flight && (Addr.equal t.flight_addrs.(i) addr || go (i + 1))
+  in
+  go 0
+
+(* Remove one occurrence by swapping the last live entry into its slot; the
+   caller decrements [in_flight] afterwards.  No-op when absent. *)
+let remove_flight t addr =
+  let n = t.in_flight in
+  let rec go i =
+    if i < n then
+      if Addr.equal t.flight_addrs.(i) addr then
+        t.flight_addrs.(i) <- t.flight_addrs.(n - 1)
+      else go (i + 1)
+  in
+  go 0
 
 let rec pump t =
   if
-    (not (Queue.is_empty t.queue))
+    t.queued > 0
     && t.in_flight < t.max_outstanding
-    && not (addr_in_flight t (Queue.peek t.queue).access.Access.addr)
+    && not (addr_in_flight t t.pend.(t.head).access.Access.addr)
   then begin
-    let p = Queue.pop t.queue in
+    let p = pop_front t in
     let addr = p.access.Access.addr in
     let accepted =
       t.port.Access.issue p.access ~on_done:(fun value ->
+          remove_flight t addr;
           t.in_flight <- t.in_flight - 1;
-          t.in_flight_addrs <- List.filter (fun a -> not (Addr.equal a addr)) t.in_flight_addrs;
           t.completed <- t.completed + 1;
           let lat = Engine.now t.engine - p.issued_at in
           Histogram.observe t.latency lat;
@@ -74,8 +131,8 @@ let rec pump t =
           schedule_pump t)
     in
     if accepted then begin
+      t.flight_addrs.(t.in_flight) <- addr;
       t.in_flight <- t.in_flight + 1;
-      t.in_flight_addrs <- addr :: t.in_flight_addrs;
       if Trace.on () then
         Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
           ~addr:(Addr.to_int addr)
@@ -91,10 +148,7 @@ let rec pump t =
           ~addr:(Addr.to_int addr)
           ~why:(Printf.sprintf "cache rejected %s; retry in %d" (access_text p.access)
                   t.retry_delay);
-      let rest = Queue.create () in
-      Queue.transfer t.queue rest;
-      Queue.push p t.queue;
-      Queue.transfer rest t.queue;
+      push_front t p;
       Engine.schedule t.engine ~delay:t.retry_delay (fun () -> pump t)
     end
   end
@@ -108,5 +162,5 @@ and schedule_pump t =
   end
 
 let request t access ~on_complete =
-  Queue.push { access; issued_at = Engine.now t.engine; on_complete } t.queue;
+  push_back t { access; issued_at = Engine.now t.engine; on_complete } ;
   schedule_pump t

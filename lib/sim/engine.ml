@@ -1,11 +1,14 @@
 type time = int
 
-type event = { at : time; seq : int; thunk : unit -> unit }
-
-(* Binary min-heap on (at, seq).  A resizable array keeps scheduling O(log n)
-   with no allocation churn beyond the event records themselves. *)
+(* Binary min-heap on (at, seq), kept as three parallel arrays: timestamps and
+   sequence numbers live in unboxed int arrays — comparisons and sift moves
+   touch no pointers — and only the thunk column pays the GC write barrier.
+   Sifting moves a hole instead of swapping, so each level costs one store per
+   column rather than two.  No per-event record is allocated. *)
 type t = {
-  mutable heap : event array;
+  mutable at_h : int array;
+  mutable seq_h : int array;
+  mutable thunk_h : (unit -> unit) array;
   mutable size : int;
   mutable now : time;
   mutable next_seq : int;
@@ -13,11 +16,11 @@ type t = {
   mutable stop_requested : bool;
 }
 
-let dummy = { at = 0; seq = 0; thunk = ignore }
-
 let create () =
   {
-    heap = Array.make 64 dummy;
+    at_h = Array.make 64 0;
+    seq_h = Array.make 64 0;
+    thunk_h = Array.make 64 ignore;
     size = 0;
     now = 0;
     next_seq = 0;
@@ -30,66 +33,90 @@ let pending t = t.size
 let events_fired t = t.fired
 let stop t = t.stop_requested <- true
 
-let earlier a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
-
 let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+  let cap = 2 * Array.length t.at_h in
+  let at = Array.make cap 0 and seq = Array.make cap 0 in
+  let thunk = Array.make cap ignore in
+  Array.blit t.at_h 0 at 0 t.size;
+  Array.blit t.seq_h 0 seq 0 t.size;
+  Array.blit t.thunk_h 0 thunk 0 t.size;
+  t.at_h <- at;
+  t.seq_h <- seq;
+  t.thunk_h <- thunk
 
-let push t ev =
-  if t.size = Array.length t.heap then grow t;
+let push t at seq thunk =
+  if t.size = Array.length t.at_h then grow t;
   let i = ref t.size in
   t.size <- t.size + 1;
-  t.heap.(!i) <- ev;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if earlier t.heap.(!i) t.heap.(parent) then begin
-      let tmp = t.heap.(parent) in
-      t.heap.(parent) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
-      i := parent
-    end
-    else continue := false
-  done
-
-let pop t =
-  assert (t.size > 0);
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy;
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-    if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-    if !smallest <> !i then begin
-      let tmp = t.heap.(!smallest) in
-      t.heap.(!smallest) <- t.heap.(!i);
-      t.heap.(!i) <- tmp;
-      i := !smallest
+    let p = (!i - 1) / 2 in
+    let pat = t.at_h.(p) in
+    if at < pat || (at = pat && seq < t.seq_h.(p)) then begin
+      t.at_h.(!i) <- pat;
+      t.seq_h.(!i) <- t.seq_h.(p);
+      t.thunk_h.(!i) <- t.thunk_h.(p);
+      i := p
     end
     else continue := false
   done;
-  top
+  t.at_h.(!i) <- at;
+  t.seq_h.(!i) <- seq;
+  t.thunk_h.(!i) <- thunk
+
+(* Caller reads the root's fields before calling; this just deletes it. *)
+let remove_root t =
+  t.size <- t.size - 1;
+  let n = t.size in
+  let at = t.at_h.(n) and seq = t.seq_h.(n) and thunk = t.thunk_h.(n) in
+  t.thunk_h.(n) <- ignore;
+  if n > 0 then begin
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      let r = l + 1 in
+      let s = ref !i and sat = ref at and sseq = ref seq in
+      if l < n && (t.at_h.(l) < !sat || (t.at_h.(l) = !sat && t.seq_h.(l) < !sseq))
+      then begin
+        s := l;
+        sat := t.at_h.(l);
+        sseq := t.seq_h.(l)
+      end;
+      if r < n && (t.at_h.(r) < !sat || (t.at_h.(r) = !sat && t.seq_h.(r) < !sseq))
+      then s := r;
+      if !s <> !i then begin
+        t.at_h.(!i) <- t.at_h.(!s);
+        t.seq_h.(!i) <- t.seq_h.(!s);
+        t.thunk_h.(!i) <- t.thunk_h.(!s);
+        i := !s
+      end
+      else continue := false
+    done;
+    t.at_h.(!i) <- at;
+    t.seq_h.(!i) <- seq;
+    t.thunk_h.(!i) <- thunk
+  end
 
 let schedule_at t at thunk =
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now=%d)" at t.now);
-  let ev = { at; seq = t.next_seq; thunk } in
-  t.next_seq <- t.next_seq + 1;
-  push t ev
+  push t at t.next_seq thunk;
+  t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay thunk =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (t.now + delay) thunk
 
 type run_result = Drained | Hit_time_limit | Hit_event_limit | Stopped
+
+(* Per-domain total across all engines, bumped once per [run] call (not per
+   event), so the bench harness can attribute events/sec to a code region
+   without racing between worker domains. *)
+let domain_fired : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let events_fired_here () = !(Domain.DLS.get domain_fired)
 
 let run ?until ?max_events t =
   t.stop_requested <- false;
@@ -107,7 +134,7 @@ let run ?until ?max_events t =
     end
     else begin
       let over_time =
-        match until with Some u -> t.heap.(0).at > u | None -> false
+        match until with Some u -> t.at_h.(0) > u | None -> false
       in
       let over_events =
         match max_events with
@@ -124,13 +151,16 @@ let run ?until ?max_events t =
         continue := false
       end
       else begin
-        let ev = pop t in
-        t.now <- ev.at;
+        let at = t.at_h.(0) and thunk = t.thunk_h.(0) in
+        remove_root t;
+        t.now <- at;
         t.fired <- t.fired + 1;
-        ev.thunk ()
+        thunk ()
       end
     end
   done;
+  let c = Domain.DLS.get domain_fired in
+  c := !c + (t.fired - fired_at_start);
   !result
 
 let every t ~period ?(phase = 0) f =

@@ -28,6 +28,13 @@ val pending : t -> int
 val events_fired : t -> int
 (** Total events executed since [create]. *)
 
+val events_fired_here : unit -> int
+(** Total events executed by {!run} on the calling domain, summed across all
+    engines.  Monotonic; subtract two readings to attribute an event count to
+    a code region.  Per-domain (not global), so parallel harness workers each
+    see only their own engines — the bench harness derives events/sec from
+    this around each experiment. *)
+
 type run_result =
   | Drained  (** the event queue emptied *)
   | Hit_time_limit  (** [until] was reached with events still pending *)

@@ -13,25 +13,99 @@ let add_counter = add
 
 module Group = struct
   type counter = t
+  type id = int
 
+  (* Interned counters live in [slots] from [intern] time but only join
+     [table]/[order] on first touch ([enlisted]), so [to_list] stays
+     byte-identical to the string-keyed path: same first-touch order, no
+     phantom zero entries for vocabulary that never fired. *)
   type t = {
     group_name : string;
     table : (string, counter) Hashtbl.t;
     mutable order : counter list; (* reversed creation order *)
+    ids : (string, id) Hashtbl.t;
+    mutable slots : counter array;
+    mutable enlisted : bool array;
+    mutable n_ids : int;
   }
 
-  let create group_name = { group_name; table = Hashtbl.create 16; order = [] }
+  let create group_name =
+    {
+      group_name;
+      table = Hashtbl.create 16;
+      order = [];
+      ids = Hashtbl.create 16;
+      slots = [||];
+      enlisted = [||];
+      n_ids = 0;
+    }
+
   let name g = g.group_name
+
+  let enlist g c =
+    Hashtbl.add g.table c.name c;
+    g.order <- c :: g.order
 
   let counter g counter_name =
     match Hashtbl.find_opt g.table counter_name with
     | Some c -> c
-    | None ->
-        let c = make_counter counter_name in
-        Hashtbl.add g.table counter_name c;
-        g.order <- c :: g.order;
-        c
+    | None -> (
+        match Hashtbl.find_opt g.ids counter_name with
+        | Some id ->
+            let c = g.slots.(id) in
+            g.enlisted.(id) <- true;
+            enlist g c;
+            c
+        | None ->
+            let c = make_counter counter_name in
+            enlist g c;
+            c)
 
+  let grow g =
+    let cap = Array.length g.slots in
+    if g.n_ids = cap then begin
+      let cap' = max 16 (2 * cap) in
+      let slots' = Array.make cap' (make_counter "") in
+      let enlisted' = Array.make cap' false in
+      Array.blit g.slots 0 slots' 0 cap;
+      Array.blit g.enlisted 0 enlisted' 0 cap;
+      g.slots <- slots';
+      g.enlisted <- enlisted'
+    end
+
+  let intern g counter_name =
+    match Hashtbl.find_opt g.ids counter_name with
+    | Some id -> id
+    | None ->
+        grow g;
+        let id = g.n_ids in
+        let already = Hashtbl.find_opt g.table counter_name in
+        let c =
+          match already with Some c -> c | None -> make_counter counter_name
+        in
+        g.slots.(id) <- c;
+        g.enlisted.(id) <- already <> None;
+        g.n_ids <- id + 1;
+        Hashtbl.add g.ids counter_name id;
+        id
+
+  let incr_id g id =
+    let c = g.slots.(id) in
+    c.value <- c.value + 1;
+    if not g.enlisted.(id) then begin
+      g.enlisted.(id) <- true;
+      enlist g c
+    end
+
+  let add_id g id n =
+    let c = g.slots.(id) in
+    c.value <- c.value + n;
+    if not g.enlisted.(id) then begin
+      g.enlisted.(id) <- true;
+      enlist g c
+    end
+
+  let get_id g id = g.slots.(id).value
   let incr g counter_name = incr_counter (counter g counter_name)
   let add g counter_name n = add_counter (counter g counter_name) n
 
@@ -41,7 +115,12 @@ module Group = struct
     | None -> 0
 
   let to_list g = List.rev_map (fun c -> (c.name, c.value)) g.order
-  let reset_all g = List.iter reset g.order
+
+  let reset_all g =
+    List.iter reset g.order;
+    for i = 0 to g.n_ids - 1 do
+      reset g.slots.(i)
+    done
 
   let pp fmt g =
     Format.fprintf fmt "@[<v2>%s:" g.group_name;

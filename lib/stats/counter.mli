@@ -23,11 +23,30 @@ module Group : sig
   type counter = t
   type t
 
+  type id
+  (** A dense handle for a pre-registered counter name.  Hot paths intern
+      their whole vocabulary once at component creation and then record via
+      {!incr_id}/{!add_id} — no string building, no hashing per event. *)
+
   val create : string -> t
   val name : t -> string
 
   val counter : t -> string -> counter
   (** [counter g name] finds or creates the counter [name] in [g]. *)
+
+  val intern : t -> string -> id
+  (** [intern g name] pre-registers [name] and returns its dense id.
+      Interning alone does not make the counter observable: it only appears
+      in {!to_list} once first touched (by any path), in first-touch order —
+      so reports stay byte-identical to the string-keyed path even when a
+      component interns vocabulary that never fires.  Interning the same
+      name twice returns the same id; ids are per-group. *)
+
+  val incr_id : t -> id -> unit
+  (** Allocation-free equivalent of [incr g name] for an interned name. *)
+
+  val add_id : t -> id -> int -> unit
+  val get_id : t -> id -> int
 
   val incr : t -> string -> unit
   val add : t -> string -> int -> unit

@@ -11,6 +11,27 @@ type space = {
 let space ~name ~states ~events ?(possible = fun _ _ -> true) () =
   { name; states; events; possible }
 
+type matrix = {
+  group : Group.t;
+  ids : Group.id array; (* row-major: state index * n_events + event index *)
+  n_states : int;
+  n_events : int;
+}
+
+let intern_matrix space group =
+  let states = Array.of_list space.states in
+  let events = Array.of_list space.events in
+  let n_states = Array.length states in
+  let n_events = Array.length events in
+  let ids =
+    Array.init (n_states * n_events) (fun k ->
+        let state = states.(k / n_events) and event = events.(k mod n_events) in
+        Group.intern group (state ^ "." ^ event))
+  in
+  { group; ids; n_states; n_events }
+
+let hit m ~state ~event = Group.incr_id m.group m.ids.((state * m.n_events) + event)
+
 type report = {
   about : space;
   count : string -> string -> int;

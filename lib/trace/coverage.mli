@@ -30,6 +30,28 @@ val space :
   space
 (** [possible] defaults to every pair being reachable. *)
 
+type matrix = {
+  group : Xguard_stats.Counter.Group.t;
+  ids : Xguard_stats.Counter.Group.id array;
+      (** row-major: [state_index * n_events + event_index] *)
+  n_states : int;
+  n_events : int;
+}
+(** A space's full (state × event) vocabulary interned into a group once at
+    controller creation, so hot-path [visit] functions record transitions by
+    integer indices instead of building ["STATE.Event"] strings per event.
+    Interned-but-never-hit pairs do not appear in the group's report, so
+    [analyze] output is byte-identical to the string-keyed path. *)
+
+val intern_matrix : space -> Xguard_stats.Counter.Group.t -> matrix
+(** Interns every (state, event) pair of [space] — including impossible ones,
+    which keeps indexing trivial; untouched ids never surface. State and
+    event indices follow the list order of [space.states]/[space.events]. *)
+
+val hit : matrix -> state:int -> event:int -> unit
+(** Allocation-free equivalent of
+    [Group.incr group (List.nth states state ^ "." ^ List.nth events event)]. *)
+
 type report = {
   about : space;
   count : string -> string -> int;  (** hits for a (state, event) pair *)

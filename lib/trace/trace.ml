@@ -117,7 +117,8 @@ let dump ?addr ?last t =
     match last with
     | None -> events
     | Some n ->
-        let len = List.length events in
-        if len <= n then events else List.filteri (fun i _ -> i >= len - n) events
+        (* Single drop pass: compute the length once, then drop the prefix. *)
+        let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+        drop (List.length events - n) events
   in
   String.concat "\n" (List.map format_event events)

@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Trace = Xguard_trace.Trace
+module Coverage = Xguard_trace.Coverage
 
 type mode = Full_state | Transactional
 
@@ -41,6 +42,27 @@ type per_addr = {
   stalled_gets : Xg_iface.accel_request Queue.t;
 }
 
+(* Interned handles for the per-event stat counters (PR 4): one dense-id
+   lookup per bump instead of a string-Hashtbl probe. *)
+type stat_ids = {
+  s_accel_request : Group.id;
+  s_accel_response : Group.id;
+  s_grant_to_accel : Group.id;
+  s_put_complete : Group.id;
+  s_snoop_fast_path : Group.id;
+  s_side_channel_filtered : Group.id;
+  s_get_s_forwarded : Group.id;
+  s_get_m_forwarded : Group.id;
+  s_put_s_forwarded : Group.id;
+  s_put_e_forwarded : Group.id;
+  s_put_m_forwarded : Group.id;
+  s_put_s_suppressed : Group.id;
+  s_put_s_unnecessary : Group.id;
+  s_invalidate_to_accel : Group.id;
+  s_request_blocked : Group.id;
+  s_get_stalled_behind_put : Group.id;
+}
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -57,7 +79,9 @@ type t = {
   tracks : (Addr.t, track) Hashtbl.t;
   pending : (Addr.t, per_addr) Hashtbl.t;
   stats : Group.t;
+  sid : stat_ids;
   coverage : Group.t;
+  cov : Coverage.matrix;
   mutable peak_bits : int;
   (* Lossy-link degradation (PR 3): consecutive unrecoverable link faults,
      and whether the accelerator has been quarantined. *)
@@ -65,6 +89,7 @@ type t = {
   mutable link_faults : int;
   mutable quarantined : bool;
   fault_cov : Group.t;
+  fcov : Coverage.matrix;
   mutable on_quarantine : unit -> unit;
 }
 
@@ -172,52 +197,75 @@ let accel_may_be_sharer t addr =
    B_inv/B_get/B_put while a transaction is open, I/S/S_RO/E/M from the
    full-state table, T_NA/T_RO/T_RW from permissions in transactional mode. *)
 
-let state_key t addr =
-  if t.quarantined then "Q"
+(* States and events are indexed into [coverage_space]'s lists so the hot
+   [visit] path records transitions via a dense-id matrix (PR 4) — no string
+   building per event.  Names are only materialized when tracing. *)
+
+let state_names =
+  [| "I"; "S"; "S_RO"; "E"; "M"; "B_get"; "B_put"; "B_inv"; "T_NA"; "T_RO"; "T_RW"; "Q" |]
+
+let state_idx t addr =
+  if t.quarantined then 11 (* Q *)
   else
     match Hashtbl.find_opt t.pending addr with
-  | Some { p_inv = Some _; _ } -> "B_inv"
-  | Some { p_get = Some _; _ } -> "B_get"
-  | Some { p_put = Some _; _ } -> "B_put"
-  | _ -> (
-      match t.mode with
-      | Transactional -> (
-          match Perm_table.perm t.perms addr with
-          | Perm.No_access -> "T_NA"
-          | Perm.Read_only -> "T_RO"
-          | Perm.Read_write -> "T_RW")
-      | Full_state -> (
-          match Hashtbl.find_opt t.tracks addr with
-          | None -> "I"
-          | Some { st = `S; xg_copy = Some _ } -> "S_RO"
-          | Some { st = `S; xg_copy = None } -> "S"
-          | Some { st = `E; _ } -> "E"
-          | Some { st = `M; _ } -> "M"))
+    | Some { p_inv = Some _; _ } -> 7 (* B_inv *)
+    | Some { p_get = Some _; _ } -> 5 (* B_get *)
+    | Some { p_put = Some _; _ } -> 6 (* B_put *)
+    | _ -> (
+        match t.mode with
+        | Transactional -> (
+            match Perm_table.perm t.perms addr with
+            | Perm.No_access -> 8 (* T_NA *)
+            | Perm.Read_only -> 9 (* T_RO *)
+            | Perm.Read_write -> 10 (* T_RW *))
+        | Full_state -> (
+            match Hashtbl.find_opt t.tracks addr with
+            | None -> 0 (* I *)
+            | Some { st = `S; xg_copy = Some _ } -> 2 (* S_RO *)
+            | Some { st = `S; xg_copy = None } -> 1 (* S *)
+            | Some { st = `E; _ } -> 3 (* E *)
+            | Some { st = `M; _ } -> 4 (* M *)))
+
+let state_key t addr = state_names.(state_idx t addr)
+
+let event_names =
+  [|
+    "GetS"; "GetM"; "PutS"; "PutE"; "PutM"; "CleanWB"; "DirtyWB"; "InvAck";
+    "Fwd_S"; "Fwd_M"; "Recall"; "Grant"; "PutDone"; "Timeout"; "Quarantine";
+  |]
+
+let ev_clean_wb = 5
+let ev_dirty_wb = 6
+let ev_inv_ack = 7
+let ev_grant = 11
+let ev_put_done = 12
+let ev_timeout = 13
+let ev_quarantine = 14
 
 let visit t addr event f =
-  let before = state_key t addr in
-  Group.incr t.coverage (before ^ "." ^ event);
-  f ();
-  if Trace.on () then
+  let before = state_idx t addr in
+  Coverage.hit t.cov ~state:before ~event;
+  if Trace.on () then begin
+    f ();
     Trace.transition ~cycle:(Engine.now t.engine) ~controller:t.name
-      ~addr:(Addr.to_int addr) ~state:before ~event ~next:(state_key t addr) ()
+      ~addr:(Addr.to_int addr) ~state:state_names.(before)
+      ~event:event_names.(event) ~next:(state_key t addr) ()
+  end
+  else f ()
 
 let event_of_accel_request = function
-  | Xg_iface.Get_s -> "GetS"
-  | Xg_iface.Get_m -> "GetM"
-  | Xg_iface.Put_s -> "PutS"
-  | Xg_iface.Put_e _ -> "PutE"
-  | Xg_iface.Put_m _ -> "PutM"
+  | Xg_iface.Get_s -> 0
+  | Xg_iface.Get_m -> 1
+  | Xg_iface.Put_s -> 2
+  | Xg_iface.Put_e _ -> 3
+  | Xg_iface.Put_m _ -> 4
 
 let event_of_accel_response = function
-  | Xg_iface.Clean_wb _ -> "CleanWB"
-  | Xg_iface.Dirty_wb _ -> "DirtyWB"
-  | Xg_iface.Inv_ack -> "InvAck"
+  | Xg_iface.Clean_wb _ -> ev_clean_wb
+  | Xg_iface.Dirty_wb _ -> ev_dirty_wb
+  | Xg_iface.Inv_ack -> ev_inv_ack
 
-let event_of_host_need = function
-  | Fwd_s -> "Fwd_S"
-  | Fwd_m -> "Fwd_M"
-  | Recall -> "Recall"
+let event_of_host_need = function Fwd_s -> 8 | Fwd_m -> 9 | Recall -> 10
 
 let coverage_space =
   let requests = [ "GetS"; "GetM"; "PutS"; "PutE"; "PutM" ] in
@@ -257,12 +305,18 @@ let coverage_space =
    outstanding fault), degraded (the link reported unrecoverable faults but
    the quarantine threshold has not been reached) and quarantined. *)
 
-let fault_state t =
-  if t.quarantined then "F_quarantined"
-  else if t.link_faults > 0 then "F_degraded"
-  else "F_armed"
+let fault_state_idx t =
+  if t.quarantined then 2 (* F_quarantined *)
+  else if t.link_faults > 0 then 1 (* F_degraded *)
+  else 0 (* F_armed *)
 
-let fvisit t event = Group.incr t.fault_cov (fault_state t ^ "." ^ event)
+let fev_link_fault = 0
+let fev_recover = 1
+let fev_quarantine = 2
+let fev_host_answered = 3
+let fev_accel_dropped = 4
+
+let fvisit t event = Coverage.hit t.fcov ~state:(fault_state_idx t) ~event
 
 let fault_coverage_space =
   Xguard_trace.Coverage.space ~name:"xg.fault"
@@ -299,12 +353,12 @@ let default_reply t inv =
 let start_accel_invalidation t addr (p : per_addr) inv =
   p.p_inv <- Some inv;
   note_storage t;
-  Group.incr t.stats "invalidate_to_accel";
+  Group.incr_id t.stats t.sid.s_invalidate_to_accel;
   send_accel t (Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate });
   Engine.schedule t.engine ~delay:t.timeout (fun () ->
       match p.p_inv with
       | Some i when i == inv && not i.replied ->
-          visit t addr "Timeout" (fun () ->
+          visit t addr ev_timeout (fun () ->
               report t Os_model.Response_timeout addr;
               Group.incr t.stats "timeout_reply_for_accel";
               clear_track t addr;
@@ -315,7 +369,7 @@ let start_accel_invalidation t addr (p : per_addr) inv =
       | _ -> ())
 
 let host_request t addr ~need ~reply =
-  if t.quarantined then fvisit t "HostAnswered";
+  if t.quarantined then fvisit t fev_host_answered;
   visit t addr (event_of_host_need need) @@ fun () ->
   let p = slot t addr in
   assert (p.p_inv = None);
@@ -327,16 +381,16 @@ let host_request t addr ~need ~reply =
   | Full_state -> (
       match Hashtbl.find_opt t.tracks addr with
       | None ->
-          Group.incr t.stats "snoop_fast_path";
+          Group.incr_id t.stats t.sid.s_snoop_fast_path;
           reply (Reply_ack { shared = false })
       | Some { st = `S; xg_copy = None } when need = Fwd_s ->
-          Group.incr t.stats "snoop_fast_path";
+          Group.incr_id t.stats t.sid.s_snoop_fast_path;
           reply (Reply_ack { shared = true })
       | Some ({ st = `S; xg_copy = Some copy } as tr) ->
           if need = Fwd_s then begin
             (* XG owns the trusted copy of this read-only block; serve data
                without disturbing the accelerator. *)
-            Group.incr t.stats "snoop_fast_path";
+            Group.incr_id t.stats t.sid.s_snoop_fast_path;
             reply (Reply_clean copy)
           end
           else begin
@@ -357,19 +411,19 @@ let host_request t addr ~need ~reply =
           (* The accelerator cannot hold this block; answering locally also
              hides host coherence traffic from a potentially malicious
              accelerator (side-channel filtering, §3.2). *)
-          Group.incr t.stats "side_channel_filtered";
+          Group.incr_id t.stats t.sid.s_side_channel_filtered;
           reply (Reply_ack { shared = false })
       | Perm.Read_only when need = Fwd_s ->
           (* The accelerator cannot own the block (G0b), so no data is
              needed; conservatively report it shared. *)
-          Group.incr t.stats "snoop_fast_path";
+          Group.incr_id t.stats t.sid.s_snoop_fast_path;
           reply (Reply_ack { shared = true })
       | Perm.Read_only | Perm.Read_write -> (
           (* Deduce what we can from open transactions: a pending GetS means
              the accelerator holds nothing yet. *)
           match p.p_get with
           | Some { want = `S; _ } when need <> Fwd_s ->
-              Group.incr t.stats "snoop_fast_path";
+              Group.incr_id t.stats t.sid.s_snoop_fast_path;
               reply (Reply_ack { shared = false })
           | _ ->
               start_accel_invalidation t addr p
@@ -465,8 +519,8 @@ let rec process_get t addr (p : per_addr) (req : Xg_iface.accel_request) =
   let ro = perm = Perm.Read_only in
   p.p_get <- Some { want; ro };
   note_storage t;
-  Group.incr t.stats
-    (match want with `M -> "get_m_forwarded" | `S -> "get_s_forwarded");
+  Group.incr_id t.stats
+    (match want with `M -> t.sid.s_get_m_forwarded | `S -> t.sid.s_get_s_forwarded);
   match want with
   | `M -> t.host.get addr `M
   | `S ->
@@ -495,11 +549,11 @@ and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
       if t.host.puts_needed then begin
         p.p_put <- Some `S;
         note_storage t;
-        Group.incr t.stats "put_s_forwarded";
+        Group.incr_id t.stats t.sid.s_put_s_forwarded;
         t.host.put addr `S
       end
       else if t.suppress_put_s then begin
-        Group.incr t.stats "put_s_suppressed";
+        Group.incr_id t.stats t.sid.s_put_s_suppressed;
         pump_stalled t addr p
       end
       else begin
@@ -507,18 +561,18 @@ and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
            XG-to-host bandwidth when the optimization register is off. *)
         p.p_put <- Some `S;
         note_storage t;
-        Group.incr t.stats "put_s_unnecessary";
+        Group.incr_id t.stats t.sid.s_put_s_unnecessary;
         t.host.put addr `S
       end
   | Xg_iface.Put_e data ->
       p.p_put <- Some `E;
       note_storage t;
-      Group.incr t.stats "put_e_forwarded";
+      Group.incr_id t.stats t.sid.s_put_e_forwarded;
       t.host.put addr (`E data)
   | Xg_iface.Put_m data ->
       p.p_put <- Some `M;
       note_storage t;
-      Group.incr t.stats "put_m_forwarded";
+      Group.incr_id t.stats t.sid.s_put_m_forwarded;
       t.host.put addr (`M data)
   | Xg_iface.Get_s | Xg_iface.Get_m -> assert false
 
@@ -535,7 +589,7 @@ and accel_request t addr (req : Xg_iface.accel_request) =
   (* Guarantee 0: page permissions. *)
   if not (Perm.allows_read perm) then begin
     report t Os_model.Perm_read_violation addr;
-    Group.incr t.stats "request_blocked";
+    Group.incr_id t.stats t.sid.s_request_blocked;
     prune t addr p
   end
   else if
@@ -545,13 +599,13 @@ and accel_request t addr (req : Xg_iface.accel_request) =
        | Xg_iface.Get_s | Xg_iface.Put_s -> false)
   then begin
     report t Os_model.Perm_write_violation addr;
-    Group.incr t.stats "request_blocked";
+    Group.incr_id t.stats t.sid.s_request_blocked;
     prune t addr p
   end
   else if p.p_get <> None then begin
     (* Guarantee 1b: one open request per block. *)
     report t Os_model.Request_while_pending addr;
-    Group.incr t.stats "request_blocked"
+    Group.incr_id t.stats t.sid.s_request_blocked
   end
   else if p.p_put <> None || not (Queue.is_empty p.stalled_gets) then begin
     match req with
@@ -559,10 +613,10 @@ and accel_request t addr (req : Xg_iface.accel_request) =
         (* The accelerator's Put was already acknowledged; its re-fetch is
            legitimate and waits for the internal writeback to settle. *)
         Queue.push req p.stalled_gets;
-        Group.incr t.stats "get_stalled_behind_put"
+        Group.incr_id t.stats t.sid.s_get_stalled_behind_put
     | Xg_iface.Put_s | Xg_iface.Put_e _ | Xg_iface.Put_m _ ->
         report t Os_model.Request_while_pending addr;
-        Group.incr t.stats "request_blocked"
+        Group.incr_id t.stats t.sid.s_request_blocked
   end
   else if p.p_inv <> None && Xg_iface.is_put req then begin
     (* The one race the ordered link allows: the accelerator's Put crossed
@@ -604,7 +658,7 @@ and accel_request t addr (req : Xg_iface.accel_request) =
     in
     if not stable_ok then begin
       report t Os_model.Bad_request_stable addr;
-      Group.incr t.stats "request_blocked";
+      Group.incr_id t.stats t.sid.s_request_blocked;
       prune t addr p
     end
     else
@@ -616,7 +670,7 @@ and accel_request t addr (req : Xg_iface.accel_request) =
 (* ---- host-side completions ---- *)
 
 let granted t addr grant =
-  visit t addr "Grant" @@ fun () ->
+  visit t addr ev_grant @@ fun () ->
   let p = slot t addr in
   match p.p_get with
   | None -> failwith (t.name ^ ": host grant without an open get")
@@ -673,18 +727,18 @@ let granted t addr grant =
             if t.mode = Full_state then set_track t addr `M;
             Xg_iface.Data_m data
       in
-      Group.incr t.stats "grant_to_accel";
+      Group.incr_id t.stats t.sid.s_grant_to_accel;
       respond_accel t addr resp;
       prune t addr p
 
 let put_complete t addr =
-  visit t addr "PutDone" @@ fun () ->
+  visit t addr ev_put_done @@ fun () ->
   let p = slot t addr in
   match p.p_put with
   | None -> failwith (t.name ^ ": put completion without an open put")
   | Some _ ->
       p.p_put <- None;
-      Group.incr t.stats "put_complete";
+      Group.incr_id t.stats t.sid.s_put_complete;
       pump_stalled t addr p
 
 (* ---- lossy-link degradation (PR 3) ---- *)
@@ -700,7 +754,7 @@ let sorted_bindings tbl =
    answers every future host need locally. *)
 let quarantine t =
   if not t.quarantined then begin
-    fvisit t "Quarantine";
+    fvisit t fev_quarantine;
     t.quarantined <- true;
     Group.incr t.stats "quarantined";
     if Trace.on () then
@@ -710,7 +764,7 @@ let quarantine t =
        G2c substitution.  Deterministic address order keeps runs stable. *)
     List.iter
       (fun (addr, p) ->
-        visit t addr "Quarantine" (fun () ->
+        visit t addr ev_quarantine (fun () ->
             (match p.p_inv with
             | Some inv ->
                 (match Hashtbl.find_opt t.tracks addr with
@@ -733,7 +787,7 @@ let quarantine t =
       (fun (addr, tr) ->
         let p = slot t addr in
         if p.p_get = None && p.p_put = None then
-          visit t addr "Quarantine" (fun () ->
+          visit t addr ev_quarantine (fun () ->
               (match (tr.st, tr.xg_copy) with
               | _, Some copy ->
                   p.p_put <- Some `E;
@@ -759,7 +813,7 @@ let quarantine t =
 
 let link_fault t =
   if not t.quarantined then begin
-    fvisit t "LinkFault";
+    fvisit t fev_link_fault;
     t.link_faults <- t.link_faults + 1;
     Group.incr t.stats "link_faults";
     report t Os_model.Link_fault (Addr.block 0);
@@ -768,7 +822,7 @@ let link_fault t =
 
 let link_recovered t =
   if (not t.quarantined) && t.link_faults > 0 then begin
-    fvisit t "Recover";
+    fvisit t fev_recover;
     t.link_faults <- 0;
     Group.incr t.stats "link_recoveries"
   end
@@ -778,6 +832,29 @@ let link_recovered t =
 let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2000)
     ?(processing_latency = 4) ?rate_limiter ?(suppress_put_s_register = false)
     ?(quarantine_after = 3) () =
+  let stats = Group.create (name ^ ".stats") in
+  let coverage = Group.create (name ^ ".coverage") in
+  let fault_cov = Group.create (name ^ ".fault_cov") in
+  let sid =
+    {
+      s_accel_request = Group.intern stats "accel_request";
+      s_accel_response = Group.intern stats "accel_response";
+      s_grant_to_accel = Group.intern stats "grant_to_accel";
+      s_put_complete = Group.intern stats "put_complete";
+      s_snoop_fast_path = Group.intern stats "snoop_fast_path";
+      s_side_channel_filtered = Group.intern stats "side_channel_filtered";
+      s_get_s_forwarded = Group.intern stats "get_s_forwarded";
+      s_get_m_forwarded = Group.intern stats "get_m_forwarded";
+      s_put_s_forwarded = Group.intern stats "put_s_forwarded";
+      s_put_e_forwarded = Group.intern stats "put_e_forwarded";
+      s_put_m_forwarded = Group.intern stats "put_m_forwarded";
+      s_put_s_suppressed = Group.intern stats "put_s_suppressed";
+      s_put_s_unnecessary = Group.intern stats "put_s_unnecessary";
+      s_invalidate_to_accel = Group.intern stats "invalidate_to_accel";
+      s_request_blocked = Group.intern stats "request_blocked";
+      s_get_stalled_behind_put = Group.intern stats "get_stalled_behind_put";
+    }
+  in
   let t =
     {
       engine;
@@ -794,13 +871,16 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
       suppress_put_s = suppress_put_s_register;
       tracks = Hashtbl.create 256;
       pending = Hashtbl.create 64;
-      stats = Group.create (name ^ ".stats");
-      coverage = Group.create (name ^ ".coverage");
+      stats;
+      sid;
+      coverage;
+      cov = Coverage.intern_matrix coverage_space coverage;
       peak_bits = 0;
       quarantine_after = max 1 quarantine_after;
       link_faults = 0;
       quarantined = false;
-      fault_cov = Group.create (name ^ ".fault_cov");
+      fault_cov;
+      fcov = Coverage.intern_matrix fault_coverage_space fault_cov;
       on_quarantine = (fun () -> ());
     }
   in
@@ -810,7 +890,7 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
           if t.quarantined then begin
             (* The device is quarantined: whatever still trickles out of the
                link (or was already in the pipeline) is dead traffic. *)
-            fvisit t "AccelDropped";
+            fvisit t fev_accel_dropped;
             Group.incr t.stats "dropped_quarantined"
           end
           else
@@ -818,7 +898,7 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
           | Xg_iface.To_xg_req { addr; req } ->
               if Os_model.accel_disabled t.os then Group.incr t.stats "request_dropped_disabled"
               else begin
-                Group.incr t.stats "accel_request";
+                Group.incr_id t.stats t.sid.s_accel_request;
                 let visited () =
                   visit t addr (event_of_accel_request req) (fun () ->
                       accel_request t addr req)
@@ -829,7 +909,7 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
               end
           | Xg_iface.To_xg_resp { addr; resp } ->
               (* Responses are never rate limited (§2.5). *)
-              Group.incr t.stats "accel_response";
+              Group.incr_id t.stats t.sid.s_accel_response;
               accel_response t addr resp
           | Xg_iface.To_accel_resp _ | Xg_iface.To_accel_req _ ->
               invalid_arg (name ^ ": received a guard-to-accelerator message")));

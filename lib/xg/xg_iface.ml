@@ -171,9 +171,41 @@ module Link = struct
     mutable on_recover : unit -> unit;
     stats : Counter.Group.t;
     cov : Counter.Group.t;
+    covm : Coverage.matrix;
+    (* interned hot stat counters (PR 4) *)
+    s_frames_sent : Counter.Group.id;
+    s_delivered : Counter.Group.id;
+    s_acks_absorbed : Counter.Group.id;
+    s_dups_suppressed : Counter.Group.id;
   }
 
+  let coverage_space =
+    Coverage.space ~name:"xg.link"
+      ~states:[ "Idle"; "Await"; "Retry"; "Failing"; "Dead" ]
+      ~events:
+        [
+          "Send"; "SendDead"; "Deliver"; "Dup"; "Gap"; "Corrupt"; "Ack"; "AckStale";
+          "Nack"; "Retry"; "Fault"; "Recover"; "Kill";
+        ]
+      ()
+
+  (* Event indices into [coverage_space]'s events list. *)
+  let lv_send = 0
+  let lv_send_dead = 1
+  let lv_deliver = 2
+  let lv_dup = 3
+  let lv_gap = 4
+  let lv_corrupt = 5
+  let lv_ack = 6
+  let lv_ack_stale = 7
+  let lv_nack = 8
+  let lv_retry = 9
+  let lv_fault = 10
+  let lv_recover = 11
+
   let create ~engine ~rng ~name ~ordering () =
+    let stats = Counter.Group.create (name ^ ".link") in
+    let cov = Counter.Group.create (name ^ ".link.cov") in
     let t =
       {
         raw = Raw.create ~engine ~rng ~name ~ordering ();
@@ -188,8 +220,13 @@ module Link = struct
         ptracer = None;
         on_fault = (fun () -> ());
         on_recover = (fun () -> ());
-        stats = Counter.Group.create (name ^ ".link");
-        cov = Counter.Group.create (name ^ ".link.cov");
+        stats;
+        cov;
+        covm = Coverage.intern_matrix coverage_space cov;
+        s_frames_sent = Counter.Group.intern stats "frames_sent";
+        s_delivered = Counter.Group.intern stats "delivered";
+        s_acks_absorbed = Counter.Group.intern stats "acks_absorbed";
+        s_dups_suppressed = Counter.Group.intern stats "dups_suppressed";
       }
     in
     Raw.set_corruptor t.raw (function
@@ -226,30 +263,21 @@ module Link = struct
         Hashtbl.add t.channels key ch;
         ch
 
-  (* tx-side condition of a directed channel, for coverage keys. *)
-  let ch_state t ch =
-    if t.killed || ch.dead then "Dead"
-    else if ch.reported then "Failing"
-    else if ch.retries > 0 then "Retry"
-    else if not (Queue.is_empty ch.outstanding) then "Await"
-    else "Idle"
+  (* tx-side condition of a directed channel, indexing [coverage_space]'s
+     states list, for dense-id coverage keys (PR 4). *)
+  let ch_state_idx t ch =
+    if t.killed || ch.dead then 4 (* Dead *)
+    else if ch.reported then 3 (* Failing *)
+    else if ch.retries > 0 then 2 (* Retry *)
+    else if not (Queue.is_empty ch.outstanding) then 1 (* Await *)
+    else 0 (* Idle *)
 
-  let visit t ch event =
-    Counter.Group.incr t.cov (ch_state t ch ^ "." ^ event)
+  let visit t ch event = Coverage.hit t.covm ~state:(ch_state_idx t ch) ~event
 
   let note t text =
     if Trace.on () then
       Trace.note ~cycle:(Engine.now t.engine) ~controller:(t.lname ^ ".link") ~text ()
 
-  let coverage_space =
-    Coverage.space ~name:"xg.link"
-      ~states:[ "Idle"; "Await"; "Retry"; "Failing"; "Dead" ]
-      ~events:
-        [
-          "Send"; "SendDead"; "Deliver"; "Dup"; "Gap"; "Corrupt"; "Ack"; "AckStale";
-          "Nack"; "Retry"; "Fault"; "Recover"; "Kill";
-        ]
-      ()
 
   (* ---- tx ---- *)
 
@@ -263,7 +291,7 @@ module Link = struct
       if now > ch.last_retx then begin
         ch.last_retx <- now;
         ch.last_attempt <- now;
-        visit t ch "Retry";
+        visit t ch lv_retry;
         Counter.Group.incr t.stats "retransmit_rounds";
         Counter.Group.add t.stats "retransmit_frames" (Queue.length ch.outstanding);
         note t
@@ -287,7 +315,7 @@ module Link = struct
           (* A full backoff ladder burned with no acknowledgement progress:
              escalate.  Every further silent round escalates again, so the
              guard can count consecutive unrecoverable faults. *)
-          visit t ch "Fault";
+          visit t ch lv_fault;
           Counter.Group.incr t.stats "faults_escalated";
           ch.reported <- true;
           note t (Printf.sprintf "link fault: %d silent rounds" ch.retries);
@@ -329,7 +357,7 @@ module Link = struct
       ch.last_attempt <- Engine.now t.engine;
       if ch.reported then begin
         ch.reported <- false;
-        visit t ch "Recover";
+        visit t ch lv_recover;
         Counter.Group.incr t.stats "recoveries";
         note t "link recovered";
         t.on_recover ()
@@ -343,29 +371,29 @@ module Link = struct
     let ch = channel t ~src ~dst:self in
     if t.killed || ch.dead then ()
     else if check <> checksum payload then begin
-      visit t ch "Corrupt";
+      visit t ch lv_corrupt;
       Counter.Group.incr t.stats "corrupt_detected";
       note t (Printf.sprintf "checksum mismatch on #%d" seq);
       Raw.send t.raw ~src:self ~dst:src (Nack { expect = ch.rx_next })
     end
     else if seq = ch.rx_next then begin
       ch.rx_next <- ch.rx_next + 1;
-      visit t ch "Deliver";
-      Counter.Group.incr t.stats "delivered";
+      visit t ch lv_deliver;
+      Counter.Group.incr_id t.stats t.s_delivered;
       Raw.send t.raw ~src:self ~dst:src (Ack { next = ch.rx_next });
       handler ~src payload
     end
     else if seq < ch.rx_next then begin
       (* Already delivered once: suppress, but re-ack so a lost Ack does not
          leave the sender retransmitting forever. *)
-      visit t ch "Dup";
-      Counter.Group.incr t.stats "dups_suppressed";
+      visit t ch lv_dup;
+      Counter.Group.incr_id t.stats t.s_dups_suppressed;
       note t (Printf.sprintf "duplicate #%d suppressed (expect #%d)" seq ch.rx_next);
       Raw.send t.raw ~src:self ~dst:src (Ack { next = ch.rx_next })
     end
     else begin
       (* Gap: go-back-N keeps no out-of-order buffer; ask for a resend. *)
-      visit t ch "Gap";
+      visit t ch lv_gap;
       Counter.Group.incr t.stats "gaps_detected";
       note t (Printf.sprintf "gap: got #%d, expected #%d" seq ch.rx_next);
       Raw.send t.raw ~src:self ~dst:src (Nack { expect = ch.rx_next })
@@ -379,13 +407,13 @@ module Link = struct
       match wire with
       | Ack { next } ->
           if absorb_ack t ch ~next > 0 then begin
-            visit t ch "Ack";
-            Counter.Group.incr t.stats "acks_absorbed"
+            visit t ch lv_ack;
+            Counter.Group.incr_id t.stats t.s_acks_absorbed
           end
-          else visit t ch "AckStale"
+          else visit t ch lv_ack_stale
       | Nack { expect } ->
           ignore (absorb_ack t ch ~next:expect);
-          visit t ch "Nack";
+          visit t ch lv_nack;
           Counter.Group.incr t.stats "nacks_received";
           retransmit t ch ~why:"nack"
       | Plain _ | Frame _ -> assert false
@@ -404,7 +432,7 @@ module Link = struct
     else begin
       let ch = channel t ~src ~dst in
       if t.killed || ch.dead then begin
-        visit t ch "SendDead";
+        visit t ch lv_send_dead;
         Counter.Group.incr t.stats "sends_on_dead_link"
       end
       else begin
@@ -412,8 +440,8 @@ module Link = struct
         ch.next_seq <- seq + 1;
         if Queue.is_empty ch.outstanding then ch.last_attempt <- Engine.now t.engine;
         Queue.add (seq, msg, size) ch.outstanding;
-        visit t ch "Send";
-        Counter.Group.incr t.stats "frames_sent";
+        visit t ch lv_send;
+        Counter.Group.incr_id t.stats t.s_frames_sent;
         send_frame t ch (seq, msg, size);
         arm_watchdog t ch
       end

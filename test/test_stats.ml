@@ -104,6 +104,56 @@ let test_cells () =
   Alcotest.(check string) "float" "2.50" (Table.cell_float 2.5);
   Alcotest.(check string) "int" "42" (Table.cell_int 42)
 
+(* The interned hot path (Group.intern/incr_id, Coverage.intern_matrix/hit)
+   must be observationally indistinguishable from string-keyed Group.incr:
+   same counters, same first-touch order, same analyze/merge output — even
+   when the two paths are interleaved on the same group and counts are
+   sharded across groups then merged. *)
+let prop_interned_byte_identical =
+  let module Group = Counter.Group in
+  let module Coverage = Xguard_trace.Coverage in
+  QCheck2.Test.make
+    ~name:"interned counter ids are byte-identical to string keys" ~count:200
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 1 6) (int_range 1 6))
+        (pair (int_range 1 4) (small_list (triple small_nat small_nat bool))))
+    (fun ((n_states, n_events), (shards, visits)) ->
+      let states = List.init n_states (Printf.sprintf "S%d") in
+      let events = List.init n_events (Printf.sprintf "E%d") in
+      let space = Coverage.space ~name:"prop" ~states ~events () in
+      let st = Array.of_list states and ev = Array.of_list events in
+      let ref_groups = Array.init shards (fun i -> Group.create (Printf.sprintf "g%d" i)) in
+      let int_groups = Array.init shards (fun i -> Group.create (Printf.sprintf "g%d" i)) in
+      let mats = Array.map (Coverage.intern_matrix space) int_groups in
+      List.iteri
+        (fun k (s, e, via_string) ->
+          let s = s mod n_states and e = e mod n_events in
+          let shard = k mod shards in
+          Group.incr ref_groups.(shard) (st.(s) ^ "." ^ ev.(e));
+          if via_string then Group.incr int_groups.(shard) (st.(s) ^ "." ^ ev.(e))
+          else Coverage.hit mats.(shard) ~state:s ~event:e)
+        visits;
+      let same_dumps =
+        Array.for_all2
+          (fun a b -> Group.to_list a = Group.to_list b)
+          ref_groups int_groups
+      in
+      let all_ref = Array.to_list ref_groups and all_int = Array.to_list int_groups in
+      let same_analysis =
+        Coverage.to_string (Coverage.analyze space all_ref)
+        = Coverage.to_string (Coverage.analyze space all_int)
+      in
+      let merged =
+        let per_shard = Array.map (fun g -> Coverage.analyze space [ g ]) int_groups in
+        Array.fold_left Coverage.merge per_shard.(0)
+          (Array.sub per_shard 1 (shards - 1))
+      in
+      let merge_matches =
+        Coverage.to_string merged = Coverage.to_string (Coverage.analyze space all_int)
+      in
+      same_dumps && same_analysis && merge_matches)
+
 let tests =
   [
     ( "stats",
@@ -118,5 +168,6 @@ let tests =
         Alcotest.test_case "table rendering" `Quick test_table_rendering;
         Alcotest.test_case "table arity" `Quick test_table_arity_checked;
         Alcotest.test_case "cell formatting" `Quick test_cells;
+        QCheck_alcotest.to_alcotest prop_interned_byte_identical;
       ] );
   ]

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Bench-regression gate: run `bench --quick --json` and compare per-experiment
+# wall times against the committed BENCH_*.json baseline.
+#
+# The tolerance is deliberately loose — wall clock on shared CI runners is
+# noisy — but tight enough that a real slowdown trips it: with TOL=2.5 a 5x
+# slowdown (the injected-regression drill in docs/WORKFLOW.md) fails loudly
+# while ordinary scheduling jitter passes.  Experiments whose baseline wall
+# time is under MIN_WALL seconds are pure noise at --quick size and are
+# reported but not gated.
+#
+# Usage: tools/check_bench.sh [BASELINE.json]
+#   BASELINE.json   defaults to the lexicographically latest BENCH_*.json
+# Environment:
+#   TOL=2.5         fail when current wall_s > TOL * baseline wall_s
+#   MIN_WALL=0.05   gate only experiments with baseline wall_s >= MIN_WALL
+#   CURRENT_JSON=   test seam: compare this file instead of running bench
+set -eu
+cd "$(dirname "$0")/.."
+
+TOL=${TOL:-2.5}
+MIN_WALL=${MIN_WALL:-0.05}
+baseline=${1:-$(ls BENCH_*.json | sort | tail -n 1)}
+[ -f "$baseline" ] || { echo "check_bench: no baseline $baseline" >&2; exit 1; }
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+if [ -n "${CURRENT_JSON:-}" ]; then
+  current=$CURRENT_JSON
+  [ -f "$current" ] || { echo "check_bench: no such file $current" >&2; exit 1; }
+else
+  dune build bench/main.exe
+  current=$out/current.json
+  echo "== bench --quick --json (all experiments) =="
+  dune exec bench/main.exe -- --quick --json "$current" > /dev/null
+fi
+
+# Quick and full-size wall times are not comparable; refuse mixed modes.
+base_quick=$(grep -o '"quick":[a-z]*' "$baseline" | head -n 1)
+cur_quick=$(grep -o '"quick":[a-z]*' "$current" | head -n 1)
+if [ "$base_quick" != "$cur_quick" ]; then
+  echo "check_bench: FAIL: baseline is $base_quick but current run is $cur_quick" >&2
+  exit 1
+fi
+
+# The JSON is hand-rolled and single-line (bench/main.ml emit_json); experiment
+# objects carry "id" then "wall_s", and no table content contains an "id" key,
+# so splitting on commas and pairing the two fields is exact.
+walls() {
+  awk 'BEGIN { RS = "," }
+       /"id":"/   { sub(/.*"id":"/, ""); sub(/".*/, ""); id = $0 }
+       /"wall_s":/ { sub(/.*"wall_s":/, ""); print id, $0 }' "$1"
+}
+walls "$baseline" > "$out/base.txt"
+walls "$current" > "$out/cur.txt"
+
+echo "== wall-time gate: baseline $baseline, tolerance ${TOL}x =="
+awk -v tol="$TOL" -v min="$MIN_WALL" '
+  NR == FNR { base[$1] = $2; next }
+  {
+    if (!($1 in base)) next
+    b = base[$1] + 0; c = $2 + 0
+    if (b < min) { printf "  %-4s baseline %7.3fs below %.2fs noise floor, not gated\n", $1, b, min; next }
+    checked++
+    fail = (c > tol * b)
+    printf "  %-4s baseline %7.3fs current %7.3fs ratio %5.2fx %s\n", \
+           $1, b, c, c / b, (fail ? "FAIL" : "ok")
+    if (fail) bad++
+  }
+  END {
+    if (checked == 0) { print "check_bench: FAIL: no experiments gated"; exit 1 }
+    if (bad > 0) { printf "check_bench: FAIL: %d experiment(s) regressed beyond %.1fx\n", bad, tol; exit 1 }
+    printf "check_bench: OK (%d experiments gated, tolerance %.1fx)\n", checked, tol
+  }
+' "$out/base.txt" "$out/cur.txt"
