@@ -9,6 +9,9 @@
                                     experiment crashes, dump the trail
                                     (requires -j 1)
      bench/main.exe -j 4            run experiments on 4 domains
+     bench/main.exe --spans         arm the transaction span layer; each
+                                    experiment's report (and --json) gains a
+                                    latency-attribution table
      bench/main.exe --json OUT      also write tables + wall times as JSON
                                     (the BENCH_*.json trajectory files)
      bench/main.exe e3 e4           run selected experiments
@@ -23,6 +26,7 @@ module System = Xguard_harness.System
 module Tester = Xguard_harness.Random_tester
 module Pool = Xguard_parallel.Pool
 module Table = Xguard_stats.Table
+module Spans = Xguard_obs.Spans
 
 let print_report (r : Experiments.report) =
   Printf.printf "==============================================================\n";
@@ -254,7 +258,8 @@ let emit_json ~path ~quick ~experiments ~micro =
 
 let usage () =
   Printf.eprintf
-    "usage: bench/main.exe [--quick] [--trace] [-j N] [--json OUT] [EXPERIMENT...|micro]\n";
+    "usage: bench/main.exe [--quick] [--trace] [--spans] [-j N] [--json OUT] \
+     [EXPERIMENT...|micro]\n";
   exit 2
 
 let () =
@@ -262,11 +267,13 @@ let () =
   let json = ref None in
   let quick = ref false in
   let traced = ref false in
+  let spans = ref false in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
     | "--quick" :: tl -> quick := true; parse tl
     | "--trace" :: tl -> traced := true; parse tl
+    | "--spans" :: tl -> spans := true; parse tl
     | ("-j" | "--jobs") :: n :: tl -> (
         match int_of_string_opt n with
         | Some v when v >= 1 -> jobs := v; parse tl
@@ -279,7 +286,7 @@ let () =
     | a :: tl -> selected := !selected @ [ a ]; parse tl
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let quick = !quick and traced = !traced and jobs = !jobs in
+  let quick = !quick and traced = !traced and jobs = !jobs and spans = !spans in
   if traced && jobs > 1 then begin
     (* The trace ring's arming state is process-global — see Trace. *)
     Printf.eprintf "--trace requires -j 1\n";
@@ -309,10 +316,27 @@ let () =
       let results =
         Pool.map ~workers:jobs ~jobs:(Array.length runs) (fun i ->
             let _, f = runs.(i) in
+            let rec_ = if spans then Some (Spans.create ()) else None in
+            let armed g = match rec_ with None -> g () | Some rc -> Spans.with_armed rc g in
             let ev0 = Engine.events_fired_here () in
             let t0 = Unix.gettimeofday () in
-            let r = with_tracing ~traced (fun () -> f ~quick ()) in
+            let r = with_tracing ~traced (fun () -> armed (fun () -> f ~quick ())) in
             let wall = Unix.gettimeofday () -. t0 in
+            (* With --spans, the attribution table rides along in the report
+               so it reaches both stdout and the --json trajectory file. *)
+            let r =
+              match rec_ with
+              | None -> r
+              | Some rc -> (
+                  match
+                    Spans.Summary.attribution_table
+                      ~title:
+                        (Printf.sprintf "Latency attribution (cycles): %s" r.Experiments.id)
+                      (Spans.summary rc)
+                  with
+                  | Some t -> { r with Experiments.tables = r.Experiments.tables @ [ t ] }
+                  | None -> r)
+            in
             (r, wall, Engine.events_fired_here () - ev0))
       in
       let ok = ref [] in

@@ -35,6 +35,8 @@ module Coverage = Xguard_trace.Coverage
 module Pool = Xguard_parallel.Pool
 module Campaign = Xguard_harness.Campaign
 module Network = Xguard_network.Network
+module Spans = Xguard_obs.Spans
+module Perfetto = Xguard_obs.Perfetto
 
 let find_config name =
   List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
@@ -80,6 +82,48 @@ let coverage_flag =
 
 let make_trace ~trace ~trace_out =
   if trace || trace_out <> None then Some (Trace.create ~capacity:8192 ()) else None
+
+(* ---- transaction spans (run/stress/fuzz) ---- *)
+
+let spans_flag =
+  Arg.(value & flag
+       & info [ "spans" ]
+           ~doc:"Arm the transaction span layer: per-segment latency-attribution \
+                 tables (p50/p95/p99/max per transaction type) are appended to \
+                 the report.")
+
+let spans_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spans-out" ] ~docv:"FILE"
+           ~doc:"Write the span timeline and sampler series as Chrome/Perfetto \
+                 trace-event JSON to $(docv) (implies $(b,--spans)).")
+
+(* One recorder per pool job, armed on whichever domain runs it; recorders
+   come back with the results, summaries merge in job order, so span output
+   is byte-identical for any -j. *)
+let make_recorder ~spans ~spans_out =
+  if spans || spans_out <> None then
+    Some (Spans.create ~timeline:(spans_out <> None) ())
+  else None
+
+let with_spans rec_ f = match rec_ with None -> f () | Some r -> Spans.with_armed r f
+
+let print_span_summary sum =
+  match Spans.Summary.attribution_table sum with
+  | None -> ()
+  | Some t ->
+      print_string (Xguard_stats.Table.to_string t);
+      print_newline ();
+      let r = Spans.Summary.replaced sum and d = Spans.Summary.dropped sum in
+      if r > 0 || d > 0 then
+        Printf.printf "spans: %d crossings replaced, %d timeline/sample entries dropped\n" r d
+
+let emit_spans_out ~spans_out recs =
+  match spans_out with
+  | None -> ()
+  | Some file ->
+      Perfetto.write_file file recs;
+      Printf.printf "span timeline written to %s\n" file
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -189,7 +233,7 @@ let run_cmd =
     let doc = "Workload: streaming, blocked, graph, write-coalesce, producer-consumer." in
     Arg.(value & opt string "blocked" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
   in
-  let action config workload seed trace trace_out =
+  let action config workload seed trace trace_out spans spans_out =
     with_config config seed (fun cfg ->
         match find_workload workload with
         | None ->
@@ -197,8 +241,9 @@ let run_cmd =
             exit 1
         | Some w ->
             let tr = make_trace ~trace ~trace_out in
+            let rec_ = make_recorder ~spans ~spans_out in
             (try
-               let r = Perf.run ?trace:tr cfg w in
+               let r = with_spans rec_ (fun () -> Perf.run ?trace:tr cfg w) in
                Printf.printf "configuration      %s\n" r.Perf.config_name;
                Printf.printf "workload           %s (%s)\n" w.W.name w.W.description;
                Printf.printf "cycles             %d\n" r.Perf.cycles;
@@ -207,7 +252,12 @@ let run_cmd =
                Printf.printf "p99 latency        %d cycles\n" r.Perf.p99_accel_latency;
                Printf.printf "host bytes         %d\n" r.Perf.host_bytes;
                Printf.printf "link bytes         %d\n" r.Perf.link_bytes;
-               Printf.printf "guard violations   %d\n" r.Perf.violations
+               Printf.printf "guard violations   %d\n" r.Perf.violations;
+               Option.iter
+                 (fun rc ->
+                   print_span_summary (Spans.summary rc);
+                   emit_spans_out ~spans_out [ (w.W.name, rc) ])
+                 rec_
              with e ->
                Option.iter
                  (fun tr ->
@@ -222,7 +272,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on one configuration")
-    Term.(const action $ config_arg $ workload_arg $ seed_arg $ trace_flag $ trace_out_arg)
+    Term.(const action $ config_arg $ workload_arg $ seed_arg $ trace_flag $ trace_out_arg
+          $ spans_flag $ spans_out_arg)
 
 (* ---- stress ---- *)
 
@@ -233,8 +284,8 @@ let stress_cmd =
   let seeds_arg =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
-  let action config seed ops seeds jobs trace trace_out coverage drop dup corrupt
-      delay scripts reliable =
+  let action config seed ops seeds jobs trace trace_out coverage spans spans_out drop
+      dup corrupt delay scripts reliable =
     with_config config seed (fun base ->
         let base =
           apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable base
@@ -248,14 +299,19 @@ let stress_cmd =
           Pool.map ~workers:jobs ~jobs:seeds (fun i ->
               let s = seed + i in
               let cfg = Config.stress_sized { base with Config.seed = s } in
-              let sys = System.build cfg in
-              let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
-              Option.iter Trace.clear tr;
-              let o =
-                maybe_armed tr (fun () ->
-                    Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1))
-                      ~ports ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ())
+              let rec_ = make_recorder ~spans ~spans_out in
+              let run_body () =
+                let sys = System.build cfg in
+                let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+                Option.iter Trace.clear tr;
+                let o =
+                  maybe_armed tr (fun () ->
+                      Tester.run ~engine:sys.System.engine ~rng:(Rng.create ~seed:(s * 7 + 1))
+                        ~ports ~addresses:(Array.init 6 Addr.block) ~ops_per_core:ops ())
+                in
+                (sys, o)
               in
+              let sys, o = with_spans rec_ run_body in
               let viol = Xg.Os_model.error_count sys.System.os in
               let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
               let link = sys.System.link_stats () in
@@ -291,10 +347,12 @@ let stress_cmd =
                 else None
               in
               let cov = if coverage then Some (sys.System.coverage_sets ()) else None in
-              (line, bad, trail, cov))
+              (line, bad, trail, cov, rec_))
         in
         let failures = ref 0 in
         let cov_runs = ref [] in
+        let span_sum = ref Spans.Summary.empty in
+        let span_recs = ref [] in
         Array.iteri
           (fun i result ->
             match result with
@@ -303,9 +361,14 @@ let stress_cmd =
                    instead of killing the sweep. *)
                 incr failures;
                 Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
-            | Pool.Done (line, bad, trail, cov) ->
+            | Pool.Done (line, bad, trail, cov, rec_) ->
                 if bad then incr failures;
                 Option.iter (fun c -> cov_runs := c :: !cov_runs) cov;
+                Option.iter
+                  (fun rc ->
+                    span_sum := Spans.Summary.merge !span_sum (Spans.summary rc);
+                    span_recs := (Printf.sprintf "seed %d" (seed + i), rc) :: !span_recs)
+                  rec_;
                 Printf.printf "%s\n" line;
                 Option.iter (fun (header, text) -> emit_trail ~trace_out ~header text) trail)
           results;
@@ -325,14 +388,17 @@ let stress_cmd =
                   print_newline ())
                 first
         end;
+        print_span_summary !span_sum;
+        emit_spans_out ~spans_out (List.rev !span_recs);
         Printf.printf "%s\n" (if !failures = 0 then "PASS" else "FAIL");
         if !failures > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
     Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ jobs_arg
-          $ trace_flag $ trace_out_arg $ coverage_flag $ fault_drop_arg $ fault_dup_arg
-          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+          $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag $ spans_out_arg
+          $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg $ fault_delay_arg
+          $ fault_script_arg $ reliable_link_flag)
 
 (* ---- fuzz ---- *)
 
@@ -353,8 +419,8 @@ let fuzz_cmd =
              ~doc:"Sweep $(docv) consecutive seeds; outcomes are merged \
                    (Fuzz_tester.merge) into one report.")
   in
-  let action config seed seeds jobs mute timeout trace trace_out coverage drop dup
-      corrupt delay scripts reliable =
+  let action config seed seeds jobs mute timeout trace trace_out coverage spans
+      spans_out drop dup corrupt delay scripts reliable =
     with_config config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
@@ -371,20 +437,32 @@ let fuzz_cmd =
         let results =
           Pool.map ~workers:jobs ~jobs:seeds (fun i ->
               let cfg = { cfg with Config.seed = seed + i } in
+              let rec_ = make_recorder ~spans ~spans_out in
               Option.iter Trace.clear tr;
-              if mute then
-                Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
-              else Fuzz.run cfg ?trace:tr ())
+              let o =
+                with_spans rec_ (fun () ->
+                    if mute then
+                      Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
+                    else Fuzz.run cfg ?trace:tr ())
+              in
+              (o, rec_))
         in
         let pool_crashes = ref 0 in
         let merged = ref None in
+        let span_sum = ref Spans.Summary.empty in
+        let span_recs = ref [] in
         Array.iteri
           (fun i result ->
             match result with
             | Pool.Failed e ->
                 incr pool_crashes;
                 Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
-            | Pool.Done o ->
+            | Pool.Done (o, rec_) ->
+                Option.iter
+                  (fun rc ->
+                    span_sum := Spans.Summary.merge !span_sum (Spans.summary rc);
+                    span_recs := (Printf.sprintf "seed %d" (seed + i), rc) :: !span_recs)
+                  rec_;
                 if seeds > 1 then
                   Printf.printf
                     "seed %-6d chaos=%-6d ops=%d/%d crashed=%-3s deadlock=%-5b violations=%-4d %s\n"
@@ -414,12 +492,23 @@ let fuzz_cmd =
             o.Fuzz.link_faults
         end;
         if coverage then print_coverage_sets o.Fuzz.coverage_sets;
+        print_span_summary !span_sum;
+        emit_spans_out ~spans_out (List.rev !span_recs);
         let tail =
           match o.Fuzz.crashed with
           | Some c -> c.Fuzz.trace_tail
           | None -> o.Fuzz.trace_tail
         in
-        if tail <> [] then
+        if tail <> [] then begin
+          let dropped_line =
+            (* Forensics readers must know when the ring wrapped and the trail
+               is incomplete. *)
+            let d = o.Fuzz.trace_dropped in
+            if d = 0 then []
+            else
+              [ Printf.sprintf "(%d event%s dropped — ring wrapped)" d
+                  (if d = 1 then "" else "s") ]
+          in
           emit_trail ~trace_out
             ~header:
               (Printf.sprintf "-- failure event trail%s (replay with --seed %d) --"
@@ -427,15 +516,16 @@ let fuzz_cmd =
                  | Some a -> Printf.sprintf " for block 0x%x" a
                  | None -> "")
                  o.Fuzz.seed)
-            (String.concat "\n" (List.map Trace.format_event tail));
+            (String.concat "\n" (dropped_line @ List.map Trace.format_event tail))
+        end;
         if o.Fuzz.crashed <> None || o.Fuzz.deadlocked || !pool_crashes > 0 then exit 1)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
     Term.(const action $ config_arg $ seed_arg $ seeds_arg $ jobs_arg $ mute_arg
-          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag $ fault_drop_arg
-          $ fault_dup_arg $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg
-          $ reliable_link_flag)
+          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag
+          $ spans_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
+          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- campaign ---- *)
 
@@ -466,8 +556,8 @@ let campaign_cmd =
     Arg.(value & opt int 300
          & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
   in
-  let action config seeds jobs kind ops cpu_ops seed coverage drop dup corrupt delay
-      scripts reliable =
+  let action config seeds jobs kind ops cpu_ops seed coverage spans trace trace_out
+      drop dup corrupt delay scripts reliable =
     let configs =
       if config = "all" then Config.all_configurations ()
       else
@@ -481,11 +571,20 @@ let campaign_cmd =
     let configs =
       List.map (apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable) configs
     in
+    let tr = make_trace ~trace ~trace_out in
+    check_trace_jobs ~jobs tr;
     let result =
       Campaign.run ~workers:jobs ~collect_coverage:coverage ~stress_ops:ops
-        ~fuzz_cpu_ops:cpu_ops ~base_seed:seed kind ~configs ~seeds ()
+        ~fuzz_cpu_ops:cpu_ops ~base_seed:seed ~spans ?trace:tr kind ~configs ~seeds ()
     in
     print_string (Campaign.render result);
+    (* All shards' failure trails go out in one emit so --trace-out holds the
+       full set (emit_trail truncates its file on every call). *)
+    (match result.Campaign.trails with
+    | [] -> ()
+    | trails ->
+        emit_trail ~trace_out ~header:"== campaign failure trails =="
+          (String.concat "\n" (List.map (fun (h, t) -> h ^ "\n" ^ t) trails)));
     if not (Campaign.passed result) then exit 1
   in
   Cmd.v
@@ -504,8 +603,9 @@ let campaign_cmd =
                reported as a failed run for its configuration.";
          ])
     Term.(const action $ config_arg $ seeds_arg $ jobs_arg $ kind_arg $ ops_arg
-          $ cpu_ops_arg $ seed_arg $ coverage_flag $ fault_drop_arg $ fault_dup_arg
-          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+          $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ trace_flag
+          $ trace_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
+          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- report ---- *)
 

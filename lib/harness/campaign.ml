@@ -1,14 +1,18 @@
 module Rng = Xguard_sim.Rng
 module Table = Xguard_stats.Table
 module Coverage = Xguard_trace.Coverage
+module Trace = Xguard_trace.Trace
 module Pool = Xguard_parallel.Pool
 module Xg = Xguard_xg
+module Spans = Xguard_obs.Spans
 
 type kind = Stress | Fuzz | Both
 
 type t = {
   tables : Table.t list;
+  span_tables : Table.t list;
   coverage : Coverage.report list;
+  trails : (string * string) list;
   jobs : int;
   failures : int;
   crashes : int;
@@ -39,28 +43,73 @@ let fuzz_configs kind configs =
 let job_count kind ~configs ~seeds =
   seeds * (List.length (stress_configs kind configs) + List.length (fuzz_configs kind configs))
 
-let run_stress ~collect_coverage ~ops cfg seed =
+let trail_tail = 60
+
+let run_stress ~collect_coverage ~ops ?trace cfg seed =
   let cfg = Config.stress_sized { cfg with Config.seed = seed } in
   let sys = System.build cfg in
   let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+  (match trace with Some tr -> Trace.clear tr | None -> ());
+  let maybe_armed f =
+    match trace with None -> f () | Some tr -> Trace.with_armed tr f
+  in
   let o =
-    Random_tester.run ~engine:sys.System.engine
-      ~rng:(Rng.create ~seed:(seed + 1))
-      ~ports
-      ~addresses:(Array.init 6 Addr.block)
-      ~ops_per_core:ops ()
+    maybe_armed (fun () ->
+        Random_tester.run ~engine:sys.System.engine
+          ~rng:(Rng.create ~seed:(seed + 1))
+          ~ports
+          ~addresses:(Array.init 6 Addr.block)
+          ~ops_per_core:ops ())
   in
   let violations = Xg.Os_model.error_count sys.System.os in
   let cov = if collect_coverage then sys.System.coverage_sets () else [] in
   let link =
     { faults = sys.System.link_stats (); l_quarantined = sys.System.quarantined () }
   in
-  Stress_r (o, violations, cov, link)
+  let bad = o.Random_tester.data_errors > 0 || o.Random_tester.deadlocked || violations > 0 in
+  let trail =
+    if not bad then None
+    else
+      Option.map
+        (fun tr ->
+          let addr = o.Random_tester.first_error_addr in
+          ( Printf.sprintf "-- %s stress seed %d event trail%s --" (Config.name cfg) seed
+              (match addr with
+              | Some a -> Printf.sprintf " for block 0x%x" a
+              | None -> ""),
+            Trace.dump ?addr ~last:trail_tail tr ))
+        trace
+  in
+  (Stress_r (o, violations, cov, link), trail)
 
-let run_fuzz ~collect_coverage ~cpu_ops cfg seed =
-  let o = Fuzz_tester.run { cfg with Config.seed } ~cpu_ops () in
+let run_fuzz ~collect_coverage ~cpu_ops ?trace cfg seed =
+  (match trace with Some tr -> Trace.clear tr | None -> ());
+  let o = Fuzz_tester.run { cfg with Config.seed } ~cpu_ops ?trace () in
   let cov = if collect_coverage then o.Fuzz_tester.coverage_sets else [] in
-  Fuzz_r (o, cov)
+  let tail =
+    match o.Fuzz_tester.crashed with
+    | Some c -> c.Fuzz_tester.trace_tail
+    | None -> o.Fuzz_tester.trace_tail
+  in
+  let trail =
+    match tail with
+    | [] -> None
+    | _ ->
+        let d = o.Fuzz_tester.trace_dropped in
+        let dropped_line =
+          if d = 0 then []
+          else
+            [ Printf.sprintf "(%d event%s dropped — ring wrapped)" d
+                (if d = 1 then "" else "s") ]
+        in
+        Some
+          ( Printf.sprintf "-- %s fuzz seed %d event trail%s --" (Config.name cfg) seed
+              (match o.Fuzz_tester.first_error_addr with
+              | Some a -> Printf.sprintf " for block 0x%x" a
+              | None -> ""),
+            String.concat "\n" (dropped_line @ List.map Trace.format_event tail) )
+  in
+  (Fuzz_r (o, cov), trail)
 
 (* Per-configuration accumulator for the summary tables. *)
 type acc = {
@@ -75,6 +124,7 @@ type acc = {
   mutable failed_runs : int;
   mutable link_faults : (string * int) list;
   mutable quarantines : int;
+  mutable span : Spans.Summary.t;
 }
 
 let fresh_acc () =
@@ -90,6 +140,7 @@ let fresh_acc () =
     failed_runs = 0;
     link_faults = [];
     quarantines = 0;
+    span = Spans.Summary.empty;
   }
 
 (* Sum two counter assoc lists, keeping [a]'s label order then [b]-only
@@ -111,7 +162,8 @@ let injected_total counts =
 let count_of counts label = Option.value ~default:0 (List.assoc_opt label counts)
 
 let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
-    ?(fuzz_cpu_ops = 300) ?(base_seed = 42) kind ~configs ~seeds () =
+    ?(fuzz_cpu_ops = 300) ?(base_seed = 42) ?(spans = false) ?trace kind ~configs
+    ~seeds () =
   if seeds < 0 then invalid_arg "Campaign.run: negative seed count";
   let s_configs = Array.of_list (stress_configs kind configs) in
   let f_configs = Array.of_list (fuzz_configs kind configs) in
@@ -121,9 +173,24 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
   let job_seeds = Pool.Seed.derive_all ~base:base_seed ~count:jobs in
   let job i =
     let seed = job_seeds.(i) in
-    if i < n_stress then
-      run_stress ~collect_coverage ~ops:stress_ops s_configs.(i / seeds) seed
-    else run_fuzz ~collect_coverage ~cpu_ops:fuzz_cpu_ops f_configs.((i - n_stress) / seeds) seed
+    let body () =
+      if i < n_stress then
+        run_stress ~collect_coverage ~ops:stress_ops ?trace s_configs.(i / seeds) seed
+      else
+        run_fuzz ~collect_coverage ~cpu_ops:fuzz_cpu_ops ?trace
+          f_configs.((i - n_stress) / seeds)
+          seed
+    in
+    if spans then begin
+      (* One recorder per job, armed on this worker's domain only; the
+         summary travels back as plain data and merges purely in job order. *)
+      let r = Spans.create () in
+      let res, trail = Spans.with_armed r body in
+      (res, trail, Spans.summary r)
+    end
+    else
+      let res, trail = body () in
+      (res, trail, Spans.Summary.empty)
   in
   let results = Pool.map ~workers ~jobs job in
   (* Fold per configuration, in job order: byte-identical for any [workers]. *)
@@ -142,6 +209,7 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
             Hashtbl.add cov_tbl name (space, ref groups))
       sets
   in
+  let trails = ref [] in
   let fold_block configs offset fail_of =
     Array.mapi
       (fun c cfg ->
@@ -152,7 +220,9 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
           | Pool.Failed _ ->
               acc.crashes <- acc.crashes + 1;
               acc.failed_runs <- acc.failed_runs + 1
-          | Pool.Done r ->
+          | Pool.Done (r, trail, span_sum) ->
+              acc.span <- Spans.Summary.merge acc.span span_sum;
+              (match trail with Some tr -> trails := tr :: !trails | None -> ());
               let failed = fail_of acc r in
               if failed then acc.failed_runs <- acc.failed_runs + 1
         done;
@@ -280,7 +350,27 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
       (fun n -> function Pool.Failed _ -> n + 1 | Pool.Done _ -> n)
       0 results
   in
-  { tables = !tables; coverage; jobs; failures; crashes }
+  let span_tables =
+    let of_rows label rows =
+      List.filter_map
+        (fun (cfg, acc) ->
+          Spans.Summary.attribution_table
+            ~title:
+              (Printf.sprintf "Latency attribution (cycles): %s %s" label (Config.name cfg))
+            acc.span)
+        (Array.to_list rows)
+    in
+    of_rows "stress" stress_rows @ of_rows "fuzz" fuzz_rows
+  in
+  {
+    tables = !tables;
+    span_tables;
+    coverage;
+    trails = List.rev !trails;
+    jobs;
+    failures;
+    crashes;
+  }
 
 let passed t = t.failures = 0
 
@@ -291,6 +381,11 @@ let render t =
       Buffer.add_string buf (Table.to_string table);
       Buffer.add_char buf '\n')
     t.tables;
+  List.iter
+    (fun table ->
+      Buffer.add_string buf (Table.to_string table);
+      Buffer.add_char buf '\n')
+    t.span_tables;
   List.iter
     (fun report ->
       Buffer.add_string buf (Coverage.to_string report);

@@ -29,9 +29,16 @@ type kind =
 type t = {
   tables : Xguard_stats.Table.t list;
       (** one summary table per campaign kind actually run *)
+  span_tables : Xguard_stats.Table.t list;
+      (** per-configuration latency-attribution tables (segment x txn
+          percentiles), merged in job order from each job's span summary;
+          empty unless spans were requested *)
   coverage : Xguard_trace.Coverage.report list;
       (** per-controller-kind transition coverage merged over every run;
           empty unless requested *)
+  trails : (string * string) list;
+      (** [(header, text)] failure event trails in job order; non-empty only
+          when a trace buffer was supplied and some run failed *)
   jobs : int;
   failures : int;
       (** failed jobs.  A stress run fails on data errors, deadlock or guard
@@ -51,6 +58,8 @@ val run :
   ?stress_ops:int ->
   ?fuzz_cpu_ops:int ->
   ?base_seed:int ->
+  ?spans:bool ->
+  ?trace:Xguard_trace.Trace.t ->
   kind ->
   configs:Config.t list ->
   seeds:int ->
@@ -62,7 +71,13 @@ val run :
     [fuzz_cpu_ops] is checked CPU operations per core per fuzz run (default
     300); [base_seed] roots the job→seed derivation (default 42).
     [collect_coverage] (default false) merges every run's transition-coverage
-    groups into {!t.coverage}. *)
+    groups into {!t.coverage}.  [spans] (default false) arms one span
+    recorder per job ({!Xguard_obs.Spans}) and merges the summaries into
+    {!t.span_tables} — still byte-identical for any [workers], since each
+    worker domain arms its own recorder and summaries merge purely in job
+    order.  [trace] collects per-shard failure event trails into {!t.trails};
+    the ring buffer is shared, so tracing requires [workers = 1] (the CLI
+    enforces this). *)
 
 val render : t -> string
 (** The full merged report: tables, coverage matrices (when collected) and a

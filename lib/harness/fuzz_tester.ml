@@ -18,6 +18,7 @@ type outcome = {
   seed : int;
   first_error_addr : int option;
   trace_tail : Trace.event list;
+  trace_dropped : int;  (* ring-buffer events lost before [trace_tail] was cut *)
   coverage_sets :
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
   link_faults : (string * int) list;
@@ -70,12 +71,15 @@ let merge a b =
     seed = a.seed;
     first_error_addr = first_some a.first_error_addr b.first_error_addr;
     trace_tail = (if a.trace_tail <> [] then a.trace_tail else b.trace_tail);
+    trace_dropped = (if a.trace_tail <> [] then a.trace_dropped else b.trace_dropped);
     coverage_sets;
     link_faults;
     quarantined = a.quarantined || b.quarantined;
   }
 
 let tail_limit = 60
+
+let dropped_of trace = match trace with None -> 0 | Some tr -> Trace.dropped tr
 
 let tail_of trace ~addr_hint =
   match trace with
@@ -175,6 +179,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         seed = cfg.Config.seed;
         first_error_addr;
         trace_tail = (if failed then tail_of trace ~addr_hint:first_error_addr else []);
+        trace_dropped = (if failed then dropped_of trace else 0);
         coverage_sets;
         link_faults;
         quarantined;
@@ -193,6 +198,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         seed = cfg.Config.seed;
         first_error_addr = None;
         trace_tail = tail_of trace ~addr_hint:None;
+        trace_dropped = dropped_of trace;
         coverage_sets;
         link_faults;
         quarantined;

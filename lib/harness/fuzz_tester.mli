@@ -31,6 +31,9 @@ type outcome = {
   trace_tail : Xguard_trace.Trace.event list;
       (** on any failure (crash, deadlock or data error): the last armed-trace
           events, restricted to [first_error_addr] when one is known *)
+  trace_dropped : int;
+      (** events the trace ring had already overwritten when [trace_tail] was
+          cut — forensics readers should know the trail is incomplete *)
   coverage_sets :
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
       (** the system's transition-coverage groups, for cross-run merging *)

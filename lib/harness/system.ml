@@ -4,6 +4,7 @@ module H = Xguard_host_hammer
 module M = Xguard_host_mesi
 module Xg = Xguard_xg
 module A = Xguard_accel
+module Spans = Xguard_obs.Spans
 
 type t = {
   config : Config.t;
@@ -107,6 +108,9 @@ let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port 
       ~ordering:link_ordering ()
   in
   Xg.Xg_iface.Link.set_tracer link link_tracer;
+  (* Only the guard link carries crossing traffic; the accelerator-internal
+     network below never hosts span segments. *)
+  if Spans.on () then Xg.Xg_iface.Link.mark_crossing link;
   let xg_link_node = Node.Registry.fresh registry "xg.link_end" in
   let accel_link_node = Node.Registry.fresh registry "accel.link_end" in
   let rate_limiter =
@@ -122,6 +126,13 @@ let build_xg_side (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port 
       ~quarantine_after:cfg.Config.quarantine_after ()
   in
   attach_core core;
+  if Spans.on () then begin
+    Spans.add_gauge ~name:"xg.link.in_flight" (fun () -> Xg.Xg_iface.Link.in_flight link);
+    Spans.add_gauge ~name:"xg.open_transactions" (fun () ->
+        Xg.Xg_core.open_transactions core);
+    Spans.add_gauge ~name:"xg.tracked_blocks" (fun () -> Xg.Xg_core.tracked_blocks core);
+    Spans.add_gauge ~name:"xg.perm_entries" (fun () -> Xg.Perm_table.entries perms)
+  end;
   if Config.reliable_link cfg then begin
     Xg.Xg_iface.Link.enable_reliability link ~retry_timeout:cfg.Config.link_retry_timeout
       ~max_retries:cfg.Config.link_max_retries ();
@@ -453,7 +464,16 @@ let build_mesi ~attach_accel (cfg : Config.t) =
       finish ~accel_ports ~xg:(Some (core, link, xg_node, accel_node, p)) ~accel_l1s ~accel_l2
         ?accel_internal ()
 
+(* Snapshot interval for the span-layer time-series sampler (cycles).  Coarse
+   enough to stay invisible in profiles, fine enough to show queue ramps. *)
+let sampler_period = 500
+
 let build ?(attach_accel = true) (cfg : Config.t) =
-  match cfg.Config.host with
-  | Config.Hammer -> build_hammer ~attach_accel cfg
-  | Config.Mesi -> build_mesi ~attach_accel cfg
+  if Spans.on () then Spans.reset_gauges ();
+  let t =
+    match cfg.Config.host with
+    | Config.Hammer -> build_hammer ~attach_accel cfg
+    | Config.Mesi -> build_mesi ~attach_accel cfg
+  in
+  if Spans.on () then Spans.start_sampler ~engine:t.engine ~period:sampler_period;
+  t

@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Xg_core = Xguard_xg.Xg_core
+module Spans = Xguard_obs.Spans
 
 type get_tbe = {
   kind : Msg.get_kind;
@@ -8,6 +9,7 @@ type get_tbe = {
   mutable mem_data : Data.t option;
   mutable peer_data : Data.t option;
   mutable shared_seen : bool;
+  mutable born : Engine.time;  (* issue (or deferral-promotion) time, for spans *)
 }
 
 (* A writeback in flight to the directory.  [notify_core] distinguishes
@@ -19,7 +21,13 @@ type put_rec = {
   mutable lost_ownership : bool;
   notify_core : bool;
   is_owner : bool;  (* false for an unnecessary PutS: we hold no data *)
+  born : Engine.time;  (* issue (or deferral) time, for spans *)
 }
+
+(* Fallback span transaction type when no crossing is open on the block. *)
+let span_txn_of_kind = function
+  | Msg.Get_m -> Spans.Get_m
+  | Msg.Get_s | Msg.Get_s_only -> Spans.Get_s
 
 type t = {
   engine : Engine.t;
@@ -72,6 +80,7 @@ let issue_get t addr kind =
       mem_data = None;
       peer_data = None;
       shared_seen = false;
+      born = Engine.now t.engine;
     }
   in
   (match Tbe_table.alloc t.tbes addr tbe with
@@ -88,7 +97,9 @@ let issue_get t addr kind =
   else send t ~dst:t.directory (Msg.Get { kind = msg_kind }) addr
 
 let start_put t addr ~data ~dirty ~notify_core ~is_owner =
-  let p = { data; dirty; lost_ownership = false; notify_core; is_owner } in
+  let p =
+    { data; dirty; lost_ownership = false; notify_core; is_owner; born = Engine.now t.engine }
+  in
   if Hashtbl.mem t.puts addr then begin
     (* A Put handshake for this block is already open.  This happens when a
        core-initiated put and an ownership relinquishment (handle_fwd) race
@@ -144,6 +155,15 @@ let try_complete t addr (tbe : get_tbe) =
     Tbe_table.dealloc t.tbes addr;
     send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
     Group.incr_id t.stats t.sid.(0) (* get_complete *);
+    if Spans.on () then begin
+      let a = Addr.to_int addr and now = Engine.now t.engine in
+      let span, txn =
+        match Spans.lookup ~addr:a with
+        | Some (span, txn) -> (span, txn)
+        | None -> (0, span_txn_of_kind tbe.kind)
+      in
+      Spans.record Spans.Host_fetch txn ~span ~addr:a ~ts:tbe.born ~dur:(now - tbe.born)
+    end;
     Xg_core.granted (core t) addr grant
   end
 
@@ -207,19 +227,59 @@ let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
 
 (* ---- writeback responses ---- *)
 
+let span_put_done t addr (p : put_rec) =
+  if Spans.on () then begin
+    let a = Addr.to_int addr and now = Engine.now t.engine in
+    (match Spans.lookup_put ~addr:a with
+    | Some (span, txn) ->
+        Spans.record Spans.Host_writeback txn ~span ~addr:a ~ts:p.born ~dur:(now - p.born)
+    | None ->
+        (* Port-initiated relinquishment (or a quarantine hand-back): no
+           crossing to attach to, so it gets its own span. *)
+        Spans.record Spans.Host_relinquish Spans.Inv ~span:(Spans.fresh_id ()) ~addr:a
+          ~ts:p.born ~dur:(now - p.born));
+    if p.notify_core then Spans.put_settled ~addr:a ~now
+  end
+
 let finish_put t addr (p : put_rec) =
   Hashtbl.remove t.puts addr;
+  span_put_done t addr p;
   (* A deferred put takes the slot first; a deferred get stays parked behind
      it (and is re-checked when that put in turn finishes). *)
   (match Hashtbl.find_opt t.deferred_puts addr with
   | Some d ->
       Hashtbl.remove t.deferred_puts addr;
+      if Spans.on () then begin
+        let a = Addr.to_int addr and now = Engine.now t.engine in
+        let span, txn =
+          match Spans.lookup_put ~addr:a with
+          | Some (span, txn) -> (span, txn)
+          | None -> (0, if d.is_owner then Spans.Put_m else Spans.Put_s)
+        in
+        Spans.record Spans.Host_defer txn ~span ~addr:a ~ts:d.born ~dur:(now - d.born)
+      end;
       start_put t addr ~data:d.data ~dirty:d.dirty ~notify_core:d.notify_core
         ~is_owner:d.is_owner
   | None -> (
       match Hashtbl.find_opt t.deferred_gets addr with
       | Some kind ->
           Hashtbl.remove t.deferred_gets addr;
+          if Spans.on () then begin
+            match Tbe_table.find t.tbes addr with
+            | Some tbe ->
+                let a = Addr.to_int addr and now = Engine.now t.engine in
+                let span, txn =
+                  match Spans.lookup ~addr:a with
+                  | Some (span, txn) -> (span, txn)
+                  | None -> (0, span_txn_of_kind kind)
+                in
+                Spans.record Spans.Host_defer txn ~span ~addr:a ~ts:tbe.born
+                  ~dur:(now - tbe.born);
+                (* Re-stamp so [host.fetch] measures only the directory
+                   transaction itself, not the wait behind the put. *)
+                tbe.born <- now
+            | None -> ()
+          end;
           send t ~dst:t.directory (Msg.Get { kind }) addr
       | None -> ()));
   if p.notify_core then Xg_core.put_complete (core t) addr
@@ -272,4 +332,6 @@ let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);
+  if Spans.on () then
+    Spans.add_gauge ~name:(name ^ ".outstanding") (fun () -> outstanding t);
   t

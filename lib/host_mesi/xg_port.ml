@@ -1,6 +1,7 @@
 module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Xg_core = Xguard_xg.Xg_core
+module Spans = Xguard_obs.Spans
 
 type get_tbe = {
   want : [ `S | `S_only | `M ];
@@ -8,9 +9,21 @@ type get_tbe = {
   mutable grant : Msg.grant option;
   mutable acks_expected : int option;
   mutable acks_got : int;
+  mutable born : Engine.time;  (* issue time, for spans *)
 }
 
-type put_rec = { data : Data.t; dirty : bool; notify_core : bool; is_owner : bool }
+type put_rec = {
+  data : Data.t;
+  dirty : bool;
+  notify_core : bool;
+  is_owner : bool;
+  born : Engine.time;  (* issue time, for spans *)
+}
+
+(* Fallback span transaction type when no crossing is open on the block. *)
+let span_txn_of_want = function
+  | `M -> Spans.Get_m
+  | `S | `S_only -> Spans.Get_s
 
 type t = {
   engine : Engine.t;
@@ -45,7 +58,10 @@ let send t ~dst body addr =
 (* ---- host_port operations ---- *)
 
 let issue_get t addr kind =
-  let tbe = { want = kind; data = None; grant = None; acks_expected = None; acks_got = 0 } in
+  let tbe =
+    { want = kind; data = None; grant = None; acks_expected = None; acks_got = 0;
+      born = Engine.now t.engine }
+  in
   (match Tbe_table.alloc t.tbes addr tbe with
   | `Ok -> ()
   | `Busy | `Full -> failwith (t.name ^ ": get while transaction open"));
@@ -55,16 +71,19 @@ let issue_get t addr kind =
   send t ~dst:t.l2 (Msg.Get { kind = msg_kind }) addr
 
 let issue_put t addr kind =
+  let born = Engine.now t.engine in
   (match kind with
   | `S ->
       Hashtbl.replace t.puts addr
-        { data = Data.zero; dirty = false; notify_core = true; is_owner = false };
+        { data = Data.zero; dirty = false; notify_core = true; is_owner = false; born };
       send t ~dst:t.l2 Msg.Put_s addr
   | `E data ->
-      Hashtbl.replace t.puts addr { data; dirty = false; notify_core = true; is_owner = true };
+      Hashtbl.replace t.puts addr
+        { data; dirty = false; notify_core = true; is_owner = true; born };
       send t ~dst:t.l2 (Msg.Put_m { data; dirty = false }) addr
   | `M data ->
-      Hashtbl.replace t.puts addr { data; dirty = true; notify_core = true; is_owner = true };
+      Hashtbl.replace t.puts addr
+        { data; dirty = true; notify_core = true; is_owner = true; born };
       send t ~dst:t.l2 (Msg.Put_m { data; dirty = true }) addr);
   Group.incr_id t.stats t.sid.(5) (* put_issued *)
 
@@ -84,6 +103,15 @@ let try_complete t addr (tbe : get_tbe) =
       Tbe_table.dealloc t.tbes addr;
       send t ~dst:t.l2 Msg.Unblock addr;
       Group.incr_id t.stats t.sid.(0) (* get_complete *);
+      if Spans.on () then begin
+        let a = Addr.to_int addr and now = Engine.now t.engine in
+        let span, txn =
+          match Spans.lookup ~addr:a with
+          | Some (span, txn) -> (span, txn)
+          | None -> (0, span_txn_of_want tbe.want)
+        in
+        Spans.record Spans.Host_fetch txn ~span ~addr:a ~ts:tbe.born ~dur:(now - tbe.born)
+      end;
       let g =
         match grant with
         | Msg.Grant_s -> `S data
@@ -180,11 +208,25 @@ let handle_fwd t addr (kind : Msg.get_kind) ~requestor =
 
 (* ---- writeback responses ---- *)
 
+let span_put_done t addr (p : put_rec) =
+  if Spans.on () then begin
+    let a = Addr.to_int addr and now = Engine.now t.engine in
+    (match Spans.lookup_put ~addr:a with
+    | Some (span, txn) ->
+        Spans.record Spans.Host_writeback txn ~span ~addr:a ~ts:p.born ~dur:(now - p.born)
+    | None ->
+        (* No crossing to attach to, so the relinquishment gets its own span. *)
+        Spans.record Spans.Host_relinquish Spans.Inv ~span:(Spans.fresh_id ()) ~addr:a
+          ~ts:p.born ~dur:(now - p.born));
+    if p.notify_core then Spans.put_settled ~addr:a ~now
+  end
+
 let handle_wb_ack t addr =
   match Hashtbl.find_opt t.puts addr with
   | Some p ->
       Hashtbl.remove t.puts addr;
       Group.incr_id t.stats t.sid.(4) (* writeback_complete *);
+      span_put_done t addr p;
       if p.notify_core then Xg_core.put_complete (core t) addr
   | None -> Group.incr t.stats "error.wb_ack_without_put"
 
@@ -238,4 +280,6 @@ let create ~engine ~net ~name ~node ~l2 () =
     }
   in
   Net.register net node (fun ~src:_ msg -> deliver t msg);
+  if Spans.on () then
+    Spans.add_gauge ~name:(name ^ ".outstanding") (fun () -> outstanding t);
   t

@@ -1,0 +1,72 @@
+(* Chrome trace-event JSON, hand-rolled on Buffer/Printf: the repo bakes in
+   no JSON library, and the event shapes here are flat enough that string
+   assembly is clearer than a combinator layer would be. *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let write_channel oc jobs =
+  output_string oc "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else output_char oc ',';
+    output_char oc '\n';
+    output_string oc s
+  in
+  List.iteri
+    (fun pid (label, r) ->
+      emit
+        (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+           pid (json_string label));
+      let events = Spans.timeline_events r in
+      (* Name only the segment tracks that actually carry events. *)
+      let used = Array.make Spans.seg_count false in
+      Array.iter (fun (seg, _, _, _, _, _) -> used.(seg) <- true) events;
+      Array.iteri
+        (fun seg u ->
+          if u then
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}"
+                 pid seg
+                 (json_string (Spans.seg_name_of_index seg))))
+        used;
+      Array.iter
+        (fun (seg, txn, span, addr, ts, dur) ->
+          emit
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":%d,\"tid\":%d,\"args\":{\"span\":%d,\"addr\":%d}}"
+               (json_string (Spans.seg_name_of_index seg))
+               (json_string (Spans.txn_name_of_index txn))
+               ts dur pid seg span addr))
+        events;
+      List.iter
+        (fun (ts, values) ->
+          Array.iter
+            (fun (name, v) ->
+              emit
+                (Printf.sprintf
+                   "{\"name\":%s,\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"args\":{\"value\":%d}}"
+                   (json_string name) ts pid v))
+            values)
+        (Spans.sample_series r))
+    jobs;
+  output_string oc "\n]}\n"
+
+let write_file path jobs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc jobs)

@@ -1,0 +1,24 @@
+(** Chrome / Perfetto trace-event JSON export.
+
+    Serialises the timeline buffers of one or more {!Spans.recorder}s into
+    the trace-event format (JSON object form, [{"traceEvents": [...]}])
+    that [ui.perfetto.dev] and [chrome://tracing] load directly:
+
+    - every closed segment becomes a complete ("X") event: [name] is the
+      segment, [cat] the transaction type, [ts]/[dur] are in simulated
+      cycles (rendered as microseconds by the viewer), [args] carry the
+      span id and block address;
+    - each recorder becomes one process ([pid] = its list index, labelled
+      with a process_name metadata event) and each segment one named
+      thread track within it, so multi-config runs stay side by side;
+    - time-series sampler snapshots become counter ("C") events, one
+      series per gauge.
+
+    JSON is written with the stdlib only — no external dependencies. *)
+
+val write_channel : out_channel -> (string * Spans.recorder) list -> unit
+(** [write_channel oc jobs] writes one trace for all [(label, recorder)]
+    pairs.  Output ends with a newline; the channel is not closed. *)
+
+val write_file : string -> (string * Spans.recorder) list -> unit
+(** {!write_channel} to a fresh file (truncating). *)

@@ -1,13 +1,17 @@
 module Engine = Xguard_sim.Engine
 module Histogram = Xguard_stats.Histogram
 module Trace = Xguard_trace.Trace
+module Spans = Xguard_obs.Spans
 
 let access_text access =
   Format.asprintf "%a" Access.pp access
 
+let span_txn access = if Access.is_store access then Spans.Store else Spans.Load
+
 type pending = {
   access : Access.t;
   issued_at : Engine.time;
+  span : int; (* span id when recording, 0 otherwise *)
   on_complete : Data.t -> latency:int -> unit;
 }
 
@@ -15,6 +19,7 @@ let dummy_pending =
   {
     access = Access.load (Addr.block 0);
     issued_at = 0;
+    span = 0;
     on_complete = (fun _ ~latency:_ -> ());
   }
 
@@ -54,6 +59,11 @@ let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
     latency = Histogram.create (name ^ ".latency");
     pump_scheduled = false;
   }
+
+let create ~engine ~name ~port ?max_outstanding ?retry_delay () =
+  let t = create ~engine ~name ~port ?max_outstanding ?retry_delay () in
+  if Spans.on () then Spans.add_gauge ~name:(name ^ ".outstanding") (fun () -> t.in_flight + t.queued);
+  t
 
 let name t = t.name
 let outstanding t = t.in_flight + t.queued
@@ -122,6 +132,9 @@ let rec pump t =
           t.completed <- t.completed + 1;
           let lat = Engine.now t.engine - p.issued_at in
           Histogram.observe t.latency lat;
+          if Spans.on () then
+            Spans.record Spans.Seq_e2e (span_txn p.access) ~span:p.span
+              ~addr:(Addr.to_int addr) ~ts:p.issued_at ~dur:lat;
           if Trace.on () then
             Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
               ~addr:(Addr.to_int addr)
@@ -133,6 +146,10 @@ let rec pump t =
     if accepted then begin
       t.flight_addrs.(t.in_flight) <- addr;
       t.in_flight <- t.in_flight + 1;
+      if Spans.on () then
+        Spans.record Spans.Seq_queue (span_txn p.access) ~span:p.span
+          ~addr:(Addr.to_int addr) ~ts:p.issued_at
+          ~dur:(Engine.now t.engine - p.issued_at);
       if Trace.on () then
         Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
           ~addr:(Addr.to_int addr)
@@ -143,6 +160,9 @@ let rec pump t =
     else begin
       (* Cache rejected: requeue at the head and retry after a delay. *)
       t.retries <- t.retries + 1;
+      if Spans.on () then
+        Spans.record Spans.Seq_retry (span_txn p.access) ~span:p.span
+          ~addr:(Addr.to_int addr) ~ts:(Engine.now t.engine) ~dur:t.retry_delay;
       if Trace.on () then
         Trace.stall ~cycle:(Engine.now t.engine) ~controller:t.name
           ~addr:(Addr.to_int addr)
@@ -162,5 +182,6 @@ and schedule_pump t =
   end
 
 let request t access ~on_complete =
-  push_back t { access; issued_at = Engine.now t.engine; on_complete } ;
+  let span = if Spans.on () then Spans.fresh_id () else 0 in
+  push_back t { access; issued_at = Engine.now t.engine; span; on_complete };
   schedule_pump t

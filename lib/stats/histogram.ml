@@ -69,6 +69,17 @@ let percentile t p =
   in
   scan 0 0
 
+let merge a b =
+  let t = create a.name in
+  for i = 0 to bucket_count - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.total <- a.total + b.total;
+  t.sum <- a.sum + b.sum;
+  t.min_v <- min a.min_v b.min_v;
+  t.max_v <- max a.max_v b.max_v;
+  t
+
 let buckets t =
   let acc = ref [] in
   for i = bucket_count - 1 downto 0 do

@@ -27,6 +27,12 @@ val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0,1]: an upper bound on the [p]-quantile,
     resolved to bucket granularity.  Raises [Invalid_argument] when empty. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram (named after [a]) holding the samples of
+    both inputs.  Pure: neither input is mutated.  Bucket counts, totals and
+    sums add; min/max combine — so sharded accumulation followed by [merge]
+    is indistinguishable from observing the same samples sequentially. *)
+
 val buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for each non-empty bucket, ascending. *)
 

@@ -24,6 +24,7 @@ let create ?(capacity = 1024) () =
 let capacity t = Array.length t.buf
 let recorded t = t.total
 let length t = min t.total (Array.length t.buf)
+let dropped t = max 0 (t.total - Array.length t.buf)
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) dummy;
@@ -108,6 +109,11 @@ let format_event ev =
 
 let pp_event fmt ev = Format.pp_print_string fmt (format_event ev)
 
+let dropped_header t =
+  let d = dropped t in
+  if d = 0 then []
+  else [ Printf.sprintf "(%d event%s dropped — ring wrapped)" d (if d = 1 then "" else "s") ]
+
 let dump ?addr ?last t =
   let events = to_list t in
   let events =
@@ -121,4 +127,4 @@ let dump ?addr ?last t =
         let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
         drop (List.length events - n) events
   in
-  String.concat "\n" (List.map format_event events)
+  String.concat "\n" (dropped_header t @ List.map format_event events)

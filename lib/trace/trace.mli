@@ -51,6 +51,12 @@ val recorded : t -> int
 val length : t -> int
 (** Events currently held: [min (recorded t) (capacity t)]. *)
 
+val dropped : t -> int
+(** Events overwritten by ring wrap-around and no longer held:
+    [max 0 (recorded t - capacity t)].  {!dump} prefixes its output with a
+    ["(N events dropped — ring wrapped)"] line whenever this is non-zero, so
+    truncated forensics are never mistaken for complete ones. *)
+
 val clear : t -> unit
 
 val to_list : t -> event list

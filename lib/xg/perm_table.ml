@@ -10,6 +10,8 @@ let perm t addr =
   | Some p -> p
   | None -> t.default
 
+let entries t = Hashtbl.length t.pages
+
 let allows_read t addr = Perm.allows_read (perm t addr)
 let allows_write t addr = Perm.allows_write (perm t addr)
 

@@ -21,6 +21,10 @@ val perm : t -> Addr.t -> Perm.t
 (** The permission the guard stores with a new transaction (Guarantee 0:
     checked once per transaction, not per message). *)
 
+val entries : t -> int
+(** Pages with an explicit entry — the table's occupancy, sampled as a
+    span-layer gauge. *)
+
 val allows_read : t -> Addr.t -> bool
 (** [No_access] pages fail this check: a GetS to one is a G0a violation. *)
 

@@ -2,6 +2,7 @@ module Engine = Xguard_sim.Engine
 module Group = Xguard_stats.Counter.Group
 module Trace = Xguard_trace.Trace
 module Coverage = Xguard_trace.Coverage
+module Spans = Xguard_obs.Spans
 
 type mode = Full_state | Transactional
 
@@ -40,6 +41,9 @@ type per_addr = {
   mutable p_inv : inv_pend option;
   mutable absorb : int;  (* late accelerator responses to swallow silently *)
   stalled_gets : Xg_iface.accel_request Queue.t;
+  (* Park timestamps mirroring [stalled_gets], maintained only while the span
+     layer records (pushed/popped strictly in step with it). *)
+  stall_stamps : int Queue.t;
 }
 
 (* Interned handles for the per-event stat counters (PR 4): one dense-id
@@ -151,7 +155,14 @@ let slot t addr =
   | Some p -> p
   | None ->
       let p =
-        { p_get = None; p_put = None; p_inv = None; absorb = 0; stalled_gets = Queue.create () }
+        {
+          p_get = None;
+          p_put = None;
+          p_inv = None;
+          absorb = 0;
+          stalled_gets = Queue.create ();
+          stall_stamps = Queue.create ();
+        }
       in
       Hashtbl.add t.pending addr p;
       p
@@ -359,6 +370,8 @@ let start_accel_invalidation t addr (p : per_addr) inv =
       match p.p_inv with
       | Some i when i == inv && not i.replied ->
           visit t addr ev_timeout (fun () ->
+              if Spans.on () then
+                Spans.inv_timeout ~addr:(Addr.to_int addr) ~now:(Engine.now t.engine);
               report t Os_model.Response_timeout addr;
               Group.incr t.stats "timeout_reply_for_accel";
               clear_track t addr;
@@ -519,6 +532,7 @@ let rec process_get t addr (p : per_addr) (req : Xg_iface.accel_request) =
   let ro = perm = Perm.Read_only in
   p.p_get <- Some { want; ro };
   note_storage t;
+  if Spans.on () then Spans.xg_decided ~addr:(Addr.to_int addr) ~now:(Engine.now t.engine);
   Group.incr_id t.stats
     (match want with `M -> t.sid.s_get_m_forwarded | `S -> t.sid.s_get_s_forwarded);
   match want with
@@ -529,6 +543,7 @@ let rec process_get t addr (p : per_addr) (req : Xg_iface.accel_request) =
 
 and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
   (* Ack the accelerator immediately (§3.2), then settle with the host. *)
+  if Spans.on () then Spans.xg_decided ~addr:(Addr.to_int addr) ~now:(Engine.now t.engine);
   respond_accel t addr Xg_iface.Wb_ack;
   let ro_copy =
     match Hashtbl.find_opt t.tracks addr with
@@ -536,6 +551,12 @@ and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
     | _ -> None
   in
   clear_track t addr;
+  (* Host-forwarded writebacks keep the crossing's span open until the host
+     side settles, so the port can attribute [host.writeback]. *)
+  let host_put v =
+    if Spans.on () then Spans.host_put_issued ~addr:(Addr.to_int addr);
+    t.host.put addr v
+  in
   match req with
   | Xg_iface.Put_s when ro_copy <> None ->
       (* The guard itself owns this read-only block at the host (§2.3.1);
@@ -544,13 +565,13 @@ and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
       p.p_put <- Some `E;
       note_storage t;
       Group.incr t.stats "ro_copy_relinquished";
-      t.host.put addr (`E copy)
+      host_put (`E copy)
   | Xg_iface.Put_s ->
       if t.host.puts_needed then begin
         p.p_put <- Some `S;
         note_storage t;
         Group.incr_id t.stats t.sid.s_put_s_forwarded;
-        t.host.put addr `S
+        host_put `S
       end
       else if t.suppress_put_s then begin
         Group.incr_id t.stats t.sid.s_put_s_suppressed;
@@ -562,23 +583,34 @@ and accept_put t addr (p : per_addr) (req : Xg_iface.accel_request) =
         p.p_put <- Some `S;
         note_storage t;
         Group.incr_id t.stats t.sid.s_put_s_unnecessary;
-        t.host.put addr `S
+        host_put `S
       end
   | Xg_iface.Put_e data ->
       p.p_put <- Some `E;
       note_storage t;
       Group.incr_id t.stats t.sid.s_put_e_forwarded;
-      t.host.put addr (`E data)
+      host_put (`E data)
   | Xg_iface.Put_m data ->
       p.p_put <- Some `M;
       note_storage t;
       Group.incr_id t.stats t.sid.s_put_m_forwarded;
-      t.host.put addr (`M data)
+      host_put (`M data)
   | Xg_iface.Get_s | Xg_iface.Get_m -> assert false
 
 and pump_stalled t addr (p : per_addr) =
   if p.p_put = None && p.p_get = None && not (Queue.is_empty p.stalled_gets) then begin
     let req = Queue.pop p.stalled_gets in
+    if Spans.on () then begin
+      match Queue.take_opt p.stall_stamps with
+      | Some parked ->
+          let now = Engine.now t.engine in
+          let a = Addr.to_int addr in
+          let span = match Spans.lookup ~addr:a with Some (s, _) -> s | None -> 0 in
+          Spans.record Spans.Xg_stall
+            (Xg_iface.span_txn_of_request req)
+            ~span ~addr:a ~ts:parked ~dur:(now - parked)
+      | None -> ()
+    end;
     process_get t addr p req
   end
   else prune t addr p
@@ -613,6 +645,7 @@ and accel_request t addr (req : Xg_iface.accel_request) =
         (* The accelerator's Put was already acknowledged; its re-fetch is
            legitimate and waits for the internal writeback to settle. *)
         Queue.push req p.stalled_gets;
+        if Spans.on () then Queue.push (Engine.now t.engine) p.stall_stamps;
         Group.incr_id t.stats t.sid.s_get_stalled_behind_put
     | Xg_iface.Put_s | Xg_iface.Put_e _ | Xg_iface.Put_m _ ->
         report t Os_model.Request_while_pending addr;
@@ -625,6 +658,11 @@ and accel_request t addr (req : Xg_iface.accel_request) =
     match p.p_inv with
     | Some inv ->
         Group.incr t.stats "put_invalidate_race";
+        if Spans.on () then begin
+          let a = Addr.to_int addr and now = Engine.now t.engine in
+          Spans.inv_race ~addr:a ~now;
+          Spans.xg_decided ~addr:a ~now
+        end;
         respond_accel t addr Xg_iface.Wb_ack;
         clear_track t addr;
         (match req with
@@ -777,6 +815,7 @@ let quarantine t =
                 finish_inv t addr p
             | None -> ());
             Queue.clear p.stalled_gets;
+            Queue.clear p.stall_stamps;
             prune t addr p))
       (sorted_bindings t.pending);
     (* Tracked blocks with no transaction in flight: relinquish them so the

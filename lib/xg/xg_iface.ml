@@ -111,12 +111,21 @@ let corrupt_msg = function
       (* An invalidation damaged into an unsolicited grant-looking response. *)
       To_accel_resp { addr; resp = Wb_ack }
 
+(* Span-layer transaction type of an accelerator request. *)
+let span_txn_of_request : accel_request -> Xguard_obs.Spans.txn = function
+  | Get_s -> Xguard_obs.Spans.Get_s
+  | Get_m -> Xguard_obs.Spans.Get_m
+  | Put_s -> Xguard_obs.Spans.Put_s
+  | Put_e _ -> Xguard_obs.Spans.Put_e
+  | Put_m _ -> Xguard_obs.Spans.Put_m
+
 module Link = struct
   module Engine = Xguard_sim.Engine
   module Trace = Xguard_trace.Trace
   module Counter = Xguard_stats.Counter
   module Coverage = Xguard_trace.Coverage
   module Network = Xguard_network.Network
+  module Spans = Xguard_obs.Spans
 
   (* What actually travels on the wire.  Without reliability every payload is
      [Plain] — byte-for-byte the historical link.  With reliability payloads
@@ -165,6 +174,10 @@ module Link = struct
     mutable max_retries : int;
     channels : (int * int, channel) Hashtbl.t;
     mutable killed : bool;
+    (* True only for the guard link (accel <-> XG); the span layer attributes
+       link transit segments on crossing links alone, so purely accel-internal
+       links never touch the recorder. *)
+    mutable crossing : bool;
     mutable monitor : (src:Node.t -> dst:Node.t -> msg -> unit) option;
     mutable ptracer : (msg -> int * string) option;
     mutable on_fault : unit -> unit;
@@ -216,6 +229,7 @@ module Link = struct
         max_retries = 6;
         channels = Hashtbl.create 8;
         killed = false;
+        crossing = false;
         monitor = None;
         ptracer = None;
         on_fault = (fun () -> ());
@@ -238,6 +252,37 @@ module Link = struct
     t
 
   let name t = t.lname
+  let mark_crossing t = t.crossing <- true
+
+  (* Span hooks.  Fired once per logical payload: [span_send] from {!send}
+     (retransmits re-enter via [send_frame] only) and [span_deliver] from the
+     wrapped {!register} handler (which the reliability layer invokes only on
+     the first in-order delivery, so duplicates never double-close). *)
+  let span_send msg ~now =
+    match msg with
+    | To_xg_req { addr; req } ->
+        Spans.xreq_open (span_txn_of_request req) ~addr:(Addr.to_int addr) ~now
+    | To_accel_resp { addr; _ } -> Spans.resp_sent ~addr:(Addr.to_int addr) ~now
+    | To_accel_req { addr; req = Invalidate } -> Spans.inv_open ~addr:(Addr.to_int addr) ~now
+    | To_xg_resp _ -> ()
+
+  let span_deliver msg ~now =
+    match msg with
+    | To_xg_req { addr; _ } -> Spans.xreq_delivered ~addr:(Addr.to_int addr) ~now
+    | To_xg_resp { addr; _ } -> Spans.inv_closed ~addr:(Addr.to_int addr) ~now
+    | To_accel_resp { addr; _ } -> Spans.resp_delivered ~addr:(Addr.to_int addr) ~now
+    | To_accel_req _ -> ()
+
+  let span_retry payload ~now =
+    match payload with
+    | To_xg_req { addr; _ } | To_accel_resp { addr; _ } -> (
+        let addr = Addr.to_int addr in
+        match Spans.lookup ~addr with
+        | Some (span, txn) -> Spans.record Spans.Link_retry txn ~span ~addr ~ts:now ~dur:0
+        | None -> ())
+    | To_accel_req { addr; _ } | To_xg_resp { addr; _ } ->
+        Spans.record Spans.Link_retry Spans.Inv ~span:0 ~addr:(Addr.to_int addr) ~ts:now
+          ~dur:0
 
   let channel t ~src ~dst =
     let key = (Node.id src, Node.id dst) in
@@ -298,6 +343,8 @@ module Link = struct
           (Printf.sprintf "retransmit (%s) %d frame(s) from #%d" why
              (Queue.length ch.outstanding)
              (match Queue.peek_opt ch.outstanding with Some (s, _, _) -> s | None -> 0));
+        if t.crossing && Spans.on () then
+          Queue.iter (fun (_, payload, _) -> span_retry payload ~now) ch.outstanding;
         Queue.iter (fun f -> send_frame t ch f) ch.outstanding
       end
     end
@@ -419,6 +466,10 @@ module Link = struct
       | Plain _ | Frame _ -> assert false
 
   let register t node handler =
+    let handler ~src msg =
+      if t.crossing && Spans.on () then span_deliver msg ~now:(Engine.now t.engine);
+      handler ~src msg
+    in
     Raw.register t.raw node (fun ~src wire ->
         match wire with
         | Plain m -> handler ~src m
@@ -428,6 +479,7 @@ module Link = struct
 
   let send t ~src ~dst ?(size = Network.control_size) msg =
     (match t.monitor with Some f -> f ~src ~dst msg | None -> ());
+    if t.crossing && Spans.on () then span_send msg ~now:(Engine.now t.engine);
     if not t.reliable then Raw.send t.raw ~src ~dst ~size (Plain msg)
     else begin
       let ch = channel t ~src ~dst in
@@ -481,6 +533,9 @@ module Link = struct
   let messages_sent t = Raw.messages_sent t.raw
   let bytes_sent t = Raw.bytes_sent t.raw
   let bytes_from t node = Raw.bytes_from t.raw node
+
+  let in_flight t =
+    Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.outstanding) t.channels 0
   let set_monitor t f = t.monitor <- Some f
 
   let set_tracer t describe =

@@ -81,6 +81,10 @@ val corrupt_msg : msg -> msg
     wrong message (request/response flavor flipped, data token damaged).
     Installed as the link's payload corruptor; exposed for tests. *)
 
+val span_txn_of_request : accel_request -> Xguard_obs.Spans.txn
+(** The span-layer transaction type of an accelerator request ([Get_s] ->
+    [Spans.Get_s], …); shared by the link hooks and {!Xg_core}. *)
+
 (** The ordered link between one Crossing Guard instance and its accelerator:
     a network specialised to {!msg}.  The paper requires this network to be
     ordered; ablation A1 measures what breaks when it is not.
@@ -105,6 +109,13 @@ module Link : sig
     t
 
   val name : t -> string
+
+  val mark_crossing : t -> unit
+  (** Declare this link a host-accelerator crossing (the guard link).  Only
+      crossing links feed the span layer: sends open/stamp crossing entries
+      and deliveries close the transit segments ([link.req], [link.resp],
+      [inv.roundtrip]) — all behind [Spans.on], so unarmed runs are
+      untouched.  Accel-internal links are never marked. *)
 
   val register : t -> Node.t -> (src:Node.t -> msg -> unit) -> unit
   (** Attach a handler for payload messages addressed to this node; the
@@ -165,6 +176,12 @@ module Link : sig
   val fault_counts : t -> Xguard_network.Network.Fault.counts
 
   (* ---- introspection ---- *)
+
+  val in_flight : t -> int
+  (** Frames sent but not yet cumulatively acknowledged, summed over all
+      directed channels — the link's in-flight window.  Always [0] with
+      reliability off (plain messages are not tracked).  Sampled as a
+      span-layer gauge. *)
 
   val link_stats : t -> Xguard_stats.Counter.Group.t
   (** Reliability-layer counters: frames sent/delivered, retransmission

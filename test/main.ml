@@ -21,4 +21,5 @@ let () =
          Test_coverage_floor.tests;
          Test_campaign.tests;
          Test_faults.tests;
+         Test_spans.tests;
        ])

@@ -1,0 +1,220 @@
+(* Tests for the transaction span layer (lib/obs): recorder arming, the
+   addr-keyed crossing lifecycle, summary merging, drop counting, the
+   time-series sampler and the Perfetto exporter. *)
+
+module Spans = Xguard_obs.Spans
+module Perfetto = Xguard_obs.Perfetto
+module Engine = Xguard_sim.Engine
+module Table = Xguard_stats.Table
+module Histogram = Xguard_stats.Histogram
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Hooks must be no-ops when unarmed — the spans-off byte-identity contract
+   starts with "no recorder state is ever touched". *)
+let test_unarmed_noops () =
+  check_bool "off by default" false (Spans.on ());
+  check_int "fresh_id is 0 unarmed" 0 (Spans.fresh_id ());
+  Spans.record Spans.Link_req Spans.Get_s ~span:1 ~addr:0 ~ts:0 ~dur:5;
+  Spans.xreq_open Spans.Get_s ~addr:0 ~now:0;
+  Alcotest.(check (option (pair int reject))) "no crossing" None
+    (Option.map (fun (i, _) -> (i, ())) (Spans.lookup ~addr:0))
+
+let test_arming_restores () =
+  let r = Spans.create () in
+  check_bool "armed inside" true (Spans.with_armed r (fun () -> Spans.on ()));
+  check_bool "restored outside" false (Spans.on ());
+  (* nested arming restores the outer recorder, and exceptions restore too *)
+  let r2 = Spans.create () in
+  Spans.with_armed r (fun () ->
+      let id0 = Spans.fresh_id () in
+      (try Spans.with_armed r2 (fun () -> ignore (Spans.fresh_id ()); failwith "boom")
+       with Failure _ -> ());
+      check_int "outer recorder back after inner raise" (id0 + 1) (Spans.fresh_id ()))
+
+(* Full GET crossing: open -> delivered -> decided -> resp sent -> resp
+   delivered closes link.req, xg.decide and link.resp, then retires. *)
+let test_get_crossing_lifecycle () =
+  let r = Spans.create () in
+  Spans.with_armed r (fun () ->
+      Spans.xreq_open Spans.Get_s ~addr:64 ~now:100;
+      check_bool "crossing open" true (Spans.lookup ~addr:64 <> None);
+      Spans.xreq_delivered ~addr:64 ~now:108;
+      Spans.xg_decided ~addr:64 ~now:120;
+      Spans.resp_sent ~addr:64 ~now:150;
+      Spans.resp_delivered ~addr:64 ~now:158;
+      check_bool "retired" true (Spans.lookup ~addr:64 = None));
+  let cells = Spans.Summary.cells (Spans.summary r) in
+  let durs =
+    List.map
+      (fun (s, x, h) ->
+        Printf.sprintf "%s/%s n=%d max=%d" s x (Histogram.count h) (Histogram.max_value h))
+      cells
+  in
+  Alcotest.(check (list string))
+    "three segments, right durations"
+    [ "link.req/GetS n=1 max=8"; "xg.decide/GetS n=1 max=12"; "link.resp/GetS n=1 max=8" ]
+    durs
+
+(* Duplicate deliveries and replayed decisions must not double-count. *)
+let test_defensive_against_dups () =
+  let r = Spans.create () in
+  Spans.with_armed r (fun () ->
+      Spans.xreq_open Spans.Get_m ~addr:0 ~now:0;
+      Spans.xreq_delivered ~addr:0 ~now:5;
+      Spans.xreq_delivered ~addr:0 ~now:9;
+      (* dup frame *)
+      Spans.xg_decided ~addr:0 ~now:12;
+      Spans.xg_decided ~addr:0 ~now:30;
+      (* unknown address: ignored *)
+      Spans.xreq_delivered ~addr:999 ~now:1);
+  let counts =
+    List.map (fun (s, _, h) -> (s, Histogram.count h)) (Spans.Summary.cells (Spans.summary r))
+  in
+  Alcotest.(check (list (pair string int)))
+    "one sample per segment" [ ("link.req", 1); ("xg.decide", 1) ] counts
+
+(* A writeback stays resolvable through lookup_put after the accel ack
+   retired the request/response half — even when a follow-up GET has opened
+   a new crossing on the same block. *)
+let test_put_parks_until_settled () =
+  let r = Spans.create () in
+  Spans.with_armed r (fun () ->
+      Spans.xreq_open Spans.Put_m ~addr:4 ~now:0;
+      Spans.xreq_delivered ~addr:4 ~now:8;
+      Spans.host_put_issued ~addr:4;
+      Spans.xg_decided ~addr:4 ~now:10;
+      Spans.resp_sent ~addr:4 ~now:10;
+      Spans.resp_delivered ~addr:4 ~now:18;
+      (* a new GET crossing opens on the same block before the put settles *)
+      Spans.xreq_open Spans.Get_s ~addr:4 ~now:20;
+      (match Spans.lookup_put ~addr:4 with
+      | Some (_, txn) ->
+          Alcotest.(check string) "parked put keeps its txn" "PutM" (Spans.txn_name txn)
+      | None -> Alcotest.fail "put not resolvable after ack");
+      (match Spans.lookup ~addr:4 with
+      | Some (_, txn) ->
+          Alcotest.(check string) "new crossing is the GET" "GetS" (Spans.txn_name txn)
+      | None -> Alcotest.fail "follow-up GET evicted");
+      Spans.put_settled ~addr:4 ~now:40;
+      check_bool "put gone after settle" true (Spans.lookup_put ~addr:4 = None));
+  check_int "no replacement counted" 0 (Spans.Summary.replaced (Spans.summary r))
+
+let test_reopen_counts_replaced () =
+  let r = Spans.create () in
+  Spans.with_armed r (fun () ->
+      Spans.xreq_open Spans.Get_s ~addr:8 ~now:0;
+      Spans.xreq_open Spans.Get_s ~addr:8 ~now:50);
+  check_int "stale crossing counted" 1 (Spans.Summary.replaced (Spans.summary r))
+
+let test_timeline_drop_counting () =
+  let r = Spans.create ~timeline:true ~timeline_cap:4 () in
+  Spans.with_armed r (fun () ->
+      for i = 1 to 6 do
+        Spans.record Spans.Link_req Spans.Get_s ~span:i ~addr:i ~ts:i ~dur:1
+      done);
+  check_int "cap kept" 4 (Array.length (Spans.timeline_events r));
+  check_int "overflow counted" 2 (Spans.timeline_dropped r);
+  check_int "summary sees the drops" 2 (Spans.Summary.dropped (Spans.summary r));
+  (* histograms keep accumulating past the timeline cap *)
+  match Spans.Summary.cells (Spans.summary r) with
+  | [ (_, _, h) ] -> check_int "all six samples in the histogram" 6 (Histogram.count h)
+  | _ -> Alcotest.fail "expected one cell"
+
+(* Merging per-shard summaries in any grouping must equal one accumulated
+   summary — what makes campaign span tables byte-identical for any -j. *)
+let test_summary_merge_matches_sequential () =
+  let seq = Spans.create () in
+  let shards = Array.init 3 (fun _ -> Spans.create ()) in
+  let feed r k =
+    Spans.with_armed r (fun () ->
+        Spans.xreq_open Spans.Get_s ~addr:k ~now:0;
+        Spans.xreq_delivered ~addr:k ~now:(k + 1);
+        Spans.record Spans.Seq_e2e Spans.Load ~span:0 ~addr:k ~ts:0 ~dur:(10 * (k + 1)))
+  in
+  for k = 0 to 8 do
+    feed seq k;
+    feed shards.(k mod 3) k
+  done;
+  let merged =
+    Array.fold_left
+      (fun acc r -> Spans.Summary.merge acc (Spans.summary r))
+      Spans.Summary.empty shards
+  in
+  let render s =
+    match Spans.Summary.attribution_table s with
+    | Some t -> Table.to_string t
+    | None -> ""
+  in
+  Alcotest.(check string) "merged == sequential" (render (Spans.summary seq)) (render merged);
+  (* associativity: ((s0+s1)+s2) == (s0+(s1+s2)) *)
+  let s = Array.map Spans.summary shards in
+  Alcotest.(check string) "associative"
+    (render (Spans.Summary.merge (Spans.Summary.merge s.(0) s.(1)) s.(2)))
+    (render (Spans.Summary.merge s.(0) (Spans.Summary.merge s.(1) s.(2))))
+
+let test_sampler_series () =
+  let engine = Engine.create () in
+  let r = Spans.create () in
+  Spans.with_armed r (fun () ->
+      let v = ref 0 in
+      Spans.add_gauge ~name:"g" (fun () -> !v);
+      (* keep the engine busy well past three sampler periods *)
+      for i = 1 to 40 do
+        Engine.schedule engine ~delay:(i * 10) (fun () -> v := i)
+      done;
+      Spans.start_sampler ~engine ~period:100;
+      ignore (Engine.run engine));
+  let series = Spans.sample_series r in
+  check_bool "sampled at least twice" true (List.length series >= 2);
+  List.iter
+    (fun (ts, vals) ->
+      check_bool "tick on period boundary" true (ts mod 100 = 0);
+      match vals with
+      | [| ("g", v) |] -> check_bool "gauge value plausible" true (v >= 0 && v <= 40)
+      | _ -> Alcotest.fail "expected one gauge")
+    series;
+  (* the sampler must not keep an idle engine alive: the run terminated. *)
+  check_bool "engine drained" true (Engine.pending engine = 0)
+
+let test_perfetto_export () =
+  let r = Spans.create ~timeline:true () in
+  Spans.with_armed r (fun () ->
+      Spans.add_gauge ~name:"depth" (fun () -> 3);
+      Spans.record Spans.Link_req Spans.Get_s ~span:1 ~addr:64 ~ts:10 ~dur:8;
+      Spans.record Spans.Host_fetch Spans.Get_m ~span:2 ~addr:128 ~ts:20 ~dur:100);
+  let file = Filename.temp_file "xguard_spans" ".json" in
+  Perfetto.write_file file [ ("job0", r) ];
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove file;
+  check_bool "traceEvents present" true (contains "\"traceEvents\"" text);
+  check_bool "segment name present" true (contains "\"link.req\"" text);
+  check_bool "txn category present" true (contains "\"GetM\"" text);
+  check_bool "complete events" true (contains "\"ph\":\"X\"" text);
+  check_bool "process metadata" true (contains "\"process_name\"" text);
+  check_bool "job label present" true (contains "\"job0\"" text)
+
+let tests =
+  [
+    ( "spans",
+      [
+        Alcotest.test_case "unarmed hooks are no-ops" `Quick test_unarmed_noops;
+        Alcotest.test_case "arming restores" `Quick test_arming_restores;
+        Alcotest.test_case "GET crossing lifecycle" `Quick test_get_crossing_lifecycle;
+        Alcotest.test_case "defensive against dups" `Quick test_defensive_against_dups;
+        Alcotest.test_case "put parks until settled" `Quick test_put_parks_until_settled;
+        Alcotest.test_case "reopen counts replaced" `Quick test_reopen_counts_replaced;
+        Alcotest.test_case "timeline drop counting" `Quick test_timeline_drop_counting;
+        Alcotest.test_case "summary merge" `Quick test_summary_merge_matches_sequential;
+        Alcotest.test_case "sampler series" `Quick test_sampler_series;
+        Alcotest.test_case "perfetto export" `Quick test_perfetto_export;
+      ] );
+  ]

@@ -71,6 +71,85 @@ let test_histogram_empty_errors () =
      Alcotest.fail "expected failure"
    with Invalid_argument _ -> ())
 
+let test_histogram_single_sample () =
+  let h = Histogram.create "one" in
+  Histogram.observe h 7;
+  check_int "p0 is the sample" 7 (Histogram.percentile h 0.0);
+  check_int "p50 is the sample" 7 (Histogram.percentile h 0.5);
+  check_int "p100 is the sample" 7 (Histogram.percentile h 1.0);
+  check_int "min" 7 (Histogram.min_value h);
+  check_int "max" 7 (Histogram.max_value h);
+  check_int "count" 1 (Histogram.count h)
+
+let test_histogram_boundary_quantiles () =
+  (* Two samples in bucket 0 ({0}) and two in bucket 1 ({1}): the quantile
+     target lands exactly on the cumulative-count boundary between buckets. *)
+  let h = Histogram.create "bq" in
+  List.iter (Histogram.observe h) [ 0; 0; 1; 1 ];
+  check_int "p50 hits the first bucket exactly" 0 (Histogram.percentile h 0.5);
+  check_int "p75 crosses into the second" 1 (Histogram.percentile h 0.75);
+  check_int "p100 is the max" 1 (Histogram.percentile h 1.0);
+  (* Out-of-range quantiles clamp rather than raise. *)
+  check_int "p<0 clamps to p0" 0 (Histogram.percentile h (-0.5));
+  check_int "p>1 clamps to p100" 1 (Histogram.percentile h 1.5)
+
+let test_histogram_merge () =
+  let a = Histogram.create "m" and b = Histogram.create "m" in
+  List.iter (Histogram.observe a) [ 1; 2; 3 ];
+  List.iter (Histogram.observe b) [ 10; 20 ];
+  let m = Histogram.merge a b in
+  check_int "count adds" 5 (Histogram.count m);
+  check_int "sum adds" 36 (Histogram.sum m);
+  check_int "min of mins" 1 (Histogram.min_value m);
+  check_int "max of maxes" 20 (Histogram.max_value m);
+  (* merge is pure: the inputs keep their own state *)
+  check_int "a untouched" 3 (Histogram.count a);
+  check_int "b untouched" 2 (Histogram.count b);
+  (* the empty histogram is the identity on both sides *)
+  let e = Histogram.create "m" in
+  let ae = Histogram.merge a e and ea = Histogram.merge e a in
+  check_int "a+empty count" 3 (Histogram.count ae);
+  check_int "a+empty min" 1 (Histogram.min_value ae);
+  check_int "a+empty max" 3 (Histogram.max_value ae);
+  check_int "empty+a count" 3 (Histogram.count ea);
+  check_int "empty+a sum" 6 (Histogram.sum ea);
+  (* merging two empties stays empty (sentinels compose) *)
+  let ee = Histogram.merge e (Histogram.create "m") in
+  check_int "empty+empty count" 0 (Histogram.count ee);
+  try
+    ignore (Histogram.min_value ee);
+    Alcotest.fail "expected empty merge to stay empty"
+  with Invalid_argument _ -> ()
+
+(* Sharding samples across N histograms and folding with [merge] must be
+   observationally identical to observing them all into one histogram —
+   the property the campaign relies on for byte-identical -j N reports. *)
+let prop_histogram_shard_merge =
+  QCheck2.Test.make ~name:"sharded histogram merge equals sequential accumulation"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 5) (small_list small_nat))
+    (fun (shards, samples) ->
+      let seq = Histogram.create "h" in
+      List.iter (Histogram.observe seq) samples;
+      let parts = Array.init shards (fun _ -> Histogram.create "h") in
+      List.iteri (fun i v -> Histogram.observe parts.(i mod shards) v) samples;
+      (* Fold from an empty histogram so the sentinel min/max compose too. *)
+      let merged = Array.fold_left Histogram.merge (Histogram.create "h") parts in
+      let view h =
+        ( Histogram.count h,
+          Histogram.sum h,
+          Histogram.buckets h,
+          if Histogram.count h = 0 then None
+          else
+            Some
+              ( Histogram.min_value h,
+                Histogram.max_value h,
+                Histogram.percentile h 0.5,
+                Histogram.percentile h 0.95,
+                Histogram.percentile h 0.99 ) )
+      in
+      view merged = view seq)
+
 let test_histogram_buckets_cover_all () =
   let h = Histogram.create "b" in
   List.iter (Histogram.observe h) [ 0; 1; 2; 3; 100; 100_000 ];
@@ -164,10 +243,15 @@ let tests =
         Alcotest.test_case "histogram exact stats" `Quick test_histogram_exact_stats;
         Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentile_monotone;
         Alcotest.test_case "histogram empty errors" `Quick test_histogram_empty_errors;
+        Alcotest.test_case "histogram single sample" `Quick test_histogram_single_sample;
+        Alcotest.test_case "histogram boundary quantiles" `Quick
+          test_histogram_boundary_quantiles;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
         Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets_cover_all;
         Alcotest.test_case "table rendering" `Quick test_table_rendering;
         Alcotest.test_case "table arity" `Quick test_table_arity_checked;
         Alcotest.test_case "cell formatting" `Quick test_cells;
         QCheck_alcotest.to_alcotest prop_interned_byte_identical;
+        QCheck_alcotest.to_alcotest prop_histogram_shard_merge;
       ] );
   ]

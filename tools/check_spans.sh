@@ -1,0 +1,107 @@
+#!/bin/sh
+# Span-layer gate, two halves:
+#
+#   (a) spans-off byte-identity — the span layer must be invisible when not
+#       armed.  Two spans-off runs of the same seed must be byte-identical,
+#       and a spans-on run of that seed must differ from the spans-off run
+#       ONLY by the inserted span block (attribution table + bookkeeping +
+#       "span timeline written" lines).  Stripping that block and comparing
+#       proves arming the recorder did not perturb the simulation.
+#
+#   (b) Perfetto schema — `stress --spans --spans-out` on one Hammer and one
+#       MESI config must emit trace-event JSON that parses, contains complete
+#       ("X") events with ts/dur/pid/tid/cat fields, counter ("C") series from
+#       the time-series sampler, and >= MIN_SEGS distinct segment names
+#       (the ISSUE 5 acceptance floor is 6).
+#
+# Validation uses python3's stdlib json when available, else jq, else falls
+# back to grep probes with a warning.  No dependencies are installed.
+#
+# Usage: tools/check_spans.sh
+# Environment:
+#   SEEDS=1 OPS=4000   stress run size (big enough that every gated segment
+#                      and all five guard txn types appear)
+#   MIN_SEGS=6         distinct-segment floor for the Perfetto traces
+set -eu
+cd "$(dirname "$0")/.."
+
+SEEDS=${SEEDS:-1}
+OPS=${OPS:-4000}
+MIN_SEGS=${MIN_SEGS:-6}
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+dune build bin/xguard_cli.exe
+cli=_build/default/bin/xguard_cli.exe
+
+stress() { cfg=$1; shift; "$cli" stress --config "$cfg" --seeds "$SEEDS" --ops "$OPS" "$@"; }
+
+# The span block is one contiguous insertion: the attribution table, the
+# replaced/dropped bookkeeping line, and the --spans-out confirmation.
+strip_span_block() {
+  sed '/^Latency attribution (cycles)$/,/^span timeline written to /d' "$1"
+}
+
+echo "== (a) spans-off byte-identity =="
+for cfg in hammer/xg-trans-1lvl mesi/xg-trans-1lvl; do
+  tag=$(echo "$cfg" | tr / _)
+  stress "$cfg" > "$out/$tag.off1.txt"
+  stress "$cfg" > "$out/$tag.off2.txt"
+  if ! cmp -s "$out/$tag.off1.txt" "$out/$tag.off2.txt"; then
+    echo "check_spans: FAIL: two spans-off runs of $cfg differ" >&2
+    exit 1
+  fi
+  stress "$cfg" --spans --spans-out="$out/$tag.json" > "$out/$tag.on.txt"
+  strip_span_block "$out/$tag.on.txt" > "$out/$tag.on-stripped.txt"
+  if ! cmp -s "$out/$tag.off1.txt" "$out/$tag.on-stripped.txt"; then
+    echo "check_spans: FAIL: --spans perturbed the $cfg run beyond the span block:" >&2
+    diff "$out/$tag.off1.txt" "$out/$tag.on-stripped.txt" | head -20 >&2
+    exit 1
+  fi
+  echo "  $cfg ok (deterministic; span block is the only delta)"
+done
+
+echo "== (b) Perfetto trace schema =="
+check_json() {
+  file=$1
+  if command -v python3 > /dev/null 2>&1; then
+    MIN_SEGS="$MIN_SEGS" python3 - "$file" << 'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+xs = [e for e in events if e.get("ph") == "X"]
+assert xs, "no complete (X) events"
+for e in xs:
+    missing = {"name", "cat", "ts", "dur", "pid", "tid"} - set(e)
+    assert not missing, f"X event missing {missing}: {e}"
+segs = {e["name"] for e in xs}
+floor = int(os.environ["MIN_SEGS"])
+assert len(segs) >= floor, f"only {len(segs)} segments ({sorted(segs)}), need {floor}"
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert counters, "no counter (C) series from the sampler"
+assert any(e.get("ph") == "M" for e in events), "no metadata events"
+print(f"  {sys.argv[1]}: {len(xs)} X events, {len(segs)} segments, "
+      f"{len(counters)} counter series")
+EOF
+  elif command -v jq > /dev/null 2>&1; then
+    segs=$(jq -r '[.traceEvents[] | select(.ph == "X") | .name] | unique | length' "$file")
+    counters=$(jq -r '[.traceEvents[] | select(.ph == "C")] | length' "$file")
+    [ "$segs" -ge "$MIN_SEGS" ] || { echo "check_spans: FAIL: $segs segments < $MIN_SEGS" >&2; exit 1; }
+    [ "$counters" -gt 0 ] || { echo "check_spans: FAIL: no counter events" >&2; exit 1; }
+    echo "  $file: $segs segments, $counters counter events (jq)"
+  else
+    echo "  warning: neither python3 nor jq found; grep probes only" >&2
+    grep -q '"traceEvents"' "$file"
+    grep -q '"ph":"X"' "$file"
+    grep -q '"ph":"C"' "$file"
+    echo "  $file: grep probes ok (schema not fully validated)"
+  fi
+}
+check_json "$out/hammer_xg-trans-1lvl.json"
+check_json "$out/mesi_xg-trans-1lvl.json"
+
+echo "check_spans: OK"
