@@ -647,9 +647,241 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List configurations, workloads and experiments")
     Term.(const action $ const ())
 
+(* ---- check ---- *)
+
+module Checker = Xguard_check.Checker
+
+let check_cmd =
+  let plan_names = List.map fst (Checker.tiny_plans ()) in
+  let configs_arg =
+    Arg.(value & opt_all string []
+         & info [ "c"; "config" ] ~docv:"NAME"
+             ~doc:("Tiny configuration(s) to check, repeatable; default all. One of: "
+                   ^ String.concat ", " plan_names ^ "."))
+  in
+  let max_depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-depth" ] ~docv:"N" ~doc:"Decision budget per path.")
+  in
+  let max_states_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-states" ] ~docv:"N" ~doc:"Distinct-fingerprint budget.")
+  in
+  let no_por_flag =
+    Arg.(value & flag
+         & info [ "no-por" ]
+             ~doc:"Branch on every same-cycle candidate instead of firing \
+                   provably-commuting events directly (bigger but \
+                   reduction-free state graph).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget: configurations not yet started when it \
+                   expires are skipped (exploration in progress is finished).")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Compare each summary against $(docv) and fail on any drift \
+                   in state/transition counts or set digests.")
+  in
+  let write_baseline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "write-baseline" ] ~docv:"FILE"
+             ~doc:"Write the summaries to $(docv) in baseline format.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"TRAIL"
+             ~doc:"Re-execute one counterexample trail (decision indices \
+                   separated by ';' or ',') on the selected configuration \
+                   with the event trace armed, and dump the trail.")
+  in
+  let coverage_pairs_flag =
+    Arg.(value & flag
+         & info [ "coverage" ]
+             ~doc:"Accumulate and print every (state x event) coverage pair \
+                   hit anywhere in the explored tree, per space (implies -j 1).")
+  in
+  let baseline_line name (s : Checker.summary) =
+    Printf.sprintf
+      "{ \"name\": %S, \"states\": %d, \"transitions\": %d, \"states_md5\": %S, \"edges_md5\": %S }"
+      name s.Checker.states s.Checker.transitions s.Checker.states_digest
+      s.Checker.edges_digest
+  in
+  let parse_baseline file =
+    let ic = open_in file in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = ',' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         if String.length line > 8 && String.sub line 0 8 = "{ \"name\"" then
+           Scanf.sscanf line
+             "{ %S: %S, %S: %d, %S: %d, %S: %S, %S: %S }"
+             (fun _ name _ states _ transitions _ sd _ ed ->
+               entries := (name, (states, transitions, sd, ed)) :: !entries)
+       done
+     with End_of_file -> close_in ic);
+    List.rev !entries
+  in
+  let action configs max_depth max_states no_por jobs budget baseline write_baseline
+      replay coverage =
+    let plans =
+      let all = Checker.tiny_plans () in
+      match configs with
+      | [] -> all
+      | names ->
+          List.map
+            (fun n ->
+              match List.assoc_opt n all with
+              | Some p -> (n, p)
+              | None ->
+                  Printf.eprintf "unknown check configuration %S\nknown: %s\n" n
+                    (String.concat ", " plan_names);
+                  exit 1)
+            names
+    in
+    let adjust (name, p) =
+      ( name,
+        {
+          p with
+          Checker.max_depth = Option.value ~default:p.Checker.max_depth max_depth;
+          max_states = Option.value ~default:p.Checker.max_states max_states;
+          por = (not no_por) && p.Checker.por;
+        } )
+    in
+    let plans = List.map adjust plans in
+    match replay with
+    | Some spec -> (
+        let name, plan =
+          match plans with
+          | [ np ] -> np
+          | _ ->
+              Printf.eprintf "--replay needs exactly one --config\n";
+              exit 1
+        in
+        let trail =
+          String.split_on_char ';' (String.concat ";" (String.split_on_char ',' spec))
+          |> List.filter (fun s -> String.trim s <> "")
+          |> List.map (fun s -> int_of_string (String.trim s))
+        in
+        let outcome, events = Checker.replay plan trail in
+        List.iter (fun e -> Format.printf "%a@." Trace.pp_event e) events;
+        match outcome with
+        | `Violation m ->
+            Printf.printf "replay(%s): VIOLATION %s\n" name m;
+            exit 1
+        | `Terminal -> Printf.printf "replay(%s): terminal, no violation\n" name
+        | `Incomplete ->
+            Printf.printf "replay(%s): trail exhausted before a terminal\n" name)
+    | None ->
+        let t_start = Unix.gettimeofday () in
+        let failed = ref false in
+        let results = ref [] in
+        List.iter
+          (fun (name, plan) ->
+            let elapsed = Unix.gettimeofday () -. t_start in
+            match budget with
+            | Some b when elapsed > b ->
+                Printf.printf "%-20s SKIPPED (budget %.0fs exhausted)\n" name b
+            | _ ->
+                let t0 = Unix.gettimeofday () in
+                let r, pairs =
+                  if coverage then
+                    let r, pairs = Checker.covered_pairs plan in
+                    (r, Some pairs)
+                  else (Checker.explore ~workers:jobs plan, None)
+                in
+                let dt = Unix.gettimeofday () -. t0 in
+                let s = r.Checker.summary and d = r.Checker.diagnostics in
+                results := (name, s) :: !results;
+                Printf.printf
+                  "%-20s states=%d transitions=%d paths=%d decisions=%d \
+                   por-collapsed=%d deepest=%d%s  (%.2fs)\n"
+                  name s.Checker.states s.Checker.transitions d.Checker.paths
+                  d.Checker.decisions d.Checker.por_collapsed d.Checker.deepest
+                  (if d.Checker.truncated_depth > 0 || d.Checker.truncated_states then
+                     " TRUNCATED"
+                   else "")
+                  dt;
+                if d.Checker.truncated_depth > 0 || d.Checker.truncated_states then
+                  failed := true;
+                List.iter
+                  (fun (v : Checker.violation) ->
+                    failed := true;
+                    Printf.printf
+                      "  VIOLATION: %s\n  counterexample trail: %s\n  replay: xguard \
+                       check -c %s --replay '%s'\n"
+                      v.Checker.message
+                      (String.concat ";" (List.map string_of_int v.Checker.trail))
+                      name
+                      (String.concat ";" (List.map string_of_int v.Checker.trail)))
+                  s.Checker.violations;
+                Option.iter
+                  (List.iter (fun (space, keys) ->
+                       Printf.printf "  %s: %d pairs\n    %s\n" space
+                         (List.length keys) (String.concat " " keys)))
+                  pairs)
+          plans;
+        let results = List.rev !results in
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            output_string oc "{ \"configs\": [\n";
+            List.iteri
+              (fun i (name, s) ->
+                output_string oc (baseline_line name s);
+                if i < List.length results - 1 then output_string oc ",";
+                output_string oc "\n")
+              results;
+            output_string oc "] }\n";
+            close_out oc;
+            Printf.printf "baseline written to %s\n" file)
+          write_baseline;
+        Option.iter
+          (fun file ->
+            let base = parse_baseline file in
+            List.iter
+              (fun (name, (s : Checker.summary)) ->
+                match List.assoc_opt name base with
+                | None -> Printf.printf "baseline: %s not pinned (new entry?)\n" name
+                | Some (states, transitions, sd, ed) ->
+                    if
+                      states <> s.Checker.states
+                      || transitions <> s.Checker.transitions
+                      || sd <> s.Checker.states_digest
+                      || ed <> s.Checker.edges_digest
+                    then begin
+                      failed := true;
+                      Printf.printf
+                        "baseline DRIFT on %s: expected states=%d transitions=%d \
+                         got states=%d transitions=%d (digests %s)\n"
+                        name states transitions s.Checker.states s.Checker.transitions
+                        (if sd = s.Checker.states_digest && ed = s.Checker.edges_digest
+                         then "match"
+                         else "differ")
+                    end)
+              results)
+          baseline;
+        if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Exhaustively model-check the guard invariants on tiny configurations")
+    Term.(const action $ configs_arg $ max_depth_arg $ max_states_arg $ no_por_flag
+          $ jobs_arg $ budget_arg $ baseline_arg $ write_baseline_arg $ replay_arg
+          $ coverage_pairs_flag)
+
 let () =
   let doc = "Crossing Guard: mediating host-accelerator coherence interactions (reproduction)" in
   let info = Cmd.info "xguard" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; stress_cmd; fuzz_cmd; campaign_cmd; report_cmd; list_cmd ]))
+       (Cmd.group info
+          [ run_cmd; stress_cmd; fuzz_cmd; campaign_cmd; report_cmd; list_cmd; check_cmd ]))

@@ -28,6 +28,9 @@ type t = {
   mshr_limit : int;
   mutable pending_gets : int;
   mutable pending_evictions : int;
+  (* Choice tag for hit-latency completion events (model checker);
+     [Engine.no_tag] outside check mode. *)
+  mutable check_tag : int;
 }
 
 module Spec = struct
@@ -140,6 +143,7 @@ let create ~engine ~name ~flavor ~sets ~ways ?(hit_latency = 1) ?(mshr_limit = 1
     mshr_limit;
     pending_gets = 0;
     pending_evictions = 0;
+    check_tag = Engine.no_tag;
   }
 
 let name t = t.name
@@ -188,7 +192,8 @@ let state_key = function
   | Stable St_s -> "S"
   | Busy _ -> "B"
 
-let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
+let complete t ~on_done value =
+  Engine.schedule t.engine ~delay:t.hit_latency ~tag:t.check_tag (fun () -> on_done value)
 
 (* Start evicting a stable line; the line enters B (Busy Put) until WbAck. *)
 let start_eviction t addr line stable =
@@ -365,3 +370,38 @@ let deliver t = function
   | Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate } -> on_invalidate t addr
   | Xg_iface.To_xg_req _ | Xg_iface.To_xg_resp _ ->
       invalid_arg (t.name ^ ": received an accelerator-to-XG message")
+
+(* ---- model-checker support ---- *)
+
+let set_check_ctrl t ctrl = t.check_tag <- Engine.pack_tag ~ctrl ~addr:(-1)
+
+let check_lines t =
+  Cache_array.to_list t.array
+  |> List.map (fun (addr, line) ->
+         let cls =
+           match line.st with
+           | Stable St_m -> `M
+           | Stable St_e -> `E
+           | Stable St_s -> `S
+           | Busy _ -> `T
+         in
+         (addr, cls, line.data))
+  |> List.sort (fun (a, _, _) (b, _, _) -> Addr.compare a b)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "al1[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Cache_array.to_list t.array
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, line) ->
+         Buffer.add_string buf (Printf.sprintf "a%d:" (Addr.to_int addr));
+         (match line.st with
+         | Stable St_m -> Buffer.add_char buf 'M'
+         | Stable St_e -> Buffer.add_char buf 'E'
+         | Stable St_s -> Buffer.add_char buf 'S'
+         | Busy (Get { access; _ }) ->
+             Buffer.add_string buf
+               (Format.asprintf "g%a" Access.pp access)
+         | Busy Put -> Buffer.add_char buf 'p');
+         Buffer.add_string buf (Printf.sprintf ":%d;" (line.data : Data.t)))

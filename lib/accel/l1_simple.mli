@@ -85,3 +85,18 @@ val coverage_space : Xguard_trace.Coverage.space
 (** {!Spec.mesi} as a coverage space: possible pairs are exactly the non-
     [Impossible] Table 1 entries ([WB Ack] spelled ["WbAck"] to match the
     {!coverage} keys). *)
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val set_check_ctrl : t -> int -> unit
+(** Tag hit-latency completion events with this cache's controller id (its
+    link node) so the model checker treats them as conflicting with the
+    cache's message deliveries. *)
+
+val check_lines : t -> (Addr.t * [ `S | `E | `M | `T ] * Data.t) list
+(** Every resident line, sorted by block: stability class ([`T] for Busy)
+    and current data. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append all lines (including Busy pend details) to a canonical
+    model-checker state fingerprint (coverage excluded). *)

@@ -1,0 +1,580 @@
+(** Bounded explicit-state model checker over the deterministic simulation.
+
+    The simulator is already deterministic given (a) which of the events
+    sharing the minimal timestamp fires next and (b) which latency each
+    unordered-network draw picks.  Both are surfaced as explicit choices
+    ({!Xguard_sim.Engine.choices} / the delay-chooser hook), so a whole
+    execution is a pure function of its choice string.  The checker runs a
+    depth-first search over that choice tree by re-execution: each path
+    rebuilds the system from {!Xguard_harness.System.build} and replays its
+    recorded prefix — no state copying, no forking.
+
+    States are canonical fingerprints ({!Xguard_harness.System.t.check_fingerprint}
+    plus the driver sequencers), hashed at every decision point, at the root
+    and at drained terminals; a revisited fingerprint prunes the subtree
+    (the fingerprint covers all live state including the pending-event
+    horizon, so the future from an equal fingerprint is identical).
+
+    Partial-order reduction: when several events share the timestamp, a
+    candidate whose choice tag conflicts with no other candidate commutes
+    with all of them and is fired without branching; the checker only
+    branches when some candidate pair may fail to commute (same controller,
+    same block, or untagged).  See DESIGN.md §10 for the soundness argument.
+
+    Invariants are asserted after every fired event (SWMR, single-owner,
+    data-value, guard G1b, guard inclusivity) and, at drained terminals, the
+    stronger quiescent agreement checks plus deadlock detection.  A violation
+    yields a minimal counterexample trail replayable with {!replay}. *)
+
+module Engine = Xguard_sim.Engine
+module Sys = Xguard_harness.System
+module Config = Xguard_harness.Config
+module Pool = Xguard_parallel.Pool
+module Coverage = Xguard_trace.Coverage
+module Trace = Xguard_trace.Trace
+
+(* ---- plans ---- *)
+
+type agent = Cpu of int | Accel of int
+
+type plan = {
+  config : Config.t;
+  ops : (agent * Access.t list) list;  (* each agent issues its list in order *)
+  max_depth : int;  (* choice-tree decisions per path *)
+  max_states : int;  (* global distinct-fingerprint budget *)
+  por : bool;
+}
+
+let agent_label = function
+  | Cpu i -> Printf.sprintf "cpu%d" i
+  | Accel i -> Printf.sprintf "accel%d" i
+
+let pp_agent fmt a = Format.pp_print_string fmt (agent_label a)
+
+let validate plan =
+  let cfg = plan.config in
+  if cfg.Config.host_net_min < 1 || cfg.Config.link_latency < 1 then
+    invalid_arg
+      "Checker.validate: all latencies must be >= 1 so a fired event cannot \
+       inject new work into the current timestamp pool (POR soundness)";
+  if plan.max_depth < 1 || plan.max_states < 1 then
+    invalid_arg "Checker.validate: budgets must be positive";
+  List.iter
+    (fun (agent, accesses) ->
+      (match agent with
+      | Cpu i when i < 0 || i >= cfg.Config.num_cpus ->
+          invalid_arg (Printf.sprintf "Checker.validate: no cpu %d in config" i)
+      | _ -> ());
+      List.iter
+        (fun (a : Access.t) ->
+          if Addr.to_int a.Access.addr >= (1 lsl 24) - 1 then
+            invalid_arg "Checker.validate: block addresses must fit in 24-bit tags")
+        accesses)
+    plan.ops
+
+(* ---- summaries ---- *)
+
+type violation = { trail : int list; message : string }
+
+(* Canonical summary: identical for any worker count (see {!explore}).  The
+   two digests hash the sorted visited-state and edge sets, so two summaries
+   are equal iff the explored graphs are. *)
+type summary = {
+  states : int;
+  transitions : int;
+  states_digest : string;
+  edges_digest : string;
+  violations : violation list;  (* sorted; empty on a healthy model *)
+}
+
+(* Traversal-order-dependent counters; excluded from the canonical summary
+   because sharded exploration legitimately re-executes pruned segments. *)
+type diagnostics = {
+  paths : int;
+  decisions : int;
+  por_collapsed : int;  (* multi-candidate pools fired without branching *)
+  deepest : int;
+  truncated_depth : int;  (* paths cut by the depth budget *)
+  truncated_states : bool;  (* state budget reached *)
+}
+
+type result = { summary : summary; diagnostics : diagnostics }
+
+let summary_to_string s =
+  let vio =
+    String.concat ","
+      (List.map
+         (fun v ->
+           Printf.sprintf "{%s|%s}"
+             (String.concat ";" (List.map string_of_int v.trail))
+             v.message)
+         s.violations)
+  in
+  Printf.sprintf "states=%d transitions=%d states_md5=%s edges_md5=%s violations=[%s]"
+    s.states s.transitions s.states_digest s.edges_digest vio
+
+(* ---- one path ---- *)
+
+type shared = {
+  visited : (string, unit) Hashtbl.t;
+  edges : (string * string, unit) Hashtbl.t;
+  mutable n_paths : int;
+  mutable n_decisions : int;
+  mutable n_por : int;
+  mutable n_deepest : int;
+  mutable n_trunc_depth : int;
+  mutable trunc_states : bool;
+}
+
+let fresh_shared () =
+  {
+    visited = Hashtbl.create 4096;
+    edges = Hashtbl.create 4096;
+    n_paths = 0;
+    n_decisions = 0;
+    n_por = 0;
+    n_deepest = 0;
+    n_trunc_depth = 0;
+    trunc_states = false;
+  }
+
+exception Stop_path of [ `Violation of string | `Depth | `Pruned | `States ]
+
+(* A decision recorded along one path: which branch was taken out of how
+   many.  Scheduler choices and delay choices share one sequence — execution
+   is a pure function of the flattened [chosen] string. *)
+type decision = { chosen : int; arity : int }
+
+type path = {
+  trail : decision array;  (* in order *)
+  ending : [ `Terminal | `Violation of string | `Depth | `Pruned | `States ];
+}
+
+(* Execute one path: replay [prefix] choices, then take branch 0 at every new
+   decision, recording arities for the caller to backtrack over.  [sh] is
+   consulted for pruning only beyond the prefix. *)
+let run_path ?extra_invariant ?(collect = fun (_ : Sys.t) -> ()) plan ~(prefix : int array)
+    ~(sh : shared) () =
+  let sys = Sys.build plan.config in
+  sys.Sys.check_enable ();
+  let trail = ref [] and n_trail = ref 0 in
+  let decide arity =
+    if arity < 1 then invalid_arg "Checker: empty decision";
+    if !n_trail >= plan.max_depth then raise (Stop_path `Depth);
+    let chosen = if !n_trail < Array.length prefix then prefix.(!n_trail) else 0 in
+    if chosen >= arity then
+      invalid_arg
+        (Printf.sprintf "Checker: stale prefix (chose %d of %d at decision %d)" chosen
+           arity !n_trail);
+    trail := { chosen; arity } :: !trail;
+    incr n_trail;
+    sh.n_decisions <- sh.n_decisions + 1;
+    chosen
+  in
+  sys.Sys.check_set_delay_chooser (fun ~lo ~hi ->
+      if hi <= lo then lo else lo + decide (hi - lo + 1));
+  (* Driver: one sequencer per referenced port, each replaying its op list. *)
+  let remaining = ref 0 in
+  List.iter (fun (_, accesses) -> remaining := !remaining + List.length accesses) plan.ops;
+  List.iter
+    (fun (agent, accesses) ->
+      let port, ctrl =
+        match agent with
+        | Cpu i -> (sys.Sys.cpu_ports.(i), sys.Sys.check_cpu_ctrls.(i))
+        | Accel i -> (sys.Sys.accel_ports.(i), sys.Sys.check_accel_ctrls.(i))
+      in
+      let seq =
+        Sequencer.create ~engine:sys.Sys.engine ~name:("chk." ^ agent_label agent) ~port
+          ~max_outstanding:1 ()
+      in
+      if ctrl >= 0 then Sequencer.set_check_ctrl seq ctrl;
+      let rec issue = function
+        | [] -> ()
+        | access :: rest ->
+            Sequencer.request seq access ~on_complete:(fun _value ~latency:_ ->
+                decr remaining;
+                issue rest)
+      in
+      issue accesses)
+    plan.ops;
+  let digest () =
+    let buf = Buffer.create 1024 in
+    sys.Sys.check_fingerprint buf;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let check_invariants () =
+    (match sys.Sys.check_invariant () with
+    | Some msg -> raise (Stop_path (`Violation msg))
+    | None -> ());
+    match extra_invariant with
+    | Some f -> (
+        match f sys with Some msg -> raise (Stop_path (`Violation msg)) | None -> ())
+    | None -> ()
+  in
+  let engine = sys.Sys.engine in
+  (* Digest of the previous decision point on this path; [None] before the
+     first one (the root is only counted once it is itself a decision point
+     or terminal, so an immediate branch does not self-prune). *)
+  let cur = ref None in
+  let visit_state d =
+    (match !cur with Some c -> Hashtbl.replace sh.edges (c, d) () | None -> ());
+    (if Hashtbl.mem sh.visited d then
+       (* Within the prefix a revisit is just the replay passing through its
+          own footsteps; beyond it, an equal fingerprint means an identical
+          future — prune. *)
+       (if !n_trail >= Array.length prefix then raise (Stop_path `Pruned))
+     else begin
+       if Hashtbl.length sh.visited >= plan.max_states then begin
+         sh.trunc_states <- true;
+         raise (Stop_path `States)
+       end;
+       Hashtbl.replace sh.visited d ()
+     end);
+    cur := Some d
+  in
+  let ending =
+    try
+      check_invariants ();
+      let rec loop () =
+        let cands = Engine.choices engine in
+        let n = Array.length cands in
+        if n = 0 then begin
+          (* Drained terminal: deadlock and quiescent checks run before the
+             visited-set lookup — [remaining] is driver progress the
+             fingerprint does not cover, so these must fire even on a state
+             that would otherwise prune. *)
+          if !remaining > 0 then
+            raise
+              (Stop_path
+                 (`Violation
+                   (Printf.sprintf "deadlock: drained with %d accesses incomplete"
+                      !remaining)));
+          (match sys.Sys.check_quiescent_invariant () with
+          | Some msg -> raise (Stop_path (`Violation msg))
+          | None -> ());
+          visit_state (digest ());
+          `Terminal
+        end
+        else begin
+          (* POR: a candidate whose tag conflicts with no other candidate
+             commutes with every one of them; fire it without branching. *)
+          let independent =
+            if (not plan.por) || n = 1 then None
+            else begin
+              let found = ref None in
+              let i = ref 0 in
+              while !found = None && !i < n do
+                let tag_i = fst cands.(!i) in
+                if tag_i <> Engine.no_tag then begin
+                  let ok = ref true in
+                  for j = 0 to n - 1 do
+                    if j <> !i && Engine.tags_conflict tag_i (fst cands.(j)) then
+                      ok := false
+                  done;
+                  if !ok then found := Some !i
+                end;
+                incr i
+              done;
+              !found
+            end
+          in
+          let idx =
+            match independent with
+            | Some i ->
+                if n > 1 then sh.n_por <- sh.n_por + 1;
+                i
+            | None ->
+                if n = 1 then 0
+                else begin
+                  visit_state (digest ());
+                  decide n
+                end
+          in
+          (* Keys are invalidated by any firing; re-read the pool. *)
+          let cands = Engine.choices engine in
+          if idx >= Array.length cands then invalid_arg "Checker: choice pool changed";
+          Engine.fire_choice engine ~key:(snd cands.(idx));
+          check_invariants ();
+          loop ()
+        end
+      in
+      loop ()
+    with Stop_path e -> (e :> [ `Terminal | `Violation of string | `Depth | `Pruned | `States ])
+  in
+  (* Even a pruned path may have fired transitions its parent never did
+     (between the branch point and the prune), so coverage is harvested from
+     every path. *)
+  collect sys;
+  sh.n_paths <- sh.n_paths + 1;
+  if !n_trail > sh.n_deepest then sh.n_deepest <- !n_trail;
+  (match ending with `Depth -> sh.n_trunc_depth <- sh.n_trunc_depth + 1 | _ -> ());
+  { trail = Array.of_list (List.rev !trail); ending }
+
+(* ---- DFS driver ---- *)
+
+let compare_violation (a : violation) (b : violation) =
+  match compare (List.length a.trail) (List.length b.trail) with
+  | 0 -> compare (a.trail, a.message) (b.trail, b.message)
+  | c -> c
+
+(* Explore every sibling of every decision below [base], depth-first.  Stops
+   expanding on the first violation (its trail is the counterexample). *)
+let explore_from ?extra_invariant ?collect plan ~sh ~(base : int array) =
+  let violations = ref [] in
+  let stack = ref [ base ] in
+  let budget_hit () = sh.trunc_states in
+  while !stack <> [] && !violations = [] && not (budget_hit ()) do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        let p = run_path ?extra_invariant ?collect plan ~prefix ~sh () in
+        (match p.ending with
+        | `Violation message ->
+            violations :=
+              [ { trail = Array.to_list (Array.map (fun d -> d.chosen) p.trail); message } ]
+        | `Terminal | `Depth | `Pruned | `States -> ());
+        (* Push unexplored siblings of every decision taken beyond the popped
+           prefix (positions inside it were already enumerated when its
+           ancestors ran), deepest first so the traversal stays
+           depth-first. *)
+        if !violations = [] then
+          for i = Array.length p.trail - 1 downto Array.length prefix do
+            let d = p.trail.(i) in
+            for c = d.arity - 1 downto d.chosen + 1 do
+              let sibling = Array.init (i + 1) (fun j -> if j = i then c else p.trail.(j).chosen) in
+              stack := sibling :: !stack
+            done
+          done
+  done;
+  !violations
+
+let summarize sh violations =
+  let sorted tbl render =
+    Hashtbl.fold (fun k () acc -> render k :: acc) tbl []
+    |> List.sort String.compare |> String.concat "\n"
+  in
+  {
+    states = Hashtbl.length sh.visited;
+    transitions = Hashtbl.length sh.edges;
+    states_digest = Digest.to_hex (Digest.string (sorted sh.visited Fun.id));
+    edges_digest =
+      Digest.to_hex (Digest.string (sorted sh.edges (fun (a, b) -> a ^ ">" ^ b)));
+    violations = List.sort_uniq compare_violation violations;
+  }
+
+let diagnostics_of sh =
+  {
+    paths = sh.n_paths;
+    decisions = sh.n_decisions;
+    por_collapsed = sh.n_por;
+    deepest = sh.n_deepest;
+    truncated_depth = sh.n_trunc_depth;
+    truncated_states = sh.trunc_states;
+  }
+
+(* Sequential exploration. *)
+let explore_seq ?extra_invariant ?collect plan =
+  validate plan;
+  let sh = fresh_shared () in
+  let violations = explore_from ?extra_invariant ?collect plan ~sh ~base:[||] in
+  (summarize sh violations, diagnostics_of sh)
+
+(* Frontier sharding: phase 1 explores sequentially but cuts every path at
+   [split] decisions, collecting the cut prefixes; phase 2 fans the prefix
+   cones out over a pool.  Each shard prunes only within its own cone, so it
+   may re-execute states another shard also reaches — the visited/edge SETS
+   it contributes are the same ones the sequential search finds (an equal
+   fingerprint has an identical future), and the merged summary is
+   byte-identical to the sequential one. *)
+let explore ?(workers = 1) ?extra_invariant ?collect plan =
+  validate plan;
+  if workers <= 1 then
+    let summary, diagnostics = explore_seq ?extra_invariant ?collect plan in
+    { summary; diagnostics }
+  else begin
+    let split = 6 in
+    let sh1 = fresh_shared () in
+    let frontier = ref [] in
+    let phase1 = { plan with max_depth = min plan.max_depth split } in
+    let stack = ref [ [||] ] in
+    let violations = ref [] in
+    while !stack <> [] && !violations = [] do
+      match !stack with
+      | [] -> ()
+      | prefix :: rest ->
+          stack := rest;
+          let p = run_path ?extra_invariant ?collect phase1 ~prefix ~sh:sh1 () in
+          (match p.ending with
+          | `Violation message ->
+              violations :=
+                [
+                  { trail = Array.to_list (Array.map (fun d -> d.chosen) p.trail); message };
+                ]
+          | `Depth ->
+              frontier := Array.map (fun d -> d.chosen) p.trail :: !frontier
+          | `Terminal | `Pruned | `States -> ());
+          if !violations = [] then
+            for i = Array.length p.trail - 1 downto 0 do
+              let d = p.trail.(i) in
+              for c = d.arity - 1 downto d.chosen + 1 do
+                let sibling =
+                  Array.init (i + 1) (fun j -> if j = i then c else p.trail.(j).chosen)
+                in
+                stack := sibling :: !stack
+              done
+            done
+    done;
+    let frontier = Array.of_list (List.rev !frontier) in
+    let outcomes =
+      Pool.map ~workers ~jobs:(Array.length frontier) (fun i ->
+          let sh = fresh_shared () in
+          let vio = explore_from ?extra_invariant ?collect plan ~sh ~base:frontier.(i) in
+          (sh, vio))
+    in
+    (* Merge: set union; phase-1 structures seed the union. *)
+    let merged = sh1 in
+    let all_violations = ref !violations in
+    Array.iter
+      (function
+        | Pool.Done (sh, vio) ->
+            Hashtbl.iter (fun k () -> Hashtbl.replace merged.visited k ()) sh.visited;
+            Hashtbl.iter (fun k () -> Hashtbl.replace merged.edges k ()) sh.edges;
+            merged.n_paths <- merged.n_paths + sh.n_paths;
+            merged.n_decisions <- merged.n_decisions + sh.n_decisions;
+            merged.n_por <- merged.n_por + sh.n_por;
+            if sh.n_deepest > merged.n_deepest then merged.n_deepest <- sh.n_deepest;
+            merged.n_trunc_depth <- merged.n_trunc_depth + sh.n_trunc_depth;
+            if sh.trunc_states then merged.trunc_states <- true;
+            all_violations := vio @ !all_violations
+        | Pool.Failed msg -> all_violations := { trail = []; message = "shard crashed: " ^ msg } :: !all_violations)
+      outcomes;
+    { summary = summarize merged !all_violations; diagnostics = diagnostics_of merged }
+  end
+
+(* ---- counterexample replay ---- *)
+
+(* Re-execute one trail with the trace buffer armed and return the recorded
+   events plus whatever the trail ends in.  Used by [xguard check --replay]
+   and the broken-invariant regression test. *)
+let replay ?extra_invariant ?(trace_capacity = 4096) plan (trail : int list) =
+  validate plan;
+  let buf = Trace.create ~capacity:trace_capacity () in
+  let sh = fresh_shared () in
+  let outcome =
+    Trace.with_armed buf (fun () ->
+        let p =
+          run_path ?extra_invariant plan ~prefix:(Array.of_list trail) ~sh ()
+        in
+        match p.ending with
+        | `Violation m -> `Violation m
+        | `Terminal -> `Terminal
+        | `Depth | `Pruned | `States -> `Incomplete)
+  in
+  (outcome, Trace.to_list buf)
+
+(* ---- canned tiny configurations ---- *)
+
+(* The exhaustively-checkable corner of the configuration space: one CPU, one
+   accelerator core, direct-mapped-ish caches over 2-3 blocks, every latency
+   pinned to its minimum, a jitter-free host network (the scheduler-choice
+   layer still explores every same-cycle interleaving).  [jitter] re-opens
+   link-delay nondeterminism (host_net 1..2) for a deliberately wider tree. *)
+let tiny_config ?(jitter = false) ~host ~variant () =
+  {
+    Config.default with
+    Config.host;
+    org = Config.Xg_one_level variant;
+    num_cpus = 1;
+    num_accel_cores = 1;
+    seed = 1;
+    cpu_sets = 1;
+    cpu_ways = 2;
+    accel_sets = 1;
+    accel_ways = 1;
+    accel_l2_sets = 1;
+    accel_l2_ways = 2;
+    host_l2_sets = 1;
+    host_l2_ways = 2;
+    host_net_min = 1;
+    host_net_max = (if jitter then 2 else 1);
+    link_latency = 1;
+    link_ordered = true;
+    mem_latency = 1;
+    dir_occupancy = 0;
+    xg_timeout = 400;
+  }
+
+(* Two blocks, crossing access patterns: the CPU and the accelerator both
+   touch both blocks, with stores on each side so ownership migrates across
+   the guard in both directions. *)
+let tiny_ops () =
+  let a0 = Addr.block 0 and a1 = Addr.block 1 in
+  [
+    (Cpu 0, [ Access.store a0 (Data.token 1); Access.load a1 ]);
+    (Accel 0, [ Access.store a1 (Data.token 2); Access.load a0 ]);
+  ]
+
+let tiny_plan ?(jitter = false) ~host ~variant () =
+  {
+    config = tiny_config ~jitter ~host ~variant ();
+    ops = tiny_ops ();
+    max_depth = 2000;
+    max_states = 500_000;
+    por = true;
+  }
+
+(* The named sweep [xguard check] and tools/check_model.sh iterate; the
+   baseline file pins one line per entry.  Jittered trees are an order of
+   magnitude bigger, so they come last — a wall-clock budget cuts from the
+   tail. *)
+let tiny_plans () =
+  [
+    ("hammer/full", tiny_plan ~host:Config.Hammer ~variant:Config.Full_state ());
+    ("mesi/full", tiny_plan ~host:Config.Mesi ~variant:Config.Full_state ());
+    ("hammer/trans", tiny_plan ~host:Config.Hammer ~variant:Config.Transactional ());
+    ("mesi/trans", tiny_plan ~host:Config.Mesi ~variant:Config.Transactional ());
+    ("mesi/full+jitter",
+     tiny_plan ~jitter:true ~host:Config.Mesi ~variant:Config.Full_state ());
+    ("hammer/full+jitter",
+     tiny_plan ~jitter:true ~host:Config.Hammer ~variant:Config.Full_state ());
+  ]
+
+(* ---- coverage accumulation ---- *)
+
+(* Every ["STATE.Event"] pair hit anywhere in the explored choice tree, per
+   coverage space — the checker's reachable-set output, which the coverage
+   floors cite when distinguishing "provably unreachable under this config"
+   from "the random suite just never got there".  Sequential only (the
+   accumulator is shared mutable state). *)
+let covered_pairs ?extra_invariant plan =
+  let acc : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let collect (sys : Sys.t) =
+    List.iter
+      (fun (name, (_ : Coverage.space), groups) ->
+        let set =
+          match Hashtbl.find_opt acc name with
+          | Some s -> s
+          | None ->
+              let s = Hashtbl.create 64 in
+              Hashtbl.add acc name s;
+              s
+        in
+        List.iter
+          (fun g ->
+            List.iter
+              (fun (k, n) -> if n > 0 then Hashtbl.replace set k ())
+              (Xguard_stats.Counter.Group.to_list g))
+          groups)
+      (sys.Sys.coverage_sets ())
+  in
+  let summary, diagnostics = explore_seq ?extra_invariant ~collect plan in
+  let pairs =
+    Hashtbl.fold
+      (fun name set acc ->
+        (name, Hashtbl.fold (fun k () l -> k :: l) set [] |> List.sort String.compare)
+        :: acc)
+      acc []
+    |> List.sort compare
+  in
+  ({ summary; diagnostics }, pairs)

@@ -34,6 +34,13 @@ type t = {
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
   link_stats : unit -> (string * int) list;
   quarantined : unit -> bool;
+  check_enable : unit -> unit;
+  check_set_delay_chooser : (lo:int -> hi:int -> int) -> unit;
+  check_fingerprint : Buffer.t -> unit;
+  check_invariant : unit -> string option;
+  check_quiescent_invariant : unit -> string option;
+  check_cpu_ctrls : int array;
+  check_accel_ctrls : int array;
 }
 
 let coverage_reports t =
@@ -68,6 +75,136 @@ let fault_link_stats ~accel_link () =
 
 let xg_quarantined ~xg_core () =
   match xg_core with Some c -> Xg.Xg_core.quarantined c | None -> false
+
+(* ---- model-checker hooks (lib/check) ----
+
+   The invariants below speak a protocol-agnostic stability lattice: [`S]
+   shared, [`E] exclusive clean, [`O] owned with possible sharers, [`M]
+   modified, [`T] transient (the block has an open transaction somewhere and
+   is skipped — per-address invariants only apply between transactions). *)
+
+let class_char = function `S -> 'S' | `E -> 'E' | `O -> 'O' | `M -> 'M' | `T -> 'T'
+
+(* SWMR, single-owner and the data-value invariant over every resident copy.
+   [skip] masks addresses with an open host-side transaction (directory / L2
+   busy), whose copies are legitimately mid-transfer. *)
+let swmr_and_value ~mem_read ~skip
+    (lines : (string * (Addr.t * [ `S | `E | `O | `M | `T ] * Data.t) list) list) =
+  let tbl : (Addr.t, (string * [ `S | `E | `O | `M | `T ] * Data.t) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  List.iter
+    (fun (who, ls) ->
+      List.iter
+        (fun (a, st, d) ->
+          let prev = match Hashtbl.find_opt tbl a with Some l -> l | None -> [] in
+          Hashtbl.replace tbl a ((who, st, d) :: prev))
+        ls)
+    lines;
+  let describe entries =
+    String.concat ", "
+      (List.map
+         (fun (who, st, (d : Data.t)) -> Printf.sprintf "%s=%c/%d" who (class_char st) d)
+         entries)
+  in
+  Hashtbl.fold
+    (fun a entries acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if skip a || List.exists (fun (_, st, _) -> st = `T) entries then None
+          else
+            let exclusive = List.filter (fun (_, st, _) -> st = `E || st = `M) entries in
+            let owners = List.filter (fun (_, st, _) -> st <> `S) entries in
+            if exclusive <> [] && List.length entries > 1 then
+              Some
+                (Printf.sprintf "SWMR violated at block %d: %s" (Addr.to_int a)
+                   (describe entries))
+            else if List.length owners > 1 then
+              Some
+                (Printf.sprintf "multiple owners of block %d: %s" (Addr.to_int a)
+                   (describe entries))
+            else
+              let expected =
+                match owners with
+                | [ (_, (`O | `M), d) ] -> Some d
+                | [ (_, `E, _) ] -> None (* sole copy; nothing shares it *)
+                | _ -> Some (mem_read a)
+              in
+              (match expected with
+              | None -> None
+              | Some (v : Data.t) ->
+                  List.fold_left
+                    (fun acc (who, st, (d : Data.t)) ->
+                      match acc with
+                      | Some _ -> acc
+                      | None ->
+                          if st = `S && d <> v then
+                            Some
+                              (Printf.sprintf
+                                 "data-value violated at block %d: %s holds %d, coherent value is %d"
+                                 (Addr.to_int a) who d v)
+                          else None)
+                    None entries))
+    tbl None
+
+(* Guard inclusivity: with a well-behaved accelerator (the checker's), every
+   stable line it holds must be in the guard's full-state table, and a line
+   writable at the accelerator must be tracked writable. *)
+let guard_inclusive ~xg_core ~accel_lines =
+  match xg_core with
+  | Some core when Xg.Xg_core.mode core = Xg.Xg_core.Full_state ->
+      let tracked = Xg.Xg_core.check_tracked core in
+      List.fold_left
+        (fun acc (a, st, _) ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match st with
+              | `T -> None
+              | (`S | `E | `M) as st -> (
+                  match List.find_opt (fun (ta, _, _) -> Addr.equal ta a) tracked with
+                  | None ->
+                      Some
+                        (Printf.sprintf
+                           "guard inclusivity violated: accel holds block %d untracked"
+                           (Addr.to_int a))
+                  | Some (_, `S, _) when st <> `S ->
+                      Some
+                        (Printf.sprintf
+                           "guard tracks block %d as S but accel holds %c" (Addr.to_int a)
+                           (class_char st))
+                  | Some _ -> None)))
+        None accel_lines
+  | _ -> None
+
+let xg_structural ~xg_core () =
+  match xg_core with Some c -> Xg.Xg_core.check_violation c | None -> None
+
+(* Widen the 4-class cache dumps into the 5-class lattice. *)
+let widen_lines (ls : (Addr.t * [ `S | `E | `M | `T ] * Data.t) list) =
+  (ls :> (Addr.t * [ `S | `E | `O | `M | `T ] * Data.t) list)
+
+let no_transient_at_drain lines =
+  List.fold_left
+    (fun acc (who, ls) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun acc (a, st, _) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if st = `T then
+                    Some
+                      (Printf.sprintf
+                         "drained with block %d still transient in %s" (Addr.to_int a) who)
+                  else None)
+            acc ls)
+    None lines
+
+let first_of checks = List.fold_left (fun acc f -> match acc with Some _ -> acc | None -> f ()) None checks
 
 (* A processor port that reaches a remote sequencer across a fixed-latency
    link in both directions: the host-side-cache organization (Figure 2b). *)
@@ -239,11 +376,231 @@ let build_hammer ~attach_accel (cfg : Config.t) =
       Array.to_list
         (Array.map (fun l1 -> (A.L1_simple.name l1, A.L1_simple.coverage l1)) accel_l1s)
     in
+    let dir = Hammer_system.directory sys in
+    let memory = Hammer_system.memory sys in
+    let cpus = Hammer_system.cpus sys in
+    let host_lines () =
+      Array.to_list
+        (Array.map (fun c -> (H.L1l2.name c, H.L1l2.check_lines c)) cpus)
+    in
+    let accel_line_dumps () =
+      Array.to_list
+        (Array.map
+           (fun l1 -> (A.L1_simple.name l1, widen_lines (A.L1_simple.check_lines l1)))
+           accel_l1s)
+    in
+    let guard_owned_lines () =
+      (* Two places the guard cluster hides an architectural owner copy that
+         no cache line shows: the guard's trusted copy while the directory
+         still records the port as owner, and the port's in-flight
+         ownership-relinquishing writeback after a dirty Fwd_s (§3.2.1).
+         Surface both as owned pseudo-entries so the data-value check
+         compares sharers against them instead of stale memory. *)
+      match (xg_core, xg_port) with
+      | Some core, Some p ->
+          let pid = Node.id (H.Xg_port.node p) in
+          let tracked =
+            List.filter_map
+              (fun (a, st, copy) ->
+                match (st, copy, H.Directory.owner dir a) with
+                | `S, Some d, Some n when Node.id n = pid -> Some (a, `O, d)
+                | _ -> None)
+              (Xg.Xg_core.check_tracked core)
+          in
+          let in_put =
+            List.map (fun (a, d) -> (a, `O, d)) (H.Xg_port.check_owner_puts p)
+          in
+          let entries = tracked @ in_put in
+          if entries = [] then [] else [ ("xg", entries) ]
+      | _ -> []
+    in
+    let all_lines () = host_lines () @ accel_line_dumps () @ guard_owned_lines () in
+    let check_invariant () =
+      first_of
+        [
+          (fun () ->
+            swmr_and_value
+              ~mem_read:(Memory_model.read memory)
+              ~skip:(H.Directory.busy dir) (all_lines ()));
+          xg_structural ~xg_core;
+          (fun () ->
+            guard_inclusive ~xg_core
+              ~accel_lines:
+                (List.concat_map snd
+                   (Array.to_list
+                      (Array.map (fun l1 -> ("", A.L1_simple.check_lines l1)) accel_l1s))));
+        ]
+    in
+    let check_quiescent_invariant () =
+      let port_id = match xg_port with Some p -> Node.id (H.Xg_port.node p) | None -> -1 in
+      let full_state =
+        match xg_core with
+        | Some c -> Xg.Xg_core.mode c = Xg.Xg_core.Full_state
+        | None -> false
+      in
+      let tracked =
+        match xg_core with
+        | Some c when full_state -> Xg.Xg_core.check_tracked c
+        | _ -> []
+      in
+      first_of
+        [
+          (fun () ->
+            if H.Directory.open_transactions dir <> 0 then
+              Some "drained with an open directory transaction"
+            else None);
+          (fun () ->
+            if H.Directory.check_waiting_tables dir <> 0 then
+              Some "drained with queued directory work"
+            else None);
+          (fun () ->
+            match xg_core with
+            | Some c when Xg.Xg_core.check_pending_slots c <> 0 ->
+                Some "drained with open guard transactions"
+            | _ -> None);
+          (fun () -> no_transient_at_drain (all_lines ()));
+          (* forward: every owned cache line has a directory owner record *)
+          (fun () ->
+            Array.fold_left
+              (fun acc c ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let nid = Node.id (H.L1l2.node c) in
+                    List.fold_left
+                      (fun acc (a, st, _) ->
+                        match acc with
+                        | Some _ -> acc
+                        | None -> (
+                            match st with
+                            | `E | `O | `M -> (
+                                match H.Directory.owner dir a with
+                                | Some n when Node.id n = nid -> None
+                                | _ ->
+                                    Some
+                                      (Printf.sprintf
+                                         "directory/cache disagree: %s owns block %d unrecorded"
+                                         (H.L1l2.name c) (Addr.to_int a)))
+                            | `S | `T -> None))
+                      acc (H.L1l2.check_lines c))
+              None cpus);
+          (* guard-owned blocks must be recorded against the XG port *)
+          (fun () ->
+            List.fold_left
+              (fun acc (a, st, _) ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match st with
+                    | `E | `M -> (
+                        match H.Directory.owner dir a with
+                        | Some n when Node.id n = port_id -> None
+                        | _ ->
+                            Some
+                              (Printf.sprintf
+                                 "directory/guard disagree: guard owns block %d unrecorded"
+                                 (Addr.to_int a)))
+                    | `S -> None))
+              None tracked);
+          (* reverse: every directory owner record points at a live owner *)
+          (fun () ->
+            List.fold_left
+              (fun acc (a, n) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let nid = Node.id n in
+                    let holds =
+                      if nid = port_id then
+                        (* the guard cluster owns through a tracked E/M line
+                           or a retained trusted copy after a GetS downgrade *)
+                        (not full_state)
+                        || List.exists
+                             (fun (ta, st, copy) ->
+                               Addr.equal ta a
+                               && (st = `E || st = `M
+                                  || (st = `S && copy <> None)))
+                             tracked
+                      else
+                        Array.exists
+                          (fun c ->
+                            Node.id (H.L1l2.node c) = nid
+                            && List.exists
+                                 (fun (ta, st, _) ->
+                                   Addr.equal ta a && (st = `E || st = `O || st = `M))
+                                 (H.L1l2.check_lines c))
+                          cpus
+                    in
+                    if holds then None
+                    else
+                      Some
+                        (Printf.sprintf
+                           "directory records %s as owner of block %d but it holds nothing"
+                           (Node.name n) (Addr.to_int a)))
+              None (H.Directory.owner_entries dir));
+        ]
+    in
+    let check_enable () =
+      H.Net.enable_check_mode net ~addr_of:(fun m -> Addr.to_int m.H.Msg.addr) ();
+      match (accel_link, xg_node, accel_node, xg_port) with
+      | Some link, Some xg_n, Some accel_n, Some p ->
+          let port_ctrl = Node.id (H.Xg_port.node p) in
+          Xg.Xg_iface.Link.enable_check_mode link
+            ~ctrl_of:(fun id -> if id = Node.id xg_n then port_ctrl else id)
+            ();
+          (match xg_core with Some c -> Xg.Xg_core.set_check_ctrl c port_ctrl | None -> ());
+          Array.iter
+            (fun l1 -> A.L1_simple.set_check_ctrl l1 (Node.id accel_n))
+            accel_l1s;
+          (match accel_internal with
+          | Some il -> Xg.Xg_iface.Link.enable_check_mode il ()
+          | None -> ())
+      | _ -> ()
+    in
+    let check_set_delay_chooser f =
+      H.Net.set_delay_chooser net f;
+      (match accel_link with Some l -> Xg.Xg_iface.Link.set_delay_chooser l f | None -> ());
+      match accel_internal with
+      | Some l -> Xg.Xg_iface.Link.set_delay_chooser l f
+      | None -> ()
+    in
+    let check_fingerprint buf =
+      Array.iter (fun c -> H.L1l2.check_fingerprint c buf) cpus;
+      H.Directory.check_fingerprint dir buf;
+      (match xg_port with Some p -> H.Xg_port.check_fingerprint p buf | None -> ());
+      (match xg_core with Some c -> Xg.Xg_core.check_fingerprint c buf | None -> ());
+      Array.iter (fun l1 -> A.L1_simple.check_fingerprint l1 buf) accel_l1s;
+      H.Net.check_fingerprint net buf;
+      (match accel_link with Some l -> Xg.Xg_iface.Link.check_fingerprint l buf | None -> ());
+      (match accel_internal with
+      | Some l -> Xg.Xg_iface.Link.check_fingerprint l buf
+      | None -> ());
+      Xg.Perm_table.check_fingerprint perms buf;
+      Xg.Os_model.check_fingerprint os buf;
+      List.iter
+        (fun (a, (d : Data.t)) ->
+          if d <> Data.initial a then
+            Buffer.add_string buf (Printf.sprintf "M%d:%d;" (Addr.to_int a) d))
+        (Memory_model.touched memory);
+      (* The pending-event horizon closes any window a component dump misses
+         (e.g. a completion callback whose TBE is already freed).  Extra
+         discrimination only ever splits states — it cannot merge two
+         architecturally different ones. *)
+      Array.iter
+        (fun (dt, tag) -> Buffer.add_string buf (Printf.sprintf "e%d:%d;" dt tag))
+        (Engine.pending_summary engine)
+    in
+    let check_cpu_ctrls = Array.map (fun c -> Node.id (H.L1l2.node c)) cpus in
+    let check_accel_ctrls =
+      match accel_node with
+      | Some n -> Array.map (fun _ -> Node.id n) accel_ports
+      | None -> Array.map (fun _ -> -1) accel_ports
+    in
     {
       config = cfg;
       engine;
       rng;
-      memory = Hammer_system.memory sys;
+      memory;
       perms;
       os;
       cpu_ports = Hammer_system.cpu_ports sys;
@@ -290,6 +647,13 @@ let build_hammer ~attach_accel (cfg : Config.t) =
           @ match xg_port with Some p -> [ ("xg_port", H.Xg_port.stats p) ] | None -> []);
       link_stats = fault_link_stats ~accel_link;
       quarantined = xg_quarantined ~xg_core;
+      check_enable;
+      check_set_delay_chooser;
+      check_fingerprint;
+      check_invariant;
+      check_quiescent_invariant;
+      check_cpu_ctrls;
+      check_accel_ctrls;
     }
   in
   match cfg.Config.org with
@@ -376,11 +740,244 @@ let build_mesi ~attach_accel (cfg : Config.t) =
       Array.to_list
         (Array.map (fun l1 -> (A.L1_simple.name l1, A.L1_simple.coverage l1)) accel_l1s)
     in
+    let l2 = Mesi_system.l2 sys in
+    let memory = Mesi_system.memory sys in
+    let cpus = Mesi_system.cpus sys in
+    let host_lines () =
+      Array.to_list
+        (Array.map (fun c -> (M.L1.name c, widen_lines (M.L1.check_lines c))) cpus)
+    in
+    (* The inclusive L2's own copy participates in the data-value invariant:
+       when no L1 owns the block, the L2 is the sharer (clean) or the owner
+       (dirty).  When an L1 owns it the L2 copy may legitimately be stale. *)
+    let l2_pseudo () =
+      List.filter_map
+        (fun (a, h, d, dirty) ->
+          match h with
+          | `Owned _ -> None
+          | `No_l1 | `Sharers _ -> Some (a, (if dirty then `O else `S), d))
+        (M.L2.check_lines l2)
+    in
+    let accel_line_dumps () =
+      Array.to_list
+        (Array.map
+           (fun l1 -> (A.L1_simple.name l1, widen_lines (A.L1_simple.check_lines l1)))
+           accel_l1s)
+    in
+    let all_lines () =
+      host_lines () @ (("host.l2", l2_pseudo ()) :: accel_line_dumps ())
+    in
+    let check_invariant () =
+      first_of
+        [
+          (fun () ->
+            swmr_and_value
+              ~mem_read:(Memory_model.read memory)
+              ~skip:(M.L2.busy l2) (all_lines ()));
+          xg_structural ~xg_core;
+          (fun () ->
+            guard_inclusive ~xg_core
+              ~accel_lines:
+                (List.concat_map
+                   (fun l1 -> A.L1_simple.check_lines l1)
+                   (Array.to_list accel_l1s)));
+        ]
+    in
+    let check_quiescent_invariant () =
+      let port_id = match xg_port with Some p -> Node.id (M.Xg_port.node p) | None -> -1 in
+      let full_state =
+        match xg_core with
+        | Some c -> Xg.Xg_core.mode c = Xg.Xg_core.Full_state
+        | None -> false
+      in
+      let tracked =
+        match xg_core with
+        | Some c when full_state -> Xg.Xg_core.check_tracked c
+        | _ -> []
+      in
+      let cpu_with nid = Array.to_list cpus |> List.find_opt (fun c -> Node.id (M.L1.node c) = nid) in
+      let cpu_holds c a classes =
+        List.exists
+          (fun (ta, st, _) -> Addr.equal ta a && List.mem st classes)
+          (M.L1.check_lines c)
+      in
+      first_of
+        [
+          (fun () ->
+            if M.L2.open_transactions l2 <> 0 then
+              Some "drained with an open L2 transaction"
+            else None);
+          (fun () ->
+            if M.L2.check_queue_tables l2 <> 0 then
+              Some "drained with queued L2 work"
+            else None);
+          (fun () ->
+            match xg_core with
+            | Some c when Xg.Xg_core.check_pending_slots c <> 0 ->
+                Some "drained with open guard transactions"
+            | _ -> None);
+          (fun () -> no_transient_at_drain (all_lines ()));
+          (* forward: every L1-owned line is recorded Owned in the L2 *)
+          (fun () ->
+            Array.fold_left
+              (fun acc c ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let nid = Node.id (M.L1.node c) in
+                    List.fold_left
+                      (fun acc (a, st, _) ->
+                        match acc with
+                        | Some _ -> acc
+                        | None -> (
+                            match st with
+                            | `E | `M -> (
+                                match M.L2.probe l2 a with
+                                | `Owned n when Node.id n = nid -> None
+                                | _ ->
+                                    Some
+                                      (Printf.sprintf
+                                         "L2/L1 disagree: %s owns block %d unrecorded"
+                                         (M.L1.name c) (Addr.to_int a)))
+                            | `S | `T -> None))
+                      acc (M.L1.check_lines c))
+              None cpus);
+          (fun () ->
+            List.fold_left
+              (fun acc (a, st, _) ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match st with
+                    | `E | `M -> (
+                        match M.L2.probe l2 a with
+                        | `Owned n when Node.id n = port_id -> None
+                        | _ ->
+                            Some
+                              (Printf.sprintf
+                                 "L2/guard disagree: guard owns block %d unrecorded"
+                                 (Addr.to_int a)))
+                    | `S -> None))
+              None tracked);
+          (* reverse: every L2 record points at live holders *)
+          (fun () ->
+            List.fold_left
+              (fun acc (a, h, _, _) ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match h with
+                    | `Owned n ->
+                        let nid = Node.id n in
+                        let holds =
+                          if nid = port_id then
+                            (not full_state)
+                            || List.exists
+                                 (fun (ta, st, _) ->
+                                   Addr.equal ta a && (st = `E || st = `M))
+                                 tracked
+                          else
+                            match cpu_with nid with
+                            | Some c -> cpu_holds c a [ `E; `M ]
+                            | None -> false
+                        in
+                        if holds then None
+                        else
+                          Some
+                            (Printf.sprintf
+                               "L2 records %s as owner of block %d but it holds nothing"
+                               (Node.name n) (Addr.to_int a))
+                    | `Sharers sh ->
+                        List.fold_left
+                          (fun acc n ->
+                            match acc with
+                            | Some _ -> acc
+                            | None ->
+                                let nid = Node.id n in
+                                if nid = port_id then None
+                                else (
+                                  match cpu_with nid with
+                                  | Some c when cpu_holds c a [ `S ] -> None
+                                  | Some c ->
+                                      Some
+                                        (Printf.sprintf
+                                           "L2 records %s sharing block %d but it holds nothing"
+                                           (M.L1.name c) (Addr.to_int a))
+                                  | None -> None))
+                          None sh
+                    | `No_l1 ->
+                        Array.fold_left
+                          (fun acc c ->
+                            match acc with
+                            | Some _ -> acc
+                            | None ->
+                                if cpu_holds c a [ `S; `E; `M ] then
+                                  Some
+                                    (Printf.sprintf
+                                       "L2 records block %d L1-free but %s holds it"
+                                       (Addr.to_int a) (M.L1.name c))
+                                else None)
+                          None cpus))
+              None (M.L2.check_lines l2));
+        ]
+    in
+    let check_enable () =
+      M.Net.enable_check_mode net ~addr_of:(fun m -> Addr.to_int m.M.Msg.addr) ();
+      match (accel_link, xg_node, accel_node, xg_port) with
+      | Some link, Some xg_n, Some accel_n, Some p ->
+          let port_ctrl = Node.id (M.Xg_port.node p) in
+          Xg.Xg_iface.Link.enable_check_mode link
+            ~ctrl_of:(fun id -> if id = Node.id xg_n then port_ctrl else id)
+            ();
+          (match xg_core with Some c -> Xg.Xg_core.set_check_ctrl c port_ctrl | None -> ());
+          Array.iter
+            (fun l1 -> A.L1_simple.set_check_ctrl l1 (Node.id accel_n))
+            accel_l1s;
+          (match accel_internal with
+          | Some il -> Xg.Xg_iface.Link.enable_check_mode il ()
+          | None -> ())
+      | _ -> ()
+    in
+    let check_set_delay_chooser f =
+      M.Net.set_delay_chooser net f;
+      (match accel_link with Some l -> Xg.Xg_iface.Link.set_delay_chooser l f | None -> ());
+      match accel_internal with
+      | Some l -> Xg.Xg_iface.Link.set_delay_chooser l f
+      | None -> ()
+    in
+    let check_fingerprint buf =
+      Array.iter (fun c -> M.L1.check_fingerprint c buf) cpus;
+      M.L2.check_fingerprint l2 buf;
+      (match xg_port with Some p -> M.Xg_port.check_fingerprint p buf | None -> ());
+      (match xg_core with Some c -> Xg.Xg_core.check_fingerprint c buf | None -> ());
+      Array.iter (fun l1 -> A.L1_simple.check_fingerprint l1 buf) accel_l1s;
+      M.Net.check_fingerprint net buf;
+      (match accel_link with Some l -> Xg.Xg_iface.Link.check_fingerprint l buf | None -> ());
+      (match accel_internal with
+      | Some l -> Xg.Xg_iface.Link.check_fingerprint l buf
+      | None -> ());
+      Xg.Perm_table.check_fingerprint perms buf;
+      Xg.Os_model.check_fingerprint os buf;
+      List.iter
+        (fun (a, (d : Data.t)) ->
+          if d <> Data.initial a then
+            Buffer.add_string buf (Printf.sprintf "M%d:%d;" (Addr.to_int a) d))
+        (Memory_model.touched memory);
+      Array.iter
+        (fun (dt, tag) -> Buffer.add_string buf (Printf.sprintf "e%d:%d;" dt tag))
+        (Engine.pending_summary engine)
+    in
+    let check_cpu_ctrls = Array.map (fun c -> Node.id (M.L1.node c)) cpus in
+    let check_accel_ctrls =
+      match accel_node with
+      | Some n -> Array.map (fun _ -> Node.id n) accel_ports
+      | None -> Array.map (fun _ -> -1) accel_ports
+    in
     {
       config = cfg;
       engine;
       rng;
-      memory = Mesi_system.memory sys;
+      memory;
       perms;
       os;
       cpu_ports = Mesi_system.cpu_ports sys;
@@ -432,6 +1029,13 @@ let build_mesi ~attach_accel (cfg : Config.t) =
           @ match xg_port with Some p -> [ ("xg_port", M.Xg_port.stats p) ] | None -> []);
       link_stats = fault_link_stats ~accel_link;
       quarantined = xg_quarantined ~xg_core;
+      check_enable;
+      check_set_delay_chooser;
+      check_fingerprint;
+      check_invariant;
+      check_quiescent_invariant;
+      check_cpu_ctrls;
+      check_accel_ctrls;
     }
   in
   match cfg.Config.org with

@@ -43,6 +43,39 @@ type t = {
           unchanged *)
   quarantined : unit -> bool;
       (** whether the guard quarantined its accelerator *)
+  check_enable : unit -> unit;
+      (** Arm every network and link for the model checker: deliveries get
+          (controller, block) choice tags, in-flight payloads are tracked for
+          fingerprinting, and the guard/port/accelerator controller aliases
+          are installed so events that synchronously mutate shared state fall
+          in one partial-order-reduction conflict cluster.  Irreversible for
+          this system; adds per-message tracking cost. *)
+  check_set_delay_chooser : (lo:int -> hi:int -> int) -> unit;
+      (** Route every unordered-latency RNG draw through the checker's
+          choice enumerator. *)
+  check_fingerprint : Buffer.t -> unit;
+      (** Append a canonical dump of all architecturally-visible state —
+          cache lines, open TBEs, directory/L2 records, guard tracking,
+          in-flight messages, committed memory and the pending-event horizon
+          — suitable for hashing into a visited-set key.  Requires
+          {!check_enable} for the in-flight part. *)
+  check_invariant : unit -> string option;
+      (** SWMR, single-owner, data-value, guard G1b and guard-inclusivity
+          over the current state; [Some msg] describes the first violation.
+          Sound at every event boundary (blocks with an open transaction are
+          skipped). *)
+  check_quiescent_invariant : unit -> string option;
+      (** Stronger checks that only hold with no events pending: no open or
+          queued transactions anywhere, no transient lines, and full
+          directory-(or L2-)/cache/guard ownership agreement in both
+          directions. *)
+  check_cpu_ctrls : int array;
+      (** Per-[cpu_ports] controller ids for tagging driver-side events
+          (sequencer pumps/retries) into the owning cache's conflict
+          cluster. *)
+  check_accel_ctrls : int array;
+      (** Per-[accel_ports] controller ids ([-1] when the organization has no
+          XG link, in which case driver events stay untagged). *)
 }
 
 val coverage_reports : t -> Xguard_trace.Coverage.report list

@@ -69,7 +69,9 @@ let rec start t addr { src; body } =
         (fun cache ->
           if not (Node.equal cache src) then send t ~dst:cache (Msg.Fwd { kind; requestor = src }) addr)
         t.caches;
-      Engine.schedule t.engine ~delay:t.mem_latency (fun () ->
+      Engine.schedule t.engine ~delay:t.mem_latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+        (fun () ->
           send t ~dst:src (Msg.Mem_data { data = Memory_model.read t.memory addr }) addr)
   | Msg.Put ->
       Group.incr_id t.stats t.sid.(4) (* put *);
@@ -90,9 +92,16 @@ let rec start t addr { src; body } =
 and finish t addr =
   Hashtbl.remove t.busy_table addr;
   match Hashtbl.find_opt t.waiting addr with
-  | Some queue when not (Queue.is_empty queue) ->
+  | Some queue when Queue.is_empty queue ->
+      (* Drained queues would otherwise stay registered forever — inert, but
+         an asymmetry that leaks into state fingerprints. *)
+      Hashtbl.remove t.waiting addr
+  | Some queue ->
       let next = Queue.pop queue in
-      Engine.schedule t.engine ~delay:t.dir_latency (fun () ->
+      if Queue.is_empty queue then Hashtbl.remove t.waiting addr;
+      Engine.schedule t.engine ~delay:t.dir_latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+        (fun () ->
           (* A newly arriving message can slip in between this pop and the
              scheduled start; re-check and requeue rather than clobber the
              transaction it opened. *)
@@ -105,7 +114,9 @@ let deliver t ~src (msg : Msg.t) =
   | Msg.Get _ | Msg.Put ->
       if busy t addr then enqueue t addr { src; body = msg.Msg.body }
       else
-        Engine.schedule t.engine ~delay:t.dir_latency (fun () ->
+        Engine.schedule t.engine ~delay:t.dir_latency
+          ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+          (fun () ->
             if busy t addr then enqueue t addr { src; body = msg.Msg.body }
             else start t addr { src; body = msg.Msg.body })
   | Msg.Unblock { exclusive } -> (
@@ -129,6 +140,46 @@ let deliver t ~src (msg : Msg.t) =
   | Msg.Fwd _ | Msg.Wb_ack | Msg.Wb_nack | Msg.Mem_data _ | Msg.Peer_ack _ | Msg.Peer_data _
     ->
       Group.incr t.stats "error.cache_bound_message"
+
+(* ---- model-checker support ---- *)
+
+let owner_entries t =
+  Hashtbl.fold (fun addr n acc -> (addr, n) :: acc) t.owner_table []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+let check_waiting_tables t = Hashtbl.length t.waiting
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "dir[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  List.iter
+    (fun (addr, n) ->
+      Buffer.add_string buf (Printf.sprintf "o%d:%d;" (Addr.to_int addr) (Node.id n)))
+    (owner_entries t);
+  Hashtbl.fold (fun addr txn acc -> (addr, txn) :: acc) t.busy_table []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, txn) ->
+         match txn with
+         | Get_txn { requestor } ->
+             Buffer.add_string buf
+               (Printf.sprintf "bG%d:%d;" (Addr.to_int addr) (Node.id requestor))
+         | Put_txn { putter; awaiting_data } ->
+             Buffer.add_string buf
+               (Printf.sprintf "bP%d:%d:%b;" (Addr.to_int addr) (Node.id putter)
+                  awaiting_data));
+  Hashtbl.fold (fun addr q acc -> (addr, q) :: acc) t.waiting []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, q) ->
+         Buffer.add_string buf (Printf.sprintf "w%d:" (Addr.to_int addr));
+         Queue.iter
+           (fun { src; body } ->
+             Buffer.add_string buf
+               (Format.asprintf "%d>%a," (Node.id src) Msg.pp { Msg.addr; body }))
+           q;
+         Buffer.add_char buf ';');
+  if t.occupancy > 0 && t.server_free_at > Engine.now t.engine then
+    Buffer.add_string buf (Printf.sprintf "s%d;" (t.server_free_at - Engine.now t.engine))
 
 let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 60)
     ?(occupancy = 0) () =
@@ -160,6 +211,8 @@ let create ~engine ~net ~name ~node ~memory ?(dir_latency = 6) ?(mem_latency = 6
         let start = max now t.server_free_at in
         t.server_free_at <- start + t.occupancy;
         Group.add_id t.stats t.sid.(7) t.occupancy (* server_busy_cycles *);
-        Engine.schedule_at t.engine start (fun () -> deliver t ~src msg)
+        Engine.schedule_at t.engine start
+          ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int msg.Msg.addr))
+          (fun () -> deliver t ~src msg)
       end);
   t

@@ -36,3 +36,19 @@ val owner : t -> Addr.t -> Node.t option
 val busy : t -> Addr.t -> bool
 val open_transactions : t -> int
 val stats : t -> Xguard_stats.Counter.Group.t
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val owner_entries : t -> (Addr.t * Node.t) list
+(** Every (block, owner) record, sorted by block — the checker compares this
+    against the union of cache-side owned states for directory/cache
+    agreement on quiescent blocks. *)
+
+val check_waiting_tables : t -> int
+(** Number of per-block waiting queues currently registered.  Drained queues
+    are removed in [finish], so on a quiescent directory this is [0]; exposed
+    for the regression test of that symmetry fix. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append owner records, open transactions, queued messages and any future
+    server-busy horizon to a canonical state fingerprint (stats excluded). *)

@@ -136,7 +136,10 @@ let error t what =
   | Baseline -> raise (Protocol_error (t.name ^ ": " ^ what))
   | Xg_ready -> ()
 
-let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
+let complete t ~on_done value =
+  Engine.schedule t.engine ~delay:t.hit_latency
+    ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(-1))
+    (fun () -> on_done value)
 
 (* ------- CPU side ------- *)
 
@@ -428,6 +431,49 @@ let probe t addr =
   | Some { st = Stable St_o; _ }, None -> `O
   | Some { st = Stable St_m; _ }, None -> `M
   | Some { st = Get_pending | Put_pending _; _ }, None -> `Transient
+
+(* ---- model-checker support ---- *)
+
+let check_lines t =
+  Cache_array.to_list t.array
+  |> List.map (fun (addr, line) ->
+         let cls =
+           match (line.st, Tbe_table.find t.tbes addr) with
+           | Stable s, None ->
+               (match s with St_s -> `S | St_e -> `E | St_o -> `O | St_m -> `M)
+           | _ -> `T
+         in
+         (addr, cls, line.data))
+  |> List.sort (fun (a, _, _) (b, _, _) -> Addr.compare a b)
+
+let stable_name = function St_s -> 'S' | St_e -> 'E' | St_o -> 'O' | St_m -> 'M'
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "l1l2[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Cache_array.to_list t.array
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, line) ->
+         Buffer.add_string buf (Printf.sprintf "a%d:" (Addr.to_int addr));
+         (match line.st with
+         | Stable s -> Buffer.add_char buf (stable_name s)
+         | Get_pending -> Buffer.add_char buf 'g'
+         | Put_pending { lost_ownership } ->
+             Buffer.add_char buf (if lost_ownership then 'i' else 'p'));
+         Buffer.add_string buf (Printf.sprintf ":%d:%b;" (line.data : Data.t) line.dirty));
+  Tbe_table.to_list t.tbes
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, g) ->
+         Buffer.add_string buf
+           (Printf.sprintf "t%d:%s:%d:%d:%d:%d:%b:%s;" (Addr.to_int addr)
+              (Msg.get_kind_to_string g.kind)
+              (match g.base with Base_none -> 0 | Base_sharer -> 1 | Base_owner -> 2)
+              g.peers_left
+              (match g.mem_data with None -> -1 | Some d -> (d : Data.t))
+              (match g.peer_data with None -> -1 | Some d -> (d : Data.t))
+              g.shared_seen
+              (Format.asprintf "%a" Access.pp g.access)))
 
 let create ~engine ~net ~name ~node ~directory ~variant ~sets ~ways ?(hit_latency = 2)
     ?(tbe_capacity = 16) () =

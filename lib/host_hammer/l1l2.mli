@@ -58,3 +58,14 @@ val coverage_space : Xguard_trace.Coverage.space
 
 val outstanding : t -> int
 (** Open transactions (get TBEs plus pending writebacks). *)
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val check_lines : t -> (Addr.t * [ `S | `E | `O | `M | `T ] * Data.t) list
+(** Every resident line, sorted by block: its stability class ([`T] for any
+    transient, including lines with an open TBE) and current data.  The
+    checker's SWMR and data-value invariants consume this. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append all lines and open-TBE fields to a canonical state fingerprint
+    (stats, coverage and trace state excluded). *)

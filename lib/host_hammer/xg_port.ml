@@ -311,6 +311,47 @@ let deliver t (msg : Msg.t) =
   | Msg.Get _ | Msg.Put | Msg.Wb_data _ | Msg.Unblock _ ->
       Group.incr t.stats "error.directory_bound_message"
 
+(* ---- model-checker support ---- *)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "xport[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Tbe_table.to_list t.tbes
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, (g : get_tbe)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "t%d:%s:%d:%d:%d:%b;" (Addr.to_int addr)
+              (Msg.get_kind_to_string g.kind) g.peers_left
+              (match g.mem_data with None -> -1 | Some d -> (d : Data.t))
+              (match g.peer_data with None -> -1 | Some d -> (d : Data.t))
+              g.shared_seen));
+  let dump_puts label table =
+    Hashtbl.fold (fun addr p acc -> (addr, p) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+    |> List.iter (fun (addr, (p : put_rec)) ->
+           Buffer.add_string buf
+             (Printf.sprintf "%s%d:%d:%b:%b:%b:%b;" label (Addr.to_int addr)
+                (p.data : Data.t) p.dirty p.lost_ownership p.notify_core p.is_owner))
+  in
+  dump_puts "p" t.puts;
+  dump_puts "d" t.deferred_puts;
+  Hashtbl.fold (fun addr k acc -> (addr, k) :: acc) t.deferred_gets []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, kind) ->
+         Buffer.add_string buf
+           (Printf.sprintf "g%d:%s;" (Addr.to_int addr) (Msg.get_kind_to_string kind)))
+
+let check_owner_puts t =
+  let harvest table acc =
+    Hashtbl.fold
+      (fun addr (p : put_rec) acc ->
+        if p.is_owner && not p.lost_ownership then (addr, p.data) :: acc else acc)
+      table acc
+  in
+  harvest t.puts (harvest t.deferred_puts [])
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
 let create ~engine ~net ~name ~node ~directory ?(use_get_s_only = true) () =
   let stats = Group.create (name ^ ".stats") in
   let t =

@@ -35,3 +35,15 @@ val set_peer_count : t -> int -> unit
 val node : t -> Node.t
 val outstanding : t -> int
 val stats : t -> Xguard_stats.Counter.Group.t
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append open get TBEs, in-flight and deferred writebacks, and parked gets
+    to a canonical model-checker state fingerprint (span timestamps and stats
+    excluded). *)
+
+val check_owner_puts : t -> (Addr.t * Data.t) list
+(** Blocks whose architectural owner copy currently rides an in-flight (or
+    deferred) ownership-relinquishing writeback at this port — the §3.2.1
+    window between answering a dirty [Fwd_s] and the directory absorbing the
+    Put.  Sorted by address; the model checker counts these as owned
+    entries. *)

@@ -121,7 +121,10 @@ let coverage_space =
         "Fwd_GetM"; "WbAck"; "L2Data"; "OwnerData"; "InvAck" ]
     ~possible ()
 
-let complete t ~on_done value = Engine.schedule t.engine ~delay:t.hit_latency (fun () -> on_done value)
+let complete t ~on_done value =
+  Engine.schedule t.engine ~delay:t.hit_latency
+    ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(-1))
+    (fun () -> on_done value)
 
 (* ------- CPU side ------- *)
 
@@ -372,6 +375,52 @@ let probe t addr =
   | Some { st = Stable St_e; _ }, None -> `E
   | Some { st = Stable St_m; _ }, None -> `M
   | Some { st = Get_pending | M_i _ | Si_wb; _ }, None -> `Transient
+
+(* ---- model-checker support ---- *)
+
+let check_lines t =
+  Cache_array.to_list t.array
+  |> List.map (fun (addr, line) ->
+         let cls =
+           match (line.st, Tbe_table.find t.tbes addr) with
+           | Stable s, None -> (match s with St_s -> `S | St_e -> `E | St_m -> `M)
+           | _ -> `T
+         in
+         (addr, cls, line.data))
+  |> List.sort (fun (a, _, _) (b, _, _) -> Addr.compare a b)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "l1[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Cache_array.to_list t.array
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, line) ->
+         Buffer.add_string buf (Printf.sprintf "a%d:" (Addr.to_int addr));
+         (match line.st with
+         | Stable St_s -> Buffer.add_char buf 'S'
+         | Stable St_e -> Buffer.add_char buf 'E'
+         | Stable St_m -> Buffer.add_char buf 'M'
+         | Get_pending -> Buffer.add_char buf 'g'
+         | M_i { lost_ownership } -> Buffer.add_char buf (if lost_ownership then 'i' else 'm')
+         | Si_wb -> Buffer.add_char buf 's');
+         Buffer.add_string buf (Printf.sprintf ":%d:%b;" (line.data : Data.t) line.dirty));
+  Tbe_table.to_list t.tbes
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, g) ->
+         Buffer.add_string buf
+           (Printf.sprintf "t%d:%s:%b:%b:%d:%s:%d:%d:%s;" (Addr.to_int addr)
+              (Msg.get_kind_to_string g.kind)
+              g.base_valid g.invalidated
+              (match g.data with None -> -1 | Some d -> (d : Data.t))
+              (match g.grant with
+              | None -> "-"
+              | Some Msg.Grant_s -> "S"
+              | Some Msg.Grant_e -> "E"
+              | Some Msg.Grant_m -> "M")
+              (match g.acks_expected with None -> -1 | Some n -> n)
+              g.acks_got
+              (Format.asprintf "%a" Access.pp g.access)))
 
 let create ~engine ~net ~name ~node ~l2 ~sets ~ways ?(hit_latency = 1) ?(tbe_capacity = 16)
     () =

@@ -35,3 +35,13 @@ val coverage_space : Xguard_trace.Coverage.space
 (** The (state × event) vocabulary the {!coverage} counters live in. *)
 
 val outstanding : t -> int
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val check_lines : t -> (Addr.t * [ `S | `E | `M | `T ] * Data.t) list
+(** Every resident line, sorted by block: stability class ([`T] for any
+    transient, including lines with an open TBE) and current data. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append all lines and open-TBE fields to a canonical model-checker state
+    fingerprint (stats, coverage and trace state excluded). *)

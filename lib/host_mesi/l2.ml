@@ -296,20 +296,36 @@ and process_put_m t addr ~src ~data ~dirty =
 
 and close t addr =
   Hashtbl.remove t.busy_table addr;
-  (* First serve requests queued on this address... *)
+  (* First serve requests queued on this address...  Drained queues are
+     removed from their tables (not merely left empty): inert either way, but
+     lingering empties would make fingerprints path-dependent. *)
   (match Hashtbl.find_opt t.waiting addr with
-  | Some queue when not (Queue.is_empty queue) ->
+  | Some queue when Queue.is_empty queue -> Hashtbl.remove t.waiting addr
+  | Some queue ->
       let next = Queue.pop queue in
-      Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+      if Queue.is_empty queue then Hashtbl.remove t.waiting addr;
+      Engine.schedule t.engine ~delay:t.l2_latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+        (fun () ->
           if busy t addr then enqueue_addr t addr next else process t addr next)
-  | _ -> ());
+  | None -> ());
   (* ...then retry requests that were stalled for space in this set. *)
   let idx = set_index t addr in
   match (Hashtbl.find_opt t.space_waiters idx, Hashtbl.find_opt t.space_addr idx) with
-  | Some queue, Some addr_queue when not (Queue.is_empty queue) ->
+  | Some queue, Some addr_queue when Queue.is_empty queue ->
+      Hashtbl.remove t.space_waiters idx;
+      ignore addr_queue;
+      Hashtbl.remove t.space_addr idx
+  | Some queue, Some addr_queue ->
       let q = Queue.pop queue in
       let qaddr = Queue.pop addr_queue in
-      Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+      if Queue.is_empty queue then begin
+        Hashtbl.remove t.space_waiters idx;
+        Hashtbl.remove t.space_addr idx
+      end;
+      Engine.schedule t.engine ~delay:t.l2_latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int qaddr))
+        (fun () ->
           if busy t qaddr then enqueue_addr t qaddr q else process t qaddr q)
   | _ -> ()
 
@@ -372,7 +388,9 @@ let deliver t ~src (msg : Msg.t) =
       let q = { src; body = msg.Msg.body } in
       if busy t addr then enqueue_addr t addr q
       else
-        Engine.schedule t.engine ~delay:t.l2_latency (fun () ->
+        Engine.schedule t.engine ~delay:t.l2_latency
+          ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+          (fun () ->
             if busy t addr then enqueue_addr t addr q else process t addr q)
   | Msg.Unblock -> handle_unblock t addr ~src
   | Msg.Copyback { data; dirty } -> handle_copyback t addr ~src ~data ~dirty
@@ -435,3 +453,80 @@ let queued_requests t =
 
 let space_stalled t =
   Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.space_waiters 0
+
+(* ---- model-checker support ---- *)
+
+let check_queue_tables t =
+  Hashtbl.length t.waiting + Hashtbl.length t.space_waiters + Hashtbl.length t.space_addr
+
+let check_lines t =
+  Cache_array.to_list t.array
+  |> List.map (fun (addr, (line : line)) ->
+         let h =
+           match line.holders with
+           | No_l1 -> `No_l1
+           | Sharers sh -> `Sharers sh
+           | Owned o -> `Owned o
+         in
+         (addr, h, line.data, line.dirty))
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> Addr.compare a b)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "l2[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Cache_array.to_list t.array
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, (line : line)) ->
+         Buffer.add_string buf (Printf.sprintf "a%d:%d:%b:" (Addr.to_int addr)
+              (line.data : Data.t) line.dirty);
+         (match line.holders with
+         | No_l1 -> Buffer.add_char buf 'n'
+         | Sharers sh ->
+             Buffer.add_char buf 's';
+             List.map Node.id sh |> List.sort compare
+             |> List.iter (fun n -> Buffer.add_string buf (Printf.sprintf ",%d" n))
+         | Owned o -> Buffer.add_string buf (Printf.sprintf "o%d" (Node.id o)));
+         Buffer.add_char buf ';');
+  Hashtbl.fold (fun addr txn acc -> (addr, txn) :: acc) t.busy_table []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, txn) ->
+         Buffer.add_string buf (Printf.sprintf "b%d:" (Addr.to_int addr));
+         (match txn with
+         | Fetching { kind; requestor } ->
+             Buffer.add_string buf
+               (Printf.sprintf "F%s:%d" (Msg.get_kind_to_string kind) (Node.id requestor))
+         | Direct { requestor } -> Buffer.add_string buf (Printf.sprintf "D%d" (Node.id requestor))
+         | Via_owner { requestor; kind; got_unblock; need_copyback } ->
+             Buffer.add_string buf
+               (Printf.sprintf "V%s:%d:%b:%b" (Msg.get_kind_to_string kind)
+                  (Node.id requestor) got_unblock need_copyback)
+         | Evicting { acks_left } -> Buffer.add_string buf (Printf.sprintf "E%d" acks_left)
+         | Wb_mem -> Buffer.add_char buf 'W');
+         Buffer.add_char buf ';');
+  let dump_queue prefix key q render =
+    Buffer.add_string buf (Printf.sprintf "%s%d:" prefix key);
+    Queue.iter (fun x -> Buffer.add_string buf (render x)) q;
+    Buffer.add_char buf ';'
+  in
+  Hashtbl.fold (fun addr q acc -> (addr, q) :: acc) t.waiting []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, q) ->
+         dump_queue "w" (Addr.to_int addr) q (fun { src; body } ->
+             Format.asprintf "%d>%a," (Node.id src) Msg.pp { Msg.addr; body }));
+  Hashtbl.fold (fun idx q acc -> (idx, q) :: acc) t.space_waiters []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (idx, q) ->
+         Buffer.add_string buf (Printf.sprintf "z%d:" idx);
+         let addr_q =
+           match Hashtbl.find_opt t.space_addr idx with
+           | Some aq -> Queue.to_seq aq |> List.of_seq
+           | None -> []
+         in
+         let bodies = Queue.to_seq q |> List.of_seq in
+         List.iter2
+           (fun addr { src; body } ->
+             Buffer.add_string buf
+               (Format.asprintf "%d>%a," (Node.id src) Msg.pp { Msg.addr; body }))
+           addr_q bodies;
+         Buffer.add_char buf ';')

@@ -50,3 +50,18 @@ val queued_requests : t -> int
 
 val space_stalled : t -> int
 (** Entries stalled waiting for set space. *)
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val check_queue_tables : t -> int
+(** Number of stall-queue tables currently registered (per-address plus
+    per-set space queues).  Drained queues are removed in [close], so this is
+    [0] on a quiescent L2; exposed for the regression test of that symmetry
+    fix. *)
+
+val check_lines : t -> (Addr.t * [ `No_l1 | `Sharers of Node.t list | `Owned of Node.t ] * Data.t * bool) list
+(** Every resident line sorted by block: holder record, data, dirty bit. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append lines, open transactions and stall queues to a canonical
+    model-checker state fingerprint (stats and coverage excluded). *)

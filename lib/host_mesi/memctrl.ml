@@ -23,11 +23,15 @@ let deliver t ~src (msg : Msg.t) =
   match msg.Msg.body with
   | Msg.Fetch ->
       Group.incr t.stats "fetch";
-      Engine.schedule t.engine ~delay:t.latency (fun () ->
+      Engine.schedule t.engine ~delay:t.latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+        (fun () ->
           send t ~dst:src (Msg.Mem_data { data = Memory_model.read t.memory addr }) addr)
   | Msg.Mem_wb { data } ->
       Group.incr t.stats "writeback";
-      Engine.schedule t.engine ~delay:t.latency (fun () ->
+      Engine.schedule t.engine ~delay:t.latency
+        ~tag:(Engine.pack_tag ~ctrl:(Node.id t.node) ~addr:(Addr.to_int addr))
+        (fun () ->
           Memory_model.write t.memory addr data;
           send t ~dst:src Msg.Mem_wb_ack addr)
   | _ -> Group.incr t.stats "error.unexpected_message"

@@ -263,6 +263,34 @@ let deliver t (msg : Msg.t) =
   | Msg.Copyback _ | Msg.Fetch | Msg.Mem_data _ | Msg.Mem_wb _ | Msg.Mem_wb_ack ->
       Group.incr t.stats "error.message_not_for_port"
 
+(* ---- model-checker support ---- *)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "xport[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  Tbe_table.to_list t.tbes
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, (g : get_tbe)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "t%d:%s:%d:%s:%d:%d;" (Addr.to_int addr)
+              (match g.want with `S -> "S" | `S_only -> "So" | `M -> "M")
+              (match g.data with None -> -1 | Some d -> (d : Data.t))
+              (match g.grant with
+              | None -> "-"
+              | Some Msg.Grant_s -> "S"
+              | Some Msg.Grant_e -> "E"
+              | Some Msg.Grant_m -> "M")
+              (match g.acks_expected with None -> -1 | Some n -> n)
+              g.acks_got);
+         ());
+  Hashtbl.fold (fun addr p acc -> (addr, p) :: acc) t.puts []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+  |> List.iter (fun (addr, (p : put_rec)) ->
+         Buffer.add_string buf
+           (Printf.sprintf "p%d:%d:%b:%b:%b;" (Addr.to_int addr) (p.data : Data.t)
+              p.dirty p.notify_core p.is_owner))
+
 let create ~engine ~net ~name ~node ~l2 () =
   let stats = Group.create (name ^ ".stats") in
   let t =

@@ -26,3 +26,7 @@ val attach_core : t -> Xguard_xg.Xg_core.t -> unit
 val node : t -> Node.t
 val outstanding : t -> int
 val stats : t -> Xguard_stats.Counter.Group.t
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append open get TBEs and in-flight writebacks to a canonical
+    model-checker state fingerprint (span timestamps and stats excluded). *)

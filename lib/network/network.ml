@@ -141,6 +141,13 @@ struct
        installed.  When false, [send] takes an allocation-free fast path that
        never consults the fault machinery (PR 4). *)
     mutable fault_path : bool;
+    (* Model-checker support (lib/check); all [None] outside check mode, in
+       which case the send path computes no tags and tracks nothing. *)
+    mutable check_addr : (Msg.t -> int) option;
+    mutable check_ctrl : int -> int;
+    mutable inflight : (int, int * int * int * string) Hashtbl.t option;
+    mutable inflight_next : int;
+    mutable delay_chooser : (lo:int -> hi:int -> int) option;
   }
 
   let create ~engine ~rng ~name ~ordering () =
@@ -163,6 +170,11 @@ struct
       corruptor = None;
       fault_counts = Fault.fresh_counts ();
       fault_path = false;
+      check_addr = None;
+      check_ctrl = (fun id -> id);
+      inflight = None;
+      inflight_next = 0;
+      delay_chooser = None;
     }
 
   let name t = t.name
@@ -188,8 +200,10 @@ struct
         let at = max (now + latency) earliest in
         Hashtbl.replace t.last_delivery key at;
         at
-    | Unordered { min_latency; max_latency } ->
-        now + Rng.int_in t.rng ~lo:min_latency ~hi:max_latency
+    | Unordered { min_latency; max_latency } -> (
+        match t.delay_chooser with
+        | Some choose -> now + choose ~lo:min_latency ~hi:max_latency
+        | None -> now + Rng.int_in t.rng ~lo:min_latency ~hi:max_latency)
 
   (* ---- fault injection ---- *)
 
@@ -341,6 +355,44 @@ struct
               end
           | _ -> Deliver { payload = msg; copies = 1; extra = 0 })
 
+  (* One in-flight delivery.  In check mode the message is recorded in the
+     in-flight table until its delivery thunk runs (the table feeds the
+     checker's state fingerprint) and the event carries a (dst, addr) choice
+     tag; otherwise this is exactly the historical schedule. *)
+  let schedule_delivery t ~src ~dst ~at msg handler =
+    let deliver () =
+      (if Trace.on () then
+         match t.tracer with
+         | Some describe ->
+             let addr, text = describe msg in
+             Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
+               ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
+               ~text
+         | None -> ());
+      handler ~src msg
+    in
+    let tag =
+      match t.check_addr with
+      | Some addr_of ->
+          Engine.pack_tag
+            ~ctrl:(t.check_ctrl (Xguard_proto.Node.id dst))
+            ~addr:(addr_of msg)
+      | None -> Engine.no_tag
+    in
+    match t.inflight with
+    | None -> Engine.schedule_at t.engine at ~tag deliver
+    | Some table ->
+        let token = t.inflight_next in
+        t.inflight_next <- token + 1;
+        let text =
+          match t.tracer with Some describe -> snd (describe msg) | None -> ""
+        in
+        Hashtbl.replace table token
+          (at, Xguard_proto.Node.id src, Xguard_proto.Node.id dst, text);
+        Engine.schedule_at t.engine at ~tag (fun () ->
+            Hashtbl.remove table token;
+            deliver ())
+
   let send t ~src ~dst ?(size = control_size) msg =
     let handler =
       match Hashtbl.find_opt t.handlers (Xguard_proto.Node.id dst) with
@@ -371,18 +423,7 @@ struct
     if not t.fault_path then
       (* Fast path: no injector, script or wire cut installed — skip the
          fault plan entirely; one schedule, no [plan] allocation (PR 4). *)
-      Engine.schedule_at t.engine
-        (delivery_time t ~src ~dst)
-        (fun () ->
-          (if Trace.on () then
-             match t.tracer with
-             | Some describe ->
-                 let addr, text = describe msg in
-                 Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
-                   ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
-                   ~text
-             | None -> ());
-          handler ~src msg)
+      schedule_delivery t ~src ~dst ~at:(delivery_time t ~src ~dst) msg handler
     else
       match fault_plan t msg with
       | Lose -> ()
@@ -392,16 +433,7 @@ struct
              message can be overtaken — that is the modelled misbehaviour. *)
           let at = delivery_time t ~src ~dst + extra in
           for copy = 0 to copies - 1 do
-            Engine.schedule_at t.engine (at + copy) (fun () ->
-                (if Trace.on () then
-                   match t.tracer with
-                   | Some describe ->
-                       let addr, text = describe payload in
-                       Trace.recv ~cycle:(Engine.now t.engine) ~net:t.name
-                         ~src:(Xguard_proto.Node.name src) ~dst:(Xguard_proto.Node.name dst) ~addr
-                         ~text
-                   | None -> ());
-                handler ~src payload)
+            schedule_delivery t ~src ~dst ~at:(at + copy) payload handler
           done
 
   let messages_sent t = t.messages
@@ -413,4 +445,39 @@ struct
 
   let set_monitor t f = t.monitor <- Some f
   let set_tracer t f = t.tracer <- Some f
+
+  (* ---- model-checker support ---- *)
+
+  let enable_check_mode t ?ctrl_of ~addr_of () =
+    t.check_addr <- Some addr_of;
+    (match ctrl_of with Some f -> t.check_ctrl <- f | None -> ());
+    if t.inflight = None then t.inflight <- Some (Hashtbl.create 32)
+
+  let set_delay_chooser t f = t.delay_chooser <- Some f
+
+  let check_fingerprint t buf =
+    let now = Engine.now t.engine in
+    (match t.inflight with
+    | None -> ()
+    | Some table ->
+        let entries =
+          Hashtbl.fold
+            (fun _ (at, src, dst, text) acc -> (at - now, src, dst, text) :: acc)
+            table []
+        in
+        List.iter
+          (fun (dt, src, dst, text) ->
+            Buffer.add_string buf (Printf.sprintf "m%d:%d>%d:%s;" dt src dst text))
+          (List.sort compare entries));
+    (* FIFO release times still in the future gate the delivery time of the
+       next send on that (src,dst) pair, so they are architecturally visible;
+       past entries are inert and must not distinguish states. *)
+    let gates =
+      Hashtbl.fold
+        (fun key at acc -> if at > now then (key, at - now) :: acc else acc)
+        t.last_delivery []
+    in
+    List.iter
+      (fun (key, dt) -> Buffer.add_string buf (Printf.sprintf "f%d:%d;" key dt))
+      (List.sort compare gates)
 end

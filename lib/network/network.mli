@@ -147,6 +147,31 @@ end) : sig
 
   val fault_counts : t -> Fault.counts
   (** Injection tally; all zeros when no fault ever fired. *)
+
+  (* ---- model-checker support (lib/check) ---- *)
+
+  val enable_check_mode : t -> ?ctrl_of:(int -> int) -> addr_of:(Msg.t -> int) -> unit -> unit
+  (** Arm the network for explicit-state checking: every delivery event is
+      scheduled with an {!Xguard_sim.Engine.pack_tag} choice tag built from
+      the destination node and [addr_of msg] (return [-1] for messages that
+      concern no block), and in-flight messages are tracked for
+      {!check_fingerprint}.  [ctrl_of] (default identity) maps a destination
+      node id to the controller id used in the tag — the harness aliases the
+      guard's link endpoint to its host-side port so events that synchronously
+      mutate the same state share one conflict cluster.  Tracking costs one
+      hash-table insert/remove per message; networks never armed are
+      byte-identical to historical ones. *)
+
+  val set_delay_chooser : t -> (lo:int -> hi:int -> int) -> unit
+  (** Replace the RNG draw of [Unordered] latency with a callback — the
+      checker's hook for treating link delay as an enumerated choice.  No
+      effect on [Ordered] networks. *)
+
+  val check_fingerprint : t -> Buffer.t -> unit
+  (** Append this network's architecturally-visible state to a canonical
+      fingerprint: the in-flight message multiset (relative delivery time,
+      endpoints, payload rendering — requires {!enable_check_mode} and a
+      tracer) and any FIFO-ordering release times still in the future. *)
 end
 
 (** Message sizes used throughout: a bare control message and one carrying a

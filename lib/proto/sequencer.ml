@@ -40,6 +40,10 @@ type t = {
   mutable retries : int;
   latency : Histogram.t;
   mutable pump_scheduled : bool;
+  (* Choice tag for pump/retry events (model checker); [Engine.no_tag] outside
+     check mode.  Set to the served cache's controller id so reorderings
+     against that cache's deliveries are never pruned. *)
+  mutable check_tag : int;
 }
 
 let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
@@ -58,6 +62,7 @@ let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
     retries = 0;
     latency = Histogram.create (name ^ ".latency");
     pump_scheduled = false;
+    check_tag = Engine.no_tag;
   }
 
 let create ~engine ~name ~port ?max_outstanding ?retry_delay () =
@@ -111,8 +116,12 @@ let remove_flight t addr =
   let n = t.in_flight in
   let rec go i =
     if i < n then
-      if Addr.equal t.flight_addrs.(i) addr then
-        t.flight_addrs.(i) <- t.flight_addrs.(n - 1)
+      if Addr.equal t.flight_addrs.(i) addr then begin
+        t.flight_addrs.(i) <- t.flight_addrs.(n - 1);
+        (* Clear the vacated tail slot: stale addresses past [in_flight] are
+           behaviorally inert but would leak into state fingerprints. *)
+        t.flight_addrs.(n - 1) <- Addr.block 0
+      end
       else go (i + 1)
   in
   go 0
@@ -169,14 +178,14 @@ let rec pump t =
           ~why:(Printf.sprintf "cache rejected %s; retry in %d" (access_text p.access)
                   t.retry_delay);
       push_front t p;
-      Engine.schedule t.engine ~delay:t.retry_delay (fun () -> pump t)
+      Engine.schedule t.engine ~delay:t.retry_delay ~tag:t.check_tag (fun () -> pump t)
     end
   end
 
 and schedule_pump t =
   if not t.pump_scheduled then begin
     t.pump_scheduled <- true;
-    Engine.schedule t.engine ~delay:0 (fun () ->
+    Engine.schedule t.engine ~delay:0 ~tag:t.check_tag (fun () ->
         t.pump_scheduled <- false;
         pump t)
   end
@@ -185,3 +194,36 @@ let request t access ~on_complete =
   let span = if Spans.on () then Spans.fresh_id () else 0 in
   push_back t { access; issued_at = Engine.now t.engine; span; on_complete };
   schedule_pump t
+
+(* ---- model-checker support ---- *)
+
+let set_check_ctrl t ctrl =
+  t.check_tag <- Engine.pack_tag ~ctrl ~addr:(-1)
+
+let check_residue t =
+  let n = ref 0 in
+  for i = t.in_flight to Array.length t.flight_addrs - 1 do
+    if not (Addr.equal t.flight_addrs.(i) (Addr.block 0)) then incr n
+  done;
+  let cap = Array.length t.pend in
+  for k = t.queued to cap - 1 do
+    if t.pend.((t.head + k) mod cap) != dummy_pending then incr n
+  done;
+  !n
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "seq[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  for k = 0 to t.queued - 1 do
+    let p = t.pend.((t.head + k) mod Array.length t.pend) in
+    Buffer.add_char buf 'q';
+    Buffer.add_string buf (access_text p.access)
+  done;
+  let live = Array.sub t.flight_addrs 0 t.in_flight in
+  Array.sort Addr.compare live;
+  Array.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "f%d" (Addr.to_int a)))
+    live;
+  if t.pump_scheduled then Buffer.add_char buf 'P';
+  Buffer.add_char buf ';'

@@ -29,3 +29,22 @@ val outstanding : t -> int
 val completed : t -> int
 val latency : t -> Xguard_stats.Histogram.t
 val retries : t -> int
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val set_check_ctrl : t -> int -> unit
+(** Tag this sequencer's pump/retry events with the served cache's controller
+    id (the node the sequencer feeds), so the model checker treats them as
+    conflicting with that cache's message deliveries.  Untagged sequencers
+    conservatively conflict with everything. *)
+
+val check_residue : t -> int
+(** Count of stale entries lingering past the live region of the internal
+    ring buffer and flight table — must be [0] for snapshot/fingerprint
+    symmetry.  Exposed for the regression test of the tail-slot clear in
+    [remove_flight]. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append the architecturally-visible sequencer state (queued accesses in
+    order, sorted in-flight block set, pump-scheduled flag) to a canonical
+    state fingerprint; stats and span bookkeeping are excluded. *)

@@ -1,13 +1,15 @@
 type time = int
 
-(* Binary min-heap on (at, seq), kept as three parallel arrays: timestamps and
-   sequence numbers live in unboxed int arrays — comparisons and sift moves
-   touch no pointers — and only the thunk column pays the GC write barrier.
-   Sifting moves a hole instead of swapping, so each level costs one store per
-   column rather than two.  No per-event record is allocated. *)
+(* Binary min-heap on (at, seq), kept as four parallel arrays: timestamps,
+   sequence numbers and choice tags live in unboxed int arrays — comparisons
+   and sift moves touch no pointers — and only the thunk column pays the GC
+   write barrier.  Sifting moves a hole instead of swapping, so each level
+   costs one store per column rather than two.  No per-event record is
+   allocated. *)
 type t = {
   mutable at_h : int array;
   mutable seq_h : int array;
+  mutable tag_h : int array;
   mutable thunk_h : (unit -> unit) array;
   mutable size : int;
   mutable now : time;
@@ -20,6 +22,7 @@ let create () =
   {
     at_h = Array.make 64 0;
     seq_h = Array.make 64 0;
+    tag_h = Array.make 64 0;
     thunk_h = Array.make 64 ignore;
     size = 0;
     now = 0;
@@ -35,16 +38,18 @@ let stop t = t.stop_requested <- true
 
 let grow t =
   let cap = 2 * Array.length t.at_h in
-  let at = Array.make cap 0 and seq = Array.make cap 0 in
+  let at = Array.make cap 0 and seq = Array.make cap 0 and tag = Array.make cap 0 in
   let thunk = Array.make cap ignore in
   Array.blit t.at_h 0 at 0 t.size;
   Array.blit t.seq_h 0 seq 0 t.size;
+  Array.blit t.tag_h 0 tag 0 t.size;
   Array.blit t.thunk_h 0 thunk 0 t.size;
   t.at_h <- at;
   t.seq_h <- seq;
+  t.tag_h <- tag;
   t.thunk_h <- thunk
 
-let push t at seq thunk =
+let push t at seq tag thunk =
   if t.size = Array.length t.at_h then grow t;
   let i = ref t.size in
   t.size <- t.size + 1;
@@ -55,6 +60,7 @@ let push t at seq thunk =
     if at < pat || (at = pat && seq < t.seq_h.(p)) then begin
       t.at_h.(!i) <- pat;
       t.seq_h.(!i) <- t.seq_h.(p);
+      t.tag_h.(!i) <- t.tag_h.(p);
       t.thunk_h.(!i) <- t.thunk_h.(p);
       i := p
     end
@@ -62,13 +68,15 @@ let push t at seq thunk =
   done;
   t.at_h.(!i) <- at;
   t.seq_h.(!i) <- seq;
+  t.tag_h.(!i) <- tag;
   t.thunk_h.(!i) <- thunk
 
 (* Caller reads the root's fields before calling; this just deletes it. *)
 let remove_root t =
   t.size <- t.size - 1;
   let n = t.size in
-  let at = t.at_h.(n) and seq = t.seq_h.(n) and thunk = t.thunk_h.(n) in
+  let at = t.at_h.(n) and seq = t.seq_h.(n) and tag = t.tag_h.(n) in
+  let thunk = t.thunk_h.(n) in
   t.thunk_h.(n) <- ignore;
   if n > 0 then begin
     let i = ref 0 in
@@ -88,6 +96,7 @@ let remove_root t =
       if !s <> !i then begin
         t.at_h.(!i) <- t.at_h.(!s);
         t.seq_h.(!i) <- t.seq_h.(!s);
+        t.tag_h.(!i) <- t.tag_h.(!s);
         t.thunk_h.(!i) <- t.thunk_h.(!s);
         i := !s
       end
@@ -95,19 +104,20 @@ let remove_root t =
     done;
     t.at_h.(!i) <- at;
     t.seq_h.(!i) <- seq;
+    t.tag_h.(!i) <- tag;
     t.thunk_h.(!i) <- thunk
   end
 
-let schedule_at t at thunk =
+let schedule_at t at ?(tag = 0) thunk =
   if at < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is in the past (now=%d)" at t.now);
-  push t at t.next_seq thunk;
+  push t at t.next_seq tag thunk;
   t.next_seq <- t.next_seq + 1
 
-let schedule t ~delay thunk =
+let schedule t ~delay ?(tag = 0) thunk =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t (t.now + delay) thunk
+  schedule_at t (t.now + delay) ~tag thunk
 
 type run_result = Drained | Hit_time_limit | Hit_event_limit | Stopped
 
@@ -167,3 +177,97 @@ let every t ~period ?(phase = 0) f =
   if period <= 0 then invalid_arg "Engine.every: period must be positive";
   let rec tick () = if f () then schedule t ~delay:period tick in
   schedule t ~delay:phase tick
+
+(* ---- scheduler-choice layer (lib/check) ---- *)
+
+let no_tag = 0
+let tag_addr_bits = 24
+let tag_addr_mask = (1 lsl tag_addr_bits) - 1
+
+let pack_tag ~ctrl ~addr =
+  ((ctrl + 1) lsl tag_addr_bits) lor ((addr + 1) land tag_addr_mask)
+
+let tag_ctrl tag = tag lsr tag_addr_bits
+let tag_addr tag = tag land tag_addr_mask
+
+let tags_conflict a b =
+  a = no_tag || b = no_tag || tag_ctrl a = tag_ctrl b || tag_addr a = tag_addr b
+
+let choices t =
+  if t.size = 0 then [||]
+  else begin
+    let min_at = t.at_h.(0) in
+    let acc = ref [] in
+    for i = t.size - 1 downto 0 do
+      if t.at_h.(i) = min_at then acc := (t.seq_h.(i), t.tag_h.(i), i) :: !acc
+    done;
+    let arr = Array.of_list !acc in
+    Array.sort (fun (s1, _, _) (s2, _, _) -> compare (s1 : int) s2) arr;
+    Array.map (fun (_, tag, key) -> (tag, key)) arr
+  end
+
+(* Generalized heap deletion, for firing a non-root candidate.  Swap-based
+   sifts (rather than the hole-based ones above): this is a checker-only path
+   where clarity beats the last store. *)
+let heap_less t i j =
+  t.at_h.(i) < t.at_h.(j) || (t.at_h.(i) = t.at_h.(j) && t.seq_h.(i) < t.seq_h.(j))
+
+let heap_swap t i j =
+  let at = t.at_h.(i) and seq = t.seq_h.(i) and tag = t.tag_h.(i) in
+  let thunk = t.thunk_h.(i) in
+  t.at_h.(i) <- t.at_h.(j);
+  t.seq_h.(i) <- t.seq_h.(j);
+  t.tag_h.(i) <- t.tag_h.(j);
+  t.thunk_h.(i) <- t.thunk_h.(j);
+  t.at_h.(j) <- at;
+  t.seq_h.(j) <- seq;
+  t.tag_h.(j) <- tag;
+  t.thunk_h.(j) <- thunk
+
+let sift_up t k =
+  let i = ref k in
+  while !i > 0 && heap_less t !i ((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    heap_swap t !i p;
+    i := p
+  done
+
+let sift_down t k =
+  let i = ref k and continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < t.size && heap_less t l !s then s := l;
+    if r < t.size && heap_less t r !s then s := r;
+    if !s <> !i then begin
+      heap_swap t !i !s;
+      i := !s
+    end
+    else continue := false
+  done
+
+let fire_choice t ~key =
+  if key < 0 || key >= t.size then invalid_arg "Engine.fire_choice: stale key";
+  if t.at_h.(key) <> t.at_h.(0) then
+    invalid_arg "Engine.fire_choice: key is not a minimal-time event";
+  let at = t.at_h.(key) and thunk = t.thunk_h.(key) in
+  let n = t.size - 1 in
+  if key <> n then heap_swap t key n;
+  t.size <- n;
+  t.thunk_h.(n) <- ignore;
+  if key < n then begin
+    sift_up t key;
+    sift_down t key
+  end;
+  t.now <- at;
+  t.fired <- t.fired + 1;
+  thunk ()
+
+let pending_summary t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    acc := (t.at_h.(i), t.seq_h.(i), t.tag_h.(i)) :: !acc
+  done;
+  let arr = Array.of_list !acc in
+  Array.sort compare arr;
+  Array.map (fun (at, _, tag) -> (at - t.now, tag)) arr

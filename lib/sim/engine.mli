@@ -14,12 +14,13 @@ val create : unit -> t
 val now : t -> time
 (** Current virtual time.  [0] before any event has fired. *)
 
-val schedule : t -> delay:int -> (unit -> unit) -> unit
+val schedule : t -> delay:int -> ?tag:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be [>= 0];
     a zero delay fires later in the current cycle, after already-queued
-    same-cycle events. *)
+    same-cycle events.  [tag] (default {!no_tag}) is a choice tag for the
+    model checker — see {!pack_tag}; it never affects normal execution. *)
 
-val schedule_at : t -> time -> (unit -> unit) -> unit
+val schedule_at : t -> time -> ?tag:int -> (unit -> unit) -> unit
 (** Absolute-time variant of {!schedule}.  The time must not be in the past. *)
 
 val pending : t -> int
@@ -52,3 +53,48 @@ val stop : t -> unit
 val every : t -> period:int -> ?phase:int -> (unit -> bool) -> unit
 (** [every t ~period f] calls [f] at [now + phase], then every [period] cycles
     for as long as [f] returns [true].  Used for pollers and watchdogs. *)
+
+(** {2 Scheduler-choice layer}
+
+    Support for the explicit-state model checker ([lib/check]).  Events
+    scheduled for the same cycle are the simulator's only source of
+    nondeterminism once link delays are fixed; the checker enumerates them
+    with {!choices} and fires a chosen one with {!fire_choice} instead of
+    letting {!run} pick the FIFO head.  None of this is consulted by {!run},
+    so normal executions are byte-identical to pre-checker builds. *)
+
+val no_tag : int
+(** The tag of events scheduled without one; conflicts with everything. *)
+
+val pack_tag : ctrl:int -> addr:int -> int
+(** Pack a (controller id, block address) pair into a choice tag.  Two tagged
+    events commute unless they share a controller or an address
+    ({!tags_conflict}); the checker's partial-order reduction only branches on
+    conflicting candidate sets.  [addr = -1] means "no specific block" and
+    behaves as a per-controller channel (conflicts with other no-block events
+    of the same controller).  Addresses are truncated to 24 bits — callers
+    must keep block addresses below [2^24 - 1] in check configurations. *)
+
+val tag_ctrl : int -> int
+val tag_addr : int -> int
+
+val tags_conflict : int -> int -> bool
+(** Whether two events may fail to commute: either is {!no_tag}, or same
+    controller, or same address. *)
+
+val choices : t -> (int * int) array
+(** [(tag, key)] of every event sharing the minimal pending timestamp, in
+    scheduling (FIFO) order; [[||]] when the queue is empty.  Element [0] is
+    the event {!run} would fire next.  Keys index the internal heap and are
+    invalidated by any schedule or fire — re-enumerate before each
+    {!fire_choice}. *)
+
+val fire_choice : t -> key:int -> unit
+(** Fire the single event identified by [key] (from the current {!choices}):
+    remove it from the queue, advance [now] to its timestamp and run its
+    thunk.  @raise Invalid_argument on a stale or non-minimal key. *)
+
+val pending_summary : t -> (int * int) array
+(** [(at - now, tag)] of every pending event, sorted by (time, scheduling
+    order) — the event queue's contribution to a canonical state
+    fingerprint. *)

@@ -60,6 +60,15 @@ let quarantine t =
 
 let quarantined t = t.quarantined
 
+let check_fingerprint t buf =
+  (* Only the flags that change guard behaviour; the log and counters are
+     observational. *)
+  Buffer.add_string buf "os[";
+  if t.disabled then Buffer.add_char buf 'd';
+  if t.killed then Buffer.add_char buf 'k';
+  if t.quarantined then Buffer.add_char buf 'q';
+  Buffer.add_char buf ']'
+
 let error_kind_to_string = function
   | Perm_read_violation -> "perm_read_violation (G0a)"
   | Perm_write_violation -> "perm_write_violation (G0b)"

@@ -40,3 +40,8 @@ val quarantine : t -> unit
 val quarantined : t -> bool
 val error_kind_to_string : error_kind -> string
 val all_error_kinds : error_kind list
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append the behaviour-changing flags (disabled/killed/quarantined) to a
+    canonical model-checker fingerprint; the error log is observational and
+    excluded. *)

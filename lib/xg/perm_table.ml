@@ -18,3 +18,14 @@ let allows_write t addr = Perm.allows_write (perm t addr)
 let revoke_all t =
   Hashtbl.reset t.pages;
   t.default <- Perm.No_access
+
+let check_fingerprint t buf =
+  let pc = function Perm.No_access -> 'n' | Perm.Read_only -> 'r' | Perm.Read_write -> 'w' in
+  Buffer.add_string buf "perm[";
+  Buffer.add_char buf (pc t.default);
+  Hashtbl.fold (fun page p acc -> (page, p) :: acc) t.pages []
+  |> List.sort compare
+  |> List.iter (fun (page, p) ->
+         (* explicit entries equal to the default are architectural no-ops *)
+         if p <> t.default then Buffer.add_string buf (Printf.sprintf ";%d:%c" page (pc p)));
+  Buffer.add_char buf ']'

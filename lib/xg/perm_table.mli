@@ -36,3 +36,7 @@ val revoke_all : t -> unit
 (** Drops every page grant and makes [No_access] the default — the OS pulling
     all of a quarantined accelerator's mappings at once.  Later [set_page]
     calls can re-grant. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append the default permission and every explicit page entry that differs
+    from it (sorted) to a canonical model-checker fingerprint. *)

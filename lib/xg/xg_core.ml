@@ -95,6 +95,10 @@ type t = {
   fault_cov : Group.t;
   fcov : Coverage.matrix;
   mutable on_quarantine : unit -> unit;
+  (* Controller id used in model-checker choice tags.  Defaults to the link
+     endpoint's node; the harness overrides it with the host-side port's node
+     so every event touching the {core, port} cluster shares one id. *)
+  mutable check_ctrl : int;
 }
 
 let mode t = t.mode
@@ -366,7 +370,9 @@ let start_accel_invalidation t addr (p : per_addr) inv =
   note_storage t;
   Group.incr_id t.stats t.sid.s_invalidate_to_accel;
   send_accel t (Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate });
-  Engine.schedule t.engine ~delay:t.timeout (fun () ->
+  Engine.schedule t.engine ~delay:t.timeout
+    ~tag:(Engine.pack_tag ~ctrl:t.check_ctrl ~addr:(Addr.to_int addr))
+    (fun () ->
       match p.p_inv with
       | Some i when i == inv && not i.replied ->
           visit t addr ev_timeout (fun () ->
@@ -395,16 +401,21 @@ let host_request t addr ~need ~reply =
       match Hashtbl.find_opt t.tracks addr with
       | None ->
           Group.incr_id t.stats t.sid.s_snoop_fast_path;
-          reply (Reply_ack { shared = false })
+          reply (Reply_ack { shared = false });
+          (* [slot] above may have created an empty record for this fast
+             path; drop it (snapshot symmetry: empty slots must not leak). *)
+          prune t addr p
       | Some { st = `S; xg_copy = None } when need = Fwd_s ->
           Group.incr_id t.stats t.sid.s_snoop_fast_path;
-          reply (Reply_ack { shared = true })
+          reply (Reply_ack { shared = true });
+          prune t addr p
       | Some ({ st = `S; xg_copy = Some copy } as tr) ->
           if need = Fwd_s then begin
             (* XG owns the trusted copy of this read-only block; serve data
                without disturbing the accelerator. *)
             Group.incr_id t.stats t.sid.s_snoop_fast_path;
-            reply (Reply_clean copy)
+            reply (Reply_clean copy);
+            prune t addr p
           end
           else begin
             ignore tr;
@@ -425,19 +436,22 @@ let host_request t addr ~need ~reply =
              hides host coherence traffic from a potentially malicious
              accelerator (side-channel filtering, §3.2). *)
           Group.incr_id t.stats t.sid.s_side_channel_filtered;
-          reply (Reply_ack { shared = false })
+          reply (Reply_ack { shared = false });
+          prune t addr p
       | Perm.Read_only when need = Fwd_s ->
           (* The accelerator cannot own the block (G0b), so no data is
              needed; conservatively report it shared. *)
           Group.incr_id t.stats t.sid.s_snoop_fast_path;
-          reply (Reply_ack { shared = true })
+          reply (Reply_ack { shared = true });
+          prune t addr p
       | Perm.Read_only | Perm.Read_write -> (
           (* Deduce what we can from open transactions: a pending GetS means
              the accelerator holds nothing yet. *)
           match p.p_get with
           | Some { want = `S; _ } when need <> Fwd_s ->
               Group.incr_id t.stats t.sid.s_snoop_fast_path;
-              reply (Reply_ack { shared = false })
+              reply (Reply_ack { shared = false });
+              prune t addr p
           | _ ->
               start_accel_invalidation t addr p
                 { need; reply; expect_owner = false; replied = false }))
@@ -521,7 +535,8 @@ let accel_response t addr (resp : Xg_iface.accel_response) =
       else begin
         (* G2b: response with no outstanding request. *)
         report t Os_model.Unsolicited_response addr;
-        Group.incr t.stats "response_dropped"
+        Group.incr t.stats "response_dropped";
+        prune t addr p
       end
 
 (* ---- accelerator requests ---- *)
@@ -866,6 +881,73 @@ let link_recovered t =
     Group.incr t.stats "link_recoveries"
   end
 
+(* ---- model-checker support ---- *)
+
+let set_check_ctrl t ctrl = t.check_ctrl <- ctrl
+
+let check_pending_slots t = Hashtbl.length t.pending
+
+let check_tracked t =
+  sorted_bindings t.tracks
+  |> List.map (fun (addr, (tr : track)) -> (addr, tr.st, tr.xg_copy))
+
+let check_violation t =
+  (* Guarantee 1b: at most one open transaction per block.  The guard's
+     per-block slot makes this structural — a get and a put open at once is
+     the broken state the invariant engine looks for. *)
+  List.fold_left
+    (fun acc (addr, (p : per_addr)) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if p.p_get <> None && p.p_put <> None then
+            Some
+              (Printf.sprintf "%s: G1b violated at block %d (get and put both open)"
+                 t.name (Addr.to_int addr))
+          else None)
+    None (sorted_bindings t.pending)
+
+let check_fingerprint t buf =
+  Buffer.add_string buf "xg[";
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf ']';
+  List.iter
+    (fun (addr, (tr : track)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "k%d:%s:%d;" (Addr.to_int addr)
+           (match tr.st with `S -> "S" | `E -> "E" | `M -> "M")
+           (match tr.xg_copy with None -> -1 | Some d -> (d : Data.t))))
+    (sorted_bindings t.tracks);
+  List.iter
+    (fun (addr, (p : per_addr)) ->
+      Buffer.add_string buf (Printf.sprintf "p%d:" (Addr.to_int addr));
+      (match p.p_get with
+      | None -> Buffer.add_char buf '-'
+      | Some { want; ro } ->
+          Buffer.add_string buf (match want with `S -> "gS" | `M -> "gM");
+          if ro then Buffer.add_char buf 'r');
+      (match p.p_put with
+      | None -> Buffer.add_char buf '-'
+      | Some `S -> Buffer.add_string buf "pS"
+      | Some `E -> Buffer.add_string buf "pE"
+      | Some `M -> Buffer.add_string buf "pM");
+      (match p.p_inv with
+      | None -> Buffer.add_char buf '-'
+      | Some inv ->
+          Buffer.add_string buf
+            (Printf.sprintf "i%s%b%b"
+               (match inv.need with Fwd_s -> "S" | Fwd_m -> "M" | Recall -> "R")
+               inv.expect_owner inv.replied));
+      Buffer.add_string buf (Printf.sprintf "a%d:" p.absorb);
+      Queue.iter
+        (fun req ->
+          Buffer.add_string buf (Format.asprintf "%a," Xg_iface.pp_accel_request req))
+        p.stalled_gets;
+      Buffer.add_char buf ';')
+    (sorted_bindings t.pending);
+  if t.quarantined then Buffer.add_char buf 'Q';
+  if t.link_faults > 0 then Buffer.add_string buf (Printf.sprintf "F%d" t.link_faults)
+
 (* ---- wiring ---- *)
 
 let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2000)
@@ -921,11 +1003,15 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
       fault_cov;
       fcov = Coverage.intern_matrix fault_coverage_space fault_cov;
       on_quarantine = (fun () -> ());
+      check_ctrl = Node.id self;
     }
   in
   Xg_iface.Link.register link self (fun ~src:_ msg ->
       (* Charge the guard's pipeline latency once per message. *)
-      Engine.schedule t.engine ~delay:processing_latency (fun () ->
+      Engine.schedule t.engine ~delay:processing_latency
+        ~tag:(Engine.pack_tag ~ctrl:t.check_ctrl
+                ~addr:(Addr.to_int (Xg_iface.msg_addr msg)))
+        (fun () ->
           if t.quarantined then begin
             (* The device is quarantined: whatever still trickles out of the
                link (or was already in the pipeline) is dead traffic. *)

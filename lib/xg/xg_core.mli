@@ -180,3 +180,29 @@ val fault_coverage : t -> Xguard_stats.Counter.Group.t
 val fault_coverage_space : Xguard_trace.Coverage.space
 (** Space ["xg.fault"]: armed/degraded/quarantined × link-fault, recovery and
     quarantine events. *)
+
+(* ---- model-checker support (lib/check) ---- *)
+
+val set_check_ctrl : t -> int -> unit
+(** Controller id used to tag the engine's scheduled events for partial-order
+    reduction.  The harness sets it to the host-side port's network node id so
+    the guard, its port and link deliveries to the guard form one conflict
+    cluster (they synchronously mutate each other's state). *)
+
+val check_pending_slots : t -> int
+(** Number of per-block pending records currently allocated, including inert
+    ones — unit tests assert fully-drained slots are pruned so fingerprints
+    stay path-independent. *)
+
+val check_tracked : t -> (Addr.t * [ `S | `E | `M ] * Data.t option) list
+(** Full-state tracking table, sorted by block (empty in transactional
+    mode): trusted stable state and the guard's trusted copy, if any. *)
+
+val check_violation : t -> string option
+(** G1b structural check: [Some msg] if any block has both a get and a put
+    transaction open at once. *)
+
+val check_fingerprint : t -> Buffer.t -> unit
+(** Append the tracking table, every pending slot (open get/put, outstanding
+    invalidation, absorb count, stalled requests) and the degradation state to
+    a canonical fingerprint (stats, coverage, trace and span state excluded). *)

@@ -548,6 +548,16 @@ module Link = struct
         | Ack { next } -> (Trace.no_addr, Printf.sprintf "LinkAck(%d)" next)
         | Nack { expect } -> (Trace.no_addr, Printf.sprintf "LinkNack(%d)" expect))
 
+  let enable_check_mode t ?ctrl_of () =
+    Raw.enable_check_mode t.raw ?ctrl_of
+      ~addr_of:(function
+        | Plain m | Frame { payload = m; _ } -> Addr.to_int (msg_addr m)
+        | Ack _ | Nack _ -> -1)
+      ()
+
+  let check_fingerprint t buf = Raw.check_fingerprint t.raw buf
+  let set_delay_chooser t f = Raw.set_delay_chooser t.raw f
+
   let set_faults t ~rng config = Raw.set_faults t.raw ~rng config
   let add_fault_script t s = Raw.add_fault_script t.raw s
   let cut_wire t = Raw.cut_wire t.raw

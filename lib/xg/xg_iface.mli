@@ -183,6 +183,22 @@ module Link : sig
       reliability off (plain messages are not tracked).  Sampled as a
       span-layer gauge. *)
 
+  val enable_check_mode : t -> ?ctrl_of:(int -> int) -> unit -> unit
+  (** Arm the underlying network for the model checker: delivery events get
+      (destination, block-address) choice tags and in-flight payloads are
+      tracked for {!check_fingerprint}.  [ctrl_of] maps a destination node id
+      to its POR controller id (see {!Xguard_network.Network.S.enable_check_mode}).
+      Requires a tracer ({!set_tracer}) for payload renderings in the
+      fingerprint. *)
+
+  val check_fingerprint : t -> Buffer.t -> unit
+  (** Append the link's in-flight message multiset and future FIFO release
+      times to a canonical state fingerprint. *)
+
+  val set_delay_chooser : t -> (lo:int -> hi:int -> int) -> unit
+  (** Route the underlying network's [Unordered] latency draw through the
+      checker's choice enumerator (no effect on ordered links). *)
+
   val link_stats : t -> Xguard_stats.Counter.Group.t
   (** Reliability-layer counters: frames sent/delivered, retransmission
       rounds, duplicates suppressed, corruption and gaps detected, faults

@@ -22,4 +22,5 @@ let () =
          Test_campaign.tests;
          Test_faults.tests;
          Test_spans.tests;
+         Test_check.tests;
        ])

@@ -1,0 +1,263 @@
+(* Model-checker suite (PR 6): the bounded explicit-state checker of
+   lib/check must terminate on the tiny configurations with exactly the
+   state/transition counts pinned in MODEL_BASELINE.json, catch a
+   deliberately broken invariant with a replayable counterexample trail,
+   enumerate without fingerprint-digest collisions, and produce a
+   byte-identical summary for any worker count.  A second group unit-tests
+   the snapshot-symmetry fixes the checker flushed out of mutable controller
+   state (empty guard slots leaking from answered fast paths, parked-work
+   tables surviving a drain). *)
+
+module Config = Xguard_harness.Config
+module System = Xguard_harness.System
+module Engine = Xguard_sim.Engine
+module C = Xguard_check.Checker
+module Xg = Xguard_xg
+module H = Xguard_host_hammer
+module M = Xguard_host_mesi
+
+let explore_counts name ~states ~transitions =
+  let plan = List.assoc name (C.tiny_plans ()) in
+  let r = C.explore plan in
+  let s = r.C.summary and d = r.C.diagnostics in
+  Alcotest.(check (list string)) (name ^ ": no violations") []
+    (List.map (fun (v : C.violation) -> v.C.message) s.C.violations);
+  Alcotest.(check bool) (name ^ ": not truncated") false
+    (d.C.truncated_depth > 0 || d.C.truncated_states);
+  Alcotest.(check int) (name ^ ": reachable states") states s.C.states;
+  Alcotest.(check int) (name ^ ": transitions") transitions s.C.transitions
+
+(* Counts double-pinned here and in MODEL_BASELINE.json: a drift that slips
+   past tools/check_model.sh still fails the unit suite (and vice versa). *)
+let test_hammer_full_counts () = explore_counts "hammer/full" ~states:83 ~transitions:160
+let test_mesi_full_counts () = explore_counts "mesi/full" ~states:12 ~transitions:14
+let test_hammer_trans_counts () = explore_counts "hammer/trans" ~states:25 ~transitions:30
+let test_mesi_trans_counts () = explore_counts "mesi/trans" ~states:12 ~transitions:14
+
+(* A test-only invariant hook that trips after a fixed number of evaluations:
+   the checker must surface it as a violation whose trail, replayed through
+   the trace-armed [C.replay], reproduces the same failure. *)
+let mk_tripwire at =
+  let seen = ref 0 in
+  fun (_ : System.t) ->
+    incr seen;
+    if !seen > at then Some "tripwire: synthetic invariant failure" else None
+
+let test_broken_invariant_replayable () =
+  let plan = List.assoc "hammer/full" (C.tiny_plans ()) in
+  let r = C.explore ~extra_invariant:(mk_tripwire 25) plan in
+  match r.C.summary.C.violations with
+  | [] -> Alcotest.fail "tripwire invariant not caught"
+  | v :: _ -> (
+      let outcome, events = C.replay ~extra_invariant:(mk_tripwire 25) plan v.C.trail in
+      match outcome with
+      | `Violation m ->
+          Alcotest.(check string) "replay reproduces the violation"
+            "tripwire: synthetic invariant failure" m;
+          Alcotest.(check bool) "replay recorded trace forensics" true
+            (List.length events > 0)
+      | `Terminal -> Alcotest.fail "replayed trail drained without tripping"
+      | `Incomplete -> Alcotest.fail "replayed trail did not reach the violation")
+
+(* Digest-collision sanity: at every event boundary of every explored path,
+   record digest -> full canonical fingerprint; two different fingerprints
+   hashing to one digest would silently merge distinct states. *)
+let test_no_digest_collisions () =
+  let plan = List.assoc "hammer/full" (C.tiny_plans ()) in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let watch (sys : System.t) =
+    let buf = Buffer.create 512 in
+    sys.System.check_fingerprint buf;
+    let fp = Buffer.contents buf in
+    let d = Digest.to_hex (Digest.string fp) in
+    incr states;
+    (match Hashtbl.find_opt seen d with
+    | Some fp' when fp' <> fp ->
+        Alcotest.failf "digest collision on %s:\n%s\nvs\n%s" d fp' fp
+    | _ -> ());
+    Hashtbl.replace seen d fp;
+    None
+  in
+  let r = C.explore ~extra_invariant:watch plan in
+  Alcotest.(check (list string)) "healthy model" []
+    (List.map (fun (v : C.violation) -> v.C.message) r.C.summary.C.violations);
+  Alcotest.(check bool) "watch hook ran" true (!states > 0)
+
+(* Frontier sharding must be invisible in the canonical summary: for random
+   tiny workloads and random worker counts, sequential and sharded
+   exploration render byte-identical summaries (counts, sorted digests and
+   violations; traversal-order diagnostics are excluded by design). *)
+let gen_plan_and_workers =
+  QCheck2.Gen.(
+    let access =
+      oneofl
+        [ `Load 0; `Load 1; `Store (0, 7); `Store (1, 8); `Store (0, 9) ]
+    in
+    let ops_list = list_size (int_range 1 2) access in
+    quad (oneofl [ Config.Hammer; Config.Mesi ]) ops_list ops_list (int_range 2 4))
+
+let prop_sharded_byte_identical =
+  QCheck2.Test.make ~name:"sharded exploration = sequential (byte-identical summary)"
+    ~count:8 gen_plan_and_workers (fun (host, cpu_ops, accel_ops, workers) ->
+      let to_access = function
+        | `Load i -> Access.load (Addr.block i)
+        | `Store (i, tok) -> Access.store (Addr.block i) (Data.token tok)
+      in
+      let plan =
+        {
+          (C.tiny_plan ~host ~variant:Config.Full_state ()) with
+          C.ops =
+            [
+              (C.Cpu 0, List.map to_access cpu_ops);
+              (C.Accel 0, List.map to_access accel_ops);
+            ];
+        }
+      in
+      let seq = C.explore plan in
+      let shard = C.explore ~workers plan in
+      C.summary_to_string seq.C.summary = C.summary_to_string shard.C.summary)
+
+(* ---- snapshot-symmetry fixes (each with its own unit test) ----
+
+   Drive a tiny system to drain with plain [Engine.run] and assert the
+   mutable side tables the checker fingerprints are empty again.  Before the
+   fixes each of these leaked residue that only a fingerprint comparison
+   could see (an answered fast path kept its empty pending slot, parked
+   work outlived its transaction). *)
+
+let drain_tiny host =
+  let cfg = C.tiny_config ~host ~variant:Config.Full_state () in
+  let sys = System.build cfg in
+  let remaining = ref 0 in
+  let seqs =
+    List.map
+      (fun (agent, accesses) ->
+        let port =
+          match agent with
+          | C.Cpu i -> sys.System.cpu_ports.(i)
+          | C.Accel i -> sys.System.accel_ports.(i)
+        in
+        let seq =
+          Sequencer.create ~engine:sys.System.engine
+            ~name:("drain." ^ C.agent_label agent) ~port ~max_outstanding:1 ()
+        in
+        remaining := !remaining + List.length accesses;
+        let rec issue = function
+          | [] -> ()
+          | a :: rest ->
+              Sequencer.request seq a ~on_complete:(fun _ ~latency:_ ->
+                  decr remaining;
+                  issue rest)
+        in
+        issue accesses;
+        seq)
+      (C.tiny_ops ())
+  in
+  ignore (Engine.run sys.System.engine);
+  Alcotest.(check int) "workload drained" 0 !remaining;
+  (sys, seqs)
+
+let test_sequencer_residue () =
+  let _, seqs = drain_tiny Config.Hammer in
+  List.iter
+    (fun seq ->
+      Alcotest.(check int)
+        (Sequencer.name seq ^ ": ring buffer empty after drain")
+        0 (Sequencer.check_residue seq))
+    seqs
+
+let test_guard_slots_pruned () =
+  (* Covers the answered-fast-path prunes in Xg_core.host_request (untracked
+     block, plain-sharer Fwd_s, trusted-copy reply): the guard must not keep
+     the empty pending slot [slot] created on entry. *)
+  let sys, _ = drain_tiny Config.Hammer in
+  match sys.System.xg_core with
+  | None -> Alcotest.fail "tiny config has no guard"
+  | Some core ->
+      Alcotest.(check int) "no guard pending slots after drain" 0
+        (Xg.Xg_core.check_pending_slots core)
+
+let test_directory_waiting_tables () =
+  (* Two CPUs storing the same block force the directory to park the loser;
+     after the drain the waiting tables must be empty again. *)
+  let module Sys_h = Xguard_harness.Hammer_system in
+  let sys = Sys_h.create ~num_cpus:2 () in
+  Sys_h.finalize sys;
+  let a0 = Addr.block 0 in
+  let done_ = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let port = H.L1l2.cpu_port c in
+      ignore
+        (port.Access.issue
+           (Access.store a0 (Data.token (i + 1)))
+           ~on_done:(fun _ -> incr done_)))
+    (Sys_h.cpus sys);
+  ignore (Engine.run (Sys_h.engine sys));
+  Alcotest.(check int) "both racing stores completed" 2 !done_;
+  Alcotest.(check int) "directory waiting tables empty after drain" 0
+    (H.Directory.check_waiting_tables (Sys_h.directory sys))
+
+let test_mesi_l2_queue_tables () =
+  (* Same race against the MESI L2's deferred-request queues. *)
+  let module Sys_m = Xguard_harness.Mesi_system in
+  let sys = Sys_m.create ~num_cpus:2 () in
+  let a0 = Addr.block 0 in
+  let done_ = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let port = M.L1.cpu_port c in
+      ignore
+        (port.Access.issue
+           (Access.store a0 (Data.token (i + 1)))
+           ~on_done:(fun _ -> incr done_)))
+    (Sys_m.cpus sys);
+  ignore (Engine.run (Sys_m.engine sys));
+  Alcotest.(check int) "both racing stores completed" 2 !done_;
+  Alcotest.(check int) "L2 queue tables empty after drain" 0
+    (M.L2.check_queue_tables (Sys_m.l2 sys))
+
+(* The drained tiny systems must also pass the full quiescent invariant —
+   the aggregate the checker runs at every terminal. *)
+let test_quiescent_after_drain () =
+  List.iter
+    (fun host ->
+      let sys, _ = drain_tiny host in
+      match sys.System.check_quiescent_invariant () with
+      | None -> ()
+      | Some msg -> Alcotest.failf "drain left residue: %s" msg)
+    [ Config.Hammer; Config.Mesi ]
+
+let tests =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "hammer/full terminates at the pinned fixed point" `Quick
+          test_hammer_full_counts;
+        Alcotest.test_case "mesi/full terminates at the pinned fixed point" `Quick
+          test_mesi_full_counts;
+        Alcotest.test_case "hammer/trans terminates at the pinned fixed point" `Quick
+          test_hammer_trans_counts;
+        Alcotest.test_case "mesi/trans terminates at the pinned fixed point" `Quick
+          test_mesi_trans_counts;
+        Alcotest.test_case "broken invariant caught with a replayable trail" `Quick
+          test_broken_invariant_replayable;
+        Alcotest.test_case "no visited-set digest collisions" `Quick
+          test_no_digest_collisions;
+        QCheck_alcotest.to_alcotest prop_sharded_byte_identical;
+      ] );
+    ( "check-symmetry",
+      [
+        Alcotest.test_case "sequencer ring buffer empty after drain" `Quick
+          test_sequencer_residue;
+        Alcotest.test_case "guard fast-path slots pruned after drain" `Quick
+          test_guard_slots_pruned;
+        Alcotest.test_case "directory waiting tables empty after racing drain" `Quick
+          test_directory_waiting_tables;
+        Alcotest.test_case "mesi L2 queue tables empty after racing drain" `Quick
+          test_mesi_l2_queue_tables;
+        Alcotest.test_case "quiescent invariant clean after tiny drain" `Quick
+          test_quiescent_after_drain;
+      ] );
+  ]

@@ -18,6 +18,8 @@ module Fuzz = Xguard_harness.Fuzz_tester
 module Fault = Xguard_harness.Fault_scenarios
 module Coverage = Xguard_trace.Coverage
 module Rng = Xguard_sim.Rng
+module C = Xguard_check.Checker
+module Group = Xguard_stats.Counter.Group
 
 let stress_configs =
   [
@@ -76,6 +78,32 @@ let collect_runs () =
           runs := o.Fault.coverage_sets :: !runs)
         Fault.all_scenarios)
     fuzz_configs;
+  (* The model checker's exhaustive tiny sweep contributes a deterministic
+     coverage backbone: every pair below fires on EVERY run of this suite,
+     with no scheduling jitter, which is what lets the floors sit closer to
+     the measured fractions than the sampled runs alone would allow. *)
+  List.iter
+    (fun (name, plan) ->
+      let jittered =
+        String.length name >= 7
+        && String.sub name (String.length name - 7) 7 = "+jitter"
+      in
+      if not jittered then begin
+        let _, pairs = C.covered_pairs plan in
+        let sys = System.build plan.C.config in
+        let run =
+          List.map
+            (fun (space_name, space, _) ->
+              let g = Group.create ("check." ^ space_name) in
+              (match List.assoc_opt space_name pairs with
+              | Some keys -> List.iter (fun k -> Group.incr g k) keys
+              | None -> ());
+              (space_name, space, [ g ]))
+            (sys.System.coverage_sets ())
+        in
+        runs := run :: !runs
+      end)
+    (C.tiny_plans ());
   List.rev !runs
 
 (* Merge the per-run (name, space, groups) sets: same space name -> one report
@@ -112,15 +140,41 @@ let find name =
   | None -> Alcotest.failf "no coverage report named %S was collected" name
 
 (* name -> minimum covered fraction of the registered possible pairs.
-   Measured when written: xg 0.80, hammer.l1l2 0.77, mesi.l1 0.65,
-   mesi.l2 1.00, accel.l1 0.91. *)
+   Measured with the checker backbone merged in (PR 6): xg 0.791 (102/129),
+   hammer.l1l2 0.803, mesi.l1 0.673, mesi.l2 1.00, accel.l1 0.913.
+
+   Classification of the 27 uncovered xg pairs, from the checker's exhaustive
+   reachable-set output (`xguard check --coverage` over the four tiny
+   configurations): NONE of them is newly covered, and all 27 are provably
+   unreachable under the tiny sweep — exhaustive enumeration visits every
+   reachable state of those models and never fires them.  By family:
+   - [I|S|T_RO|T_NA|S_RO|Q].Recall: a Recall needs the guard timeout
+     (xg_timeout = 400) to expire inside an open transaction; every tiny
+     interleaving drains in well under 100 cycles, so the timeout can never
+     fire.  Reaching these needs the directed fault scenarios' forced
+     timeouts (which cover T_RW/B_* Recall rows) or a stalled accelerator.
+   - S_RO.*: the S_RO row is the full-state guard's read-only-shared
+     tracking state; the tiny workloads and the random suite both run
+     writable pages, and the Shared_ro fuzz pool drives the transactional
+     (T_RO) rows instead.  Unreachable until a full-state read-only
+     workload exists.
+   - T_NA.{GetM,Put*,CleanWB,DirtyWB,InvAck}: a no-access page can only see
+     these from a hostile accelerator; the Disjoint fuzz pool reaches the
+     T_NA.GetS probe but randomly misses the rest of the row.
+   - B_inv.Grant and Q.{Fwd_S,Grant,PutDone}: races between an
+     in-flight grant and an invalidation/quarantine; need >1 outstanding
+     accelerator transactions plus a fault, outside the tiny model
+     (max_outstanding = 1) by construction.
+   The checker's own 14 xg pairs are a strict subset of the randomly covered
+   set — its value here is determinism (they can never flake), which is why
+   the floors now sit ~0.04 under the measured fractions instead of ~0.10. *)
 let floors =
   [
-    ("xg", 0.70);
-    ("hammer.l1l2", 0.70);
-    ("mesi.l1", 0.55);
-    ("mesi.l2", 0.90);
-    ("accel.l1", 0.85);
+    ("xg", 0.75);
+    ("hammer.l1l2", 0.76);
+    ("mesi.l1", 0.62);
+    ("mesi.l2", 0.95);
+    ("accel.l1", 0.88);
   ]
 
 let assert_floor (name, floor) =

@@ -153,6 +153,40 @@ let test_lossy_quarantine_seed () =
        [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ])
     (fun o -> link_count o "faults_escalated" > 0 && o.Fuzz.quarantined)
 
+(* ---- model-checker regression seeds (PR 6) ----
+
+   Trails surfaced by `xguard check` during checker development, pinned as
+   replays: each previously tripped a (since-fixed) false positive in the
+   invariant harness, so the checker itself is the regression subject —
+   the replay must now drain to a clean terminal. *)
+
+module Checker = Xguard_check.Checker
+
+let replay_clean ~label plan trail =
+  match Checker.replay plan trail with
+  | `Terminal, _ -> ()
+  | `Violation m, _ -> Alcotest.failf "%s: replay violates again: %s" label m
+  | `Incomplete, _ -> Alcotest.failf "%s: replay no longer reaches a terminal" label
+
+let test_check_relinquish_window_seed () =
+  (* Provenance: hammer/full all-zeros schedule, no POR — flagged
+     "data-value violated at block 1" while the coherent value rode the XG
+     port's ownership-relinquishing writeback (§3.2.1 window; fixed by
+     Xg_port.check_owner_puts pseudo-entries). *)
+  let plan =
+    { (List.assoc "hammer/full" (Checker.tiny_plans ())) with Checker.por = false }
+  in
+  replay_clean ~label:"hammer relinquish window" plan
+    [ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ]
+
+let test_check_root_branch_seed () =
+  (* Provenance: the same trail under POR — the root state is itself the
+     first decision point (two same-cycle, same-address sequencer pumps),
+     which once self-pruned and ended exploration at states=1. *)
+  let plan = List.assoc "hammer/full" (Checker.tiny_plans ()) in
+  replay_clean ~label:"hammer root decision point" plan
+    [ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ]
+
 let tests =
   [
     ( "regression-seeds",
@@ -169,5 +203,9 @@ let tests =
           test_lossy_corruption_seed;
         Alcotest.test_case "lossy link: quarantine seed" `Quick
           test_lossy_quarantine_seed;
+        Alcotest.test_case "checker: ownership-relinquish window replays clean" `Quick
+          test_check_relinquish_window_seed;
+        Alcotest.test_case "checker: root-decision-point trail replays clean" `Quick
+          test_check_root_branch_seed;
       ] );
   ]
