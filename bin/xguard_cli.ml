@@ -62,6 +62,33 @@ let with_config name seed f =
       exit 1
   | Some cfg -> f { cfg with Config.seed }
 
+(* ---- multi-accelerator topologies ---- *)
+
+module Topology = Xguard_harness.Topology
+
+let topology_arg =
+  Arg.(value & opt (some string) None
+       & info [ "topology" ] ~docv:"SPEC"
+           ~doc:"Build a multi-accelerator, multi-guard system instead of a \
+                 named configuration: \
+                 $(b,HOST[:shards=N];ID=ATTR,...;ID=ATTR,...) — e.g. \
+                 $(b,hammer:shards=2;gpu0=trans,cached;nic0=full,uncached,lat=12). \
+                 See docs/TOPOLOGY.md.  Overrides $(b,--config).")
+
+let parse_topology spec =
+  match Topology.of_string spec with
+  | Ok topo -> topo
+  | Error e ->
+      Printf.eprintf "bad --topology %S: %s\n" spec e;
+      exit 1
+
+(* [--topology] takes precedence over [--config]; both paths deliver one
+   Config.t, so everything downstream is topology-agnostic. *)
+let with_system_config ~topology name seed f =
+  match topology with
+  | Some spec -> f { (Config.of_topology (parse_topology spec)) with Config.seed }
+  | None -> with_config name seed f
+
 (* ---- tracing & coverage plumbing ---- *)
 
 let trace_flag =
@@ -233,8 +260,8 @@ let run_cmd =
     let doc = "Workload: streaming, blocked, graph, write-coalesce, producer-consumer." in
     Arg.(value & opt string "blocked" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
   in
-  let action config workload seed trace trace_out spans spans_out =
-    with_config config seed (fun cfg ->
+  let action config topology workload seed trace trace_out spans spans_out =
+    with_system_config ~topology config seed (fun cfg ->
         match find_workload workload with
         | None ->
             Printf.eprintf "unknown workload %S\n" workload;
@@ -272,8 +299,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on one configuration")
-    Term.(const action $ config_arg $ workload_arg $ seed_arg $ trace_flag $ trace_out_arg
-          $ spans_flag $ spans_out_arg)
+    Term.(const action $ config_arg $ topology_arg $ workload_arg $ seed_arg $ trace_flag
+          $ trace_out_arg $ spans_flag $ spans_out_arg)
 
 (* ---- stress ---- *)
 
@@ -284,9 +311,9 @@ let stress_cmd =
   let seeds_arg =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
-  let action config seed ops seeds jobs trace trace_out coverage spans spans_out drop
-      dup corrupt delay scripts reliable =
-    with_config config seed (fun base ->
+  let action config topology seed ops seeds jobs trace trace_out coverage spans spans_out
+      drop dup corrupt delay scripts reliable =
+    with_system_config ~topology config seed (fun base ->
         let base =
           apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable base
         in
@@ -395,10 +422,10 @@ let stress_cmd =
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
-    Term.(const action $ config_arg $ seed_arg $ ops_arg $ seeds_arg $ jobs_arg
-          $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag $ spans_out_arg
-          $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg $ fault_delay_arg
-          $ fault_script_arg $ reliable_link_flag)
+    Term.(const action $ config_arg $ topology_arg $ seed_arg $ ops_arg $ seeds_arg
+          $ jobs_arg $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag
+          $ spans_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
+          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- fuzz ---- *)
 
@@ -419,9 +446,9 @@ let fuzz_cmd =
              ~doc:"Sweep $(docv) consecutive seeds; outcomes are merged \
                    (Fuzz_tester.merge) into one report.")
   in
-  let action config seed seeds jobs mute timeout trace trace_out coverage spans
+  let action config topology seed seeds jobs mute timeout trace trace_out coverage spans
       spans_out drop dup corrupt delay scripts reliable =
-    with_config config seed (fun cfg ->
+    with_system_config ~topology config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
           exit 1
@@ -522,10 +549,10 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
-    Term.(const action $ config_arg $ seed_arg $ seeds_arg $ jobs_arg $ mute_arg
-          $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag
-          $ spans_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
-          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+    Term.(const action $ config_arg $ topology_arg $ seed_arg $ seeds_arg $ jobs_arg
+          $ mute_arg $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag
+          $ spans_flag $ spans_out_arg $ fault_drop_arg $ fault_dup_arg
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
 (* ---- campaign ---- *)
 
@@ -556,17 +583,20 @@ let campaign_cmd =
     Arg.(value & opt int 300
          & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
   in
-  let action config seeds jobs kind ops cpu_ops seed coverage spans trace trace_out
-      drop dup corrupt delay scripts reliable =
+  let action config topology seeds jobs kind ops cpu_ops seed coverage spans trace
+      trace_out drop dup corrupt delay scripts reliable =
     let configs =
-      if config = "all" then Config.all_configurations ()
-      else
-        match find_config config with
-        | Some c -> [ c ]
-        | None ->
-            Printf.eprintf "unknown configuration %S\nknown: all, %s\n" config
-              (String.concat ", " config_names);
-            exit 1
+      match topology with
+      | Some spec -> [ Config.of_topology (parse_topology spec) ]
+      | None ->
+          if config = "all" then Config.all_configurations ()
+          else (
+            match find_config config with
+            | Some c -> [ c ]
+            | None ->
+                Printf.eprintf "unknown configuration %S\nknown: all, %s\n" config
+                  (String.concat ", " config_names);
+                exit 1)
     in
     let configs =
       List.map (apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable) configs
@@ -602,8 +632,8 @@ let campaign_cmd =
                byte-identical for any $(b,-j).  A crashing job is isolated and \
                reported as a failed run for its configuration.";
          ])
-    Term.(const action $ config_arg $ seeds_arg $ jobs_arg $ kind_arg $ ops_arg
-          $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ trace_flag
+    Term.(const action $ config_arg $ topology_arg $ seeds_arg $ jobs_arg $ kind_arg
+          $ ops_arg $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ trace_flag
           $ trace_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
           $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
 
@@ -612,7 +642,7 @@ let campaign_cmd =
 let report_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"Experiment id (t1 f1 f2 e1-e8 a1 a2) or 'all'.")
+           ~doc:"Experiment id (t1 f1 f2 e1-e9 a1 a2) or 'all'.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size run.") in
   let action id quick =

@@ -1,6 +1,6 @@
-type host = Hammer | Mesi
+type host = Topology.host = Hammer | Mesi
 
-type xg_variant = Full_state | Transactional
+type xg_variant = Topology.variant = Full_state | Transactional
 
 type accel_org =
   | Accel_side
@@ -11,6 +11,7 @@ type accel_org =
 type t = {
   host : host;
   org : accel_org;
+  topology : Topology.t option;
   num_cpus : int;
   num_accel_cores : int;
   seed : int;
@@ -43,6 +44,7 @@ let default =
   {
     host = Hammer;
     org = Xg_one_level Transactional;
+    topology = None;
     num_cpus = 2;
     num_accel_cores = 1;
     seed = 42;
@@ -104,16 +106,43 @@ let org_name = function
 
 let host_label = host_name
 let org_label = org_name
-let name t = host_name t.host ^ "/" ^ org_name t.org
 
-let uses_xg t = match t.org with Xg_one_level _ | Xg_two_level _ -> true | _ -> false
+let name t =
+  match t.topology with
+  | Some topo -> Topology.name topo
+  | None -> host_name t.host ^ "/" ^ org_name t.org
 
-let reliable_link t = t.link_faults <> None || t.link_fault_scripts <> []
+let uses_xg t =
+  t.topology <> None
+  || match t.org with Xg_one_level _ | Xg_two_level _ -> true | _ -> false
+
+let of_topology ?(base = default) (topo : Topology.t) =
+  { base with host = topo.Topology.host; topology = Some topo }
+
+(* A spec with [faults = None] inherits the config-level model, so only
+   explicit per-link settings widen the config-level answer here. *)
+let spec_faulty (a : Topology.accel_spec) =
+  a.Topology.faults <> None || a.Topology.fault_scripts <> []
+
+let spec_faults_active (a : Topology.accel_spec) =
+  a.Topology.fault_scripts <> []
+  || match a.Topology.faults with
+     | Some f -> Xguard_network.Network.Fault.active f
+     | None -> false
+
+let reliable_link t =
+  t.link_faults <> None || t.link_fault_scripts <> []
+  || match t.topology with
+     | Some topo -> List.exists spec_faulty topo.Topology.accels
+     | None -> false
 
 let faults_active t =
   t.link_fault_scripts <> []
-  || match t.link_faults with
+  || (match t.link_faults with
      | Some f -> Xguard_network.Network.Fault.active f
+     | None -> false)
+  || match t.topology with
+     | Some topo -> List.exists spec_faults_active topo.Topology.accels
      | None -> false
 
 let all_configurations ?base () =

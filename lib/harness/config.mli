@@ -5,9 +5,11 @@
     protocol}) = the paper's 8 Crossing Guard configurations plus 4 without
     it. *)
 
-type host = Hammer | Mesi
+type host = Topology.host = Hammer | Mesi
+(** Re-exported from {!Topology} so a config and a topology description agree
+    on the host protocol by construction. *)
 
-type xg_variant = Full_state | Transactional
+type xg_variant = Topology.variant = Full_state | Transactional
 
 type accel_org =
   | Accel_side  (** (a) unsafe: an accelerator cache speaking the host protocol *)
@@ -18,6 +20,11 @@ type accel_org =
 type t = {
   host : host;
   org : accel_org;
+  topology : Topology.t option;
+      (** [Some topo]: the system is built from the declarative topology — N
+          guards, each fronting its own accelerator, sharing [host]'s protocol
+          (and [org] is ignored).  [None]: the historical single-accelerator
+          organization picker, byte-for-byte. *)
   num_cpus : int;
   num_accel_cores : int;  (** forced to 1 unless the org is two-level *)
   seed : int;
@@ -64,6 +71,13 @@ val default : t
 (** Hammer + Transactional one-level XG, 2 CPUs, perf-sized caches. *)
 
 val make : ?base:t -> host -> accel_org -> t
+
+val of_topology : ?base:t -> Topology.t -> t
+(** Wrap a validated topology in a config: host taken from the topology,
+    cache geometry / host-net latencies / guard knobs inherited from [base]
+    (default {!default}).  Per-accelerator link parameters live in the
+    topology's specs and override the config-level [link_latency] and
+    [link_faults] for each guard. *)
 
 val stress_sized : t -> t
 (** Shrink caches and widen network jitter for the random tester (§4.1). *)

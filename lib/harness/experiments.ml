@@ -653,6 +653,210 @@ let a2_snoop_filtering ?(quick = false) () =
     [ sweep; pc ];
   { id = "a2"; title = "A2 (snoop filtering)"; tables = [ table ] }
 
+(* ---------- E9 ---------- *)
+
+type isolation_outcome = {
+  iso_quarantined : bool;
+  iso_baseline_cycles : int;
+  iso_faulted_cycles : int;
+  iso_neighbor_ops : int;
+  iso_data_errors : int;
+  iso_deadlocked : bool;
+  iso_slowdown : float;
+}
+
+(* The N=3 mixed cached/uncached topology used by both E9b and the isolation
+   regression in test/test_safety.ml.  [a0] is the victim; [nic0] and [dsp0]
+   are the neighbors whose throughput must survive its quarantine. *)
+let isolation_topology () =
+  match
+    Topology.of_string
+      "hammer:shards=2;a0=trans,cached;nic0=full,uncached,lat=12;dsp0=trans,cached,lat=6"
+  with
+  | Ok t -> t
+  | Error e -> invalid_arg e
+
+let measure_isolation ?(ops = 250) ?(seed = 1) () =
+  let module Net = Xguard_network.Network in
+  let module Xgi = Xg.Xg_iface in
+  let victim_block = Addr.block 100 (* outside the tester's address pool *) in
+  let run ~kill =
+    let topo = isolation_topology () in
+    let topo =
+      (* Reliability layer on for the victim's link (zero probabilistic
+         injection — only the scripted wire cut below can fault). *)
+      {
+        topo with
+        Topology.accels =
+          List.mapi
+            (fun i a ->
+              if i = 0 then { a with Topology.faults = Some Net.Fault.zero }
+              else a)
+            topo.Topology.accels;
+      }
+    in
+    let cfg =
+      {
+        (Config.of_topology topo) with
+        Config.seed;
+        link_retry_timeout = 16;
+        link_max_retries = 2;
+        quarantine_after = 2;
+      }
+    in
+    (* Guard 0 stays bare; a minimal scripted endpoint on its link
+       acknowledges invalidations while the wire is up. *)
+    let sys = System.build ~attach_accel:false cfg in
+    let link = Option.get sys.System.accel_link in
+    let self = Option.get sys.System.accel_node_on_link in
+    let xg = Option.get sys.System.xg_node_on_link in
+    let send msg =
+      Xgi.Link.send link ~src:self ~dst:xg ~size:(Xgi.msg_size msg) msg
+    in
+    Xgi.Link.register link self (fun ~src:_ msg ->
+        match msg with
+        | Xgi.To_accel_req { addr; req = Xgi.Invalidate } ->
+            send (Xgi.To_xg_resp { addr; resp = Xgi.Inv_ack })
+        | _ -> ());
+    if kill then begin
+      (* The victim legitimately owns a block, then its wire goes dark.  A
+         CPU store to that block forces the guard's Invalidate onto the dead
+         link; the retry ladder runs dry and the guard quarantines — all
+         before the throughput measurement starts. *)
+      send (Xgi.To_xg_req { addr = victim_block; req = Xgi.Get_m });
+      ignore (Engine.run sys.System.engine);
+      Xgi.Link.cut_wire link;
+      let stored = ref false in
+      let rec store tries =
+        if tries > 500 || !stored then ()
+        else if
+          sys.System.cpu_ports.(0).Access.issue
+            (Access.store victim_block (Data.token 1)) ~on_done:(fun _ ->
+              stored := true)
+        then ignore (Engine.run sys.System.engine)
+        else begin
+          ignore (Engine.run sys.System.engine);
+          store (tries + 1)
+        end
+      in
+      store 0;
+      assert !stored
+    end;
+    (* Drive the CPUs and the neighbor guards' devices; the victim's port
+       stays idle in both runs so the issued work is identical. *)
+    let neighbor_ports =
+      Array.concat
+        (List.tl
+           (List.map (fun g -> g.System.g_ports) (Array.to_list sys.System.guards)))
+    in
+    let ports = Array.append sys.System.cpu_ports neighbor_ports in
+    let start = Engine.now sys.System.engine in
+    let o =
+      Random_tester.run ~engine:sys.System.engine
+        ~rng:(Rng.create ~seed:(seed * 7 + 1))
+        ~ports
+        ~addresses:(Array.init 6 Addr.block)
+        ~ops_per_core:ops ()
+    in
+    let neighbor_ops =
+      let n_cpus = Array.length sys.System.cpu_ports in
+      Array.fold_left ( + ) 0
+        (Array.sub o.Random_tester.ops_per_port n_cpus
+           (Array.length o.Random_tester.ops_per_port - n_cpus))
+    in
+    (o, o.Random_tester.cycles - start, neighbor_ops, sys.System.quarantined ())
+  in
+  let base, base_cycles, _, _ = run ~kill:false in
+  let faulted, faulted_cycles, neighbor_ops, quarantined = run ~kill:true in
+  {
+    iso_quarantined = quarantined;
+    iso_baseline_cycles = base_cycles;
+    iso_faulted_cycles = faulted_cycles;
+    iso_neighbor_ops = neighbor_ops;
+    iso_data_errors =
+      base.Random_tester.data_errors + faulted.Random_tester.data_errors;
+    iso_deadlocked =
+      base.Random_tester.deadlocked || faulted.Random_tester.deadlocked;
+    iso_slowdown = float_of_int faulted_cycles /. float_of_int (max 1 base_cycles);
+  }
+
+let e9_topology ?(quick = false) () =
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let ops = if quick then 150 else 400 in
+  let sweep =
+    Table.create
+      ~title:"E9a: symmetric topology size sweep (Hammer host, 2 directory shards)"
+      ~columns:
+        [
+          "Topology";
+          "guards";
+          "driven ports";
+          "ops";
+          "data errors";
+          "deadlocks";
+          "violations";
+          "cycles";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let topo = Topology.symmetric ~shards:2 n in
+      let total_ops = ref 0
+      and errors = ref 0
+      and deadlocks = ref 0
+      and violations = ref 0
+      and cycles = ref 0
+      and nports = ref 0 in
+      List.iter
+        (fun seed ->
+          let cfg = Config.stress_sized { (Config.of_topology topo) with Config.seed } in
+          let sys = System.build cfg in
+          let ports = Array.append sys.System.cpu_ports sys.System.accel_ports in
+          nports := Array.length ports;
+          let o =
+            Random_tester.run ~engine:sys.System.engine
+              ~rng:(Rng.create ~seed:(seed * 7 + 1))
+              ~ports
+              ~addresses:(Array.init 6 Addr.block)
+              ~ops_per_core:ops ()
+          in
+          total_ops := !total_ops + o.Random_tester.ops_completed;
+          errors := !errors + o.Random_tester.data_errors;
+          if o.Random_tester.deadlocked then incr deadlocks;
+          violations := !violations + Xg.Os_model.error_count sys.System.os;
+          cycles := !cycles + o.Random_tester.cycles)
+        seeds;
+      Table.add_row sweep
+        [
+          Topology.name topo;
+          Table.cell_int n;
+          Table.cell_int !nports;
+          Table.cell_int !total_ops;
+          Table.cell_int !errors;
+          Table.cell_int !deadlocks;
+          Table.cell_int !violations;
+          Table.cell_int !cycles;
+        ])
+    [ 1; 2; 3; 4 ];
+  let iso = measure_isolation ~ops:(if quick then 120 else 250) () in
+  let isolation =
+    Table.create
+      ~title:
+        "E9b: neighbor throughput with guard a0 quarantined vs healthy (N=3 mixed topology)"
+      ~columns:[ "metric"; "value" ]
+  in
+  List.iter (Table.add_row isolation)
+    [
+      [ "victim quarantined"; (if iso.iso_quarantined then "yes" else "NO") ];
+      [ "neighbor device ops completed"; Table.cell_int iso.iso_neighbor_ops ];
+      [ "baseline cycles (a0 healthy, idle)"; Table.cell_int iso.iso_baseline_cycles ];
+      [ "cycles with a0 quarantined"; Table.cell_int iso.iso_faulted_cycles ];
+      [ "slowdown"; Printf.sprintf "%.3fx" iso.iso_slowdown ];
+      [ "data errors"; Table.cell_int iso.iso_data_errors ];
+      [ "deadlocked"; (if iso.iso_deadlocked then "YES" else "no") ];
+    ];
+  { id = "e9"; title = "E9 (multi-guard topologies)"; tables = [ sweep; isolation ] }
+
 (* ---------- registry ---------- *)
 
 let all ?(quick = false) () =
@@ -668,11 +872,12 @@ let all ?(quick = false) () =
     e6_timeout ~quick ();
     e7_rate_limit ~quick ();
     e8_block_merge ();
+    e9_topology ~quick ();
     a1_link_ordering ~quick ();
     a2_snoop_filtering ~quick ();
   ]
 
-let ids = [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "a1"; "a2" ]
+let ids = [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "a1"; "a2" ]
 
 let by_id = function
   | "t1" -> Some (fun ?quick () -> ignore quick; t1_transition_table ())
@@ -686,6 +891,7 @@ let by_id = function
   | "e6" -> Some (fun ?quick () -> e6_timeout ?quick ())
   | "e7" -> Some (fun ?quick () -> e7_rate_limit ?quick ())
   | "e8" -> Some (fun ?quick () -> ignore quick; e8_block_merge ())
+  | "e9" -> Some (fun ?quick () -> e9_topology ?quick ())
   | "a1" -> Some (fun ?quick () -> a1_link_ordering ?quick ())
   | "a2" -> Some (fun ?quick () -> a2_snoop_filtering ?quick ())
   | _ -> None

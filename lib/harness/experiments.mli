@@ -46,6 +46,37 @@ val e7_rate_limit : ?quick:bool -> unit -> report
 val e8_block_merge : unit -> report
 (** §2.5: block-size translation correctness and traffic amplification. *)
 
+(** Outcome of the topology isolation measurement behind E9b, shared with the
+    safety regression suite so the asserted bound and the published numbers
+    come from the same run shape. *)
+type isolation_outcome = {
+  iso_quarantined : bool;  (** the victim guard did reach quarantine *)
+  iso_baseline_cycles : int;
+      (** cycles for the stress run with the victim healthy but idle *)
+  iso_faulted_cycles : int;
+      (** cycles for the identical stress run after the victim's link died
+          and its guard quarantined *)
+  iso_neighbor_ops : int;
+      (** operations completed by the neighbor guards' devices in the
+          faulted run (from {!Random_tester.outcome.ops_per_port}) *)
+  iso_data_errors : int;  (** data errors across both runs — must be 0 *)
+  iso_deadlocked : bool;  (** either run deadlocked — must be [false] *)
+  iso_slowdown : float;
+      (** [iso_faulted_cycles / iso_baseline_cycles]; the isolation claim is
+          that this stays within 5% of 1.0 (it may be below 1.0: a
+          quarantined guard answers all snoops locally) *)
+}
+
+val measure_isolation : ?ops:int -> ?seed:int -> unit -> isolation_outcome
+(** Builds the N=3 mixed cached/uncached Hammer topology twice — victim guard
+    [a0] healthy-idle vs quarantined after its link goes dark mid-ownership —
+    and drives the identical CPU + neighbor-device stress load over both,
+    comparing wall-clock cycles.  [ops] is per driven port (default 250). *)
+
+val e9_topology : ?quick:bool -> unit -> report
+(** Multi-guard topologies: symmetric size sweep (N = 1..4 guards over a
+    sharded Hammer directory) and the neighbor-isolation measurement. *)
+
 val a1_link_ordering : ?quick:bool -> unit -> report
 (** Ablation: the ordered-link requirement is load-bearing. *)
 

@@ -132,6 +132,25 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
   let maybe_armed f =
     match trace with None -> f () | Some tr -> Trace.with_armed tr f
   in
+  (* Under a topology the chaos accelerator replaces only guard 0's device
+     (the [attach_accel:false] build leaves guard 0 bare and attaches the
+     rest), so the neighbor guards' ports are live.  Drive them as load-only
+     consumers alongside the CPUs: their completion is the isolation claim —
+     chaos on one link must not wedge its neighbors — and in [Shared_ro] their
+     loads are data-checked too.  [Disjoint] denies the accelerators the CPU
+     pool, so neighbors stay idle there. *)
+  let neighbor_ports =
+    if pool = Disjoint then [||] else sys.System.accel_ports
+  in
+  let driven_ports, roles =
+    if Array.length neighbor_ports = 0 then (sys.System.cpu_ports, None)
+    else
+      ( Array.append sys.System.cpu_ports neighbor_ports,
+        Some
+          (Array.append
+             (Array.make (Array.length sys.System.cpu_ports) Random_tester.Mixed)
+             (Array.make (Array.length neighbor_ports) Random_tester.Consumer)) )
+  in
   let crashed = ref None in
   let tester_outcome =
     try
@@ -139,7 +158,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         (maybe_armed (fun () ->
              Random_tester.run ~engine:sys.System.engine
                ~rng:(Rng.create ~seed:(cfg.Config.seed + 5))
-               ~ports:sys.System.cpu_ports ~addresses:cpu_addresses ~ops_per_core:cpu_ops ()))
+               ~ports:driven_ports ?roles ~addresses:cpu_addresses ~ops_per_core:cpu_ops ()))
     with e ->
       crashed :=
         Some
@@ -170,7 +189,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         chaos_messages = Xguard_accel.Chaos_accel.messages_sent chaos;
         invalidations_ignored = Xguard_accel.Chaos_accel.invalidations_ignored chaos;
         cpu_ops_completed = o.Random_tester.ops_completed;
-        cpu_ops_expected = cpu_ops * Array.length sys.System.cpu_ports;
+        cpu_ops_expected = cpu_ops * Array.length driven_ports;
         cpu_data_errors = o.Random_tester.data_errors;
         violations = Xg.Os_model.error_count sys.System.os;
         violations_by_kind;
@@ -189,7 +208,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         chaos_messages = Xguard_accel.Chaos_accel.messages_sent chaos;
         invalidations_ignored = Xguard_accel.Chaos_accel.invalidations_ignored chaos;
         cpu_ops_completed = 0;
-        cpu_ops_expected = cpu_ops * Array.length sys.System.cpu_ports;
+        cpu_ops_expected = cpu_ops * Array.length driven_ports;
         cpu_data_errors = 0;
         violations = Xg.Os_model.error_count sys.System.os;
         violations_by_kind;

@@ -6,7 +6,15 @@
     the run never raises, never deadlocks, every CPU operation completes, and
     every CPU load still observes coherent data — no matter what arrives on
     the accelerator link.  Guarantee violations are *expected* here; their
-    count is reported. *)
+    count is reported.
+
+    Under a multi-guard topology ({!Config.t.topology}) the chaos accelerator
+    takes over guard 0's link only; the remaining guards keep their modeled
+    accelerators, and their ports are driven as load-only consumer cores in
+    the same checked run (except with the [Disjoint] pool, which denies
+    accelerators the CPU addresses).  Their completion extends the safety
+    property across guards: chaos on one link must not wedge or starve the
+    neighbors. *)
 
 type crash_info = {
   exn_text : string;  (** the exception that escaped the run — a failure *)

@@ -8,7 +8,7 @@ type t = {
   registry : Node.Registry.t;
   net : H.Net.t;
   memory : Memory_model.t;
-  directory : H.Directory.t;
+  directories : H.Directory.t array;
   cpus : H.L1l2.t array;
   mutable extras : (Node.t * (int -> unit)) list;
 }
@@ -18,29 +18,48 @@ let rng t = t.rng
 let registry t = t.registry
 let net t = t.net
 let memory t = t.memory
-let directory t = t.directory
+let directory t = t.directories.(0)
+let directories t = t.directories
 let cpus t = t.cpus
+
+let router_of directories =
+  match Array.length directories with
+  | 1 ->
+      let node = H.Directory.node directories.(0) in
+      fun (_ : Addr.t) -> node
+  | n ->
+      let nodes = Array.map H.Directory.node directories in
+      fun addr -> nodes.(Addr.to_int addr mod n)
+
+let dir_router t = router_of t.directories
 
 let create ?(num_cpus = 2) ?(variant = H.L1l2.Xg_ready) ?(sets = 2) ?(ways = 2)
     ?(ordering = Xguard_network.Network.Unordered { min_latency = 2; max_latency = 30 })
-    ?(seed = 1) ?(dir_latency = 6) ?(mem_latency = 60) ?(dir_occupancy = 0) () =
+    ?(seed = 1) ?(dir_latency = 6) ?(mem_latency = 60) ?(dir_occupancy = 0)
+    ?(dir_shards = 1) () =
   let engine = Engine.create () in
   let rng = Rng.create ~seed in
   let registry = Node.Registry.create () in
   let net = H.Net.create ~engine ~rng:(Rng.split rng) ~name:"hammer.net" ~ordering () in
   let memory = Memory_model.create () in
-  let dir_node = Node.Registry.fresh registry "dir" in
-  let directory =
-    H.Directory.create ~engine ~net ~name:"dir" ~node:dir_node ~memory ~dir_latency
-      ~mem_latency ~occupancy:dir_occupancy ()
+  (* One shard keeps the historical node name "dir" so single-directory
+     systems stay byte-identical; shards serve disjoint block sets, so they
+     can share one memory model without racing. *)
+  let directories =
+    Array.init dir_shards (fun i ->
+        let name = if dir_shards = 1 then "dir" else Printf.sprintf "dir%d" i in
+        let node = Node.Registry.fresh registry name in
+        H.Directory.create ~engine ~net ~name ~node ~memory ~dir_latency
+          ~mem_latency ~occupancy:dir_occupancy ())
   in
+  let route = router_of directories in
   let cpus =
     Array.init num_cpus (fun i ->
         let name = Printf.sprintf "cpu%d" i in
         let node = Node.Registry.fresh registry name in
-        H.L1l2.create ~engine ~net ~name ~node ~directory:dir_node ~variant ~sets ~ways ())
+        H.L1l2.create ~engine ~net ~name ~node ~directory:route ~variant ~sets ~ways ())
   in
-  { engine; rng; registry; net; memory; directory; cpus; extras = [] }
+  { engine; rng; registry; net; memory; directories; cpus; extras = [] }
 
 let add_cache_node t name ~count_peers =
   let node = Node.Registry.fresh t.registry name in
@@ -54,7 +73,7 @@ let finalize t =
   let peers = List.length all - 1 in
   Array.iter (fun cpu -> H.L1l2.set_peer_count cpu peers) t.cpus;
   List.iter (fun (_, count_peers) -> count_peers peers) extra;
-  H.Directory.set_caches t.directory all
+  Array.iter (fun d -> H.Directory.set_caches d all) t.directories
 
 let cpu_ports t = Array.map H.L1l2.cpu_port t.cpus
 let total_caches t = Array.length t.cpus + List.length t.extras

@@ -4,7 +4,19 @@
 
     Construction is two-phase because the broadcast protocol needs the final
     cache census: create the system, attach any extra cache nodes, then
-    {!finalize} to distribute peer counts and the directory's forward list. *)
+    {!finalize} to distribute peer counts and every directory shard's forward
+    list.
+
+    The blocking directory serializes transactions per block, which makes a
+    single directory the whole-system bottleneck once several guards contend
+    on it.  [dir_shards > 1] splits it into address-interleaved shards: block
+    [b] is served by shard [b mod dir_shards], each shard is an independent
+    {!Xguard_host_hammer.Directory} instance with its own occupancy server,
+    and caches route each request with {!dir_router}.  Correctness is
+    untouched because the protocol never needs two blocks to agree on an
+    ordering — every transaction, queue and owner record is per block, so an
+    interleaved partition of the block space partitions the directory state
+    exactly. *)
 
 type t
 
@@ -18,8 +30,13 @@ val create :
   ?dir_latency:int ->
   ?mem_latency:int ->
   ?dir_occupancy:int ->
+  ?dir_shards:int ->
   unit ->
   t
+(** [dir_shards] (default 1) address-interleaves the directory.  One shard
+    keeps the historical node name ["dir"], so existing single-directory
+    systems are byte-identical; [n > 1] shards are named ["dir0".."dir<n-1>"]
+    and all share one memory model (safe: shards serve disjoint blocks). *)
 
 val engine : t -> Xguard_sim.Engine.t
 val rng : t -> Xguard_sim.Rng.t
@@ -27,6 +44,16 @@ val registry : t -> Node.Registry.t
 val net : t -> Xguard_host_hammer.Net.t
 val memory : t -> Memory_model.t
 val directory : t -> Xguard_host_hammer.Directory.t
+(** Shard 0 — the only shard when [dir_shards = 1]. *)
+
+val directories : t -> Xguard_host_hammer.Directory.t array
+(** All shards, in interleave order. *)
+
+val dir_router : t -> Addr.t -> Node.t
+(** The address-interleave function: block [b] -> node of shard
+    [b mod dir_shards].  Pass as the [directory] argument of any cache-like
+    peer attached after {!create}. *)
+
 val cpus : t -> Xguard_host_hammer.L1l2.t array
 
 val add_cache_node : t -> string -> count_peers:(int -> unit) -> Node.t

@@ -2,12 +2,15 @@ module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
 module Trace = Xguard_trace.Trace
 
+type role = Mixed | Producer | Consumer
+
 type outcome = {
   ops_completed : int;
   data_errors : int;
   deadlocked : bool;
   cycles : int;
   first_error_addr : int option;
+  ops_per_port : int array;
 }
 
 let merge a b =
@@ -18,6 +21,11 @@ let merge a b =
     cycles = a.cycles + b.cycles;
     first_error_addr =
       (match a.first_error_addr with Some _ as x -> x | None -> b.first_error_addr);
+    ops_per_port =
+      (let n = max (Array.length a.ops_per_port) (Array.length b.ops_per_port) in
+       Array.init n (fun i ->
+           let get arr = if i < Array.length arr then arr.(i) else 0 in
+           get a.ops_per_port + get b.ops_per_port));
   }
 
 (* Per-address checker state: the log of committed store values (so a load can
@@ -33,11 +41,13 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   sequencers : Sequencer.t array;
+  roles : role array;
   addresses : Addr.t array;
   states : (Addr.t, addr_state) Hashtbl.t;
   store_fraction : float;
   max_gap : int;
   ops_per_core : int;
+  completed_per : int array;
   mutable completed : int;
   mutable errors : int;
   mutable first_error_addr : int option;
@@ -66,11 +76,22 @@ let load_ok st ~issue_count value =
   || match st.pending_store with Some v -> Data.equal v value | None -> false
 
 let issue_one t core =
-  ignore core;
   let seq = t.sequencers.(core) in
   let addr = Rng.pick t.rng t.addresses in
   let st = state_of t addr in
-  let do_store = st.pending_store = None && Rng.chance t.rng t.store_fraction in
+  let do_store =
+    (* [Mixed] draws exactly as the role-less tester did (the chance draw is
+       short-circuited away while a store is pending), so default runs keep
+       their historical RNG stream; the fixed roles draw nothing extra. *)
+    match t.roles.(core) with
+    | Mixed -> st.pending_store = None && Rng.chance t.rng t.store_fraction
+    | Producer -> st.pending_store = None
+    | Consumer -> false
+  in
+  let complete () =
+    t.completed <- t.completed + 1;
+    t.completed_per.(core) <- t.completed_per.(core) + 1
+  in
   if do_store then begin
     t.next_token <- t.next_token + 1;
     let v = Data.token t.next_token in
@@ -79,7 +100,7 @@ let issue_one t core =
         st.pending_store <- None;
         st.committed <- v :: st.committed;
         st.committed_count <- st.committed_count + 1;
-        t.completed <- t.completed + 1)
+        complete ())
   end
   else begin
     let issue_count = st.committed_count in
@@ -107,11 +128,18 @@ let issue_one t core =
               (match st.pending_store with Some x -> string_of_int x | None -> "-")
               issued_at (Engine.now t.engine)
         end;
-        t.completed <- t.completed + 1)
+        complete ())
   end
 
-let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(max_gap = 20)
-    ?(event_limit = 50_000_000) () =
+let run ~engine ~rng ~ports ?roles ~addresses ~ops_per_core ?(store_fraction = 0.5)
+    ?(max_gap = 20) ?(event_limit = 50_000_000) () =
+  let roles =
+    match roles with
+    | Some r ->
+        assert (Array.length r = Array.length ports);
+        r
+    | None -> Array.make (Array.length ports) Mixed
+  in
   let sequencers =
     Array.mapi
       (fun i port ->
@@ -124,11 +152,13 @@ let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(m
       engine;
       rng;
       sequencers;
+      roles;
       addresses;
       states = Hashtbl.create 64;
       store_fraction;
       max_gap;
       ops_per_core;
+      completed_per = Array.make (Array.length ports) 0;
       completed = 0;
       errors = 0;
       first_error_addr = None;
@@ -157,4 +187,5 @@ let run ~engine ~rng ~ports ~addresses ~ops_per_core ?(store_fraction = 0.5) ?(m
     deadlocked;
     cycles = Engine.now engine;
     first_error_addr = t.first_error_addr;
+    ops_per_port = t.completed_per;
   }

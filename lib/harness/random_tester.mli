@@ -17,6 +17,14 @@
     detects deadlock: if the event queue drains while accesses are
     outstanding, the run fails. *)
 
+(** Issue mix of one tester core.  [Mixed] is the historical behaviour (a
+    coin flip per issue, stores capped at one in flight per address);
+    [Producer] stores whenever the address has no store in flight and loads
+    otherwise; [Consumer] only loads.  A producer/consumer split across ports
+    of different guards exercises inter-accelerator sharing: every consumer
+    load validates data that crossed two guard links. *)
+type role = Mixed | Producer | Consumer
+
 type outcome = {
   ops_completed : int;
   data_errors : int;
@@ -25,18 +33,23 @@ type outcome = {
   first_error_addr : int option;
       (** the block of the first data error, for pulling its event trail out
           of an armed {!Xguard_trace.Trace} buffer *)
+  ops_per_port : int array;
+      (** completed operations per entry of [ports] — the per-accelerator
+          progress counters behind the topology isolation experiments *)
 }
 
 val merge : outcome -> outcome -> outcome
 (** Pure aggregation for sharded sweeps: operation, error and cycle counts
-    add, [deadlocked] ORs, and [first_error_addr] keeps the leftmost reported
-    address.  Associative, so per-seed outcomes fold in job order into
-    exactly the totals a serial sweep would have accumulated. *)
+    add ([ops_per_port] element-wise, padding the shorter array), [deadlocked]
+    ORs, and [first_error_addr] keeps the leftmost reported address.
+    Associative, so per-seed outcomes fold in job order into exactly the
+    totals a serial sweep would have accumulated. *)
 
 val run :
   engine:Xguard_sim.Engine.t ->
   rng:Xguard_sim.Rng.t ->
   ports:Access.port array ->
+  ?roles:role array ->
   addresses:Addr.t array ->
   ops_per_core:int ->
   ?store_fraction:float ->
@@ -44,6 +57,9 @@ val run :
   ?event_limit:int ->
   unit ->
   outcome
-(** Drives one sequencer per entry of [ports].  [max_gap] is the largest
-    random delay between consecutive issues by one core.  [event_limit] bounds
-    the run as a watchdog (default 50 million events). *)
+(** Drives one sequencer per entry of [ports].  [roles] (default all [Mixed],
+    length must equal [ports]) fixes each core's issue mix; only [Mixed]
+    cores consume store/load coin flips, so the default reproduces the
+    role-less tester's RNG stream exactly.  [max_gap] is the largest random
+    delay between consecutive issues by one core.  [event_limit] bounds the
+    run as a watchdog (default 50 million events). *)

@@ -3,7 +3,37 @@
 
     The returned record exposes processor-side ports for workloads and
     testers, the Crossing Guard internals for the safety experiments, and
-    bandwidth/statistics accessors for the measurement experiments. *)
+    bandwidth/statistics accessors for the measurement experiments.
+
+    With [config.topology = Some topo] the system instead carries one
+    {!guard} per accelerator spec — each with its own link, core and
+    accelerator hierarchy, all attached to the same host — and the legacy
+    single-guard accessors ([xg_core], [accel_link], ...) alias guard 0. *)
+
+(** One Crossing Guard instance and the accelerator hierarchy behind it.
+    [g_id] is the topology spec id (["" ] for the legacy single-accelerator
+    organizations, whose component names carry no suffix); [g_ports] are the
+    accelerator-side processor ports served through this guard, and [g_l1s] /
+    [g_l2] / [g_internal] describe the modeled accelerator cache hierarchy
+    (all empty for an unattached guard driven by the fuzzer).
+
+    [g_perms] is this accelerator's OS permission table.  Guard 0 aliases the
+    system-level {!t.perms} (so the legacy single-accelerator accessors and
+    the fuzzer's pool restrictions keep working); every further guard gets a
+    private table.  The split is what keeps quarantine contained: revoking a
+    misbehaving accelerator's grants must not touch its neighbors'. *)
+type guard = {
+  g_id : string;
+  g_core : Xguard_xg.Xg_core.t;
+  g_link : Xguard_xg.Xg_iface.Link.t;
+  g_xg_node : Node.t;
+  g_accel_node : Node.t;
+  g_ports : Access.port array;
+  g_l1s : Xguard_accel.L1_simple.t array;
+  g_l2 : Xguard_accel.L2_shared.t option;
+  g_internal : Xguard_xg.Xg_iface.Link.t option;
+  g_perms : Xguard_xg.Perm_table.t;
+}
 
 type t = {
   config : Config.t;
@@ -14,6 +44,12 @@ type t = {
   os : Xguard_xg.Os_model.t;
   cpu_ports : Access.port array;
   accel_ports : Access.port array;
+      (** concatenation of every guard's [g_ports] (or the guard-less
+          organization's single port); use {!guards} to slice per guard *)
+  guards : guard array;
+      (** every Crossing Guard in the system, in topology order; a single
+          anonymous entry for the legacy XG organizations, empty for
+          [Accel_side]/[Host_side] *)
   xg_core : Xguard_xg.Xg_core.t option;
   accel_link : Xguard_xg.Xg_iface.Link.t option;
   xg_node_on_link : Node.t option;
@@ -24,7 +60,8 @@ type t = {
   host_net_bytes : unit -> int;
   host_net_messages : unit -> int;
   xg_port_to_host_bytes : unit -> int;
-      (** bytes the XG port sourced on the host network (0 without XG) *)
+      (** bytes the XG ports sourced on the host network, summed over guards
+          (0 without XG) *)
   link_bytes : unit -> int;
   coverage_groups : unit -> (string * Xguard_stats.Counter.Group.t) list;
   coverage_sets :
@@ -38,11 +75,12 @@ type t = {
   set_host_monitor : (src:string -> dst:string -> addr:int -> text:string -> unit) -> unit;
       (** monitoring hook over the host network, for debugging and tests *)
   link_stats : unit -> (string * int) list;
-      (** reliability-layer counters plus injected-fault tallies for the XG
-          link; [[]] when no fault could ever fire, so fault-free reports are
+      (** reliability-layer counters plus injected-fault tallies for every XG
+          link with faults armed, keys prefixed by guard id under a topology;
+          [[]] when no fault could ever fire, so fault-free reports are
           unchanged *)
   quarantined : unit -> bool;
-      (** whether the guard quarantined its accelerator *)
+      (** whether any guard quarantined its accelerator *)
   check_enable : unit -> unit;
       (** Arm every network and link for the model checker: deliveries get
           (controller, block) choice tags, in-flight payloads are tracked for

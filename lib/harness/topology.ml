@@ -1,0 +1,262 @@
+module Fault = Xguard_network.Network.Fault
+
+type host = Hammer | Mesi
+
+type variant = Full_state | Transactional
+
+type accel_spec = {
+  id : string;
+  variant : variant;
+  cached : bool;
+  two_level : bool;
+  cores : int;
+  link_latency : int;
+  link_jitter : int;
+  faults : Fault.config option;
+  fault_scripts : Fault.script list;
+}
+
+type t = { host : host; dir_shards : int; accels : accel_spec list }
+
+let default_accel id =
+  {
+    id;
+    variant = Transactional;
+    cached = true;
+    two_level = false;
+    cores = 2;
+    link_latency = 8;
+    link_jitter = 0;
+    faults = None;
+    fault_scripts = [];
+  }
+
+let id_ok id =
+  String.length id > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       id
+
+let prob_ok p = p >= 0.0 && p <= 1.0
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.accels = [] then err "topology has no accelerators"
+  else if t.dir_shards < 1 || t.dir_shards > 64 then
+    err "shards=%d out of range (want 1..64)" t.dir_shards
+  else
+    let rec check seen = function
+      | [] -> Ok t
+      | (a : accel_spec) :: rest ->
+          if not (id_ok a.id) then
+            err "bad accelerator id %S (want [A-Za-z0-9_-]+)" a.id
+          else if List.mem a.id seen then err "duplicate accelerator id %S" a.id
+          else if a.link_latency < 1 then
+            err "%s: lat=%d out of range (want >= 1)" a.id a.link_latency
+          else if a.link_jitter < 0 then
+            err "%s: jitter=%d out of range (want >= 0)" a.id a.link_jitter
+          else if a.cores < 1 || a.cores > 8 then
+            err "%s: cores=%d out of range (want 1..8)" a.id a.cores
+          else if a.two_level && not a.cached then
+            err "%s: 2lvl requires a cached device" a.id
+          else
+            let faults_ok =
+              match a.faults with
+              | None -> true
+              | Some (f : Fault.config) ->
+                  prob_ok f.drop && prob_ok f.duplicate && prob_ok f.corrupt
+                  && prob_ok f.delay && f.max_delay >= 0
+            in
+            if not faults_ok then
+              err "%s: fault probabilities out of [0,1]" a.id
+            else check (a.id :: seen) rest
+    in
+    check [] t.accels
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let with_faults (a : accel_spec) f =
+  let base = match a.faults with Some c -> c | None -> Fault.zero in
+  { a with faults = Some (f base) }
+
+let parse_attr (a : accel_spec) attr =
+  let int_of v = int_of_string_opt v in
+  let float_of v = float_of_string_opt v in
+  match String.index_opt attr '=' with
+  | None -> (
+      match attr with
+      | "full" -> Ok { a with variant = Full_state }
+      | "trans" -> Ok { a with variant = Transactional }
+      | "cached" -> Ok { a with cached = true }
+      | "uncached" -> Ok { a with cached = false }
+      | "2lvl" -> Ok { a with two_level = true }
+      | _ -> Error (Printf.sprintf "%s: unknown attribute %S" a.id attr))
+  | Some i -> (
+      let key = String.sub attr 0 i in
+      let v = String.sub attr (i + 1) (String.length attr - i - 1) in
+      let bad () =
+        Error (Printf.sprintf "%s: bad value %S for %s" a.id v key)
+      in
+      match key with
+      | "cores" -> (
+          match int_of v with Some n -> Ok { a with cores = n } | None -> bad ())
+      | "lat" -> (
+          match int_of v with
+          | Some n -> Ok { a with link_latency = n }
+          | None -> bad ())
+      | "jitter" -> (
+          match int_of v with
+          | Some n -> Ok { a with link_jitter = n }
+          | None -> bad ())
+      | "drop" -> (
+          match float_of v with
+          | Some p -> Ok (with_faults a (fun c -> { c with drop = p }))
+          | None -> bad ())
+      | "dup" -> (
+          match float_of v with
+          | Some p -> Ok (with_faults a (fun c -> { c with duplicate = p }))
+          | None -> bad ())
+      | "corrupt" -> (
+          match float_of v with
+          | Some p -> Ok (with_faults a (fun c -> { c with corrupt = p }))
+          | None -> bad ())
+      | "delay" -> (
+          match float_of v with
+          | Some p ->
+              Ok
+                (with_faults a (fun c ->
+                     { c with delay = p; max_delay = max c.max_delay 8 }))
+          | None -> bad ())
+      | "fault" -> (
+          match Fault.script_of_string v with
+          | Ok s -> Ok { a with fault_scripts = a.fault_scripts @ [ s ] }
+          | Error e -> Error (Printf.sprintf "%s: %s" a.id e))
+      | _ -> Error (Printf.sprintf "%s: unknown attribute %S" a.id key))
+
+let parse_accel seg =
+  match String.index_opt seg '=' with
+  | None ->
+      Error
+        (Printf.sprintf "accelerator spec %S needs ID=ATTR{,ATTR} form" seg)
+  | Some i ->
+      let id = String.sub seg 0 i in
+      let attrs = String.sub seg (i + 1) (String.length seg - i - 1) in
+      let attrs =
+        String.split_on_char ',' attrs |> List.filter (fun s -> s <> "")
+      in
+      List.fold_left
+        (fun acc attr ->
+          match acc with Error _ as e -> e | Ok a -> parse_attr a attr)
+        (Ok (default_accel id))
+        attrs
+
+let parse_host seg =
+  match String.split_on_char ':' seg with
+  | [ "hammer" ] -> Ok (Hammer, 1)
+  | [ "mesi" ] -> Ok (Mesi, 1)
+  | [ h; shards ] -> (
+      let host =
+        match h with
+        | "hammer" -> Ok Hammer
+        | "mesi" -> Ok Mesi
+        | _ -> Error (Printf.sprintf "unknown host %S (want hammer|mesi)" h)
+      in
+      match host with
+      | Error _ as e -> e
+      | Ok host -> (
+          match String.index_opt shards '=' with
+          | Some i when String.sub shards 0 i = "shards" -> (
+              let v =
+                String.sub shards (i + 1) (String.length shards - i - 1)
+              in
+              match int_of_string_opt v with
+              | Some n -> Ok (host, n)
+              | None -> Error (Printf.sprintf "bad shard count %S" v))
+          | _ -> Error (Printf.sprintf "bad host option %S (want shards=N)" shards)
+          ))
+  | _ -> Error (Printf.sprintf "bad host segment %S" seg)
+
+let of_string s =
+  let segs =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match segs with
+  | [] -> Error "empty topology"
+  | host_seg :: accel_segs -> (
+      match parse_host host_seg with
+      | Error _ as e -> e
+      | Ok (host, dir_shards) ->
+          let accels =
+            List.fold_left
+              (fun acc seg ->
+                match acc with
+                | Error _ as e -> e
+                | Ok l -> (
+                    match parse_accel seg with
+                    | Ok a -> Ok (a :: l)
+                    | Error _ as e -> e))
+              (Ok []) accel_segs
+          in
+          (match accels with
+          | Error _ as e -> e
+          | Ok rev -> validate { host; dir_shards; accels = List.rev rev }))
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (match t.host with Hammer -> "hammer" | Mesi -> "mesi");
+  if t.dir_shards > 1 then
+    Buffer.add_string buf (Printf.sprintf ":shards=%d" t.dir_shards);
+  List.iter
+    (fun (a : accel_spec) ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf a.id;
+      Buffer.add_char buf '=';
+      let attrs = ref [] in
+      let add s = attrs := s :: !attrs in
+      add (match a.variant with Full_state -> "full" | Transactional -> "trans");
+      add (if a.cached then "cached" else "uncached");
+      if a.two_level then begin
+        add "2lvl";
+        add (Printf.sprintf "cores=%d" a.cores)
+      end;
+      add (Printf.sprintf "lat=%d" a.link_latency);
+      if a.link_jitter > 0 then add (Printf.sprintf "jitter=%d" a.link_jitter);
+      (match a.faults with
+      | None -> ()
+      | Some (f : Fault.config) ->
+          if f.drop > 0.0 then add (Printf.sprintf "drop=%g" f.drop);
+          if f.duplicate > 0.0 then add (Printf.sprintf "dup=%g" f.duplicate);
+          if f.corrupt > 0.0 then add (Printf.sprintf "corrupt=%g" f.corrupt);
+          if f.delay > 0.0 then add (Printf.sprintf "delay=%g" f.delay));
+      List.iter
+        (fun s -> add ("fault=" ^ Fault.script_to_string s))
+        a.fault_scripts;
+      Buffer.add_string buf (String.concat "," (List.rev !attrs)))
+    t.accels;
+  Buffer.contents buf
+
+let name t =
+  let host = match t.host with Hammer -> "hammer" | Mesi -> "mesi" in
+  let shards = if t.dir_shards > 1 then Printf.sprintf ":%d" t.dir_shards else "" in
+  Printf.sprintf "%s%s/topo[%s]" host shards
+    (String.concat "," (List.map (fun (a : accel_spec) -> a.id) t.accels))
+
+let symmetric ?(host = Hammer) ?(shards = 1) ?(base_latency = 8) n =
+  {
+    host;
+    dir_shards = shards;
+    accels =
+      List.init n (fun i ->
+          {
+            (default_accel (Printf.sprintf "a%d" i)) with
+            variant = (if i mod 2 = 0 then Transactional else Full_state);
+            cached = i mod 3 <> 2;
+            link_latency = base_latency + (4 * (i mod 2));
+          });
+  }

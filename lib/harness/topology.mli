@@ -1,0 +1,94 @@
+(** Declarative multi-accelerator topology descriptions.
+
+    A topology names one host protocol and N accelerators, each fronted by
+    its own Crossing Guard instance over its own link.  It replaces the
+    fixed single-accelerator organization picker for systems that scale the
+    guard out: the harness builds one {!Xguard_xg.Xg_core} per spec, all
+    sharing the host protocol (and, on Hammer, an address-interleaved
+    directory — see [dir_shards]).
+
+    Topologies parse from a compact one-line syntax (the CLI [--topology]
+    flag) and validate structurally before any hardware is built.  See
+    docs/TOPOLOGY.md for the operator guide with worked examples.
+
+    {2 Syntax}
+
+    {v
+    TOPO  := HOST [":shards=" INT] (";" ACCEL)+
+    HOST  := "hammer" | "mesi"
+    ACCEL := ID "=" ATTR ("," ATTR)*
+    ATTR  := "full" | "trans"            guard mode (default trans)
+           | "cached" | "uncached"       device keeps a cache? (default cached)
+           | "2lvl"                      L1s over a shared accel L2
+           | "cores=" INT                L1 count for 2lvl (default 2)
+           | "lat=" INT                  link latency, cycles (default 8)
+           | "jitter=" INT               0 = ordered link; >0 = unordered,
+                                         delays drawn from [1, lat+jitter]
+           | "drop=" F | "dup=" F | "corrupt=" F | "delay=" F
+                                         per-message fault probabilities
+           | "fault=" SCRIPT             deterministic Nth-message fault,
+                                         KIND:N[:NEEDLE] as in --fault-script
+    v}
+
+    Example: ["hammer:shards=2;gpu0=trans,cached;nic0=full,uncached,lat=12"]. *)
+
+type host = Hammer | Mesi
+
+type variant = Full_state | Transactional
+
+(** One accelerator and the guard instance that fronts it. *)
+type accel_spec = {
+  id : string;  (** unique per topology; [[A-Za-z0-9_-]+] *)
+  variant : variant;  (** guard mode for this device *)
+  cached : bool;
+      (** [false] models an uncached (CXL.io-style) device: a single-line
+          buffer stands in for its "cache", so every new block crosses the
+          link and the device never keeps resident state *)
+  two_level : bool;  (** L1s over a shared accelerator L2 (needs [cached]) *)
+  cores : int;  (** accelerator cores (= L1s) when [two_level] *)
+  link_latency : int;  (** guard-accelerator link latency, cycles *)
+  link_jitter : int;
+      (** [0]: the paper's ordered link at [link_latency].  [> 0]: unordered
+          delivery with per-message delays in [[1, link_latency + jitter]] *)
+  faults : Xguard_network.Network.Fault.config option;
+      (** per-link fault model; [None] inherits the config-level model *)
+  fault_scripts : Xguard_network.Network.Fault.script list;
+      (** deterministic per-link faults, appended to config-level scripts *)
+}
+
+type t = {
+  host : host;
+  dir_shards : int;
+      (** Hammer only: the blocking directory is split into this many
+          address-interleaved shards (block [b] is served by shard
+          [b mod dir_shards]), so N guards stop serializing behind a single
+          controller.  [1] reproduces the historical single directory
+          byte-for-byte.  Ignored by the MESI host (its inclusive L2 already
+          arbitrates per block). *)
+  accels : accel_spec list;
+}
+
+val default_accel : string -> accel_spec
+(** Transactional, cached, one-level, lat 8, ordered, fault-free. *)
+
+val validate : t -> (t, string) result
+(** Structural checks: at least one accelerator, unique well-formed ids,
+    [1 <= dir_shards <= 64], positive latencies, probabilities in [0, 1],
+    [cores] in [1, 8], and [uncached] excludes [2lvl].  Returns the topology
+    unchanged on success. *)
+
+val of_string : string -> (t, string) result
+(** Parse and {!validate} the CLI syntax above. *)
+
+val to_string : t -> string
+(** Canonical round-trippable form: [of_string (to_string t) = Ok t] for any
+    validated [t]. *)
+
+val name : t -> string
+(** Short report label, e.g. ["hammer:2/topo[gpu0,nic0,fpga0]"] (the [:2] is
+    the shard count, omitted when 1). *)
+
+val symmetric : ?host:host -> ?shards:int -> ?base_latency:int -> int -> t
+(** [symmetric n] builds a mixed n-accelerator topology for sweeps and tests:
+    ids [a0..a(n-1)], alternating Transactional/Full-State guards, every
+    third device uncached, staggered link latencies. *)

@@ -38,7 +38,7 @@ type t = {
   net : Net.t;
   name : string;
   node : Node.t;
-  directory : Node.t;
+  directory : Addr.t -> Node.t;
   variant : variant;
   hit_latency : int;
   array : line Cache_array.t;
@@ -155,7 +155,7 @@ let start_eviction t addr (line : line) stable =
       visit t addr e_repl_owned;
       line.st <- Put_pending { lost_ownership = false };
       t.pending_puts <- t.pending_puts + 1;
-      send t ~dst:t.directory Msg.Put addr
+      send t ~dst:(t.directory addr) Msg.Put addr
 
 let alloc_get t addr kind ~base (access : Access.t) ~on_done =
   let tbe =
@@ -176,7 +176,7 @@ let alloc_get t addr kind ~base (access : Access.t) ~on_done =
       if Trace.on () then
         Trace.tbe_alloc ~cycle:(Engine.now t.engine) ~controller:t.name
           ~addr:(Addr.to_int addr);
-      send t ~dst:t.directory (Msg.Get { kind }) addr;
+      send t ~dst:(t.directory addr) (Msg.Get { kind }) addr;
       true
   | `Full | `Busy -> false
 
@@ -348,7 +348,7 @@ let try_complete t addr (tbe : get_tbe) =
     if Trace.on () then
       Trace.tbe_free ~cycle:(Engine.now t.engine) ~controller:t.name
         ~addr:(Addr.to_int addr);
-    send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
+    send t ~dst:(t.directory addr) (Msg.Unblock { exclusive }) addr;
     Group.incr_id t.stats t.sid.(3) (* get_complete *);
     complete t ~on_done:tbe.on_done final_value
   end
@@ -381,7 +381,7 @@ let handle_wb_ack t addr =
   match Cache_array.find t.array addr with
   | Some ({ st = Put_pending { lost_ownership = false }; _ } as line) ->
       visit t addr e_wb_ack;
-      send t ~dst:t.directory (Msg.Wb_data { data = line.data; dirty = line.dirty }) addr;
+      send t ~dst:(t.directory addr) (Msg.Wb_data { data = line.data; dirty = line.dirty }) addr;
       Cache_array.remove t.array addr;
       t.pending_puts <- t.pending_puts - 1;
       Group.incr_id t.stats t.sid.(4) (* writeback_complete *)

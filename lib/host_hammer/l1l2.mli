@@ -29,7 +29,7 @@ val create :
   net:Net.t ->
   name:string ->
   node:Node.t ->
-  directory:Node.t ->
+  directory:(Addr.t -> Node.t) ->
   variant:variant ->
   sets:int ->
   ways:int ->
@@ -37,7 +37,10 @@ val create :
   ?tbe_capacity:int ->
   unit ->
   t
-(** Registers [node] on [net].  Call {!set_peer_count} before running. *)
+(** Registers [node] on [net].  [directory] routes a block to the directory
+    shard that serves it — with a single directory it is a constant function;
+    with an interleaved directory it is [shard (block mod num_shards)].  Call
+    {!set_peer_count} before running. *)
 
 val set_peer_count : t -> int -> unit
 (** Number of other caches on the network (every one of them responds to each

@@ -34,7 +34,7 @@ type t = {
   net : Net.t;
   name : string;
   node : Node.t;
-  directory : Node.t;
+  directory : Addr.t -> Node.t;
   use_get_s_only : bool;
   mutable core : Xg_core.t option;
   mutable peer_count : int;
@@ -94,7 +94,7 @@ let issue_get t addr kind =
     Group.incr t.stats "get_deferred_behind_put";
     Hashtbl.replace t.deferred_gets addr msg_kind
   end
-  else send t ~dst:t.directory (Msg.Get { kind = msg_kind }) addr
+  else send t ~dst:(t.directory addr) (Msg.Get { kind = msg_kind }) addr
 
 let start_put t addr ~data ~dirty ~notify_core ~is_owner =
   let p =
@@ -114,7 +114,7 @@ let start_put t addr ~data ~dirty ~notify_core ~is_owner =
   end
   else begin
     Hashtbl.replace t.puts addr p;
-    send t ~dst:t.directory Msg.Put addr
+    send t ~dst:(t.directory addr) Msg.Put addr
   end
 
 let issue_put t addr kind =
@@ -153,7 +153,7 @@ let try_complete t addr (tbe : get_tbe) =
       | Msg.Get_s_only -> (`S received, false)
     in
     Tbe_table.dealloc t.tbes addr;
-    send t ~dst:t.directory (Msg.Unblock { exclusive }) addr;
+    send t ~dst:(t.directory addr) (Msg.Unblock { exclusive }) addr;
     Group.incr_id t.stats t.sid.(0) (* get_complete *);
     if Spans.on () then begin
       let a = Addr.to_int addr and now = Engine.now t.engine in
@@ -280,14 +280,14 @@ let finish_put t addr (p : put_rec) =
                 tbe.born <- now
             | None -> ()
           end;
-          send t ~dst:t.directory (Msg.Get { kind }) addr
+          send t ~dst:(t.directory addr) (Msg.Get { kind }) addr
       | None -> ()));
   if p.notify_core then Xg_core.put_complete (core t) addr
 
 let handle_wb_ack t addr =
   match Hashtbl.find_opt t.puts addr with
   | Some p ->
-      send t ~dst:t.directory (Msg.Wb_data { data = p.data; dirty = p.dirty }) addr;
+      send t ~dst:(t.directory addr) (Msg.Wb_data { data = p.data; dirty = p.dirty }) addr;
       Group.incr_id t.stats t.sid.(4) (* writeback_complete *);
       finish_put t addr p
   | None -> Group.incr t.stats "error.wb_ack_without_put"

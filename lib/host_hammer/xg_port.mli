@@ -22,10 +22,12 @@ val create :
   net:Net.t ->
   name:string ->
   node:Node.t ->
-  directory:Node.t ->
+  directory:(Addr.t -> Node.t) ->
   ?use_get_s_only:bool ->
   unit ->
   t
+(** [directory] routes a block to the directory shard that serves it (constant
+    for a single directory, address-interleaved for a sharded one). *)
 
 val host_port : t -> Xguard_xg.Xg_core.host_port
 (** Pass to {!Xguard_xg.Xg_core.create}, then {!attach_core}. *)

@@ -53,10 +53,11 @@ let accel_disabled t = t.disabled
 let process_killed t = t.killed
 
 let quarantine t =
-  (* Quarantine always takes the accelerator offline, whatever the policy:
-     the link below it is gone, so there is nothing to keep serving. *)
-  t.quarantined <- true;
-  t.disabled <- true
+  (* Record the quarantine but leave [disabled] alone: the quarantining
+     guard already drops its accelerator's traffic itself, and the OS model
+     may be shared by several guards in a topology — flipping the global
+     disable here would take innocent neighbors offline with the victim. *)
+  t.quarantined <- true
 
 let quarantined t = t.quarantined
 

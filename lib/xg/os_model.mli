@@ -33,9 +33,11 @@ val accel_disabled : t -> bool
 val process_killed : t -> bool
 
 val quarantine : t -> unit
-(** The guard gave up on the accelerator's link: record the quarantine and
-    take the accelerator offline regardless of policy (the host keeps
-    running; there is simply no device behind the guard any more). *)
+(** The guard gave up on the accelerator's link: record the quarantine (the
+    host keeps running; there is simply no device behind the guard any
+    more).  Does {e not} set [accel_disabled]: the quarantining guard fences
+    its own traffic, and one OS model may serve several guards in a
+    topology, so a global disable would punish the victim's neighbors. *)
 
 val quarantined : t -> bool
 val error_kind_to_string : error_kind -> string

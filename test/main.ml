@@ -20,6 +20,7 @@ let () =
          Test_regression_seeds.tests;
          Test_coverage_floor.tests;
          Test_campaign.tests;
+         Test_topology.tests;
          Test_faults.tests;
          Test_spans.tests;
          Test_check.tests;

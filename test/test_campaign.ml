@@ -134,11 +134,14 @@ let test_tester_merge () =
       deadlocked = dead;
       cycles = ops * 2;
       first_error_addr = addr;
+      ops_per_port = [| ops / 2; ops - (ops / 2) |];
     }
   in
   let a = o 100 0 false None and b = o 50 2 true (Some 3) and c = o 7 1 false (Some 9) in
   let m = Tester.merge (Tester.merge a b) c in
   Alcotest.(check int) "ops add" 157 m.Tester.ops_completed;
+  Alcotest.(check (array int))
+    "per-port ops add element-wise" [| 78; 79 |] m.Tester.ops_per_port;
   Alcotest.(check int) "errors add" 3 m.Tester.data_errors;
   Alcotest.(check int) "cycles add" 314 m.Tester.cycles;
   Alcotest.(check bool) "deadlock ORs" true m.Tester.deadlocked;

@@ -143,6 +143,24 @@ let test_link_dead_quarantine () =
         (List.exists (fun (n, _, _) -> n = "xg.link") outcome.Fault.coverage_sets))
     xg_configs
 
+let test_topology_quarantine_isolation () =
+  (* The multi-guard isolation claim (same measurement as experiment E9b): in
+     an N=3 mixed cached/uncached topology, guard a0's device owns a block
+     when its link goes dark; the guard escalates to quarantine, and the
+     neighbors' stress throughput must stay within 5% of the run where a0 is
+     healthy — a misbehaving accelerator cannot wedge or starve its
+     neighbors. *)
+  let iso = Xguard_harness.Experiments.measure_isolation ~ops:120 () in
+  let module E = Xguard_harness.Experiments in
+  check_bool "victim guard quarantined" true iso.E.iso_quarantined;
+  check_bool "neither run deadlocks" false iso.E.iso_deadlocked;
+  check_int "no data errors in either run" 0 iso.E.iso_data_errors;
+  check_bool "neighbor devices make progress" true (iso.E.iso_neighbor_ops = 2 * 120);
+  check_bool
+    (Printf.sprintf "neighbor throughput within 5%% of baseline (slowdown %.3f)"
+       iso.E.iso_slowdown)
+    true (iso.E.iso_slowdown <= 1.05)
+
 let test_os_policy_disable () =
   (* Disable-accelerator policy: after the first violation the guard drops
      accelerator requests but keeps the host alive. *)
@@ -162,6 +180,8 @@ let tests =
         Alcotest.test_case "G2c timeout recovery" `Quick test_timeout_answers_for_accel;
         Alcotest.test_case "link-dead quarantine" `Quick test_link_dead_quarantine;
         Alcotest.test_case "disable-accelerator policy" `Quick test_os_policy_disable;
+        Alcotest.test_case "topology quarantine isolation" `Slow
+          test_topology_quarantine_isolation;
       ] );
     ( "safety.fuzz",
       [

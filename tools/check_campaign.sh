@@ -35,6 +35,24 @@ if ! grep -q '^PASS$' "$out/campaign_j1.txt"; then
   exit 1
 fi
 
+echo "== topology campaign determinism: N=3 mixed topology under -j 1/2/4 =="
+topo='hammer:shards=2;gpu0=trans,cached;nic0=full,uncached,lat=12;dsp0=trans,2lvl,cores=2'
+for j in 1 2 4; do
+  dune exec bin/xguard_cli.exe -- campaign --topology "$topo" --seeds 4 -j "$j" \
+    > "$out/topo_j$j.txt"
+done
+for j in 2 4; do
+  if ! diff -u "$out/topo_j1.txt" "$out/topo_j$j.txt"; then
+    echo "FAIL: topology campaign output differs between -j 1 and -j $j" >&2
+    exit 1
+  fi
+done
+echo "byte-identical across -j 1/2/4"
+if ! grep -q '^PASS$' "$out/topo_j1.txt"; then
+  echo "FAIL: topology campaign reported failures" >&2
+  exit 1
+fi
+
 echo "== stress CLI determinism: --seeds 4 under -j 1/3 =="
 dune exec bin/xguard_cli.exe -- stress -c mesi/xg-full-1lvl --seeds 4 -j 1 \
   > "$out/stress_j1.txt"
