@@ -215,6 +215,53 @@ let apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable cfg =
     { cfg with Config.link_faults = Some f; Config.link_fault_scripts = scripts }
   else cfg
 
+(* ---- recovery policy and hang budgets (stress/fuzz/campaign) ---- *)
+
+let recover_flag =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:"After a quarantine, reset the link and re-admit the accelerator \
+                 on probation instead of killing it for good (default recovery \
+                 policy; see DESIGN.md section 12).")
+
+let recover_lives_arg =
+  Arg.(value & opt (some int) None
+       & info [ "recover-lives" ] ~docv:"K"
+           ~doc:"Permanently kill the link after $(docv) quarantines.  Implies \
+                 $(b,--recover).")
+
+let budget_req_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-req" ] ~docv:"CYCLES"
+           ~doc:"Hang budget for the request->decision phase: an accelerator \
+                 request the guard has not decided within $(docv) cycles counts \
+                 as a link fault.")
+
+let budget_inv_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-inv" ] ~docv:"CYCLES"
+           ~doc:"Hang budget for the invalidate->ack phase.  Trips strictly \
+                 before the coarse G2c timeout when set below it.")
+
+let budget_fetch_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-fetch" ] ~docv:"CYCLES"
+           ~doc:"Hang budget for the host fetch->data phase.")
+
+let apply_recovery ~recover ~lives ~breq ~binv ~bfetch cfg =
+  (* Both knobs default to the historical behaviour: no flag, no config
+     change, byte-identical runs. *)
+  let cfg =
+    if recover || lives <> None then
+      { cfg with
+        Config.recovery = Some (Xg.Xg_core.make_recovery ?permakill_after:lives ()) }
+    else cfg
+  in
+  if breq <> None || binv <> None || bfetch <> None then
+    { cfg with
+      Config.budgets = { Xg.Xg_core.req_decide = breq; inv_ack = binv; fetch_data = bfetch } }
+  else cfg
+
 let injected_total counts =
   List.fold_left
     (fun n (k, v) ->
@@ -312,11 +359,12 @@ let stress_cmd =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
   let action config topology seed ops seeds jobs trace trace_out coverage spans spans_out
-      drop dup corrupt delay scripts reliable =
+      drop dup corrupt delay scripts reliable recover lives breq binv bfetch =
     with_system_config ~topology config seed (fun base ->
         let base =
           apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable base
         in
+        let base = apply_recovery ~recover ~lives ~breq ~binv ~bfetch base in
         let tr = make_trace ~trace ~trace_out in
         check_trace_jobs ~jobs tr;
         (* Each seed is one pool job producing its report line, optional
@@ -351,12 +399,36 @@ let stress_cmd =
                     (count_of link "retransmit_frames")
                     (sys.System.quarantined ())
               in
+              let recovery_part =
+                (* Printed only when a recovery policy or a budget is
+                   configured, so default runs stay byte-identical. *)
+                let sum f =
+                  Array.fold_left (fun n g -> n + f g.System.g_core) 0 sys.System.guards
+                in
+                let parts = [] in
+                let parts =
+                  if cfg.Config.budgets <> Xg.Xg_core.no_budgets then
+                    Printf.sprintf "trips=%d" (sum Xg.Xg_core.budget_trips) :: parts
+                  else parts
+                in
+                let parts =
+                  if cfg.Config.recovery <> None then
+                    Printf.sprintf "rejoins=%d kill=%b" (sum Xg.Xg_core.rejoins)
+                      (Array.exists
+                         (fun g -> Xg.Xg_core.permakilled g.System.g_core)
+                         sys.System.guards)
+                    :: parts
+                  else parts
+                in
+                if parts = [] then ""
+                else Printf.sprintf " rec[%s]" (String.concat " " parts)
+              in
               let line =
                 Printf.sprintf
-                  "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s%s"
+                  "seed %-6d ops=%-6d data_errors=%-3d deadlock=%-5b violations=%-3d %s%s%s"
                   s o.Tester.ops_completed o.Tester.data_errors o.Tester.deadlocked viol
                   (if bad then "FAIL" else "ok")
-                  link_part
+                  link_part recovery_part
               in
               let trail =
                 if bad then
@@ -425,7 +497,8 @@ let stress_cmd =
     Term.(const action $ config_arg $ topology_arg $ seed_arg $ ops_arg $ seeds_arg
           $ jobs_arg $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag
           $ spans_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
-          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag $ recover_flag
+          $ recover_lives_arg $ budget_req_arg $ budget_inv_arg $ budget_fetch_arg)
 
 (* ---- fuzz ---- *)
 
@@ -446,8 +519,37 @@ let fuzz_cmd =
              ~doc:"Sweep $(docv) consecutive seeds; outcomes are merged \
                    (Fuzz_tester.merge) into one report.")
   in
+  let chaos_period_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-period" ] ~docv:"CYCLES"
+             ~doc:"Cycles between chaos-accelerator injections (smaller = denser \
+                   bombardment).")
+  in
+  let chaos_respond_arg =
+    Arg.(value & opt (some float) None
+         & info [ "chaos-respond-prob" ] ~docv:"P"
+             ~doc:"Probability the chaos accelerator answers an Invalidate at all \
+                   (with a random, possibly wrong, response).  0.0 never answers — \
+                   the G2c-timeout path.")
+  in
+  let chaos_requests_only_flag =
+    Arg.(value & flag
+         & info [ "chaos-requests-only" ]
+             ~doc:"Inject only syntactically valid requests, no spontaneous \
+                   responses.")
+  in
+  let chaos_tarpit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "chaos-tarpit" ] ~docv:"CYCLES"
+             ~doc:"Slow-but-honest mode: answer every Invalidate with a correct \
+                   Inv_ack exactly $(docv) cycles late.  With $(b,--budget-inv) \
+                   below $(docv), every invalidation trips the budget; without \
+                   budgets only the coarse G2c timeout can notice.  Overrides \
+                   $(b,--chaos-respond-prob).")
+  in
   let action config topology seed seeds jobs mute timeout trace trace_out coverage spans
-      spans_out drop dup corrupt delay scripts reliable =
+      spans_out drop dup corrupt delay scripts reliable chaos_period chaos_respond
+      chaos_requests_only chaos_tarpit recover lives breq binv bfetch =
     with_system_config ~topology config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
           Printf.eprintf "fuzzing needs a Crossing Guard configuration\n";
@@ -456,9 +558,14 @@ let fuzz_cmd =
         let cfg =
           apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable cfg
         in
+        let cfg = apply_recovery ~recover ~lives ~breq ~binv ~bfetch cfg in
         let cfg =
           match timeout with None -> cfg | Some t -> { cfg with Config.xg_timeout = t }
         in
+        (* --mute is shorthand for the never-answer chaos shape; explicit
+           chaos flags compose with (and refine) it. *)
+        let respond_probability = if mute then Some 0.0 else chaos_respond in
+        let requests_only = if mute || chaos_requests_only then Some true else None in
         let tr = make_trace ~trace ~trace_out in
         check_trace_jobs ~jobs tr;
         let results =
@@ -468,9 +575,8 @@ let fuzz_cmd =
               Option.iter Trace.clear tr;
               let o =
                 with_spans rec_ (fun () ->
-                    if mute then
-                      Fuzz.run cfg ~respond_probability:0.0 ~requests_only:true ?trace:tr ()
-                    else Fuzz.run cfg ?trace:tr ())
+                    Fuzz.run cfg ?chaos_period ?respond_probability ?requests_only
+                      ?tarpit:chaos_tarpit ?trace:tr ())
               in
               (o, rec_))
         in
@@ -518,6 +624,14 @@ let fuzz_cmd =
             (fun (k, n) -> Printf.printf "  link.%-32s %d\n" k n)
             o.Fuzz.link_faults
         end;
+        (* Gated on the flags, like the link block above, so default output
+           stays byte-identical. *)
+        if cfg.Config.recovery <> None then begin
+          Printf.printf "link rejoins       %d\n" o.Fuzz.rejoins;
+          Printf.printf "permakilled        %b\n" o.Fuzz.permakilled
+        end;
+        if cfg.Config.budgets <> Xg.Xg_core.no_budgets then
+          Printf.printf "budget trips       %d\n" o.Fuzz.budget_trips;
         if coverage then print_coverage_sets o.Fuzz.coverage_sets;
         print_span_summary !span_sum;
         emit_spans_out ~spans_out (List.rev !span_recs);
@@ -552,7 +666,10 @@ let fuzz_cmd =
     Term.(const action $ config_arg $ topology_arg $ seed_arg $ seeds_arg $ jobs_arg
           $ mute_arg $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag
           $ spans_flag $ spans_out_arg $ fault_drop_arg $ fault_dup_arg
-          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag
+          $ chaos_period_arg $ chaos_respond_arg $ chaos_requests_only_flag
+          $ chaos_tarpit_arg $ recover_flag $ recover_lives_arg $ budget_req_arg
+          $ budget_inv_arg $ budget_fetch_arg)
 
 (* ---- campaign ---- *)
 
@@ -584,7 +701,7 @@ let campaign_cmd =
          & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
   in
   let action config topology seeds jobs kind ops cpu_ops seed coverage spans trace
-      trace_out drop dup corrupt delay scripts reliable =
+      trace_out drop dup corrupt delay scripts reliable recover lives breq binv bfetch =
     let configs =
       match topology with
       | Some spec -> [ Config.of_topology (parse_topology spec) ]
@@ -601,6 +718,7 @@ let campaign_cmd =
     let configs =
       List.map (apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable) configs
     in
+    let configs = List.map (apply_recovery ~recover ~lives ~breq ~binv ~bfetch) configs in
     let tr = make_trace ~trace ~trace_out in
     check_trace_jobs ~jobs tr;
     let result =
@@ -635,14 +753,15 @@ let campaign_cmd =
     Term.(const action $ config_arg $ topology_arg $ seeds_arg $ jobs_arg $ kind_arg
           $ ops_arg $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ trace_flag
           $ trace_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
-          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag)
+          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag $ recover_flag
+          $ recover_lives_arg $ budget_req_arg $ budget_inv_arg $ budget_fetch_arg)
 
 (* ---- report ---- *)
 
 let report_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"Experiment id (t1 f1 f2 e1-e9 a1 a2) or 'all'.")
+           ~doc:"Experiment id (t1 f1 f2 e1-e10 a1 a2) or 'all'.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size run.") in
   let action id quick =

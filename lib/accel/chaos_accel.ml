@@ -11,6 +11,7 @@ type t = {
   addresses : Addr.t array;
   respond_probability : float;
   requests_only : bool;
+  tarpit : int option;  (* answer Invalidates correctly but this late (PR 8) *)
   mutable sent : int;
   mutable invs_seen : int;
   mutable invs_ignored : int;
@@ -48,14 +49,22 @@ let fire t =
 
 let on_invalidate t addr =
   t.invs_seen <- t.invs_seen + 1;
-  if Rng.chance t.rng t.respond_probability then
-    (* Possibly the wrong type, possibly the right one; possibly delayed. *)
-    Engine.schedule t.engine ~delay:(Rng.int t.rng 50) (fun () ->
-        send t (Xg_iface.To_xg_resp { addr; resp = random_response t }))
-  else t.invs_ignored <- t.invs_ignored + 1
+  match t.tarpit with
+  | Some lag ->
+      (* Tarpit mode: always answer, always the right type, always this
+         late — a slow-but-honest accelerator that trips hang budgets
+         without ever reaching the coarse G2c timeout. *)
+      Engine.schedule t.engine ~delay:lag (fun () ->
+          send t (Xg_iface.To_xg_resp { addr; resp = Xg_iface.Inv_ack }))
+  | None ->
+      if Rng.chance t.rng t.respond_probability then
+        (* Possibly the wrong type, possibly the right one; possibly delayed. *)
+        Engine.schedule t.engine ~delay:(Rng.int t.rng 50) (fun () ->
+            send t (Xg_iface.To_xg_resp { addr; resp = random_response t }))
+      else t.invs_ignored <- t.invs_ignored + 1
 
 let create ~engine ~rng ~link ~self ~xg ~addresses ?(period = 5)
-    ?(respond_probability = 0.7) ?(requests_only = false) ?(duration = 50_000) () =
+    ?(respond_probability = 0.7) ?(requests_only = false) ?tarpit ?(duration = 50_000) () =
   let t =
     {
       engine;
@@ -66,6 +75,7 @@ let create ~engine ~rng ~link ~self ~xg ~addresses ?(period = 5)
       addresses;
       respond_probability;
       requests_only;
+      tarpit;
       sent = 0;
       invs_seen = 0;
       invs_ignored = 0;

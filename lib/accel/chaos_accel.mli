@@ -23,6 +23,7 @@ val create :
   ?period:int ->
   ?respond_probability:float ->
   ?requests_only:bool ->
+  ?tarpit:int ->
   ?duration:int ->
   unit ->
   t
@@ -30,7 +31,10 @@ val create :
     [duration] cycles (default 50_000).  [respond_probability] is the chance
     an Invalidate gets any reply at all.  [requests_only] suppresses random
     spontaneous responses, so unanswered Invalidates stay unanswered (the
-    G2c timeout scenario). *)
+    G2c timeout scenario).  [tarpit] (PR 8) overrides the Invalidate policy:
+    every Invalidate is answered with a correct [Inv_ack], but exactly that
+    many cycles late — pick a lag between the guard's inv→ack hang budget
+    and its G2c timeout to show budgets trip strictly first. *)
 
 val messages_sent : t -> int
 val invalidations_seen : t -> int

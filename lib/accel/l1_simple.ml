@@ -28,6 +28,7 @@ type t = {
   mshr_limit : int;
   mutable pending_gets : int;
   mutable pending_evictions : int;
+  mutable flushed : bool;  (* a device reset happened at least once (PR 8) *)
   (* Choice tag for hit-latency completion events (model checker);
      [Engine.no_tag] outside check mode. *)
   mutable check_tag : int;
@@ -143,6 +144,7 @@ let create ~engine ~name ~flavor ~sets ~ways ?(hit_latency = 1) ?(mshr_limit = 1
     mshr_limit;
     pending_gets = 0;
     pending_evictions = 0;
+    flushed = false;
     check_tag = Engine.no_tag;
   }
 
@@ -309,9 +311,12 @@ let apply_grant t line (access : Access.t) ~on_done granted ~data =
 let on_response t addr (resp : Xg_iface.xg_response) =
   match Cache_array.find t.array addr with
   | None ->
-      failwith
-        (Format.asprintf "%s: response %a for non-resident block %a" t.name
-           Xg_iface.pp_xg_response resp Addr.pp addr)
+      (* After a device reset the line a response was headed for may be gone;
+         before the first reset this is a hard protocol violation. *)
+      if not t.flushed then
+        failwith
+          (Format.asprintf "%s: response %a for non-resident block %a" t.name
+             Xg_iface.pp_xg_response resp Addr.pp addr)
   | Some line -> (
       match (line.st, resp) with
       | Busy (Get { access; on_done }), Xg_iface.Data_m data ->
@@ -364,6 +369,18 @@ let on_invalidate t addr =
           (* Table 1: not in a stable state -> always InvAck, no further action. *)
           visit t addr s_b e_inval;
           t.lower.Lower_port.send_resp addr Xg_iface.Inv_ack)
+
+(* Device-level reset (the guard's Reset frame landed): drop every line,
+   stable or busy, without writebacks — the guard already substituted
+   trusted answers for everything outstanding when it quarantined, so
+   nothing here is owed to the host.  In-flight accesses are lost the way a
+   real hot-reset loses outstanding DMA: their completions never fire. *)
+let flush t =
+  Cache_array.to_list t.array
+  |> List.iter (fun (addr, _) -> Cache_array.remove t.array addr);
+  t.pending_gets <- 0;
+  t.pending_evictions <- 0;
+  t.flushed <- true
 
 let deliver t = function
   | Xg_iface.To_accel_resp { addr; resp } -> on_response t addr resp

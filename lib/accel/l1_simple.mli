@@ -50,6 +50,14 @@ val coverage : t -> Xguard_stats.Counter.Group.t
 
 val pending_evictions : t -> int
 
+val flush : t -> unit
+(** Device-level reset (PR 8): drop every line — stable or busy — without
+    writebacks, and zero the pending counters.  Wired to the guard link's
+    reset handler; the quarantine drain already settled everything this
+    cache owed the host.  In-flight completions are lost (their [on_done]
+    never fires), and responses already on the wire for dropped lines are
+    silently discarded rather than treated as protocol violations. *)
+
 val probe : t -> Addr.t -> [ `I | `S | `E | `M | `B ]
 (** Current state of a block, for tests and traces. *)
 

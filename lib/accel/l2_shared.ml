@@ -47,6 +47,7 @@ type t = {
   waiting : (Addr.t, queued Queue.t) Hashtbl.t;
   space_waiters : (int, (Addr.t * queued) Queue.t) Hashtbl.t;
   l2_latency : int;
+  mutable flushed : bool;  (* a device reset happened at least once (PR 8) *)
   stats : Group.t;
   sid : Group.id array; (* interned hot stat counters, indexed like [hot_stats] *)
 }
@@ -394,9 +395,12 @@ let deliver_from_below t (msg : Xg_iface.msg) =
           Group.incr_id t.stats t.sid.(12) (* eviction_complete *);
           close t addr
       | Some _, _ | None, _ ->
-          failwith
-            (Format.asprintf "%s: unexpected response from below: %a" t.name
-               Xg_iface.pp_xg_response resp))
+          (* After a device reset the transaction a grant was headed for may
+             be gone; before the first reset this is a hard violation. *)
+          if not t.flushed then
+            failwith
+              (Format.asprintf "%s: unexpected response from below: %a" t.name
+                 Xg_iface.pp_xg_response resp))
   | Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate } -> (
       Group.incr_id t.stats t.sid.(13) (* invalidate_from_below *);
       match Hashtbl.find_opt t.busy_table addr with
@@ -441,6 +445,17 @@ let deliver_from_below t (msg : Xg_iface.msg) =
   | Xg_iface.To_xg_req _ | Xg_iface.To_xg_resp _ ->
       invalid_arg (t.name ^ ": accelerator-to-guard message from below")
 
+(* Device-level reset (PR 8): drop every line and every open transaction
+   without writebacks — the quarantine drain already settled the host side.
+   In-flight internal requests re-enter as fresh misses afterwards. *)
+let flush t =
+  Cache_array.to_list t.array
+  |> List.iter (fun (addr, _) -> Cache_array.remove t.array addr);
+  Hashtbl.reset t.busy_table;
+  Hashtbl.reset t.waiting;
+  Hashtbl.reset t.space_waiters;
+  t.flushed <- true
+
 let create ~engine ~name ~internal ~node ~lower ~sets ~ways ?(l2_latency = 2) () =
   let stats = Group.create (name ^ ".stats") in
   let t =
@@ -456,6 +471,7 @@ let create ~engine ~name ~internal ~node ~lower ~sets ~ways ?(l2_latency = 2) ()
       waiting = Hashtbl.create 64;
       space_waiters = Hashtbl.create 16;
       l2_latency;
+      flushed = false;
       stats;
       sid = Array.map (Group.intern stats) hot_stats;
     }

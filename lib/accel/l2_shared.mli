@@ -41,3 +41,9 @@ val probe : t -> Addr.t -> [ `I | `S | `E | `M | `Busy ]
 val upward_holders : t -> Addr.t -> [ `None | `Sharers of int | `Owner ]
 val resident : t -> int
 val stats : t -> Xguard_stats.Counter.Group.t
+
+val flush : t -> unit
+(** Device-level reset (PR 8): drop every line, open transaction and stalled
+    request without writebacks.  Wired to the guard link's reset handler
+    together with the L1s' {!L1_simple.flush}; late grants from below for
+    dropped transactions are discarded rather than treated as violations. *)

@@ -38,6 +38,8 @@ type t = {
   link_retry_timeout : int;
   link_max_retries : int;
   quarantine_after : int;
+  recovery : Xguard_xg.Xg_core.recovery option;
+  budgets : Xguard_xg.Xg_core.budgets;
 }
 
 let default =
@@ -71,6 +73,8 @@ let default =
     link_retry_timeout = 32;
     link_max_retries = 6;
     quarantine_after = 3;
+    recovery = None;
+    budgets = Xguard_xg.Xg_core.no_budgets;
   }
 
 let make ?(base = default) host org =

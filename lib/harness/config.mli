@@ -65,6 +65,14 @@ type t = {
   link_retry_timeout : int;  (** initial retransmission timeout, cycles *)
   link_max_retries : int;  (** silent rounds before a fault is escalated *)
   quarantine_after : int;  (** consecutive faults before quarantine *)
+  (* recovery lifecycle and hang budgets (PR 8) *)
+  recovery : Xguard_xg.Xg_core.recovery option;
+      (** [None]: quarantine stays terminal, byte-for-byte.  [Some r]: every
+          guard runs the quarantine → reset → probation → rejoin lifecycle;
+          the reset handler flushes the guard's accelerator cache stack. *)
+  budgets : Xguard_xg.Xg_core.budgets;
+      (** per-phase hang budgets, {!Xguard_xg.Xg_core.no_budgets} (all off,
+          byte-for-byte) by default *)
 }
 
 val default : t

@@ -663,6 +663,9 @@ type isolation_outcome = {
   iso_data_errors : int;
   iso_deadlocked : bool;
   iso_slowdown : float;
+  iso_rejoins : int;
+      (** completed reset handshakes on the victim guard (always 0 without a
+          recovery policy) *)
 }
 
 (* The N=3 mixed cached/uncached topology used by both E9b and the isolation
@@ -676,7 +679,7 @@ let isolation_topology () =
   | Ok t -> t
   | Error e -> invalid_arg e
 
-let measure_isolation ?(ops = 250) ?(seed = 1) () =
+let measure_isolation ?(ops = 250) ?(seed = 1) ?recovery () =
   let module Net = Xguard_network.Network in
   let module Xgi = Xg.Xg_iface in
   let victim_block = Addr.block 100 (* outside the tester's address pool *) in
@@ -702,6 +705,7 @@ let measure_isolation ?(ops = 250) ?(seed = 1) () =
         link_retry_timeout = 16;
         link_max_retries = 2;
         quarantine_after = 2;
+        recovery;
       }
     in
     (* Guard 0 stays bare; a minimal scripted endpoint on its link
@@ -764,10 +768,15 @@ let measure_isolation ?(ops = 250) ?(seed = 1) () =
         (Array.sub o.Random_tester.ops_per_port n_cpus
            (Array.length o.Random_tester.ops_per_port - n_cpus))
     in
-    (o, o.Random_tester.cycles - start, neighbor_ops, sys.System.quarantined ())
+    let rejoins =
+      Array.fold_left
+        (fun acc g -> acc + Xg.Xg_core.rejoins g.System.g_core)
+        0 sys.System.guards
+    in
+    (o, o.Random_tester.cycles - start, neighbor_ops, sys.System.quarantined (), rejoins)
   in
-  let base, base_cycles, _, _ = run ~kill:false in
-  let faulted, faulted_cycles, neighbor_ops, quarantined = run ~kill:true in
+  let base, base_cycles, _, _, _ = run ~kill:false in
+  let faulted, faulted_cycles, neighbor_ops, quarantined, rejoins = run ~kill:true in
   {
     iso_quarantined = quarantined;
     iso_baseline_cycles = base_cycles;
@@ -778,6 +787,7 @@ let measure_isolation ?(ops = 250) ?(seed = 1) () =
     iso_deadlocked =
       base.Random_tester.deadlocked || faulted.Random_tester.deadlocked;
     iso_slowdown = float_of_int faulted_cycles /. float_of_int (max 1 base_cycles);
+    iso_rejoins = rejoins;
   }
 
 let e9_topology ?(quick = false) () =
@@ -857,6 +867,284 @@ let e9_topology ?(quick = false) () =
     ];
   { id = "e9"; title = "E9 (multi-guard topologies)"; tables = [ sweep; isolation ] }
 
+(* ---------- E10 ---------- *)
+
+type recovery_point = {
+  rp_availability : float;  (** 1 - down_cycles / total cycles, guard 0 *)
+  rp_mttr : float option;  (** down cycles per completed repair; None if none *)
+  rp_quarantines : int;
+  rp_rejoins : int;
+  rp_permakilled : bool;
+  rp_ops : int;
+  rp_neighbor_ops : int;
+  rp_data_errors : int;
+  rp_deadlocked : bool;
+  rp_cycles : int;  (** measured window (tester start to quiescence) *)
+}
+
+(* Availability measurement under a recovery policy: guard 0 runs bare with a
+   well-behaved scripted sharer on a reliability-layer link.  Faults come from
+   either a probabilistic [drop] rate (retry-ladder exhaustion) or scripted
+   wire [cuts] at fixed cycles; the recovery policy resets the link and
+   re-admits the script each time.  The script keeps a held-set so it always
+   answers Invalidate with the protocol-correct response for its grant, never
+   double-requests, and — mirroring a real hierarchy's reset flush — forgets
+   everything when the guard resets the link. *)
+let measure_recovery ~topo ~drop ~cuts ~ops ~ticks ~seed () =
+  let module Net = Xguard_network.Network in
+  let module Xgi = Xg.Xg_iface in
+  let topo =
+    {
+      topo with
+      Topology.accels =
+        List.mapi
+          (fun i a ->
+            if i = 0 then
+              { a with Topology.faults = Some { Net.Fault.zero with Net.Fault.drop } }
+            else a)
+          topo.Topology.accels;
+    }
+  in
+  let cfg =
+    {
+      (Config.of_topology topo) with
+      Config.seed;
+      link_retry_timeout = 16;
+      link_max_retries = 2;
+      quarantine_after = 2;
+      recovery =
+        Some
+          (Xg.Xg_core.make_recovery ~reset_delay:150 ~reset_timeout:32
+             ~reset_attempts:6 ~probation_window:300 ~probation_rate:0.5
+             ~probation_burst:4 ~probation_quarantine_after:2 ~permakill_after:64
+             ());
+    }
+  in
+  let sys = System.build ~attach_accel:false cfg in
+  let link = Option.get sys.System.accel_link in
+  let self = Option.get sys.System.accel_node_on_link in
+  let xg = Option.get sys.System.xg_node_on_link in
+  let send msg =
+    Xgi.Link.send link ~src:self ~dst:xg ~size:(Xgi.msg_size msg) msg
+  in
+  let pool = Array.init 6 Addr.block in
+  (* addr -> last grant; entries are provisional ([None]) from request time so
+     a pending block is never re-requested (G1b). *)
+  let held : (Addr.t, Xgi.xg_response option) Hashtbl.t = Hashtbl.create 16 in
+  Xgi.Link.register link self (fun ~src:_ msg ->
+      match msg with
+      | Xgi.To_accel_req { addr; req = Xgi.Invalidate } ->
+          let resp =
+            match Hashtbl.find_opt held addr with
+            | Some (Some (Xgi.Data_e d)) -> Xgi.Clean_wb d
+            | Some (Some (Xgi.Data_m d)) -> Xgi.Dirty_wb d
+            | _ -> Xgi.Inv_ack
+          in
+          Hashtbl.remove held addr;
+          send (Xgi.To_xg_resp { addr; resp })
+      | Xgi.To_accel_resp
+          { addr; resp = (Xgi.Data_s _ | Xgi.Data_e _ | Xgi.Data_m _) as resp } ->
+          Hashtbl.replace held addr (Some resp)
+      | _ -> ());
+  (* The guard's reset handler flushes a real hierarchy; the scripted
+     sharer's equivalent is dropping everything it held (including stuck
+     provisional entries whose requests died in quarantine). *)
+  Xgi.Link.set_reset_handler link (fun () -> Hashtbl.reset held);
+  let rec tick i =
+    if i < ticks then begin
+      (match Array.find_opt (fun a -> not (Hashtbl.mem held a)) pool with
+      | Some a ->
+          Hashtbl.replace held a None;
+          send (Xgi.To_xg_req { addr = a; req = Xgi.Get_s })
+      | None -> ());
+      Engine.schedule sys.System.engine ~delay:30 (fun () -> tick (i + 1))
+    end
+  in
+  tick 0;
+  List.iter
+    (fun at ->
+      Engine.schedule sys.System.engine ~delay:at (fun () ->
+          Xgi.Link.cut_wire link))
+    cuts;
+  let neighbor_ports =
+    Array.concat
+      (List.tl
+         (List.map (fun g -> g.System.g_ports) (Array.to_list sys.System.guards)))
+  in
+  let ports = Array.append sys.System.cpu_ports neighbor_ports in
+  let start = Engine.now sys.System.engine in
+  let o =
+    Random_tester.run ~engine:sys.System.engine
+      ~rng:(Rng.create ~seed:(seed * 7 + 1))
+      ~ports ~addresses:pool ~ops_per_core:ops ()
+  in
+  let core0 = sys.System.guards.(0).System.g_core in
+  let now = Engine.now sys.System.engine in
+  let down = Xg.Xg_core.down_cycles core0 ~now in
+  let rejoins = Xg.Xg_core.rejoins core0 in
+  let neighbor_ops =
+    let n_cpus = Array.length sys.System.cpu_ports in
+    Array.fold_left ( + ) 0
+      (Array.sub o.Random_tester.ops_per_port n_cpus
+         (Array.length o.Random_tester.ops_per_port - n_cpus))
+  in
+  {
+    rp_availability = 1.0 -. (float_of_int down /. float_of_int (max 1 now));
+    rp_mttr =
+      (if rejoins > 0 then Some (float_of_int down /. float_of_int rejoins)
+       else None);
+    rp_quarantines = Xg.Xg_core.quarantine_count core0;
+    rp_rejoins = rejoins;
+    rp_permakilled = Xg.Xg_core.permakilled core0;
+    rp_ops = o.Random_tester.ops_completed;
+    rp_neighbor_ops = neighbor_ops;
+    rp_data_errors = o.Random_tester.data_errors;
+    rp_deadlocked = o.Random_tester.deadlocked;
+    rp_cycles = o.Random_tester.cycles - start;
+  }
+
+let e10_recovery ?(quick = false) () =
+  let ops = if quick then 80 else 200 in
+  let ticks = if quick then 150 else 400 in
+  let sizes = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let drops = if quick then [ 0.3 ] else [ 0.0; 0.3 ] in
+  (* Two deterministic fault bursts per run, so every point sees outages even
+     where the retry ladder absorbs the probabilistic drops; the drop rate
+     then adds retry-exhaustion faults on top. *)
+  let cuts = [ 1_500; 6_000 ] in
+  let sweep =
+    Table.create
+      ~title:
+        "E10a: availability and MTTR with recovery, swept over link drop rate \
+         and topology size (two scripted fault bursts per run)"
+      ~columns:
+        [
+          "guards";
+          "drop";
+          "quarantines";
+          "rejoins";
+          "permakilled";
+          "availability";
+          "MTTR";
+          "ops";
+          "data errors";
+          "deadlocked";
+        ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun drop ->
+          let p =
+            measure_recovery
+              ~topo:(Topology.symmetric ~shards:2 n)
+              ~drop ~cuts ~ops ~ticks ~seed:1 ()
+          in
+          Table.add_row sweep
+            [
+              Table.cell_int n;
+              Printf.sprintf "%.2f" drop;
+              Table.cell_int p.rp_quarantines;
+              Table.cell_int p.rp_rejoins;
+              (if p.rp_permakilled then "YES" else "no");
+              Table.cell_pct p.rp_availability;
+              (match p.rp_mttr with
+              | Some m -> Printf.sprintf "%.0f cyc" m
+              | None -> "-");
+              Table.cell_int p.rp_ops;
+              Table.cell_int p.rp_data_errors;
+              (if p.rp_deadlocked then "YES" else "no");
+            ])
+        drops)
+    sizes;
+  (* Directed lifecycle rows: rejoin-and-transact, permanent kill after
+     repeated quarantines, and the tarpit tripping a hang budget strictly
+     before the coarse G2c timeout. *)
+  let lifecycle =
+    Table.create ~title:"E10b: directed recovery lifecycle scenarios"
+      ~columns:
+        [
+          "scenario";
+          "detected";
+          "rejoins";
+          "permakilled";
+          "budget trips";
+          "G2c timeouts";
+          "accel live after";
+          "host live";
+        ]
+  in
+  let scen_cfg = Config.make Config.Hammer (Config.Xg_one_level Config.Transactional) in
+  List.iter
+    (fun s ->
+      let o = Fault_scenarios.run scen_cfg s in
+      Table.add_row lifecycle
+        [
+          Fault_scenarios.scenario_name s;
+          (if o.Fault_scenarios.detected then "yes" else "NO");
+          Table.cell_int o.Fault_scenarios.rejoins;
+          (if o.Fault_scenarios.permakilled then "yes" else "no");
+          Table.cell_int o.Fault_scenarios.budget_trips;
+          Table.cell_int o.Fault_scenarios.g2c_timeouts;
+          (if o.Fault_scenarios.accel_live_after then "yes" else "no");
+          (if o.Fault_scenarios.host_live then "yes" else "NO");
+        ])
+    [
+      Fault_scenarios.Recovery_rejoin;
+      Fault_scenarios.Repeated_quarantine_permakill;
+      Fault_scenarios.Tarpit_budget;
+    ];
+  (* E9b's neighbor-isolation bound, re-asserted while the victim is actually
+     cycling through quarantine -> reset -> probation mid-measurement: the
+     wire is cut twice during the measured window on the same N=3 mixed
+     topology, and neighbor throughput is compared against an identical run
+     with no cuts. *)
+  let iso_ops = if quick then 100 else 220 in
+  let iso_ticks = if quick then 120 else 300 in
+  let base =
+    measure_recovery ~topo:(isolation_topology ()) ~drop:0.0 ~cuts:[]
+      ~ops:iso_ops ~ticks:iso_ticks ~seed:2 ()
+  in
+  let faulted =
+    measure_recovery ~topo:(isolation_topology ()) ~drop:0.0
+      ~cuts:[ 800; 4000 ] ~ops:iso_ops ~ticks:iso_ticks ~seed:2 ()
+  in
+  let slowdown =
+    float_of_int faulted.rp_cycles /. float_of_int (max 1 base.rp_cycles)
+  in
+  let isolation =
+    Table.create
+      ~title:
+        "E10c: E9b isolation bound during recovery (wire cut twice \
+         mid-measurement, N=3 mixed topology)"
+      ~columns:[ "metric"; "value" ]
+  in
+  List.iter (Table.add_row isolation)
+    [
+      [ "victim quarantines"; Table.cell_int faulted.rp_quarantines ];
+      [ "victim rejoins"; Table.cell_int faulted.rp_rejoins ];
+      [ "baseline cycles (no cuts)"; Table.cell_int base.rp_cycles ];
+      [ "cycles with recovery cycling"; Table.cell_int faulted.rp_cycles ];
+      [ "slowdown"; Printf.sprintf "%.3fx" slowdown ];
+      [
+        "neighbor device ops (base / recovery)";
+        Printf.sprintf "%d / %d" base.rp_neighbor_ops faulted.rp_neighbor_ops;
+      ];
+      [
+        "data errors";
+        Table.cell_int (base.rp_data_errors + faulted.rp_data_errors);
+      ];
+      [
+        "deadlocked";
+        (if base.rp_deadlocked || faulted.rp_deadlocked then "YES" else "no");
+      ];
+    ];
+  {
+    id = "e10";
+    title = "E10 (recovery, availability & MTTR)";
+    tables = [ sweep; lifecycle; isolation ];
+  }
+
 (* ---------- registry ---------- *)
 
 let all ?(quick = false) () =
@@ -873,11 +1161,13 @@ let all ?(quick = false) () =
     e7_rate_limit ~quick ();
     e8_block_merge ();
     e9_topology ~quick ();
+    e10_recovery ~quick ();
     a1_link_ordering ~quick ();
     a2_snoop_filtering ~quick ();
   ]
 
-let ids = [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "a1"; "a2" ]
+let ids =
+  [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1"; "a2" ]
 
 let by_id = function
   | "t1" -> Some (fun ?quick () -> ignore quick; t1_transition_table ())
@@ -892,6 +1182,7 @@ let by_id = function
   | "e7" -> Some (fun ?quick () -> e7_rate_limit ?quick ())
   | "e8" -> Some (fun ?quick () -> ignore quick; e8_block_merge ())
   | "e9" -> Some (fun ?quick () -> e9_topology ?quick ())
+  | "e10" -> Some (fun ?quick () -> e10_recovery ?quick ())
   | "a1" -> Some (fun ?quick () -> a1_link_ordering ?quick ())
   | "a2" -> Some (fun ?quick () -> a2_snoop_filtering ?quick ())
   | _ -> None

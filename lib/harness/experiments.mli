@@ -65,17 +65,65 @@ type isolation_outcome = {
       (** [iso_faulted_cycles / iso_baseline_cycles]; the isolation claim is
           that this stays within 5% of 1.0 (it may be below 1.0: a
           quarantined guard answers all snoops locally) *)
+  iso_rejoins : int;
+      (** completed reset handshakes on the victim guard in the faulted run —
+          0 without a [recovery] policy, and at least 1 with one (the guard
+          resets the cut wire and re-admits the endpoint before the
+          measurement window) *)
 }
 
-val measure_isolation : ?ops:int -> ?seed:int -> unit -> isolation_outcome
+val measure_isolation :
+  ?ops:int -> ?seed:int -> ?recovery:Xguard_xg.Xg_core.recovery -> unit -> isolation_outcome
 (** Builds the N=3 mixed cached/uncached Hammer topology twice — victim guard
     [a0] healthy-idle vs quarantined after its link goes dark mid-ownership —
     and drives the identical CPU + neighbor-device stress load over both,
-    comparing wall-clock cycles.  [ops] is per driven port (default 250). *)
+    comparing wall-clock cycles.  [ops] is per driven port (default 250).
+    With [recovery], the victim's guard additionally resets the link and
+    re-admits the scripted endpoint, so the faulted run measures post-rejoin
+    throughput (see also {!e10_recovery} for mid-measurement recovery). *)
 
 val e9_topology : ?quick:bool -> unit -> report
 (** Multi-guard topologies: symmetric size sweep (N = 1..4 guards over a
     sharded Hammer directory) and the neighbor-isolation measurement. *)
+
+(** One point of the E10a availability sweep. *)
+type recovery_point = {
+  rp_availability : float;
+      (** fraction of the run guard 0 was serving (1 - down / total cycles) *)
+  rp_mttr : float option;
+      (** mean down cycles per completed repair; [None] if nothing rejoined *)
+  rp_quarantines : int;
+  rp_rejoins : int;
+  rp_permakilled : bool;
+  rp_ops : int;
+  rp_neighbor_ops : int;
+  rp_data_errors : int;
+  rp_deadlocked : bool;
+  rp_cycles : int;
+}
+
+val measure_recovery :
+  topo:Topology.t ->
+  drop:float ->
+  cuts:int list ->
+  ops:int ->
+  ticks:int ->
+  seed:int ->
+  unit ->
+  recovery_point
+(** Runs guard 0 of [topo] bare with a well-behaved scripted sharer under a
+    recovery policy, faulting its link probabilistically ([drop]) and/or with
+    scripted wire cuts at the given cycles ([cuts]), while the random tester
+    drives the CPUs and every neighbor guard's device for [ops] each.  The
+    script re-acquires invalidated blocks every 30 cycles for [ticks] ticks,
+    so link traffic — and therefore fault exposure — is sustained. *)
+
+val e10_recovery : ?quick:bool -> unit -> report
+(** (PR 8) Recovery and availability: E10a availability/MTTR sweep over drop
+    rates and topology sizes, E10b directed lifecycle scenarios
+    (rejoin-and-transact, permanent kill, tarpit budget trip before G2c), and
+    E10c re-asserting the E9b neighbor-isolation bound while the victim
+    cycles through quarantine/reset/probation mid-measurement. *)
 
 val a1_link_ordering : ?quick:bool -> unit -> report
 (** Ablation: the ordered-link requirement is load-bearing. *)

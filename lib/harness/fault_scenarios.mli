@@ -24,6 +24,17 @@ type scenario =
       (** the XG-accelerator wire goes dark mid-transaction; the guard must
           escalate through retransmission faults to quarantine while the
           host stays live *)
+  | Recovery_rejoin
+      (** (PR 8) the [Link_dead] quarantine, under a recovery policy: the
+          guard resets the link, re-admits the accelerator on probation and
+          promotes it; the accelerator must transact again afterwards *)
+  | Repeated_quarantine_permakill
+      (** (PR 8) the wire dies twice under a two-life recovery policy; the
+          second quarantine must become a permanent kill *)
+  | Tarpit_budget
+      (** (PR 8) a slow-but-honest accelerator answers Invalidates correctly
+          but over the inv→ack hang budget; the budget must trip — and
+          quarantine — strictly before the coarse G2c timeout would fire *)
 
 type outcome = {
   scenario : scenario;
@@ -32,6 +43,19 @@ type outcome = {
   host_live : bool;
   errors_logged : int;
   quarantined : bool;  (** whether the guard quarantined the accelerator *)
+  os_quarantined : bool;
+      (** whether the OS model received the quarantine report (still true
+          after a later rejoin clears the guard-side flag only if no rejoin
+          happened — the model's flag is cleared by {!Xguard_xg.Os_model.rejoin}) *)
+  rejoins : int;  (** completed reset handshakes, summed over guards *)
+  permakilled : bool;  (** some guard exhausted its recovery lives *)
+  budget_trips : int;  (** per-phase hang-budget violations *)
+  g2c_timeouts : int;
+      (** [Response_timeout] reports — [Tarpit_budget] asserts this stays 0
+          while [budget_trips] is positive: budgets fire strictly first *)
+  accel_live_after : bool;
+      (** recovery scenarios only: a fresh accelerator request was granted
+          after the run — true iff the accelerator was genuinely re-admitted *)
   coverage_sets :
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
       (** the run's transition coverage, so directed scenarios count toward

@@ -23,6 +23,9 @@ type outcome = {
     (string * Xguard_trace.Coverage.space * Xguard_stats.Counter.Group.t list) list;
   link_faults : (string * int) list;
   quarantined : bool;
+  rejoins : int;
+  permakilled : bool;
+  budget_trips : int;
 }
 
 type pool = Shared_rw | Disjoint | Shared_ro
@@ -75,6 +78,9 @@ let merge a b =
     coverage_sets;
     link_faults;
     quarantined = a.quarantined || b.quarantined;
+    rejoins = a.rejoins + b.rejoins;
+    permakilled = a.permakilled || b.permakilled;
+    budget_trips = a.budget_trips + b.budget_trips;
   }
 
 let tail_limit = 60
@@ -96,7 +102,7 @@ let tail_of trace ~addr_hint =
 
 let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4)
     ?(chaos_duration = 60_000) ?(respond_probability = 0.6) ?(requests_only = false)
-    ?(num_addresses = 6) ?trace () =
+    ?tarpit ?(num_addresses = 6) ?trace () =
   assert (Config.uses_xg cfg);
   let sys = System.build ~attach_accel:false cfg in
   let chaos_addresses = Array.init num_addresses Addr.block in
@@ -127,7 +133,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
       ~self:(Option.get sys.System.accel_node_on_link)
       ~xg:(Option.get sys.System.xg_node_on_link)
       ~addresses ~period:chaos_period ~respond_probability ~requests_only
-      ~duration:chaos_duration ()
+      ?tarpit ~duration:chaos_duration ()
   in
   let maybe_armed f =
     match trace with None -> f () | Some tr -> Trace.with_armed tr f
@@ -179,6 +185,14 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
   let coverage_sets = sys.System.coverage_sets () in
   let link_faults = sys.System.link_stats () in
   let quarantined = sys.System.quarantined () in
+  let sum_guards f =
+    Array.fold_left (fun acc g -> acc + f g.System.g_core) 0 sys.System.guards
+  in
+  let rejoins = sum_guards Xg.Xg_core.rejoins in
+  let permakilled =
+    Array.exists (fun g -> Xg.Xg_core.permakilled g.System.g_core) sys.System.guards
+  in
+  let budget_trips = sum_guards Xg.Xg_core.budget_trips in
   match tester_outcome with
   | Some o ->
       let first_error_addr = o.Random_tester.first_error_addr in
@@ -202,6 +216,9 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         coverage_sets;
         link_faults;
         quarantined;
+        rejoins;
+        permakilled;
+        budget_trips;
       }
   | None ->
       {
@@ -221,4 +238,7 @@ let run (cfg : Config.t) ?(pool = Shared_rw) ?(cpu_ops = 300) ?(chaos_period = 4
         coverage_sets;
         link_faults;
         quarantined;
+        rejoins;
+        permakilled;
+        budget_trips;
       }

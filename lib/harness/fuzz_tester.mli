@@ -50,6 +50,12 @@ type outcome = {
           link ([System.link_stats]); [[]] when the link cannot fault *)
   quarantined : bool;
       (** the guard escalated link faults all the way to quarantine *)
+  rejoins : int;
+      (** completed reset handshakes, summed over guards (PR 8 recovery) *)
+  permakilled : bool;
+      (** some guard exhausted its recovery lives and killed the link for
+          good *)
+  budget_trips : int;  (** per-phase hang-budget violations, summed over guards *)
 }
 
 (** How the chaos accelerator's address pool relates to the CPUs':
@@ -82,10 +88,13 @@ val run :
   ?chaos_duration:int ->
   ?respond_probability:float ->
   ?requests_only:bool ->
+  ?tarpit:int ->
   ?num_addresses:int ->
   ?trace:Xguard_trace.Trace.t ->
   unit ->
   outcome
 (** [Config.t] must be an XG organization.  Default pool is [Shared_rw].
+    [tarpit] switches the chaos accelerator to slow-but-honest Invalidate
+    replies that many cycles late (see {!Xguard_accel.Chaos_accel.create}).
     [trace] arms the given ring buffer for the duration of the run (restoring
     whatever was armed before); on failure the outcome carries its tail. *)

@@ -287,7 +287,8 @@ let build_guard (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port ~a
     Xg.Xg_core.create ~engine ~name:(sfx id "xg") ~mode ~link ~self:xg_link_node
       ~accel:accel_link_node ~host:host_port ~perms ~os ~timeout:cfg.Config.xg_timeout
       ?rate_limiter ~suppress_put_s_register:cfg.Config.suppress_put_s
-      ~quarantine_after:cfg.Config.quarantine_after ()
+      ~quarantine_after:cfg.Config.quarantine_after ?recovery:cfg.Config.recovery
+      ~budgets:cfg.Config.budgets ()
   in
   attach_core core;
   if Spans.on () then begin
@@ -297,6 +298,14 @@ let build_guard (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port ~a
     Spans.add_gauge ~name:(p ^ ".open_transactions") (fun () ->
         Xg.Xg_core.open_transactions core);
     Spans.add_gauge ~name:(p ^ ".tracked_blocks") (fun () -> Xg.Xg_core.tracked_blocks core);
+    (* Recovery gauges only when the lifecycle is configured, so span output
+       for legacy configs stays byte-identical. *)
+    if cfg.Config.recovery <> None then begin
+      Spans.add_gauge ~name:(p ^ ".rejoins") (fun () -> Xg.Xg_core.rejoins core);
+      Spans.add_gauge ~name:(p ^ ".quarantines") (fun () -> Xg.Xg_core.quarantine_count core)
+    end;
+    if cfg.Config.budgets <> Xg.Xg_core.no_budgets then
+      Spans.add_gauge ~name:(p ^ ".budget_trips") (fun () -> Xg.Xg_core.budget_trips core);
     if perm_gauge then
       Spans.add_gauge ~name:"xg.perm_entries" (fun () -> Xg.Perm_table.entries perms)
   end;
@@ -358,6 +367,14 @@ let build_guard (cfg : Config.t) ~engine ~rng ~registry ~perms ~os ~host_port ~a
         in
         (Array.map A.L1_simple.cpu_port l1s, l1s, Some l2, Some internal)
   in
+  (* With a recovery policy, a Reset frame landing on the accelerator side is
+     the device-level hot reset: the whole cache stack drops its contents
+     before the guard re-admits it (Link.kill stays wired above — the reset
+     handshake un-kills the link itself). *)
+  if cfg.Config.recovery <> None then
+    Xg.Xg_iface.Link.set_reset_handler link (fun () ->
+        Array.iter A.L1_simple.flush accel_l1s;
+        Option.iter A.L2_shared.flush accel_l2);
   {
     g_id = id;
     g_core = core;

@@ -229,6 +229,10 @@ struct
     t.wire_cut <- true;
     refresh_fault_path t
 
+  let splice_wire t =
+    t.wire_cut <- false;
+    refresh_fault_path t
+
   let wire_cut t = t.wire_cut
   let fault_counts t = t.fault_counts
   let faults_active t = t.fault_path

@@ -141,6 +141,11 @@ end) : sig
 
   val wire_cut : t -> bool
 
+  val splice_wire : t -> unit
+  (** Reverses {!cut_wire}: messages flow again (the recovery handshake's
+      physical re-connect).  Probabilistic faults and pending scripts, if any,
+      stay installed. *)
+
   val faults_active : t -> bool
   (** Whether any injection can occur (wire cut, scripts pending, or an
       installed model with a nonzero probability). *)

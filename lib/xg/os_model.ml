@@ -8,6 +8,7 @@ type error_kind =
   | Response_timeout
   | Rate_limit_exceeded
   | Link_fault
+  | Budget_exceeded
 
 type policy = Log_only | Disable_accelerator | Kill_process
 
@@ -19,6 +20,15 @@ type t = {
   mutable disabled : bool;
   mutable killed : bool;
   mutable quarantined : bool;
+  (* Recovery lifecycle bookkeeping (PR 8).  All zero / false unless a guard
+     with recovery enabled drives the transitions, so legacy runs are
+     untouched. *)
+  mutable quarantines : int;
+  mutable resets : int;
+  mutable rejoins : int;
+  mutable promotes : int;
+  mutable probation : bool;
+  mutable permakilled : bool;
 }
 
 let create ?(policy = Log_only) () =
@@ -30,6 +40,12 @@ let create ?(policy = Log_only) () =
     disabled = false;
     killed = false;
     quarantined = false;
+    quarantines = 0;
+    resets = 0;
+    rejoins = 0;
+    promotes = 0;
+    probation = false;
+    permakilled = false;
   }
 
 let policy t = t.policy
@@ -57,9 +73,40 @@ let quarantine t =
      guard already drops its accelerator's traffic itself, and the OS model
      may be shared by several guards in a topology — flipping the global
      disable here would take innocent neighbors offline with the victim. *)
-  t.quarantined <- true
+  t.quarantined <- true;
+  t.quarantines <- t.quarantines + 1;
+  t.probation <- false
 
 let quarantined t = t.quarantined
+
+(* ---- recovery lifecycle (PR 8) ---- *)
+
+let link_reset t = t.resets <- t.resets + 1
+
+let rejoin t =
+  (* The guard re-admitted the device: the OS sees it back in service, but
+     on probation until a clean window elapses. *)
+  t.quarantined <- false;
+  t.probation <- true;
+  t.rejoins <- t.rejoins + 1
+
+let promote t =
+  t.probation <- false;
+  t.promotes <- t.promotes + 1
+
+let permakill t =
+  (* Terminal: the guard gave up on re-admission.  The device stays
+     quarantined for the rest of the run. *)
+  t.quarantined <- true;
+  t.probation <- false;
+  t.permakilled <- true
+
+let quarantine_count t = t.quarantines
+let reset_count t = t.resets
+let rejoin_count t = t.rejoins
+let promote_count t = t.promotes
+let in_probation t = t.probation
+let permakilled t = t.permakilled
 
 let check_fingerprint t buf =
   (* Only the flags that change guard behaviour; the log and counters are
@@ -68,6 +115,10 @@ let check_fingerprint t buf =
   if t.disabled then Buffer.add_char buf 'd';
   if t.killed then Buffer.add_char buf 'k';
   if t.quarantined then Buffer.add_char buf 'q';
+  (* Recovery flags appear only when a recovery-enabled guard has driven
+     them, so legacy fingerprints (MODEL_BASELINE.json) are unchanged. *)
+  if t.probation then Buffer.add_char buf 'p';
+  if t.permakilled then Buffer.add_char buf 'x';
   Buffer.add_char buf ']'
 
 let error_kind_to_string = function
@@ -80,6 +131,7 @@ let error_kind_to_string = function
   | Response_timeout -> "response_timeout (G2c)"
   | Rate_limit_exceeded -> "rate_limit_exceeded"
   | Link_fault -> "link_fault (lossy link)"
+  | Budget_exceeded -> "budget_exceeded (hang budget)"
 
 let all_error_kinds =
   [
@@ -92,4 +144,5 @@ let all_error_kinds =
     Response_timeout;
     Rate_limit_exceeded;
     Link_fault;
+    Budget_exceeded;
   ]

@@ -16,6 +16,7 @@ type error_kind =
   | Response_timeout  (** G2c: the accelerator never answered; XG answered for it *)
   | Rate_limit_exceeded  (** §2.5: request rate above the configured limit *)
   | Link_fault  (** the XG-accelerator link lost a retransmission round *)
+  | Budget_exceeded  (** a per-phase hang budget tripped before the G2c timeout *)
 
 type policy = Log_only | Disable_accelerator | Kill_process
 
@@ -40,6 +41,35 @@ val quarantine : t -> unit
     topology, so a global disable would punish the victim's neighbors. *)
 
 val quarantined : t -> bool
+
+(** {2 Recovery lifecycle (PR 8)}
+
+    A recovery-enabled guard walks the OS model through
+    quarantine → {!link_reset} → {!rejoin} (probation) → {!promote}, or gives
+    up with {!permakill}.  All counters stay zero and all flags false unless
+    the guard drives them, so legacy runs are byte-identical. *)
+
+val link_reset : t -> unit
+(** The guard started a link-reset handshake toward the quarantined device. *)
+
+val rejoin : t -> unit
+(** The handshake completed: the device is back in service, on probation.
+    Clears [quarantined]. *)
+
+val promote : t -> unit
+(** A clean probation window elapsed: the device is healthy again. *)
+
+val permakill : t -> unit
+(** The guard gave up on re-admission (too many quarantines, or the reset
+    handshake died).  Terminal: the device stays quarantined. *)
+
+val quarantine_count : t -> int
+val reset_count : t -> int
+val rejoin_count : t -> int
+val promote_count : t -> int
+val in_probation : t -> bool
+val permakilled : t -> bool
+
 val error_kind_to_string : error_kind -> string
 val all_error_kinds : error_kind list
 

@@ -19,6 +19,16 @@ let revoke_all t =
   Hashtbl.reset t.pages;
   t.default <- Perm.No_access
 
+type snapshot = { s_default : Perm.t; s_pages : (int * Perm.t) list }
+
+let snapshot t =
+  { s_default = t.default; s_pages = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pages [] }
+
+let restore t { s_default; s_pages } =
+  Hashtbl.reset t.pages;
+  t.default <- s_default;
+  List.iter (fun (page, p) -> Hashtbl.replace t.pages page p) s_pages
+
 let check_fingerprint t buf =
   let pc = function Perm.No_access -> 'n' | Perm.Read_only -> 'r' | Perm.Read_write -> 'w' in
   Buffer.add_string buf "perm[";

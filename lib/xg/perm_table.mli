@@ -37,6 +37,16 @@ val revoke_all : t -> unit
     all of a quarantined accelerator's mappings at once.  Later [set_page]
     calls can re-grant. *)
 
+type snapshot
+
+val snapshot : t -> snapshot
+(** The current default and every explicit page entry, captured before
+    {!revoke_all} so a recovering accelerator's mappings can be re-granted. *)
+
+val restore : t -> snapshot -> unit
+(** Replaces the table's contents with [snapshot] — the OS re-mapping the
+    device's pages when the guard re-admits it. *)
+
 val check_fingerprint : t -> Buffer.t -> unit
 (** Append the default permission and every explicit page entry that differs
     from it (sorted) to a canonical model-checker fingerprint. *)

@@ -13,6 +13,9 @@ type t = {
 
 let create ~engine ~tokens_per_cycle ~burst () =
   if tokens_per_cycle <= 0.0 then invalid_arg "Rate_limiter.create: rate must be positive";
+  (* A zero-capacity bucket can never hold a whole token: [refill] caps at
+     [burst], so every admit would requeue forever — reject it up front. *)
+  if burst <= 0 then invalid_arg "Rate_limiter.create: burst must be positive";
   {
     engine;
     tokens_per_cycle;

@@ -14,7 +14,10 @@ val create :
   unit ->
   t
 (** [tokens_per_cycle] is the sustained request rate; [burst] the bucket
-    capacity. *)
+    capacity.
+    @raise Invalid_argument if the rate or the burst is not positive — a
+    zero-capacity bucket could never accumulate a whole token, so every
+    request would be requeued forever. *)
 
 val unlimited : engine:Xguard_sim.Engine.t -> unit -> t
 

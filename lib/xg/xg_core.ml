@@ -67,6 +67,51 @@ type stat_ids = {
   s_get_stalled_behind_put : Group.id;
 }
 
+(* Recovery lifecycle policy (PR 8).  [None] keeps the PR 3 behaviour:
+   quarantine is terminal.  With a policy installed the guard walks
+   quarantine -> link reset -> probation -> healthy, or gives up with a
+   permanent kill after [permakill_after] quarantines. *)
+type recovery = {
+  reset_delay : int;  (** cycles after quarantine before the reset handshake starts *)
+  reset_timeout : int;  (** per-attempt handshake timeout (Link.reset) *)
+  reset_attempts : int;
+  probation_window : int;  (** clean cycles on probation before promotion *)
+  probation_rate : float;  (** probation token-bucket refill (requests/cycle) *)
+  probation_burst : int;
+  probation_quarantine_after : int;  (** stricter escalation threshold on probation *)
+  permakill_after : int;  (** quarantines (incl. failed resets) before permanent kill *)
+}
+
+let make_recovery ?(reset_delay = 200) ?(reset_timeout = 64) ?(reset_attempts = 4)
+    ?(probation_window = 2000) ?(probation_rate = 0.05) ?(probation_burst = 4)
+    ?(probation_quarantine_after = 2) ?(permakill_after = 4) () =
+  {
+    reset_delay = max 1 reset_delay;
+    reset_timeout = max 1 reset_timeout;
+    reset_attempts = max 1 reset_attempts;
+    probation_window = max 1 probation_window;
+    probation_rate;
+    probation_burst;
+    probation_quarantine_after = max 1 probation_quarantine_after;
+    permakill_after = max 1 permakill_after;
+  }
+
+(* Per-phase hang budgets (PR 8): cycle ceilings on the three attributable
+   phases of a crossing.  A phase exceeding its budget trips a violation stat
+   and feeds the quarantine escalation ladder — strictly before the coarse
+   G2c timeout would fire for a wedged invalidation.  All [None] (the
+   default) schedules no checks at all: byte-identical to pre-budget runs. *)
+type budgets = { req_decide : int option; inv_ack : int option; fetch_data : int option }
+
+let no_budgets = { req_decide = None; inv_ack = None; fetch_data = None }
+
+type budget_phase = Req_decide | Inv_ack | Fetch_data
+
+let budget_phase_name = function
+  | Req_decide -> "req_decide"
+  | Inv_ack -> "inv_ack"
+  | Fetch_data -> "fetch_data"
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -95,6 +140,19 @@ type t = {
   fault_cov : Group.t;
   fcov : Coverage.matrix;
   mutable on_quarantine : unit -> unit;
+  (* Recovery lifecycle (PR 8).  All quiescent unless [recovery] is set. *)
+  recovery : recovery option;
+  budgets : budgets;
+  probation_rl : Rate_limiter.t option;
+  mutable probation : bool;
+  mutable probation_gen : int;  (* invalidates stale promotion checks *)
+  mutable quarantine_count : int;
+  mutable rejoins : int;
+  mutable permakilled : bool;
+  mutable down_since : int;  (* quarantine entry time; -1 while in service *)
+  mutable down_cycles : int;
+  mutable budget_trips : int;
+  mutable perm_snapshot : Perm_table.snapshot option;
   (* Controller id used in model-checker choice tags.  Defaults to the link
      endpoint's node; the harness overrides it with the host-side port's node
      so every event touching the {core, port} cluster shares one id. *)
@@ -107,6 +165,17 @@ let coverage t = t.coverage
 let fault_coverage t = t.fault_cov
 let quarantined t = t.quarantined
 let set_on_quarantine t f = t.on_quarantine <- f
+
+(* ---- recovery observability (PR 8) ---- *)
+
+let in_probation t = t.probation
+let permakilled t = t.permakilled
+let quarantine_count t = t.quarantine_count
+let rejoins t = t.rejoins
+let budget_trips t = t.budget_trips
+
+let down_cycles t ~now =
+  t.down_cycles + if t.down_since >= 0 then max 0 (now - t.down_since) else 0
 
 (* ---- bookkeeping ---- *)
 
@@ -321,7 +390,9 @@ let coverage_space =
    the quarantine threshold has not been reached) and quarantined. *)
 
 let fault_state_idx t =
-  if t.quarantined then 2 (* F_quarantined *)
+  if t.permakilled then 4 (* F_permakilled *)
+  else if t.quarantined then 2 (* F_quarantined *)
+  else if t.probation then 3 (* F_probation *)
   else if t.link_faults > 0 then 1 (* F_degraded *)
   else 0 (* F_armed *)
 
@@ -330,18 +401,35 @@ let fev_recover = 1
 let fev_quarantine = 2
 let fev_host_answered = 3
 let fev_accel_dropped = 4
+let fev_reset = 5
+let fev_rejoin = 6
+let fev_promote = 7
+let fev_permakill = 8
+let fev_budget_trip = 9
 
 let fvisit t event = Coverage.hit t.fcov ~state:(fault_state_idx t) ~event
 
 let fault_coverage_space =
   Xguard_trace.Coverage.space ~name:"xg.fault"
-    ~states:[ "F_armed"; "F_degraded"; "F_quarantined" ]
-    ~events:[ "LinkFault"; "Recover"; "Quarantine"; "HostAnswered"; "AccelDropped" ]
+    ~states:[ "F_armed"; "F_degraded"; "F_quarantined"; "F_probation"; "F_permakilled" ]
+    ~events:
+      [
+        "LinkFault"; "Recover"; "Quarantine"; "HostAnswered"; "AccelDropped"; "Reset";
+        "Rejoin"; "Promote"; "Permakill"; "BudgetTrip";
+      ]
     ~possible:(fun state event ->
+      (* Events are visited in the pre-transition state.  [F_probation] sees
+         the same fault/escalation events as the healthy states; everything
+         addressed to a gone device ([HostAnswered]/[AccelDropped]) can fire
+         both while quarantined and after the permanent kill. *)
       match event with
-      | "LinkFault" -> state <> "F_quarantined"
-      | "Recover" | "Quarantine" -> state = "F_degraded"
-      | "HostAnswered" | "AccelDropped" -> state = "F_quarantined"
+      | "LinkFault" | "BudgetTrip" ->
+          state = "F_armed" || state = "F_degraded" || state = "F_probation"
+      | "Recover" | "Quarantine" -> state = "F_degraded" || state = "F_probation"
+      | "HostAnswered" | "AccelDropped" ->
+          state = "F_quarantined" || state = "F_permakilled"
+      | "Reset" | "Rejoin" | "Permakill" -> state = "F_quarantined"
+      | "Promote" -> state = "F_probation"
       | _ -> false)
     ()
 
@@ -365,11 +453,231 @@ let default_reply t inv =
   | Full_state, true -> Reply_dirty Data.zero
   | _, _ -> Reply_ack { shared = false }
 
+(* ---- lossy-link degradation (PR 3) and recovery lifecycle (PR 8) ---- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
+
+(* The accelerator's link is gone: answer everything outstanding from trusted
+   state (the same answer-on-behalf machinery as G2c), hand tracked blocks
+   back to the host, revoke the accelerator's pages and tell the OS.  The
+   host side keeps running.  Without a recovery policy that is terminal (the
+   PR 3 behaviour); with one, the guard snapshots the page grants first and
+   schedules a link-reset handshake — or gives up for good once
+   [permakill_after] lives are burned. *)
+let rec quarantine t =
+  if not t.quarantined then begin
+    fvisit t fev_quarantine;
+    t.quarantined <- true;
+    Group.incr t.stats "quarantined";
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"quarantine: draining outstanding transactions" ();
+    (* Open host invalidations first: reply from trusted state, exactly the
+       G2c substitution.  Deterministic address order keeps runs stable. *)
+    List.iter
+      (fun (addr, p) ->
+        visit t addr ev_quarantine (fun () ->
+            (match p.p_inv with
+            | Some inv ->
+                (match Hashtbl.find_opt t.tracks addr with
+                | Some { xg_copy = Some copy; _ } -> reply_once t p inv (Reply_clean copy)
+                | Some { st = `E | `M; _ } ->
+                    Group.incr t.stats "quarantine_zeroed_wb";
+                    reply_once t p inv (Reply_dirty Data.zero)
+                | Some { st = `S; _ } | None -> reply_once t p inv (default_reply t inv));
+                clear_track t addr;
+                finish_inv t addr p
+            | None -> ());
+            Queue.clear p.stalled_gets;
+            Queue.clear p.stall_stamps;
+            prune t addr p))
+      (sorted_bindings t.pending);
+    (* Tracked blocks with no transaction in flight: relinquish them so the
+       host directory never records the dead accelerator as a sharer/owner.
+       Blocks with an open get settle when [granted] fires; open puts when
+       [put_complete] does. *)
+    List.iter
+      (fun (addr, tr) ->
+        let p = slot t addr in
+        if p.p_get = None && p.p_put = None then
+          visit t addr ev_quarantine (fun () ->
+              (match (tr.st, tr.xg_copy) with
+              | _, Some copy ->
+                  p.p_put <- Some `E;
+                  Group.incr t.stats "ro_copy_relinquished";
+                  t.host.put addr (`E copy)
+              | (`E | `M), None ->
+                  p.p_put <- Some `M;
+                  Group.incr t.stats "quarantine_zeroed_wb";
+                  t.host.put addr (`M Data.zero)
+              | `S, None ->
+                  if t.host.puts_needed then begin
+                    p.p_put <- Some `S;
+                    t.host.put addr `S
+                  end);
+              clear_track t addr;
+              prune t addr p)
+        else clear_track t addr)
+      (sorted_bindings t.tracks);
+    (match t.recovery with
+    | Some _ when t.perm_snapshot = None ->
+        (* Captured before the revocation so rejoin can re-grant the same
+           mappings. *)
+        t.perm_snapshot <- Some (Perm_table.snapshot t.perms)
+    | _ -> ());
+    Perm_table.revoke_all t.perms;
+    Os_model.quarantine t.os;
+    t.quarantine_count <- t.quarantine_count + 1;
+    t.down_since <- Engine.now t.engine;
+    t.probation <- false;
+    t.on_quarantine ();
+    match t.recovery with
+    | None -> ()
+    | Some r ->
+        if t.quarantine_count >= r.permakill_after then permakill t
+        else Engine.schedule t.engine ~delay:r.reset_delay (fun () -> start_reset t r)
+  end
+
+and permakill t =
+  if not t.permakilled then begin
+    fvisit t fev_permakill;
+    t.permakilled <- true;
+    t.probation <- false;
+    Group.incr t.stats "permakilled";
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"permanent kill: recovery abandoned" ();
+    Os_model.permakill t.os;
+    Xg_iface.Link.kill t.link
+  end
+
+and start_reset t r =
+  if t.quarantined && not t.permakilled then begin
+    fvisit t fev_reset;
+    Group.incr t.stats "link_resets";
+    Os_model.link_reset t.os;
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"link reset: handshake started" ();
+    Xg_iface.Link.reset t.link ~src:t.self ~dst:t.accel ~timeout:r.reset_timeout
+      ~attempts:r.reset_attempts
+      ~on_ready:(fun () -> rejoin t r)
+      ~on_dead:(fun () ->
+        (* The handshake itself died on the wire: burn another life. *)
+        Group.incr t.stats "reset_failures";
+        Xg_iface.Link.kill t.link;
+        t.quarantine_count <- t.quarantine_count + 1;
+        if t.quarantine_count >= r.permakill_after then permakill t
+        else Engine.schedule t.engine ~delay:r.reset_delay (fun () -> start_reset t r))
+      ()
+  end
+
+and rejoin t r =
+  if t.quarantined && not t.permakilled then begin
+    fvisit t fev_rejoin;
+    t.quarantined <- false;
+    t.probation <- true;
+    t.link_faults <- 0;
+    t.rejoins <- t.rejoins + 1;
+    if t.down_since >= 0 then begin
+      t.down_cycles <- t.down_cycles + (Engine.now t.engine - t.down_since);
+      t.down_since <- -1
+    end;
+    (match t.perm_snapshot with
+    | Some snap ->
+        (* The OS re-maps the device's pages as part of re-admission. *)
+        Perm_table.restore t.perms snap;
+        t.perm_snapshot <- None
+    | None -> ());
+    Group.incr t.stats "rejoins";
+    Os_model.rejoin t.os;
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"rejoin: accelerator re-admitted on probation" ();
+    schedule_promotion t r
+  end
+
+and promote t =
+  if t.probation && (not t.quarantined) && not t.permakilled then begin
+    fvisit t fev_promote;
+    t.probation <- false;
+    Group.incr t.stats "promotions";
+    Os_model.promote t.os;
+    if Trace.on () then
+      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
+        ~text:"promotion: clean probation window, healthy again" ()
+  end
+
+(* A clean [probation_window] promotes; any fault during probation restarts
+   the clock (the generation counter retires stale checks). *)
+and schedule_promotion t r =
+  t.probation_gen <- t.probation_gen + 1;
+  let gen = t.probation_gen in
+  Engine.schedule t.engine ~delay:r.probation_window (fun () ->
+      if t.probation && t.probation_gen = gen then promote t)
+
+let effective_quarantine_after t =
+  match t.recovery with
+  | Some r when t.probation -> r.probation_quarantine_after
+  | _ -> t.quarantine_after
+
+let link_fault t =
+  if not (t.quarantined || t.permakilled) then begin
+    fvisit t fev_link_fault;
+    t.link_faults <- t.link_faults + 1;
+    Group.incr t.stats "link_faults";
+    report t Os_model.Link_fault (Addr.block 0);
+    if t.link_faults >= effective_quarantine_after t then quarantine t
+    else
+      match t.recovery with
+      | Some r when t.probation -> schedule_promotion t r
+      | _ -> ()
+  end
+
+let link_recovered t =
+  if (not t.quarantined) && t.link_faults > 0 then begin
+    fvisit t fev_recover;
+    t.link_faults <- 0;
+    Group.incr t.stats "link_recoveries"
+  end
+
+(* A per-phase hang budget tripped: count it, tell the OS, and feed the same
+   escalation ladder as a link fault — so a slow-but-not-dead accelerator is
+   quarantined (and, with recovery on, put on probation) long before the
+   coarse G2c timeout would have wedged a transaction slot. *)
+let budget_trip t phase addr =
+  if not (t.quarantined || t.permakilled) then begin
+    fvisit t fev_budget_trip;
+    t.budget_trips <- t.budget_trips + 1;
+    Group.incr t.stats "budget_trips";
+    Group.incr t.stats ("budget_trip." ^ budget_phase_name phase);
+    report t Os_model.Budget_exceeded addr;
+    t.link_faults <- t.link_faults + 1;
+    if t.link_faults >= effective_quarantine_after t then quarantine t
+    else
+      match t.recovery with
+      | Some r when t.probation -> schedule_promotion t r
+      | _ -> ()
+  end
+
 let start_accel_invalidation t addr (p : per_addr) inv =
   p.p_inv <- Some inv;
   note_storage t;
   Group.incr_id t.stats t.sid.s_invalidate_to_accel;
   send_accel t (Xg_iface.To_accel_req { addr; req = Xg_iface.Invalidate });
+  (* inv->ack hang budget: fires strictly before the G2c timeout and only
+     escalates — the G2c substitution below still produces the answer. *)
+  (match t.budgets.inv_ack with
+  | Some b when b < t.timeout ->
+      Engine.schedule t.engine ~delay:b
+        ~tag:(Engine.pack_tag ~ctrl:t.check_ctrl ~addr:(Addr.to_int addr))
+        (fun () ->
+          match p.p_inv with
+          | Some i when i == inv && not i.replied -> budget_trip t Inv_ack addr
+          | _ -> ())
+  | _ -> ());
   Engine.schedule t.engine ~delay:t.timeout
     ~tag:(Engine.pack_tag ~ctrl:t.check_ctrl ~addr:(Addr.to_int addr))
     (fun () ->
@@ -545,7 +853,18 @@ let rec process_get t addr (p : per_addr) (req : Xg_iface.accel_request) =
   let want = match req with Xg_iface.Get_m -> `M | _ -> `S in
   let perm = Perm_table.perm t.perms addr in
   let ro = perm = Perm.Read_only in
-  p.p_get <- Some { want; ro };
+  let g = { want; ro } in
+  p.p_get <- Some g;
+  (* fetch->data hang budget: the host-side fetch phase of this get. *)
+  (match t.budgets.fetch_data with
+  | Some b ->
+      Engine.schedule t.engine ~delay:b
+        ~tag:(Engine.pack_tag ~ctrl:t.check_ctrl ~addr:(Addr.to_int addr))
+        (fun () ->
+          match p.p_get with
+          | Some g' when g' == g -> budget_trip t Fetch_data addr
+          | _ -> ())
+  | None -> ());
   note_storage t;
   if Spans.on () then Spans.xg_decided ~addr:(Addr.to_int addr) ~now:(Engine.now t.engine);
   Group.incr_id t.stats
@@ -794,93 +1113,6 @@ let put_complete t addr =
       Group.incr_id t.stats t.sid.s_put_complete;
       pump_stalled t addr p
 
-(* ---- lossy-link degradation (PR 3) ---- *)
-
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> Addr.compare a b)
-
-(* The accelerator's link is gone for good: answer everything outstanding
-   from trusted state (the same answer-on-behalf machinery as G2c), hand
-   tracked blocks back to the host, revoke the accelerator's pages and tell
-   the OS.  The host side keeps running; the guard becomes a terminal that
-   answers every future host need locally. *)
-let quarantine t =
-  if not t.quarantined then begin
-    fvisit t fev_quarantine;
-    t.quarantined <- true;
-    Group.incr t.stats "quarantined";
-    if Trace.on () then
-      Trace.note ~cycle:(Engine.now t.engine) ~controller:t.name
-        ~text:"quarantine: draining outstanding transactions" ();
-    (* Open host invalidations first: reply from trusted state, exactly the
-       G2c substitution.  Deterministic address order keeps runs stable. *)
-    List.iter
-      (fun (addr, p) ->
-        visit t addr ev_quarantine (fun () ->
-            (match p.p_inv with
-            | Some inv ->
-                (match Hashtbl.find_opt t.tracks addr with
-                | Some { xg_copy = Some copy; _ } -> reply_once t p inv (Reply_clean copy)
-                | Some { st = `E | `M; _ } ->
-                    Group.incr t.stats "quarantine_zeroed_wb";
-                    reply_once t p inv (Reply_dirty Data.zero)
-                | Some { st = `S; _ } | None -> reply_once t p inv (default_reply t inv));
-                clear_track t addr;
-                finish_inv t addr p
-            | None -> ());
-            Queue.clear p.stalled_gets;
-            Queue.clear p.stall_stamps;
-            prune t addr p))
-      (sorted_bindings t.pending);
-    (* Tracked blocks with no transaction in flight: relinquish them so the
-       host directory never records the dead accelerator as a sharer/owner.
-       Blocks with an open get settle when [granted] fires; open puts when
-       [put_complete] does. *)
-    List.iter
-      (fun (addr, tr) ->
-        let p = slot t addr in
-        if p.p_get = None && p.p_put = None then
-          visit t addr ev_quarantine (fun () ->
-              (match (tr.st, tr.xg_copy) with
-              | _, Some copy ->
-                  p.p_put <- Some `E;
-                  Group.incr t.stats "ro_copy_relinquished";
-                  t.host.put addr (`E copy)
-              | (`E | `M), None ->
-                  p.p_put <- Some `M;
-                  Group.incr t.stats "quarantine_zeroed_wb";
-                  t.host.put addr (`M Data.zero)
-              | `S, None ->
-                  if t.host.puts_needed then begin
-                    p.p_put <- Some `S;
-                    t.host.put addr `S
-                  end);
-              clear_track t addr;
-              prune t addr p)
-        else clear_track t addr)
-      (sorted_bindings t.tracks);
-    Perm_table.revoke_all t.perms;
-    Os_model.quarantine t.os;
-    t.on_quarantine ()
-  end
-
-let link_fault t =
-  if not t.quarantined then begin
-    fvisit t fev_link_fault;
-    t.link_faults <- t.link_faults + 1;
-    Group.incr t.stats "link_faults";
-    report t Os_model.Link_fault (Addr.block 0);
-    if t.link_faults >= t.quarantine_after then quarantine t
-  end
-
-let link_recovered t =
-  if (not t.quarantined) && t.link_faults > 0 then begin
-    fvisit t fev_recover;
-    t.link_faults <- 0;
-    Group.incr t.stats "link_recoveries"
-  end
-
 (* ---- model-checker support ---- *)
 
 let set_check_ctrl t ctrl = t.check_ctrl <- ctrl
@@ -946,13 +1178,19 @@ let check_fingerprint t buf =
       Buffer.add_char buf ';')
     (sorted_bindings t.pending);
   if t.quarantined then Buffer.add_char buf 'Q';
-  if t.link_faults > 0 then Buffer.add_string buf (Printf.sprintf "F%d" t.link_faults)
+  if t.link_faults > 0 then Buffer.add_string buf (Printf.sprintf "F%d" t.link_faults);
+  (* Recovery state appears only when a recovery policy has driven it, so
+     legacy fingerprints (MODEL_BASELINE.json) never change. *)
+  if t.probation then Buffer.add_char buf 'P';
+  if t.permakilled then Buffer.add_char buf 'X';
+  if t.quarantine_count > 0 && t.recovery <> None then
+    Buffer.add_string buf (Printf.sprintf "R%d" t.quarantine_count)
 
 (* ---- wiring ---- *)
 
 let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2000)
     ?(processing_latency = 4) ?rate_limiter ?(suppress_put_s_register = false)
-    ?(quarantine_after = 3) () =
+    ?(quarantine_after = 3) ?recovery ?(budgets = no_budgets) () =
   let stats = Group.create (name ^ ".stats") in
   let coverage = Group.create (name ^ ".coverage") in
   let fault_cov = Group.create (name ^ ".fault_cov") in
@@ -1003,6 +1241,24 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
       fault_cov;
       fcov = Coverage.intern_matrix fault_coverage_space fault_cov;
       on_quarantine = (fun () -> ());
+      recovery;
+      budgets;
+      probation_rl =
+        (match recovery with
+        | Some r ->
+            Some
+              (Rate_limiter.create ~engine ~tokens_per_cycle:r.probation_rate
+                 ~burst:r.probation_burst ())
+        | None -> None);
+      probation = false;
+      probation_gen = 0;
+      quarantine_count = 0;
+      rejoins = 0;
+      permakilled = false;
+      down_since = -1;
+      down_cycles = 0;
+      budget_trips = 0;
+      perm_snapshot = None;
       check_ctrl = Node.id self;
     }
   in
@@ -1025,12 +1281,33 @@ let create ~engine ~name ~mode ~link ~self ~accel ~host ~perms ~os ?(timeout = 2
               else begin
                 Group.incr_id t.stats t.sid.s_accel_request;
                 let visited () =
-                  visit t addr (event_of_accel_request req) (fun () ->
-                      accel_request t addr req)
+                  if t.quarantined then begin
+                    (* Quarantined while parked in a limiter queue: the
+                       admitted request is dead traffic now. *)
+                    fvisit t fev_accel_dropped;
+                    Group.incr t.stats "dropped_quarantined"
+                  end
+                  else
+                    visit t addr (event_of_accel_request req) (fun () ->
+                        accel_request t addr req)
                 in
-                match t.rate_limiter with
-                | Some rl -> Rate_limiter.admit rl visited
-                | None -> visited ()
+                (* On probation the stricter probation bucket replaces the
+                   configured limiter; [probation] is only ever true with a
+                   recovery policy, which always builds [probation_rl]. *)
+                let limiter = if t.probation then t.probation_rl else t.rate_limiter in
+                let run =
+                  match t.budgets.req_decide with
+                  | None -> visited
+                  | Some b ->
+                      let arrived = Engine.now t.engine in
+                      fun () ->
+                        if Engine.now t.engine - arrived > b then
+                          budget_trip t Req_decide addr;
+                        visited ()
+                in
+                match limiter with
+                | Some rl -> Rate_limiter.admit rl run
+                | None -> run ()
               end
           | Xg_iface.To_xg_resp { addr; resp } ->
               (* Responses are never rate limited (§2.5). *)

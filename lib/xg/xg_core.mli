@@ -60,6 +60,54 @@ type host_port = {
           [Transactional] mode when read-only pages are in play *)
 }
 
+(** Recovery lifecycle policy (PR 8).  Installed via [create ?recovery], it
+    turns the terminal quarantine into quarantine → link reset → probation →
+    healthy: after [reset_delay] cycles the guard runs the
+    {!Xg_iface.Link.reset} handshake ([reset_timeout] per attempt,
+    [reset_attempts] attempts, a failed handshake burns a life), re-admits
+    the accelerator on probation (requests throttled by a
+    [probation_rate]/[probation_burst] token bucket, escalation threshold
+    tightened to [probation_quarantine_after]), and promotes it after a
+    fault-free [probation_window].  After [permakill_after] quarantines the
+    guard kills the link permanently. *)
+type recovery = {
+  reset_delay : int;
+  reset_timeout : int;
+  reset_attempts : int;
+  probation_window : int;
+  probation_rate : float;
+  probation_burst : int;
+  probation_quarantine_after : int;
+  permakill_after : int;
+}
+
+val make_recovery :
+  ?reset_delay:int ->
+  ?reset_timeout:int ->
+  ?reset_attempts:int ->
+  ?probation_window:int ->
+  ?probation_rate:float ->
+  ?probation_burst:int ->
+  ?probation_quarantine_after:int ->
+  ?permakill_after:int ->
+  unit ->
+  recovery
+(** Defaults: reset after 200 cycles, 64-cycle handshake timeout × 4
+    attempts, 2000-cycle probation window, 0.05 requests/cycle with burst 4
+    on probation, quarantine after 2 faults on probation, permanent kill
+    after 4 quarantines. *)
+
+(** Per-phase hang budgets (PR 8): cycle ceilings for the req→decide (link
+    delivery to guard decision, i.e. rate-limiter wait), inv→ack
+    (invalidate sent to accelerator ack) and fetch→data (host fetch issue to
+    grant) phases.  A tripped budget reports {!Os_model.Budget_exceeded} and
+    feeds the same escalation ladder as a link fault — strictly before the
+    coarse G2c timeout.  All-[None] (the {!no_budgets} default) schedules
+    nothing: byte-identical to pre-budget runs. *)
+type budgets = { req_decide : int option; inv_ack : int option; fetch_data : int option }
+
+val no_budgets : budgets
+
 type t
 
 val create :
@@ -77,6 +125,8 @@ val create :
   ?rate_limiter:Rate_limiter.t ->
   ?suppress_put_s_register:bool ->
   ?quarantine_after:int ->
+  ?recovery:recovery ->
+  ?budgets:budgets ->
   unit ->
   t
 (** Registers [self] on [link].  [timeout] is the G2c deadline in cycles for
@@ -132,7 +182,28 @@ val quarantine : t -> unit
 val quarantined : t -> bool
 
 val set_on_quarantine : t -> (unit -> unit) -> unit
-(** Ran once, at the end of {!quarantine}. *)
+(** Ran once per quarantine, after the drain and revocation (the harness
+    kills the link there); with a recovery policy the reset handshake is
+    scheduled after it runs. *)
+
+(* ---- recovery lifecycle (PR 8) ---- *)
+
+val in_probation : t -> bool
+val permakilled : t -> bool
+
+val quarantine_count : t -> int
+(** Quarantines entered so far, including failed reset handshakes (each
+    burns a life toward [permakill_after]). *)
+
+val rejoins : t -> int
+(** Completed reset handshakes: times the accelerator came back. *)
+
+val budget_trips : t -> int
+(** Per-phase hang-budget violations (sum over all three phases). *)
+
+val down_cycles : t -> now:int -> int
+(** Total cycles spent quarantined, counting a still-open quarantine up to
+    [now] — the numerator of the E10 availability/MTTR metrics. *)
 
 (* ---- introspection ---- *)
 
@@ -178,8 +249,9 @@ val fault_coverage : t -> Xguard_stats.Counter.Group.t
 (** Degradation-machine visits, scored against {!fault_coverage_space}. *)
 
 val fault_coverage_space : Xguard_trace.Coverage.space
-(** Space ["xg.fault"]: armed/degraded/quarantined × link-fault, recovery and
-    quarantine events. *)
+(** Space ["xg.fault"]: armed / degraded / quarantined / probation /
+    permakilled × link-fault, recovery, quarantine, reset, rejoin,
+    promotion, permanent-kill and budget-trip events. *)
 
 (* ---- model-checker support (lib/check) ---- *)
 

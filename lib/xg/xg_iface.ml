@@ -137,6 +137,8 @@ module Link = struct
     | Frame of { seq : int; check : int; payload : msg }
     | Ack of { next : int }
     | Nack of { expect : int }
+    | Reset of { gen : int }
+    | Reset_ack of { gen : int }
 
   module Raw = Network.Make (struct
     type t = wire
@@ -182,6 +184,15 @@ module Link = struct
     mutable ptracer : (msg -> int * string) option;
     mutable on_fault : unit -> unit;
     mutable on_recover : unit -> unit;
+    (* Reset handshake (recovery lifecycle).  [reset_gen] numbers handshakes
+       on the initiator side; [reset_seen] is the highest generation the
+       responder has processed (so duplicated/retransmitted Resets re-ack
+       without re-flushing); [pending_reset] holds the completion callback
+       until the matching Reset_ack arrives. *)
+    mutable reset_gen : int;
+    mutable reset_seen : int;
+    mutable pending_reset : (int * (unit -> unit)) option;
+    mutable on_reset : unit -> unit;
     stats : Counter.Group.t;
     cov : Counter.Group.t;
     covm : Coverage.matrix;
@@ -234,6 +245,10 @@ module Link = struct
         ptracer = None;
         on_fault = (fun () -> ());
         on_recover = (fun () -> ());
+        reset_gen = 0;
+        reset_seen = 0;
+        pending_reset = None;
+        on_reset = (fun () -> ());
         stats;
         cov;
         covm = Coverage.intern_matrix coverage_space cov;
@@ -248,7 +263,7 @@ module Link = struct
       (* The checksum is computed before corruption and kept, which is the
          point: the damaged payload no longer matches it. *)
       | Frame { seq; check; payload } -> Frame { seq; check; payload = corrupt_msg payload }
-      | (Ack _ | Nack _) as w -> w);
+      | (Ack _ | Nack _ | Reset _ | Reset_ack _) as w -> w);
     t
 
   let name t = t.lname
@@ -463,7 +478,92 @@ module Link = struct
           visit t ch lv_nack;
           Counter.Group.incr t.stats "nacks_received";
           retransmit t ch ~why:"nack"
-      | Plain _ | Frame _ -> assert false
+      | Plain _ | Frame _ | Reset _ | Reset_ack _ -> assert false
+
+  (* ---- reset handshake ---- *)
+
+  (* Responder side.  The first Reset of a generation flushes the
+     accelerator-side model (the [on_reset] hook) and acks; retransmitted or
+     duplicated Resets only re-ack, so a lost Reset_ack cannot flush twice. *)
+  let handle_reset t ~self ~src ~gen =
+    if not t.killed then begin
+      if gen > t.reset_seen then begin
+        t.reset_seen <- gen;
+        Counter.Group.incr t.stats "resets_received";
+        note t (Printf.sprintf "reset #%d received: flushing accelerator state" gen);
+        t.on_reset ()
+      end;
+      Raw.send t.raw ~src:self ~dst:src (Reset_ack { gen })
+    end
+
+  (* Initiator side: only the generation we are currently waiting on
+     completes the handshake; stale acks (an earlier handshake's stragglers)
+     are dropped. *)
+  let handle_reset_ack t ~gen =
+    match t.pending_reset with
+    | Some (g, ready) when g = gen ->
+        t.pending_reset <- None;
+        Counter.Group.incr t.stats "resets_completed";
+        note t (Printf.sprintf "reset #%d complete" gen);
+        ready ()
+    | _ -> ()
+
+  let rewind_channels t =
+    let now = Engine.now t.engine in
+    Hashtbl.iter
+      (fun _ ch ->
+        ch.next_seq <- 0;
+        Queue.clear ch.outstanding;
+        ch.retries <- 0;
+        ch.backoff <- t.retry_timeout;
+        ch.last_attempt <- now;
+        ch.last_retx <- -1;
+        ch.reported <- false;
+        ch.dead <- false;
+        ch.rx_next <- 0)
+      t.channels
+
+  let reset t ~src ~dst ?(timeout = 64) ?(attempts = 4) ~on_ready ~on_dead () =
+    (* Splice the physical wire (reverses a kill / scripted cut), revive the
+       channels and rewind every sequence number on both sides — the link
+       object is shared by both endpoints, so one rewind covers tx and rx
+       state.  Probabilistic fault injectors stay installed: the handshake
+       itself rides the lossy wire, hence the retry ladder. *)
+    Raw.splice_wire t.raw;
+    t.killed <- false;
+    rewind_channels t;
+    let gen = t.reset_gen + 1 in
+    t.reset_gen <- gen;
+    t.pending_reset <- Some (gen, on_ready);
+    Counter.Group.incr t.stats "resets_initiated";
+    note t (Printf.sprintf "reset #%d initiated" gen);
+    let timeout = max 1 timeout and attempts = max 1 attempts in
+    let tries = ref 1 in
+    Raw.send t.raw ~src ~dst (Reset { gen });
+    Engine.every t.engine ~period:timeout (fun () ->
+        match t.pending_reset with
+        | Some (g, _) when g = gen ->
+            if !tries >= attempts then begin
+              t.pending_reset <- None;
+              Counter.Group.incr t.stats "resets_failed";
+              note t (Printf.sprintf "reset #%d failed after %d attempt(s)" gen !tries);
+              on_dead ();
+              false
+            end
+            else begin
+              incr tries;
+              Counter.Group.incr t.stats "reset_retries";
+              note t (Printf.sprintf "reset #%d retry %d" gen !tries);
+              Raw.send t.raw ~src ~dst (Reset { gen });
+              true
+            end
+        | _ -> false)
+
+  let set_reset_handler t f = t.on_reset <- f
+
+  let channel_state t ~src ~dst =
+    let ch = channel t ~src ~dst in
+    (ch.next_seq, ch.rx_next, Queue.length ch.outstanding)
 
   let register t node handler =
     let handler ~src msg =
@@ -475,6 +575,8 @@ module Link = struct
         | Plain m -> handler ~src m
         | Frame { seq; check; payload } ->
             handle_frame t ~self:node ~src handler ~seq ~check ~payload
+        | Reset { gen } -> handle_reset t ~self:node ~src ~gen
+        | Reset_ack { gen } -> handle_reset_ack t ~gen
         | Ack _ | Nack _ -> handle_control t ~self:node ~src wire)
 
   let send t ~src ~dst ?(size = Network.control_size) msg =
@@ -546,13 +648,15 @@ module Link = struct
             let addr, text = describe payload in
             (addr, Printf.sprintf "#%d %s" seq text)
         | Ack { next } -> (Trace.no_addr, Printf.sprintf "LinkAck(%d)" next)
-        | Nack { expect } -> (Trace.no_addr, Printf.sprintf "LinkNack(%d)" expect))
+        | Nack { expect } -> (Trace.no_addr, Printf.sprintf "LinkNack(%d)" expect)
+        | Reset { gen } -> (Trace.no_addr, Printf.sprintf "LinkReset(%d)" gen)
+        | Reset_ack { gen } -> (Trace.no_addr, Printf.sprintf "LinkResetAck(%d)" gen))
 
   let enable_check_mode t ?ctrl_of () =
     Raw.enable_check_mode t.raw ?ctrl_of
       ~addr_of:(function
         | Plain m | Frame { payload = m; _ } -> Addr.to_int (msg_addr m)
-        | Ack _ | Nack _ -> -1)
+        | Ack _ | Nack _ | Reset _ | Reset_ack _ -> -1)
       ()
 
   let check_fingerprint t buf = Raw.check_fingerprint t.raw buf

@@ -162,6 +162,38 @@ module Link : sig
 
   val killed : t -> bool
 
+  (* ---- reset handshake (recovery lifecycle) ---- *)
+
+  val reset :
+    t ->
+    src:Node.t ->
+    dst:Node.t ->
+    ?timeout:int ->
+    ?attempts:int ->
+    on_ready:(unit -> unit) ->
+    on_dead:(unit -> unit) ->
+    unit ->
+    unit
+  (** Start the link-reset handshake that undoes {!kill}: splice the wire,
+      revive every channel with all go-back-N state rewound (sequence numbers
+      to 0, retransmission queues cleared, backoff reset), then send a
+      [Reset] frame from [src] to [dst] and wait for the matching
+      [Reset_ack].  The responder flushes the accelerator-side model via
+      {!set_reset_handler} on the first [Reset] of a generation and re-acks
+      duplicates, so the handshake survives the same lossy wire it repairs;
+      the initiator retries every [timeout] cycles (default 64) up to
+      [attempts] times (default 4), then gives up and calls [on_dead].
+      [on_ready] fires when the ack lands.  Generation numbers keep stale
+      acks from completing a newer handshake. *)
+
+  val set_reset_handler : t -> (unit -> unit) -> unit
+  (** Hook fired at the responder on the first [Reset] of each generation —
+      the harness wires the accelerator-side cache flush here. *)
+
+  val channel_state : t -> src:Node.t -> dst:Node.t -> int * int * int
+  (** [(next_seq, rx_next, outstanding)] of the directed channel [src]→[dst]
+      — test observability for the sequence-number rewind. *)
+
   (* ---- fault injection (see {!Xguard_network.Network.Fault}) ---- *)
 
   val set_faults : t -> rng:Xguard_sim.Rng.t -> Xguard_network.Network.Fault.config -> unit

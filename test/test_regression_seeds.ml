@@ -153,6 +153,49 @@ let test_lossy_quarantine_seed () =
        [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ])
     (fun o -> link_count o "faults_escalated" > 0 && o.Fuzz.quarantined)
 
+(* ---- recovery regression seeds (PR 8) ----
+
+   Pinned from the same tools/fault_sweep.exe run, recovery variants: the
+   kill scripts cut the wire, the policy resets and re-admits, and the
+   asserted path is the full quarantine -> reset -> probation -> rejoin
+   lifecycle (or, with one life, the permanent kill). *)
+
+let lossy_recovery ~permakill_after =
+  Xg.Xg_core.make_recovery ~reset_delay:100 ~reset_timeout:32 ~reset_attempts:4
+    ~probation_window:400 ~probation_rate:0.5 ~probation_burst:4
+    ~probation_quarantine_after:2 ~permakill_after ()
+
+let recovery_cfg ~seed ~permakill_after scripts =
+  {
+    (lossy_cfg ~seed Fault.zero scripts) with
+    Config.recovery = Some (lossy_recovery ~permakill_after);
+  }
+
+let test_recovery_rejoin_seed () =
+  (* Sweep: seed=2 kill@120+rec -> escal=2, rejoins=1, safe. *)
+  lossy_one ~label:"kill@120+rec" ~path:"quarantine-and-rejoin"
+    (recovery_cfg ~seed:2 ~permakill_after:4
+       [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ])
+    (fun o -> o.Fuzz.rejoins = 1 && not o.Fuzz.permakilled)
+
+let test_recovery_double_rejoin_seed () =
+  (* Sweep: seed=4 kill-x2+rec -> escal=4, rejoins=2, safe: the second kill
+     cuts the wire the first recovery spliced. *)
+  lossy_one ~label:"kill-x2+rec" ~path:"repeated-rejoin"
+    (recovery_cfg ~seed:4 ~permakill_after:4
+       [
+         { Fault.nth = 120; needle = None; kind = Fault.Kill };
+         { Fault.nth = 600; needle = None; kind = Fault.Kill };
+       ])
+    (fun o -> o.Fuzz.rejoins = 2 && not o.Fuzz.permakilled)
+
+let test_recovery_permakill_seed () =
+  (* Sweep: seed=3 kill+1life -> quarantined, rejoins=0, permakill, safe. *)
+  lossy_one ~label:"kill+1life" ~path:"permakill"
+    (recovery_cfg ~seed:3 ~permakill_after:1
+       [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ])
+    (fun o -> o.Fuzz.permakilled && o.Fuzz.rejoins = 0 && o.Fuzz.quarantined)
+
 (* ---- model-checker regression seeds (PR 6) ----
 
    Trails surfaced by `xguard check` during checker development, pinned as
@@ -203,6 +246,12 @@ let tests =
           test_lossy_corruption_seed;
         Alcotest.test_case "lossy link: quarantine seed" `Quick
           test_lossy_quarantine_seed;
+        Alcotest.test_case "recovery: quarantine-and-rejoin seed" `Quick
+          test_recovery_rejoin_seed;
+        Alcotest.test_case "recovery: repeated-rejoin seed" `Quick
+          test_recovery_double_rejoin_seed;
+        Alcotest.test_case "recovery: permakill seed" `Quick
+          test_recovery_permakill_seed;
         Alcotest.test_case "checker: ownership-relinquish window replays clean" `Quick
           test_check_relinquish_window_seed;
         Alcotest.test_case "checker: root-decision-point trail replays clean" `Quick

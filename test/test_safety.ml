@@ -25,7 +25,8 @@ let detectable cfg scenario =
   match scenario with
   | Fault.Put_without_block | Fault.Wrong_response_type -> full_state
   | Fault.Read_no_access | Fault.Write_read_only | Fault.Double_get
-  | Fault.Unsolicited_response | Fault.Silent_on_invalidate | Fault.Link_dead ->
+  | Fault.Unsolicited_response | Fault.Silent_on_invalidate | Fault.Link_dead
+  | Fault.Recovery_rejoin | Fault.Repeated_quarantine_permakill | Fault.Tarpit_budget ->
       true
 
 let test_guarantees_per_config () =
@@ -136,6 +137,8 @@ let test_link_dead_quarantine () =
       let label = Config.name cfg ^ " / link-dead" in
       check_bool (label ^ ": link faults reported") true outcome.Fault.detected;
       check_bool (label ^ ": accelerator quarantined") true outcome.Fault.quarantined;
+      check_bool (label ^ ": OS model saw the quarantine report") true
+        outcome.Fault.os_quarantined;
       check_bool (label ^ ": host stays live") true outcome.Fault.host_live;
       check_bool
         (label ^ ": link coverage present")
@@ -161,6 +164,53 @@ let test_topology_quarantine_isolation () =
        iso.E.iso_slowdown)
     true (iso.E.iso_slowdown <= 1.05)
 
+let recovery_configs =
+  [
+    Config.make Config.Hammer (Config.Xg_one_level Config.Full_state);
+    Config.make Config.Mesi (Config.Xg_one_level Config.Transactional);
+  ]
+
+let test_recovery_rejoin () =
+  (* The full lifecycle: dark wire → quarantine → link reset → probation →
+     promotion.  The accelerator must transact again and the host must never
+     have stalled. *)
+  List.iter
+    (fun cfg ->
+      let o = Fault.run cfg Fault.Recovery_rejoin in
+      let label = Config.name cfg ^ " / rejoin" in
+      check_bool (label ^ ": link faults reported") true o.Fault.detected;
+      check_bool (label ^ ": exactly one rejoin") true (o.Fault.rejoins = 1);
+      check_bool (label ^ ": not permakilled") false o.Fault.permakilled;
+      check_bool (label ^ ": accelerator transacts after rejoin") true
+        o.Fault.accel_live_after;
+      check_bool (label ^ ": host stays live") true o.Fault.host_live)
+    recovery_configs
+
+let test_repeated_quarantine_permakill () =
+  List.iter
+    (fun cfg ->
+      let o = Fault.run cfg Fault.Repeated_quarantine_permakill in
+      let label = Config.name cfg ^ " / permakill" in
+      check_bool (label ^ ": permanently killed") true o.Fault.permakilled;
+      check_bool (label ^ ": rejoined once before dying") true (o.Fault.rejoins = 1);
+      check_bool (label ^ ": accelerator stays dead") false o.Fault.accel_live_after;
+      check_bool (label ^ ": host stays live") true o.Fault.host_live)
+    recovery_configs
+
+let test_tarpit_budget_before_g2c () =
+  (* A slow-but-honest accelerator: budgets must catch it strictly before the
+     coarse G2c deadline ever fires. *)
+  List.iter
+    (fun cfg ->
+      let o = Fault.run cfg Fault.Tarpit_budget in
+      let label = Config.name cfg ^ " / tarpit" in
+      check_bool (label ^ ": budget violation reported") true o.Fault.detected;
+      check_bool (label ^ ": at least one budget trip") true (o.Fault.budget_trips > 0);
+      check_int (label ^ ": no G2c timeout fired") 0 o.Fault.g2c_timeouts;
+      check_bool (label ^ ": quarantined by the budget ladder") true o.Fault.quarantined;
+      check_bool (label ^ ": host stays live") true o.Fault.host_live)
+    recovery_configs
+
 let test_os_policy_disable () =
   (* Disable-accelerator policy: after the first violation the guard drops
      accelerator requests but keeps the host alive. *)
@@ -179,6 +229,11 @@ let tests =
           test_wrong_response_corrected_full_state;
         Alcotest.test_case "G2c timeout recovery" `Quick test_timeout_answers_for_accel;
         Alcotest.test_case "link-dead quarantine" `Quick test_link_dead_quarantine;
+        Alcotest.test_case "recovery: quarantine, reset, rejoin" `Quick test_recovery_rejoin;
+        Alcotest.test_case "recovery: repeated quarantine permakills" `Quick
+          test_repeated_quarantine_permakill;
+        Alcotest.test_case "budgets: tarpit trips before G2c" `Quick
+          test_tarpit_budget_before_g2c;
         Alcotest.test_case "disable-accelerator policy" `Quick test_os_policy_disable;
         Alcotest.test_case "topology quarantine isolation" `Slow
           test_topology_quarantine_isolation;

@@ -82,6 +82,153 @@ let test_rate_limiter_refill () =
   ignore (Engine.run e);
   check_int "burst ran" 2 !count
 
+let test_rate_limiter_rejects_empty_bucket () =
+  (* Zero (or negative) rate or burst can never yield a token; both must be
+     rejected at creation instead of livelocking the drain loop. *)
+  let e = Engine.create () in
+  let expect_invalid label f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument" label
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "zero rate" (fun () ->
+      Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.0 ~burst:4 ());
+  expect_invalid "negative rate" (fun () ->
+      Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:(-1.0) ~burst:4 ());
+  expect_invalid "zero burst" (fun () ->
+      Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.5 ~burst:0 ());
+  expect_invalid "negative burst" (fun () ->
+      Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.5 ~burst:(-2) ())
+
+let test_rate_limiter_window_boundary () =
+  (* Drain the burst at t=0; with 0.25 tokens/cycle the next whole token
+     exists exactly at t=4.  A request queued at t=3 must run at t=4, not
+     t=3 (no early token) and not later (no lost fraction). *)
+  let e = Engine.create () in
+  let rl = Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.25 ~burst:2 () in
+  Xg.Rate_limiter.admit rl (fun () -> ());
+  Xg.Rate_limiter.admit rl (fun () -> ());
+  let ran_at = ref (-1) in
+  Engine.schedule e ~delay:3 (fun () ->
+      Xg.Rate_limiter.admit rl (fun () -> ran_at := Engine.now e));
+  ignore (Engine.run e);
+  check_int "token lands exactly on the window boundary" 4 !ran_at
+
+let test_rate_limiter_refill_never_overflows_burst () =
+  (* After an arbitrarily long idle stretch the bucket holds exactly [burst]
+     tokens — elapsed x rate must saturate, not accumulate credit. *)
+  let e = Engine.create () in
+  let rl = Xg.Rate_limiter.create ~engine:e ~tokens_per_cycle:0.5 ~burst:2 () in
+  let times = ref [] in
+  Engine.schedule e ~delay:1_000_000 (fun () ->
+      for _ = 1 to 3 do
+        Xg.Rate_limiter.admit rl (fun () -> times := Engine.now e :: !times)
+      done);
+  ignore (Engine.run e);
+  match List.rev !times with
+  | [ t1; t2; t3 ] ->
+      check_int "first rides the bucket" 1_000_000 t1;
+      check_int "second rides the bucket" 1_000_000 t2;
+      check_bool "third waits for a fresh token" true (t3 >= 1_000_001)
+  | l -> Alcotest.failf "expected 3 admissions, got %d" (List.length l)
+
+(* ---- Xg_iface.Link reset (PR 8) ---- *)
+
+let test_link_reset_rewinds_sequences () =
+  (* Run framed traffic both ways, then reset: every channel's tx/rx sequence
+     numbers rewind to zero and the retransmission window empties, so the
+     post-reset exchange starts a fresh go-back-N conversation. *)
+  let module Xg_iface = Xg.Xg_iface in
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:7 in
+  let link =
+    Xg_iface.Link.create ~engine:e ~rng ~name:"l"
+      ~ordering:(Xguard_network.Network.Ordered { latency = 2 })
+      ()
+  in
+  Xg_iface.Link.enable_reliability link ~retry_timeout:16 ~max_retries:2 ();
+  let registry = Node.Registry.create () in
+  let a = Node.Registry.fresh registry "a" and b = Node.Registry.fresh registry "b" in
+  let got = ref 0 in
+  Xg_iface.Link.register link a (fun ~src:_ _ -> incr got);
+  Xg_iface.Link.register link b (fun ~src:_ _ -> incr got);
+  let msg = Xg_iface.To_xg_req { addr = Addr.block 1; req = Xg_iface.Get_s } in
+  for _ = 1 to 5 do
+    Xg_iface.Link.send link ~src:a ~dst:b ~size:(Xg_iface.msg_size msg) msg;
+    Xg_iface.Link.send link ~src:b ~dst:a ~size:(Xg_iface.msg_size msg) msg
+  done;
+  ignore (Engine.run e);
+  check_int "traffic delivered" 10 !got;
+  let tx, rx, outstanding = Xg_iface.Link.channel_state link ~src:a ~dst:b in
+  check_int "a->b advanced tx" 5 tx;
+  check_int "a->b advanced rx" 5 rx;
+  check_int "window drained by acks" 0 outstanding;
+  (* Kill the wire with a frame stuck in the window, then reset.  (Running
+     the engine here would never quiesce: nothing in this bare test kills a
+     permanently dark link, so retransmission would retry forever.) *)
+  Xg_iface.Link.cut_wire link;
+  Xg_iface.Link.send link ~src:a ~dst:b ~size:(Xg_iface.msg_size msg) msg;
+  let tx_stuck, _, stuck = Xg_iface.Link.channel_state link ~src:a ~dst:b in
+  check_bool "frame stuck in the window" true (stuck >= 1);
+  check_int "tx advanced past the stuck frame" 6 tx_stuck;
+  let ready = ref false in
+  Xg_iface.Link.reset link ~src:b ~dst:a ~timeout:16 ~attempts:3
+    ~on_ready:(fun () -> ready := true)
+    ~on_dead:(fun () -> Alcotest.fail "reset handshake must succeed on a spliced wire")
+    ();
+  ignore (Engine.run e);
+  check_bool "handshake completed" true !ready;
+  let tx, rx, outstanding = Xg_iface.Link.channel_state link ~src:a ~dst:b in
+  check_int "tx rewound" 0 tx;
+  check_int "rx rewound" 0 rx;
+  check_int "window emptied" 0 outstanding;
+  (* Fresh conversation works from sequence zero. *)
+  let before = !got in
+  Xg_iface.Link.send link ~src:a ~dst:b ~size:(Xg_iface.msg_size msg) msg;
+  ignore (Engine.run e);
+  check_int "post-reset delivery" (before + 1) !got
+
+let test_link_reset_flush_handler_runs_once_per_generation () =
+  (* Retransmitted Reset frames of one generation must flush exactly once;
+     a second reset generation flushes again. *)
+  let module Xg_iface = Xg.Xg_iface in
+  let e = Engine.create () in
+  let rng = Rng.create ~seed:11 in
+  let link =
+    Xg_iface.Link.create ~engine:e ~rng ~name:"l"
+      ~ordering:(Xguard_network.Network.Ordered { latency = 2 })
+      ()
+  in
+  Xg_iface.Link.enable_reliability link ~retry_timeout:8 ~max_retries:2 ();
+  let registry = Node.Registry.create () in
+  let a = Node.Registry.fresh registry "a" and b = Node.Registry.fresh registry "b" in
+  Xg_iface.Link.register link a (fun ~src:_ _ -> ());
+  Xg_iface.Link.register link b (fun ~src:_ _ -> ());
+  (* Fault-script needles match against the tracer's rendering. *)
+  Xg_iface.Link.set_tracer link (fun _ -> (-1, "payload"));
+  let flushes = ref 0 in
+  Xg_iface.Link.set_reset_handler link (fun () -> incr flushes);
+  (* Drop the first Reset_ack so the initiator retries the same generation:
+     the responder sees Reset #1 twice but must flush only once. *)
+  (match Xguard_network.Network.Fault.script_of_string "drop:1:LinkResetAck" with
+  | Ok s -> Xg_iface.Link.add_fault_script link s
+  | Error e -> Alcotest.fail e);
+  let ready = ref 0 in
+  Xg_iface.Link.reset link ~src:b ~dst:a ~timeout:8 ~attempts:4
+    ~on_ready:(fun () -> incr ready)
+    ~on_dead:(fun () -> Alcotest.fail "handshake must survive one lost ack")
+    ();
+  ignore (Engine.run e);
+  check_int "handshake completed once" 1 !ready;
+  check_int "one flush for the retried generation" 1 !flushes;
+  Xg_iface.Link.reset link ~src:b ~dst:a ~timeout:8 ~attempts:4
+    ~on_ready:(fun () -> incr ready)
+    ~on_dead:(fun () -> Alcotest.fail "second handshake must succeed")
+    ();
+  ignore (Engine.run e);
+  check_int "second generation flushes again" 2 !flushes
+
 (* ---- Block_merge ---- *)
 
 let make_backing engine memory log =
@@ -194,6 +341,16 @@ let tests =
       [
         Alcotest.test_case "burst then throttle" `Quick test_rate_limiter_burst_then_throttle;
         Alcotest.test_case "refill" `Quick test_rate_limiter_refill;
+        Alcotest.test_case "empty bucket rejected" `Quick test_rate_limiter_rejects_empty_bucket;
+        Alcotest.test_case "window boundary" `Quick test_rate_limiter_window_boundary;
+        Alcotest.test_case "refill saturates at burst" `Quick
+          test_rate_limiter_refill_never_overflows_burst;
+      ] );
+    ( "xg.link_reset",
+      [
+        Alcotest.test_case "sequences rewind" `Quick test_link_reset_rewinds_sequences;
+        Alcotest.test_case "one flush per generation" `Quick
+          test_link_reset_flush_handler_runs_once_per_generation;
       ] );
     ( "xg.block_merge",
       [

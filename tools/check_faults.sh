@@ -1,5 +1,5 @@
 #!/bin/sh
-# Lossy-link fault matrix (PR 3).
+# Lossy-link fault matrix (PR 3) + recovery lifecycle suite (PR 8).
 #
 # Sweeps the fault-injection campaign over drop probabilities x both hosts
 # and asserts the recovery layer holds the line:
@@ -8,7 +8,13 @@
 #   - drop>0    campaigns must still PASS (zero data errors, deadlocks or
 #     guard violations — every lost frame recovered by retransmission);
 #   - a directed kill script must quarantine the accelerator while the fuzz
-#     run completes safely.
+#     run completes safely;
+#   - a hang budget that never trips, and a recovery policy that never
+#     engages, must be pure observers: the faulted run's output is
+#     byte-identical apart from their own gated report lines;
+#   - under a recovery policy a kill script's quarantine must reset, rejoin
+#     and keep the host live, and the recovery soak's periodic fault bursts
+#     must produce rejoins without ever wedging.
 #
 # Usage: tools/check_faults.sh [drop probabilities...]   (default: 0 0.01 0.05)
 set -eu
@@ -72,5 +78,52 @@ if ! grep -q '^deadlocked         false$' "$out/kill.txt"; then
   exit 1
 fi
 echo "quarantine fired; host stayed live"
+
+echo "== disabled budget / idle recovery are pure observers =="
+dune exec bin/xguard_cli.exe -- fuzz -c hammer/xg-trans-1lvl --seed 5 --fault-drop 0.02 \
+  > "$out/obs_plain.txt"
+dune exec bin/xguard_cli.exe -- fuzz -c hammer/xg-trans-1lvl --seed 5 --fault-drop 0.02 \
+  --budget-inv 1000000 > "$out/obs_budget.txt"
+grep -v '^budget trips' "$out/obs_budget.txt" > "$out/obs_budget_stripped.txt"
+if ! diff -u "$out/obs_plain.txt" "$out/obs_budget_stripped.txt"; then
+  echo "FAIL: a never-tripping --budget-inv perturbed the faulted run" >&2
+  exit 1
+fi
+dune exec bin/xguard_cli.exe -- fuzz -c hammer/xg-trans-1lvl --seed 5 --fault-drop 0.02 \
+  --recover > "$out/obs_recover.txt"
+grep -v '^link rejoins\|^permakilled' "$out/obs_recover.txt" > "$out/obs_recover_stripped.txt"
+if ! diff -u "$out/obs_plain.txt" "$out/obs_recover_stripped.txt"; then
+  echo "FAIL: an idle --recover policy perturbed the faulted run" >&2
+  exit 1
+fi
+echo "budget-disabled and recovery-idle runs byte-identical apart from gated lines"
+
+echo "== recovery suite: kill script under a recovery policy rejoins =="
+dune exec bin/xguard_cli.exe -- fuzz -c hammer/xg-trans-1lvl --seed 2 \
+  --fault-script kill:200 --recover > "$out/recover.txt"
+if ! grep -q '^link rejoins       [1-9]' "$out/recover.txt"; then
+  echo "FAIL: recovery policy did not rejoin after the kill script" >&2
+  cat "$out/recover.txt" >&2
+  exit 1
+fi
+if ! grep -q '^permakilled        false$' "$out/recover.txt"; then
+  echo "FAIL: recovery run ended permakilled" >&2
+  cat "$out/recover.txt" >&2
+  exit 1
+fi
+if ! grep -q '^deadlocked         false$' "$out/recover.txt"; then
+  echo "FAIL: recovery run deadlocked" >&2
+  cat "$out/recover.txt" >&2
+  exit 1
+fi
+echo "kill script quarantined, link reset and rejoined; host stayed live"
+
+echo "== recovery soak: periodic fault bursts, rejoins > 0, no wedge =="
+if ! dune exec tools/soak.exe 2 100 recovery > "$out/soak.txt" 2>&1; then
+  echo "FAIL: recovery soak" >&2
+  cat "$out/soak.txt" >&2
+  exit 1
+fi
+cat "$out/soak.txt"
 
 echo "check_faults: OK"

@@ -1,6 +1,7 @@
 (* Lossy-link fuzz sweep: run the fuzzer over a seed range with a fault model
    installed and print, per seed, which recovery paths fired (retransmission,
-   duplicate suppression, corruption detection, escalation, quarantine) and
+   duplicate suppression, corruption detection, escalation, quarantine — and,
+   for the recovery variants, link reset/rejoin and permanent kill) and
    whether the run stayed safe.  Used to pick the pinned seeds of
    test/test_regression_seeds.ml.
 
@@ -10,6 +11,7 @@ module Config = Xguard_harness.Config
 module Fuzz = Xguard_harness.Fuzz_tester
 module Network = Xguard_network.Network
 module Fault = Network.Fault
+module Xg = Xguard_xg
 
 let count stats label = Option.value ~default:0 (List.assoc_opt label stats)
 
@@ -23,6 +25,16 @@ let sweep_cfg base faults scripts =
     quarantine_after = 2;
   }
 
+(* Fast-cycling recovery policy, sized so quarantine -> reset -> probation ->
+   promotion completes well inside one fuzz run. *)
+let sweep_recovery ~permakill_after =
+  Xg.Xg_core.make_recovery ~reset_delay:100 ~reset_timeout:32 ~reset_attempts:4
+    ~probation_window:400 ~probation_rate:0.5 ~probation_burst:4
+    ~probation_quarantine_after:2 ~permakill_after ()
+
+let with_recovery ~permakill_after cfg =
+  { cfg with Config.recovery = Some (sweep_recovery ~permakill_after) }
+
 let () =
   let first = try int_of_string Sys.argv.(1) with _ -> 1 in
   let last = try int_of_string Sys.argv.(2) with _ -> 20 in
@@ -35,6 +47,26 @@ let () =
       ( "kill@120",
         sweep_cfg base Fault.zero
           [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ] );
+      (* PR 8 recovery variants: the same faults under a recovery policy.
+         kill@120+rec must rejoin (the reset splices the cut wire); the
+         double-kill variant cuts the spliced wire again and must rejoin
+         twice; the 1-life variant must turn the first quarantine into a
+         permanent kill. *)
+      ( "kill@120+rec",
+        with_recovery ~permakill_after:4
+          (sweep_cfg base Fault.zero
+             [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ]) );
+      ( "kill-x2+rec",
+        with_recovery ~permakill_after:4
+          (sweep_cfg base Fault.zero
+             [
+               { Fault.nth = 120; needle = None; kind = Fault.Kill };
+               { Fault.nth = 600; needle = None; kind = Fault.Kill };
+             ]) );
+      ( "kill+1life",
+        with_recovery ~permakill_after:1
+          (sweep_cfg base Fault.zero
+             [ { Fault.nth = 120; needle = None; kind = Fault.Kill } ]) );
     ]
   in
   for seed = first to last do
@@ -48,12 +80,14 @@ let () =
           && o.Fuzz.cpu_ops_completed = o.Fuzz.cpu_ops_expected
         in
         Printf.printf
-          "seed=%-4d %-10s safe=%-5b retx=%-5d dups=%-4d corrupt=%-3d escal=%-3d q=%b\n%!"
+          "seed=%-4d %-12s safe=%-5b retx=%-5d dups=%-4d corrupt=%-3d escal=%-3d q=%-5b \
+           rejoins=%-2d permakill=%b\n\
+           %!"
           seed label safe
           (count s "retransmit_frames")
           (count s "dups_suppressed")
           (count s "corrupt_detected")
           (count s "faults_escalated")
-          o.Fuzz.quarantined)
+          o.Fuzz.quarantined o.Fuzz.rejoins o.Fuzz.permakilled)
       variants
   done
