@@ -41,12 +41,26 @@ let drive (seq : Sequencer.t) (stream : Workload.stream) ~on_all_done =
     top_up ()
   end
 
-let run ?trace (cfg : Config.t) (workload : Workload.t) =
+let run ?trace ?sim_j (cfg : Config.t) (workload : Workload.t) =
   let maybe_armed f =
     match trace with None -> f () | Some tr -> Xguard_trace.Trace.with_armed tr f
   in
   maybe_armed @@ fun () ->
-  let sys = System.build cfg in
+  let sys = System.build ~pdes:(sim_j <> None) cfg in
+  let coord = Option.map (fun _ -> Pdes.create sys) sim_j in
+  (* Which engine each accelerator port's sequencer pumps on, and which
+     per-domain completion counter its stream decrements.  Sequentially
+     everything is domain 0 on the one engine; sharded, a port lives on its
+     guard's domain and only that domain's window ever touches its counter. *)
+  let accel_doms =
+    match coord with
+    | Some _ -> Pdes.accel_port_domains sys
+    | None -> Array.make (Array.length sys.System.accel_ports) 0
+  in
+  let engine_of_dom d =
+    match coord with Some c -> Pdes.engine_of c ~dom:d | None -> sys.System.engine
+  in
+  let ndoms = match coord with Some c -> Pdes.domains c | None -> 1 in
   let rng = Rng.create ~seed:(cfg.Config.seed * 131 + 17) in
   let accel_streams =
     workload.Workload.make_streams
@@ -57,13 +71,14 @@ let run ?trace (cfg : Config.t) (workload : Workload.t) =
     workload.Workload.cpu_streams ~cpus:(Array.length sys.System.cpu_ports) ~rng:(Rng.split rng)
   in
   let accel_latency = Histogram.create "accel.access_latency" in
-  let pending = ref 0 in
-  let finished () = decr pending in
+  let pending = Array.make ndoms 0 in
+  let finished d () = pending.(d) <- pending.(d) - 1 in
   (* Accelerator side. *)
   let accel_seqs =
     Array.mapi
       (fun i port ->
-        Sequencer.create ~engine:sys.System.engine
+        Sequencer.create
+          ~engine:(engine_of_dom accel_doms.(i))
           ~name:(Printf.sprintf "perf.accel%d" i)
           ~port ~max_outstanding:32 ())
       sys.System.accel_ports
@@ -71,10 +86,11 @@ let run ?trace (cfg : Config.t) (workload : Workload.t) =
   Array.iteri
     (fun i stream ->
       if i < Array.length accel_seqs then begin
-        incr pending;
+        let d = accel_doms.(i) in
+        pending.(d) <- pending.(d) + 1;
         (* Wrap the sequencer latency histogram into a shared one. *)
         let seq = accel_seqs.(i) in
-        drive seq stream ~on_all_done:finished
+        drive seq stream ~on_all_done:(finished d)
       end)
     accel_streams;
   (* CPU side. *)
@@ -89,17 +105,30 @@ let run ?trace (cfg : Config.t) (workload : Workload.t) =
   Array.iteri
     (fun i stream ->
       if i < Array.length cpu_seqs then begin
-        incr pending;
-        drive cpu_seqs.(i) stream ~on_all_done:finished
+        pending.(0) <- pending.(0) + 1;
+        drive cpu_seqs.(i) stream ~on_all_done:(finished 0)
       end)
     cpu_streams;
-  (match Engine.run ~max_events:200_000_000 sys.System.engine with
-  | Engine.Drained -> ()
-  | _ -> failwith ("perf run hit the event limit: " ^ Config.name cfg));
-  if !pending <> 0 then
+  let max_events = 200_000_000 in
+  let drained =
+    match coord with
+    | None -> (
+        match Engine.run ~max_events sys.System.engine with
+        | Engine.Drained -> true
+        | _ -> false)
+    | Some c -> (
+        let workers = Option.value ~default:1 sim_j in
+        match Pdes.run_windows ~max_events ~workers c with
+        | Pdes.Drained -> true
+        | Pdes.Hit_event_limit -> false)
+  in
+  if not drained then
+    failwith ("perf run hit the event limit: " ^ Config.name cfg);
+  let pending = Array.fold_left ( + ) 0 pending in
+  if pending <> 0 then
     failwith
       (Printf.sprintf "perf run deadlocked: %s / %s (%d streams unfinished)" (Config.name cfg)
-         workload.Workload.name !pending);
+         workload.Workload.name pending);
   (* Gather accelerator latency out of the sequencers. *)
   let accesses = ref 0 in
   Array.iter
@@ -122,7 +151,10 @@ let run ?trace (cfg : Config.t) (workload : Workload.t) =
   {
     config_name = Config.name cfg;
     workload_name = workload.Workload.name;
-    cycles = Engine.now sys.System.engine;
+    cycles =
+      (match coord with
+      | Some c -> Pdes.cycles c
+      | None -> Engine.now sys.System.engine);
     accel_accesses = !accesses;
     mean_accel_latency = Histogram.mean accel_latency;
     p99_accel_latency =

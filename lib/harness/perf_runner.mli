@@ -24,9 +24,21 @@ type result = {
   violations : int;
 }
 
-val run : ?trace:Xguard_trace.Trace.t -> Config.t -> Xguard_workload.Workload.t -> result
+val run :
+  ?trace:Xguard_trace.Trace.t ->
+  ?sim_j:int ->
+  Config.t ->
+  Xguard_workload.Workload.t ->
+  result
 (** Builds the system, drives the accelerator stream(s) and any CPU-side
     streams concurrently, and runs to quiescence.  [trace] arms the given
     ring buffer for the duration of the run, so a failure's event trail can
     be dumped by the caller.
+
+    [sim_j] runs the simulation on the sharded parallel engine ({!Pdes})
+    with that many workers: the system is built [~pdes:true], accelerator
+    sequencers pump on their guard's domain engine, and [cycles] reads the
+    run clock across domains.  Results are identical for every [sim_j]
+    value >= 1 (and a different event interleaving from the sequential
+    engine).  Callers must check {!Pdes.check_config} first.
     @raise Failure on deadlock (incomplete streams with a drained queue). *)

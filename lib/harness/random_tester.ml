@@ -131,8 +131,8 @@ let issue_one t core =
         complete ())
   end
 
-let run ~engine ~rng ~ports ?roles ~addresses ~ops_per_core ?(store_fraction = 0.5)
-    ?(max_gap = 20) ?(event_limit = 50_000_000) () =
+let prepare ~engine ~rng ~ports ?roles ~addresses ~ops_per_core
+    ?(store_fraction = 0.5) ?(max_gap = 20) () =
   let roles =
     match roles with
     | Some r ->
@@ -176,16 +176,25 @@ let run ~engine ~rng ~ports ?roles ~addresses ~ops_per_core ?(store_fraction = 0
       in
       inject ops_per_core)
     sequencers;
-  let result = Engine.run ~max_events:event_limit engine in
-  let total = ops_per_core * Array.length ports in
-  let deadlocked =
-    (match result with Engine.Drained -> false | _ -> true) || t.completed < total
-  in
+  t
+
+let finish t ~drained =
+  let total = t.ops_per_core * Array.length t.sequencers in
+  let deadlocked = (not drained) || t.completed < total in
   {
     ops_completed = t.completed;
     data_errors = t.errors;
     deadlocked;
-    cycles = Engine.now engine;
+    cycles = Engine.now t.engine;
     first_error_addr = t.first_error_addr;
     ops_per_port = t.completed_per;
   }
+
+let run ~engine ~rng ~ports ?roles ~addresses ~ops_per_core ?store_fraction
+    ?max_gap ?(event_limit = 50_000_000) () =
+  let t =
+    prepare ~engine ~rng ~ports ?roles ~addresses ~ops_per_core ?store_fraction
+      ?max_gap ()
+  in
+  let result = Engine.run ~max_events:event_limit engine in
+  finish t ~drained:(match result with Engine.Drained -> true | _ -> false)

@@ -45,6 +45,33 @@ val merge : outcome -> outcome -> outcome
     Associative, so per-seed outcomes fold in job order into exactly the
     totals a serial sweep would have accumulated. *)
 
+type t
+(** An armed tester: sequencers created and injection events scheduled on its
+    engine, checker state live, but the engine not yet run.  The split lets
+    the sharded simulator ({!Pdes}) arm one tester per domain and drive all
+    the engines itself with the window coordinator. *)
+
+val prepare :
+  engine:Xguard_sim.Engine.t ->
+  rng:Xguard_sim.Rng.t ->
+  ports:Access.port array ->
+  ?roles:role array ->
+  addresses:Addr.t array ->
+  ops_per_core:int ->
+  ?store_fraction:float ->
+  ?max_gap:int ->
+  unit ->
+  t
+(** Everything {!run} does before running the engine: create one sequencer
+    per entry of [ports] and schedule each core's randomized injection
+    events.  Defaults match {!run}. *)
+
+val finish : t -> drained:bool -> outcome
+(** The tester's verdict once its engine has been run to completion (by any
+    driver).  [drained] is whether the event queue fully drained — a
+    watchdog stop or leftover outstanding accesses both report deadlock.
+    [cycles] reads the tester's own engine clock. *)
+
 val run :
   engine:Xguard_sim.Engine.t ->
   rng:Xguard_sim.Rng.t ->

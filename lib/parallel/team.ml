@@ -1,0 +1,112 @@
+(* A persistent worker team for the sharded simulator's window rounds.
+
+   [Pool.map] spawns a domain per job batch, which is fine for campaign-sized
+   work (whole stress seeds) but far too heavy for PDES windows — a run
+   executes tens of thousands of rounds, and a spawn per round would dwarf
+   the simulated work.  A team spawns its domains once and drives them with a
+   mutex/condition barrier: the coordinator publishes a job, every worker
+   (the coordinator itself is slot 0) runs its slot, and [round] returns when
+   all slots finished.
+
+   With [workers = 1] no domain is ever spawned and [round] degenerates to a
+   plain call — the sequential fast path has no synchronization at all. *)
+
+type t = {
+  workers : int;
+  mutex : Mutex.t;
+  start : Condition.t;
+  finished : Condition.t;
+  mutable job : int -> unit;
+  mutable round_no : int;  (** bumped per round; workers wait for a change *)
+  mutable done_count : int;
+  mutable stopping : bool;
+  mutable failure : exn option;  (** first worker exception, re-raised at the barrier *)
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t slot =
+  let my_round = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    while t.round_no = !my_round && not t.stopping do
+      Condition.wait t.start t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      continue := false
+    end
+    else begin
+      my_round := t.round_no;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      let failure = try job slot; None with e -> Some e in
+      Mutex.lock t.mutex;
+      (match failure with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | _ -> ());
+      t.done_count <- t.done_count + 1;
+      Condition.signal t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      workers;
+      mutex = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      job = ignore;
+      round_no = 0;
+      done_count = 0;
+      stopping = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.workers
+
+let round t f =
+  if t.workers = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- f;
+    t.round_no <- t.round_no + 1;
+    t.done_count <- 0;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    (* The coordinator is worker 0 — it contributes a slot instead of idling. *)
+    let own_failure = try f 0; None with e -> Some e in
+    Mutex.lock t.mutex;
+    while t.done_count < t.workers - 1 do
+      Condition.wait t.finished t.mutex
+    done;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match (own_failure, worker_failure) with
+    | Some e, _ -> raise e
+    | None, Some e -> raise e
+    | None, None -> ()
+  end
+
+let stop t =
+  if t.workers > 1 then begin
+    Mutex.lock t.mutex;
+    t.stopping <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_team ~workers f =
+  let t = create ~workers in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,33 @@
+(** Persistent worker domains with a barrier-round protocol.
+
+    The sharded simulator ({!Xguard_harness.Pdes}) runs tens of thousands of
+    short window rounds per run; spawning a domain per round (as {!Pool.map}
+    does per job) would cost more than the simulated work.  A team spawns its
+    domains once; each {!round} publishes one job, runs it on every slot
+    concurrently (the calling thread is slot 0) and returns when all slots
+    finish.
+
+    Determinism note: a team never influences {e what} work runs — the
+    coordinator partitions work by slot number before the round — so results
+    cannot depend on scheduling.  With [workers = 1] no domain is spawned and
+    {!round} is a plain call. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers - 1] helper domains ([workers] is clamped to >= 1).
+    Slot 0 belongs to the caller of {!round}. *)
+
+val size : t -> int
+
+val round : t -> (int -> unit) -> unit
+(** [round t f] runs [f slot] for every [slot] in [0 .. size - 1], slot 0 on
+    the calling thread, and returns when all have finished.  If any slot
+    raises, the first exception (slot 0's preferred) is re-raised here after
+    the barrier — the team itself stays usable. *)
+
+val stop : t -> unit
+(** Terminate and join the helper domains.  Idempotent. *)
+
+val with_team : workers:int -> (t -> 'a) -> 'a
+(** [create], run, then {!stop} (exceptions included). *)

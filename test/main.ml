@@ -24,4 +24,5 @@ let () =
          Test_faults.tests;
          Test_spans.tests;
          Test_check.tests;
+         Test_pdes.tests;
        ])
