@@ -38,6 +38,9 @@ module Pdes = Xguard_harness.Pdes
 module Network = Xguard_network.Network
 module Spans = Xguard_obs.Spans
 module Perfetto = Xguard_obs.Perfetto
+module Metrics = Xguard_obs.Metrics
+module Slo = Xguard_obs.Slo
+module Watchdog = Xguard_obs.Watchdog
 
 let find_config name =
   List.find_opt (fun c -> Config.name c = name) (Config.all_configurations ())
@@ -152,6 +155,138 @@ let emit_spans_out ~spans_out recs =
   | Some file ->
       Perfetto.write_file file recs;
       Printf.printf "span timeline written to %s\n" file
+
+(* ---- streaming metrics, SLOs and the watchdog (run/stress/fuzz/campaign) ---- *)
+
+type metrics_opts = {
+  m_out : string option;
+  m_prom : string option;
+  m_slo : string option;
+  m_watchdog : Watchdog.config option;
+}
+
+let metrics_on m =
+  m.m_out <> None || m.m_prom <> None || m.m_slo <> None || m.m_watchdog <> None
+
+let metrics_term =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Stream periodic telemetry samples (counter deltas, gauges, \
+                   span quantiles, per-guard latency histograms, availability) \
+                   as xguard-metrics-v1 JSONL to $(docv).  Byte-identical for \
+                   any $(b,-j) / $(b,--sim-j).  Arms the span layer.")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-prom" ] ~docv:"FILE"
+             ~doc:"Write an end-of-run Prometheus-style text dump to $(docv).")
+  in
+  let slo =
+    Arg.(value & opt (some string) None
+         & info [ "slo" ] ~docv:"SPEC"
+             ~doc:"Judge service-level objectives after the run, e.g. \
+                   $(b,xg.decide:p99<=40;seq.e2e:p99<=400;avail>=0.95). \
+                   Verdicts print in the metrics block (and embed in \
+                   $(b,--metrics-out)); failures never change the exit code.")
+  in
+  let wd =
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "watchdog" ] ~docv:"SPEC"
+             ~doc:"Arm the anomaly watchdog (retry storms, quiescence stalls, \
+                   port starvation, gauge ceilings).  Optional $(docv) \
+                   overrides the defaults: \
+                   $(b,retry=64,stall=4,starve=8,ceil:NAME=LIMIT).  Trips are \
+                   pure observations: they land in the OS model's anomaly \
+                   ledger and the obs.watchdog coverage space, never in the \
+                   simulation.")
+  in
+  let pack m_out m_prom m_slo wd =
+    let m_watchdog =
+      Option.map
+        (fun spec ->
+          match Watchdog.parse spec with
+          | Ok c -> c
+          | Error e ->
+              Printf.eprintf "bad --watchdog %S: %s\n" spec e;
+              exit 1)
+        wd
+    in
+    { m_out; m_prom; m_slo; m_watchdog }
+  in
+  Term.(const pack $ out $ prom $ slo $ wd)
+
+let parse_slo m =
+  match m.m_slo with
+  | None -> []
+  | Some spec -> (
+      match Slo.parse spec with
+      | Ok objectives -> objectives
+      | Error e ->
+          Printf.eprintf "bad --slo %S: %s\n" spec e;
+          exit 1)
+
+(* Note each guard's availability on the armed recorder; called inside the
+   job, as the run's [now] only the outcome knows is handed in. *)
+let note_guard_avail (sys : System.t) ~now =
+  if Metrics.on () then
+    Array.iter
+      (fun (g : System.guard) ->
+        let guard = if g.System.g_id = "" then "xg" else "xg." ^ g.System.g_id in
+        Metrics.note_avail ~guard
+          ~down:(Xg.Xg_core.down_cycles g.System.g_core ~now)
+          ~now)
+      sys.System.guards
+
+(* The stdout metrics block, delimited so tools/check_metrics.sh can strip it
+   and compare against a metrics-off run byte-for-byte. *)
+let emit_metrics ~mopts ~span_cells msum =
+  if metrics_on mopts then begin
+    let objectives = parse_slo mopts in
+    let verdicts =
+      Slo.evaluate objectives ~span_cells
+        ~guard_hists:(Metrics.Summary.hists msum)
+        ~avail:(Metrics.Summary.avails msum)
+    in
+    print_string "== metrics ==\n";
+    Printf.printf "metrics: %d sample(s), %d job(s)\n"
+      (Metrics.Summary.samples msum)
+      (List.length (Metrics.Summary.blocks msum));
+    let r = Metrics.Summary.replaced msum and d = Metrics.Summary.dropped msum in
+    if r > 0 || d > 0 then
+      Printf.printf "metrics: %d open entries replaced, %d samples dropped\n" r d;
+    if mopts.m_watchdog <> None then begin
+      match Metrics.Summary.trip_counts msum with
+      | [] -> print_string "watchdog: no anomalies\n"
+      | trips ->
+          List.iter
+            (fun (rule, n) -> Printf.printf "watchdog: %-14s %d trip(s)\n" rule n)
+            trips
+    end;
+    if objectives <> [] then begin
+      print_string (Xguard_stats.Table.to_string (Slo.to_table verdicts));
+      let met = List.length (List.filter (fun v -> v.Slo.v_pass) verdicts) in
+      Printf.printf "slo: %s (%d/%d objectives met)\n"
+        (if Slo.passed verdicts then "PASS" else "FAIL")
+        met (List.length verdicts)
+    end;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        Metrics.write_jsonl oc ~period:System.sampler_period ~span_cells ~verdicts
+          msum;
+        close_out oc;
+        Printf.printf "metrics stream written to %s\n" file)
+      mopts.m_out;
+    Option.iter
+      (fun file ->
+        let oc = open_out file in
+        Metrics.write_prom oc ~span_cells msum;
+        close_out oc;
+        Printf.printf "prometheus dump written to %s\n" file)
+      mopts.m_prom;
+    print_string "== end metrics ==\n"
+  end
 
 let jobs_arg =
   Arg.(value & opt int 1
@@ -337,7 +472,7 @@ let run_cmd =
     let doc = "Workload: streaming, blocked, graph, write-coalesce, producer-consumer." in
     Arg.(value & opt string "blocked" & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc)
   in
-  let action config topology workload seed sim_j trace trace_out spans spans_out =
+  let action config topology workload seed sim_j trace trace_out spans spans_out mopts =
     with_system_config ~topology config seed (fun cfg ->
         match find_workload workload with
         | None ->
@@ -346,9 +481,23 @@ let run_cmd =
         | Some w ->
             let sim_j = check_sim_j ~sim_j cfg in
             let tr = make_trace ~trace ~trace_out in
-            let rec_ = make_recorder ~spans ~spans_out in
+            (* Metrics always ride an armed span recorder (quantile sampling
+               reads it); the span tables stay opt-in via --spans. *)
+            let rec_ =
+              if metrics_on mopts then
+                Some (Spans.create ~timeline:(spans_out <> None) ())
+              else make_recorder ~spans ~spans_out
+            in
+            let mrec =
+              if metrics_on mopts then Some (Metrics.create ?watchdog:mopts.m_watchdog ())
+              else None
+            in
+            let with_obs f =
+              with_spans rec_ (fun () ->
+                  match mrec with None -> f () | Some m -> Metrics.with_armed m f)
+            in
             (try
-               let r = with_spans rec_ (fun () -> Perf.run ?trace:tr ?sim_j cfg w) in
+               let r = with_obs (fun () -> Perf.run ?trace:tr ?sim_j cfg w) in
                Printf.printf "configuration      %s\n" r.Perf.config_name;
                Printf.printf "workload           %s (%s)\n" w.W.name w.W.description;
                Printf.printf "cycles             %d\n" r.Perf.cycles;
@@ -360,8 +509,15 @@ let run_cmd =
                Printf.printf "guard violations   %d\n" r.Perf.violations;
                Option.iter
                  (fun rc ->
-                   print_span_summary (Spans.summary rc);
-                   emit_spans_out ~spans_out [ (w.W.name, rc) ])
+                   let sum = Spans.summary rc in
+                   if spans || spans_out <> None then print_span_summary sum;
+                   emit_spans_out ~spans_out [ (w.W.name, rc) ];
+                   Option.iter
+                     (fun m ->
+                       emit_metrics ~mopts
+                         ~span_cells:(Spans.Summary.cells sum)
+                         (Metrics.summary ~label:"run" m))
+                     mrec)
                  rec_
              with e ->
                Option.iter
@@ -378,7 +534,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload on one configuration")
     Term.(const action $ config_arg $ topology_arg $ workload_arg $ seed_arg $ sim_j_arg
-          $ trace_flag $ trace_out_arg $ spans_flag $ spans_out_arg)
+          $ trace_flag $ trace_out_arg $ spans_flag $ spans_out_arg $ metrics_term)
 
 (* ---- stress ---- *)
 
@@ -390,7 +546,8 @@ let stress_cmd =
     Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
   in
   let action config topology seed ops seeds jobs sim_j trace trace_out coverage spans
-      spans_out drop dup corrupt delay scripts reliable recover lives breq binv bfetch =
+      spans_out mopts drop dup corrupt delay scripts reliable recover lives breq binv
+      bfetch =
     with_system_config ~topology config seed (fun base ->
         let base =
           apply_link_faults ~drop ~dup ~corrupt ~delay ~scripts ~reliable base
@@ -406,7 +563,16 @@ let stress_cmd =
           Pool.map ~workers:jobs ~jobs:seeds (fun i ->
               let s = seed + i in
               let cfg = Config.stress_sized { base with Config.seed = s } in
-              let rec_ = make_recorder ~spans ~spans_out in
+              let rec_ =
+                if metrics_on mopts then
+                  Some (Spans.create ~timeline:(spans_out <> None) ())
+                else make_recorder ~spans ~spans_out
+              in
+              let mrec =
+                if metrics_on mopts then
+                  Some (Metrics.create ?watchdog:mopts.m_watchdog ())
+                else None
+              in
               let run_body () =
                 match sim_j with
                 | Some j ->
@@ -427,7 +593,16 @@ let stress_cmd =
                     in
                     (sys, o)
               in
-              let sys, o = with_spans rec_ run_body in
+              let sys, o =
+                with_spans rec_ (fun () ->
+                    match mrec with
+                    | None -> run_body ()
+                    | Some m ->
+                        Metrics.with_armed m (fun () ->
+                            let sys, o = run_body () in
+                            note_guard_avail sys ~now:o.Tester.cycles;
+                            (sys, o)))
+              in
               let viol = Xg.Os_model.error_count sys.System.os in
               let bad = o.Tester.data_errors > 0 || o.Tester.deadlocked || viol > 0 in
               let link = sys.System.link_stats () in
@@ -487,12 +662,13 @@ let stress_cmd =
                 else None
               in
               let cov = if coverage then Some (sys.System.coverage_sets ()) else None in
-              (line, bad, trail, cov, rec_))
+              (line, bad, trail, cov, rec_, mrec))
         in
         let failures = ref 0 in
         let cov_runs = ref [] in
         let span_sum = ref Spans.Summary.empty in
         let span_recs = ref [] in
+        let metrics_sum = ref Metrics.Summary.empty in
         Array.iteri
           (fun i result ->
             match result with
@@ -501,7 +677,7 @@ let stress_cmd =
                    instead of killing the sweep. *)
                 incr failures;
                 Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
-            | Pool.Done (line, bad, trail, cov, rec_) ->
+            | Pool.Done (line, bad, trail, cov, rec_, mrec) ->
                 if bad then incr failures;
                 Option.iter (fun c -> cov_runs := c :: !cov_runs) cov;
                 Option.iter
@@ -509,6 +685,12 @@ let stress_cmd =
                     span_sum := Spans.Summary.merge !span_sum (Spans.summary rc);
                     span_recs := (Printf.sprintf "seed %d" (seed + i), rc) :: !span_recs)
                   rec_;
+                Option.iter
+                  (fun m ->
+                    metrics_sum :=
+                      Metrics.Summary.merge !metrics_sum
+                        (Metrics.summary ~label:(Printf.sprintf "seed %d" (seed + i)) m))
+                  mrec;
                 Printf.printf "%s\n" line;
                 Option.iter (fun (header, text) -> emit_trail ~trace_out ~header text) trail)
           results;
@@ -528,8 +710,9 @@ let stress_cmd =
                   print_newline ())
                 first
         end;
-        print_span_summary !span_sum;
+        if spans || spans_out <> None then print_span_summary !span_sum;
         emit_spans_out ~spans_out (List.rev !span_recs);
+        emit_metrics ~mopts ~span_cells:(Spans.Summary.cells !span_sum) !metrics_sum;
         Printf.printf "%s\n" (if !failures = 0 then "PASS" else "FAIL");
         if !failures > 0 then exit 1)
   in
@@ -537,9 +720,10 @@ let stress_cmd =
     (Cmd.info "stress" ~doc:"Random coherence stress test (paper section 4.1)")
     Term.(const action $ config_arg $ topology_arg $ seed_arg $ ops_arg $ seeds_arg
           $ jobs_arg $ sim_j_arg $ trace_flag $ trace_out_arg $ coverage_flag $ spans_flag
-          $ spans_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
-          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag $ recover_flag
-          $ recover_lives_arg $ budget_req_arg $ budget_inv_arg $ budget_fetch_arg)
+          $ spans_out_arg $ metrics_term $ fault_drop_arg $ fault_dup_arg
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag
+          $ recover_flag $ recover_lives_arg $ budget_req_arg $ budget_inv_arg
+          $ budget_fetch_arg)
 
 (* ---- fuzz ---- *)
 
@@ -589,7 +773,7 @@ let fuzz_cmd =
                    $(b,--chaos-respond-prob).")
   in
   let action config topology seed seeds jobs mute timeout trace trace_out coverage spans
-      spans_out drop dup corrupt delay scripts reliable chaos_period chaos_respond
+      spans_out mopts drop dup corrupt delay scripts reliable chaos_period chaos_respond
       chaos_requests_only chaos_tarpit recover lives breq binv bfetch =
     with_system_config ~topology config seed (fun cfg ->
         if not (Config.uses_xg cfg) then begin
@@ -612,31 +796,52 @@ let fuzz_cmd =
         let results =
           Pool.map ~workers:jobs ~jobs:seeds (fun i ->
               let cfg = { cfg with Config.seed = seed + i } in
-              let rec_ = make_recorder ~spans ~spans_out in
+              let rec_ =
+                if metrics_on mopts then
+                  Some (Spans.create ~timeline:(spans_out <> None) ())
+                else make_recorder ~spans ~spans_out
+              in
+              let mrec =
+                if metrics_on mopts then
+                  Some (Metrics.create ?watchdog:mopts.m_watchdog ())
+                else None
+              in
               Option.iter Trace.clear tr;
+              let body () =
+                Fuzz.run cfg ?chaos_period ?respond_probability ?requests_only
+                  ?tarpit:chaos_tarpit ?trace:tr ()
+              in
               let o =
                 with_spans rec_ (fun () ->
-                    Fuzz.run cfg ?chaos_period ?respond_probability ?requests_only
-                      ?tarpit:chaos_tarpit ?trace:tr ())
+                    match mrec with
+                    | None -> body ()
+                    | Some m -> Metrics.with_armed m body)
               in
-              (o, rec_))
+              (o, rec_, mrec))
         in
         let pool_crashes = ref 0 in
         let merged = ref None in
         let span_sum = ref Spans.Summary.empty in
         let span_recs = ref [] in
+        let metrics_sum = ref Metrics.Summary.empty in
         Array.iteri
           (fun i result ->
             match result with
             | Pool.Failed e ->
                 incr pool_crashes;
                 Printf.printf "seed %-6d CRASH %s FAIL\n" (seed + i) e
-            | Pool.Done (o, rec_) ->
+            | Pool.Done (o, rec_, mrec) ->
                 Option.iter
                   (fun rc ->
                     span_sum := Spans.Summary.merge !span_sum (Spans.summary rc);
                     span_recs := (Printf.sprintf "seed %d" (seed + i), rc) :: !span_recs)
                   rec_;
+                Option.iter
+                  (fun m ->
+                    metrics_sum :=
+                      Metrics.Summary.merge !metrics_sum
+                        (Metrics.summary ~label:(Printf.sprintf "seed %d" (seed + i)) m))
+                  mrec;
                 if seeds > 1 then
                   Printf.printf
                     "seed %-6d chaos=%-6d ops=%d/%d crashed=%-3s deadlock=%-5b violations=%-4d %s\n"
@@ -674,8 +879,9 @@ let fuzz_cmd =
         if cfg.Config.budgets <> Xg.Xg_core.no_budgets then
           Printf.printf "budget trips       %d\n" o.Fuzz.budget_trips;
         if coverage then print_coverage_sets o.Fuzz.coverage_sets;
-        print_span_summary !span_sum;
+        if spans || spans_out <> None then print_span_summary !span_sum;
         emit_spans_out ~spans_out (List.rev !span_recs);
+        emit_metrics ~mopts ~span_cells:(Spans.Summary.cells !span_sum) !metrics_sum;
         let tail =
           match o.Fuzz.crashed with
           | Some c -> c.Fuzz.trace_tail
@@ -706,7 +912,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Bombard the guard with a pathological accelerator")
     Term.(const action $ config_arg $ topology_arg $ seed_arg $ seeds_arg $ jobs_arg
           $ mute_arg $ timeout_arg $ trace_flag $ trace_out_arg $ coverage_flag
-          $ spans_flag $ spans_out_arg $ fault_drop_arg $ fault_dup_arg
+          $ spans_flag $ spans_out_arg $ metrics_term $ fault_drop_arg $ fault_dup_arg
           $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag
           $ chaos_period_arg $ chaos_respond_arg $ chaos_requests_only_flag
           $ chaos_tarpit_arg $ recover_flag $ recover_lives_arg $ budget_req_arg
@@ -741,7 +947,7 @@ let campaign_cmd =
     Arg.(value & opt int 300
          & info [ "cpu-ops" ] ~docv:"N" ~doc:"Checked CPU operations per core per fuzz run.")
   in
-  let action config topology seeds jobs kind ops cpu_ops seed coverage spans trace
+  let action config topology seeds jobs kind ops cpu_ops seed coverage spans mopts trace
       trace_out drop dup corrupt delay scripts reliable recover lives breq binv bfetch =
     let configs =
       match topology with
@@ -764,9 +970,13 @@ let campaign_cmd =
     check_trace_jobs ~jobs tr;
     let result =
       Campaign.run ~workers:jobs ~collect_coverage:coverage ~stress_ops:ops
-        ~fuzz_cpu_ops:cpu_ops ~base_seed:seed ~spans ?trace:tr kind ~configs ~seeds ()
+        ~fuzz_cpu_ops:cpu_ops ~base_seed:seed ~spans ~metrics:(metrics_on mopts)
+        ?watchdog:mopts.m_watchdog ?trace:tr kind ~configs ~seeds ()
     in
     print_string (Campaign.render result);
+    emit_metrics ~mopts
+      ~span_cells:(Spans.Summary.cells result.Campaign.span_total)
+      result.Campaign.metrics;
     (* All shards' failure trails go out in one emit so --trace-out holds the
        full set (emit_trail truncates its file on every call). *)
     (match result.Campaign.trails with
@@ -792,37 +1002,269 @@ let campaign_cmd =
                reported as a failed run for its configuration.";
          ])
     Term.(const action $ config_arg $ topology_arg $ seeds_arg $ jobs_arg $ kind_arg
-          $ ops_arg $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ trace_flag
-          $ trace_out_arg $ fault_drop_arg $ fault_dup_arg $ fault_corrupt_arg
-          $ fault_delay_arg $ fault_script_arg $ reliable_link_flag $ recover_flag
-          $ recover_lives_arg $ budget_req_arg $ budget_inv_arg $ budget_fetch_arg)
+          $ ops_arg $ cpu_ops_arg $ seed_arg $ coverage_flag $ spans_flag $ metrics_term
+          $ trace_flag $ trace_out_arg $ fault_drop_arg $ fault_dup_arg
+          $ fault_corrupt_arg $ fault_delay_arg $ fault_script_arg $ reliable_link_flag
+          $ recover_flag $ recover_lives_arg $ budget_req_arg $ budget_inv_arg
+          $ budget_fetch_arg)
 
 (* ---- report ---- *)
+
+(* The health-dashboard half of `xguard report`: merge one or more
+   xguard-metrics-v1 streams (campaign shards, separate runs) into one
+   terminal — and optionally HTML — health report. *)
+
+module Table = Xguard_stats.Table
+module Histogram = Xguard_stats.Histogram
+
+let read_lines file =
+  let ic =
+    try open_in file
+    with Sys_error e ->
+      Printf.eprintf "cannot read metrics stream: %s\n" e;
+      exit 1
+  in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let hist_cells h =
+  let q p = match Histogram.quantile h p with None -> "-" | Some v -> Table.cell_int v in
+  [ Table.cell_int (Histogram.count h); q 0.5; q 0.99; q 1.0 ]
+
+(* Sum availability triples per guard, first-seen order. *)
+let avail_rows avails =
+  List.fold_left
+    (fun acc (g, down, now) ->
+      let rec bump = function
+        | [] -> [ (g, down, now) ]
+        | (g', d', n') :: rest ->
+            if g' = g then (g', d' + down, n' + now) :: rest
+            else (g', d', n') :: bump rest
+      in
+      bump acc)
+    [] avails
+
+let health_tables rep ~objectives =
+  let tables = ref [] in
+  let add t = tables := t :: !tables in
+  let streams = Metrics.Report.streams rep in
+  let t = Table.create ~title:"Merged metric streams" ~columns:[ "stream"; "samples" ] in
+  List.iter (fun (name, n) -> Table.add_row t [ name; Table.cell_int n ]) streams;
+  add t;
+  (match Metrics.Report.guard_hists rep with
+  | [] -> ()
+  | hists ->
+      let t =
+        Table.create ~title:"Per-guard latency (cycles)"
+          ~columns:[ "guard"; "metric"; "n"; "p50"; "p99"; "max" ]
+      in
+      List.iter
+        (fun ((guard, metric), h) -> Table.add_row t ([ guard; metric ] @ hist_cells h))
+        hists;
+      add t);
+  (match Metrics.Report.span_cells rep with
+  | [] -> ()
+  | cells ->
+      let t =
+        Table.create ~title:"Segment latency (cycles)"
+          ~columns:[ "segment"; "txn"; "n"; "p50"; "p99"; "max" ]
+      in
+      List.iter
+        (fun (seg, txn, h) -> Table.add_row t ([ seg; txn ] @ hist_cells h))
+        cells;
+      add t);
+  (match avail_rows (Metrics.Report.avails rep) with
+  | [] -> ()
+  | rows ->
+      let t =
+        Table.create ~title:"Guard availability"
+          ~columns:[ "guard"; "down"; "cycles"; "availability" ]
+      in
+      List.iter
+        (fun (g, down, now) ->
+          let a = if now = 0 then 1.0 else 1.0 -. (float_of_int down /. float_of_int now) in
+          Table.add_row t
+            [ g; Table.cell_int down; Table.cell_int now; Printf.sprintf "%.4f" a ])
+        rows;
+      add t);
+  let trips = Metrics.Report.trips rep in
+  (match trips with
+  | [] -> ()
+  | _ ->
+      let t =
+        Table.create ~title:"Watchdog trips"
+          ~columns:[ "rule"; "ts"; "stream"; "detail" ]
+      in
+      List.iter
+        (fun (rule, ts, stream, detail) ->
+          Table.add_row t [ rule; Table.cell_int ts; stream; detail ])
+        trips;
+      add t);
+  (* SLO verdicts: re-judged over the merged data when --slo was given,
+     otherwise the verdicts each stream embedded. *)
+  let verdicts =
+    match objectives with
+    | [] ->
+        List.map snd (Metrics.Report.verdicts rep)
+    | objectives ->
+        Slo.evaluate objectives
+          ~span_cells:(Metrics.Report.span_cells rep)
+          ~guard_hists:(Metrics.Report.guard_hists rep)
+          ~avail:(Metrics.Report.avails rep)
+  in
+  if verdicts <> [] then
+    add (Slo.to_table ~title:"SLO verdicts" verdicts);
+  (List.rev !tables, verdicts, trips)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_html_report file ~healthy ~status tables =
+  let oc = open_out file in
+  output_string oc
+    "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+     <title>xguard health report</title>\n\
+     <style>\n\
+     body{font-family:system-ui,sans-serif;margin:2em;max-width:72em}\n\
+     h1{font-size:1.4em} h2{font-size:1.1em;margin-top:1.5em}\n\
+     table{border-collapse:collapse;margin:0.5em 0}\n\
+     th,td{border:1px solid #ccc;padding:0.25em 0.6em;font-size:0.9em;\
+     text-align:left;font-variant-numeric:tabular-nums}\n\
+     th{background:#f0f0f0}\n\
+     .ok{color:#0a0} .bad{color:#c00}\n\
+     </style></head><body>\n<h1>xguard health report</h1>\n";
+  Printf.fprintf oc "<p class=\"%s\"><strong>%s</strong></p>\n"
+    (if healthy then "ok" else "bad")
+    (html_escape status);
+  List.iter
+    (fun t ->
+      Printf.fprintf oc "<h2>%s</h2>\n<table>\n<tr>" (html_escape (Table.title t));
+      List.iter (fun c -> Printf.fprintf oc "<th>%s</th>" (html_escape c)) (Table.columns t);
+      output_string oc "</tr>\n";
+      List.iter
+        (fun row ->
+          output_string oc "<tr>";
+          List.iter (fun c -> Printf.fprintf oc "<td>%s</td>" (html_escape c)) row;
+          output_string oc "</tr>\n")
+        (Table.rows t);
+      output_string oc "</table>\n")
+    tables;
+  output_string oc "</body></html>\n";
+  close_out oc
+
+let health_report ~slo ~html files =
+  let rep =
+    List.fold_left
+      (fun acc file ->
+        match
+          Metrics.Report.add_stream acc ~name:(Filename.basename file)
+            (read_lines file)
+        with
+        | Ok rep -> rep
+        | Error e ->
+            Printf.eprintf "bad metrics stream %s: %s\n" file e;
+            exit 1)
+      Metrics.Report.empty files
+  in
+  let objectives =
+    match slo with
+    | None -> []
+    | Some spec -> (
+        match Slo.parse spec with
+        | Ok o -> o
+        | Error e ->
+            Printf.eprintf "bad --slo %S: %s\n" spec e;
+            exit 1)
+  in
+  let tables, verdicts, trips = health_tables rep ~objectives in
+  let failed = List.filter (fun v -> not v.Slo.v_pass) verdicts in
+  let healthy = failed = [] && trips = [] in
+  let status =
+    if healthy then
+      Printf.sprintf "HEALTHY — %d stream(s), %d sample(s), %d/%d SLO objective(s) met"
+        (List.length (Metrics.Report.streams rep))
+        (Metrics.Report.samples rep)
+        (List.length verdicts) (List.length verdicts)
+    else
+      Printf.sprintf
+        "DEGRADED — %d SLO verdict(s) failing, %d watchdog trip(s) across %d stream(s)"
+        (List.length failed) (List.length trips)
+        (List.length (Metrics.Report.streams rep))
+  in
+  Printf.printf "== xguard health report ==\n%s\n\n" status;
+  List.iter
+    (fun t ->
+      print_string (Table.to_string t);
+      print_newline ())
+    tables;
+  Option.iter
+    (fun file ->
+      write_html_report file ~healthy ~status tables;
+      Printf.printf "html report written to %s\n" file)
+    html
 
 let report_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT"
-           ~doc:"Experiment id (t1 f1 f2 e1-e10 a1 a2) or 'all'.")
+           ~doc:"Experiment id (t1 f1 f2 e1-e11 a1 a2) or 'all'.")
   in
   let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced-size run.") in
-  let action id quick =
-    let print (r : Experiments.report) =
-      Printf.printf "== %s ==\n" r.Experiments.title;
-      List.iter (fun t -> print_string (Xguard_stats.Table.to_string t); print_newline ())
-        r.Experiments.tables
-    in
-    if id = "all" then List.iter print (Experiments.all ~quick ())
+  let metrics_files_arg =
+    Arg.(value & opt_all string []
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Merge the xguard-metrics-v1 stream in $(docv) (repeatable) \
+                   into one health report — per-guard latency, availability, \
+                   watchdog trips and SLO verdicts — instead of regenerating \
+                   an experiment.")
+  in
+  let slo_arg =
+    Arg.(value & opt (some string) None
+         & info [ "slo" ] ~docv:"SPEC"
+             ~doc:"Re-judge these objectives against the merged streams \
+                   (default: show the verdicts embedded in each stream).")
+  in
+  let html_arg =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Also write the health report as a standalone HTML page.")
+  in
+  let action id quick metrics slo html =
+    if metrics <> [] then health_report ~slo ~html metrics
     else
-      match Experiments.by_id id with
-      | Some f -> print (f ~quick ())
-      | None ->
-          Printf.eprintf "unknown experiment %S; known: %s\n" id
-            (String.concat ", " Experiments.ids);
-          exit 1
+      let print (r : Experiments.report) =
+        Printf.printf "== %s ==\n" r.Experiments.title;
+        List.iter (fun t -> print_string (Xguard_stats.Table.to_string t); print_newline ())
+          r.Experiments.tables
+      in
+      if id = "all" then List.iter print (Experiments.all ~quick ())
+      else
+        match Experiments.by_id id with
+        | Some f -> print (f ~quick ())
+        | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" id
+              (String.concat ", " Experiments.ids);
+            exit 1
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Regenerate a reproduced table or figure")
-    Term.(const action $ id_arg $ quick_arg)
+    (Cmd.info "report"
+       ~doc:"Regenerate a reproduced table/figure, or merge metric streams \
+             into a health report")
+    Term.(const action $ id_arg $ quick_arg $ metrics_files_arg $ slo_arg $ html_arg)
 
 (* ---- list ---- *)
 

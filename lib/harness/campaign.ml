@@ -1,3 +1,4 @@
+module Engine = Xguard_sim.Engine
 module Rng = Xguard_sim.Rng
 module Table = Xguard_stats.Table
 module Coverage = Xguard_trace.Coverage
@@ -5,6 +6,8 @@ module Trace = Xguard_trace.Trace
 module Pool = Xguard_parallel.Pool
 module Xg = Xguard_xg
 module Spans = Xguard_obs.Spans
+module Metrics = Xguard_obs.Metrics
+module Watchdog = Xguard_obs.Watchdog
 
 type kind = Stress | Fuzz | Both
 
@@ -16,6 +19,8 @@ type t = {
   jobs : int;
   failures : int;
   crashes : int;
+  metrics : Metrics.Summary.t;
+  span_total : Spans.Summary.t;
 }
 
 type coverage_sets =
@@ -66,6 +71,20 @@ let run_stress ~collect_coverage ~ops ?trace cfg seed =
   let link =
     { faults = sys.System.link_stats (); l_quarantined = sys.System.quarantined () }
   in
+  (* Availability is noted where the system is still visible — inside the job,
+     while this job's recorder is armed. *)
+  if Metrics.on () then begin
+    let now = Engine.now sys.System.engine in
+    Array.iter
+      (fun (g : System.guard) ->
+        let guard =
+          if g.System.g_id = "" then "xg" else "xg." ^ g.System.g_id
+        in
+        Metrics.note_avail ~guard
+          ~down:(Xg.Xg_core.down_cycles g.System.g_core ~now)
+          ~now)
+      sys.System.guards
+  end;
   let bad = o.Random_tester.data_errors > 0 || o.Random_tester.deadlocked || violations > 0 in
   let trail =
     if not bad then None
@@ -162,8 +181,8 @@ let injected_total counts =
 let count_of counts label = Option.value ~default:0 (List.assoc_opt label counts)
 
 let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
-    ?(fuzz_cpu_ops = 300) ?(base_seed = 42) ?(spans = false) ?trace kind ~configs
-    ~seeds () =
+    ?(fuzz_cpu_ops = 300) ?(base_seed = 42) ?(spans = false) ?(metrics = false)
+    ?watchdog ?trace kind ~configs ~seeds () =
   if seeds < 0 then invalid_arg "Campaign.run: negative seed count";
   let s_configs = Array.of_list (stress_configs kind configs) in
   let f_configs = Array.of_list (fuzz_configs kind configs) in
@@ -173,6 +192,14 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
   let job_seeds = Pool.Seed.derive_all ~base:base_seed ~count:jobs in
   let job i =
     let seed = job_seeds.(i) in
+    let label =
+      if i < n_stress then
+        Printf.sprintf "stress/%s/seed%d" (Config.name s_configs.(i / seeds)) seed
+      else
+        Printf.sprintf "fuzz/%s/seed%d"
+          (Config.name f_configs.((i - n_stress) / seeds))
+          seed
+    in
     let body () =
       if i < n_stress then
         run_stress ~collect_coverage ~ops:stress_ops ?trace s_configs.(i / seeds) seed
@@ -181,16 +208,26 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
           f_configs.((i - n_stress) / seeds)
           seed
     in
-    if spans then begin
+    if spans || metrics then begin
       (* One recorder per job, armed on this worker's domain only; the
-         summary travels back as plain data and merges purely in job order. *)
-      let r = Spans.create () in
-      let res, trail = Spans.with_armed r body in
-      (res, trail, Spans.summary r)
+         summary travels back as plain data and merges purely in job order.
+         Metrics always ride an armed span recorder: per-tick quantiles read
+         it, even when the span tables themselves were not requested. *)
+      let sr = Spans.create () in
+      if metrics then begin
+        let mr = Metrics.create ?watchdog () in
+        let res, trail =
+          Spans.with_armed sr (fun () -> Metrics.with_armed mr body)
+        in
+        (res, trail, Spans.summary sr, Metrics.summary ~label mr)
+      end
+      else
+        let res, trail = Spans.with_armed sr body in
+        (res, trail, Spans.summary sr, Metrics.Summary.empty)
     end
     else
       let res, trail = body () in
-      (res, trail, Spans.Summary.empty)
+      (res, trail, Spans.Summary.empty, Metrics.Summary.empty)
   in
   let results = Pool.map ~workers ~jobs job in
   (* Fold per configuration, in job order: byte-identical for any [workers]. *)
@@ -210,6 +247,11 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
       sets
   in
   let trails = ref [] in
+  (* Whole-campaign totals, merged strictly in job order (the fold below
+     visits stress block then fuzz block, configuration-major, seed-minor —
+     exactly the job enumeration), so any [workers] yields the same value. *)
+  let metrics_total = ref Metrics.Summary.empty in
+  let span_total = ref Spans.Summary.empty in
   let fold_block configs offset fail_of =
     Array.mapi
       (fun c cfg ->
@@ -220,8 +262,10 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
           | Pool.Failed _ ->
               acc.crashes <- acc.crashes + 1;
               acc.failed_runs <- acc.failed_runs + 1
-          | Pool.Done (r, trail, span_sum) ->
+          | Pool.Done (r, trail, span_sum, metrics_sum) ->
               acc.span <- Spans.Summary.merge acc.span span_sum;
+              span_total := Spans.Summary.merge !span_total span_sum;
+              metrics_total := Metrics.Summary.merge !metrics_total metrics_sum;
               (match trail with Some tr -> trails := tr :: !trails | None -> ());
               let failed = fail_of acc r in
               if failed then acc.failed_runs <- acc.failed_runs + 1
@@ -351,16 +395,21 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
       0 results
   in
   let span_tables =
-    let of_rows label rows =
-      List.filter_map
-        (fun (cfg, acc) ->
-          Spans.Summary.attribution_table
-            ~title:
-              (Printf.sprintf "Latency attribution (cycles): %s %s" label (Config.name cfg))
-            acc.span)
-        (Array.to_list rows)
-    in
-    of_rows "stress" stress_rows @ of_rows "fuzz" fuzz_rows
+    (* Metrics-only runs arm span recorders for quantile sampling, but the
+       attribution tables remain opt-in via [spans] so metrics never change
+       the pre-existing report text. *)
+    if not spans then []
+    else
+      let of_rows label rows =
+        List.filter_map
+          (fun (cfg, acc) ->
+            Spans.Summary.attribution_table
+              ~title:
+                (Printf.sprintf "Latency attribution (cycles): %s %s" label (Config.name cfg))
+              acc.span)
+          (Array.to_list rows)
+      in
+      of_rows "stress" stress_rows @ of_rows "fuzz" fuzz_rows
   in
   {
     tables = !tables;
@@ -370,6 +419,8 @@ let run ?(workers = 1) ?(collect_coverage = false) ?(stress_ops = 500)
     jobs;
     failures;
     crashes;
+    metrics = !metrics_total;
+    span_total = !span_total;
   }
 
 let passed t = t.failures = 0

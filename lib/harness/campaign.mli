@@ -46,6 +46,13 @@ type t = {
           are what the fuzzer exists to provoke, and data checks are advisory
           under its shared-rw pool — paper §2.3.2) *)
   crashes : int;  (** jobs whose harness raised (isolated by the pool) *)
+  metrics : Xguard_obs.Metrics.Summary.t;
+      (** whole-campaign metrics summary, blocks in job order; empty unless
+          metrics were requested *)
+  span_total : Xguard_obs.Spans.Summary.t;
+      (** every job's span summary merged in job order — the segment x txn
+          histograms behind the metrics stream's [shist] lines and quantile
+          SLOs; empty unless spans or metrics were requested *)
 }
 
 val job_count : kind -> configs:Config.t list -> seeds:int -> int
@@ -59,6 +66,8 @@ val run :
   ?fuzz_cpu_ops:int ->
   ?base_seed:int ->
   ?spans:bool ->
+  ?metrics:bool ->
+  ?watchdog:Xguard_obs.Watchdog.config ->
   ?trace:Xguard_trace.Trace.t ->
   kind ->
   configs:Config.t list ->
@@ -75,9 +84,13 @@ val run :
     recorder per job ({!Xguard_obs.Spans}) and merges the summaries into
     {!t.span_tables} — still byte-identical for any [workers], since each
     worker domain arms its own recorder and summaries merge purely in job
-    order.  [trace] collects per-shard failure event trails into {!t.trails};
-    the ring buffer is shared, so tracing requires [workers = 1] (the CLI
-    enforces this). *)
+    order.  [metrics] (default false) additionally arms one
+    {!Xguard_obs.Metrics} recorder per job (with [watchdog] rules when
+    given), always alongside an armed span recorder, and merges every job's
+    telemetry into {!t.metrics} / {!t.span_total} under the same job-order
+    discipline; the rendered report text is unchanged.  [trace] collects
+    per-shard failure event trails into {!t.trails}; the ring buffer is
+    shared, so tracing requires [workers = 1] (the CLI enforces this). *)
 
 val render : t -> string
 (** The full merged report: tables, coverage matrices (when collected) and a

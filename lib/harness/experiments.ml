@@ -1145,6 +1145,177 @@ let e10_recovery ?(quick = false) () =
     tables = [ sweep; lifecycle; isolation ];
   }
 
+(* ---------- E11: SLO health across the matrix; tarpit tenant isolation ----- *)
+
+module Spans = Xguard_obs.Spans
+module Metrics = Xguard_obs.Metrics
+module Slo = Xguard_obs.Slo
+
+(* Run one stress workload with the telemetry stack armed and judge the
+   given objectives against exactly what the metrics layer recorded. *)
+let e11_measure ~ops ~seed ~objectives cfg =
+  let sr = Spans.create () in
+  let mr = Metrics.create () in
+  Spans.with_armed sr (fun () ->
+      Metrics.with_armed mr (fun () ->
+          let sys = System.build cfg in
+          let ports =
+            Array.append sys.System.cpu_ports sys.System.accel_ports
+          in
+          let o =
+            Random_tester.run ~engine:sys.System.engine
+              ~rng:(Rng.create ~seed:(seed * 7 + 1))
+              ~ports
+              ~addresses:(Array.init 6 Addr.block)
+              ~ops_per_core:ops ()
+          in
+          let now = Engine.now sys.System.engine in
+          Array.iter
+            (fun (g : System.guard) ->
+              let guard =
+                if g.System.g_id = "" then "xg" else "xg." ^ g.System.g_id
+              in
+              Metrics.note_avail ~guard
+                ~down:(Xg.Xg_core.down_cycles g.System.g_core ~now)
+                ~now)
+            sys.System.guards;
+          ignore o));
+  let msum = Metrics.summary ~label:(Config.name cfg) mr in
+  let verdicts =
+    Slo.evaluate objectives
+      ~span_cells:(Spans.Summary.cells (Spans.summary sr))
+      ~guard_hists:(Metrics.Summary.hists msum)
+      ~avail:(Metrics.Summary.avails msum)
+  in
+  (Metrics.Summary.samples msum, verdicts)
+
+let e11_slo ?(quick = false) () =
+  let module Xgi = Xg.Xg_iface in
+  let parse spec =
+    match Slo.parse spec with Ok o -> o | Error e -> invalid_arg e
+  in
+  (* E11a: one short stress run per configuration of the full matrix, each
+     judged against the same objective set.  Guard decision latency and
+     availability hold everywhere; the end-to-end bound is deliberately
+     generous — this table is the "all tenants healthy" baseline E11b breaks. *)
+  let ops = if quick then 100 else 250 in
+  let objectives =
+    parse "xg.decide:p99<=400;seq.e2e:p99<=60000;avail>=0.95"
+  in
+  let find_measured verdicts prefix =
+    match
+      List.find_opt
+        (fun v ->
+          String.length v.Slo.v_objective >= String.length prefix
+          && String.sub v.Slo.v_objective 0 (String.length prefix) = prefix)
+        verdicts
+    with
+    | Some v -> v.Slo.v_measured
+    | None -> "-"
+  in
+  let sweep =
+    Table.create
+      ~title:
+        "E11a: SLO verdicts per configuration (stress workload; \
+         xg.decide:p99<=400, seq.e2e:p99<=60000, avail>=0.95)"
+      ~columns:
+        [ "Configuration"; "samples"; "xg.decide p99"; "seq.e2e p99";
+          "availability"; "slo" ]
+  in
+  List.iter
+    (fun cfg ->
+      let cfg = Config.stress_sized { cfg with Config.seed = 7 } in
+      let samples, verdicts = e11_measure ~ops ~seed:7 ~objectives cfg in
+      Table.add_row sweep
+        [
+          Config.name cfg;
+          Table.cell_int samples;
+          find_measured verdicts "xg.decide";
+          find_measured verdicts "seq.e2e";
+          find_measured verdicts "avail";
+          (if Slo.passed verdicts then "PASS" else "FAIL");
+        ])
+    (Config.all_configurations ());
+  (* E11b: three tenants behind their own guards; tenant [a0] is a tarpit —
+     it answers every Invalidate correctly but hundreds of cycles late, then
+     immediately re-acquires the block so invalidation traffic never dries
+     up.  The per-guard inv.roundtrip SLO must fail for the tarpit alone:
+     the guards pin the damage to the slow tenant, the neighbors' verdicts
+     stay green (the observability face of the paper's isolation claim). *)
+  let tarpit = 900 in
+  let inv_bound = 64 in
+  let t_ops = if quick then 120 else 300 in
+  let topo =
+    match
+      Topology.of_string
+        "hammer:shards=2;a0=trans,cached;nic0=full,uncached,lat=12;dsp0=trans,cached,lat=6"
+    with
+    | Ok t -> t
+    | Error e -> invalid_arg e
+  in
+  let cfg = { (Config.of_topology topo) with Config.seed = 11 } in
+  let sr = Spans.create () in
+  let mr = Metrics.create () in
+  Spans.with_armed sr (fun () ->
+      Metrics.with_armed mr (fun () ->
+          (* Guard 0's accelerator stack stays unattached; a scripted tarpit
+             endpoint sits on its link instead. *)
+          let sys = System.build ~attach_accel:false cfg in
+          let link = Option.get sys.System.accel_link in
+          let self = Option.get sys.System.accel_node_on_link in
+          let xg = Option.get sys.System.xg_node_on_link in
+          let send msg =
+            Xgi.Link.send link ~src:self ~dst:xg ~size:(Xgi.msg_size msg) msg
+          in
+          Xgi.Link.register link self (fun ~src:_ msg ->
+              match msg with
+              | Xgi.To_accel_req { addr; req = Xgi.Invalidate } ->
+                  Engine.schedule sys.System.engine ~delay:tarpit (fun () ->
+                      send (Xgi.To_xg_resp { addr; resp = Xgi.Inv_ack });
+                      (* Re-own the block so the next host touch invalidates
+                         the tarpit again. *)
+                      send (Xgi.To_xg_req { addr; req = Xgi.Get_m }))
+              | _ -> ());
+          (* Seed the tarpit's working set: it grabs half the tester pool. *)
+          for b = 0 to 2 do
+            send (Xgi.To_xg_req { addr = Addr.block b; req = Xgi.Get_m })
+          done;
+          let neighbor_ports =
+            Array.concat
+              (List.tl
+                 (List.map
+                    (fun g -> g.System.g_ports)
+                    (Array.to_list sys.System.guards)))
+          in
+          let ports = Array.append sys.System.cpu_ports neighbor_ports in
+          let o =
+            Random_tester.run ~engine:sys.System.engine
+              ~rng:(Rng.create ~seed:(11 * 7 + 1))
+              ~ports
+              ~addresses:(Array.init 6 Addr.block)
+              ~ops_per_core:t_ops ()
+          in
+          ignore o));
+  let msum = Metrics.summary ~label:"tarpit topology" mr in
+  let verdicts =
+    Slo.evaluate
+      (parse (Printf.sprintf "inv.roundtrip:p99<=%d" inv_bound))
+      ~span_cells:[]
+      ~guard_hists:(Metrics.Summary.hists msum)
+      ~avail:(Metrics.Summary.avails msum)
+  in
+  let tarpit_table =
+    Slo.to_table
+      ~title:
+        (Printf.sprintf
+           "E11b: per-guard inv.roundtrip:p99<=%d on a 3-tenant topology — \
+            tenant a0 acks invalidations %d cycles late"
+           inv_bound tarpit)
+      verdicts
+  in
+  { id = "e11"; title = "E11 (SLO health & tarpit-tenant attribution)";
+    tables = [ sweep; tarpit_table ] }
+
 (* ---------- registry ---------- *)
 
 let all ?(quick = false) () =
@@ -1162,12 +1333,14 @@ let all ?(quick = false) () =
     e8_block_merge ();
     e9_topology ~quick ();
     e10_recovery ~quick ();
+    e11_slo ~quick ();
     a1_link_ordering ~quick ();
     a2_snoop_filtering ~quick ();
   ]
 
 let ids =
-  [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1"; "a2" ]
+  [ "t1"; "f1"; "f2"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10";
+    "e11"; "a1"; "a2" ]
 
 let by_id = function
   | "t1" -> Some (fun ?quick () -> ignore quick; t1_transition_table ())
@@ -1183,6 +1356,7 @@ let by_id = function
   | "e8" -> Some (fun ?quick () -> ignore quick; e8_block_merge ())
   | "e9" -> Some (fun ?quick () -> e9_topology ?quick ())
   | "e10" -> Some (fun ?quick () -> e10_recovery ?quick ())
+  | "e11" -> Some (fun ?quick () -> e11_slo ?quick ())
   | "a1" -> Some (fun ?quick () -> a1_link_ordering ?quick ())
   | "a2" -> Some (fun ?quick () -> a2_snoop_filtering ?quick ())
   | _ -> None

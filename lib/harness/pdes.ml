@@ -24,6 +24,7 @@ module Shard = Xguard_sim.Shard
 module Team = Xguard_parallel.Team
 module Pool = Xguard_parallel.Pool
 module Spans = Xguard_obs.Spans
+module Metrics = Xguard_obs.Metrics
 
 (* ---- eligibility ------------------------------------------------------- *)
 
@@ -126,6 +127,9 @@ let sample_barrier t ~bound =
   let p = ref (((t.sampled_to / period) + 1) * period) in
   while !p <= bound do
     Spans.sample_now ~now:!p;
+    (* Metrics ticks ride the same barrier schedule, after the span sample —
+       the same order the two free-running samplers fire in sequentially. *)
+    Metrics.sample_now ~now:!p;
     p := !p + period
   done;
   if bound > t.sampled_to then t.sampled_to <- bound

@@ -5,6 +5,8 @@ module M = Xguard_host_mesi
 module Xg = Xguard_xg
 module A = Xguard_accel
 module Spans = Xguard_obs.Spans
+module Metrics = Xguard_obs.Metrics
+module Watchdog = Xguard_obs.Watchdog
 
 (* One Crossing Guard instance and the accelerator hierarchy behind it.  The
    legacy single-accelerator organizations build exactly one of these (with
@@ -284,6 +286,10 @@ let build_guard (cfg : Config.t) ~engine ~accel_engine ~rng ~registry ~perms ~os
   (* Only the guard link carries crossing traffic; the accelerator-internal
      network below never hosts span segments. *)
   if Spans.on () then Xg.Xg_iface.Link.mark_crossing link;
+  (* Per-tenant metrics series ("xg" legacy, "xg.a0" in a topology): labeling
+     the guard link turns on its per-guard latency hooks, so each tenant's
+     e2e / invalidate histograms are SLO-judgeable on their own. *)
+  if Metrics.on () then Xg.Xg_iface.Link.set_metrics_label link (sfx id "xg");
   let xg_link_node = Node.Registry.fresh registry (sfx id "xg.link_end") in
   let accel_link_node = Node.Registry.fresh registry (sfx id "accel.link_end") in
   let rate_limiter =
@@ -1392,6 +1398,7 @@ let guard_count (cfg : Config.t) =
 
 let build ?(attach_accel = true) ?(pdes = false) (cfg : Config.t) =
   if Spans.on () then Spans.reset_gauges ();
+  if Metrics.on () then Metrics.reset_sources ();
   let shard =
     if not pdes then None
     else begin
@@ -1406,8 +1413,54 @@ let build ?(attach_accel = true) ?(pdes = false) (cfg : Config.t) =
     | Config.Hammer -> build_hammer ~attach_accel ?shard cfg
     | Config.Mesi -> build_mesi ~attach_accel ?shard cfg
   in
+  (* Metrics counter sources: every stats group the run would report, plus
+     each guard's link-layer group (retransmissions live there — the
+     watchdog's retry-storm rule needs their deltas).  Registration order
+     fixes the stream's series order. *)
+  if Metrics.on () then begin
+    List.iter (fun (name, g) -> Metrics.add_group ~name g) (t.stats_groups ());
+    Array.iter
+      (fun g ->
+        Metrics.add_group ~name:(guard_label g "xg.link")
+          (Xg.Xg_iface.Link.link_stats g.g_link))
+      t.guards
+  end;
+  let t =
+    if not (Metrics.on () && Metrics.watchdog_armed ()) then t
+    else begin
+      (* Bridge watchdog verdicts to the OS model's anomaly ledger and an
+         obs.watchdog coverage matrix.  Both are pure observers: anomalies
+         never feed policy, and the coverage set only exists on armed runs,
+         so unarmed output is untouched. *)
+      let grp = Xguard_stats.Counter.Group.create "obs.watchdog.cov" in
+      let mat = Xguard_trace.Coverage.intern_matrix Watchdog.coverage_space grp in
+      Metrics.set_watchdog_reporter (fun ~rule ~event ~detail:_ ->
+          if event = 0 then Xg.Os_model.anomaly t.os Watchdog.rules.(rule);
+          Xguard_trace.Coverage.hit mat ~state:rule ~event);
+      let prev_sets = t.coverage_sets in
+      {
+        t with
+        coverage_sets =
+          (fun () ->
+            prev_sets () @ [ ("obs.watchdog", Watchdog.coverage_space, [ grp ]) ]);
+      }
+    end
+  in
   (* The sharded coordinator samples gauges at window barriers instead — a
      free-running sampler tick could not fire inside a domain window. *)
-  if (not pdes) && Spans.on () then
-    Spans.start_sampler ~engine:t.engine ~period:sampler_period;
+  if not pdes then begin
+    if Metrics.on () then
+      (* One fused tick for both layers: two independent [Engine.every]
+         samplers would each see the other's next tick in [pending] and keep
+         the engine alive forever.  Span sample first, then metrics — the
+         same order the PDES barrier replays. *)
+      Engine.every t.engine ~period:sampler_period ~phase:sampler_period
+        (fun () ->
+          let now = Engine.now t.engine in
+          Spans.sample_now ~now;
+          Metrics.sample_now ~now;
+          Engine.pending t.engine > 0)
+    else if Spans.on () then
+      Spans.start_sampler ~engine:t.engine ~period:sampler_period
+  end;
   t

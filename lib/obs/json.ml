@@ -1,0 +1,227 @@
+(* Minimal recursive-descent JSON reader for the observability tooling: the
+   [xguard report] merger parses metrics JSONL streams back in, and the test
+   suite validates Perfetto / metrics emitters against it.  Stdlib-only on
+   purpose — the repo carries no JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad \\u escape"
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.src then fail st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        if st.pos >= String.length st.src then fail st "unterminated escape";
+        let e = st.src.[st.pos] in
+        st.pos <- st.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char buf '"'; go ()
+        | '\\' -> Buffer.add_char buf '\\'; go ()
+        | '/' -> Buffer.add_char buf '/'; go ()
+        | 'b' -> Buffer.add_char buf '\b'; go ()
+        | 'f' -> Buffer.add_char buf '\012'; go ()
+        | 'n' -> Buffer.add_char buf '\n'; go ()
+        | 'r' -> Buffer.add_char buf '\r'; go ()
+        | 't' -> Buffer.add_char buf '\t'; go ()
+        | 'u' ->
+            if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
+            let v = ref 0 in
+            for i = 0 to 3 do
+              v := (!v lsl 4) lor hex_digit st st.src.[st.pos + i]
+            done;
+            st.pos <- st.pos + 4;
+            (* UTF-8 encode the code point; surrogate pairs are passed through
+               as two encoded surrogates (the emitters never produce them). *)
+            let cp = !v in
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end;
+            go ()
+        | _ -> fail st "bad escape")
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') -> st.pos <- st.pos + 1
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        st.pos <- st.pos + 1
+    | _ -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        expect st '}';
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              members ((k, v) :: acc)
+          | Some '}' ->
+              expect st '}';
+              List.rev ((k, v) :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        expect st ']';
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              elems (v :: acc)
+          | Some ']' ->
+              expect st ']';
+              List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then Error "trailing garbage after JSON value"
+      else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* Emission-side escaping (the inverse of [parse_string]), shared by the
+   metrics emitters; Perfetto keeps its own historical copy. *)
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int i -> Some i | Float f -> Some (int_of_float f) | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_list = function List l -> l | _ -> []
+let fields = function Obj f -> f | _ -> []

@@ -1,0 +1,35 @@
+(** Minimal stdlib-only JSON reader.
+
+    Used by the [xguard report] health-dashboard merger to parse metrics
+    JSONL streams back in, and by the test suite to validate the Perfetto and
+    metrics emitters' output (notably string escaping).  Accepts standard
+    JSON; integers without a fractional part parse as [Int]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error. *)
+
+val quote : string -> string
+(** Emission-side escaping: [s] rendered as a quoted JSON string literal. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+val to_bool_opt : t -> bool option
+
+val to_list : t -> t list
+(** The elements of a [List]; [[]] for any other node. *)
+
+val fields : t -> (string * t) list
+(** The fields of an [Obj]; [[]] for any other node. *)

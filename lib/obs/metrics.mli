@@ -1,0 +1,153 @@
+(** Streaming run telemetry: periodic counter-delta / gauge / span-quantile
+    samples, per-guard latency histograms, availability notes, and the
+    {!Watchdog}'s anomaly verdicts — one recorder per job, merged with the
+    same pure, job-ordered discipline as {!Spans} so campaign shards and the
+    sharded (PDES) engine produce byte-identical streams for any [-j] /
+    [--sim-j].
+
+    Invisible unless armed: every hook below no-ops when no recorder is armed
+    on the domain (and no shard context forwards to an armed coordinator), so
+    metrics-off runs are byte-identical to builds without this module.
+
+    Arming metrics requires the span layer to be armed too (the CLI enforces
+    it): per-tick quantiles read the armed span recorder and per-guard
+    latency hooks defer through the shard span context at PDES barriers. *)
+
+type sample = {
+  m_ts : int;
+  m_counters : (string * int) array;  (** nonzero deltas since previous tick *)
+  m_gauges : (string * int) array;
+  m_quants : (string * string * int * int * int * int) array;
+      (** (segment, txn, n, p50, p95, p99) from the armed span recorder *)
+}
+
+type recorder
+
+val create : ?watchdog:Watchdog.config -> ?sample_cap:int -> unit -> recorder
+
+(** {2 Arming} *)
+
+val on : unit -> bool
+(** Whether metrics are armed on this domain — directly, or via a sharded
+    window whose coordinator armed a metrics recorder. *)
+
+val armed : unit -> recorder option
+val with_armed : recorder -> (unit -> 'a) -> 'a
+
+(** {2 Sources} — registered by [System.build] and the drivers; all no-ops
+    when unarmed. *)
+
+val reset_sources : unit -> unit
+val add_group : name:string -> Xguard_stats.Counter.Group.t -> unit
+(** Register a stats group; its counters stream as ["name.counter"]. *)
+
+val add_gauge : name:string -> (unit -> int) -> unit
+(** Metrics-only gauge (e.g. a sequencer's completion count); the span
+    layer's gauge registry is snapshotted automatically. *)
+
+val watchdog_armed : unit -> bool
+val set_watchdog_reporter : (rule:int -> event:int -> detail:string -> unit) -> unit
+
+(** {2 Per-guard latency hooks} — fired by the guard link, deferred through
+    the shard context inside PDES windows. *)
+
+val e2e_open : guard:string -> addr:int -> now:int -> unit
+val e2e_close : guard:string -> addr:int -> now:int -> unit
+val inv_open : guard:string -> addr:int -> now:int -> unit
+val inv_close : guard:string -> addr:int -> now:int -> unit
+
+val note_avail : guard:string -> down:int -> now:int -> unit
+(** Record a guard's downtime for availability SLOs; called once post-run. *)
+
+(** {2 Sampling} *)
+
+val sample_now : now:int -> unit
+(** One sampler tick on the armed recorder (PDES barrier path). *)
+
+val start_sampler : engine:Xguard_sim.Engine.t -> period:int -> unit
+(** Free-running sampler for sequential builds, phase-aligned to [period]. *)
+
+(** {2 Summaries} *)
+
+module Summary : sig
+  type block = {
+    b_label : string;
+    b_samples : sample list;
+    b_events : Watchdog.event list;
+    b_avails : (string * int * int) list;
+  }
+
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  val merge : t -> t -> t
+  (** Pure and associative: blocks concatenate in job order, per-guard
+      histograms merge-join on sorted (guard, metric) keys. *)
+
+  val blocks : t -> block list
+  val hists : t -> ((string * string) * Xguard_stats.Histogram.t) list
+  val avails : t -> (string * int * int) list
+  val events : t -> (string * Watchdog.event) list
+  val trip_counts : t -> (string * int) list
+  val samples : t -> int
+  val replaced : t -> int
+  val dropped : t -> int
+end
+
+val summary : label:string -> recorder -> Summary.t
+
+(** {2 Emission} *)
+
+val write_jsonl :
+  out_channel ->
+  period:int ->
+  span_cells:(string * string * Xguard_stats.Histogram.t) list ->
+  verdicts:Slo.verdict list ->
+  Summary.t ->
+  unit
+(** The canonical [xguard-metrics-v1] JSONL stream: meta line, then per-job
+    sample / watchdog / avail lines in job order, then merged per-guard and
+    per-(segment, txn) histogram dumps, then SLO verdicts.  Deterministic for
+    any [-j] / [--sim-j]. *)
+
+val write_verdict : out_channel -> Slo.verdict -> unit
+
+val write_prom :
+  out_channel ->
+  span_cells:(string * string * Xguard_stats.Histogram.t) list ->
+  Summary.t ->
+  unit
+(** Prometheus-style text dump (counter totals, latency summaries,
+    availability gauges). *)
+
+(** {2 Stream merging} — the [xguard report] health dashboard. *)
+
+module Report : sig
+  type t
+
+  val empty : t
+
+  val add_stream : t -> name:string -> string list -> (t, string) result
+  (** Parse one JSONL stream (its lines) and fold it in.  Histogram dumps
+      merge exactly (bucket restoration is lossless), availability and
+      watchdog trips accumulate, embedded SLO verdicts are kept per stream.
+      Errors on unparsable JSON or a missing schema line. *)
+
+  val streams : t -> (string * int) list
+  (** (name, samples) per added stream, in add order. *)
+
+  val samples : t -> int
+  val guard_hists : t -> ((string * string) * Xguard_stats.Histogram.t) list
+  val span_cells : t -> (string * string * Xguard_stats.Histogram.t) list
+  val avails : t -> (string * int * int) list
+  val trips : t -> (string * int * string * string) list
+  (** (rule, ts, stream, detail) in stream order. *)
+
+  val verdicts : t -> (string * Slo.verdict) list
+  (** Embedded per-stream verdicts, for reports without [--slo]. *)
+
+  val counters : t -> (string * int) list
+  (** Counter totals summed across all streams, first-seen order. *)
+end

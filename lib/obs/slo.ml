@@ -1,0 +1,234 @@
+module Histogram = Xguard_stats.Histogram
+module Table = Xguard_stats.Table
+
+(* Declarative service-level objectives, judged after a run against the same
+   histograms the span/metrics layers already record.  Purely a consumer:
+   parsing and evaluation never touch simulation state, so verdicts are
+   deterministic for deterministic runs. *)
+
+type objective =
+  | Quantile of { metric : string; q : float; qname : string; bound : int }
+  | Avail of { bound : float }
+
+let objective_text = function
+  | Quantile { metric; qname; bound; _ } ->
+      Printf.sprintf "%s:%s<=%d" metric qname bound
+  | Avail { bound } -> Printf.sprintf "avail>=%g" bound
+
+let parse_quantile_name q =
+  (* "p50" / "p95" / "p99" / "p999" / "p100" / "max" *)
+  if q = "max" || q = "p100" then Some (1.0, q)
+  else if String.length q >= 2 && q.[0] = 'p' then
+    let digits = String.sub q 1 (String.length q - 1) in
+    match int_of_string_opt digits with
+    | Some n when n >= 0 && n <= 100 && String.length digits <= 2 ->
+        Some (float_of_int n /. 100.0, q)
+    | Some n when String.length digits = 3 && n <= 1000 ->
+        Some (float_of_int n /. 1000.0, q)
+    | _ -> None
+  else None
+
+let parse spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parts =
+    String.split_on_char ';' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if parts = [] then err "slo: empty objective list"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          (* availability form: avail>=0.95 *)
+          let avail_prefix = "avail>=" in
+          if String.length part > String.length avail_prefix
+             && String.sub part 0 (String.length avail_prefix) = avail_prefix
+          then
+            let v =
+              String.sub part (String.length avail_prefix)
+                (String.length part - String.length avail_prefix)
+            in
+            match float_of_string_opt v with
+            | Some bound when bound >= 0.0 && bound <= 1.0 ->
+                go (Avail { bound } :: acc) rest
+            | _ -> err "slo: bad availability bound in %S" part
+          else
+            (* quantile form: metric:p99<=40 *)
+            match String.index_opt part ':' with
+            | None -> err "slo: expected 'metric:pNN<=bound' or 'avail>=frac' in %S" part
+            | Some i -> (
+                let metric = String.sub part 0 i in
+                let tail = String.sub part (i + 1) (String.length part - i - 1) in
+                match
+                  (* split at "<=" *)
+                  let rec find j =
+                    if j + 1 >= String.length tail then None
+                    else if tail.[j] = '<' && tail.[j + 1] = '=' then Some j
+                    else find (j + 1)
+                  in
+                  find 0
+                with
+                | None -> err "slo: expected '<=' in %S" part
+                | Some j -> (
+                    let qname = String.sub tail 0 j in
+                    let bound_s =
+                      String.sub tail (j + 2) (String.length tail - j - 2)
+                    in
+                    match (parse_quantile_name qname, int_of_string_opt bound_s) with
+                    | None, _ -> err "slo: unknown quantile %S in %S" qname part
+                    | _, None -> err "slo: bad bound %S in %S" bound_s part
+                    | Some (q, qname), Some bound when metric <> "" ->
+                        go (Quantile { metric; q; qname; bound } :: acc) rest
+                    | _ -> err "slo: empty metric in %S" part)))
+    in
+    go [] parts
+
+type verdict = {
+  v_objective : string;
+  v_scope : string;  (** ["global"] or a guard label like ["xg.a0"] *)
+  v_measured : string;
+  v_pass : bool;
+  v_detail : string;  (** worst-offender attribution *)
+}
+
+let passed = List.for_all (fun v -> v.v_pass)
+
+(* Evaluate objectives against:
+   - [span_cells]: the merged per-(segment, txn) span histograms
+     ([Spans.Summary.cells]), judged globally with worst-txn attribution;
+   - [guard_hists]: per-guard latency histograms keyed [(guard, metric)]
+     (the metrics layer's ["xg.e2e"] / ["inv.roundtrip"] series), judged per
+     guard so one tarpit tenant fails alone;
+   - [avail]: per-guard [(guard, down_cycles, now)] availability inputs,
+     summed per guard before judging (so campaign shards aggregate). *)
+let evaluate objectives ~span_cells ~guard_hists ~avail =
+  let quantile_verdicts metric q qname bound =
+    let text = objective_text (Quantile { metric; q; qname; bound }) in
+    let seg_cells =
+      List.filter (fun (seg, _, _) -> seg = metric) span_cells
+    in
+    let global =
+      match seg_cells with
+      | [] -> []
+      | cells ->
+          let merged =
+            List.fold_left
+              (fun acc (_, _, h) ->
+                match acc with None -> Some h | Some a -> Some (Histogram.merge a h))
+              None cells
+          in
+          let h = Option.get merged in
+          let measured = Option.get (Histogram.quantile h q) in
+          let worst =
+            List.fold_left
+              (fun (wt, wv) (_, txn, h) ->
+                match Histogram.quantile h q with
+                | Some v when v > wv -> (txn, v)
+                | _ -> (wt, wv))
+              ("", min_int) cells
+          in
+          [
+            {
+              v_objective = text;
+              v_scope = "global";
+              v_measured = string_of_int measured;
+              v_pass = measured <= bound;
+              v_detail =
+                Printf.sprintf "worst txn %s (%s=%d)" (fst worst) qname (snd worst);
+            };
+          ]
+    in
+    let per_guard =
+      List.filter_map
+        (fun ((guard, m), h) ->
+          if m <> metric then None
+          else
+            match Histogram.quantile h q with
+            | None -> None
+            | Some measured ->
+                Some
+                  {
+                    v_objective = text;
+                    v_scope = guard;
+                    v_measured = string_of_int measured;
+                    v_pass = measured <= bound;
+                    v_detail =
+                      Printf.sprintf "n=%d max=%d" (Histogram.count h)
+                        (Histogram.max_value h);
+                  })
+        guard_hists
+    in
+    match global @ per_guard with
+    | [] ->
+        [
+          {
+            v_objective = text;
+            v_scope = "global";
+            v_measured = "-";
+            v_pass = true;
+            v_detail = "no samples";
+          };
+        ]
+    | vs -> vs
+  in
+  let avail_verdicts bound =
+    let text = objective_text (Avail { bound }) in
+    (* sum per guard, first-seen order *)
+    let order = ref [] in
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (guard, down, now) ->
+        match Hashtbl.find_opt tbl guard with
+        | None ->
+            order := guard :: !order;
+            Hashtbl.add tbl guard (down, now)
+        | Some (d, n) -> Hashtbl.replace tbl guard (d + down, n + now))
+      avail;
+    match List.rev !order with
+    | [] ->
+        [
+          {
+            v_objective = text;
+            v_scope = "global";
+            v_measured = "-";
+            v_pass = true;
+            v_detail = "no samples";
+          };
+        ]
+    | guards ->
+        List.map
+          (fun guard ->
+            let down, now = Hashtbl.find tbl guard in
+            let measured = 1.0 -. (float_of_int down /. float_of_int (max 1 now)) in
+            {
+              v_objective = text;
+              v_scope = guard;
+              v_measured = Printf.sprintf "%.4f" measured;
+              v_pass = measured >= bound;
+              v_detail = Printf.sprintf "down %d of %d cycles" down now;
+            })
+          guards
+  in
+  List.concat_map
+    (function
+      | Quantile { metric; q; qname; bound } -> quantile_verdicts metric q qname bound
+      | Avail { bound } -> avail_verdicts bound)
+    objectives
+
+let to_table ?(title = "SLO verdicts") verdicts =
+  let table =
+    Table.create ~title
+      ~columns:[ "objective"; "scope"; "measured"; "verdict"; "worst offender" ]
+  in
+  List.iter
+    (fun v ->
+      Table.add_row table
+        [
+          v.v_objective;
+          v.v_scope;
+          v.v_measured;
+          (if v.v_pass then "PASS" else "FAIL");
+          v.v_detail;
+        ])
+    verdicts;
+  table

@@ -1,0 +1,45 @@
+(** Declarative service-level objectives over span and metrics histograms.
+
+    Objectives come in from the CLI as
+    ["xg.decide:p99<=40;seq.e2e:p99<=400;avail>=0.95"] and are judged after a
+    run (or after merging campaign shards) against the already-recorded
+    histograms and availability stats — evaluation is a pure consumer and
+    deterministic for deterministic runs. *)
+
+type objective =
+  | Quantile of { metric : string; q : float; qname : string; bound : int }
+      (** latency objective: the [qname] (p50/p95/p99/p999/p100/max) of
+          [metric]'s histogram must be [<= bound] cycles *)
+  | Avail of { bound : float }
+      (** per-guard availability [1 - down_cycles/now] must be [>= bound] *)
+
+val parse : string -> (objective list, string) result
+(** Parse a [;]-separated objective list. *)
+
+val objective_text : objective -> string
+(** Canonical rendering, e.g. ["xg.decide:p99<=40"]. *)
+
+type verdict = {
+  v_objective : string;
+  v_scope : string;  (** ["global"] or a guard label like ["xg.a0"] *)
+  v_measured : string;  (** measured value, or ["-"] when no samples *)
+  v_pass : bool;
+  v_detail : string;  (** worst-offender attribution *)
+}
+
+val evaluate :
+  objective list ->
+  span_cells:(string * string * Xguard_stats.Histogram.t) list ->
+  guard_hists:((string * string) * Xguard_stats.Histogram.t) list ->
+  avail:(string * int * int) list ->
+  verdict list
+(** Judge every objective.  Latency objectives produce a global verdict with
+    worst-txn attribution when the metric names a span segment, plus one
+    verdict per guard when it names a per-guard metrics histogram
+    (["xg.e2e"], ["inv.roundtrip"]); an objective with no samples anywhere
+    passes vacuously with measured ["-"].  [avail] triples are [(guard,
+    down_cycles, observed_cycles)] and sum per guard before judging. *)
+
+val passed : verdict list -> bool
+
+val to_table : ?title:string -> verdict list -> Xguard_stats.Table.t

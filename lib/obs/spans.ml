@@ -416,6 +416,10 @@ let add_gauge ~name f =
 let reset_gauges () =
   match get () with None -> () | Some r -> r.gauges <- []
 
+(* The metrics layer snapshots the same gauge registry instead of forcing
+   every registration site to register twice. *)
+let gauges () = match get () with None -> [] | Some r -> r.gauges
+
 (* Gauges are re-read from the registration list at every tick: drivers keep
    registering (sequencers are created after [System.build] starts the
    sampler), and late registrations must appear in subsequent snapshots. *)

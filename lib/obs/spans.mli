@@ -165,6 +165,11 @@ val reset_gauges : unit -> unit
 (** Drop all registered gauges (armed recorder only).  Called at the top of
     [System.build] so rebuilt systems never sample stale closures. *)
 
+val gauges : unit -> (string * (unit -> int)) list
+(** The armed recorder's gauge registry (registration order); [[]] when
+    unarmed.  The metrics layer snapshots this at its own ticks instead of
+    duplicating every registration site. *)
+
 val sample_now : now:int -> unit
 (** Snapshot every registered gauge once, timestamped [now], on the armed
     recorder.  The sharded-engine coordinator calls this at window barriers

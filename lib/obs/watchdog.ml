@@ -1,0 +1,207 @@
+module Coverage = Xguard_trace.Coverage
+
+(* Pure-observer anomaly detector.  It sees exactly what a metrics sample
+   sees — counter deltas and gauge values at each sampler tick — and judges
+   them against four rules.  It never touches simulation state: trips are
+   reported through a callback (System wires it to [Os_model.anomaly] and an
+   [obs.watchdog] coverage matrix) and recorded in the metrics stream.
+
+   The default thresholds are sized so every rule fires strictly before the
+   coarse G2c transaction timeout (4000 cycles at the default sampler period
+   of 500 cycles): a stalled or starved tenant is flagged while the guard can
+   still act on it, in the spirit of PR 8's per-phase hang budgets. *)
+
+type config = {
+  retry_burst : int;  (** link retransmit frames per tick that count as a storm *)
+  stall_ticks : int;  (** consecutive zero-progress ticks with open transactions *)
+  starve_ticks : int;  (** consecutive ticks a port waits while others progress *)
+  ceilings : (string * int) list;  (** gauge name -> inclusive trip level *)
+}
+
+let default =
+  { retry_burst = 64; stall_ticks = 4; starve_ticks = 8; ceilings = [] }
+
+let rules = [| "retry_storm"; "quiesce_stall"; "port_starved"; "gauge_ceiling" |]
+let events = [| "Trip"; "Clear" |]
+
+let coverage_space =
+  Coverage.space ~name:"obs.watchdog" ~states:(Array.to_list rules)
+    ~events:(Array.to_list events) ()
+
+let parse spec =
+  let cfg = ref default in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parts =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go = function
+    | [] -> Ok !cfg
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> err "watchdog: expected key=value in %S" part
+        | Some i -> (
+            let k = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match (k, int_of_string_opt v) with
+            | _, None -> err "watchdog: %S is not an integer in %S" v part
+            | "retry", Some n ->
+                cfg := { !cfg with retry_burst = n };
+                go rest
+            | "stall", Some n ->
+                cfg := { !cfg with stall_ticks = n };
+                go rest
+            | "starve", Some n ->
+                cfg := { !cfg with starve_ticks = n };
+                go rest
+            | k, Some n when String.length k > 5 && String.sub k 0 5 = "ceil:" ->
+                let gauge = String.sub k 5 (String.length k - 5) in
+                cfg := { !cfg with ceilings = !cfg.ceilings @ [ (gauge, n) ] };
+                go rest
+            | k, Some _ -> err "watchdog: unknown rule key %S" k))
+  in
+  go parts
+
+type event = { w_ts : int; w_rule : string; w_event : string; w_detail : string }
+
+type t = {
+  cfg : config;
+  mutable reporter : (rule:int -> event:int -> detail:string -> unit) option;
+  (* per-rule latch state *)
+  mutable storm_on : bool;
+  mutable stall_streak : int;
+  mutable stall_on : bool;
+  starve_streak : (string, int) Hashtbl.t;
+  starve_on : (string, unit) Hashtbl.t;
+  ceiling_on : (string, unit) Hashtbl.t;
+  prev_gauges : (string, int) Hashtbl.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    reporter = None;
+    storm_on = false;
+    stall_streak = 0;
+    stall_on = false;
+    starve_streak = Hashtbl.create 16;
+    starve_on = Hashtbl.create 16;
+    ceiling_on = Hashtbl.create 8;
+    prev_gauges = Hashtbl.create 32;
+  }
+
+let set_reporter t f = t.reporter <- Some f
+
+let suffix_sum ~suffix kvs =
+  List.fold_left
+    (fun acc (name, v) ->
+      if String.length name >= String.length suffix
+         && String.sub name
+              (String.length name - String.length suffix)
+              (String.length suffix)
+            = suffix
+      then acc + v
+      else acc)
+    0 kvs
+
+let emit t acc ~now ~rule ~event:ev ~detail =
+  (match t.reporter with
+  | Some f -> f ~rule ~event:ev ~detail
+  | None -> ());
+  acc :=
+    { w_ts = now; w_rule = rules.(rule); w_event = events.(ev); w_detail = detail }
+    :: !acc
+
+(* One sampler tick: [deltas] are the nonzero counter increments since the
+   previous tick, [gauges] the instantaneous gauge values, both in the
+   sampler's deterministic source order. *)
+let observe t ~now ~deltas ~gauges =
+  let acc = ref [] in
+  let progress = List.fold_left (fun a (_, d) -> a + abs d) 0 deltas in
+  (* retry_storm: a burst of link-level retransmissions in a single tick. *)
+  let retx = suffix_sum ~suffix:".retransmit_frames" deltas in
+  if retx >= t.cfg.retry_burst && not t.storm_on then begin
+    t.storm_on <- true;
+    emit t acc ~now ~rule:0 ~event:0
+      ~detail:(Printf.sprintf "%d retransmit frames in one tick (burst >= %d)" retx t.cfg.retry_burst)
+  end
+  else if retx = 0 && t.storm_on then begin
+    t.storm_on <- false;
+    emit t acc ~now ~rule:0 ~event:1 ~detail:"retransmissions subsided"
+  end;
+  (* quiesce_stall: transactions stay open while nothing in the system moves. *)
+  let open_txns = suffix_sum ~suffix:".open_transactions" gauges in
+  if open_txns > 0 && progress = 0 then begin
+    t.stall_streak <- t.stall_streak + 1;
+    if t.stall_streak >= t.cfg.stall_ticks && not t.stall_on then begin
+      t.stall_on <- true;
+      emit t acc ~now ~rule:1 ~event:0
+        ~detail:
+          (Printf.sprintf "%d open transaction(s), no counter progress for %d tick(s)"
+             open_txns t.stall_streak)
+    end
+  end
+  else begin
+    if t.stall_on then begin
+      t.stall_on <- false;
+      emit t acc ~now ~rule:1 ~event:1 ~detail:"progress resumed"
+    end;
+    t.stall_streak <- 0
+  end;
+  (* port_starved: a sequencer holds work but completes nothing while the
+     rest of the system is visibly making progress. *)
+  List.iter
+    (fun (name, v) ->
+      match Filename.check_suffix name ".outstanding" with
+      | false -> ()
+      | true -> (
+          let base = Filename.chop_suffix name ".outstanding" in
+          let ckey = base ^ ".completed" in
+          match List.assoc_opt ckey gauges with
+          | None -> ()
+          | Some completed ->
+              let prev =
+                match Hashtbl.find_opt t.prev_gauges ckey with Some p -> p | None -> completed
+              in
+              Hashtbl.replace t.prev_gauges ckey completed;
+              if v > 0 && completed = prev && progress > 0 then begin
+                let streak =
+                  (match Hashtbl.find_opt t.starve_streak base with Some s -> s | None -> 0) + 1
+                in
+                Hashtbl.replace t.starve_streak base streak;
+                if streak >= t.cfg.starve_ticks && not (Hashtbl.mem t.starve_on base)
+                then begin
+                  Hashtbl.replace t.starve_on base ();
+                  emit t acc ~now ~rule:2 ~event:0
+                    ~detail:
+                      (Printf.sprintf "%s: %d op(s) outstanding, none completed for %d tick(s)"
+                         base v streak)
+                end
+              end
+              else begin
+                if Hashtbl.mem t.starve_on base then begin
+                  Hashtbl.remove t.starve_on base;
+                  emit t acc ~now ~rule:2 ~event:1
+                    ~detail:(Printf.sprintf "%s: completing again" base)
+                end;
+                Hashtbl.remove t.starve_streak base
+              end))
+    gauges;
+  (* gauge_ceiling: a named gauge reached an operator-declared level. *)
+  List.iter
+    (fun (gauge, limit) ->
+      match List.assoc_opt gauge gauges with
+      | None -> ()
+      | Some v ->
+          if v >= limit && not (Hashtbl.mem t.ceiling_on gauge) then begin
+            Hashtbl.replace t.ceiling_on gauge ();
+            emit t acc ~now ~rule:3 ~event:0
+              ~detail:(Printf.sprintf "%s = %d (ceiling %d)" gauge v limit)
+          end
+          else if v < limit && Hashtbl.mem t.ceiling_on gauge then begin
+            Hashtbl.remove t.ceiling_on gauge;
+            emit t acc ~now ~rule:3 ~event:1
+              ~detail:(Printf.sprintf "%s back under %d" gauge limit)
+          end)
+    t.cfg.ceilings;
+  List.rev !acc

@@ -2,6 +2,7 @@ module Engine = Xguard_sim.Engine
 module Histogram = Xguard_stats.Histogram
 module Trace = Xguard_trace.Trace
 module Spans = Xguard_obs.Spans
+module Metrics = Xguard_obs.Metrics
 
 let access_text access =
   Format.asprintf "%a" Access.pp access
@@ -68,6 +69,12 @@ let create ~engine ~name ~port ?(max_outstanding = 16) ?(retry_delay = 3) () =
 let create ~engine ~name ~port ?max_outstanding ?retry_delay () =
   let t = create ~engine ~name ~port ?max_outstanding ?retry_delay () in
   if Spans.on () then Spans.add_gauge ~name:(name ^ ".outstanding") (fun () -> t.in_flight + t.queued);
+  (* The watchdog's starvation rule pairs each port's [.outstanding] gauge
+     (shared with the span layer above) with a progress signal: a port that
+     holds work while [.completed] freezes — and the rest of the system
+     moves — is starving. *)
+  if Metrics.on () then
+    Metrics.add_gauge ~name:(name ^ ".completed") (fun () -> t.completed);
   t
 
 let name t = t.name

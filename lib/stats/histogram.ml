@@ -69,6 +69,15 @@ let percentile t p =
   in
   scan 0 0
 
+(* Non-raising variant for SLO evaluation: an objective over a metric that
+   recorded no samples must render as "no data", not crash the verdict
+   table.  q = 1.0 returns the exact recorded maximum (not a bucket upper
+   bound), so "p100 <= bound" is an exact check. *)
+let quantile t q =
+  if t.total = 0 then None
+  else if q >= 1.0 then Some t.max_v
+  else Some (percentile t q)
+
 let merge a b =
   let t = create a.name in
   for i = 0 to bucket_count - 1 do
@@ -78,6 +87,28 @@ let merge a b =
   t.sum <- a.sum + b.sum;
   t.min_v <- min a.min_v b.min_v;
   t.max_v <- max a.max_v b.max_v;
+  t
+
+(* Restore a histogram from a serialized bucket dump (the metrics JSONL
+   stream's "hist" lines).  Each bucket's [lo] uniquely identifies its index,
+   so restore . dump is the identity and restored histograms merge exactly
+   like the originals. *)
+let of_dump ~name ~sum ~min_v ~max_v dump =
+  let t = create name in
+  List.iter
+    (fun (lo, c) ->
+      if c < 0 then invalid_arg "Histogram.of_dump: negative count";
+      let i = bucket_of_value lo in
+      if bucket_lo i <> lo then
+        invalid_arg (Printf.sprintf "Histogram.of_dump: %d is not a bucket boundary" lo);
+      t.counts.(i) <- t.counts.(i) + c;
+      t.total <- t.total + c)
+    dump;
+  if t.total > 0 then begin
+    t.sum <- sum;
+    t.min_v <- min_v;
+    t.max_v <- max_v
+  end;
   t
 
 let buckets t =

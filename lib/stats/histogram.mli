@@ -27,6 +27,10 @@ val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0,1]: an upper bound on the [p]-quantile,
     resolved to bucket granularity.  Raises [Invalid_argument] when empty. *)
 
+val quantile : t -> float -> int option
+(** Non-raising [percentile] for SLO evaluation: [None] when the histogram is
+    empty; [quantile t 1.0] is the exact recorded maximum. *)
+
 val merge : t -> t -> t
 (** [merge a b] is a fresh histogram (named after [a]) holding the samples of
     both inputs.  Pure: neither input is mutated.  Bucket counts, totals and
@@ -35,5 +39,14 @@ val merge : t -> t -> t
 
 val buckets : t -> (int * int * int) list
 (** [(lo, hi, count)] for each non-empty bucket, ascending. *)
+
+val of_dump :
+  name:string -> sum:int -> min_v:int -> max_v:int -> (int * int) list -> t
+(** Rebuild a histogram from [(lo, count)] bucket pairs as produced by
+    {!buckets} (the metrics stream serialization).  Each [lo] must be [0] or a
+    power of two — the bucket's canonical lower bound — else
+    [Invalid_argument].  [sum]/[min_v]/[max_v] are trusted as recorded, so
+    [of_dump] of a dump restores the original exactly and restored histograms
+    {!merge} like the originals ([xguard report] relies on this). *)
 
 val pp : Format.formatter -> t -> unit

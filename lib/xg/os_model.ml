@@ -29,6 +29,10 @@ type t = {
   mutable promotes : int;
   mutable probation : bool;
   mutable permakilled : bool;
+  (* Watchdog anomaly notes (PR 10): pure observations from the metrics
+     layer's anomaly watchdog.  Strictly advisory — they never feed [count],
+     the policy, or the model-checker fingerprint. *)
+  mutable anomaly_log : (string * int) list;  (* (rule, count), first-noted order, reversed *)
 }
 
 let create ?(policy = Log_only) () =
@@ -46,6 +50,7 @@ let create ?(policy = Log_only) () =
     promotes = 0;
     probation = false;
     permakilled = false;
+    anomaly_log = [];
   }
 
 let policy t = t.policy
@@ -107,6 +112,18 @@ let rejoin_count t = t.rejoins
 let promote_count t = t.promotes
 let in_probation t = t.probation
 let permakilled t = t.permakilled
+
+(* ---- watchdog anomaly notes (PR 10, pure observer) ---- *)
+
+let anomaly t rule =
+  let rec bump = function
+    | [] -> [ (rule, 1) ]
+    | (r, n) :: rest -> if r = rule then (r, n + 1) :: rest else (r, n) :: bump rest
+  in
+  t.anomaly_log <- bump t.anomaly_log
+
+let anomalies t = t.anomaly_log
+let anomaly_count t = List.fold_left (fun a (_, n) -> a + n) 0 t.anomaly_log
 
 let check_fingerprint t buf =
   (* Only the flags that change guard behaviour; the log and counters are

@@ -70,6 +70,16 @@ val promote_count : t -> int
 val in_probation : t -> bool
 val permakilled : t -> bool
 
+val anomaly : t -> string -> unit
+(** Note a watchdog anomaly (rule name).  Pure observation: never feeds
+    {!error_count}, the policy, or {!check_fingerprint} — the OS merely keeps
+    a ledger the operator can read. *)
+
+val anomalies : t -> (string * int) list
+(** [(rule, count)] in first-noted order. *)
+
+val anomaly_count : t -> int
+
 val error_kind_to_string : error_kind -> string
 val all_error_kinds : error_kind list
 

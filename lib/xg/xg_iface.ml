@@ -126,6 +126,7 @@ module Link = struct
   module Coverage = Xguard_trace.Coverage
   module Network = Xguard_network.Network
   module Spans = Xguard_obs.Spans
+  module Metrics = Xguard_obs.Metrics
 
   (* What actually travels on the wire.  Without reliability every payload is
      [Plain] — byte-for-byte the historical link.  With reliability payloads
@@ -180,6 +181,11 @@ module Link = struct
        link transit segments on crossing links alone, so purely accel-internal
        links never touch the recorder. *)
     mutable crossing : bool;
+    (* Per-guard series label for the metrics layer ("xg" legacy, "xg.a0" in
+       a topology).  Empty (the default) keeps the metrics hooks silent, so
+       only guard links that [System.build] labels under an armed metrics
+       recorder ever pay for them. *)
+    mutable mlabel : string;
     mutable monitor : (src:Node.t -> dst:Node.t -> msg -> unit) option;
     mutable ptracer : (msg -> int * string) option;
     mutable on_fault : unit -> unit;
@@ -244,6 +250,7 @@ module Link = struct
         channels = Hashtbl.create 8;
         killed = false;
         crossing = false;
+        mlabel = "";
         monitor = None;
         ptracer = None;
         on_fault = (fun () -> ());
@@ -272,6 +279,7 @@ module Link = struct
 
   let name t = t.lname
   let mark_crossing t = t.crossing <- true
+  let set_metrics_label t label = t.mlabel <- label
 
   (* Span hooks.  Fired once per logical payload: [span_send] from {!send}
      (retransmits re-enter via [send_frame] only) and [span_deliver] from the
@@ -291,6 +299,26 @@ module Link = struct
     | To_xg_resp { addr; _ } -> Spans.inv_closed ~addr:(Addr.to_int addr) ~now
     | To_accel_resp { addr; _ } -> Spans.resp_delivered ~addr:(Addr.to_int addr) ~now
     | To_accel_req _ -> ()
+
+  (* Metrics hooks, parallel to the span hooks: per-guard end-to-end request
+     latency (accel request sent -> guard response delivered) and invalidate
+     roundtrips, attributed to [t.mlabel] so every tenant in a topology gets
+     its own SLO-judgeable series. *)
+  let metrics_send t msg ~now =
+    match msg with
+    | To_xg_req { addr; _ } ->
+        Metrics.e2e_open ~guard:t.mlabel ~addr:(Addr.to_int addr) ~now
+    | To_accel_req { addr; req = Invalidate } ->
+        Metrics.inv_open ~guard:t.mlabel ~addr:(Addr.to_int addr) ~now
+    | To_accel_resp _ | To_xg_resp _ -> ()
+
+  let metrics_deliver t msg ~now =
+    match msg with
+    | To_accel_resp { addr; _ } ->
+        Metrics.e2e_close ~guard:t.mlabel ~addr:(Addr.to_int addr) ~now
+    | To_xg_resp { addr; _ } ->
+        Metrics.inv_close ~guard:t.mlabel ~addr:(Addr.to_int addr) ~now
+    | To_xg_req _ | To_accel_req _ -> ()
 
   let span_retry payload ~now =
     match payload with
@@ -572,6 +600,7 @@ module Link = struct
   let register t node handler =
     let handler ~src msg =
       if t.crossing && Spans.on () then span_deliver msg ~now:(t.part_now node);
+      if t.mlabel <> "" && Metrics.on () then metrics_deliver t msg ~now:(t.part_now node);
       handler ~src msg
     in
     Raw.register t.raw node (fun ~src wire ->
@@ -586,6 +615,7 @@ module Link = struct
   let send t ~src ~dst ?(size = Network.control_size) msg =
     (match t.monitor with Some f -> f ~src ~dst msg | None -> ());
     if t.crossing && Spans.on () then span_send msg ~now:(t.part_now src);
+    if t.mlabel <> "" && Metrics.on () then metrics_send t msg ~now:(t.part_now src);
     if not t.reliable then Raw.send t.raw ~src ~dst ~size (Plain msg)
     else begin
       let ch = channel t ~src ~dst in

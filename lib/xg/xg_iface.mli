@@ -117,6 +117,11 @@ module Link : sig
       [inv.roundtrip]) — all behind [Spans.on], so unarmed runs are
       untouched.  Accel-internal links are never marked. *)
 
+  val set_metrics_label : t -> string -> unit
+  (** Attribute this guard link's metrics series ("xg" legacy, "xg.a0" in a
+      topology).  Set by [System.build] only when a metrics recorder is
+      armed; the empty default keeps the metrics hooks silent. *)
+
   val register : t -> Node.t -> (src:Node.t -> msg -> unit) -> unit
   (** Attach a handler for payload messages addressed to this node; the
       reliability layer's frames and acks are consumed internally.

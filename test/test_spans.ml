@@ -202,6 +202,49 @@ let test_perfetto_export () =
   check_bool "process metadata" true (contains "\"process_name\"" text);
   check_bool "job label present" true (contains "\"job0\"" text)
 
+(* Hostile gauge names and job labels must still yield valid JSON — the
+   exporter escapes every string it emits, and the round-trip through our own
+   parser is the proof.  Table-driven over the classic escaping traps. *)
+let test_perfetto_escaping () =
+  let cases =
+    [
+      ("quote", "evil\"name");
+      ("backslash", "back\\slash");
+      ("both", "q\"b\\q\"");
+      ("newline-tab", "line1\nline2\ttabbed");
+      ("control", "nul\x01\x1f");
+    ]
+  in
+  List.iter
+    (fun (case, name) ->
+      let r = Spans.create ~timeline:true () in
+      Spans.with_armed r (fun () ->
+          Spans.add_gauge ~name (fun () -> 1);
+          Spans.sample_now ~now:100;
+          Spans.record Spans.Link_req Spans.Get_s ~span:1 ~addr:0 ~ts:0 ~dur:4);
+      let file = Filename.temp_file "xguard_escape" ".json" in
+      Perfetto.write_file file [ (name, r) ];
+      let ic = open_in_bin file in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove file;
+      match Xguard_obs.Json.of_string text with
+      | Ok json ->
+          (* the hostile name survives the round-trip somewhere in the doc *)
+          let rec strings acc = function
+            | Xguard_obs.Json.String s -> s :: acc
+            | Xguard_obs.Json.List l -> List.fold_left strings acc l
+            | Xguard_obs.Json.Obj kvs ->
+                List.fold_left (fun a (k, v) -> strings (k :: a) v) acc kvs
+            | _ -> acc
+          in
+          check_bool
+            (case ^ ": name survives round-trip")
+            true
+            (List.exists (fun s -> contains name s) (strings [] json))
+      | Error e -> Alcotest.failf "%s: exporter emitted invalid JSON: %s" case e)
+    cases
+
 let tests =
   [
     ( "spans",
@@ -216,5 +259,6 @@ let tests =
         Alcotest.test_case "summary merge" `Quick test_summary_merge_matches_sequential;
         Alcotest.test_case "sampler series" `Quick test_sampler_series;
         Alcotest.test_case "perfetto export" `Quick test_perfetto_export;
+        Alcotest.test_case "perfetto string escaping" `Quick test_perfetto_escaping;
       ] );
   ]

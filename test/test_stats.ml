@@ -93,6 +93,69 @@ let test_histogram_boundary_quantiles () =
   check_int "p<0 clamps to p0" 0 (Histogram.percentile h (-0.5));
   check_int "p>1 clamps to p100" 1 (Histogram.percentile h 1.5)
 
+(* [quantile] is the non-raising sibling of [percentile] used by SLO
+   evaluation: None on empty, clamping at the edges, and exact max at
+   q = 1.0 (where [percentile] may only promise a bucket upper bound). *)
+let test_histogram_quantile_edges () =
+  let e = Histogram.create "qe" in
+  Alcotest.(check (option int)) "empty q0.5" None (Histogram.quantile e 0.5);
+  Alcotest.(check (option int)) "empty q1.0" None (Histogram.quantile e 1.0);
+  let one = Histogram.create "q1" in
+  Histogram.observe one 7;
+  Alcotest.(check (option int)) "single q0.0" (Some 7) (Histogram.quantile one 0.0);
+  Alcotest.(check (option int)) "single q0.5" (Some 7) (Histogram.quantile one 0.5);
+  Alcotest.(check (option int)) "single q1.0" (Some 7) (Histogram.quantile one 1.0);
+  (* Samples in different power-of-two buckets: q=1.0 must be the recorded
+     maximum (300), not bucket 256..511's upper bound. *)
+  let h = Histogram.create "qm" in
+  List.iter (Histogram.observe h) [ 5; 300 ];
+  Alcotest.(check (option int)) "q1.0 exact max" (Some 300) (Histogram.quantile h 1.0);
+  Alcotest.(check (option int)) "q>1 clamps to max" (Some 300) (Histogram.quantile h 1.5);
+  (match Histogram.quantile h 0.25 with
+  | Some v -> Alcotest.(check bool) "q0.25 covers the low sample" true (v >= 5)
+  | None -> Alcotest.fail "non-empty histogram returned None")
+
+(* [of_dump] must rebuild from the (lo, count) bucket serialization so that
+   the restored histogram is indistinguishable from the original — the
+   property [xguard report] relies on when merging shard metric streams. *)
+let test_histogram_of_dump_roundtrip () =
+  let h = Histogram.create "d" in
+  List.iter (Histogram.observe h) [ 0; 1; 3; 17; 300; 300 ];
+  let dump = List.map (fun (lo, _, c) -> (lo, c)) (Histogram.buckets h) in
+  let r =
+    Histogram.of_dump ~name:"d" ~sum:(Histogram.sum h)
+      ~min_v:(Histogram.min_value h) ~max_v:(Histogram.max_value h) dump
+  in
+  check_int "count restored" (Histogram.count h) (Histogram.count r);
+  check_int "sum restored" (Histogram.sum h) (Histogram.sum r);
+  check_int "min restored" (Histogram.min_value h) (Histogram.min_value r);
+  check_int "max restored" (Histogram.max_value h) (Histogram.max_value r);
+  Alcotest.(check bool) "buckets restored" true
+    (Histogram.buckets h = Histogram.buckets r);
+  Alcotest.(check (option int)) "q0.5 restored" (Histogram.quantile h 0.5)
+    (Histogram.quantile r 0.5);
+  Alcotest.(check (option int)) "q1.0 restored" (Histogram.quantile h 1.0)
+    (Histogram.quantile r 1.0);
+  (* Restored histograms merge like the originals. *)
+  let g = Histogram.create "d" in
+  List.iter (Histogram.observe g) [ 2; 90 ];
+  let g' =
+    Histogram.of_dump ~name:"d" ~sum:(Histogram.sum g)
+      ~min_v:(Histogram.min_value g) ~max_v:(Histogram.max_value g)
+      (List.map (fun (lo, _, c) -> (lo, c)) (Histogram.buckets g))
+  in
+  let m = Histogram.merge h g and m' = Histogram.merge r g' in
+  Alcotest.(check bool) "restored merge matches" true
+    ( Histogram.count m = Histogram.count m'
+    && Histogram.sum m = Histogram.sum m'
+    && Histogram.buckets m = Histogram.buckets m'
+    && Histogram.quantile m 0.99 = Histogram.quantile m' 0.99 );
+  (* A lower bound that is not 0 or a power of two is a corrupt stream. *)
+  try
+    ignore (Histogram.of_dump ~name:"bad" ~sum:3 ~min_v:3 ~max_v:3 [ (3, 1) ]);
+    Alcotest.fail "expected Invalid_argument on non-canonical bucket lo"
+  with Invalid_argument _ -> ()
+
 let test_histogram_merge () =
   let a = Histogram.create "m" and b = Histogram.create "m" in
   List.iter (Histogram.observe a) [ 1; 2; 3 ];
@@ -246,6 +309,10 @@ let tests =
         Alcotest.test_case "histogram single sample" `Quick test_histogram_single_sample;
         Alcotest.test_case "histogram boundary quantiles" `Quick
           test_histogram_boundary_quantiles;
+        Alcotest.test_case "histogram quantile edges" `Quick
+          test_histogram_quantile_edges;
+        Alcotest.test_case "histogram of_dump roundtrip" `Quick
+          test_histogram_of_dump_roundtrip;
         Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
         Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets_cover_all;
         Alcotest.test_case "table rendering" `Quick test_table_rendering;

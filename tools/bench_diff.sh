@@ -1,0 +1,95 @@
+#!/bin/sh
+# Compare two xguard-bench-v1 baselines (BENCH_*.json): a per-experiment
+# events/s delta table and a per-micro ops/s delta table, so a perf PR can
+# show its before/after without spelunking the raw JSON.
+#
+# Usage: tools/bench_diff.sh OLD.json NEW.json
+#
+# Ratios are NEW/OLD: > 1.00x is faster, < 1.00x is slower.  Rows present in
+# only one file are listed with "-" on the missing side.  Requires python3
+# (stdlib only); SKIPs gracefully without it — same policy as check_bench.sh.
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: tools/bench_diff.sh OLD.json NEW.json" >&2
+  exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "bench_diff: no such file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "bench_diff: no such file: $new" >&2; exit 2; }
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "bench_diff: SKIP: python3 not available (stdlib json is the only parser we ship)"
+  exit 0
+fi
+
+python3 - "$old" "$new" << 'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "xguard-bench-v1":
+        sys.exit(f"bench_diff: {path} is not an xguard-bench-v1 baseline")
+    exps = {e["id"]: e for e in doc.get("experiments", [])}
+    micros = {m["name"]: m for m in doc.get("micro", [])}
+    return doc, exps, micros
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old_doc, old_exps, old_micros = load(old_path)
+new_doc, new_exps, new_micros = load(new_path)
+
+print(f"bench_diff: {old_path} -> {new_path}")
+for name, doc in (("old", old_doc), ("new", new_doc)):
+    if doc.get("quick"):
+        print(f"  note: {name} baseline was recorded with --quick")
+
+def fmt(v):
+    return f"{v:,.0f}" if v is not None else "-"
+
+def ratio(o, n):
+    if o and n:
+        r = n / o
+        mark = "" if 0.8 <= r <= 1.25 else "  <<" if r < 0.8 else "  >>"
+        return f"{r:.2f}x{mark}", r
+    return "-", None
+
+def table(title, keys, get_old, get_new, unit):
+    rows = []
+    for k in keys:
+        o, n = get_old(k), get_new(k)
+        r_text, _ = ratio(o, n)
+        rows.append((k, fmt(o), fmt(n), r_text))
+    if not rows:
+        return
+    w0 = max(len(title), max(len(r[0]) for r in rows))
+    w1 = max(len(f"old {unit}"), max(len(r[1]) for r in rows))
+    w2 = max(len(f"new {unit}"), max(len(r[2]) for r in rows))
+    print()
+    print(f"{title:<{w0}}  {'old ' + unit:>{w1}}  {'new ' + unit:>{w2}}  ratio")
+    print("-" * (w0 + w1 + w2 + 11))
+    for k, o, n, r in rows:
+        print(f"{k:<{w0}}  {o:>{w1}}  {n:>{w2}}  {r}")
+
+exp_keys = [k for k in old_exps if k in new_exps]
+exp_keys += [k for k in old_exps if k not in new_exps]
+exp_keys += [k for k in new_exps if k not in old_exps]
+table(
+    "experiment", exp_keys,
+    lambda k: old_exps.get(k, {}).get("events_per_s") or None,
+    lambda k: new_exps.get(k, {}).get("events_per_s") or None,
+    "events/s")
+
+micro_keys = [k for k in old_micros if k in new_micros]
+micro_keys += [k for k in old_micros if k not in new_micros]
+micro_keys += [k for k in new_micros if k not in old_micros]
+table(
+    "micro", micro_keys,
+    lambda k: old_micros.get(k, {}).get("ops_per_s") or None,
+    lambda k: new_micros.get(k, {}).get("ops_per_s") or None,
+    "ops/s")
+
+print()
+print("bench_diff: ratios are new/old; << marks a >20% slowdown, >> a >25% speedup")
+EOF

@@ -25,6 +25,7 @@ TOPO4='hammer:shards=2;a0=trans,cached;b0=full,uncached,lat=12;c0=trans,2lvl,cor
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
 fail=0
+skipped=0
 
 # run_case NAME -- CLI ARGS... : run with --sim-j 1/2/4 (+ a span timeline)
 # and require stdout and the span JSON to be byte-identical across the three.
@@ -85,9 +86,12 @@ fi
 ncpu=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n 1)
 echo "== speedup smoke (machine has $ncpu CPUs) =="
 if [ "$ncpu" -lt 2 ]; then
+  skipped=1
   echo "  SKIP: speedup is unobservable on a single-CPU machine; the"
   echo "  byte-identity gate above still ran.  Run this script on >= 2 CPUs"
   echo "  (or compare pdes.* rows across BENCH_*.json) for the wall-clock check."
+  # GitHub Actions surfaces this as a step annotation; harmless elsewhere.
+  echo "::warning::check_pdes speedup smoke SKIPPED ($ncpu CPU); byte-identity still checked"
 else
   wall() {
     start=$(date +%s%N)
@@ -112,4 +116,8 @@ if [ "$fail" -ne 0 ]; then
   echo "check_pdes: FAIL" >&2
   exit 1
 fi
-echo "check_pdes: PASS"
+if [ "$skipped" -ne 0 ]; then
+  echo "check_pdes: PASS (WARNING: speedup smoke SKIPPED on a $ncpu-CPU machine)"
+else
+  echo "check_pdes: PASS"
+fi
